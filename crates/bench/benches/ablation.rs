@@ -1,0 +1,43 @@
+//! Criterion ablation of the adaptive threshold θ: per-event wall cost
+//! at increasing thresholds on a fixed benchmark. The companion
+//! accuracy ablation (error vs. θ) is the `ablation` binary; this bench
+//! isolates the speed half of the trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_logic::{elaborate, synthesize, SetLogicParams};
+
+fn bench_threshold(c: &mut Criterion) {
+    let params = SetLogicParams::default();
+    let logic = synthesize(236, 8, 42);
+    let elab = elaborate(&logic, &params).expect("valid params");
+
+    let mut group = c.benchmark_group("adaptive_threshold");
+    group.sample_size(10);
+    for theta in [0.0, 0.01, 0.05, 0.2, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(theta),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    let cfg = SimConfig::new(1.0).with_seed(3).with_solver(
+                        SolverSpec::Adaptive {
+                            threshold: theta,
+                            refresh_interval: 1_000,
+                        },
+                    );
+                    let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
+                    for name in &logic.inputs {
+                        let lead = elab.input_lead(name).expect("input");
+                        sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
+                    }
+                    sim.run(RunLength::Events(500)).expect("busy circuit")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the two Monte Carlo solvers' per-event
+//! cost as a function of circuit size — the quantity behind the paper's
+//! Fig. 6 trend (non-adaptive ∝ junctions, adaptive ≈ flat).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_logic::{elaborate, synthesize, Elaborated, SetLogicParams};
+
+fn build(sets: usize) -> (semsim_netlist::LogicFile, Elaborated) {
+    let params = SetLogicParams::default();
+    let logic = synthesize(sets, 8, 42);
+    let elab = elaborate(&logic, &params).expect("valid params");
+    (logic, elab)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_event_cost");
+    group.sample_size(10);
+    for sets in [50usize, 118, 236] {
+        let (logic, elab) = build(sets);
+        for (label, spec) in [
+            ("nonadaptive", SolverSpec::NonAdaptive),
+            (
+                "adaptive",
+                SolverSpec::Adaptive {
+                    threshold: 0.05,
+                    refresh_interval: 1_000,
+                },
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, 2 * sets), &spec, |b, spec| {
+                b.iter(|| {
+                    let cfg = SimConfig::new(1.0).with_seed(7).with_solver(*spec);
+                    let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
+                    for name in &logic.inputs {
+                        let lead = elab.input_lead(name).expect("input");
+                        sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
+                    }
+                    sim.run(RunLength::Events(500)).expect("busy circuit")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Minimal `key=value` command-line parsing for the figure binaries
+//! (no external dependencies; every binary documents its keys in its
+//! header comment).
+
+use std::collections::HashMap;
+
+/// Parsed `key=value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the program name), accepting
+    /// `key=value` tokens and ignoring anything else.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token iterator — used by tests.
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        for tok in iter {
+            if let Some((k, v)) = tok.split_once('=') {
+                values.insert(k.to_string(), v.to_string());
+            }
+        }
+        Args { values }
+    }
+
+    /// A `u64` argument with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// An `f64` argument with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A `usize` argument with default.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A boolean flag (`key=1`/`true`/`yes`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(
+            self.values.get(key).map(String::as_str),
+            Some("1") | Some("true") | Some("yes")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_defaults() {
+        let a = Args::from_iter(
+            ["events=500", "theta=0.1", "full=1", "junk"].map(String::from),
+        );
+        assert_eq!(a.u64_or("events", 1), 500);
+        assert_eq!(a.f64_or("theta", 0.0), 0.1);
+        assert_eq!(a.u64_or("missing", 7), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("other"));
+        assert_eq!(a.usize_or("events", 0), 500);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation of the adaptive solver's two knobs (called out in
+//! DESIGN.md): the testing threshold `θ` and the periodic full-refresh
+//! interval. For each setting, the current through a benchmark circuit
+//! is compared against the non-adaptive reference and the rate
+//! recalculations per event are reported.
+//!
+//! Expected shape: error grows and work shrinks monotonically-ish with
+//! `θ`; very long refresh intervals trade a little accuracy for a
+//! little speed; `θ = 0` with the default adjacency reproduces the
+//! reference within Monte Carlo noise.
+//!
+//! Arguments: `events` (default 30000), `benchmark_sets` (default 236 —
+//! half of 74LS280), `seed` (9).
+
+use semsim_bench::args::Args;
+use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_logic::{elaborate, synthesize, SetLogicParams};
+
+fn main() {
+    let args = Args::from_env();
+    let events = args.u64_or("events", 30_000);
+    let sets = args.usize_or("benchmark_sets", 236);
+    let seed = args.u64_or("seed", 9);
+
+    let params = SetLogicParams::default();
+    let logic = synthesize(sets.max(2) & !1, 8, 42);
+    let elab = elaborate(&logic, &params).expect("valid params");
+    // Drive every input high: plenty of switching activity from the
+    // all-zero initial state.
+    let run = |spec: SolverSpec| -> Option<(f64, f64)> {
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(seed)
+            .with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).ok()?;
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).ok()?;
+            sim.set_lead_voltage(lead, params.vdd).ok()?;
+        }
+        let record = sim.run(RunLength::Events(events)).ok()?;
+        // Observable: mean simulated time per event (inverse total rate)
+        // — a stiff, global accuracy witness.
+        Some((
+            record.duration / record.events.max(1) as f64,
+            record.rate_recalcs as f64 / record.events.max(1) as f64,
+        ))
+    };
+
+    let (ref_dt, ref_recalcs) = run(SolverSpec::NonAdaptive).expect("reference run");
+    println!("# Ablation on a {}-junction synthetic benchmark", elab.junction_count());
+    println!("# reference: dt/event {ref_dt:.4e} s, recalcs/event {ref_recalcs:.1}");
+    println!(
+        "# {:>8} {:>10} {:>14} {:>12} {:>10}",
+        "theta", "refresh", "dt err %", "recalcs/ev", "work save"
+    );
+
+    for &theta in &[0.0, 0.01, 0.05, 0.1, 0.3, 1.0] {
+        for &refresh in &[100u64, 1_000, 100_000] {
+            let spec = SolverSpec::Adaptive {
+                threshold: theta,
+                refresh_interval: refresh,
+            };
+            match run(spec) {
+                Some((dt, recalcs)) => {
+                    let err = (dt - ref_dt).abs() / ref_dt * 100.0;
+                    println!(
+                        "{:>10.2} {:>10} {:>13.2}% {:>12.1} {:>9.1}x",
+                        theta,
+                        refresh,
+                        err,
+                        recalcs,
+                        ref_recalcs / recalcs.max(1e-9)
+                    );
+                }
+                None => println!("{theta:>10.2} {refresh:>10} FAILED"),
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Qualitative reproduction of the paper's **Fig. 2**: the JQP and
+//! DJQP transport cycles emerge from the Monte Carlo event sequence of
+//! a biased SSET — a Cooper pair through one junction followed by two
+//! quasi-particles through the other (JQP), or the alternating
+//! pair/quasi-particle pattern (DJQP).
+//!
+//! The binary biases the Fig. 5 device onto a pair resonance (found by
+//! scanning the exact-circuit detuning), runs the event log, and counts
+//! cycle patterns.
+//!
+//! Arguments: `events` (default 30000), `vg` (4e-3), `seed` (5).
+
+use semsim_bench::args::Args;
+use semsim_bench::devices::{fig5_params, fig5_set};
+use semsim_bench::features::best_pair_detuning;
+use semsim_core::energy::CircuitState;
+use semsim_core::engine::{linspace, RunLength, SimConfig, Simulation};
+use semsim_core::CoreError;
+
+fn main() -> Result<(), CoreError> {
+    let args = Args::from_env();
+    let events = args.u64_or("events", 30_000);
+    let vg = args.f64_or("vg", 4e-3);
+    let seed = args.u64_or("seed", 5);
+
+    let dev = fig5_set()?;
+    let params = fig5_params()?;
+
+    // Candidate biases: every zero crossing of the pair detuning. The
+    // JQP peak is the crossing where quasi-particle relaxation is also
+    // open, so probe each candidate with a short run and keep the one
+    // carrying the most current.
+    let mut candidates = Vec::new();
+    let mut prev: Option<f64> = None;
+    for &vb in linspace(0.3e-3, 1.5e-3, 600).iter() {
+        let mut s = CircuitState::new(&dev.circuit);
+        s.set_lead_voltage(dev.source_lead, vb);
+        s.set_lead_voltage(dev.gate_lead, vg);
+        s.recompute_potentials(&dev.circuit);
+        let det = best_pair_detuning(&dev.circuit, &s);
+        if let Some(p) = prev {
+            if p.signum() != det.signum() {
+                candidates.push(vb);
+            }
+        }
+        prev = Some(det);
+    }
+    if candidates.is_empty() {
+        candidates.push(1.0e-3);
+    }
+    let mut vb = candidates[0];
+    let mut best_current = f64::NEG_INFINITY;
+    for &cand in &candidates {
+        let cfg = SimConfig::new(0.52)
+            .with_seed(seed)
+            .with_superconducting(params);
+        let mut sim = Simulation::new(&dev.circuit, cfg)?;
+        sim.set_lead_voltage(dev.source_lead, cand)?;
+        sim.set_lead_voltage(dev.gate_lead, vg)?;
+        let i = match sim.run(RunLength::Events(3_000)) {
+            Ok(r) => r.current(dev.j1).abs(),
+            Err(_) => 0.0,
+        };
+        if i > best_current {
+            best_current = i;
+            vb = cand;
+        }
+    }
+    println!("# JQP cycle detection at the pair resonance");
+    println!(
+        "# {} candidate resonances; strongest at V_bias = {vb:.4e} V, V_gate = {vg:.4e} V",
+        candidates.len()
+    );
+
+    let cfg = SimConfig::new(0.52)
+        .with_seed(seed)
+        .with_superconducting(params);
+    let mut sim = Simulation::new(&dev.circuit, cfg)?;
+    sim.set_lead_voltage(dev.source_lead, vb)?;
+    sim.set_lead_voltage(dev.gate_lead, vg)?;
+    sim.enable_event_log(events as usize);
+    let record = sim.run(RunLength::Events(events))?;
+
+    let log = sim.event_log().expect("log enabled");
+    let jqp = log.count_jqp_cycles();
+    let djqp = log.count_djqp_cycles();
+    println!("events:               {}", record.events);
+    println!("cooper-pair fraction: {:.3}", log.cooper_pair_fraction());
+    println!("JQP cycles:           {jqp}");
+    println!("DJQP cycles:          {djqp}");
+    println!("current:              {:.4e} A", record.current(dev.j1));
+    println!("# Expected: a substantial Cooper-pair fraction and many JQP");
+    println!("# cycles on resonance; off resonance (vg far from the line)");
+    println!("# both collapse.");
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Wall-clock measurement helpers for the performance figures.
+//!
+//! The paper extrapolated the running times of the five largest
+//! benchmarks from shorter runs, "adjusted for a circuit simulation
+//! time of 10 µs"; these helpers implement the same methodology:
+//! measure the steady-state wall-clock cost per Monte Carlo event and
+//! the simulated-time advance per event, then scale to the requested
+//! simulated horizon.
+
+use std::time::Instant;
+
+use semsim_core::circuit::Circuit;
+use semsim_core::engine::{RunLength, SimConfig, Simulation};
+use semsim_core::CoreError;
+
+/// Measured cost profile of one simulation method on one circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodTiming {
+    /// Wall-clock seconds per Monte Carlo event (steady state).
+    pub wall_per_event: f64,
+    /// Simulated seconds per event (`1/Γ_sum` on average).
+    pub sim_per_event: f64,
+    /// Events measured.
+    pub events: u64,
+    /// First-order rate recalculations per event.
+    pub recalcs_per_event: f64,
+}
+
+impl MethodTiming {
+    /// Extrapolated wall-clock time (s) to simulate `sim_time` seconds
+    /// of circuit time — the paper's Fig. 6 quantity.
+    pub fn wall_for(&self, sim_time: f64) -> f64 {
+        if self.sim_per_event <= 0.0 {
+            return 0.0;
+        }
+        (sim_time / self.sim_per_event) * self.wall_per_event
+    }
+}
+
+/// Measures a Monte Carlo method on `circuit`: `setup` prepares the
+/// inputs, `warmup` events are discarded, `sample` events are timed.
+///
+/// # Errors
+///
+/// Propagates simulation errors (e.g. a fully blockaded circuit).
+pub fn measure_mc<F>(
+    circuit: &Circuit,
+    config: &SimConfig,
+    warmup: u64,
+    sample: u64,
+    mut setup: F,
+) -> Result<MethodTiming, CoreError>
+where
+    F: FnMut(&mut Simulation<'_>) -> Result<(), CoreError>,
+{
+    let mut sim = Simulation::new(circuit, config.clone())?;
+    setup(&mut sim)?;
+    sim.run(RunLength::Events(warmup))?;
+    let t0 = Instant::now();
+    let record = sim.run(RunLength::Events(sample))?;
+    let wall = t0.elapsed().as_secs_f64();
+    Ok(MethodTiming {
+        wall_per_event: wall / record.events.max(1) as f64,
+        sim_per_event: record.duration / record.events.max(1) as f64,
+        events: record.events,
+        recalcs_per_event: record.rate_recalcs as f64 / record.events.max(1) as f64,
+    })
+}
+
+/// Formats a wall-clock time the way the paper's log-scale Fig. 6 reads
+/// (seconds with 3 significant digits).
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::fig1_set;
+
+    #[test]
+    fn timing_extrapolation() {
+        let t = MethodTiming {
+            wall_per_event: 1e-6,
+            sim_per_event: 1e-10,
+            events: 1000,
+            recalcs_per_event: 2.0,
+        };
+        // 1 s of simulated time = 1e10 events × 1 µs = 1e4 s of wall.
+        assert!((t.wall_for(1.0) - 1e4).abs() < 1.0);
+        assert_eq!(
+            MethodTiming { sim_per_event: 0.0, ..t }.wall_for(1.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn measure_on_conducting_set() {
+        let d = fig1_set().unwrap();
+        let cfg = SimConfig::new(5.0).with_seed(3);
+        let t = measure_mc(&d.circuit, &cfg, 200, 1000, |sim| {
+            sim.set_lead_voltage(1, 20e-3)?;
+            sim.set_lead_voltage(2, -20e-3)
+        })
+        .unwrap();
+        assert!(t.wall_per_event > 0.0);
+        assert!(t.sim_per_event > 0.0);
+        assert_eq!(t.events, 1000);
+        assert!(t.recalcs_per_event >= 1.0);
+    }
+}

@@ -1,0 +1,725 @@
+//! Circuit topology and electrostatics precomputation.
+//!
+//! A single-electron circuit is a graph of *nodes* connected by tunnel
+//! junctions and ordinary capacitors. Nodes are either **leads**
+//! (fixed-potential terminals driven by voltage sources — the paper's
+//! `vdc` entries) or **islands** (charge-quantized conductors). At build
+//! time the island-block capacitance matrix `C` is assembled and inverted
+//! once; the Monte Carlo solvers then only ever read `C⁻¹` (the paper's
+//! Eq. 2) and the island–lead coupling block.
+
+use semsim_linalg::{Matrix, SparsifiedMatrix};
+
+use crate::constants::E_CHARGE;
+use crate::CoreError;
+
+/// Identifier of a circuit node (lead or island).
+///
+/// Node 0 is always the implicit ground lead created by
+/// [`CircuitBuilder::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The implicit ground lead.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node, unique across leads and islands.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a tunnel junction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JunctionId(pub(crate) usize);
+
+impl JunctionId {
+    /// Raw index of the junction in declaration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NodeKind {
+    /// Fixed-potential terminal; payload is the lead index.
+    Lead(usize),
+    /// Charge-quantized conductor; payload is the island index.
+    Island(usize),
+}
+
+/// A tunnel junction: thin insulating barrier electrons tunnel through.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Junction {
+    /// First terminal.
+    pub node_a: NodeId,
+    /// Second terminal.
+    pub node_b: NodeId,
+    /// Normal-state tunnel resistance (Ω).
+    pub resistance: f64,
+    /// Junction capacitance (F).
+    pub capacitance: f64,
+}
+
+/// An ordinary (non-tunneling) capacitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    /// First terminal.
+    pub node_a: NodeId,
+    /// Second terminal.
+    pub node_b: NodeId,
+    /// Capacitance (F).
+    pub capacitance: f64,
+}
+
+/// Builder for [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use semsim_core::circuit::{CircuitBuilder, NodeId};
+///
+/// # fn main() -> Result<(), semsim_core::CoreError> {
+/// let mut b = CircuitBuilder::new();
+/// let bias = b.add_lead(1e-3);
+/// let island = b.add_island();
+/// b.add_junction(bias, island, 1e6, 1e-18)?;
+/// b.add_junction(island, NodeId::GROUND, 1e6, 1e-18)?;
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_islands(), 1);
+/// assert_eq!(circuit.num_leads(), 2); // ground + bias
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    nodes: Vec<NodeKind>,
+    lead_bias: Vec<f64>,
+    island_background: Vec<f64>,
+    junctions: Vec<Junction>,
+    capacitors: Vec<Capacitor>,
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CircuitBuilder {
+    /// Creates a builder holding only the implicit ground lead (node 0).
+    pub fn new() -> Self {
+        CircuitBuilder {
+            nodes: vec![NodeKind::Lead(0)],
+            lead_bias: vec![0.0],
+            island_background: Vec::new(),
+            junctions: Vec::new(),
+            capacitors: Vec::new(),
+        }
+    }
+
+    /// Adds a lead (fixed-potential terminal) with initial bias `voltage`
+    /// (V). The bias can be changed during simulation via stimuli.
+    pub fn add_lead(&mut self, voltage: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::Lead(self.lead_bias.len()));
+        self.lead_bias.push(voltage);
+        id
+    }
+
+    /// Adds an island with zero background charge.
+    pub fn add_island(&mut self) -> NodeId {
+        self.add_island_with_charge(0.0)
+    }
+
+    /// Adds an island with fractional background charge `q0` in units of
+    /// the elementary charge (the paper's `Q_b/e`, e.g. `0.65` for the
+    /// Fig. 5 experiment).
+    pub fn add_island_with_charge(&mut self, q0_in_e: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeKind::Island(self.island_background.len()));
+        self.island_background.push(q0_in_e * E_CHARGE);
+        id
+    }
+
+    /// Adds a tunnel junction between `a` and `b` with normal-state
+    /// resistance `resistance` (Ω) and capacitance `capacitance` (F).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes, self-loops, and non-positive or non-finite
+    /// component values.
+    pub fn add_junction(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        resistance: f64,
+        capacitance: f64,
+    ) -> Result<JunctionId, CoreError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(CoreError::SelfLoop { node: a.0 });
+        }
+        if !(resistance > 0.0) || !resistance.is_finite() {
+            return Err(CoreError::InvalidComponent {
+                what: "junction resistance",
+                value: resistance,
+            });
+        }
+        if !(capacitance > 0.0) || !capacitance.is_finite() {
+            return Err(CoreError::InvalidComponent {
+                what: "junction capacitance",
+                value: capacitance,
+            });
+        }
+        let id = JunctionId(self.junctions.len());
+        self.junctions.push(Junction {
+            node_a: a,
+            node_b: b,
+            resistance,
+            capacitance,
+        });
+        Ok(id)
+    }
+
+    /// Adds an ordinary capacitor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CircuitBuilder::add_junction`].
+    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, capacitance: f64) -> Result<(), CoreError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(CoreError::SelfLoop { node: a.0 });
+        }
+        if !(capacitance > 0.0) || !capacitance.is_finite() {
+            return Err(CoreError::InvalidComponent {
+                what: "capacitance",
+                value: capacitance,
+            });
+        }
+        self.capacitors.push(Capacitor {
+            node_a: a,
+            node_b: b,
+            capacitance,
+        });
+        Ok(())
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), CoreError> {
+        if n.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownNode { node: n.0 })
+        }
+    }
+
+    /// Finalizes the circuit: assembles and inverts the island
+    /// capacitance matrix and precomputes adjacency used by the solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoJunctions`] for a junction-less circuit and
+    /// [`CoreError::FloatingIsland`] if the capacitance matrix is
+    /// singular.
+    pub fn build(self) -> Result<Circuit, CoreError> {
+        Circuit::from_parts(self)
+    }
+}
+
+/// An immutable, analysis-ready single-electron circuit.
+///
+/// Constructed by [`CircuitBuilder::build`]; see the builder for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    nodes: Vec<NodeKind>,
+    lead_bias: Vec<f64>,
+    lead_nodes: Vec<NodeId>,
+    island_background: Vec<f64>,
+    island_nodes: Vec<NodeId>,
+    junctions: Vec<Junction>,
+    capacitors: Vec<Capacitor>,
+    /// Island-block capacitance matrix (islands × islands).
+    cmatrix: Matrix,
+    /// Its inverse — the paper's `C⁻¹`.
+    cinv: Matrix,
+    /// Row-sparsified view of `C⁻¹` (relative threshold 1e-8): in
+    /// weakly coupled circuits each island feels only its own stage, so
+    /// rows are short and the adaptive solver's exact potential
+    /// refreshes cost O(stage) instead of O(islands).
+    cinv_sparse: SparsifiedMatrix,
+    /// Island–lead coupling block (islands × leads).
+    cext: Matrix,
+    /// `C⁻¹ · C_ext` — potential response of each island to a unit step
+    /// on each lead.
+    lead_response: Matrix,
+    /// Junctions incident to each node.
+    node_junctions: Vec<Vec<JunctionId>>,
+    /// Neighbour junctions per junction for the adaptive BFS: junctions
+    /// incident to either terminal or to nodes capacitively adjacent to
+    /// either terminal.
+    junction_neighbors: Vec<Vec<JunctionId>>,
+    /// Junctions incident to each lead's capacitive neighbourhood — the
+    /// BFS seeds for an input-voltage step on that lead.
+    lead_seed_junctions: Vec<Vec<JunctionId>>,
+}
+
+impl Circuit {
+    fn from_parts(b: CircuitBuilder) -> Result<Self, CoreError> {
+        if b.junctions.is_empty() {
+            return Err(CoreError::NoJunctions);
+        }
+        let n_nodes = b.nodes.len();
+        let n_islands = b.island_background.len();
+        let n_leads = b.lead_bias.len();
+
+        let mut island_nodes = vec![NodeId(0); n_islands];
+        let mut lead_nodes = vec![NodeId(0); n_leads];
+        for (idx, kind) in b.nodes.iter().enumerate() {
+            match *kind {
+                NodeKind::Lead(l) => lead_nodes[l] = NodeId(idx),
+                NodeKind::Island(i) => island_nodes[i] = NodeId(idx),
+            }
+        }
+
+        // Assemble the island capacitance matrix and the island–lead
+        // coupling block from every capacitive element (junctions have a
+        // capacitance too).
+        let mut cmatrix = Matrix::zeros(n_islands, n_islands);
+        let mut cext = Matrix::zeros(n_islands, n_leads);
+        let caps = b
+            .junctions
+            .iter()
+            .map(|j| (j.node_a, j.node_b, j.capacitance))
+            .chain(b.capacitors.iter().map(|c| (c.node_a, c.node_b, c.capacitance)));
+        for (na, nb, c) in caps {
+            let ka = b.nodes[na.0];
+            let kb = b.nodes[nb.0];
+            match (ka, kb) {
+                (NodeKind::Island(i), NodeKind::Island(j)) => {
+                    cmatrix.add_to(i, i, c);
+                    cmatrix.add_to(j, j, c);
+                    cmatrix.add_to(i, j, -c);
+                    cmatrix.add_to(j, i, -c);
+                }
+                (NodeKind::Island(i), NodeKind::Lead(l)) => {
+                    cmatrix.add_to(i, i, c);
+                    cext.add_to(i, l, c);
+                }
+                (NodeKind::Lead(l), NodeKind::Island(i)) => {
+                    cmatrix.add_to(i, i, c);
+                    cext.add_to(i, l, c);
+                }
+                // A capacitor between two fixed-potential terminals does
+                // not influence island dynamics.
+                (NodeKind::Lead(_), NodeKind::Lead(_)) => {}
+            }
+        }
+
+        let cinv = if n_islands > 0 {
+            cmatrix.inverse().map_err(CoreError::FloatingIsland)?
+        } else {
+            Matrix::zeros(0, 0)
+        };
+        let cinv_sparse = SparsifiedMatrix::new(&cinv, 1e-8);
+        let lead_response = if n_islands > 0 {
+            cinv.mul(&cext).expect("shape fixed by construction")
+        } else {
+            Matrix::zeros(0, n_leads)
+        };
+
+        // Node-level incidence and capacitive adjacency.
+        let mut node_junctions: Vec<Vec<JunctionId>> = vec![Vec::new(); n_nodes];
+        for (idx, j) in b.junctions.iter().enumerate() {
+            node_junctions[j.node_a.0].push(JunctionId(idx));
+            node_junctions[j.node_b.0].push(JunctionId(idx));
+        }
+        // Capacitive adjacency between nodes, *island hops only*: leads
+        // are fixed-potential, so electrostatic influence never
+        // propagates through them — two junctions that share only a
+        // supply rail or ground do not perturb each other. Ignoring
+        // lead-mediated "adjacency" is what keeps neighbour lists local
+        // (paper Fig. 4: stages talk only through island-to-island
+        // coupling capacitors).
+        let is_island_node = |n: NodeId| matches!(b.nodes[n.0], NodeKind::Island(_));
+        let mut island_adjacent: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
+        let pairs = b
+            .junctions
+            .iter()
+            .map(|j| (j.node_a, j.node_b))
+            .chain(b.capacitors.iter().map(|c| (c.node_a, c.node_b)));
+        for (na, nb) in pairs {
+            if is_island_node(nb) {
+                island_adjacent[na.0].push(nb);
+            }
+            if is_island_node(na) {
+                island_adjacent[nb.0].push(na);
+            }
+        }
+
+        // Neighbour junctions: everything incident to my island
+        // terminals or to islands one capacitive hop away from them.
+        let mut junction_neighbors: Vec<Vec<JunctionId>> = Vec::with_capacity(b.junctions.len());
+        for (idx, j) in b.junctions.iter().enumerate() {
+            let mut seen = vec![false; b.junctions.len()];
+            let mut out = Vec::new();
+            let push_node = |node: NodeId, seen: &mut Vec<bool>, out: &mut Vec<JunctionId>| {
+                for &jj in &node_junctions[node.0] {
+                    if jj.0 != idx && !seen[jj.0] {
+                        seen[jj.0] = true;
+                        out.push(jj);
+                    }
+                }
+            };
+            for &terminal in &[j.node_a, j.node_b] {
+                if !is_island_node(terminal) {
+                    continue;
+                }
+                push_node(terminal, &mut seen, &mut out);
+                for &adj in &island_adjacent[terminal.0] {
+                    push_node(adj, &mut seen, &mut out);
+                }
+            }
+            junction_neighbors.push(out);
+        }
+
+        // Seeds for an input step on each lead: junctions touching the
+        // lead directly, plus junctions of islands coupled to the lead.
+        let mut lead_seed_junctions: Vec<Vec<JunctionId>> = Vec::with_capacity(n_leads);
+        for l in 0..n_leads {
+            let node = lead_nodes[l];
+            let mut seen = vec![false; b.junctions.len()];
+            let mut out = Vec::new();
+            let push_node = |node: NodeId, seen: &mut Vec<bool>, out: &mut Vec<JunctionId>| {
+                for &jj in &node_junctions[node.0] {
+                    if !seen[jj.0] {
+                        seen[jj.0] = true;
+                        out.push(jj);
+                    }
+                }
+            };
+            push_node(node, &mut seen, &mut out);
+            for &adj in island_adjacent[node.0].clone().iter() {
+                push_node(adj, &mut seen, &mut out);
+            }
+            lead_seed_junctions.push(out);
+        }
+
+        Ok(Circuit {
+            nodes: b.nodes,
+            lead_bias: b.lead_bias,
+            lead_nodes,
+            island_background: b.island_background,
+            island_nodes,
+            junctions: b.junctions,
+            capacitors: b.capacitors,
+            cmatrix,
+            cinv,
+            cinv_sparse,
+            cext,
+            lead_response,
+            node_junctions,
+            junction_neighbors,
+            lead_seed_junctions,
+        })
+    }
+
+    /// Number of nodes (leads + islands), including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of islands.
+    pub fn num_islands(&self) -> usize {
+        self.island_background.len()
+    }
+
+    /// Number of leads, including ground.
+    pub fn num_leads(&self) -> usize {
+        self.lead_bias.len()
+    }
+
+    /// Number of tunnel junctions.
+    pub fn num_junctions(&self) -> usize {
+        self.junctions.len()
+    }
+
+    /// Is `node` an island?
+    pub fn is_island(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.0], NodeKind::Island(_))
+    }
+
+    /// Island index of `node`, if it is an island.
+    pub fn island_index(&self, node: NodeId) -> Option<usize> {
+        match self.nodes[node.0] {
+            NodeKind::Island(i) => Some(i),
+            NodeKind::Lead(_) => None,
+        }
+    }
+
+    /// Lead index of `node`, if it is a lead.
+    pub fn lead_index(&self, node: NodeId) -> Option<usize> {
+        match self.nodes[node.0] {
+            NodeKind::Lead(l) => Some(l),
+            NodeKind::Island(_) => None,
+        }
+    }
+
+    /// Node of island `island`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `island ≥ num_islands()`.
+    pub fn island_node(&self, island: usize) -> NodeId {
+        self.island_nodes[island]
+    }
+
+    /// Node of lead `lead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lead ≥ num_leads()`.
+    pub fn lead_node(&self, lead: usize) -> NodeId {
+        self.lead_nodes[lead]
+    }
+
+    /// Initial bias voltages of all leads (V), in lead order.
+    pub fn initial_lead_voltages(&self) -> &[f64] {
+        &self.lead_bias
+    }
+
+    /// Background charges of all islands (C), in island order.
+    pub fn island_background_charges(&self) -> &[f64] {
+        &self.island_background
+    }
+
+    /// The junctions in declaration order.
+    pub fn junctions(&self) -> &[Junction] {
+        &self.junctions
+    }
+
+    /// One junction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids from this circuit's builder
+    /// are always valid).
+    pub fn junction(&self, id: JunctionId) -> &Junction {
+        &self.junctions[id.0]
+    }
+
+    /// The ordinary capacitors in declaration order.
+    pub fn capacitors(&self) -> &[Capacitor] {
+        &self.capacitors
+    }
+
+    /// The island capacitance matrix `C`.
+    pub fn capacitance_matrix(&self) -> &Matrix {
+        &self.cmatrix
+    }
+
+    /// The inverse island capacitance matrix `C⁻¹` (paper Eq. 2).
+    pub fn inverse_capacitance(&self) -> &Matrix {
+        &self.cinv
+    }
+
+    /// Row-sparsified view of `C⁻¹` (entries below 1e-8 of the row
+    /// diagonal dropped) — the locality structure the adaptive solver
+    /// exploits for exact single-island potential refreshes.
+    pub fn sparse_inverse_capacitance(&self) -> &SparsifiedMatrix {
+        &self.cinv_sparse
+    }
+
+    /// The island–lead coupling block `C_ext`.
+    pub fn lead_coupling(&self) -> &Matrix {
+        &self.cext
+    }
+
+    /// `C⁻¹·C_ext`: island-potential response to a unit lead step.
+    pub fn lead_response(&self) -> &Matrix {
+        &self.lead_response
+    }
+
+    /// Entry of `C⁻¹` between two *nodes* — zero if either is a lead.
+    #[inline]
+    pub fn cinv_between(&self, a: NodeId, b: NodeId) -> f64 {
+        match (self.island_index(a), self.island_index(b)) {
+            (Some(i), Some(j)) => self.cinv.get(i, j),
+            _ => 0.0,
+        }
+    }
+
+    /// Total capacitance seen by the island at `node` (the `C_Σ` of a
+    /// single-island device), or `None` for a lead.
+    pub fn total_capacitance(&self, node: NodeId) -> Option<f64> {
+        self.island_index(node).map(|i| self.cmatrix.get(i, i))
+    }
+
+    /// Junctions incident to `node`.
+    pub fn junctions_at(&self, node: NodeId) -> &[JunctionId] {
+        &self.node_junctions[node.0]
+    }
+
+    /// Neighbour junctions of `j` for the adaptive BFS.
+    pub fn junction_neighbors(&self, j: JunctionId) -> &[JunctionId] {
+        &self.junction_neighbors[j.0]
+    }
+
+    /// BFS seed junctions for an input step on `lead`.
+    pub fn lead_seed_junctions(&self, lead: usize) -> &[JunctionId] {
+        &self.lead_seed_junctions[lead]
+    }
+
+    /// Iterator over all junction ids.
+    pub fn junction_ids(&self) -> impl ExactSizeIterator<Item = JunctionId> {
+        (0..self.junctions.len()).map(JunctionId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 1b device: R₁=R₂=1 MΩ, C₁=C₂=1 aF, C_g=3 aF.
+    fn paper_set() -> (Circuit, NodeId, JunctionId, JunctionId) {
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(0.0);
+        let drn = b.add_lead(0.0);
+        let gate = b.add_lead(0.0);
+        let island = b.add_island();
+        let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        let j2 = b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+        b.add_capacitor(gate, island, 3e-18).unwrap();
+        (b.build().unwrap(), island, j1, j2)
+    }
+
+    #[test]
+    fn set_total_capacitance_is_5af() {
+        let (c, island, _, _) = paper_set();
+        let ct = c.total_capacitance(island).unwrap();
+        assert!((ct - 5e-18).abs() < 1e-30);
+    }
+
+    #[test]
+    fn set_cinv_is_reciprocal_of_ctotal() {
+        let (c, island, _, _) = paper_set();
+        let i = c.island_index(island).unwrap();
+        assert!((c.inverse_capacitance().get(i, i) - 1.0 / 5e-18).abs() < 1e8);
+    }
+
+    #[test]
+    fn lead_response_rows_sum_to_less_than_one() {
+        // An island fully surrounded by leads: the response to all leads
+        // stepping together by 1 V is exactly 1 V.
+        let (c, island, _, _) = paper_set();
+        let i = c.island_index(island).unwrap();
+        let total: f64 = (0..c.num_leads()).map(|l| c.lead_response().get(i, l)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_is_node_zero() {
+        let mut b = CircuitBuilder::new();
+        let isl = b.add_island();
+        b.add_junction(NodeId::GROUND, isl, 1e5, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.lead_node(0), NodeId::GROUND);
+        assert!(!c.is_island(NodeId::GROUND));
+        assert!(c.is_island(isl));
+    }
+
+    #[test]
+    fn rejects_no_junctions() {
+        let mut b = CircuitBuilder::new();
+        b.add_island();
+        assert!(matches!(b.build(), Err(CoreError::NoJunctions)));
+    }
+
+    #[test]
+    fn rejects_floating_island() {
+        // An island connected to nothing capacitively except through a
+        // second floating island loop is singular; simplest case: island
+        // with a junction whose capacitance is the only one — actually
+        // that is well-posed. A truly floating island needs no elements,
+        // which build() can only see as a zero diagonal.
+        let mut b = CircuitBuilder::new();
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        let _unused = i2;
+        // i2 has no capacitance at all → zero row.
+        b.add_junction(NodeId::GROUND, i1, 1e6, 1e-18).unwrap();
+        assert!(matches!(b.build(), Err(CoreError::FloatingIsland(_))));
+    }
+
+    #[test]
+    fn rejects_bad_components() {
+        let mut b = CircuitBuilder::new();
+        let i = b.add_island();
+        assert!(b.add_junction(NodeId::GROUND, i, -1.0, 1e-18).is_err());
+        assert!(b.add_junction(NodeId::GROUND, i, 1e6, 0.0).is_err());
+        assert!(b.add_junction(NodeId::GROUND, i, f64::NAN, 1e-18).is_err());
+        assert!(b.add_junction(i, i, 1e6, 1e-18).is_err());
+        assert!(b.add_capacitor(i, i, 1e-18).is_err());
+        assert!(b.add_capacitor(NodeId::GROUND, i, f64::INFINITY).is_err());
+        assert!(b
+            .add_junction(NodeId(99), i, 1e6, 1e-18)
+            .is_err());
+    }
+
+    #[test]
+    fn junction_neighbors_cover_shared_nodes() {
+        let (c, _, j1, j2) = paper_set();
+        assert!(c.junction_neighbors(j1).contains(&j2));
+        assert!(c.junction_neighbors(j2).contains(&j1));
+        assert!(!c.junction_neighbors(j1).contains(&j1));
+    }
+
+    #[test]
+    fn neighbors_cross_coupling_capacitors() {
+        // Two SET stages coupled only by a capacitor: each stage's
+        // junctions must still see the other stage's junctions that touch
+        // the coupled node (paper Fig. 4 locality structure).
+        let mut b = CircuitBuilder::new();
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        let ja = b.add_junction(NodeId::GROUND, i1, 1e6, 1e-18).unwrap();
+        let jb = b.add_junction(NodeId::GROUND, i2, 1e6, 1e-18).unwrap();
+        b.add_capacitor(i1, i2, 1e-17).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.junction_neighbors(ja).contains(&jb));
+        assert!(c.junction_neighbors(jb).contains(&ja));
+    }
+
+    #[test]
+    fn lead_seeds_include_coupled_islands() {
+        let (c, _, j1, j2) = paper_set();
+        // Gate lead (index 3 in declaration order → lead index 3? ground
+        // =0, src=1, drn=2, gate=3). A step on the gate must seed both
+        // junctions of the SET.
+        let seeds = c.lead_seed_junctions(3);
+        assert!(seeds.contains(&j1) && seeds.contains(&j2));
+    }
+
+    #[test]
+    fn two_island_coupling_symmetric() {
+        let mut b = CircuitBuilder::new();
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        b.add_junction(NodeId::GROUND, i1, 1e6, 1e-18).unwrap();
+        b.add_junction(i1, i2, 1e6, 2e-18).unwrap();
+        b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.capacitance_matrix().is_symmetric(1e-30));
+        // C⁻¹ entries are O(1e17); allow machine-level asymmetry.
+        let scale = c.cinv_between(i1, i1).abs();
+        assert!(c.inverse_capacitance().is_symmetric(1e-9 * scale));
+        assert_eq!(c.capacitance_matrix().get(0, 1), -2e-18);
+        assert!((c.cinv_between(i1, i2) - c.cinv_between(i2, i1)).abs() < 1e-9 * scale);
+        assert_eq!(c.cinv_between(NodeId::GROUND, i1), 0.0);
+    }
+}

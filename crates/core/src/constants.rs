@@ -1,0 +1,82 @@
+//! Physical constants (CODATA 2018 exact values, SI units).
+
+/// Elementary charge `e` (C).
+pub const E_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `k_B` (J/K).
+pub const K_B: f64 = 1.380_649e-23;
+
+/// Planck constant `h` (J·s).
+pub const PLANCK_H: f64 = 6.626_070_15e-34;
+
+/// Reduced Planck constant `ħ` (J·s).
+pub const HBAR: f64 = PLANCK_H / (2.0 * std::f64::consts::PI);
+
+/// Superconducting resistance quantum `R_Q = h / (4e²)` (Ω) — about
+/// 6.45 kΩ; the paper's high-resistance Cooper-pair regime requires
+/// `R_N ≫ R_Q`.
+pub const R_Q: f64 = PLANCK_H / (4.0 * E_CHARGE * E_CHARGE);
+
+/// Converts an energy in electronvolts to joules.
+///
+/// # Example
+///
+/// ```
+/// // The paper's Fig. 1c gap: Δ(0) = 0.2 meV.
+/// let gap = semsim_core::constants::ev_to_joule(0.2e-3);
+/// assert!(gap > 3.1e-23 && gap < 3.3e-23);
+/// ```
+#[inline]
+pub fn ev_to_joule(ev: f64) -> f64 {
+    ev * E_CHARGE
+}
+
+/// Converts an energy in joules to electronvolts.
+#[inline]
+pub fn joule_to_ev(j: f64) -> f64 {
+    j / E_CHARGE
+}
+
+/// Thermal energy `k_B·T` (J) at temperature `t` kelvin (clamped at 0).
+///
+/// # Example
+///
+/// ```
+/// let kt = semsim_core::constants::thermal_energy(1.0);
+/// assert_eq!(kt, semsim_core::constants::K_B);
+/// assert_eq!(semsim_core::constants::thermal_energy(-1.0), 0.0);
+/// ```
+#[inline]
+pub fn thermal_energy(t: f64) -> f64 {
+    K_B * t.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_quantum_value() {
+        // ≈ 6.453 kΩ, the value quoted in the paper (≈ 6.5 kΩ).
+        assert!((R_Q - 6453.2).abs() < 1.0, "{R_Q}");
+    }
+
+    #[test]
+    fn ev_joule_roundtrip() {
+        let x = 1.7e-4;
+        assert!((joule_to_ev(ev_to_joule(x)) - x).abs() < 1e-19);
+    }
+
+    #[test]
+    fn hbar_consistent() {
+        assert!((HBAR * 2.0 * std::f64::consts::PI - PLANCK_H).abs() < 1e-45);
+    }
+
+    #[test]
+    fn thermal_energy_at_5k() {
+        // kT at 5 K ≈ 0.43 meV — same order as the charging energies in
+        // Fig. 1b, which is why the blockade there is soft.
+        let kt_ev = joule_to_ev(thermal_energy(5.0));
+        assert!((kt_ev - 4.31e-4).abs() < 1e-5);
+    }
+}

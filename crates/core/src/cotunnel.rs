@@ -1,0 +1,211 @@
+//! Second-order inelastic cotunneling (paper §II and §III-A).
+//!
+//! Inside the Coulomb blockade, first-order tunneling is exponentially
+//! suppressed but an electron can still cross *two* junctions in one
+//! coherent second-order process, occupying the intermediate island only
+//! virtually. Elastic cotunneling is neglected, as in the paper.
+//!
+//! The rate implemented here is the finite-temperature inelastic
+//! cotunneling rate in the form popularized by Averin & Nazarov (PRL 65,
+//! 2446 (1990)) and used by Fonseca et al. (J. Appl. Phys. 78, 3238
+//! (1995)), written per directed two-junction path:
+//!
+//! ```text
+//! Γ(ΔW) = ħ / (12π e⁴ R₁R₂) · (1/ε₁ + 1/ε₂)²
+//!         · [ (ΔW)² + (2π k_B T)² ] · (−ΔW) / (1 − e^{ΔW/k_BT})
+//! ```
+//!
+//! where `ε₁, ε₂` are the energies of the two virtual intermediate
+//! states (the two orders in which the hops can occur) and `ΔW` the
+//! total free-energy change. Summing forward and backward rates yields
+//! the textbook cotunneling current
+//! `I = ħ/(12π e² R₁R₂)(1/ε₁+1/ε₂)²[(eV)² + (2πkT)²]·V`, i.e. `I ∝ V³`
+//! at zero temperature — the property the validation benches check.
+//!
+//! **Coexistence principle** (Fonseca et al.): the second-order formula
+//! diverges when an intermediate state becomes energetically allowed
+//! (`ε ≤ 0`); in that regime sequential tunneling dominates anyway, so
+//! such paths contribute zero cotunneling rate.
+
+use crate::circuit::Circuit;
+use crate::constants::{E_CHARGE, HBAR};
+use crate::energy::{delta_w, CircuitState};
+use crate::events::CotunnelPath;
+
+/// The thermal kernel `(−ΔW)/(1 − e^{ΔW/kT}) = kT·x/(eˣ−1)`, shared
+/// with the orthodox rate.
+#[inline]
+fn thermal_kernel(dw: f64, kt: f64) -> f64 {
+    if kt <= 0.0 {
+        (-dw).max(0.0)
+    } else {
+        kt * semsim_quad::occupancy_factor(dw / kt)
+    }
+}
+
+/// Inelastic cotunneling rate (1/s) for a directed path, given the total
+/// free-energy change `dw_total` (J), the two virtual intermediate
+/// energies `eps1`, `eps2` (J), the thermal energy `kt` (J) and the two
+/// junction resistances (Ω).
+///
+/// Returns 0 when either intermediate state is allowed (`ε ≤ 0`), per
+/// the coexistence principle.
+///
+/// # Example
+///
+/// ```
+/// use semsim_core::cotunnel::cotunnel_rate;
+/// use semsim_core::constants::E_CHARGE;
+///
+/// let ec = 1e-3 * E_CHARGE; // 1 meV intermediate cost
+/// let dw = -0.1e-3 * E_CHARGE; // slightly downhill overall
+/// let g = cotunnel_rate(dw, ec, ec, 0.0, 1e6, 1e6);
+/// assert!(g > 0.0);
+/// // Forbidden intermediate → sequential channel open → no cotunneling.
+/// assert_eq!(cotunnel_rate(dw, -ec, ec, 0.0, 1e6, 1e6), 0.0);
+/// ```
+#[inline]
+pub fn cotunnel_rate(dw_total: f64, eps1: f64, eps2: f64, kt: f64, r1: f64, r2: f64) -> f64 {
+    if eps1 <= 0.0 || eps2 <= 0.0 {
+        return 0.0;
+    }
+    let e4 = E_CHARGE * E_CHARGE * E_CHARGE * E_CHARGE;
+    let prefactor = HBAR / (12.0 * std::f64::consts::PI * e4 * r1 * r2);
+    let amp = 1.0 / eps1 + 1.0 / eps2;
+    let broadening = dw_total * dw_total + (2.0 * std::f64::consts::PI * kt).powi(2);
+    prefactor * amp * amp * broadening * thermal_kernel(dw_total, kt)
+}
+
+/// Evaluates the cotunneling rate of `path` from the current state.
+///
+/// `ε₁` is the cost of hopping `from → via` first; `ε₂` the cost of
+/// hopping `via → to` first (the other time-ordering). Both are
+/// evaluated from the *initial* state.
+pub fn path_rate(circuit: &Circuit, state: &CircuitState, path: &CotunnelPath, kt: f64) -> f64 {
+    let eps1 = delta_w(circuit, state, path.from, path.via, 1);
+    let eps2 = delta_w(circuit, state, path.via, path.to, 1);
+    let dw_total = delta_w(circuit, state, path.from, path.to, 1);
+    let r1 = circuit.junction(path.junction_a).resistance;
+    let r2 = circuit.junction(path.junction_b).resistance;
+    cotunnel_rate(dw_total, eps1, eps2, kt, r1, r2)
+}
+
+/// Analytic inelastic cotunneling current (A) through a symmetric
+/// two-junction device at bias `v`, used by the validation bench and the
+/// tests: `I = ħ/(12π e² R₁R₂)(1/ε₁+1/ε₂)²[(eV)² + (2πkT)²]·V`.
+///
+/// `eps1`/`eps2` are evaluated at zero bias (a good approximation deep
+/// in blockade at small bias).
+pub fn analytic_cotunnel_current(
+    v: f64,
+    eps1: f64,
+    eps2: f64,
+    kt: f64,
+    r1: f64,
+    r2: f64,
+) -> f64 {
+    let amp = 1.0 / eps1 + 1.0 / eps2;
+    let prefactor = HBAR / (12.0 * std::f64::consts::PI * E_CHARGE * E_CHARGE * r1 * r2);
+    let ev = E_CHARGE * v;
+    prefactor * amp * amp * (ev * ev + (2.0 * std::f64::consts::PI * kt).powi(2)) * v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{CircuitBuilder, NodeId};
+    use crate::constants::K_B;
+    use crate::events::enumerate_cotunnel_paths;
+
+    #[test]
+    fn rate_nonnegative_and_zero_when_uphill_at_t0() {
+        let ec = 1e-22;
+        assert_eq!(cotunnel_rate(1e-23, ec, ec, 0.0, 1e6, 1e6), 0.0);
+        assert!(cotunnel_rate(-1e-23, ec, ec, 0.0, 1e6, 1e6) > 0.0);
+    }
+
+    #[test]
+    fn detailed_balance() {
+        let ec = 2e-22;
+        let kt = K_B * 0.3;
+        let dw = 4e-23;
+        let fw = cotunnel_rate(dw, ec, ec, kt, 1e6, 1e6);
+        let bw = cotunnel_rate(-dw, ec, ec, kt, 1e6, 1e6);
+        let ratio = fw / bw;
+        let expected = (-dw / kt).exp();
+        assert!((ratio - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn current_cubic_in_voltage_at_zero_temperature() {
+        // Net rate difference ∝ V³ at T=0.
+        let ec = 5e-22;
+        let net = |v: f64| {
+            let dw = -E_CHARGE * v;
+            cotunnel_rate(dw, ec, ec, 0.0, 1e6, 1e6)
+                - cotunnel_rate(-dw, ec, ec, 0.0, 1e6, 1e6)
+        };
+        let i1 = net(1e-4);
+        let i2 = net(2e-4);
+        assert!((i2 / i1 - 8.0).abs() < 1e-6, "{}", i2 / i1);
+    }
+
+    #[test]
+    fn net_rate_matches_analytic_current() {
+        let ec = 5e-22;
+        let kt = K_B * 0.1;
+        let v = 2e-4;
+        let dw = -E_CHARGE * v;
+        let net = cotunnel_rate(dw, ec, ec, kt, 1e6, 1e6)
+            - cotunnel_rate(-dw, ec, ec, kt, 1e6, 1e6);
+        let i_mc = E_CHARGE * net;
+        let i_an = analytic_cotunnel_current(v, ec, ec, kt, 1e6, 1e6);
+        assert!(
+            (i_mc - i_an).abs() < 1e-9 * i_an.abs(),
+            "{i_mc} vs {i_an}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_intermediate_energies() {
+        let g_sym = cotunnel_rate(-1e-23, 1e-22, 1e-22, 0.0, 1e6, 1e6);
+        let g_asym = cotunnel_rate(-1e-23, 5e-23, 1e-21, 0.0, 1e6, 1e6);
+        // (1/ε₁+1/ε₂)² with one small ε is larger than the symmetric case
+        // with the same geometric mean scale.
+        assert!(g_asym > g_sym);
+    }
+
+    #[test]
+    fn path_rate_in_blockaded_set() {
+        // SET biased inside the blockade: sequential rates are zero at
+        // T=0 but the cotunneling path rate must be positive.
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(2e-3);
+        let drn = b.add_lead(-2e-3);
+        let island = b.add_island();
+        b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+        b.add_capacitor(NodeId::GROUND, island, 3e-18).unwrap();
+        let c = b.build().unwrap();
+        let mut s = CircuitState::new(&c);
+        s.recompute_potentials(&c);
+
+        let paths = enumerate_cotunnel_paths(&c);
+        // Electrons flow toward the positive terminal: the conducting
+        // cotunneling direction is drn (−2 mV) → src (+2 mV).
+        let p = paths
+            .iter()
+            .find(|p| p.from == drn && p.to == src)
+            .expect("path exists");
+        // Sequential first hop is uphill (blockade)...
+        assert!(delta_w(&c, &s, drn, island, 1) > 0.0);
+        // ...but the cotunneling rate is finite.
+        assert!(path_rate(&c, &s, p, 0.0) > 0.0);
+        // And the reverse path is zero at T=0 (uphill overall).
+        let rev = paths
+            .iter()
+            .find(|p| p.from == src && p.to == drn)
+            .expect("reverse path exists");
+        assert_eq!(path_rate(&c, &s, rev, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,979 @@
+//! The Monte Carlo engine (paper Fig. 3): event-driven kinetic Monte
+//! Carlo over the circuit's tunnel events, with stimuli, probes, and
+//! sweep drivers.
+//!
+//! Each iteration: (1) the chosen solver refreshes first-order rates
+//! (adaptively or not), and cotunneling / Cooper-pair rates are
+//! recomputed non-adaptively when enabled; (2) the event solver draws
+//! the waiting time `Δt = −ln(r)/Γ_sum` (paper Eq. 5) and picks one
+//! event with probability proportional to its rate; (3) the event is
+//! applied and observables are recorded.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::{Circuit, JunctionId, NodeId};
+use crate::constants::{thermal_energy, E_CHARGE};
+use crate::cotunnel::path_rate;
+use crate::energy::{delta_w, CircuitState};
+use crate::events::{enumerate_cotunnel_paths, CotunnelPath, Event, RateLayout, SlotKind};
+use crate::fenwick::FenwickTree;
+use crate::solver::{
+    AdaptiveSolver, AdaptiveStats, NonAdaptiveSolver, Solver, SolverContext, StateChange,
+    TunnelModel,
+};
+use crate::superconduct::{
+    cooper_pair_rate, gap_at, josephson_energy, QpRateTable, SuperconductingParams,
+};
+use crate::trace::{EventLog, Probe};
+use crate::CoreError;
+
+/// Which rate solver drives the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverSpec {
+    /// Conventional full recalculation each event (accuracy reference).
+    NonAdaptive,
+    /// The paper's adaptive Algorithm 1.
+    Adaptive {
+        /// Testing threshold θ (typically 0.01–0.3).
+        threshold: f64,
+        /// Full-refresh period in events.
+        refresh_interval: u64,
+    },
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        SolverSpec::NonAdaptive
+    }
+}
+
+/// Simulation configuration.
+///
+/// # Example
+///
+/// ```
+/// use semsim_core::engine::{SimConfig, SolverSpec};
+///
+/// let cfg = SimConfig::new(5.0)
+///     .with_seed(42)
+///     .with_solver(SolverSpec::Adaptive { threshold: 0.05, refresh_interval: 500 })
+///     .with_cotunneling(true);
+/// assert_eq!(cfg.temperature, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Temperature (K).
+    pub temperature: f64,
+    /// Rate solver.
+    pub solver: SolverSpec,
+    /// Include second-order inelastic cotunneling.
+    pub cotunneling: bool,
+    /// Superconducting circuit parameters (quasi-particle + Cooper-pair
+    /// transport instead of normal tunneling).
+    pub superconducting: Option<SuperconductingParams>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional override of the quasi-particle table's `|ΔW|` range (J).
+    pub qp_table_range: Option<f64>,
+    /// Optional pre-built quasi-particle rate table, shared across many
+    /// simulations of the same (gap, temperature) — e.g. every point of
+    /// the Fig. 5 map. Must have been built for the same gap and
+    /// thermal energy this configuration implies (checked at
+    /// [`Simulation::new`]).
+    pub qp_table: Option<QpRateTable>,
+}
+
+impl SimConfig {
+    /// Configuration at `temperature` kelvin with the non-adaptive
+    /// solver, no secondary effects, seed 0.
+    pub fn new(temperature: f64) -> Self {
+        SimConfig {
+            temperature,
+            solver: SolverSpec::default(),
+            cotunneling: false,
+            superconducting: None,
+            seed: 0,
+            qp_table_range: None,
+            qp_table: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the solver.
+    pub fn with_solver(mut self, solver: SolverSpec) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Enables or disables cotunneling.
+    pub fn with_cotunneling(mut self, on: bool) -> Self {
+        self.cotunneling = on;
+        self
+    }
+
+    /// Makes the circuit superconducting.
+    pub fn with_superconducting(mut self, params: SuperconductingParams) -> Self {
+        self.superconducting = Some(params);
+        self
+    }
+
+    /// Overrides the quasi-particle rate table's `|ΔW|` range (J).
+    pub fn with_qp_table_range(mut self, w_max: f64) -> Self {
+        self.qp_table_range = Some(w_max);
+        self
+    }
+
+    /// Supplies a pre-built quasi-particle rate table (see
+    /// [`SimConfig::qp_table`]).
+    pub fn with_qp_table(mut self, table: QpRateTable) -> Self {
+        self.qp_table = Some(table);
+        self
+    }
+}
+
+/// How long to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunLength {
+    /// A fixed number of tunnel events (the paper's `jumps`).
+    Events(u64),
+    /// A fixed span of simulated time (s).
+    Time(f64),
+}
+
+/// A scheduled input-voltage step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stimulus {
+    /// Simulated time of the step (s).
+    pub time: f64,
+    /// Lead to step.
+    pub lead: usize,
+    /// New voltage (V).
+    pub voltage: f64,
+}
+
+/// Results of one [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Simulated time covered by the run (s).
+    pub duration: f64,
+    /// Tunnel events executed.
+    pub events: u64,
+    /// Net electrons transferred `node_a → node_b` per junction.
+    pub electron_counts: Vec<f64>,
+    /// Probe traces accumulated so far (cloned at the end of the run).
+    pub probes: Vec<Probe>,
+    /// Adaptive solver statistics (if the adaptive solver ran).
+    pub adaptive_stats: Option<AdaptiveStats>,
+    /// Total first-order rate recalculations during the run.
+    pub rate_recalcs: u64,
+}
+
+impl Record {
+    /// Time-averaged conventional current (A) through `junction` in the
+    /// `node_a → node_b` direction: electrons carry `−e`, so a net
+    /// electron flow `a → b` is a conventional current `b → a`.
+    pub fn current(&self, junction: JunctionId) -> f64 {
+        if self.duration <= 0.0 {
+            return 0.0;
+        }
+        -E_CHARGE * self.electron_counts[junction.index()] / self.duration
+    }
+}
+
+/// Superconducting run-time data derived from the circuit.
+#[derive(Debug)]
+struct SuperInfo {
+    /// Gap at the operating temperature (J); exposed for diagnostics.
+    #[allow(dead_code)]
+    gap: f64,
+    /// Josephson energy per junction (J).
+    ej: Vec<f64>,
+    /// Cooper-pair lifetime broadening per junction (1/s).
+    gamma: Vec<f64>,
+}
+
+/// A running Monte Carlo simulation of one circuit.
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct Simulation<'c> {
+    circuit: &'c Circuit,
+    kt: f64,
+    model: TunnelModel,
+    layout: RateLayout,
+    solver: Solver,
+    state: CircuitState,
+    rates: FenwickTree,
+    cot_paths: Vec<CotunnelPath>,
+    super_info: Option<SuperInfo>,
+    rng: StdRng,
+    time: f64,
+    total_events: u64,
+    electron_counts: Vec<f64>,
+    probes: Vec<Probe>,
+    event_log: Option<EventLog>,
+    /// Pending stimuli sorted by time (ascending); consumed front-first.
+    stimuli: Vec<Stimulus>,
+    next_stimulus: usize,
+}
+
+impl<'c> Simulation<'c> {
+    /// Builds a simulation of `circuit` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid temperature or
+    /// solver parameters.
+    pub fn new(circuit: &'c Circuit, config: SimConfig) -> Result<Self, CoreError> {
+        if !(config.temperature >= 0.0) || !config.temperature.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: "temperature",
+                value: config.temperature,
+            });
+        }
+        let kt = thermal_energy(config.temperature);
+
+        let (model, super_info) = match &config.superconducting {
+            None => (TunnelModel::Normal, None),
+            Some(params) => {
+                let gap = gap_at(params, config.temperature);
+                let w_max = config.qp_table_range.unwrap_or_else(|| {
+                    let v_scale = circuit
+                        .initial_lead_voltages()
+                        .iter()
+                        .fold(10e-3_f64, |m, v| m.max(v.abs()));
+                    let ec_max = (0..circuit.num_islands())
+                        .map(|i| {
+                            0.5 * E_CHARGE * E_CHARGE * circuit.inverse_capacitance().get(i, i)
+                        })
+                        .fold(0.0_f64, f64::max);
+                    4.0 * gap + 40.0 * kt + 8.0 * ec_max + 4.0 * E_CHARGE * v_scale
+                });
+                let table = match &config.qp_table {
+                    Some(t) => {
+                        if (t.gap() - gap).abs() > 1e-6 * gap.max(1e-30)
+                            || (t.thermal_energy() - kt).abs() > 1e-6 * kt.max(1e-30)
+                        {
+                            return Err(CoreError::InvalidConfig {
+                                what: "cached qp table gap/temperature mismatch",
+                                value: t.gap(),
+                            });
+                        }
+                        t.clone()
+                    }
+                    None => QpRateTable::build(gap, kt, w_max)?,
+                };
+                let ej: Vec<f64> = circuit
+                    .junctions()
+                    .iter()
+                    .map(|j| josephson_energy(j.resistance, gap, kt))
+                    .collect();
+                let gamma: Vec<f64> = circuit
+                    .junctions()
+                    .iter()
+                    .map(|j| {
+                        params
+                            .broadening
+                            .unwrap_or(gap / (E_CHARGE * E_CHARGE * j.resistance))
+                    })
+                    .collect();
+                (
+                    TunnelModel::Quasiparticle(table),
+                    Some(SuperInfo { gap, ej, gamma }),
+                )
+            }
+        };
+
+        let cot_paths = if config.cotunneling {
+            enumerate_cotunnel_paths(circuit)
+        } else {
+            Vec::new()
+        };
+        let layout = RateLayout {
+            junctions: circuit.num_junctions(),
+            cotunnel_paths: cot_paths.len(),
+            cooper_pairs: super_info.is_some(),
+        };
+
+        let solver = match config.solver {
+            SolverSpec::NonAdaptive => Solver::NonAdaptive(NonAdaptiveSolver::new()),
+            SolverSpec::Adaptive {
+                threshold,
+                refresh_interval,
+            } => {
+                if !(threshold >= 0.0) || !threshold.is_finite() {
+                    return Err(CoreError::InvalidConfig {
+                        what: "adaptive threshold",
+                        value: threshold,
+                    });
+                }
+                if refresh_interval == 0 {
+                    return Err(CoreError::InvalidConfig {
+                        what: "adaptive refresh interval",
+                        value: 0.0,
+                    });
+                }
+                Solver::Adaptive(AdaptiveSolver::new(circuit, threshold, refresh_interval))
+            }
+        };
+
+        let mut sim = Simulation {
+            circuit,
+            kt,
+            model,
+            layout,
+            solver,
+            state: CircuitState::new(circuit),
+            rates: FenwickTree::new(layout.len()),
+            cot_paths,
+            super_info,
+            rng: StdRng::seed_from_u64(config.seed),
+            time: 0.0,
+            total_events: 0,
+            electron_counts: vec![0.0; circuit.num_junctions()],
+            probes: Vec::new(),
+            event_log: None,
+            stimuli: Vec::new(),
+            next_stimulus: 0,
+        };
+        sim.initialize();
+        Ok(sim)
+    }
+
+    fn initialize(&mut self) {
+        let ctx = SolverContext {
+            circuit: self.circuit,
+            kt: self.kt,
+            model: &self.model,
+            layout: self.layout,
+        };
+        self.solver.initialize(&ctx, &mut self.state, &mut self.rates);
+        drop(ctx);
+        self.refresh_secondary_rates();
+    }
+
+    /// Simulated time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total tunnel events executed since construction.
+    pub fn events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// The electrostatic state (electron numbers, lead voltages,
+    /// cached potentials).
+    pub fn state(&self) -> &CircuitState {
+        &self.state
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Immediately sets `lead` to `voltage`, updating rates through the
+    /// solver (counts as an input step for the adaptive algorithm).
+    pub fn set_lead_voltage(&mut self, lead: usize, voltage: f64) -> Result<(), CoreError> {
+        if lead >= self.circuit.num_leads() {
+            return Err(CoreError::UnknownLead { lead });
+        }
+        let old = self.state.set_lead_voltage(lead, voltage);
+        let dv = voltage - old;
+        if dv != 0.0 {
+            let ctx = SolverContext {
+                circuit: self.circuit,
+                kt: self.kt,
+                model: &self.model,
+                layout: self.layout,
+            };
+            self.solver.apply_change(
+                &ctx,
+                &mut self.state,
+                &mut self.rates,
+                StateChange::LeadStep { lead, dv },
+            );
+            drop(ctx);
+            self.refresh_secondary_rates();
+        }
+        Ok(())
+    }
+
+    /// Schedules input steps for subsequent runs. Stimuli are sorted by
+    /// time; times must be ≥ the current simulated time.
+    pub fn schedule(&mut self, mut stimuli: Vec<Stimulus>) {
+        stimuli.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite stimulus times"));
+        self.stimuli = stimuli;
+        self.next_stimulus = 0;
+    }
+
+    /// Attaches a voltage probe to `node`, sampled every `every` events;
+    /// returns its index into [`Record::probes`].
+    pub fn add_probe(&mut self, node: NodeId, every: u64) -> usize {
+        self.probes.push(Probe::new(node, every));
+        self.probes.len() - 1
+    }
+
+    /// Enables event logging with the given capacity (most recent
+    /// events are kept).
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.event_log = Some(EventLog::new(capacity));
+    }
+
+    /// The event log, if enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.event_log.as_ref()
+    }
+
+    /// Exact potential (V) of any node right now (lazily refreshing the
+    /// adaptive solver's cache if needed).
+    pub fn node_potential(&mut self, node: NodeId) -> f64 {
+        if let Some(island) = self.circuit.island_index(node) {
+            let ctx = SolverContext {
+                circuit: self.circuit,
+                kt: self.kt,
+                model: &self.model,
+                layout: self.layout,
+            };
+            self.solver
+                .ensure_island_potential(&ctx, &mut self.state, island);
+        }
+        self.state.potential(self.circuit, node)
+    }
+
+    /// Recomputes cotunneling and Cooper-pair rates non-adaptively (the
+    /// paper's "non-adaptive solver" box in Fig. 3).
+    fn refresh_secondary_rates(&mut self) {
+        if self.cot_paths.is_empty() && self.super_info.is_none() {
+            return;
+        }
+        // The adaptive solver's cached potentials may be stale for the
+        // involved islands; refresh them first.
+        let ctx = SolverContext {
+            circuit: self.circuit,
+            kt: self.kt,
+            model: &self.model,
+            layout: self.layout,
+        };
+        for p in 0..self.cot_paths.len() {
+            let path = self.cot_paths[p];
+            for node in [path.from, path.via, path.to] {
+                if let Some(i) = self.circuit.island_index(node) {
+                    self.solver.ensure_island_potential(&ctx, &mut self.state, i);
+                }
+            }
+            let g = path_rate(self.circuit, &self.state, &path, self.kt);
+            self.rates.set(self.layout.cotunnel_slot(p), g);
+        }
+        if let Some(info) = &self.super_info {
+            for j in self.circuit.junction_ids() {
+                let junction = *self.circuit.junction(j);
+                for node in [junction.node_a, junction.node_b] {
+                    if let Some(i) = self.circuit.island_index(node) {
+                        self.solver.ensure_island_potential(&ctx, &mut self.state, i);
+                    }
+                }
+                let ej = info.ej[j.index()];
+                let gamma = info.gamma[j.index()];
+                let dw_fw = delta_w(self.circuit, &self.state, junction.node_a, junction.node_b, 2);
+                let dw_bw = delta_w(self.circuit, &self.state, junction.node_b, junction.node_a, 2);
+                self.rates
+                    .set(self.layout.cooper_slot(j, true), cooper_pair_rate(dw_fw, ej, gamma));
+                self.rates
+                    .set(self.layout.cooper_slot(j, false), cooper_pair_rate(dw_bw, ej, gamma));
+            }
+        }
+    }
+
+    /// Applies any stimulus scheduled at or before `self.time`.
+    fn apply_due_stimuli(&mut self) {
+        while self.next_stimulus < self.stimuli.len()
+            && self.stimuli[self.next_stimulus].time <= self.time
+        {
+            let s = self.stimuli[self.next_stimulus];
+            self.next_stimulus += 1;
+            // set_lead_voltage cannot fail here: lead indices were the
+            // caller's responsibility at schedule time; invalid ones are
+            // skipped rather than corrupting the run.
+            let _ = self.set_lead_voltage(s.lead, s.voltage);
+            self.sample_probes(true);
+        }
+    }
+
+    fn sample_probes(&mut self, force: bool) {
+        if self.probes.is_empty() {
+            return;
+        }
+        let t = self.time;
+        let ev = self.total_events;
+        for p in 0..self.probes.len() {
+            let due = force || ev % self.probes[p].every == 0;
+            if due {
+                let node = self.probes[p].node;
+                let v = self.node_potential(node);
+                self.probes[p].push(t, v);
+            }
+        }
+    }
+
+    fn decode_event(&self, slot: usize) -> Event {
+        match self.layout.decode(slot) {
+            SlotKind::Tunnel { junction, forward } => {
+                let j = self.circuit.junction(junction);
+                let (from, to) = if forward {
+                    (j.node_a, j.node_b)
+                } else {
+                    (j.node_b, j.node_a)
+                };
+                Event::Tunnel { junction, from, to }
+            }
+            SlotKind::Cotunnel { path } => {
+                let p = self.cot_paths[path];
+                Event::Cotunnel {
+                    junction_a: p.junction_a,
+                    junction_b: p.junction_b,
+                    from: p.from,
+                    via: p.via,
+                    to: p.to,
+                }
+            }
+            SlotKind::CooperPair { junction, forward } => {
+                let j = self.circuit.junction(junction);
+                let (from, to) = if forward {
+                    (j.node_a, j.node_b)
+                } else {
+                    (j.node_b, j.node_a)
+                };
+                Event::CooperPair { junction, from, to }
+            }
+        }
+    }
+
+    /// Signed electron count `node_a → node_b` bookkeeping.
+    fn count_transfer(&mut self, junction: JunctionId, from: NodeId, electrons: f64) {
+        let j = self.circuit.junction(junction);
+        let sign = if from == j.node_a { 1.0 } else { -1.0 };
+        self.electron_counts[junction.index()] += sign * electrons;
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        let (from, to) = event.endpoints();
+        let count = event.electron_count();
+        self.state.apply_transfer(self.circuit, from, to, count);
+        match event {
+            Event::Tunnel { junction, from, .. } => {
+                self.count_transfer(junction, from, 1.0);
+            }
+            Event::CooperPair { junction, from, .. } => {
+                self.count_transfer(junction, from, 2.0);
+            }
+            Event::Cotunnel {
+                junction_a,
+                junction_b,
+                from,
+                via,
+                ..
+            } => {
+                self.count_transfer(junction_a, from, 1.0);
+                self.count_transfer(junction_b, via, 1.0);
+            }
+        }
+        let ctx = SolverContext {
+            circuit: self.circuit,
+            kt: self.kt,
+            model: &self.model,
+            layout: self.layout,
+        };
+        self.solver.apply_change(
+            &ctx,
+            &mut self.state,
+            &mut self.rates,
+            StateChange::Transfer { from, to, count },
+        );
+        drop(ctx);
+        self.refresh_secondary_rates();
+        self.total_events += 1;
+        if let Some(log) = &mut self.event_log {
+            log.push(self.time, event);
+        }
+        self.sample_probes(false);
+    }
+
+    /// Runs the Monte Carlo loop for `length`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BlockadeStall`] if every rate is zero, no
+    /// stimulus is pending, and the requested length is event-counted
+    /// (with [`RunLength::Time`] the remaining span simply elapses
+    /// without transport, which is physically meaningful).
+    pub fn run(&mut self, length: RunLength) -> Result<Record, CoreError> {
+        let t_start = self.time;
+        let ev_start = self.total_events;
+        let counts_start = self.electron_counts.clone();
+        let recalcs_start = self.solver.rate_recalcs();
+
+        self.apply_due_stimuli();
+
+        loop {
+            match length {
+                RunLength::Events(n) => {
+                    if self.total_events - ev_start >= n {
+                        break;
+                    }
+                }
+                RunLength::Time(t) => {
+                    if self.time - t_start >= t {
+                        break;
+                    }
+                }
+            }
+
+            let total = self.rates.total();
+            let next_stim_time = self
+                .stimuli
+                .get(self.next_stimulus)
+                .map(|s| s.time.max(self.time));
+
+            if !(total > 0.0) {
+                // Frozen: jump to the next stimulus or the end of a
+                // timed run.
+                match (next_stim_time, length) {
+                    (Some(ts), RunLength::Time(t)) if ts <= t_start + t => {
+                        self.time = ts;
+                        self.apply_due_stimuli();
+                        continue;
+                    }
+                    (Some(ts), RunLength::Events(_)) => {
+                        self.time = ts;
+                        self.apply_due_stimuli();
+                        continue;
+                    }
+                    (_, RunLength::Time(t)) => {
+                        self.time = t_start + t;
+                        break;
+                    }
+                    (None, RunLength::Events(_)) => {
+                        return Err(CoreError::BlockadeStall { time: self.time });
+                    }
+                }
+            }
+
+            // Waiting time (paper Eq. 5): Δt = −ln(r)/Γ_sum.
+            let u: f64 = self.rng.gen();
+            let dt = -(1.0 - u).ln() / total;
+            let t_next = self.time + dt;
+
+            // An input step pre-empts the tunnel event (the Poisson
+            // process is memoryless, so redrawing afterwards is exact).
+            if let Some(ts) = next_stim_time {
+                if ts <= t_next {
+                    self.time = ts;
+                    self.apply_due_stimuli();
+                    continue;
+                }
+            }
+            // For timed runs, do not overshoot the horizon.
+            if let RunLength::Time(t) = length {
+                if t_next > t_start + t {
+                    self.time = t_start + t;
+                    break;
+                }
+            }
+
+            self.time = t_next;
+            let u2: f64 = self.rng.gen();
+            let slot = self.rates.sample(u2).expect("total is positive");
+            let event = self.decode_event(slot);
+            self.apply_event(event);
+        }
+
+        Ok(Record {
+            duration: self.time - t_start,
+            events: self.total_events - ev_start,
+            electron_counts: self
+                .electron_counts
+                .iter()
+                .zip(&counts_start)
+                .map(|(a, b)| a - b)
+                .collect(),
+            probes: self.probes.clone(),
+            adaptive_stats: self.solver.adaptive_stats().copied(),
+            rate_recalcs: self.solver.rate_recalcs() - recalcs_start,
+        })
+    }
+}
+
+/// One point of a current–voltage sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Swept control value (V).
+    pub control: f64,
+    /// Measured time-averaged current (A).
+    pub current: f64,
+}
+
+/// Sweeps a control variable, building a fresh simulation per point.
+///
+/// `setup(sim, x)` applies the control value (e.g. sets bias leads);
+/// `warmup` events are discarded before `events` measured events. The
+/// current is measured through `junction`.
+///
+/// Points where the device is fully blockaded (zero total rate, which
+/// [`Simulation::run`] reports as a stall) record zero current — that is
+/// the physically correct reading for a Coulomb-blockaded device at the
+/// measurement precision of a finite run.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`Simulation::new`].
+pub fn sweep<F>(
+    circuit: &Circuit,
+    config: &SimConfig,
+    junction: JunctionId,
+    controls: &[f64],
+    warmup: u64,
+    events: u64,
+    mut setup: F,
+) -> Result<Vec<SweepPoint>, CoreError>
+where
+    F: FnMut(&mut Simulation<'_>, f64) -> Result<(), CoreError>,
+{
+    let mut out = Vec::with_capacity(controls.len());
+    for (i, &x) in controls.iter().enumerate() {
+        let cfg = config.clone().with_seed(config.seed.wrapping_add(i as u64));
+        let mut sim = Simulation::new(circuit, cfg)?;
+        setup(&mut sim, x)?;
+        let warm = sim.run(RunLength::Events(warmup));
+        let current = match warm {
+            Err(CoreError::BlockadeStall { .. }) => 0.0,
+            Err(e) => return Err(e),
+            Ok(_) => match sim.run(RunLength::Events(events)) {
+                Err(CoreError::BlockadeStall { .. }) => 0.0,
+                Err(e) => return Err(e),
+                Ok(record) => record.current(junction),
+            },
+        };
+        out.push(SweepPoint { control: x, current });
+    }
+    Ok(out)
+}
+
+/// Builds an inclusive linear grid of `n ≥ 2` points from `a` to `b`.
+///
+/// # Example
+///
+/// ```
+/// let g = semsim_core::engine::linspace(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    if n < 2 {
+        return vec![a];
+    }
+    (0..n)
+        .map(|i| a + (b - a) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::circuit::NodeId;
+
+    /// The paper's Fig. 1b SET with symmetric bias ±v/2 on leads 1, 2.
+    fn paper_set() -> (Circuit, JunctionId, JunctionId) {
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(0.0);
+        let drn = b.add_lead(0.0);
+        let gate = b.add_lead(0.0);
+        let island = b.add_island();
+        let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        let j2 = b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+        b.add_capacitor(gate, island, 3e-18).unwrap();
+        (b.build().unwrap(), j1, j2)
+    }
+
+    #[test]
+    fn blockade_suppresses_current_at_low_temperature() {
+        let (c, j1, _) = paper_set();
+        // e/CΣ = 32 mV; at ±5 mV bias and 10 mK the SET is blockaded.
+        let cfg = SimConfig::new(0.01).with_seed(1);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.set_lead_voltage(1, 2.5e-3).unwrap();
+        sim.set_lead_voltage(2, -2.5e-3).unwrap();
+        let res = sim.run(RunLength::Events(100));
+        assert!(matches!(res, Err(CoreError::BlockadeStall { .. })));
+    }
+
+    #[test]
+    fn conduction_above_threshold() {
+        let (c, j1, j2) = paper_set();
+        let cfg = SimConfig::new(0.01).with_seed(1);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        // Above e/CΣ = 32 mV the SET conducts even at T ≈ 0.
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        let r = sim.run(RunLength::Events(5000)).unwrap();
+        let i1 = r.current(j1);
+        let i2 = r.current(j2);
+        assert!(i1 > 0.0, "positive current source→drain, got {i1}");
+        // Current continuity: both junctions carry the same average
+        // current (within Monte Carlo noise: counts differ by ≤ 1).
+        assert!((i1 - i2).abs() / i1 < 0.01, "{i1} vs {i2}");
+        // Ohmic scale sanity: I < V/(R1+R2).
+        assert!(i1 < 40e-3 / 2e6);
+    }
+
+    #[test]
+    fn timed_run_with_blockade_elapses_time() {
+        let (c, j1, _) = paper_set();
+        let cfg = SimConfig::new(0.0).with_seed(3);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        let r = sim.run(RunLength::Time(1e-6)).unwrap();
+        assert!((r.duration - 1e-6).abs() < 1e-12);
+        assert_eq!(r.events, 0);
+        assert_eq!(r.current(j1), 0.0);
+    }
+
+    #[test]
+    fn stimulus_wakes_blockaded_circuit() {
+        let (c, j1, _) = paper_set();
+        let cfg = SimConfig::new(0.01).with_seed(4);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.schedule(vec![
+            Stimulus { time: 1e-7, lead: 1, voltage: 25e-3 },
+            Stimulus { time: 1e-7, lead: 2, voltage: -25e-3 },
+        ]);
+        let r = sim.run(RunLength::Time(1e-6)).unwrap();
+        assert!(r.events > 0, "stimulus should unfreeze the device");
+        assert!(r.current(j1) > 0.0);
+    }
+
+    #[test]
+    fn adaptive_and_nonadaptive_currents_agree() {
+        let (c, j1, _) = paper_set();
+        let bias = 25e-3;
+        let run = |spec: SolverSpec| {
+            let cfg = SimConfig::new(5.0).with_seed(11).with_solver(spec);
+            let mut sim = Simulation::new(&c, cfg).unwrap();
+            sim.set_lead_voltage(1, bias).unwrap();
+            sim.set_lead_voltage(2, -bias).unwrap();
+            sim.run(RunLength::Events(30_000)).unwrap().current(j1)
+        };
+        let i_ref = run(SolverSpec::NonAdaptive);
+        let i_adp = run(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 500,
+        });
+        let err = (i_adp - i_ref).abs() / i_ref.abs();
+        assert!(err < 0.1, "adaptive {i_adp} vs non-adaptive {i_ref} ({err:.3})");
+    }
+
+    #[test]
+    fn adaptive_does_less_rate_work() {
+        // On a multi-stage circuit the adaptive solver must recalculate
+        // far fewer rates per event than the non-adaptive one.
+        let mut b = CircuitBuilder::new();
+        // e/CΣ ≈ 53 mV per stage island: 80 mV supply keeps stage 1
+        // conducting so the Monte Carlo loop has events to process.
+        let vdd = b.add_lead(80e-3);
+        let mut prev = vdd;
+        let mut first_j = None;
+        for s in 0..10 {
+            let isl = b.add_island();
+            let j = b.add_junction(prev, isl, 1e6, 1e-18).unwrap();
+            first_j.get_or_insert(j);
+            b.add_junction(isl, NodeId::GROUND, 1e6, 1e-18).unwrap();
+            let wire = b.add_island();
+            b.add_capacitor(isl, wire, 1e-18).unwrap();
+            b.add_capacitor(wire, NodeId::GROUND, 1e-15).unwrap();
+            let _ = s;
+            prev = wire;
+        }
+        let c = b.build().unwrap();
+
+        let run = |spec: SolverSpec| {
+            let cfg = SimConfig::new(5.0).with_seed(5).with_solver(spec);
+            let mut sim = Simulation::new(&c, cfg).unwrap();
+            sim.run(RunLength::Events(2_000)).unwrap().rate_recalcs
+        };
+        let non = run(SolverSpec::NonAdaptive);
+        let adp = run(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 1_000,
+        });
+        assert!(
+            adp * 3 < non,
+            "adaptive recalcs {adp} not ≪ non-adaptive {non}"
+        );
+    }
+
+    #[test]
+    fn sweep_records_blockade_as_zero() {
+        let (c, j1, _) = paper_set();
+        let cfg = SimConfig::new(0.01);
+        let pts = sweep(
+            &c,
+            &cfg,
+            j1,
+            &[1e-3, 40e-3],
+            100,
+            2_000,
+            |sim, v| {
+                sim.set_lead_voltage(1, v / 2.0)?;
+                sim.set_lead_voltage(2, -v / 2.0)
+            },
+        )
+        .unwrap();
+        assert_eq!(pts[0].current, 0.0, "blockaded point reads zero");
+        assert!(pts[1].current > 0.0);
+    }
+
+    #[test]
+    fn probes_capture_switching() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(5.0).with_seed(6);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        let island = c.island_node(0);
+        sim.add_probe(island, 1);
+        sim.set_lead_voltage(1, 25e-3).unwrap();
+        sim.set_lead_voltage(2, -25e-3).unwrap();
+        let r = sim.run(RunLength::Events(500)).unwrap();
+        assert!(!r.probes[0].samples().is_empty());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (c, _, _) = paper_set();
+        assert!(Simulation::new(&c, SimConfig::new(f64::NAN)).is_err());
+        assert!(Simulation::new(&c, SimConfig::new(-1.0)).is_err());
+        let bad = SimConfig::new(1.0).with_solver(SolverSpec::Adaptive {
+            threshold: f64::NAN,
+            refresh_interval: 10,
+        });
+        assert!(Simulation::new(&c, bad).is_err());
+        let bad2 = SimConfig::new(1.0).with_solver(SolverSpec::Adaptive {
+            threshold: 0.1,
+            refresh_interval: 0,
+        });
+        assert!(Simulation::new(&c, bad2).is_err());
+        let mut sim = Simulation::new(&c, SimConfig::new(1.0)).unwrap();
+        assert!(sim.set_lead_voltage(99, 0.0).is_err());
+    }
+
+    #[test]
+    fn linspace_shapes() {
+        assert_eq!(linspace(0.0, 1.0, 1), vec![0.0]);
+        let g = linspace(-1.0, 1.0, 3);
+        assert_eq!(g, vec![-1.0, 0.0, 1.0]);
+    }
+}

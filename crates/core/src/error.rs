@@ -1,0 +1,130 @@
+use std::error::Error;
+use std::fmt;
+
+use semsim_linalg::LinalgError;
+
+/// Errors produced by the SEMSIM core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A junction id referenced a junction that does not exist.
+    UnknownJunction {
+        /// The offending junction index.
+        junction: usize,
+    },
+    /// A lead id referenced a lead that does not exist.
+    UnknownLead {
+        /// The offending lead index.
+        lead: usize,
+    },
+    /// A component value was non-positive or non-finite.
+    InvalidComponent {
+        /// Description of the offending component parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Both endpoints of a two-terminal element were the same node.
+    SelfLoop {
+        /// The node connected to itself.
+        node: usize,
+    },
+    /// The circuit has no tunnel junctions, so no dynamics exist.
+    NoJunctions,
+    /// The island capacitance matrix was singular — an island is not
+    /// capacitively tied (even indirectly) to any lead or other island.
+    FloatingIsland(LinalgError),
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Every tunnel rate is zero and no stimulus is pending: the circuit
+    /// is frozen in Coulomb blockade and simulated time cannot advance.
+    BlockadeStall {
+        /// Simulated time at which the stall occurred (s).
+        time: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            CoreError::UnknownJunction { junction } => {
+                write!(f, "unknown junction {junction}")
+            }
+            CoreError::UnknownLead { lead } => write!(f, "unknown lead {lead}"),
+            CoreError::InvalidComponent { what, value } => {
+                write!(f, "invalid component value: {what} = {value}")
+            }
+            CoreError::SelfLoop { node } => {
+                write!(f, "element connects node {node} to itself")
+            }
+            CoreError::NoJunctions => write!(f, "circuit has no tunnel junctions"),
+            CoreError::FloatingIsland(e) => {
+                write!(f, "capacitance matrix is singular (floating island): {e}")
+            }
+            CoreError::InvalidConfig { what, value } => {
+                write!(f, "invalid configuration: {what} = {value}")
+            }
+            CoreError::BlockadeStall { time } => {
+                write!(
+                    f,
+                    "all tunnel rates are zero at t = {time:.3e} s (Coulomb blockade stall)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::FloatingIsland(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::FloatingIsland(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CoreError::UnknownNode { node: 3 }.to_string(), "unknown node 3");
+        assert_eq!(CoreError::NoJunctions.to_string(), "circuit has no tunnel junctions");
+        let e = CoreError::InvalidComponent {
+            what: "junction resistance",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "invalid component value: junction resistance = -1");
+    }
+
+    #[test]
+    fn source_chains_linalg_error() {
+        let e = CoreError::FloatingIsland(LinalgError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+        assert!(CoreError::NoJunctions.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

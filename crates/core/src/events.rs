@@ -1,0 +1,346 @@
+//! Tunnel event descriptions and the flat rate-table layout shared by
+//! the solvers and the event selector.
+
+use crate::circuit::{Circuit, JunctionId, NodeId};
+
+/// A concrete tunneling event chosen by the event solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A single electron (normal state) or quasi-particle
+    /// (superconducting state) tunnels through `junction`.
+    Tunnel {
+        /// The junction tunneled through.
+        junction: JunctionId,
+        /// Node the electron leaves.
+        from: NodeId,
+        /// Node the electron arrives at.
+        to: NodeId,
+    },
+    /// An inelastic cotunneling event through two junctions at once:
+    /// one electron moves from `from` to `to`, with `via` only virtually
+    /// occupied.
+    Cotunnel {
+        /// First junction of the path (touching `from`).
+        junction_a: JunctionId,
+        /// Second junction of the path (touching `to`).
+        junction_b: JunctionId,
+        /// Node the electron leaves.
+        from: NodeId,
+        /// Intermediate island (charge unchanged).
+        via: NodeId,
+        /// Node the electron arrives at.
+        to: NodeId,
+    },
+    /// A Cooper pair (2e) tunnels through `junction`.
+    CooperPair {
+        /// The junction tunneled through.
+        junction: JunctionId,
+        /// Node the pair leaves.
+        from: NodeId,
+        /// Node the pair arrives at.
+        to: NodeId,
+    },
+}
+
+impl Event {
+    /// Number of electrons transferred (1 for single/quasi-particle and
+    /// cotunneling, 2 for a Cooper pair).
+    pub fn electron_count(&self) -> i64 {
+        match self {
+            Event::CooperPair { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Source and destination nodes of the net charge transfer.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            Event::Tunnel { from, to, .. }
+            | Event::Cotunnel { from, to, .. }
+            | Event::CooperPair { from, to, .. } => (from, to),
+        }
+    }
+}
+
+/// A directed cotunneling path `from —j_a→ via —j_b→ to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CotunnelPath {
+    /// Junction between `from` and `via`.
+    pub junction_a: JunctionId,
+    /// Junction between `via` and `to`.
+    pub junction_b: JunctionId,
+    /// Start node.
+    pub from: NodeId,
+    /// Intermediate island.
+    pub via: NodeId,
+    /// End node.
+    pub to: NodeId,
+}
+
+/// Enumerates every directed second-order cotunneling path in the
+/// circuit: for each island, each ordered pair of distinct incident
+/// junctions, in both directions.
+///
+/// # Example
+///
+/// ```
+/// use semsim_core::circuit::CircuitBuilder;
+/// use semsim_core::events::enumerate_cotunnel_paths;
+///
+/// # fn main() -> Result<(), semsim_core::CoreError> {
+/// let mut b = CircuitBuilder::new();
+/// let s = b.add_lead(1e-3);
+/// let i = b.add_island();
+/// b.add_junction(s, i, 1e6, 1e-18)?;
+/// b.add_junction(i, semsim_core::circuit::NodeId::GROUND, 1e6, 1e-18)?;
+/// let c = b.build()?;
+/// // One island with two junctions → 2 directed paths.
+/// assert_eq!(enumerate_cotunnel_paths(&c).len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn enumerate_cotunnel_paths(circuit: &Circuit) -> Vec<CotunnelPath> {
+    let mut paths = Vec::new();
+    for island in 0..circuit.num_islands() {
+        let via = circuit.island_node(island);
+        let incident = circuit.junctions_at(via);
+        for (ai, &ja) in incident.iter().enumerate() {
+            for &jb in incident.iter().skip(ai + 1) {
+                let a = other_end(circuit, ja, via);
+                let b = other_end(circuit, jb, via);
+                if a == b {
+                    // Two parallel junctions between the same pair of
+                    // nodes: a "cotunneling" event would be a no-op.
+                    continue;
+                }
+                paths.push(CotunnelPath {
+                    junction_a: ja,
+                    junction_b: jb,
+                    from: a,
+                    via,
+                    to: b,
+                });
+                paths.push(CotunnelPath {
+                    junction_a: jb,
+                    junction_b: ja,
+                    from: b,
+                    via,
+                    to: a,
+                });
+            }
+        }
+    }
+    paths
+}
+
+fn other_end(circuit: &Circuit, j: JunctionId, node: NodeId) -> NodeId {
+    let junction = circuit.junction(j);
+    if junction.node_a == node {
+        junction.node_b
+    } else {
+        junction.node_a
+    }
+}
+
+/// Layout of the flat rate table used by the Fenwick tree.
+///
+/// Slots, in order:
+/// * `2·J` single-electron / quasi-particle slots — junction `j`
+///   direction `a→b` at `2j`, `b→a` at `2j+1`;
+/// * `P` cotunneling slots (one per directed path), if enabled;
+/// * `2·J` Cooper-pair slots, if superconducting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLayout {
+    /// Number of junctions.
+    pub junctions: usize,
+    /// Number of directed cotunneling paths (0 when disabled).
+    pub cotunnel_paths: usize,
+    /// Whether Cooper-pair slots exist.
+    pub cooper_pairs: bool,
+}
+
+impl RateLayout {
+    /// Total number of rate slots.
+    pub fn len(&self) -> usize {
+        2 * self.junctions
+            + self.cotunnel_paths
+            + if self.cooper_pairs { 2 * self.junctions } else { 0 }
+    }
+
+    /// `true` if the layout has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot of a single-electron/quasi-particle rate.
+    /// `forward` means the electron moves `node_a → node_b`.
+    #[inline]
+    pub fn tunnel_slot(&self, j: JunctionId, forward: bool) -> usize {
+        2 * j.index() + usize::from(!forward)
+    }
+
+    /// Slot of a cotunneling path rate.
+    #[inline]
+    pub fn cotunnel_slot(&self, path: usize) -> usize {
+        debug_assert!(path < self.cotunnel_paths);
+        2 * self.junctions + path
+    }
+
+    /// Slot of a Cooper-pair rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the layout has no Cooper-pair slots.
+    #[inline]
+    pub fn cooper_slot(&self, j: JunctionId, forward: bool) -> usize {
+        debug_assert!(self.cooper_pairs);
+        2 * self.junctions + self.cotunnel_paths + 2 * j.index() + usize::from(!forward)
+    }
+
+    /// Decodes a slot index back into an event category.
+    pub fn decode(&self, slot: usize) -> SlotKind {
+        let tunnel_end = 2 * self.junctions;
+        let cot_end = tunnel_end + self.cotunnel_paths;
+        if slot < tunnel_end {
+            SlotKind::Tunnel {
+                junction: JunctionId(slot / 2),
+                forward: slot % 2 == 0,
+            }
+        } else if slot < cot_end {
+            SlotKind::Cotunnel {
+                path: slot - tunnel_end,
+            }
+        } else {
+            let rel = slot - cot_end;
+            SlotKind::CooperPair {
+                junction: JunctionId(rel / 2),
+                forward: rel % 2 == 0,
+            }
+        }
+    }
+}
+
+/// Decoded identity of a rate-table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Single-electron or quasi-particle tunneling.
+    Tunnel {
+        /// Junction of the slot.
+        junction: JunctionId,
+        /// `true` for the `node_a → node_b` direction.
+        forward: bool,
+    },
+    /// Cotunneling path by index.
+    Cotunnel {
+        /// Index into the enumerated path list.
+        path: usize,
+    },
+    /// Cooper-pair tunneling.
+    CooperPair {
+        /// Junction of the slot.
+        junction: JunctionId,
+        /// `true` for the `node_a → node_b` direction.
+        forward: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    #[test]
+    fn layout_roundtrip() {
+        let layout = RateLayout {
+            junctions: 3,
+            cotunnel_paths: 4,
+            cooper_pairs: true,
+        };
+        assert_eq!(layout.len(), 6 + 4 + 6);
+        for slot in 0..layout.len() {
+            let kind = layout.decode(slot);
+            let back = match kind {
+                SlotKind::Tunnel { junction, forward } => layout.tunnel_slot(junction, forward),
+                SlotKind::Cotunnel { path } => layout.cotunnel_slot(path),
+                SlotKind::CooperPair { junction, forward } => {
+                    layout.cooper_slot(junction, forward)
+                }
+            };
+            assert_eq!(back, slot);
+        }
+    }
+
+    #[test]
+    fn layout_without_extras() {
+        let layout = RateLayout {
+            junctions: 2,
+            cotunnel_paths: 0,
+            cooper_pairs: false,
+        };
+        assert_eq!(layout.len(), 4);
+        assert!(!layout.is_empty());
+        assert!(matches!(
+            layout.decode(3),
+            SlotKind::Tunnel { junction: JunctionId(1), forward: false }
+        ));
+    }
+
+    #[test]
+    fn cotunnel_paths_of_double_junction_island() {
+        // Island with 3 junctions → 3 unordered pairs → 6 directed paths.
+        let mut b = CircuitBuilder::new();
+        let l1 = b.add_lead(0.0);
+        let l2 = b.add_lead(0.0);
+        let i = b.add_island();
+        b.add_junction(l1, i, 1e6, 1e-18).unwrap();
+        b.add_junction(l2, i, 1e6, 1e-18).unwrap();
+        b.add_junction(i, NodeId::GROUND, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(enumerate_cotunnel_paths(&c).len(), 6);
+    }
+
+    #[test]
+    fn parallel_junctions_are_skipped() {
+        let mut b = CircuitBuilder::new();
+        let l = b.add_lead(0.0);
+        let i = b.add_island();
+        b.add_junction(l, i, 1e6, 1e-18).unwrap();
+        b.add_junction(l, i, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        assert!(enumerate_cotunnel_paths(&c).is_empty());
+    }
+
+    #[test]
+    fn chain_paths_cross_islands() {
+        // lead—i1—i2—ground: island i1 gives paths lead↔i2, island i2
+        // gives paths i1↔ground → 4 directed paths total.
+        let mut b = CircuitBuilder::new();
+        let l = b.add_lead(1e-3);
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        b.add_junction(l, i1, 1e6, 1e-18).unwrap();
+        b.add_junction(i1, i2, 1e6, 1e-18).unwrap();
+        b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        let paths = enumerate_cotunnel_paths(&c);
+        assert_eq!(paths.len(), 4);
+        assert!(paths.iter().all(|p| p.from != p.to));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::CooperPair {
+            junction: JunctionId(0),
+            from: NodeId(1),
+            to: NodeId(2),
+        };
+        assert_eq!(e.electron_count(), 2);
+        assert_eq!(e.endpoints(), (NodeId(1), NodeId(2)));
+        let t = Event::Tunnel {
+            junction: JunctionId(0),
+            from: NodeId(2),
+            to: NodeId(1),
+        };
+        assert_eq!(t.electron_count(), 1);
+    }
+}

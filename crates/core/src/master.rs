@@ -1,0 +1,431 @@
+//! The master-equation (ME) approach — the third of the paper's three
+//! simulation methods (§I).
+//!
+//! Instead of sampling tunnel events, the ME approach solves for the
+//! stationary probability of every circuit charge configuration. Its
+//! advantage is noise-free currents; its "major disadvantage" (the
+//! paper's words) "is that the relevant states must be known before
+//! simulation, which is not always possible for large circuits since
+//! single-electron device circuits can potentially occupy an infinite
+//! number of states". This module implements exactly that trade-off: it
+//! enumerates all island occupation vectors within a caller-chosen
+//! window around the electrostatic ground state, builds the transition
+//! rate matrix from the same orthodox rates the Monte Carlo engine
+//! uses, solves the stationary distribution with the dense LU, and
+//! reports junction currents. State count grows as
+//! `(2·window + 1)^islands`, so this is a *device-level* tool — which
+//! is precisely why the paper builds a Monte Carlo simulator for the
+//! circuit level.
+//!
+//! # Example
+//!
+//! ```
+//! use semsim_core::circuit::CircuitBuilder;
+//! use semsim_core::master::MasterEquation;
+//!
+//! # fn main() -> Result<(), semsim_core::CoreError> {
+//! let mut b = CircuitBuilder::new();
+//! let src = b.add_lead(20e-3);
+//! let drn = b.add_lead(-20e-3);
+//! let island = b.add_island();
+//! let j1 = b.add_junction(src, island, 1e6, 1e-18)?;
+//! b.add_junction(island, drn, 1e6, 1e-18)?;
+//! let circuit = b.build()?;
+//! let me = MasterEquation::new(&circuit, 5.0, 3)?;
+//! let solution = me.stationary()?;
+//! assert!(solution.junction_current(j1) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use semsim_linalg::Matrix;
+
+use crate::circuit::{Circuit, JunctionId};
+use crate::constants::{thermal_energy, E_CHARGE};
+use crate::energy::{delta_w, CircuitState};
+use crate::rates::orthodox_rate;
+use crate::CoreError;
+
+/// Hard cap on the enumerated state space; beyond this the ME approach
+/// is infeasible and the caller should use Monte Carlo — the paper's
+/// central argument.
+pub const MAX_STATES: usize = 200_000;
+
+/// A stationary master-equation solver over a bounded window of island
+/// occupations.
+#[derive(Debug)]
+pub struct MasterEquation<'c> {
+    circuit: &'c Circuit,
+    kt: f64,
+    /// Enumerated occupation vectors.
+    states: Vec<Vec<i64>>,
+    /// Occupation vector → state index.
+    index: HashMap<Vec<i64>, usize>,
+}
+
+/// The stationary solution: state probabilities plus the machinery to
+/// read currents out of them.
+#[derive(Debug)]
+pub struct StationarySolution<'c> {
+    circuit: &'c Circuit,
+    kt: f64,
+    states: Vec<Vec<i64>>,
+    probabilities: Vec<f64>,
+}
+
+impl<'c> MasterEquation<'c> {
+    /// Enumerates all occupation vectors within `±window` electrons of
+    /// the zero-excess state on every island, at `temperature` kelvin.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidConfig`] if the temperature is invalid or
+    ///   the state space would exceed [`MAX_STATES`] — the infeasibility
+    ///   the paper describes for large circuits.
+    pub fn new(circuit: &'c Circuit, temperature: f64, window: i64) -> Result<Self, CoreError> {
+        if !(temperature >= 0.0) || !temperature.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: "temperature",
+                value: temperature,
+            });
+        }
+        if window < 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "occupation window",
+                value: window as f64,
+            });
+        }
+        let n = circuit.num_islands();
+        let per_island = (2 * window + 1) as usize;
+        // Overflow-safe state count check.
+        let mut count: usize = 1;
+        for _ in 0..n {
+            count = count.saturating_mul(per_island);
+            if count > MAX_STATES {
+                return Err(CoreError::InvalidConfig {
+                    what: "master-equation state space (use Monte Carlo)",
+                    value: count as f64,
+                });
+            }
+        }
+
+        let mut states = Vec::with_capacity(count);
+        let mut current = vec![-window; n];
+        loop {
+            states.push(current.clone());
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == n {
+                    // Wrapped all digits: enumeration complete.
+                    let index = states
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (s.clone(), i))
+                        .collect();
+                    return Ok(MasterEquation {
+                        circuit,
+                        kt: thermal_energy(temperature),
+                        states,
+                        index,
+                    });
+                }
+                current[k] += 1;
+                if current[k] <= window {
+                    break;
+                }
+                current[k] = -window;
+                k += 1;
+            }
+            if n == 0 {
+                // A circuit with no islands has exactly one state.
+                let index = states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i))
+                    .collect();
+                return Ok(MasterEquation {
+                    circuit,
+                    kt: thermal_energy(temperature),
+                    states,
+                    index,
+                });
+            }
+        }
+    }
+
+    /// Number of enumerated states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn state_for(&self, occupation: &[i64]) -> CircuitState {
+        let mut s = CircuitState::new(self.circuit);
+        for (island, &n) in occupation.iter().enumerate() {
+            if n != 0 {
+                let node = self.circuit.island_node(island);
+                // Source the electrons from ground: only the island
+                // count matters for the energetics.
+                s.apply_transfer(self.circuit, crate::circuit::NodeId::GROUND, node, n);
+            }
+        }
+        s.recompute_potentials(self.circuit);
+        s
+    }
+
+    /// Solves the stationary distribution `M·p = 0, Σp = 1`.
+    ///
+    /// Transitions leaving the enumerated window are dropped — the
+    /// window must be chosen large enough that their stationary weight
+    /// is negligible (increase it if [`StationarySolution::
+    /// boundary_weight`] is not small).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a singular linear system (disconnected state space at
+    /// `T = 0` deep in blockade); a tiny uniform regularization keeps
+    /// physical cases solvable.
+    pub fn stationary(&self) -> Result<StationarySolution<'c>, CoreError> {
+        let n = self.states.len();
+        let mut m = Matrix::zeros(n, n);
+        let mut max_rate = 0.0_f64;
+
+        for (si, occ) in self.states.iter().enumerate() {
+            let state = self.state_for(occ);
+            for jid in self.circuit.junction_ids() {
+                let j = self.circuit.junction(jid);
+                for (from, to) in [(j.node_a, j.node_b), (j.node_b, j.node_a)] {
+                    let dw = delta_w(self.circuit, &state, from, to, 1);
+                    let rate = orthodox_rate(dw, self.kt, j.resistance);
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    max_rate = max_rate.max(rate);
+                    if let Some(&sj) = self.successor(occ, from, to) {
+                        m.add_to(sj, si, rate);
+                        m.add_to(si, si, -rate);
+                    }
+                }
+            }
+        }
+        // Regularize against exactly-disconnected blocks (frozen
+        // blockade at T = 0): a vanishing uniform hop keeps the chain
+        // irreducible without moving physical probabilities.
+        let eps = max_rate.max(1.0) * 1e-12;
+        for si in 0..n {
+            for sj in 0..n {
+                if si != sj {
+                    m.add_to(sj, si, eps / n as f64);
+                    m.add_to(si, si, -eps / n as f64);
+                }
+            }
+        }
+        // Replace the last balance row with the normalization Σp = 1.
+        for sj in 0..n {
+            m.set(n - 1, sj, 1.0);
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[n - 1] = 1.0;
+        let p = m.solve(&rhs).map_err(CoreError::FloatingIsland)?;
+        Ok(StationarySolution {
+            circuit: self.circuit,
+            kt: self.kt,
+            states: self.states.clone(),
+            probabilities: p.into_iter().map(|x| x.max(0.0)).collect(),
+        })
+    }
+
+    /// Index of the state reached from `occ` by one electron `from → to`
+    /// (None if it leaves the window).
+    fn successor(
+        &self,
+        occ: &[i64],
+        from: crate::circuit::NodeId,
+        to: crate::circuit::NodeId,
+    ) -> Option<&usize> {
+        let mut next = occ.to_vec();
+        if let Some(i) = self.circuit.island_index(from) {
+            next[i] -= 1;
+        }
+        if let Some(i) = self.circuit.island_index(to) {
+            next[i] += 1;
+        }
+        self.index.get(&next)
+    }
+}
+
+impl StationarySolution<'_> {
+    /// Probability of the occupation vector `occ` (0 if outside the
+    /// window).
+    pub fn probability(&self, occ: &[i64]) -> f64 {
+        self.states
+            .iter()
+            .position(|s| s == occ)
+            .map_or(0.0, |i| self.probabilities[i])
+    }
+
+    /// Total probability on the boundary of the occupation window — a
+    /// convergence diagnostic: enlarge the window until this is small.
+    pub fn boundary_weight(&self) -> f64 {
+        let window = self
+            .states
+            .iter()
+            .flat_map(|s| s.iter().map(|v| v.abs()))
+            .max()
+            .unwrap_or(0);
+        self.states
+            .iter()
+            .zip(&self.probabilities)
+            .filter(|(s, _)| s.iter().any(|v| v.abs() == window))
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Stationary conventional current (A) through `junction` in the
+    /// `node_a → node_b` direction — same sign convention as
+    /// [`crate::engine::Record::current`].
+    pub fn junction_current(&self, junction: JunctionId) -> f64 {
+        let j = self.circuit.junction(junction);
+        let mut electron_flow = 0.0; // electrons a→b per second
+        for (occ, &p) in self.states.iter().zip(&self.probabilities) {
+            if p == 0.0 {
+                continue;
+            }
+            let mut s = CircuitState::new(self.circuit);
+            for (island, &n) in occ.iter().enumerate() {
+                if n != 0 {
+                    let node = self.circuit.island_node(island);
+                    s.apply_transfer(self.circuit, crate::circuit::NodeId::GROUND, node, n);
+                }
+            }
+            s.recompute_potentials(self.circuit);
+            let fw = orthodox_rate(
+                delta_w(self.circuit, &s, j.node_a, j.node_b, 1),
+                self.kt,
+                j.resistance,
+            );
+            let bw = orthodox_rate(
+                delta_w(self.circuit, &s, j.node_b, j.node_a, 1),
+                self.kt,
+                j.resistance,
+            );
+            electron_flow += p * (fw - bw);
+        }
+        -E_CHARGE * electron_flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::engine::{RunLength, SimConfig, Simulation};
+
+    fn paper_set(vs: f64, vd: f64, vg: f64) -> (Circuit, JunctionId) {
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(vs);
+        let drn = b.add_lead(vd);
+        let gate = b.add_lead(vg);
+        let island = b.add_island();
+        let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+        b.add_capacitor(gate, island, 3e-18).unwrap();
+        (b.build().unwrap(), j1)
+    }
+
+    #[test]
+    fn state_enumeration_counts() {
+        let (c, _) = paper_set(0.0, 0.0, 0.0);
+        let me = MasterEquation::new(&c, 5.0, 3).unwrap();
+        assert_eq!(me.num_states(), 7); // one island, −3..=3
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let (c, _) = paper_set(20e-3, -20e-3, 0.0);
+        let me = MasterEquation::new(&c, 5.0, 3).unwrap();
+        let sol = me.stationary().unwrap();
+        let total: f64 = sol.probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn blockade_concentrates_on_ground_state() {
+        let (c, _) = paper_set(2e-3, -2e-3, 0.0);
+        let me = MasterEquation::new(&c, 0.1, 3).unwrap();
+        let sol = me.stationary().unwrap();
+        assert!(sol.probability(&[0]) > 0.999);
+        assert!(sol.boundary_weight() < 1e-6);
+    }
+
+    #[test]
+    fn matches_monte_carlo_current() {
+        // The paper's three methods must agree at the device level; the
+        // ME current is the noise-free reference.
+        let (c, j1) = paper_set(20e-3, -20e-3, 10e-3);
+        let me = MasterEquation::new(&c, 5.0, 4).unwrap();
+        let i_me = me.stationary().unwrap().junction_current(j1);
+
+        let mut sim = Simulation::new(&c, SimConfig::new(5.0).with_seed(4)).unwrap();
+        let i_mc = sim.run(RunLength::Events(60_000)).unwrap().current(j1);
+
+        let rel = (i_me - i_mc).abs() / i_me.abs();
+        assert!(rel < 0.05, "ME {i_me} vs MC {i_mc} ({rel:.3})");
+    }
+
+    #[test]
+    fn current_continuity_between_junctions() {
+        let (c, j1) = paper_set(25e-3, -25e-3, 5e-3);
+        let me = MasterEquation::new(&c, 5.0, 4).unwrap();
+        let sol = me.stationary().unwrap();
+        let i1 = sol.junction_current(j1);
+        let j2 = c.junction_ids().nth(1).unwrap();
+        let i2 = sol.junction_current(j2);
+        assert!((i1 - i2).abs() < 1e-6 * i1.abs(), "{i1} vs {i2}");
+    }
+
+    #[test]
+    fn two_island_pump_is_enumerable() {
+        // lead—i1—i2—ground chain: 2 islands, window 2 → 25 states.
+        let mut b = CircuitBuilder::new();
+        let l = b.add_lead(10e-3);
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        let ja = b.add_junction(l, i1, 1e6, 1e-18).unwrap();
+        b.add_junction(i1, i2, 1e6, 1e-18).unwrap();
+        b.add_junction(i2, crate::circuit::NodeId::GROUND, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        let me = MasterEquation::new(&c, 2.0, 2).unwrap();
+        assert_eq!(me.num_states(), 25);
+        let sol = me.stationary().unwrap();
+        assert!(sol.junction_current(ja).is_finite());
+    }
+
+    #[test]
+    fn state_space_explosion_is_reported() {
+        // 12 islands × window 3 → 7^12 ≈ 1.4e10 states: the paper's
+        // "infinite number of states" infeasibility, surfaced as an
+        // error telling the user to use Monte Carlo.
+        let mut b = CircuitBuilder::new();
+        let l = b.add_lead(1e-3);
+        let mut prev = l;
+        for _ in 0..12 {
+            let i = b.add_island();
+            b.add_junction(prev, i, 1e6, 1e-18).unwrap();
+            prev = i;
+        }
+        b.add_junction(prev, crate::circuit::NodeId::GROUND, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        let err = MasterEquation::new(&c, 1.0, 3).unwrap_err();
+        assert!(err.to_string().contains("Monte Carlo"));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (c, _) = paper_set(0.0, 0.0, 0.0);
+        assert!(MasterEquation::new(&c, f64::NAN, 2).is_err());
+        assert!(MasterEquation::new(&c, 1.0, -1).is_err());
+    }
+}

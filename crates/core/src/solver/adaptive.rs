@@ -1,0 +1,530 @@
+//! The paper's adaptive solver (Algorithm 1).
+//!
+//! After each tunnel event (or input-voltage step), only the junctions
+//! near the disturbance are *tested*: the exact potential change across
+//! each tested junction is accumulated into a per-junction testing
+//! factor `b`, and the junction's rates are recomputed only when `|b|`
+//! exceeds the threshold `θ` times the free-energy changes recorded at
+//! the last recomputation (`ΔW'_fw`, `ΔW'_bw`). Flagged junctions
+//! propagate the test to their neighbours (breadth-first), so a strongly
+//! coupled region is fully updated while isolated stages are left alone
+//! — the source of the paper's up-to-40× speedup.
+//!
+//! ## Exactness bookkeeping
+//!
+//! Island potentials are *linear* in the island charges, so the
+//! per-event potential deltas are exact. This implementation exploits
+//! that: it keeps a log of every state change since the last full
+//! refresh and refreshes an island's cached potential *lazily* by
+//! replaying only the log entries the island has not seen. Potentials
+//! used to recompute a flagged junction's rates are therefore exact; the
+//! approximation — identical to the paper's — is that *unflagged*
+//! junctions keep stale rates. Because the skipped error accumulates in
+//! `b₀` only for junctions that keep being tested (distant junctions are
+//! not even tested), all rates are additionally recomputed every
+//! `refresh_interval` events, as the paper prescribes.
+
+use crate::circuit::{Circuit, JunctionId, NodeId};
+use crate::energy::{lead_step_delta, potential_delta, CircuitState};
+use crate::fenwick::FenwickTree;
+use crate::solver::{write_junction_rates, SolverContext, StateChange};
+
+/// Counters describing the work the adaptive solver actually performed
+/// — the quantities behind the paper's Fig. 6 speedup argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// State changes processed.
+    pub events: u64,
+    /// Junction tests (Algorithm 1 lines 3–5).
+    pub junctions_tested: u64,
+    /// Junction rate recalculations (both directions of one junction
+    /// count once).
+    pub rate_recalcs: u64,
+    /// Periodic full refreshes performed.
+    pub full_refreshes: u64,
+}
+
+/// One entry of the replay log.
+#[derive(Debug, Clone, Copy)]
+enum LogEntry {
+    Transfer { from: NodeId, to: NodeId, count: i64 },
+    Step { lead: usize, dv: f64 },
+}
+
+/// The adaptive solver of the paper's Algorithm 1.
+#[derive(Debug)]
+pub struct AdaptiveSolver {
+    /// The paper's threshold `θ` (λ in some notations): a tested
+    /// junction is flagged when `|b| ≥ θ·min(|ΔW'_fw|, |ΔW'_bw|)`.
+    threshold: f64,
+    /// Full refresh period (events).
+    refresh_interval: u64,
+    /// ΔW at last rate computation, per junction, both directions.
+    dw_fw: Vec<f64>,
+    dw_bw: Vec<f64>,
+    /// Accumulated testing factor `b₀` per junction.
+    b0: Vec<f64>,
+    /// Replay log since the last full refresh.
+    log: Vec<LogEntry>,
+    /// Per-island index into `log` of the first unapplied entry.
+    applied: Vec<usize>,
+    /// Per-junction visit stamp for the BFS.
+    visit: Vec<u64>,
+    stamp: u64,
+    events_since_refresh: u64,
+    stats: AdaptiveStats,
+    /// Scratch BFS queue.
+    queue: Vec<JunctionId>,
+}
+
+impl AdaptiveSolver {
+    /// Creates a solver with threshold `θ = threshold` and the given
+    /// full-refresh period.
+    ///
+    /// Typical values: `threshold` in `0.01 ..= 0.3` (larger = faster,
+    /// less accurate), `refresh_interval` in the hundreds or thousands.
+    pub fn new(circuit: &Circuit, threshold: f64, refresh_interval: u64) -> Self {
+        let nj = circuit.num_junctions();
+        AdaptiveSolver {
+            threshold,
+            refresh_interval: refresh_interval.max(1),
+            dw_fw: vec![0.0; nj],
+            dw_bw: vec![0.0; nj],
+            b0: vec![0.0; nj],
+            log: Vec::new(),
+            applied: vec![0; circuit.num_islands()],
+            visit: vec![0; nj],
+            stamp: 0,
+            events_since_refresh: 0,
+            stats: AdaptiveStats::default(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// The threshold `θ`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The full-refresh period (events).
+    pub fn refresh_interval(&self) -> u64 {
+        self.refresh_interval
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &AdaptiveStats {
+        &self.stats
+    }
+
+    /// Brings `island`'s cached potential up to date: replays the
+    /// unapplied tail of the change log when it is short, or recomputes
+    /// the potential from the maintained charge vector in O(islands)
+    /// when the island has been stale for longer than that — so one
+    /// refresh never costs more than a single `C⁻¹` row product.
+    pub(crate) fn refresh_island(&mut self, circuit: &Circuit, state: &mut CircuitState, island: usize) {
+        let from_idx = self.applied[island];
+        let pending = self.log.len() - from_idx.min(self.log.len());
+        if pending == 0 {
+            return;
+        }
+        if pending > circuit.num_islands() {
+            state.phi[island] = state.exact_island_potential(circuit, island);
+            self.applied[island] = self.log.len();
+            return;
+        }
+        let mut phi = state.phi[island];
+        for entry in &self.log[from_idx..] {
+            phi += match *entry {
+                LogEntry::Transfer { from, to, count } => {
+                    potential_delta(circuit, island, from, to, count)
+                }
+                LogEntry::Step { lead, dv } => lead_step_delta(circuit, island, lead, dv),
+            };
+        }
+        state.phi[island] = phi;
+        self.applied[island] = self.log.len();
+    }
+
+    fn refresh_junction_nodes(&mut self, circuit: &Circuit, state: &mut CircuitState, j: JunctionId) {
+        let junction = *circuit.junction(j);
+        if let Some(i) = circuit.island_index(junction.node_a) {
+            self.refresh_island(circuit, state, i);
+        }
+        if let Some(i) = circuit.island_index(junction.node_b) {
+            self.refresh_island(circuit, state, i);
+        }
+    }
+
+    pub(crate) fn initialize(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) {
+        // Establish the exact-potential invariant the replay log
+        // maintains from here on.
+        state.recompute_potentials(ctx.circuit);
+        self.full_refresh(ctx, state, rates);
+        // initialize() is not a "refresh" in the statistics sense.
+        self.stats.full_refreshes = self.stats.full_refreshes.saturating_sub(1);
+    }
+
+    fn full_refresh(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) {
+        let circuit = ctx.circuit;
+        // Replaying the log per island costs O(islands·pending); the
+        // exact matvec costs O(islands²). Pick the cheaper route.
+        if self.log.len() < circuit.num_islands() {
+            for island in 0..circuit.num_islands() {
+                self.refresh_island(circuit, state, island);
+            }
+        } else {
+            state.recompute_potentials(circuit);
+        }
+        self.log.clear();
+        self.applied.iter_mut().for_each(|a| *a = 0);
+        for j in circuit.junction_ids() {
+            let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j);
+            self.dw_fw[j.index()] = dw_fw;
+            self.dw_bw[j.index()] = dw_bw;
+            self.b0[j.index()] = 0.0;
+        }
+        self.stats.rate_recalcs += circuit.num_junctions() as u64;
+        self.stats.full_refreshes += 1;
+        self.events_since_refresh = 0;
+    }
+
+    /// Exact potential change of `node` caused by one log entry (0 for
+    /// leads except the stepped lead itself).
+    #[inline]
+    fn node_delta(circuit: &Circuit, entry: LogEntry, node: NodeId) -> f64 {
+        match entry {
+            LogEntry::Transfer { from, to, count } => match circuit.island_index(node) {
+                Some(k) => potential_delta(circuit, k, from, to, count),
+                None => 0.0,
+            },
+            LogEntry::Step { lead, dv } => match circuit.island_index(node) {
+                Some(k) => lead_step_delta(circuit, k, lead, dv),
+                None => {
+                    if circuit.lead_index(node) == Some(lead) {
+                        dv
+                    } else {
+                        0.0
+                    }
+                }
+            },
+        }
+    }
+
+    pub(crate) fn apply_change(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+        change: StateChange,
+    ) {
+        let circuit = ctx.circuit;
+        self.stats.events += 1;
+        self.events_since_refresh += 1;
+
+        let entry = match change {
+            StateChange::Transfer { from, to, count } => LogEntry::Transfer { from, to, count },
+            StateChange::LeadStep { lead, dv } => LogEntry::Step { lead, dv },
+        };
+        self.log.push(entry);
+
+        if self.events_since_refresh >= self.refresh_interval {
+            // Periodic full recalculation (paper: "all junction
+            // tunneling rates are recalculated periodically").
+            self.full_refresh(ctx, state, rates);
+            return;
+        }
+
+        // Seed the BFS: junctions nearest the disturbance.
+        self.stamp += 1;
+        self.queue.clear();
+        match change {
+            StateChange::Transfer { from, to, .. } => {
+                // Only island endpoints propagate influence: a lead is a
+                // fixed-potential wall, so the hundreds of junctions
+                // sharing a supply rail with the event are unaffected
+                // unless their own islands couple (the BFS reaches those
+                // through neighbour expansion).
+                for &node in &[from, to] {
+                    if !circuit.is_island(node) {
+                        continue;
+                    }
+                    for &j in circuit.junctions_at(node) {
+                        if self.visit[j.index()] != self.stamp {
+                            self.visit[j.index()] = self.stamp;
+                            self.queue.push(j);
+                        }
+                    }
+                }
+            }
+            StateChange::LeadStep { lead, .. } => {
+                for &j in circuit.lead_seed_junctions(lead) {
+                    if self.visit[j.index()] != self.stamp {
+                        self.visit[j.index()] = self.stamp;
+                        self.queue.push(j);
+                    }
+                }
+            }
+        }
+
+        // Breadth-first testing (Algorithm 1 lines 2–11).
+        let mut head = 0;
+        while head < self.queue.len() {
+            let j = self.queue[head];
+            head += 1;
+            self.stats.junctions_tested += 1;
+            let junction = *circuit.junction(j);
+            let dp_a = Self::node_delta(circuit, entry, junction.node_a);
+            let dp_b = Self::node_delta(circuit, entry, junction.node_b);
+            // The testing factor accumulates in energy units: a potential
+            // change δP across the junction shifts ΔW by e·δP (Eq. 2), so
+            // it is e·b that is compared against θ·|ΔW'|.
+            let b = self.b0[j.index()] + crate::constants::E_CHARGE * (dp_a - dp_b);
+            let idx = j.index();
+            // Flag when |b| exceeds θ·|ΔW'| for either direction, i.e.
+            // compare against the smaller magnitude.
+            let gate = self.threshold * self.dw_fw[idx].abs().min(self.dw_bw[idx].abs());
+            if b.abs() >= gate {
+                self.refresh_junction_nodes(circuit, state, j);
+                let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j);
+                self.dw_fw[idx] = dw_fw;
+                self.dw_bw[idx] = dw_bw;
+                self.b0[idx] = 0.0;
+                self.stats.rate_recalcs += 1;
+                for &nb in circuit.junction_neighbors(j) {
+                    if self.visit[nb.index()] != self.stamp {
+                        self.visit[nb.index()] = self.stamp;
+                        self.queue.push(nb);
+                    }
+                }
+            } else {
+                self.b0[idx] = b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::constants::K_B;
+    use crate::events::RateLayout;
+    use crate::solver::TunnelModel;
+
+    /// Two SET stages joined by a large coupling capacitor — the
+    /// locality structure of the paper's Fig. 4.
+    fn two_stage() -> (Circuit, Vec<JunctionId>) {
+        let mut b = CircuitBuilder::new();
+        let vdd = b.add_lead(10e-3);
+        let i1 = b.add_island();
+        let mid = b.add_island(); // "wire" island with large capacitance
+        let i2 = b.add_island();
+        let mut js = Vec::new();
+        js.push(b.add_junction(vdd, i1, 1e6, 1e-18).unwrap());
+        js.push(b.add_junction(i1, NodeId::GROUND, 1e6, 1e-18).unwrap());
+        js.push(b.add_junction(mid, i2, 1e6, 1e-18).unwrap());
+        js.push(b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap());
+        // Stage 1 output drives the wire through a capacitor; the wire's
+        // large ground capacitance isolates stage 2.
+        b.add_capacitor(i1, mid, 1e-18).unwrap();
+        b.add_capacitor(mid, NodeId::GROUND, 1e-15).unwrap();
+        (b.build().unwrap(), js)
+    }
+
+    fn make_parts(
+        c: &Circuit,
+        threshold: f64,
+        interval: u64,
+    ) -> (CircuitState, FenwickTree, AdaptiveSolver, RateLayout) {
+        let layout = RateLayout {
+            junctions: c.num_junctions(),
+            cotunnel_paths: 0,
+            cooper_pairs: false,
+        };
+        let state = CircuitState::new(c);
+        let rates = FenwickTree::new(layout.len());
+        let solver = AdaptiveSolver::new(c, threshold, interval);
+        (state, rates, solver, layout)
+    }
+
+    #[test]
+    fn zero_threshold_matches_nonadaptive_exactly() {
+        // θ = 0 flags every tested junction; combined with the BFS
+        // reaching everything coupled, rates must equal the exact ones.
+        let (c, _js) = two_stage();
+        let model = TunnelModel::Normal;
+        let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.0, u64::MAX);
+        let ctx = SolverContext {
+            circuit: &c,
+            kt: K_B * 5.0,
+            model: &model,
+            layout,
+        };
+        solver.initialize(&ctx, &mut state, &mut rates);
+
+        // Fire a transfer on stage 1.
+        let i1 = c.island_node(0);
+        state.apply_transfer(&c, NodeId(1), i1, 1);
+        solver.apply_change(
+            &ctx,
+            &mut state,
+            &mut rates,
+            StateChange::Transfer {
+                from: NodeId(1),
+                to: i1,
+                count: 1,
+            },
+        );
+
+        // Compare against a fresh exact computation.
+        let mut exact_state = state.clone();
+        exact_state.recompute_potentials(&c);
+        let mut exact_rates = FenwickTree::new(layout.len());
+        for j in c.junction_ids() {
+            write_junction_rates(&ctx, &exact_state, &mut exact_rates, j);
+        }
+        for slot in 0..layout.len() {
+            let a = rates.get(slot);
+            let e = exact_rates.get(slot);
+            assert!(
+                (a - e).abs() <= 1e-9 * e.abs().max(1e-12),
+                "slot {slot}: {a} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_stage_is_not_recalculated() {
+        let (c, js) = two_stage();
+        let model = TunnelModel::Normal;
+        let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.05, u64::MAX);
+        let ctx = SolverContext {
+            circuit: &c,
+            kt: K_B * 5.0,
+            model: &model,
+            layout,
+        };
+        solver.initialize(&ctx, &mut state, &mut rates);
+        let before = solver.stats().rate_recalcs;
+
+        let i1 = c.island_node(0);
+        state.apply_transfer(&c, NodeId(1), i1, 1);
+        solver.apply_change(
+            &ctx,
+            &mut state,
+            &mut rates,
+            StateChange::Transfer {
+                from: NodeId(1),
+                to: i1,
+                count: 1,
+            },
+        );
+        let recalcs = solver.stats().rate_recalcs - before;
+        // Stage 1 has 2 junctions; stage 2's 2 junctions must have been
+        // left alone thanks to the 1 fF wire capacitance.
+        assert!(recalcs <= 2, "recalculated {recalcs} junctions");
+        assert!(solver.stats().junctions_tested > 0);
+        let _ = js;
+    }
+
+    #[test]
+    fn periodic_refresh_fires() {
+        let (c, _js) = two_stage();
+        let model = TunnelModel::Normal;
+        let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.5, 3);
+        let ctx = SolverContext {
+            circuit: &c,
+            kt: K_B * 5.0,
+            model: &model,
+            layout,
+        };
+        solver.initialize(&ctx, &mut state, &mut rates);
+        let i1 = c.island_node(0);
+        for k in 0..6 {
+            let (from, to) = if k % 2 == 0 { (NodeId(1), i1) } else { (i1, NodeId(1)) };
+            state.apply_transfer(&c, from, to, 1);
+            solver.apply_change(
+                &ctx,
+                &mut state,
+                &mut rates,
+                StateChange::Transfer { from, to, count: 1 },
+            );
+        }
+        assert_eq!(solver.stats().full_refreshes, 2);
+        // After refreshes the log must be compact.
+        assert!(solver.log.len() < 3);
+    }
+
+    #[test]
+    fn lead_step_seeds_and_updates() {
+        let (c, _js) = two_stage();
+        let model = TunnelModel::Normal;
+        let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.01, u64::MAX);
+        let ctx = SolverContext {
+            circuit: &c,
+            kt: K_B * 5.0,
+            model: &model,
+            layout,
+        };
+        solver.initialize(&ctx, &mut state, &mut rates);
+        let total_before = rates.total();
+
+        // Step the supply lead (lead index 1 — ground is 0).
+        let old = state.set_lead_voltage(1, 30e-3);
+        solver.apply_change(
+            &ctx,
+            &mut state,
+            &mut rates,
+            StateChange::LeadStep {
+                lead: 1,
+                dv: 30e-3 - old,
+            },
+        );
+        assert!(rates.total() != total_before);
+    }
+
+    #[test]
+    fn lazy_island_refresh_is_exact() {
+        let (c, _js) = two_stage();
+        let model = TunnelModel::Normal;
+        let (mut state, mut rates, mut solver, layout) = make_parts(&c, 10.0, u64::MAX);
+        let ctx = SolverContext {
+            circuit: &c,
+            kt: K_B * 5.0,
+            model: &model,
+            layout,
+        };
+        solver.initialize(&ctx, &mut state, &mut rates);
+
+        // Huge threshold → nothing flags → potentials go stale.
+        let i1 = c.island_node(0);
+        for _ in 0..5 {
+            state.apply_transfer(&c, NodeId(1), i1, 1);
+            solver.apply_change(
+                &ctx,
+                &mut state,
+                &mut rates,
+                StateChange::Transfer { from: NodeId(1), to: i1, count: 1 },
+            );
+        }
+        // Lazily refresh each island and compare to exact.
+        for island in 0..c.num_islands() {
+            solver.refresh_island(&c, &mut state, island);
+        }
+        let lazy = state.island_potentials().to_vec();
+        state.recompute_potentials(&c);
+        for (a, b) in lazy.iter().zip(state.island_potentials()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulation observability: voltage probes, event logs, and JQP/DJQP
+//! cycle detection (paper Fig. 2).
+
+use crate::circuit::{JunctionId, NodeId};
+use crate::events::Event;
+
+/// A time-stamped sample of a node potential.
+pub type Sample = (f64, f64);
+
+/// A voltage probe attached to a node, sampled every `every` events and
+/// at every stimulus application.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// The probed node.
+    pub node: NodeId,
+    /// Sampling period in events.
+    pub every: u64,
+    pub(crate) samples: Vec<Sample>,
+}
+
+impl Probe {
+    /// Creates a probe on `node` sampling every `every` events (0 is
+    /// treated as 1).
+    pub fn new(node: NodeId, every: u64) -> Self {
+        Probe {
+            node,
+            every: every.max(1),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The collected `(time, volts)` samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    pub(crate) fn push(&mut self, t: f64, v: f64) {
+        self.samples.push((t, v));
+    }
+
+    /// First time ≥ `t_from` at which the probed voltage crosses
+    /// `level`, requiring the crossing to hold for `hold` consecutive
+    /// samples (Monte Carlo traces are noisy). `rising` selects the
+    /// crossing direction. Returns `None` if never observed.
+    pub fn crossing_time(&self, t_from: f64, level: f64, rising: bool, hold: usize) -> Option<f64> {
+        let hold = hold.max(1);
+        let mut run = 0usize;
+        let mut first_t = None;
+        for &(t, v) in &self.samples {
+            if t < t_from {
+                continue;
+            }
+            let crossed = if rising { v >= level } else { v <= level };
+            if crossed {
+                if run == 0 {
+                    first_t = Some(t);
+                }
+                run += 1;
+                if run >= hold {
+                    return first_t;
+                }
+            } else {
+                run = 0;
+                first_t = None;
+            }
+        }
+        None
+    }
+}
+
+/// A bounded log of `(time, event)` records.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    capacity: usize,
+    entries: Vec<(f64, Event)>,
+}
+
+impl EventLog {
+    /// Creates a log that keeps at most `capacity` most-recent entries.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, t: f64, e: Event) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((t, e));
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> &[(f64, Event)] {
+        &self.entries
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counts Josephson-quasi-particle cycles (paper Fig. 2): a Cooper
+    /// pair through one junction followed by two quasi-particle events
+    /// through the *other* junction.
+    pub fn count_jqp_cycles(&self) -> usize {
+        let mut n = 0;
+        for w in self.entries.windows(3) {
+            if let (
+                (_, Event::CooperPair { junction: ja, .. }),
+                (_, Event::Tunnel { junction: jb1, .. }),
+                (_, Event::Tunnel { junction: jb2, .. }),
+            ) = (&w[0], &w[1], &w[2])
+            {
+                if jb1 == jb2 && ja != jb1 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Counts double-JQP cycles (paper Fig. 2): Cooper pair through `A`,
+    /// quasi-particle through `B`, Cooper pair through `B`,
+    /// quasi-particle through `A`.
+    pub fn count_djqp_cycles(&self) -> usize {
+        let mut n = 0;
+        for w in self.entries.windows(4) {
+            if let (
+                (_, Event::CooperPair { junction: ja, .. }),
+                (_, Event::Tunnel { junction: jb, .. }),
+                (_, Event::CooperPair { junction: jb2, .. }),
+                (_, Event::Tunnel { junction: ja2, .. }),
+            ) = (&w[0], &w[1], &w[2], &w[3])
+            {
+                if ja == ja2 && jb == jb2 && ja != jb {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Fraction of entries that are Cooper-pair events.
+    pub fn cooper_pair_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let cp = self
+            .entries
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::CooperPair { .. }))
+            .count();
+        cp as f64 / self.entries.len() as f64
+    }
+}
+
+/// Helper to build the synthetic events used in tests and benches.
+#[doc(hidden)]
+pub fn tunnel_event(j: usize, from: usize, to: usize) -> Event {
+    Event::Tunnel {
+        junction: JunctionId(j),
+        from: NodeId(from),
+        to: NodeId(to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(j: usize) -> Event {
+        Event::CooperPair {
+            junction: JunctionId(j),
+            from: NodeId(0),
+            to: NodeId(1),
+        }
+    }
+    fn qp(j: usize) -> Event {
+        tunnel_event(j, 1, 0)
+    }
+
+    #[test]
+    fn probe_crossing_with_hold() {
+        let mut p = Probe::new(NodeId(0), 1);
+        for (i, v) in [0.0, 0.1, 0.6, 0.2, 0.7, 0.8, 0.9].iter().enumerate() {
+            p.push(i as f64, *v);
+        }
+        // Single-sample blip at t=2 is rejected with hold=2; the real
+        // crossing starts at t=4.
+        assert_eq!(p.crossing_time(0.0, 0.5, true, 2), Some(4.0));
+        assert_eq!(p.crossing_time(0.0, 0.5, true, 1), Some(2.0));
+        assert_eq!(p.crossing_time(0.0, 2.0, true, 1), None);
+    }
+
+    #[test]
+    fn probe_falling_crossing() {
+        let mut p = Probe::new(NodeId(0), 1);
+        for (i, v) in [1.0, 0.9, 0.4, 0.3].iter().enumerate() {
+            p.push(i as f64, *v);
+        }
+        assert_eq!(p.crossing_time(0.0, 0.5, false, 2), Some(2.0));
+    }
+
+    #[test]
+    fn log_capacity_evicts_oldest() {
+        let mut log = EventLog::new(2);
+        log.push(0.0, qp(0));
+        log.push(1.0, qp(1));
+        log.push(2.0, qp(2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].0, 1.0);
+    }
+
+    #[test]
+    fn jqp_cycle_detection() {
+        let mut log = EventLog::new(16);
+        log.push(0.0, cp(0));
+        log.push(1.0, qp(1));
+        log.push(2.0, qp(1));
+        log.push(3.0, cp(0));
+        log.push(4.0, qp(1));
+        log.push(5.0, qp(1));
+        assert_eq!(log.count_jqp_cycles(), 2);
+        assert_eq!(log.count_djqp_cycles(), 0);
+        assert!((log.cooper_pair_fraction() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn djqp_cycle_detection() {
+        let mut log = EventLog::new(16);
+        log.push(0.0, cp(0));
+        log.push(1.0, qp(1));
+        log.push(2.0, cp(1));
+        log.push(3.0, qp(0));
+        assert_eq!(log.count_djqp_cycles(), 1);
+    }
+
+    #[test]
+    fn same_junction_patterns_do_not_count() {
+        let mut log = EventLog::new(16);
+        log.push(0.0, cp(0));
+        log.push(1.0, qp(0));
+        log.push(2.0, qp(0));
+        assert_eq!(log.count_jqp_cycles(), 0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.cooper_pair_fraction(), 0.0);
+        assert_eq!(log.count_jqp_cycles(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+use crate::Matrix;
+
+/// One retained entry of a sparsified matrix row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseEntry {
+    /// Column index of the retained entry.
+    pub col: usize,
+    /// Value of the retained entry.
+    pub value: f64,
+}
+
+/// A row-compressed view of a dense matrix that keeps only entries whose
+/// magnitude is at least `rel_threshold` times the row's diagonal
+/// magnitude (or the row's largest magnitude for off-square matrices).
+///
+/// The adaptive solver queries "which nodes feel a charge change on node
+/// `k`?" — that is exactly the set of significant entries of column `k`
+/// of `C⁻¹`. For weakly coupled circuit stages (the regime where the
+/// paper's adaptive method wins), these rows are short, so locality
+/// queries cost O(stage size) instead of O(n).
+///
+/// # Example
+///
+/// ```
+/// use semsim_linalg::{Matrix, SparsifiedMatrix};
+///
+/// # fn main() -> Result<(), semsim_linalg::LinalgError> {
+/// let m = Matrix::from_rows(&[&[1.0, 1e-9], &[1e-9, 1.0]])?;
+/// let s = SparsifiedMatrix::new(&m, 1e-6);
+/// assert_eq!(s.row(0).len(), 1); // tiny coupling dropped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparsifiedMatrix {
+    rows: Vec<Vec<SparseEntry>>,
+    rel_threshold: f64,
+}
+
+impl SparsifiedMatrix {
+    /// Builds the sparsified view of `m` with relative threshold
+    /// `rel_threshold` (0 keeps every nonzero entry).
+    pub fn new(m: &Matrix, rel_threshold: f64) -> Self {
+        let n = m.rows();
+        let mut rows = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = m.row(r);
+            let reference = if r < m.cols() && row[r].abs() > 0.0 {
+                row[r].abs()
+            } else {
+                row.iter().fold(0.0_f64, |a, v| a.max(v.abs()))
+            };
+            let cutoff = reference * rel_threshold;
+            let entries: Vec<SparseEntry> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0 && v.abs() >= cutoff)
+                .map(|(col, &value)| SparseEntry { col, value })
+                .collect();
+            rows.push(entries);
+        }
+        SparsifiedMatrix {
+            rows,
+            rel_threshold,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The relative threshold the view was built with.
+    pub fn rel_threshold(&self) -> f64 {
+        self.rel_threshold
+    }
+
+    /// Retained entries of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[SparseEntry] {
+        &self.rows[r]
+    }
+
+    /// Total number of retained entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Sparse dot of row `r` with a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds or `x` is shorter than the largest
+    /// retained column index.
+    pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        self.rows[r]
+            .iter()
+            .map(|e| e.value * x[e.col])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_at_zero_threshold() {
+        let m = Matrix::from_rows(&[&[1.0, 0.5], &[0.25, 2.0]]).unwrap();
+        let s = SparsifiedMatrix::new(&m, 0.0);
+        assert_eq!(s.nnz(), 4);
+    }
+
+    #[test]
+    fn drops_zeros_even_at_zero_threshold() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let s = SparsifiedMatrix::new(&m, 0.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn drops_small_couplings() {
+        let m = Matrix::from_rows(&[&[1.0, 1e-8, 0.5], &[1e-8, 1.0, 1e-8], &[0.5, 1e-8, 1.0]])
+            .unwrap();
+        let s = SparsifiedMatrix::new(&m, 1e-4);
+        assert_eq!(s.row(0).len(), 2);
+        assert_eq!(s.row(1).len(), 1);
+        assert_eq!(s.rel_threshold(), 1e-4);
+    }
+
+    #[test]
+    fn row_dot_matches_dense() {
+        let m = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
+        let s = SparsifiedMatrix::new(&m, 0.0);
+        let x = [1.0, 2.0, 3.0];
+        for r in 0..3 {
+            let dense = crate::dot(m.row(r), &x);
+            assert!((s.row_dot(r, &x) - dense).abs() < 1e-14);
+        }
+    }
+}

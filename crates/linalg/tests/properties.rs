@@ -1,0 +1,73 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use proptest::prelude::*;
+use semsim_linalg::{Matrix, SparsifiedMatrix};
+
+/// Random strictly diagonally dominant symmetric matrix — the class
+/// capacitance matrices live in.
+fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in (r + 1)..n {
+                let v = vals[r * n + c];
+                m.set(r, c, v);
+                m.set(c, r, v);
+            }
+        }
+        for r in 0..n {
+            let dominance: f64 = (0..n).filter(|&c| c != r).map(|c| m.get(r, c).abs()).sum();
+            m.set(r, r, dominance + 1.0);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn inverse_roundtrips(m in arb_spd(6)) {
+        let inv = m.inverse().unwrap();
+        let id = m.mul(&inv).unwrap();
+        for r in 0..6 {
+            for c in 0..6 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((id.get(r, c) - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_agrees_with_inverse(m in arb_spd(5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let x1 = m.solve(&b).unwrap();
+        let x2 = m.inverse().unwrap().mul_vec(&b).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            prop_assert!((a - c).abs() < 1e-8 * c.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn determinant_of_product(m1 in arb_spd(4), m2 in arb_spd(4)) {
+        let d1 = m1.lu().unwrap().determinant();
+        let d2 = m2.lu().unwrap().determinant();
+        let dp = m1.mul(&m2).unwrap().lu().unwrap().determinant();
+        prop_assert!((dp - d1 * d2).abs() < 1e-6 * (d1 * d2).abs().max(1.0));
+    }
+
+    #[test]
+    fn sparsified_row_dot_matches_dense(m in arb_spd(6), x in prop::collection::vec(-2.0f64..2.0, 6)) {
+        let s = SparsifiedMatrix::new(&m, 0.0);
+        for r in 0..6 {
+            let dense = semsim_linalg::dot(m.row(r), &x);
+            prop_assert!((s.row_dot(r, &x) - dense).abs() < 1e-10 * dense.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_determinant(m in arb_spd(4)) {
+        let d = m.lu().unwrap().determinant();
+        let dt = m.transposed().lu().unwrap().determinant();
+        prop_assert!((d - dt).abs() < 1e-8 * d.abs().max(1.0));
+    }
+}

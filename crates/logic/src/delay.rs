@@ -1,0 +1,362 @@
+//! Stimulus generation and propagation-delay measurement — the
+//! methodology behind the paper's Figs. 6–7.
+//!
+//! A benchmark run settles the circuit under a sensitizing input
+//! vector, steps one primary input, and measures the time for the
+//! chosen output to cross `V_dd/2` (with a hold requirement to reject
+//! single-electron noise).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semsim_core::engine::{RunLength, SimConfig, Simulation};
+use semsim_netlist::LogicFile;
+
+use crate::{Elaborated, LogicError};
+
+/// Result of one propagation-delay measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayMeasurement {
+    /// Measured propagation delay (s).
+    pub delay: f64,
+    /// The stepped primary input.
+    pub input: String,
+    /// The observed output.
+    pub output: String,
+    /// The base input vector (before the step).
+    pub vector: Vec<bool>,
+    /// Whether the output transition was rising.
+    pub rising: bool,
+    /// Tunnel events executed during the measurement window.
+    pub events: u64,
+}
+
+/// Searches for an input vector and input index such that toggling that
+/// input flips `output`. Deterministic in `seed`.
+///
+/// Tries all `2^n` vectors exhaustively for up to 12 inputs, random
+/// sampling beyond that.
+pub fn find_sensitizing_vector(
+    logic: &LogicFile,
+    output: &str,
+    seed: u64,
+) -> Option<(Vec<bool>, usize)> {
+    let n = logic.inputs.len();
+    if n == 0 {
+        return None;
+    }
+    let check = |vector: &Vec<bool>| -> Option<usize> {
+        let base = logic.evaluate(vector);
+        let v0 = *base.get(output)?;
+        for i in 0..n {
+            let mut toggled = vector.clone();
+            toggled[i] = !toggled[i];
+            let v1 = logic.evaluate(&toggled)[output];
+            if v1 != v0 {
+                return Some(i);
+            }
+        }
+        None
+    };
+    if n <= 12 {
+        for bits in 0..(1u32 << n) {
+            let vector: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            if let Some(i) = check(&vector) {
+                return Some((vector, i));
+            }
+        }
+        None
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let vector: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            if let Some(i) = check(&vector) {
+                return Some((vector, i));
+            }
+        }
+        None
+    }
+}
+
+/// Applies `vector` to the primary inputs and lets the circuit settle
+/// for `settle` seconds, returning the measured output voltages (V).
+///
+/// # Errors
+///
+/// Propagates simulation errors; unknown outputs are impossible for a
+/// validated netlist.
+pub fn settle_outputs(
+    elab: &Elaborated,
+    logic: &LogicFile,
+    config: &SimConfig,
+    vector: &[bool],
+    settle: f64,
+) -> Result<HashMap<String, f64>, LogicError> {
+    let mut sim = Simulation::new(&elab.circuit, config.clone())?;
+    apply_vector(&mut sim, elab, logic, vector)?;
+    sim.run(RunLength::Time(settle))?;
+    let mut out = HashMap::new();
+    for name in &logic.outputs {
+        let node = elab.signal(name)?;
+        out.insert(name.clone(), sim.node_potential(node));
+    }
+    Ok(out)
+}
+
+fn apply_vector(
+    sim: &mut Simulation<'_>,
+    elab: &Elaborated,
+    logic: &LogicFile,
+    vector: &[bool],
+) -> Result<(), LogicError> {
+    for (name, &bit) in logic.inputs.iter().zip(vector) {
+        let lead = elab.input_lead(name)?;
+        let v = if bit { elab.params.vdd } else { 0.0 };
+        sim.set_lead_voltage(lead, v)?;
+    }
+    Ok(())
+}
+
+/// Measures the propagation delay from a step on a sensitizing input to
+/// the 50 %-crossing of `output`.
+///
+/// The circuit settles for `settle_factor·τ` (τ = the family's
+/// [`crate::SetLogicParams::switching_time`]), then the input steps and
+/// the output is watched for `window_factor·τ`.
+///
+/// # Errors
+///
+/// * [`LogicError::NoSensitizingVector`] if the output is not
+///   controllable from any single input toggle;
+/// * [`LogicError::NoTransition`] if the output never crosses within
+///   the window (e.g. a solver threshold so loose the circuit froze).
+pub fn measure_delay(
+    elab: &Elaborated,
+    logic: &LogicFile,
+    config: &SimConfig,
+    output: &str,
+    settle_factor: f64,
+    window_factor: f64,
+) -> Result<DelayMeasurement, LogicError> {
+    let (vector, input_idx) = find_sensitizing_vector(logic, output, config.seed)
+        .ok_or_else(|| LogicError::NoSensitizingVector { output: output.into() })?;
+    let input = logic.inputs[input_idx].clone();
+    let tau = elab.params.switching_time();
+
+    let mut sim = Simulation::new(&elab.circuit, config.clone())?;
+    apply_vector(&mut sim, elab, logic, &vector)?;
+    sim.run(RunLength::Time(settle_factor * tau))?;
+
+    // Expected transition direction from the Boolean model.
+    let before = logic.evaluate(&vector)[output];
+    let mut toggled = vector.clone();
+    toggled[input_idx] = !toggled[input_idx];
+    let after = logic.evaluate(&toggled)[output];
+    debug_assert_ne!(before, after);
+    let rising = after;
+
+    // Attach the probe only now so the crossing search sees the
+    // post-step trace.
+    let node = elab.signal(output)?;
+    let probe_idx = sim.add_probe(node, 1);
+    let t0 = sim.time();
+    let lead = elab.input_lead(&input)?;
+    let v_new = if toggled[input_idx] { elab.params.vdd } else { 0.0 };
+    sim.set_lead_voltage(lead, v_new)?;
+    let events_before = sim.events();
+    let record = sim.run(RunLength::Time(window_factor * tau))?;
+    let events = sim.events() - events_before;
+
+    let level = 0.5 * elab.params.vdd;
+    let probe = &record.probes[probe_idx];
+    let crossing = probe
+        .crossing_time(t0, level, rising, 5)
+        .ok_or_else(|| LogicError::NoTransition {
+            output: output.into(),
+            window: window_factor * tau,
+        })?;
+    Ok(DelayMeasurement {
+        delay: crossing - t0,
+        input,
+        output: output.into(),
+        vector,
+        rising,
+        events,
+    })
+}
+
+/// Measures the propagation delay averaged over `transitions`
+/// back-and-forth input toggles within one run — the per-run variance
+/// of a single stochastic crossing shrinks by `√transitions`, which is
+/// what makes the paper's few-percent delay-error comparison (Fig. 7)
+/// resolvable above single-electron noise.
+///
+/// # Errors
+///
+/// As [`measure_delay`]; additionally fails with
+/// [`LogicError::NoTransition`] if fewer than half the toggles produce
+/// an observable crossing.
+pub fn measure_delay_avg(
+    elab: &Elaborated,
+    logic: &LogicFile,
+    config: &SimConfig,
+    output: &str,
+    settle_factor: f64,
+    window_factor: f64,
+    transitions: usize,
+) -> Result<DelayMeasurement, LogicError> {
+    let (vector, input_idx) = find_sensitizing_vector(logic, output, config.seed)
+        .ok_or_else(|| LogicError::NoSensitizingVector { output: output.into() })?;
+    let input = logic.inputs[input_idx].clone();
+    let tau = elab.params.switching_time();
+    let transitions = transitions.max(1);
+
+    let mut sim = Simulation::new(&elab.circuit, config.clone())?;
+    apply_vector(&mut sim, elab, logic, &vector)?;
+    sim.run(RunLength::Time(settle_factor * tau))?;
+
+    let node = elab.signal(output)?;
+    let probe_idx = sim.add_probe(node, 1);
+    let lead = elab.input_lead(&input)?;
+    let level = 0.5 * elab.params.vdd;
+    let base = logic.evaluate(&vector)[output];
+
+    let mut delays = Vec::with_capacity(transitions);
+    let mut events = 0;
+    let mut current_bit = vector[input_idx];
+    let mut last_rising = base;
+    for _ in 0..transitions {
+        current_bit = !current_bit;
+        let rising = !last_rising;
+        last_rising = rising;
+        let t0 = sim.time();
+        let v_new = if current_bit { elab.params.vdd } else { 0.0 };
+        sim.set_lead_voltage(lead, v_new)?;
+        let ev0 = sim.events();
+        let record = sim.run(RunLength::Time(window_factor * tau))?;
+        events += sim.events() - ev0;
+        if let Some(t) = record.probes[probe_idx].crossing_time(t0, level, rising, 5) {
+            delays.push(t - t0);
+        }
+    }
+    if delays.len() * 2 < transitions {
+        return Err(LogicError::NoTransition {
+            output: output.into(),
+            window: window_factor * tau,
+        });
+    }
+    Ok(DelayMeasurement {
+        delay: delays.iter().sum::<f64>() / delays.len() as f64,
+        input,
+        output: output.into(),
+        vector,
+        rising: !base,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elaborate, SetLogicParams};
+
+    fn inverter() -> (LogicFile, Elaborated) {
+        let logic = LogicFile::parse("input a\noutput y\ninv y a\n").unwrap();
+        let elab = elaborate(&logic, &SetLogicParams::default()).unwrap();
+        (logic, elab)
+    }
+
+    #[test]
+    fn sensitizing_vector_for_inverter() {
+        let (logic, _) = inverter();
+        let (vector, idx) = find_sensitizing_vector(&logic, "y", 0).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(vector.len(), 1);
+    }
+
+    #[test]
+    fn sensitizing_vector_full_adder() {
+        let logic = LogicFile::parse(
+            "input a b cin\noutput sum cout\nxor t1 a b\nxor sum t1 cin\n\
+             and t2 a b\nand t3 t1 cin\nor cout t2 t3\n",
+        )
+        .unwrap();
+        for out in ["sum", "cout"] {
+            let (vector, idx) = find_sensitizing_vector(&logic, out, 1).unwrap();
+            let before = logic.evaluate(&vector)[out];
+            let mut t = vector.clone();
+            t[idx] = !t[idx];
+            assert_ne!(logic.evaluate(&t)[out], before);
+        }
+    }
+
+    #[test]
+    fn constant_output_has_no_vector() {
+        // y = a NAND a' is constant 1... simpler: output tied to input
+        // of a 2-gate cancellation is hard to express; use a buffer of a
+        // buffer and ask for a nonexistent output instead.
+        let (logic, _) = inverter();
+        assert!(find_sensitizing_vector(&logic, "nope", 0).is_none());
+    }
+
+    #[test]
+    fn inverter_levels_are_complementary() {
+        let (logic, elab) = inverter();
+        let cfg = SimConfig::new(elab.params.temperature).with_seed(3);
+        let tau = elab.params.switching_time();
+        let low_in = settle_outputs(&elab, &logic, &cfg, &[false], 40.0 * tau).unwrap();
+        let high_in = settle_outputs(&elab, &logic, &cfg, &[true], 40.0 * tau).unwrap();
+        let vdd = elab.params.vdd;
+        assert!(
+            low_in["y"] > 0.7 * vdd,
+            "output high was {:.2} mV of Vdd = {:.2} mV",
+            low_in["y"] * 1e3,
+            vdd * 1e3
+        );
+        assert!(
+            high_in["y"] < 0.3 * vdd,
+            "output low was {:.2} mV",
+            high_in["y"] * 1e3
+        );
+    }
+
+    #[test]
+    fn inverter_delay_is_on_the_rc_scale() {
+        let (logic, elab) = inverter();
+        let cfg = SimConfig::new(elab.params.temperature).with_seed(7);
+        let m = measure_delay(&elab, &logic, &cfg, "y", 40.0, 200.0).unwrap();
+        let tau = elab.params.switching_time();
+        assert!(m.delay > 0.0);
+        assert!(
+            m.delay < 50.0 * tau,
+            "delay {:.3e} s ≫ switching scale {:.3e} s",
+            m.delay,
+            tau
+        );
+        assert!(m.events > 0);
+    }
+
+    #[test]
+    fn nand_truth_table_in_silicon() {
+        let logic = LogicFile::parse("input a b\noutput y\nnand y a b\n").unwrap();
+        let elab = elaborate(&logic, &SetLogicParams::default()).unwrap();
+        let cfg = SimConfig::new(elab.params.temperature).with_seed(11);
+        let tau = elab.params.switching_time();
+        let vdd = elab.params.vdd;
+        for (a, b, want_high) in [
+            (false, false, true),
+            (true, false, true),
+            (false, true, true),
+            (true, true, false),
+        ] {
+            let out = settle_outputs(&elab, &logic, &cfg, &[a, b], 60.0 * tau).unwrap();
+            let y = out["y"];
+            if want_high {
+                assert!(y > 0.6 * vdd, "NAND({a},{b}) = {:.2} mV, want high", y * 1e3);
+            } else {
+                assert!(y < 0.4 * vdd, "NAND({a},{b}) = {:.2} mV, want low", y * 1e3);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+use semsim_core::CoreError;
+use semsim_netlist::ParseError;
+
+/// Errors from logic elaboration and measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicError {
+    /// The gate parameters violate an operating condition.
+    BadParams {
+        /// Which condition failed.
+        what: String,
+    },
+    /// A referenced signal does not exist in the netlist.
+    UnknownSignal {
+        /// The missing signal name.
+        name: String,
+    },
+    /// No input vector sensitizes the requested output.
+    NoSensitizingVector {
+        /// The output that could not be toggled.
+        output: String,
+    },
+    /// The output never crossed the logic threshold within the
+    /// measurement window.
+    NoTransition {
+        /// The output being watched.
+        output: String,
+        /// The measurement window (s).
+        window: f64,
+    },
+    /// An underlying simulator error.
+    Core(CoreError),
+    /// An underlying netlist error.
+    Parse(ParseError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::BadParams { what } => write!(f, "invalid logic parameters: {what}"),
+            LogicError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            LogicError::NoSensitizingVector { output } => {
+                write!(f, "no input vector toggles output `{output}`")
+            }
+            LogicError::NoTransition { output, window } => {
+                write!(f, "output `{output}` did not switch within {window:.3e} s")
+            }
+            LogicError::Core(e) => write!(f, "simulation error: {e}"),
+            LogicError::Parse(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for LogicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogicError::Core(e) => Some(e),
+            LogicError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<CoreError> for LogicError {
+    fn from(e: CoreError) -> Self {
+        LogicError::Core(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ParseError> for LogicError {
+    fn from(e: ParseError) -> Self {
+        LogicError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LogicError::UnknownSignal { name: "x".into() };
+        assert_eq!(e.to_string(), "unknown signal `x`");
+        assert!(e.source().is_none());
+        let e = LogicError::Core(CoreError::NoJunctions);
+        assert!(e.source().is_some());
+        let e = LogicError::NoTransition { output: "y".into(), window: 1e-9 };
+        assert!(e.to_string().contains("1.000e-9") || e.to_string().contains("1e-9"));
+    }
+}

@@ -1,0 +1,235 @@
+use semsim_core::constants::E_CHARGE;
+
+use crate::LogicError;
+
+/// Device and supply parameters of the nSET/pSET logic family.
+///
+/// Both transistor types are ordinary SETs with a second, constant-bias
+/// gate (the paper's description of nSETs/pSETs). The bias charges are
+/// tuned so that:
+///
+/// * the **nSET** sits at a Coulomb-conductance degeneracy when its
+///   input is at `V_dd` (`C_b·V_n + C_g·V_dd ≈ e/2`) and deep in
+///   blockade at input 0;
+/// * the **pSET** sits at a degeneracy *when the output has risen to
+///   `V_dd`* — the extra `C_Σ·V_dd/e` term tracks the source-follower
+///   shift of the island operating point as the output node charges —
+///   and at an integer charge (blockade) when its input is high.
+///
+/// With the default values the inverter swings essentially rail-to-rail
+/// (V_OH ≈ 9.6 mV of V_dd = 10 mV, V_OL ≈ 0) with a per-stage delay of
+/// a few ns; these were verified by direct Monte Carlo transfer-curve
+/// scans (see the tests in `delay.rs`).
+///
+/// # Example
+///
+/// ```
+/// let p = semsim_logic::SetLogicParams::default();
+/// assert!(p.validate().is_ok());
+/// assert!(p.vdd < p.nset_blockade_threshold());
+/// assert!(p.vdd < p.pset_blockade_threshold());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetLogicParams {
+    /// Tunnel resistance of every junction (Ω).
+    pub junction_resistance: f64,
+    /// Capacitance of every junction (F). Kept small relative to `C_g`
+    /// so drain/source swings barely detune the islands.
+    pub junction_capacitance: f64,
+    /// Input gate capacitance `C_g` (F).
+    pub input_gate_capacitance: f64,
+    /// Bias gate capacitance `C_b` (F), same for both types.
+    pub bias_gate_capacitance: f64,
+    /// Load capacitance per logic node (F) — the paper's `C_L`/`C_1`
+    /// "large capacitance of the metal wire" that isolates stages.
+    pub load_capacitance: f64,
+    /// Supply voltage `V_dd` (V); logic low is 0 V.
+    pub vdd: f64,
+    /// pSET bias voltage `V_p` (V).
+    pub vp: f64,
+    /// nSET bias voltage `V_n` (V).
+    pub vn: f64,
+    /// Operating temperature (K).
+    pub temperature: f64,
+}
+
+impl Default for SetLogicParams {
+    fn default() -> Self {
+        let vdd = 10e-3;
+        let cj = 0.25e-18;
+        let cg = 5e-18;
+        let cb = 0.5e-18;
+        let csig_p = 2.0 * cj + cg + cb;
+        // pSET degeneracy tracks the rising output: q_bp = e/2 +
+        // C_Σ·V_dd − 0.05e (the −0.05e keeps the blocked state snugly
+        // at an integer; value from the Monte Carlo tuning scan).
+        let qbp = 0.5 * E_CHARGE + csig_p * vdd - 0.05 * E_CHARGE;
+        // nSET degeneracy at input high: q_bn = e/2 − C_g·V_dd.
+        let qbn = 0.5 * E_CHARGE - cg * vdd;
+        SetLogicParams {
+            junction_resistance: 1e6,
+            junction_capacitance: cj,
+            input_gate_capacitance: cg,
+            bias_gate_capacitance: cb,
+            load_capacitance: 300e-18,
+            vdd,
+            vp: qbp / cb, // ≈ 264 mV
+            vn: qbn / cb, // ≈ 60 mV
+            temperature: 2.0,
+        }
+    }
+}
+
+impl SetLogicParams {
+    /// Total island capacitance of either transistor type
+    /// (`2C_j + C_g + C_b`; both carry a bias gate).
+    pub fn island_sigma(&self) -> f64 {
+        2.0 * self.junction_capacitance
+            + self.input_gate_capacitance
+            + self.bias_gate_capacitance
+    }
+
+    /// Blockade threshold `e/C_Σ` of an nSET (V).
+    pub fn nset_blockade_threshold(&self) -> f64 {
+        E_CHARGE / self.island_sigma()
+    }
+
+    /// Blockade threshold `e/C_Σ` of a pSET (V).
+    pub fn pset_blockade_threshold(&self) -> f64 {
+        E_CHARGE / self.island_sigma()
+    }
+
+    /// pSET bias charge `C_b·V_p` in units of `e`.
+    pub fn pset_bias_charge(&self) -> f64 {
+        self.bias_gate_capacitance * self.vp / E_CHARGE
+    }
+
+    /// nSET bias charge `C_b·V_n` in units of `e`.
+    pub fn nset_bias_charge(&self) -> f64 {
+        self.bias_gate_capacitance * self.vn / E_CHARGE
+    }
+
+    /// Checks the operating conditions of the logic family: positive
+    /// finite components, supply below the blockade threshold, and both
+    /// bias charges within ±0.1 e of their design values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::BadParams`] naming the violated condition.
+    pub fn validate(&self) -> Result<(), LogicError> {
+        for (name, v) in [
+            ("junction_resistance", self.junction_resistance),
+            ("junction_capacitance", self.junction_capacitance),
+            ("input_gate_capacitance", self.input_gate_capacitance),
+            ("bias_gate_capacitance", self.bias_gate_capacitance),
+            ("load_capacitance", self.load_capacitance),
+            ("vdd", self.vdd),
+            ("vp", self.vp),
+            ("vn", self.vn),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(LogicError::BadParams {
+                    what: format!("{name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+        if self.temperature < 0.0 {
+            return Err(LogicError::BadParams {
+                what: format!("temperature must be ≥ 0, got {}", self.temperature),
+            });
+        }
+        if self.vdd >= self.nset_blockade_threshold() {
+            return Err(LogicError::BadParams {
+                what: format!(
+                    "V_dd = {} V is not below the blockade threshold {:.3e} V",
+                    self.vdd,
+                    self.nset_blockade_threshold()
+                ),
+            });
+        }
+        let qbp_design =
+            0.5 + (self.island_sigma() * self.vdd) / E_CHARGE - 0.05;
+        let qbp = self.pset_bias_charge();
+        if (qbp - qbp_design).abs() > 0.1 {
+            return Err(LogicError::BadParams {
+                what: format!("pSET bias charge {qbp:.3}e, design point {qbp_design:.3}e"),
+            });
+        }
+        let qbn_design = 0.5 - self.input_gate_capacitance * self.vdd / E_CHARGE;
+        let qbn = self.nset_bias_charge();
+        if (qbn - qbn_design).abs() > 0.1 {
+            return Err(LogicError::BadParams {
+                what: format!("nSET bias charge {qbn:.3}e, design point {qbn_design:.3}e"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Characteristic per-stage switching time (s), calibrated against
+    /// Monte Carlo inverter transients (the naive `2RC_L` underestimates
+    /// because the final approach to the rails is thermally limited).
+    ///
+    /// The default `C_L = 300 aF` keeps the single-electron voltage
+    /// granularity `e/C_L ≈ 0.5 mV` well below the gate switching
+    /// threshold (~1.5 mV), so logic-low levels land reliably under the
+    /// cliff — with 150 aF the ±1-electron scatter of a settled low
+    /// reaches 2 mV and cascades corrupt (found the hard way).
+    pub fn switching_time(&self) -> f64 {
+        30.0 * self.junction_resistance * self.load_capacitance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SetLogicParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_bias_charges_at_design_point() {
+        let p = SetLogicParams::default();
+        // Tuned values from the Monte Carlo scan.
+        assert!((p.pset_bias_charge() - 0.824).abs() < 0.01, "{}", p.pset_bias_charge());
+        assert!((p.nset_bias_charge() - 0.188).abs() < 0.01, "{}", p.nset_bias_charge());
+    }
+
+    #[test]
+    fn blockade_margin_exists() {
+        let p = SetLogicParams::default();
+        assert!(p.nset_blockade_threshold() > p.vdd * 1.5);
+        assert!(p.pset_blockade_threshold() > p.vdd * 1.5);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut p = SetLogicParams::default();
+        p.vdd = 40e-3; // destroys the blockade margin
+        assert!(p.validate().is_err());
+
+        let mut p = SetLogicParams::default();
+        p.junction_capacitance = -1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = SetLogicParams::default();
+        p.vp *= 2.0; // bias far off the design point
+        assert!(p.validate().is_err());
+
+        let mut p = SetLogicParams::default();
+        p.vn *= 3.0;
+        assert!(p.validate().is_err());
+
+        let mut p = SetLogicParams::default();
+        p.temperature = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn switching_time_scale() {
+        let p = SetLogicParams::default();
+        // 30 × 1 MΩ × 300 aF = 9 ns, the measured per-stage scale.
+        assert!((p.switching_time() - 9e-9).abs() < 1e-12);
+    }
+}

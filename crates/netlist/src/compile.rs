@@ -1,0 +1,362 @@
+//! Compilation of a parsed [`CircuitFile`] into a simulatable
+//! [`semsim_core::circuit::Circuit`], and a small interpreter that
+//! executes the file's `jumps`/`sweep` directives — the paper's "input
+//! circuit interpretation" stage (Fig. 3).
+
+use std::collections::HashMap;
+
+use semsim_core::circuit::{Circuit, CircuitBuilder, JunctionId, NodeId};
+use semsim_core::constants::ev_to_joule;
+use semsim_core::engine::{sweep, RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
+use semsim_core::superconduct::SuperconductingParams;
+use semsim_core::CoreError;
+
+use crate::{CircuitFile, ParseError};
+
+/// A compiled circuit plus the mappings from file-level numbering to
+/// core identifiers.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    /// The simulatable circuit.
+    pub circuit: Circuit,
+    /// File node number → core node.
+    pub nodes: HashMap<usize, NodeId>,
+    /// File junction id → core junction.
+    pub junctions: HashMap<usize, JunctionId>,
+    /// File node number → lead index (for nodes carrying a `vdc`).
+    pub leads: HashMap<usize, usize>,
+}
+
+impl CompiledCircuit {
+    /// Looks up the core node of a file node number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] for an unreferenced number.
+    pub fn node(&self, file_node: usize) -> Result<NodeId, CoreError> {
+        self.nodes
+            .get(&file_node)
+            .copied()
+            .ok_or(CoreError::UnknownNode { node: file_node })
+    }
+
+    /// Looks up the core junction of a file junction id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownJunction`] for an unknown id.
+    pub fn junction(&self, file_id: usize) -> Result<JunctionId, CoreError> {
+        self.junctions
+            .get(&file_id)
+            .copied()
+            .ok_or(CoreError::UnknownJunction { junction: file_id })
+    }
+}
+
+impl CircuitFile {
+    /// Compiles the file into a circuit: nodes carrying a `vdc` become
+    /// leads (node 0 is always ground), all others become islands with
+    /// their `charge` declarations as background charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for semantic problems (a `charge` on a
+    /// source node, components referencing no-longer-existing nodes) and
+    /// wraps [`CoreError`]s from circuit construction.
+    pub fn compile(&self) -> Result<CompiledCircuit, ParseError> {
+        let mut b = CircuitBuilder::new();
+        let mut nodes: HashMap<usize, NodeId> = HashMap::new();
+        let mut leads: HashMap<usize, usize> = HashMap::new();
+        nodes.insert(0, NodeId::GROUND);
+        leads.insert(0, 0);
+
+        let source_nodes = self.source_nodes();
+        let charge_of: HashMap<usize, f64> = self.charges.iter().copied().collect();
+        for &(n, _) in &self.charges {
+            if source_nodes.contains(&n) {
+                return Err(ParseError::new(
+                    0,
+                    format!("node {n} has both a `charge` and a `vdc` (leads hold no background charge)"),
+                ));
+            }
+        }
+
+        // Leads first (their index order mirrors the file's source list),
+        // then islands in ascending node-number order.
+        let mut lead_index = 1;
+        for &(n, v) in &self.sources {
+            if nodes.contains_key(&n) {
+                return Err(ParseError::new(0, format!("node {n} has two `vdc` sources")));
+            }
+            let id = b.add_lead(v);
+            nodes.insert(n, id);
+            leads.insert(n, lead_index);
+            lead_index += 1;
+        }
+        for n in self.node_numbers() {
+            if !nodes.contains_key(&n) {
+                let q = charge_of.get(&n).copied().unwrap_or(0.0);
+                nodes.insert(n, b.add_island_with_charge(q));
+            }
+        }
+
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+        let mut junctions = HashMap::new();
+        for j in &self.junctions {
+            let a = nodes[&j.node_a];
+            let bnode = nodes[&j.node_b];
+            let id = b
+                .add_junction(a, bnode, j.resistance(), j.capacitance)
+                .map_err(wrap)?;
+            junctions.insert(j.id, id);
+        }
+        for c in &self.capacitors {
+            b.add_capacitor(nodes[&c.node_a], nodes[&c.node_b], c.capacitance)
+                .map_err(wrap)?;
+        }
+        let circuit = b.build().map_err(wrap)?;
+        Ok(CompiledCircuit {
+            circuit,
+            nodes,
+            junctions,
+            leads,
+        })
+    }
+
+    /// Builds the [`SimConfig`] implied by the file's directives.
+    ///
+    /// # Errors
+    ///
+    /// Wraps invalid superconducting parameters.
+    pub fn sim_config(&self) -> Result<SimConfig, ParseError> {
+        let mut cfg = SimConfig::new(self.temperature).with_cotunneling(self.cotunnel);
+        if let Some(s) = &self.superconducting {
+            let params = SuperconductingParams::new(ev_to_joule(s.gap_ev), s.tc)
+                .map_err(|e| ParseError::new(0, e.to_string()))?;
+            cfg = cfg.with_superconducting(params);
+        }
+        if let Some((theta, refresh)) = self.adaptive {
+            cfg = cfg.with_solver(SolverSpec::Adaptive {
+                threshold: theta,
+                refresh_interval: refresh,
+            });
+        }
+        if let Some(seed) = self.seed {
+            cfg = cfg.with_seed(seed);
+        }
+        Ok(cfg)
+    }
+
+    /// Executes the file: compiles it, and either runs the declared
+    /// `sweep` (returning one I–V point per step, measured through the
+    /// first recorded junction) or performs a single run (returning one
+    /// point at the declared bias).
+    ///
+    /// The paper's `symm` directive is honoured: the named source is
+    /// held at minus the swept voltage.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors as [`ParseError`]; simulation errors convert
+    /// to [`ParseError`] with the core error message.
+    pub fn execute(&self) -> Result<Vec<SweepPoint>, ParseError> {
+        let compiled = self.compile()?;
+        let cfg = self.sim_config()?;
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+
+        let record_junction = match &self.record {
+            Some(r) => compiled.junction(r.from).map_err(wrap)?,
+            None => JunctionId::from_index_checked(&compiled.circuit, 0).map_err(wrap)?,
+        };
+        let events = self.jumps.map(|(e, _)| e).unwrap_or(100_000);
+
+        match &self.sweep {
+            None => {
+                let mut sim = Simulation::new(&compiled.circuit, cfg).map_err(wrap)?;
+                let run_result = match self.sim_time {
+                    Some(t) => sim.run(RunLength::Time(t)),
+                    None => sim.run(RunLength::Events(events)),
+                };
+                // A fully blockaded circuit reads zero current — the
+                // physically correct result, not a failure.
+                let current = match run_result {
+                    Ok(record) => record.current(record_junction),
+                    Err(CoreError::BlockadeStall { .. }) => 0.0,
+                    Err(e) => return Err(wrap(e)),
+                };
+                let bias = self
+                    .sweep_source_voltage()
+                    .unwrap_or_else(|| self.sources.first().map(|&(_, v)| v).unwrap_or(0.0));
+                Ok(vec![SweepPoint {
+                    control: bias,
+                    current,
+                }])
+            }
+            Some(spec) => {
+                let lead = *compiled
+                    .leads
+                    .get(&spec.node)
+                    .ok_or_else(|| ParseError::new(0, format!("sweep node {} has no vdc", spec.node)))?;
+                let symm_lead = match self.symmetric_with {
+                    Some(n) => Some(*compiled.leads.get(&n).ok_or_else(|| {
+                        ParseError::new(0, format!("symm node {n} has no vdc"))
+                    })?),
+                    None => None,
+                };
+                let start = self
+                    .sources
+                    .iter()
+                    .find(|&&(n, _)| n == spec.node)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                let n_steps = ((spec.end - start) / spec.step).abs().round() as usize + 1;
+                let controls: Vec<f64> = (0..n_steps)
+                    .map(|i| start + (spec.end - start) * i as f64 / (n_steps - 1).max(1) as f64)
+                    .collect();
+                sweep(
+                    &compiled.circuit,
+                    &cfg,
+                    record_junction,
+                    &controls,
+                    events / 10,
+                    events,
+                    |sim, v| {
+                        sim.set_lead_voltage(lead, v)?;
+                        if let Some(sl) = symm_lead {
+                            sim.set_lead_voltage(sl, -v)?;
+                        }
+                        Ok(())
+                    },
+                )
+                .map_err(wrap)
+            }
+        }
+    }
+
+    fn sweep_source_voltage(&self) -> Option<f64> {
+        let node = self.sweep.as_ref()?.node;
+        self.sources
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Internal helper: checked construction of a junction id from a raw
+/// index (used when a file has no `record` directive).
+trait JunctionIdExt: Sized {
+    fn from_index_checked(circuit: &Circuit, index: usize) -> Result<Self, CoreError>;
+}
+
+impl JunctionIdExt for JunctionId {
+    fn from_index_checked(circuit: &Circuit, index: usize) -> Result<Self, CoreError> {
+        circuit
+            .junction_ids()
+            .nth(index)
+            .ok_or(CoreError::UnknownJunction { junction: index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SET_FILE: &str = "\
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+charge 4 0.0
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+temp 5
+record 1 2 2
+jumps 3000 1
+";
+
+    #[test]
+    fn compiles_paper_set() {
+        let f = CircuitFile::parse(SET_FILE).unwrap();
+        let c = f.compile().unwrap();
+        assert_eq!(c.circuit.num_islands(), 1);
+        assert_eq!(c.circuit.num_leads(), 4); // ground + 3 vdc
+        assert_eq!(c.circuit.num_junctions(), 2);
+        let island = c.node(4).unwrap();
+        assert!(c.circuit.is_island(island));
+        assert!((c.circuit.total_capacitance(island).unwrap() - 5e-18).abs() < 1e-30);
+        assert!(c.node(99).is_err());
+        assert!(c.junction(1).is_ok());
+        assert!(c.junction(9).is_err());
+    }
+
+    #[test]
+    fn executes_single_run() {
+        let f = CircuitFile::parse(SET_FILE).unwrap();
+        let pts = f.execute().unwrap();
+        assert_eq!(pts.len(), 1);
+        // 40 mV total bias > e/CΣ = 32 mV: the SET conducts.
+        assert!(pts[0].current.abs() > 1e-11, "{}", pts[0].current);
+    }
+
+    #[test]
+    fn executes_sweep_with_symmetric_bias() {
+        let text = format!("{SET_FILE}symm 1\nsweep 2 0.02 0.01\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let pts = f.execute().unwrap();
+        // -0.02 → 0.02 in 0.01 steps = 5 points.
+        assert_eq!(pts.len(), 5);
+        // Midpoint (zero bias) is blockaded; ends conduct.
+        assert!(pts[2].current.abs() < 1e-12);
+        assert!(pts[0].current.abs() > 1e-11);
+        assert!(pts[4].current.abs() > 1e-11);
+        // Odd symmetry of the I–V under symmetric bias.
+        assert!(
+            (pts[0].current + pts[4].current).abs() < 0.2 * pts[4].current.abs(),
+            "{} vs {}",
+            pts[0].current,
+            pts[4].current
+        );
+    }
+
+    #[test]
+    fn charge_on_source_node_rejected() {
+        let f = CircuitFile::parse("junc 1 1 2 1e-6 1e-18\nvdc 1 0.0\ncharge 1 0.5\n").unwrap();
+        assert!(f.compile().is_err());
+    }
+
+    #[test]
+    fn background_charge_is_applied() {
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 1e-18\njunc 2 2 1 1e-6 1e-18\nvdc 1 0.0\ncharge 2 0.65\n",
+        )
+        .unwrap();
+        let c = f.compile().unwrap();
+        let q = c.circuit.island_background_charges()[0];
+        assert!((q - 0.65 * semsim_core::constants::E_CHARGE).abs() < 1e-25);
+    }
+
+    #[test]
+    fn adaptive_and_seed_flow_into_config() {
+        let f = CircuitFile::parse("junc 1 0 2 1e-6 1e-18\nadaptive 0.05 500\nseed 9\ntemp 1\n")
+            .unwrap();
+        let cfg = f.sim_config().unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert!(matches!(
+            cfg.solver,
+            SolverSpec::Adaptive { threshold, refresh_interval }
+                if threshold == 0.05 && refresh_interval == 500
+        ));
+    }
+
+    #[test]
+    fn superconducting_config_units() {
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 110e-18\nsuper\ngap 0.2e-3\ntc 1.2\ntemp 0.05\n",
+        )
+        .unwrap();
+        let cfg = f.sim_config().unwrap();
+        let sc = cfg.superconducting.unwrap();
+        assert!((sc.gap0 - ev_to_joule(0.2e-3)).abs() < 1e-30);
+        assert_eq!(sc.tc, 1.2);
+    }
+}

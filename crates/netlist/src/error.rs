@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, carrying the 1-based line number and a message.
+///
+/// # Example
+///
+/// ```
+/// use semsim_netlist::CircuitFile;
+///
+/// let err = CircuitFile::parse("junc 1 bogus").unwrap_err();
+/// assert_eq!(err.line(), 1);
+/// assert!(err.to_string().contains("line 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `line` (1-based) with `message`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new(7, "bad token");
+        assert_eq!(e.to_string(), "line 7: bad token");
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "bad token");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

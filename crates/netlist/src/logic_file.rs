@@ -1,0 +1,426 @@
+//! Parser for gate-level logic netlists (the paper's "logic
+//! representation of circuit netlist, such as NAND and NOR network").
+//!
+//! Format, one statement per line (`#` comments):
+//!
+//! ```text
+//! input a b cin
+//! output sum cout
+//! xor t1 a b
+//! xor sum t1 cin
+//! and t2 a b
+//! and t3 t1 cin
+//! or  cout t2 t3
+//! ```
+//!
+//! The first token of a gate line is the gate kind, the second the
+//! output signal, the rest the input signals. Signals are named; every
+//! non-input signal must be driven exactly once; the gate graph must be
+//! acyclic (this is combinational logic).
+
+use std::collections::HashMap;
+
+use crate::ParseError;
+
+/// Supported gate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter (1 input).
+    Inv,
+    /// Buffer (1 input).
+    Buf,
+    /// AND (≥ 2 inputs).
+    And,
+    /// OR (≥ 2 inputs).
+    Or,
+    /// NAND (≥ 2 inputs).
+    Nand,
+    /// NOR (≥ 2 inputs).
+    Nor,
+    /// XOR (exactly 2 inputs).
+    Xor,
+    /// XNOR (exactly 2 inputs).
+    Xnor,
+}
+
+impl GateKind {
+    fn from_token(tok: &str) -> Option<GateKind> {
+        match tok {
+            "inv" | "not" => Some(GateKind::Inv),
+            "buf" => Some(GateKind::Buf),
+            "and" => Some(GateKind::And),
+            "or" => Some(GateKind::Or),
+            "nand" => Some(GateKind::Nand),
+            "nor" => Some(GateKind::Nor),
+            "xor" => Some(GateKind::Xor),
+            "xnor" => Some(GateKind::Xnor),
+            _ => None,
+        }
+    }
+
+    /// Valid fan-in range for the kind.
+    pub fn fanin_range(&self) -> (usize, usize) {
+        match self {
+            GateKind::Inv | GateKind::Buf => (1, 1),
+            GateKind::Xor | GateKind::Xnor => (2, 2),
+            _ => (2, 8),
+        }
+    }
+
+    /// Evaluates the gate's Boolean function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert!(!inputs.is_empty(), "gate with no inputs");
+        match self {
+            GateKind::Inv => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Boolean function.
+    pub kind: GateKind,
+    /// Output signal name.
+    pub output: String,
+    /// Input signal names.
+    pub inputs: Vec<String>,
+}
+
+/// A parsed, validated combinational logic netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicFile {
+    /// Primary input names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Primary output names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Gates in topological order (inputs before consumers).
+    pub gates: Vec<Gate>,
+}
+
+impl LogicFile {
+    /// Parses and validates the logic format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed lines, undriven or
+    /// multiply-driven signals, bad fan-in, or combinational cycles.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut inputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut gates: Vec<Gate> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = content.split_whitespace().collect();
+            match parts[0] {
+                "input" => {
+                    if parts.len() < 2 {
+                        return Err(ParseError::new(line, "`input` needs at least one name"));
+                    }
+                    inputs.extend(parts[1..].iter().map(|s| s.to_string()));
+                }
+                "output" => {
+                    if parts.len() < 2 {
+                        return Err(ParseError::new(line, "`output` needs at least one name"));
+                    }
+                    outputs.extend(parts[1..].iter().map(|s| s.to_string()));
+                }
+                tok => {
+                    let kind = GateKind::from_token(tok).ok_or_else(|| {
+                        ParseError::new(line, format!("unknown gate kind `{tok}`"))
+                    })?;
+                    if parts.len() < 3 {
+                        return Err(ParseError::new(
+                            line,
+                            "gate needs an output and at least one input",
+                        ));
+                    }
+                    let gate = Gate {
+                        kind,
+                        output: parts[1].to_string(),
+                        inputs: parts[2..].iter().map(|s| s.to_string()).collect(),
+                    };
+                    let (lo, hi) = kind.fanin_range();
+                    if gate.inputs.len() < lo || gate.inputs.len() > hi {
+                        return Err(ParseError::new(
+                            line,
+                            format!(
+                                "{tok} gate takes {lo}..={hi} inputs, got {}",
+                                gate.inputs.len()
+                            ),
+                        ));
+                    }
+                    gates.push(gate);
+                }
+            }
+        }
+
+        Self::validate(inputs, outputs, gates)
+    }
+
+    /// Builds a netlist from already-constructed parts, running the
+    /// same validation and topological sort as [`LogicFile::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LogicFile::parse`] (line numbers are 0).
+    pub fn from_parts(
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        gates: Vec<Gate>,
+    ) -> Result<Self, ParseError> {
+        Self::validate(inputs, outputs, gates)
+    }
+
+    fn validate(
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+        gates: Vec<Gate>,
+    ) -> Result<Self, ParseError> {
+        let mut driver: HashMap<&str, usize> = HashMap::new();
+        for (gi, g) in gates.iter().enumerate() {
+            if inputs.iter().any(|i| i == &g.output) {
+                return Err(ParseError::new(
+                    0,
+                    format!("signal `{}` is both a primary input and a gate output", g.output),
+                ));
+            }
+            if driver.insert(g.output.as_str(), gi).is_some() {
+                return Err(ParseError::new(
+                    0,
+                    format!("signal `{}` is driven more than once", g.output),
+                ));
+            }
+        }
+        // Every referenced signal must be an input or driven.
+        for g in &gates {
+            for s in &g.inputs {
+                if !inputs.iter().any(|i| i == s) && !driver.contains_key(s.as_str()) {
+                    return Err(ParseError::new(0, format!("signal `{s}` is never driven")));
+                }
+            }
+        }
+        for o in &outputs {
+            if !inputs.iter().any(|i| i == o) && !driver.contains_key(o.as_str()) {
+                return Err(ParseError::new(0, format!("output `{o}` is never driven")));
+            }
+        }
+
+        // Topological sort (Kahn) to order gates and reject cycles.
+        let n = gates.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, g) in gates.iter().enumerate() {
+            for s in &g.inputs {
+                if let Some(&src) = driver.get(s.as_str()) {
+                    consumers[src].push(gi);
+                    indegree[gi] += 1;
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(gi) = ready.pop() {
+            order.push(gi);
+            for &c in &consumers[gi] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(ParseError::new(0, "combinational cycle detected"));
+        }
+        let gates = {
+            let mut sorted: Vec<Option<Gate>> = gates.into_iter().map(Some).collect();
+            order
+                .into_iter()
+                .map(|gi| sorted[gi].take().expect("each index visited once"))
+                .collect()
+        };
+        Ok(LogicFile {
+            inputs,
+            outputs,
+            gates,
+        })
+    }
+
+    /// Evaluates the netlist for the given primary-input assignment.
+    ///
+    /// Returns the value of every signal. Useful for verifying that an
+    /// elaborated single-electron implementation computes the same
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs.len()`.
+    pub fn evaluate(&self, values: &[bool]) -> HashMap<String, bool> {
+        assert_eq!(values.len(), self.inputs.len(), "input arity mismatch");
+        let mut env: HashMap<String, bool> = self
+            .inputs
+            .iter()
+            .cloned()
+            .zip(values.iter().copied())
+            .collect();
+        for g in &self.gates {
+            let ins: Vec<bool> = g.inputs.iter().map(|s| env[s.as_str()]).collect();
+            env.insert(g.output.clone(), g.kind.eval(&ins));
+        }
+        env
+    }
+
+    /// Total number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of SETs after CMOS-style elaboration: NAND/NOR become a
+    /// complementary nSET/pSET network with `2·fanin` transistors,
+    /// AND/OR add an output inverter (`2·fanin + 2`), a buffer is two
+    /// inverters, and XOR/XNOR expand to the standard 4-NAND realization
+    /// (16 SETs; +2 for the XNOR inverter).
+    ///
+    /// With this counting a full adder is exactly 50 SETs = 100
+    /// junctions — the paper's "Full-Adder (100)" benchmark size.
+    pub fn set_count(&self) -> usize {
+        self.gates.iter().map(|g| gate_set_count(g)).sum()
+    }
+}
+
+/// SET count of a single gate under the CMOS-style elaboration used by
+/// the logic crate (see [`LogicFile::set_count`]).
+pub fn gate_set_count(gate: &Gate) -> usize {
+    match gate.kind {
+        GateKind::Inv => 2,
+        GateKind::Buf => 4,
+        GateKind::Nand | GateKind::Nor => 2 * gate.inputs.len(),
+        GateKind::And | GateKind::Or => 2 * gate.inputs.len() + 2,
+        GateKind::Xor => 16,
+        GateKind::Xnor => 18,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL_ADDER: &str = "\
+input a b cin
+output sum cout
+xor t1 a b
+xor sum t1 cin
+and t2 a b
+and t3 t1 cin
+or cout t2 t3
+";
+
+    #[test]
+    fn parses_full_adder() {
+        let f = LogicFile::parse(FULL_ADDER).unwrap();
+        assert_eq!(f.inputs, vec!["a", "b", "cin"]);
+        assert_eq!(f.outputs, vec!["sum", "cout"]);
+        assert_eq!(f.gate_count(), 5);
+    }
+
+    #[test]
+    fn evaluates_full_adder_truth_table() {
+        let f = LogicFile::parse(FULL_ADDER).unwrap();
+        for n in 0..8u8 {
+            let a = n & 1 != 0;
+            let b = n & 2 != 0;
+            let cin = n & 4 != 0;
+            let env = f.evaluate(&[a, b, cin]);
+            let total = a as u8 + b as u8 + cin as u8;
+            assert_eq!(env["sum"], total & 1 != 0, "n={n}");
+            assert_eq!(env["cout"], total >= 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn topological_order_is_enforced() {
+        // Declare gates in reverse dependency order; parse must reorder.
+        let f = LogicFile::parse("input a\noutput y\ninv y t\ninv t a\n").unwrap();
+        assert_eq!(f.gates[0].output, "t");
+        assert_eq!(f.gates[1].output, "y");
+        let env = f.evaluate(&[true]);
+        assert!(env["y"]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let e = LogicFile::parse("input a\noutput y\nand y a x\nand x a y\n").unwrap_err();
+        assert!(e.message().contains("cycle"));
+    }
+
+    #[test]
+    fn undriven_signal_rejected() {
+        let e = LogicFile::parse("input a\noutput y\nand y a ghost\n").unwrap_err();
+        assert!(e.message().contains("never driven"));
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let e = LogicFile::parse("input a b\noutput y\ninv y a\ninv y b\n").unwrap_err();
+        assert!(e.message().contains("driven more than once"));
+    }
+
+    #[test]
+    fn input_cannot_be_driven() {
+        let e = LogicFile::parse("input a\noutput a\ninv a a\n").unwrap_err();
+        assert!(e.message().contains("both a primary input"));
+    }
+
+    #[test]
+    fn fanin_validation() {
+        assert!(LogicFile::parse("input a\noutput y\ninv y a a\n").is_err());
+        assert!(LogicFile::parse("input a b c\noutput y\nxor y a b c\n").is_err());
+        assert!(LogicFile::parse("input a\noutput y\nand y a\n").is_err());
+    }
+
+    #[test]
+    fn unknown_gate_kind() {
+        let e = LogicFile::parse("input a\noutput y\nfrobnicate y a\n").unwrap_err();
+        assert_eq!(e.line(), 3);
+    }
+
+    #[test]
+    fn set_count_matches_paper_full_adder() {
+        // 2 XOR (16 each) + 2 AND2 (6 each) + 1 OR2 (6) = 50 SETs,
+        // i.e. 100 junctions — the paper's "Full-Adder (100)".
+        let f = LogicFile::parse(FULL_ADDER).unwrap();
+        assert_eq!(f.set_count(), 50);
+    }
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(!GateKind::Nor.eval(&[true, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(GateKind::Buf.eval(&[true]));
+    }
+
+    #[test]
+    fn outputs_may_alias_inputs() {
+        let f = LogicFile::parse("input a\noutput a\n").unwrap();
+        assert_eq!(f.gate_count(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! BCS superconductivity helpers: Fermi function, reduced density of
+//! states (paper Eq. 4), and the temperature-dependent gap Δ(T).
+
+/// Coefficient of the standard BCS gap interpolation
+/// `Δ(T) = Δ(0)·tanh(C·√(T_c/T − 1))`.
+pub const BCS_GAP_TANH_COEFF: f64 = 1.74;
+
+/// Fermi–Dirac occupation `f(E) = 1/(1 + e^{E/kT})` with `E` and `kT` in
+/// the same energy units.
+///
+/// Numerically stable for large `|E/kT|` and correct in the `kT → 0`
+/// limit (step function; `f(0) = 1/2`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(semsim_quad::fermi(0.0, 1.0), 0.5);
+/// assert_eq!(semsim_quad::fermi(1.0, 0.0), 0.0);
+/// assert_eq!(semsim_quad::fermi(-1.0, 0.0), 1.0);
+/// ```
+#[inline]
+pub fn fermi(energy: f64, kt: f64) -> f64 {
+    if kt <= 0.0 {
+        return if energy > 0.0 {
+            0.0
+        } else if energy < 0.0 {
+            1.0
+        } else {
+            0.5
+        };
+    }
+    let x = energy / kt;
+    if x > 500.0 {
+        0.0
+    } else if x < -500.0 {
+        1.0
+    } else if x >= 0.0 {
+        let e = (-x).exp();
+        e / (1.0 + e)
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// BCS reduced density of states (paper Eq. 4):
+/// `N_s(E)/N(0) = |E| / √(E² − Δ²)` for `|E| > Δ`, else 0.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(semsim_quad::bcs_dos(0.5, 1.0), 0.0); // inside the gap
+/// let n = semsim_quad::bcs_dos(2.0, 1.0);
+/// assert!((n - 2.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn bcs_dos(energy: f64, gap: f64) -> f64 {
+    let e = energy.abs();
+    if gap <= 0.0 {
+        return 1.0; // normal metal
+    }
+    if e <= gap {
+        0.0
+    } else {
+        e / ((e - gap) * (e + gap)).sqrt()
+    }
+}
+
+/// Temperature-dependent BCS gap `Δ(T)` from the zero-temperature gap
+/// `gap0` and critical temperature `tc` (kelvin), using the standard
+/// interpolation `Δ(T) = Δ(0)·tanh(1.74·√(T_c/T − 1))`, which is accurate
+/// to ~2 % against the full BCS gap equation.
+///
+/// Returns `gap0` at `T = 0` and `0` at or above `T_c`.
+///
+/// # Example
+///
+/// ```
+/// let d0 = 0.2e-3; // 0.2 meV, as in the paper's Fig. 1c (in eV here)
+/// assert_eq!(semsim_quad::bcs_gap(d0, 1.2, 0.0), d0);
+/// assert_eq!(semsim_quad::bcs_gap(d0, 1.2, 1.2), 0.0);
+/// let mid = semsim_quad::bcs_gap(d0, 1.2, 0.6);
+/// assert!(mid > 0.9 * d0 && mid < d0);
+/// ```
+#[inline]
+pub fn bcs_gap(gap0: f64, tc: f64, temperature: f64) -> f64 {
+    if temperature <= 0.0 {
+        return gap0;
+    }
+    if tc <= 0.0 || temperature >= tc {
+        return 0.0;
+    }
+    gap0 * (BCS_GAP_TANH_COEFF * (tc / temperature - 1.0).sqrt()).tanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_symmetry() {
+        // f(E) + f(−E) = 1.
+        for &e in &[0.1, 1.0, 5.0, 50.0] {
+            let s = fermi(e, 1.0) + fermi(-e, 1.0);
+            assert!((s - 1.0).abs() < 1e-14, "E={e}");
+        }
+    }
+
+    #[test]
+    fn fermi_extremes_do_not_overflow() {
+        assert_eq!(fermi(1e6, 1.0), 0.0);
+        assert_eq!(fermi(-1e6, 1.0), 1.0);
+        assert!(fermi(700.0, 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn fermi_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let e = -5.0 + 0.1 * i as f64;
+            let f = fermi(e, 1.0);
+            assert!(f <= prev + 1e-15);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn dos_even_in_energy() {
+        assert_eq!(bcs_dos(1.5, 1.0), bcs_dos(-1.5, 1.0));
+    }
+
+    #[test]
+    fn dos_diverges_at_edge() {
+        assert!(bcs_dos(1.0 + 1e-12, 1.0) > 1e5);
+        assert_eq!(bcs_dos(1.0, 1.0), 0.0); // boundary counted as gap
+    }
+
+    #[test]
+    fn dos_tends_to_one_far_above_gap() {
+        assert!((bcs_dos(1e6, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dos_normal_metal_when_gap_zero() {
+        assert_eq!(bcs_dos(0.3, 0.0), 1.0);
+    }
+
+    #[test]
+    fn gap_monotone_in_temperature() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=12 {
+            let t = i as f64 * 0.1;
+            let g = bcs_gap(1.0, 1.2, t);
+            assert!(g <= prev + 1e-15, "t={t}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn gap_clamps_above_tc() {
+        assert_eq!(bcs_gap(1.0, 1.2, 2.0), 0.0);
+        assert_eq!(bcs_gap(1.0, 0.0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Numerically stable scalar kernels used by the rate equations.
+
+/// Computes `x / (e^x − 1)` without catastrophic cancellation or
+/// overflow.
+///
+/// This is the Bose-like occupancy factor at the heart of the orthodox
+/// tunneling rate (paper Eq. 1): with `x = ΔW/kT`,
+/// `Γ = occupancy_factor(x) · kT / (e²R)` — smooth through `x = 0`
+/// (value 1), `→ −x` for very negative `x`, and `→ 0` for very positive
+/// `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(semsim_quad::occupancy_factor(0.0), 1.0);
+/// assert!((semsim_quad::occupancy_factor(-100.0) - 100.0).abs() < 1e-9);
+/// assert_eq!(semsim_quad::occupancy_factor(1000.0), 0.0);
+/// ```
+#[inline]
+pub fn occupancy_factor(x: f64) -> f64 {
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x > 700.0 {
+        // e^x overflows; the factor is x·e^{−x} → 0 long before this.
+        return 0.0;
+    }
+    if x < -700.0 {
+        // e^x underflows; x/(e^x − 1) → −x.
+        return -x;
+    }
+    if x.abs() < 1e-5 {
+        // Series: x/(e^x−1) = 1 − x/2 + x²/12 − ...
+        return 1.0 - 0.5 * x + x * x / 12.0;
+    }
+    x / x.exp_m1()
+}
+
+/// Computes `ln(1 + e^x)` (the "softplus") without overflow.
+///
+/// Used by thermal-broadening corrections in the cotunneling rate and in
+/// diagnostics.
+///
+/// # Example
+///
+/// ```
+/// assert!((semsim_quad::log1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+/// assert!((semsim_quad::log1p_exp(1000.0) - 1000.0).abs() < 1e-12);
+/// assert!(semsim_quad::log1p_exp(-1000.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 35.0 {
+        x + (-x).exp()
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_continuity_near_zero() {
+        // Series branch and direct branch must agree at the seam.
+        let eps = 1.000001e-5;
+        let series = occupancy_factor(0.999999e-5);
+        let direct = occupancy_factor(eps);
+        assert!((series - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn occupancy_detailed_balance() {
+        // f(−x) − f(x) = x  (identity of x/(e^x−1)).
+        for &x in &[0.1, 1.0, 10.0, 100.0] {
+            let lhs = occupancy_factor(-x) - occupancy_factor(x);
+            assert!((lhs - x).abs() < 1e-9 * x.max(1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn occupancy_positive_everywhere() {
+        for i in -80..80 {
+            let x = i as f64 * 10.0;
+            assert!(occupancy_factor(x) >= 0.0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn occupancy_extreme_arguments() {
+        assert_eq!(occupancy_factor(1e308), 0.0);
+        assert_eq!(occupancy_factor(-1e4), 1e4);
+    }
+
+    #[test]
+    fn log1p_exp_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in -50..50 {
+            let v = log1p_exp(i as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,234 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`LookupTable`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Fewer than two sample points were supplied.
+    TooFewPoints {
+        /// Number of points supplied.
+        found: usize,
+    },
+    /// The abscissa grid was not strictly increasing.
+    NotMonotone {
+        /// Index at which monotonicity failed.
+        index: usize,
+    },
+    /// A sample value was NaN or infinite.
+    NonFinite {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::TooFewPoints { found } => {
+                write!(f, "lookup table needs at least 2 points, got {found}")
+            }
+            TableError::NotMonotone { index } => {
+                write!(f, "lookup table abscissae not strictly increasing at index {index}")
+            }
+            TableError::NonFinite { index } => {
+                write!(f, "lookup table sample at index {index} is not finite")
+            }
+        }
+    }
+}
+
+impl Error for TableError {}
+
+/// A piecewise-linear interpolation table over a strictly increasing grid.
+///
+/// Superconducting quasi-particle rates require an expensive singular
+/// integral per evaluation; the simulator tabulates `Γ_qp(ΔW)` once per
+/// junction configuration and interpolates inside the Monte Carlo loop.
+/// Queries outside the grid clamp to the boundary values (rates saturate
+/// smoothly at the tabulated extremes and the grids are built wide enough
+/// that clamping is negligible).
+///
+/// # Example
+///
+/// ```
+/// use semsim_quad::LookupTable;
+///
+/// # fn main() -> Result<(), semsim_quad::TableError> {
+/// let t = LookupTable::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(t.eval(0.5), 5.0);
+/// assert_eq!(t.eval(-3.0), 0.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LookupTable {
+    /// Builds a table from matching abscissa/ordinate vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::TooFewPoints`] for fewer than two samples,
+    /// [`TableError::NotMonotone`] if `xs` is not strictly increasing
+    /// (also reported when the vectors differ in length), and
+    /// [`TableError::NonFinite`] for NaN/infinite samples.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, TableError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(TableError::TooFewPoints {
+                found: xs.len().min(ys.len()),
+            });
+        }
+        for (i, w) in xs.windows(2).enumerate() {
+            if !(w[1] > w[0]) {
+                return Err(TableError::NotMonotone { index: i + 1 });
+            }
+        }
+        for (i, v) in xs.iter().chain(ys.iter()).enumerate() {
+            if !v.is_finite() {
+                return Err(TableError::NonFinite { index: i % xs.len() });
+            }
+        }
+        Ok(LookupTable { xs, ys })
+    }
+
+    /// Builds a table by sampling `f` at `n` evenly spaced points on
+    /// `[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LookupTable::new`]; additionally requires `n ≥ 2` and
+    /// `a < b`.
+    pub fn from_fn<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<Self, TableError> {
+        if n < 2 {
+            return Err(TableError::TooFewPoints { found: n });
+        }
+        if !(b > a) {
+            return Err(TableError::NotMonotone { index: 1 });
+        }
+        let step = (b - a) / (n - 1) as f64;
+        let xs: Vec<f64> = (0..n).map(|i| a + step * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        LookupTable::new(xs, ys)
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always `false`: a constructed table has at least two points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Domain `[min, max]` of the grid.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("nonempty by construction"))
+    }
+
+    /// Piecewise-linear evaluation at `x`, extrapolating beyond the
+    /// grid with the slope of the boundary segment. Used where the
+    /// tabulated function has a known asymptotically linear tail (the
+    /// quasi-particle rate is ohmic far above the gap).
+    #[inline]
+    pub fn eval_linear(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x < self.xs[0] {
+            let slope = (self.ys[1] - self.ys[0]) / (self.xs[1] - self.xs[0]);
+            return self.ys[0] + slope * (x - self.xs[0]);
+        }
+        if x > self.xs[n - 1] {
+            let slope = (self.ys[n - 1] - self.ys[n - 2]) / (self.xs[n - 1] - self.xs[n - 2]);
+            return self.ys[n - 1] + slope * (x - self.xs[n - 1]);
+        }
+        self.eval(x)
+    }
+
+    /// Piecewise-linear evaluation at `x`, clamped to the grid domain.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the bracketing interval.
+        let idx = match self.xs.binary_search_by(|v| {
+            v.partial_cmp(&x).expect("finite by construction")
+        }) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_nodes() {
+        let t = LookupTable::new(vec![0.0, 1.0, 3.0], vec![1.0, 2.0, 8.0]).unwrap();
+        assert_eq!(t.eval(0.0), 1.0);
+        assert_eq!(t.eval(1.0), 2.0);
+        assert_eq!(t.eval(3.0), 8.0);
+    }
+
+    #[test]
+    fn linear_between_nodes() {
+        let t = LookupTable::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert_eq!(t.eval(0.5), 1.0);
+        assert_eq!(t.eval(1.5), 3.0);
+    }
+
+    #[test]
+    fn clamps_out_of_domain() {
+        let t = LookupTable::new(vec![-1.0, 1.0], vec![5.0, 7.0]).unwrap();
+        assert_eq!(t.eval(-10.0), 5.0);
+        assert_eq!(t.eval(10.0), 7.0);
+        assert_eq!(t.domain(), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LookupTable::new(vec![0.0], vec![1.0]).is_err());
+        assert!(LookupTable::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LookupTable::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LookupTable::new(vec![0.0, 1.0], vec![1.0, f64::NAN]).is_err());
+        assert!(LookupTable::new(vec![0.0, 1.0, 2.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_fn_reproduces_linear_function_exactly() {
+        let t = LookupTable::from_fn(|x| 3.0 * x - 1.0, 0.0, 10.0, 11).unwrap();
+        for i in 0..=20 {
+            let x = i as f64 * 0.5;
+            assert!((t.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+        }
+        assert_eq!(t.len(), 11);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_fn_validates_args() {
+        assert!(LookupTable::from_fn(|x| x, 0.0, 1.0, 1).is_err());
+        assert!(LookupTable::from_fn(|x| x, 1.0, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn interpolation_error_bounded_for_smooth_fn() {
+        let t = LookupTable::from_fn(f64::sin, 0.0, 3.14, 1000).unwrap();
+        for i in 0..100 {
+            let x = i as f64 * 0.031;
+            assert!((t.eval(x) - x.sin()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the quadrature and special-function layer.
+
+use proptest::prelude::*;
+use semsim_quad::{
+    adaptive_simpson, bcs_dos, bcs_gap, fermi, gauss_legendre, occupancy_factor, tanh_sinh,
+    LookupTable,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quadratures_agree_on_smooth_integrands(
+        a in -2.0f64..0.0,
+        b in 0.1f64..2.0,
+        c0 in -3.0f64..3.0,
+        c1 in -3.0f64..3.0,
+        c2 in -3.0f64..3.0,
+    ) {
+        let f = move |x: f64| c0 + c1 * x + c2 * (x * x).cos();
+        let s = adaptive_simpson(f, a, b, 1e-12);
+        let g = gauss_legendre(f, a, b);
+        let t = tanh_sinh(f, a, b, 1e-12);
+        prop_assert!((s - g).abs() < 1e-7 * s.abs().max(1.0));
+        prop_assert!((s - t).abs() < 1e-6 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn integral_additivity(a in -1.0f64..0.0, m in 0.0f64..1.0, b in 1.0f64..2.0) {
+        let f = |x: f64| (1.0 + x * x).ln();
+        let whole = adaptive_simpson(f, a, b, 1e-12);
+        let split = adaptive_simpson(f, a, m, 1e-12) + adaptive_simpson(f, m, b, 1e-12);
+        prop_assert!((whole - split).abs() < 1e-8 * whole.abs().max(1.0));
+    }
+
+    #[test]
+    fn fermi_bounds_and_symmetry(e in -100.0f64..100.0, kt in 0.01f64..10.0) {
+        let f = fermi(e, kt);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((f + fermi(-e, kt) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bcs_dos_support(e in -5.0f64..5.0, gap in 0.01f64..2.0) {
+        let n = bcs_dos(e, gap);
+        if e.abs() <= gap {
+            prop_assert_eq!(n, 0.0);
+        } else {
+            prop_assert!(n >= 1.0); // singular DOS never dips below normal
+        }
+    }
+
+    #[test]
+    fn gap_bounded_and_monotone(gap0 in 0.01f64..2.0, tc in 0.1f64..5.0, t in 0.0f64..6.0) {
+        let g = bcs_gap(gap0, tc, t);
+        prop_assert!((0.0..=gap0 * (1.0 + 1e-12)).contains(&g));
+        let g2 = bcs_gap(gap0, tc, t + 0.1);
+        prop_assert!(g2 <= g + 1e-12);
+    }
+
+    #[test]
+    fn occupancy_detailed_balance(x in -300.0f64..300.0) {
+        // f(x)/f(−x) = e^{−x} in log space where both are nonzero.
+        let fwd = occupancy_factor(x);
+        let bwd = occupancy_factor(-x);
+        if fwd > 0.0 && bwd > 0.0 {
+            let lhs = (fwd / bwd).ln();
+            prop_assert!((lhs + x).abs() < 1e-6 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn table_eval_is_monotone_for_monotone_data(
+        n in 3usize..40,
+        x in -0.5f64..40.0,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let t = LookupTable::new(xs, ys).unwrap();
+        // Monotone samples → monotone interpolant.
+        prop_assert!(t.eval(x) <= t.eval(x + 0.5) + 1e-12);
+    }
+}

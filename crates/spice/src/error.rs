@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use semsim_linalg::LinalgError;
+
+/// Errors from the analytical SPICE-style simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Newton iteration failed to converge even at the minimum step.
+    NonConvergence {
+        /// Simulated time at which convergence failed (s).
+        time: f64,
+    },
+    /// A component value or parameter was invalid.
+    InvalidComponent {
+        /// Description of the offending parameter.
+        what: String,
+    },
+    /// A node index was out of range.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// The linear solve inside Newton failed (singular Jacobian).
+    Linear(LinalgError),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NonConvergence { time } => {
+                write!(f, "newton iteration did not converge at t = {time:.3e} s")
+            }
+            SpiceError::InvalidComponent { what } => write!(f, "invalid component: {what}"),
+            SpiceError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            SpiceError::Linear(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LinalgError> for SpiceError {
+    fn from(e: LinalgError) -> Self {
+        SpiceError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SpiceError::NonConvergence { time: 1e-9 };
+        assert!(e.to_string().contains("converge"));
+        assert!(e.source().is_none());
+        let e = SpiceError::Linear(LinalgError::Singular { pivot: 0 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,279 @@
+//! Maps nSET/pSET logic netlists onto the analytical SPICE baseline so
+//! the paper's benchmarks run on both engines (Figs. 6–7).
+//!
+//! Gates are lowered by [`semsim_logic::lower`] to the same INV/NAND/NOR
+//! transistor networks the Monte Carlo elaboration uses; each transistor
+//! becomes one [`SetModel`] instance with the family's tuned bias
+//! charge folded into `q_offset`.
+
+use std::collections::HashMap;
+
+use semsim_core::constants::E_CHARGE;
+use semsim_logic::{find_sensitizing_vector, lower, SetLogicParams};
+use semsim_netlist::{GateKind, LogicFile};
+
+use crate::nodal::{NodalCircuit, Node, Transient};
+use crate::{SetModel, SpiceError};
+
+/// A logic netlist mapped onto the nodal simulator.
+#[derive(Debug)]
+pub struct MappedLogic {
+    /// The nodal circuit.
+    pub circuit: NodalCircuit,
+    /// Supply node.
+    pub vdd: Node,
+    /// Source node per primary input.
+    pub inputs: HashMap<String, Node>,
+    /// Node per logic signal.
+    pub signals: HashMap<String, Node>,
+    /// The family parameters used.
+    pub params: SetLogicParams,
+}
+
+fn base_model(params: &SetLogicParams, q_offset: f64) -> SetModel {
+    SetModel {
+        r1: params.junction_resistance,
+        c1: params.junction_capacitance,
+        r2: params.junction_resistance,
+        c2: params.junction_capacitance,
+        cg: params.input_gate_capacitance,
+        c_extra: params.bias_gate_capacitance,
+        q_offset,
+        temperature: params.temperature,
+    }
+}
+
+/// Builds the nodal circuit for `logic`.
+///
+/// # Errors
+///
+/// Propagates parameter validation (as [`SpiceError::InvalidComponent`])
+/// and circuit construction errors.
+pub fn map_logic(logic: &LogicFile, params: &SetLogicParams) -> Result<MappedLogic, SpiceError> {
+    params
+        .validate()
+        .map_err(|e| SpiceError::InvalidComponent { what: e.to_string() })?;
+    let pset = base_model(params, params.pset_bias_charge() * E_CHARGE);
+    let nset = base_model(params, params.nset_bias_charge() * E_CHARGE);
+
+    let mut c = NodalCircuit::new();
+    let vdd = c.add_node();
+    c.set_source(vdd, params.vdd)?;
+
+    let mut signals: HashMap<String, Node> = HashMap::new();
+    let mut inputs: HashMap<String, Node> = HashMap::new();
+    for name in &logic.inputs {
+        let n = c.add_node();
+        c.set_source(n, 0.0)?;
+        signals.insert(name.clone(), n);
+        inputs.insert(name.clone(), n);
+    }
+
+    let gates = lower(logic);
+    for g in &gates {
+        let out = c.add_node();
+        c.add_capacitor(out, Node::GROUND, params.load_capacitance)?;
+        signals.insert(g.output.clone(), out);
+    }
+    for g in &gates {
+        let out = signals[&g.output];
+        let ins: Vec<Node> = g.inputs.iter().map(|s| signals[s]).collect();
+        match g.kind {
+            GateKind::Inv => {
+                c.add_set(pset, vdd, out, ins[0])?;
+                c.add_set(nset, out, Node::GROUND, ins[0])?;
+            }
+            GateKind::Nand => {
+                for &i in &ins {
+                    c.add_set(pset, vdd, out, i)?;
+                }
+                let mut top = out;
+                for (k, &i) in ins.iter().enumerate() {
+                    let bottom = if k + 1 == ins.len() {
+                        Node::GROUND
+                    } else {
+                        c.add_node()
+                    };
+                    c.add_set(nset, top, bottom, i)?;
+                    top = bottom;
+                }
+            }
+            GateKind::Nor => {
+                let mut top = vdd;
+                for (k, &i) in ins.iter().enumerate() {
+                    let bottom = if k + 1 == ins.len() { out } else { c.add_node() };
+                    c.add_set(pset, top, bottom, i)?;
+                    top = bottom;
+                }
+                for &i in &ins {
+                    c.add_set(nset, out, Node::GROUND, i)?;
+                }
+            }
+            _ => unreachable!("lowered netlist contains only INV/NAND/NOR"),
+        }
+    }
+
+    Ok(MappedLogic {
+        circuit: c,
+        vdd,
+        inputs,
+        signals,
+        params: *params,
+    })
+}
+
+impl MappedLogic {
+    /// Applies a Boolean vector to the primary inputs of a running
+    /// transient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source errors (cannot occur for a mapped circuit).
+    pub fn apply_vector(
+        &self,
+        tr: &mut Transient<'_>,
+        logic: &LogicFile,
+        vector: &[bool],
+    ) -> Result<(), SpiceError> {
+        for (name, &bit) in logic.inputs.iter().zip(vector) {
+            let v = if bit { self.params.vdd } else { 0.0 };
+            tr.set_source(self.inputs[name], v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of an analytical-baseline delay measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpiceDelay {
+    /// Measured delay (s).
+    pub delay: f64,
+    /// Newton iterations spent (work metric).
+    pub newton_iterations: u64,
+    /// Time steps taken.
+    pub steps: u64,
+}
+
+/// Measures the propagation delay of `output` with the analytical
+/// engine: settle under a sensitizing vector, step the sensitizing
+/// input, march until the output crosses `V_dd/2`.
+///
+/// Uses the same sensitizing-vector search as the Monte Carlo flow so
+/// both engines measure the same transition.
+///
+/// # Errors
+///
+/// * [`SpiceError::InvalidComponent`] if no sensitizing vector exists;
+/// * [`SpiceError::NonConvergence`] if Newton fails (the paper's SPICE
+///   failure mode), or if the output never crosses within the window.
+pub fn measure_delay(
+    logic: &LogicFile,
+    params: &SetLogicParams,
+    output: &str,
+    dt: f64,
+    settle: f64,
+    window: f64,
+) -> Result<SpiceDelay, SpiceError> {
+    let mapped = map_logic(logic, params)?;
+    let (vector, input_idx) = find_sensitizing_vector(logic, output, 0).ok_or_else(|| {
+        SpiceError::InvalidComponent {
+            what: format!("no sensitizing vector for output `{output}`"),
+        }
+    })?;
+    let out_node = *mapped
+        .signals
+        .get(output)
+        .ok_or_else(|| SpiceError::InvalidComponent {
+            what: format!("unknown output `{output}`"),
+        })?;
+
+    let mut tr = mapped.circuit.transient(dt)?;
+    mapped.apply_vector(&mut tr, logic, &vector)?;
+    tr.run_for(settle)?;
+
+    let before = logic.evaluate(&vector)[output];
+    let mut toggled = vector.clone();
+    toggled[input_idx] = !toggled[input_idx];
+    let rising = !before;
+
+    let t0 = tr.time();
+    mapped.apply_vector(&mut tr, logic, &toggled)?;
+    let level = 0.5 * params.vdd;
+    let mut elapsed = 0.0;
+    while elapsed < window {
+        tr.run_for(dt)?;
+        elapsed = tr.time() - t0;
+        let v = tr.voltage(out_node);
+        let crossed = if rising { v >= level } else { v <= level };
+        if crossed {
+            return Ok(SpiceDelay {
+                delay: elapsed,
+                newton_iterations: tr.newton_iterations(),
+                steps: tr.steps(),
+            });
+        }
+    }
+    Err(SpiceError::NonConvergence { time: tr.time() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SetLogicParams {
+        SetLogicParams::default()
+    }
+
+    #[test]
+    fn maps_inverter() {
+        let logic = LogicFile::parse("input a\noutput y\ninv y a\n").unwrap();
+        let m = map_logic(&logic, &params()).unwrap();
+        assert_eq!(m.circuit.num_sets(), 2);
+        assert!(m.signals.contains_key("y"));
+        assert!(m.inputs.contains_key("a"));
+    }
+
+    #[test]
+    fn inverter_delay_measured() {
+        let logic = LogicFile::parse("input a\noutput y\ninv y a\n").unwrap();
+        let d = measure_delay(&logic, &params(), "y", 5e-11, 40e-9, 100e-9).unwrap();
+        assert!(d.delay > 0.0 && d.delay < 100e-9, "{:?}", d);
+        assert!(d.newton_iterations > 0);
+    }
+
+    #[test]
+    fn nand_static_levels() {
+        let logic = LogicFile::parse("input a b\noutput y\nnand y a b\n").unwrap();
+        let m = map_logic(&logic, &params()).unwrap();
+        let vdd = m.params.vdd;
+        for (a, b, want_high) in [(false, false, true), (true, true, false)] {
+            let mut tr = m.circuit.transient(5e-11).unwrap();
+            m.apply_vector(&mut tr, &logic, &[a, b]).unwrap();
+            tr.run_for(80e-9).unwrap();
+            let y = tr.voltage(m.signals["y"]);
+            if want_high {
+                assert!(y > 0.6 * vdd, "NAND({a},{b}) = {:.2} mV", y * 1e3);
+            } else {
+                assert!(y < 0.4 * vdd, "NAND({a},{b}) = {:.2} mV", y * 1e3);
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_maps_with_xor_lowering() {
+        let logic = LogicFile::parse(
+            "input a b cin\noutput sum cout\nxor t1 a b\nxor sum t1 cin\n\
+             and t2 a b\nand t3 t1 cin\nor cout t2 t3\n",
+        )
+        .unwrap();
+        let m = map_logic(&logic, &params()).unwrap();
+        // 50 SETs — same count as the Monte Carlo elaboration.
+        assert_eq!(m.circuit.num_sets(), 50);
+    }
+
+    #[test]
+    fn unknown_output_rejected() {
+        let logic = LogicFile::parse("input a\noutput y\ninv y a\n").unwrap();
+        assert!(measure_delay(&logic, &params(), "zz", 5e-11, 1e-9, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Analytical steady-state SET model (the baseline's compact model).
+//!
+//! The drain current of a SET in the sequential-tunneling regime is the
+//! stationary solution of a one-dimensional birth–death master equation
+//! over the island electron number `n`. Because the chain is
+//! one-dimensional, the stationary distribution has an exact product
+//! form, making the model *analytical* in the same sense as the
+//! Inokawa–Takahashi model the paper's SPICE baseline used: a closed
+//! evaluation per bias point, first-order physics only.
+
+use semsim_core::constants::{thermal_energy, E_CHARGE};
+use semsim_core::rates::orthodox_rate;
+
+/// How many island charge states to keep on each side of the optimum.
+const STATE_WINDOW: i64 = 3;
+
+/// Analytical steady-state model of one SET.
+///
+/// Terminals: source (junction 1), drain (junction 2), one signal gate,
+/// plus a fixed polarization charge (used for the nSET/pSET bias gates
+/// and background charge). See [`SetModel::drain_current`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetModel {
+    /// Source-junction resistance (Ω).
+    pub r1: f64,
+    /// Source-junction capacitance (F).
+    pub c1: f64,
+    /// Drain-junction resistance (Ω).
+    pub r2: f64,
+    /// Drain-junction capacitance (F).
+    pub c2: f64,
+    /// Signal gate capacitance (F).
+    pub cg: f64,
+    /// Additional fixed island capacitance (bias gates etc.) (F).
+    pub c_extra: f64,
+    /// Fixed polarization charge (C): `Q_b` plus any bias-gate charge.
+    pub q_offset: f64,
+    /// Temperature (K).
+    pub temperature: f64,
+}
+
+impl SetModel {
+    /// A symmetric SET: `R₁ = R₂ = r`, `C₁ = C₂ = c`, gate `cg`, no
+    /// offset — the paper's Fig. 1b device shape.
+    pub fn symmetric(r: f64, c: f64, cg: f64, temperature: f64) -> Self {
+        SetModel {
+            r1: r,
+            c1: c,
+            r2: r,
+            c2: c,
+            cg,
+            c_extra: 0.0,
+            q_offset: 0.0,
+            temperature,
+        }
+    }
+
+    /// Total island capacitance `C_Σ`.
+    pub fn sigma(&self) -> f64 {
+        self.c1 + self.c2 + self.cg + self.c_extra
+    }
+
+    /// Island polarization charge for the given terminal voltages (C).
+    fn polarization(&self, vs: f64, vd: f64, vg: f64) -> f64 {
+        self.q_offset + self.c1 * vs + self.c2 * vd + self.cg * vg
+    }
+
+    /// Steady-state conventional drain current `I_sd` (A) flowing from
+    /// source to drain, for source/drain/gate voltages (V).
+    ///
+    /// Positive current means conventional current enters the source
+    /// terminal and leaves at the drain.
+    pub fn drain_current(&self, vs: f64, vd: f64, vg: f64) -> f64 {
+        let kt = thermal_energy(self.temperature);
+        let csig = self.sigma();
+        let ec = E_CHARGE * E_CHARGE / (2.0 * csig);
+        let q0 = self.polarization(vs, vd, vg);
+
+        // Island potential at n electrons: φ(n) = (q0 − n·e)/C_Σ.
+        let phi = |n: i64| (q0 - n as f64 * E_CHARGE) / csig;
+
+        // ΔW for an electron entering the island from a terminal at Vt
+        // (paper Eq. 2 with a lead endpoint): e(Vt − φ) + e²/2C_Σ; and
+        // for leaving to the terminal: e(φ − Vt) + e²/2C_Σ.
+        let dw_enter = |n: i64, vt: f64| E_CHARGE * (vt - phi(n)) + ec;
+        let dw_exit = |n: i64, vt: f64| E_CHARGE * (phi(n) - vt) + ec;
+
+        // Rates at occupation n.
+        let g1_in = |n: i64| orthodox_rate(dw_enter(n, vs), kt, self.r1);
+        let g1_out = |n: i64| orthodox_rate(dw_exit(n, vs), kt, self.r1);
+        let g2_in = |n: i64| orthodox_rate(dw_enter(n, vd), kt, self.r2);
+        let g2_out = |n: i64| orthodox_rate(dw_exit(n, vd), kt, self.r2);
+
+        // Centre the state window on the electrostatic optimum.
+        let n0 = (q0 / E_CHARGE).round() as i64;
+        let lo = n0 - STATE_WINDOW;
+        let hi = n0 + STATE_WINDOW;
+
+        // Product-form stationary distribution of the birth–death
+        // chain: p(n+1)/p(n) = Γ_up(n)/Γ_down(n+1). Rates can underflow
+        // to exact zero deep in blockade, so every transition gets a
+        // vanishing regularization ε (making the chain irreducible) and
+        // the recursion runs in log space (the ratios span thousands of
+        // decades at low temperature).
+        let max_rate = (lo..=hi)
+            .map(|n| {
+                (g1_in(n) + g2_in(n)).max(g1_out(n) + g2_out(n))
+            })
+            .fold(0.0_f64, f64::max);
+        if !(max_rate > 0.0) {
+            return 0.0; // fully frozen: no transport at all
+        }
+        let eps = max_rate * 1e-14;
+        let n_states = (hi - lo + 1) as usize;
+        let mut log_w = Vec::with_capacity(n_states);
+        log_w.push(0.0_f64);
+        for n in lo..hi {
+            let up = g1_in(n) + g2_in(n) + eps;
+            let down = g1_out(n + 1) + g2_out(n + 1) + eps;
+            let prev = *log_w.last().expect("nonempty");
+            log_w.push(prev + up.ln() - down.ln());
+        }
+        let log_max = log_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let total: f64 = log_w.iter().map(|lw| (lw - log_max).exp()).sum();
+
+        // Electron flow through junction 1 (source): electrons entering
+        // from the source minus leaving to the source.
+        let mut electron_flow = 0.0;
+        for (i, lw) in log_w.iter().enumerate() {
+            let n = lo + i as i64;
+            let p = (lw - log_max).exp() / total;
+            electron_flow += p * (g1_in(n) - g1_out(n));
+        }
+        // Electrons entering from the source carry charge −e into the
+        // device, so conventional source→drain current is −e·flow.
+        -E_CHARGE * electron_flow
+    }
+
+    /// One-sided finite-difference conductance, given the already-known
+    /// current `i0` at the base point (saves half the model evaluations
+    /// inside the Newton loop).
+    pub(crate) fn didv(&self, vs: f64, vd: f64, vg: f64, i0: f64, which: Terminal) -> f64 {
+        let h = 1e-6; // 1 µV — far below e/C_Σ scales, far above noise
+        let a = match which {
+            Terminal::Source => self.drain_current(vs + h, vd, vg),
+            Terminal::Drain => self.drain_current(vs, vd + h, vg),
+            Terminal::Gate => self.drain_current(vs, vd, vg + h),
+        };
+        (a - i0) / h
+    }
+}
+
+/// A SET terminal, for derivative stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Terminal {
+    Source,
+    Drain,
+    Gate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_set() -> SetModel {
+        SetModel::symmetric(1e6, 1e-18, 3e-18, 5.0)
+    }
+
+    #[test]
+    fn blockade_at_low_bias() {
+        let set = paper_set();
+        // e/CΣ = 32 mV; inside the diamond at Vg = 0 current is tiny.
+        let i = set.drain_current(5e-3, -5e-3, 0.0);
+        let i_on = set.drain_current(20e-3, -20e-3, 0.0);
+        assert!(i.abs() < 1e-2 * i_on.abs(), "{i} vs {i_on}");
+    }
+
+    #[test]
+    fn current_is_odd_in_symmetric_bias() {
+        let set = paper_set();
+        for &v in &[5e-3, 15e-3, 25e-3] {
+            let fw = set.drain_current(v, -v, 0.0);
+            let bw = set.drain_current(-v, v, 0.0);
+            assert!(
+                (fw + bw).abs() <= 1e-6 * fw.abs().max(1e-18),
+                "v={v}: {fw} vs {bw}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_modulation_is_periodic() {
+        let set = paper_set();
+        let period = E_CHARGE / set.cg; // e/Cg ≈ 53.4 mV
+        let i1 = set.drain_current(8e-3, -8e-3, 10e-3);
+        let i2 = set.drain_current(8e-3, -8e-3, 10e-3 + period);
+        assert!((i1 - i2).abs() < 2e-2 * i1.abs().max(1e-15), "{i1} vs {i2}");
+    }
+
+    #[test]
+    fn gate_opens_the_blockade() {
+        let set = paper_set();
+        // Half-period gate bias (e/2Cg ≈ 26.7 mV) puts the device at the
+        // degeneracy: current flows even at small Vds.
+        let blocked = set.drain_current(5e-3, -5e-3, 0.0);
+        let open = set.drain_current(5e-3, -5e-3, E_CHARGE / (2.0 * set.cg));
+        assert!(open.abs() > 50.0 * blocked.abs().max(1e-20));
+    }
+
+    #[test]
+    fn ohmic_at_large_bias() {
+        let set = paper_set();
+        // Far above the blockade the SET behaves like R₁+R₂ in series.
+        let v = 0.5;
+        let i = set.drain_current(v / 2.0, -v / 2.0, 0.0);
+        let r_eff = v / i;
+        assert!(
+            (r_eff - 2e6).abs() < 0.2e6,
+            "effective resistance {r_eff}"
+        );
+    }
+
+    #[test]
+    fn background_charge_shifts_the_diamond() {
+        let mut set = paper_set();
+        let blocked = set.drain_current(5e-3, -5e-3, 0.0);
+        set.q_offset = 0.5 * E_CHARGE; // degeneracy point
+        let open = set.drain_current(5e-3, -5e-3, 0.0);
+        assert!(open.abs() > 50.0 * blocked.abs().max(1e-20));
+    }
+
+    #[test]
+    fn zero_temperature_supported() {
+        let set = SetModel::symmetric(1e6, 1e-18, 3e-18, 0.0);
+        let blocked = set.drain_current(5e-3, -5e-3, 0.0);
+        // Only the ε-regularization remains: < 1e-18 A (≈ 6 e/s).
+        assert!(blocked.abs() < 1e-18, "{blocked}");
+        let open = set.drain_current(25e-3, -25e-3, 0.0);
+        assert!(open > 0.0);
+    }
+
+    #[test]
+    fn derivatives_are_finite_and_sane() {
+        let set = paper_set();
+        let i0 = set.drain_current(20e-3, -20e-3, 0.0);
+        let g = set.didv(20e-3, -20e-3, 0.0, i0, Terminal::Source);
+        assert!(g.is_finite() && g > 0.0);
+        let gg = set.didv(20e-3, -20e-3, 0.0, i0, Terminal::Gate);
+        assert!(gg.is_finite());
+    }
+
+    #[test]
+    fn matches_monte_carlo_reference() {
+        // Cross-validation: the analytic ME current must agree with the
+        // Monte Carlo engine on the same device (both are first-order
+        // sequential models).
+        use semsim_core::circuit::CircuitBuilder;
+        use semsim_core::engine::{RunLength, SimConfig, Simulation};
+
+        let set = paper_set();
+        let (vs, vd, vg) = (20e-3, -20e-3, 10e-3);
+        let analytic = set.drain_current(vs, vd, vg);
+
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(vs);
+        let drn = b.add_lead(vd);
+        let gate = b.add_lead(vg);
+        let island = b.add_island();
+        let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+        b.add_capacitor(gate, island, 3e-18).unwrap();
+        let c = b.build().unwrap();
+        let mut sim = Simulation::new(&c, SimConfig::new(5.0).with_seed(1)).unwrap();
+        let mc = sim.run(RunLength::Events(60_000)).unwrap().current(j1);
+
+        let rel = (analytic - mc).abs() / mc.abs();
+        assert!(rel < 0.05, "analytic {analytic} vs MC {mc} ({rel:.3})");
+    }
+}

@@ -1,0 +1,536 @@
+//! Transient nodal simulator: backward Euler + Newton–Raphson.
+//!
+//! Unknowns are the voltages of non-source nodes. Each time step solves
+//!
+//! ```text
+//! C·(V(t+Δt) − V(t))/Δt + I_dev(V(t+Δt)) = 0
+//! ```
+//!
+//! by Newton iteration with the device Jacobian assembled from the SET
+//! model's finite-difference conductances. On non-convergence the step
+//! is halved; below a minimum step the run aborts with
+//! [`SpiceError::NonConvergence`] — the analogue of the SPICE failures
+//! the paper reports for three of its benchmarks.
+
+use semsim_linalg::Matrix;
+
+use crate::model::Terminal;
+use crate::{SetModel, SpiceError};
+
+/// A node handle in the nodal circuit. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// Ground (0 V reference).
+    pub const GROUND: Node = Node(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One SET device instance.
+#[derive(Debug, Clone, Copy)]
+struct SetInstance {
+    model: SetModel,
+    source: Node,
+    drain: Node,
+    gate: Node,
+}
+
+/// A circuit for the nodal simulator.
+///
+/// # Example
+///
+/// ```
+/// use semsim_spice::nodal::NodalCircuit;
+/// use semsim_spice::SetModel;
+///
+/// # fn main() -> Result<(), semsim_spice::SpiceError> {
+/// let mut c = NodalCircuit::new();
+/// let vdd = c.add_node();
+/// let out = c.add_node();
+/// c.set_source(vdd, 10e-3)?;
+/// c.add_capacitor(out, semsim_spice::nodal::Node::GROUND, 150e-18)?;
+/// let set = SetModel::symmetric(1e6, 0.25e-18, 5e-18, 1.0);
+/// c.add_set(set, vdd, out, semsim_spice::nodal::Node::GROUND)?;
+/// let mut sim = c.transient(1e-10)?;
+/// sim.run_for(5e-9)?;
+/// assert!(sim.voltage(out) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NodalCircuit {
+    /// Number of nodes including ground.
+    nodes: usize,
+    /// `Some(v)` for source nodes.
+    sources: Vec<Option<f64>>,
+    capacitors: Vec<(Node, Node, f64)>,
+    sets: Vec<SetInstance>,
+}
+
+impl NodalCircuit {
+    /// An empty circuit containing only ground.
+    pub fn new() -> Self {
+        NodalCircuit {
+            nodes: 1,
+            sources: vec![Some(0.0)],
+            capacitors: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// Adds a floating node.
+    pub fn add_node(&mut self) -> Node {
+        let n = Node(self.nodes);
+        self.nodes += 1;
+        self.sources.push(None);
+        n
+    }
+
+    /// Number of nodes, including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of SET devices.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Pins `node` to a DC source of `volts` (can be changed during a
+    /// transient with [`Transient::set_source`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for an invalid node.
+    pub fn set_source(&mut self, node: Node, volts: f64) -> Result<(), SpiceError> {
+        self.check(node)?;
+        self.sources[node.0] = Some(volts);
+        Ok(())
+    }
+
+    /// Adds a linear capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and non-positive values.
+    pub fn add_capacitor(&mut self, a: Node, b: Node, farads: f64) -> Result<(), SpiceError> {
+        self.check(a)?;
+        self.check(b)?;
+        if !(farads > 0.0) || !farads.is_finite() {
+            return Err(SpiceError::InvalidComponent {
+                what: format!("capacitance {farads}"),
+            });
+        }
+        self.capacitors.push((a, b, farads));
+        Ok(())
+    }
+
+    /// Adds a SET device between `source`/`drain`, gated by `gate`.
+    ///
+    /// The model's junction and gate capacitances are automatically
+    /// stamped as linear capacitors so the node dynamics see the same
+    /// loading as the Monte Carlo circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for invalid nodes.
+    pub fn add_set(
+        &mut self,
+        model: SetModel,
+        source: Node,
+        drain: Node,
+        gate: Node,
+    ) -> Result<(), SpiceError> {
+        self.check(source)?;
+        self.check(drain)?;
+        self.check(gate)?;
+        // The island is not a nodal unknown (the compact model hides
+        // it); its capacitances load the terminals approximately by
+        // stamping each terminal's junction capacitance to ground.
+        self.capacitors.push((source, Node::GROUND, model.c1));
+        self.capacitors.push((drain, Node::GROUND, model.c2));
+        self.capacitors.push((gate, Node::GROUND, model.cg));
+        self.sets.push(SetInstance {
+            model,
+            source,
+            drain,
+            gate,
+        });
+        Ok(())
+    }
+
+    fn check(&self, n: Node) -> Result<(), SpiceError> {
+        if n.0 < self.nodes {
+            Ok(())
+        } else {
+            Err(SpiceError::UnknownNode { node: n.0 })
+        }
+    }
+
+    /// Starts a transient analysis with the given base step (s).
+    ///
+    /// The initial state is every non-source node at 0 V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidComponent`] for a non-positive step.
+    pub fn transient(&self, dt: f64) -> Result<Transient<'_>, SpiceError> {
+        if !(dt > 0.0) || !dt.is_finite() {
+            return Err(SpiceError::InvalidComponent {
+                what: format!("time step {dt}"),
+            });
+        }
+        let voltages: Vec<f64> = self
+            .sources
+            .iter()
+            .map(|s| s.unwrap_or(0.0))
+            .collect();
+        Ok(Transient {
+            circuit: self,
+            sources: self.sources.clone(),
+            voltages,
+            dt,
+            time: 0.0,
+            newton_iterations: 0,
+            steps: 0,
+        })
+    }
+}
+
+/// A running transient analysis.
+#[derive(Debug, Clone)]
+pub struct Transient<'c> {
+    circuit: &'c NodalCircuit,
+    sources: Vec<Option<f64>>,
+    voltages: Vec<f64>,
+    dt: f64,
+    time: f64,
+    newton_iterations: u64,
+    steps: u64,
+}
+
+/// Newton convergence tolerance (V).
+const NEWTON_TOL: f64 = 3e-8;
+/// Maximum Newton iterations per step.
+const NEWTON_MAX: usize = 60;
+/// Step-halving floor, as a fraction of the base step.
+const MIN_STEP_FRACTION: f64 = 1.0 / 1024.0;
+
+impl Transient<'_> {
+    /// Current simulated time (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Voltage of a node (V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn voltage(&self, node: Node) -> f64 {
+        self.voltages[node.0]
+    }
+
+    /// Total Newton iterations performed (work metric for Fig. 6).
+    pub fn newton_iterations(&self) -> u64 {
+        self.newton_iterations
+    }
+
+    /// Time steps completed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Changes a source voltage mid-run (input stimulus).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidComponent`] if the node is not a
+    /// source.
+    pub fn set_source(&mut self, node: Node, volts: f64) -> Result<(), SpiceError> {
+        match self.sources.get_mut(node.0) {
+            Some(Some(v)) => {
+                *v = volts;
+                self.voltages[node.0] = volts;
+                Ok(())
+            }
+            _ => Err(SpiceError::InvalidComponent {
+                what: format!("node {} is not a source", node.0),
+            }),
+        }
+    }
+
+    /// Advances the transient by `span` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NonConvergence`] if Newton fails even at
+    /// the minimum sub-step, or [`SpiceError::Linear`] on a singular
+    /// Jacobian.
+    pub fn run_for(&mut self, span: f64) -> Result<(), SpiceError> {
+        let t_end = self.time + span;
+        while self.time < t_end - 1e-18 {
+            let mut step = self.dt.min(t_end - self.time);
+            loop {
+                match self.try_step(step) {
+                    Ok(v_new) => {
+                        self.voltages = v_new;
+                        self.time += step;
+                        self.steps += 1;
+                        break;
+                    }
+                    Err(SpiceError::NonConvergence { .. })
+                        if step > self.dt * MIN_STEP_FRACTION =>
+                    {
+                        step *= 0.5;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One backward-Euler step of size `step`; returns the new voltage
+    /// vector without committing it.
+    ///
+    /// Uses a chord (modified Newton) iteration: the Jacobian is
+    /// assembled and factorized once per step at the incoming state and
+    /// reused, so later iterations only pay the residual evaluation —
+    /// the standard trade for mildly nonlinear RC-style networks.
+    fn try_step(&mut self, step: f64) -> Result<Vec<f64>, SpiceError> {
+        let c = self.circuit;
+        let unknowns: Vec<usize> = (0..c.nodes).filter(|&n| c.sources[n].is_none()).collect();
+        let index_of: Vec<Option<usize>> = {
+            let mut v = vec![None; c.nodes];
+            for (k, &n) in unknowns.iter().enumerate() {
+                v[n] = Some(k);
+            }
+            v
+        };
+        let nu = unknowns.len();
+        if nu == 0 {
+            return Ok(self.voltages.clone());
+        }
+
+        let mut v = self.voltages.clone();
+        // Source nodes take their (possibly just-stepped) values.
+        for n in 0..c.nodes {
+            if let Some(val) = self.sources[n] {
+                v[n] = val;
+            }
+        }
+        let v_prev = self.voltages.clone();
+
+        // --- Jacobian at the incoming state (chord iteration). ---
+        let mut jac = Matrix::zeros(nu, nu);
+        for &(a, b, cap) in &c.capacitors {
+            if let Some(ka) = index_of[a.0] {
+                jac.add_to(ka, ka, cap / step);
+                if let Some(kb) = index_of[b.0] {
+                    jac.add_to(ka, kb, -cap / step);
+                }
+            }
+            if let Some(kb) = index_of[b.0] {
+                jac.add_to(kb, kb, cap / step);
+                if let Some(ka) = index_of[a.0] {
+                    jac.add_to(kb, ka, -cap / step);
+                }
+            }
+        }
+        for set in &c.sets {
+            let (vs, vd, vg) = (v[set.source.0], v[set.drain.0], v[set.gate.0]);
+            if index_of[set.source.0].is_none() && index_of[set.drain.0].is_none() {
+                continue;
+            }
+            let i0 = set.model.drain_current(vs, vd, vg);
+            for (term, tnode) in [
+                (Terminal::Source, set.source),
+                (Terminal::Drain, set.drain),
+                (Terminal::Gate, set.gate),
+            ] {
+                if let Some(kc) = index_of[tnode.0] {
+                    let g = set.model.didv(vs, vd, vg, i0, term);
+                    if let Some(ks) = index_of[set.source.0] {
+                        jac.add_to(ks, kc, g);
+                    }
+                    if let Some(kd) = index_of[set.drain.0] {
+                        jac.add_to(kd, kc, -g);
+                    }
+                }
+            }
+        }
+        let lu = jac.lu()?;
+
+        for _iter in 0..NEWTON_MAX {
+            self.newton_iterations += 1;
+            // Residual F(v) over the unknowns.
+            let mut f = vec![0.0; nu];
+            for &(a, b, cap) in &c.capacitors {
+                let da = v[a.0] - v_prev[a.0];
+                let db = v[b.0] - v_prev[b.0];
+                let i = cap * (da - db) / step;
+                if let Some(ka) = index_of[a.0] {
+                    f[ka] += i;
+                }
+                if let Some(kb) = index_of[b.0] {
+                    f[kb] -= i;
+                }
+            }
+            for set in &c.sets {
+                let (vs, vd, vg) = (v[set.source.0], v[set.drain.0], v[set.gate.0]);
+                if index_of[set.source.0].is_none() && index_of[set.drain.0].is_none() {
+                    continue;
+                }
+                let i = set.model.drain_current(vs, vd, vg);
+                if let Some(ks) = index_of[set.source.0] {
+                    f[ks] += i;
+                }
+                if let Some(kd) = index_of[set.drain.0] {
+                    f[kd] -= i;
+                }
+            }
+
+            // Solve J·Δ = −F with the per-step factors.
+            let rhs: Vec<f64> = f.iter().map(|x| -x).collect();
+            let delta = lu.solve(&rhs)?;
+            let mut worst: f64 = 0.0;
+            for (k, &n) in unknowns.iter().enumerate() {
+                // Damped update: voltages move at most 2 mV per chord
+                // iteration, which keeps the highly nonlinear SET model
+                // inside the stale Jacobian's basin.
+                let d = delta[k].clamp(-2e-3, 2e-3);
+                v[n] += d;
+                worst = worst.max(d.abs());
+            }
+            if worst < NEWTON_TOL {
+                return Ok(v);
+            }
+        }
+        Err(SpiceError::NonConvergence { time: self.time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tuned nSET/pSET models of the logic family, expressed for
+    /// the compact model. Bias charges from `semsim-logic`.
+    fn logic_models() -> (SetModel, SetModel, f64) {
+        use semsim_core::constants::E_CHARGE;
+        let vdd = 10e-3;
+        let (cj, cg, cb) = (0.25e-18, 5e-18, 0.5e-18);
+        let csig = 2.0 * cj + cg + cb;
+        let qbp = 0.5 * E_CHARGE + csig * vdd - 0.05 * E_CHARGE;
+        let qbn = 0.5 * E_CHARGE - cg * vdd;
+        let base = SetModel {
+            r1: 1e6,
+            c1: cj,
+            r2: 1e6,
+            c2: cj,
+            cg,
+            c_extra: cb,
+            q_offset: 0.0,
+            temperature: 1.0,
+        };
+        let pset = SetModel { q_offset: qbp, ..base };
+        let nset = SetModel { q_offset: qbn, ..base };
+        (pset, nset, vdd)
+    }
+
+    #[test]
+    fn rc_discharge_matches_analytic() {
+        // A capacitor from a source through... no resistors exist, so
+        // test the simplest SET-as-resistor case far above blockade.
+        let mut c = NodalCircuit::new();
+        let vin = c.add_node();
+        let out = c.add_node();
+        c.set_source(vin, 0.3).unwrap();
+        c.add_capacitor(out, Node::GROUND, 1e-15).unwrap();
+        // A SET far above blockade ≈ 2 MΩ resistor.
+        let set = SetModel::symmetric(1e6, 1e-18, 1e-18, 10.0);
+        c.add_set(set, vin, out, Node::GROUND).unwrap();
+        let mut tr = c.transient(2e-11).unwrap();
+        // τ = 2 MΩ · ~1 fF = 2 ns. After 5τ the output is ≈ V_in.
+        tr.run_for(10e-9).unwrap();
+        let v = tr.voltage(out);
+        assert!(v > 0.25, "charged to {v}");
+        assert!(tr.steps() > 0 && tr.newton_iterations() > 0);
+    }
+
+    #[test]
+    fn inverter_statics_match_logic_family() {
+        let (pset, nset, vdd) = logic_models();
+        for (vin, want_high) in [(0.0, true), (vdd, false)] {
+            let mut c = NodalCircuit::new();
+            let vddn = c.add_node();
+            let inn = c.add_node();
+            let out = c.add_node();
+            c.set_source(vddn, vdd).unwrap();
+            c.set_source(inn, vin).unwrap();
+            c.add_capacitor(out, Node::GROUND, 150e-18).unwrap();
+            c.add_set(pset, vddn, out, inn).unwrap();
+            c.add_set(nset, out, Node::GROUND, inn).unwrap();
+            let mut tr = c.transient(5e-11).unwrap();
+            tr.run_for(60e-9).unwrap();
+            let v = tr.voltage(out);
+            if want_high {
+                assert!(v > 0.6 * vdd, "inverter(0) = {:.2} mV", v * 1e3);
+            } else {
+                assert!(v < 0.4 * vdd, "inverter(1) = {:.2} mV", v * 1e3);
+            }
+        }
+    }
+
+    #[test]
+    fn source_step_mid_run() {
+        let (pset, nset, vdd) = logic_models();
+        let mut c = NodalCircuit::new();
+        let vddn = c.add_node();
+        let inn = c.add_node();
+        let out = c.add_node();
+        c.set_source(vddn, vdd).unwrap();
+        c.set_source(inn, 0.0).unwrap();
+        c.add_capacitor(out, Node::GROUND, 150e-18).unwrap();
+        c.add_set(pset, vddn, out, inn).unwrap();
+        c.add_set(nset, out, Node::GROUND, inn).unwrap();
+        let mut tr = c.transient(5e-11).unwrap();
+        tr.run_for(60e-9).unwrap();
+        let high = tr.voltage(out);
+        tr.set_source(inn, vdd).unwrap();
+        tr.run_for(60e-9).unwrap();
+        let low = tr.voltage(out);
+        assert!(high > low + 0.3 * vdd, "high {high} low {low}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut c = NodalCircuit::new();
+        let n = c.add_node();
+        assert!(c.add_capacitor(n, Node::GROUND, -1.0).is_err());
+        assert!(c.add_capacitor(n, Node(99), 1e-18).is_err());
+        assert!(c.set_source(Node(99), 0.0).is_err());
+        assert!(c.transient(0.0).is_err());
+        let set = SetModel::symmetric(1e6, 1e-18, 1e-18, 1.0);
+        assert!(c.add_set(set, n, Node(42), Node::GROUND).is_err());
+        c.add_capacitor(n, Node::GROUND, 1e-18).unwrap();
+        let mut tr = c.transient(1e-10).unwrap();
+        assert!(tr.set_source(n, 1.0).is_err(), "not a source");
+    }
+
+    #[test]
+    fn all_source_circuit_is_trivially_stable() {
+        let mut c = NodalCircuit::new();
+        let a = c.add_node();
+        c.set_source(a, 5e-3).unwrap();
+        let mut tr = c.transient(1e-10).unwrap();
+        tr.run_for(1e-9).unwrap();
+        assert_eq!(tr.voltage(a), 5e-3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Large-scale circuit flow — the paper's headline use case: take one
+//! of the evaluation benchmarks ("2-to-10 decoder", 76 junctions),
+//! elaborate it to nSET/pSET logic, and measure its propagation delay
+//! three ways: non-adaptive Monte Carlo (the accuracy reference),
+//! SEMSIM's adaptive solver, and the analytical SPICE baseline. This is
+//! one row of the paper's Figs. 6–7 done end to end.
+//!
+//! Run with: `cargo run --release --example logic_delay`
+
+use semsim::core::engine::{SimConfig, SolverSpec};
+use semsim::logic::{elaborate, measure_delay_avg, Benchmark, SetLogicParams};
+use semsim::spice::logic_map::measure_delay as spice_delay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Decoder2To10;
+    let logic = benchmark.logic();
+    let params = SetLogicParams::default();
+    let elab = elaborate(&logic, &params)?;
+    println!(
+        "# {}: {} SETs, {} junctions (paper size: {})",
+        benchmark.name(),
+        elab.set_count,
+        elab.junction_count(),
+        benchmark.target_junctions()
+    );
+
+    let output = benchmark.delay_output();
+    let transitions = 6;
+
+    // Reference: conventional (non-adaptive) Monte Carlo.
+    let reference = measure_delay_avg(
+        &elab,
+        &logic,
+        &SimConfig::new(params.temperature).with_seed(2),
+        output,
+        40.0,
+        60.0,
+        transitions,
+    )?;
+
+    // SEMSIM's adaptive solver, same protocol.
+    let adaptive_cfg = SimConfig::new(params.temperature)
+        .with_seed(2)
+        .with_solver(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 1_000,
+        });
+    let adaptive = measure_delay_avg(
+        &elab,
+        &logic,
+        &adaptive_cfg,
+        output,
+        40.0,
+        60.0,
+        transitions,
+    )?;
+
+    // Analytical SPICE baseline.
+    let spice = spice_delay(
+        &logic,
+        &params,
+        output,
+        5e-10,
+        40.0 * params.switching_time(),
+        60.0 * params.switching_time(),
+    )?;
+
+    println!(
+        "# propagation delay of `{output}` (input `{}` toggled {transitions}×):",
+        reference.input
+    );
+    println!(
+        "non-adaptive MC : {:.3e} s  ({} events)",
+        reference.delay, reference.events
+    );
+    println!(
+        "SEMSIM adaptive : {:.3e} s  (error {:.1}% — the paper's Fig. 7 band)",
+        adaptive.delay,
+        (adaptive.delay - reference.delay).abs() / reference.delay * 100.0
+    );
+    println!(
+        "SPICE baseline  : {:.3e} s  (error {:.1}%)",
+        spice.delay,
+        (spice.delay - reference.delay).abs() / reference.delay * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! The paper's three simulation methods (§I) side by side on one
+//! device: Monte Carlo (accurate, stochastic), master equation
+//! (noise-free, but the state space must be enumerable), and the
+//! analytical SPICE compact model (fast, first-order only) — all
+//! built in this workspace, all evaluated on the Fig. 1b SET.
+//!
+//! Run with: `cargo run --release --example method_comparison`
+
+use semsim::core::circuit::CircuitBuilder;
+use semsim::core::engine::{linspace, RunLength, SimConfig, Simulation};
+use semsim::core::master::MasterEquation;
+use semsim::spice::SetModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let temperature = 5.0;
+    let vg = 10e-3;
+
+    println!("# Fig. 1b SET, T = {temperature} K, Vg = {:.0} mV", vg * 1e3);
+    println!("# Vds(V)      I_mc(A)        I_me(A)        I_spice(A)");
+
+    let model = SetModel::symmetric(1e6, 1e-18, 3e-18, temperature);
+    for vds in linspace(5e-3, 40e-3, 8) {
+        // Build the circuit at this bias (the ME solver reads the
+        // static lead voltages).
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(vds / 2.0);
+        let drn = b.add_lead(-vds / 2.0);
+        let gate = b.add_lead(vg);
+        let island = b.add_island();
+        let j1 = b.add_junction(src, island, 1e6, 1e-18)?;
+        b.add_junction(island, drn, 1e6, 1e-18)?;
+        b.add_capacitor(gate, island, 3e-18)?;
+        let circuit = b.build()?;
+
+        // (1) Monte Carlo.
+        let mut sim = Simulation::new(&circuit, SimConfig::new(temperature).with_seed(1))?;
+        let i_mc = sim.run(RunLength::Events(40_000))?.current(j1);
+
+        // (2) Master equation (noise-free reference).
+        let me = MasterEquation::new(&circuit, temperature, 4)?;
+        let i_me = me.stationary()?.junction_current(j1);
+
+        // (3) Analytical compact model (the SPICE baseline's device).
+        let i_spice = model.drain_current(vds / 2.0, -vds / 2.0, vg);
+
+        println!("{vds:>9.4} {i_mc:>14.5e} {i_me:>14.5e} {i_spice:>14.5e}");
+    }
+    println!("# All three agree at the device level; they diverge at scale:");
+    println!("# the ME state space explodes (try a 12-island chain — it refuses),");
+    println!("# SPICE misses cotunneling and charge coupling, and plain MC pays");
+    println!("# O(junctions) per event — which is what the adaptive solver fixes.");
+    Ok(())
+}

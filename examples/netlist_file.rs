@@ -1,0 +1,67 @@
+//! Runs the paper's **Example Input File 1** — the SPICE-like input
+//! format of §III-B — through the netlist front-end: parse, compile to
+//! a circuit, execute the declared symmetric-bias sweep, and print the
+//! resulting I–V table.
+//!
+//! Run with: `cargo run --release --example netlist_file`
+
+use semsim::netlist::CircuitFile;
+
+/// The input file exactly as printed in the paper (sweep step widened
+/// from 0.05 mV to 2 mV so the example finishes in seconds; pass the
+/// original value back in if you want the full-resolution curve).
+const PAPER_INPUT: &str = "\
+#SET component definitions
+junc 1 1 4 1e-6 1e-18
+junc 2 2 4 1e-6 1e-18
+cap 3 4 3e-18
+charge 4 0.0
+
+#Input source information
+vdc 1 0.02
+vdc 2 -0.02
+vdc 3 0.0
+symm 1
+
+#Overall node information
+num j 2
+num ext 3
+num nodes 4
+
+#Simulation specific information
+temp 5
+cotunnel
+record 1 2 2
+jumps 20000 1
+sweep 2 0.02 0.002
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let file = CircuitFile::parse(PAPER_INPUT)?;
+    println!(
+        "# parsed: {} junctions, {} capacitors, {} sources, T = {} K, cotunneling = {}",
+        file.junctions.len(),
+        file.capacitors.len(),
+        file.sources.len(),
+        file.temperature,
+        file.cotunnel
+    );
+
+    let compiled = file.compile()?;
+    println!(
+        "# compiled: {} islands, {} leads, {} junctions",
+        compiled.circuit.num_islands(),
+        compiled.circuit.num_leads(),
+        compiled.circuit.num_junctions()
+    );
+
+    let points = file.execute()?;
+    println!("# swept source voltage (V)    current through junction 1 (A)");
+    for p in &points {
+        println!("{:>12.4}    {:>14.5e}", p.control, p.current);
+    }
+    println!("# The symmetric `symm 1` bias makes the sweep cover Vds = -0.04 .. 0.04 V;");
+    println!("# the flat center is the Coulomb blockade, softened at 5 K and bridged by");
+    println!("# the cotunneling current enabled with the `cotunnel` directive.");
+    Ok(())
+}

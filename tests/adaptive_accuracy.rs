@@ -1,0 +1,115 @@
+//! Integration tests of the adaptive solver's accuracy/performance
+//! contract (the substance of the paper's Figs. 6–7): on multi-stage
+//! logic circuits, the adaptive solver must do far less rate work than
+//! the conventional solver while reproducing its observables.
+
+use semsim::core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim::logic::{elaborate, measure_delay, synthesize, SetLogicParams};
+
+fn adaptive_spec(theta: f64) -> SolverSpec {
+    SolverSpec::Adaptive {
+        threshold: theta,
+        refresh_interval: 2_000,
+    }
+}
+
+#[test]
+fn adaptive_reproduces_event_rate_on_logic_benchmark() {
+    // The mean simulated time per event (inverse total rate) is a stiff
+    // global observable; adaptive and non-adaptive must agree within a
+    // few percent at θ = 0.05.
+    let params = SetLogicParams::default();
+    let logic = synthesize(118, 8, 42); // ≈ 74LS153-sized
+    let elab = elaborate(&logic, &params).unwrap();
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(params.temperature).with_seed(3).with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).unwrap();
+            sim.set_lead_voltage(lead, params.vdd).unwrap();
+        }
+        let r = sim.run(RunLength::Events(20_000)).unwrap();
+        (r.duration / r.events as f64, r.rate_recalcs)
+    };
+    let (dt_ref, recalcs_ref) = run(SolverSpec::NonAdaptive);
+    let (dt_adp, recalcs_adp) = run(adaptive_spec(0.05));
+    let err = (dt_adp - dt_ref).abs() / dt_ref;
+    assert!(err < 0.10, "event-rate error {err:.3}");
+    assert!(
+        recalcs_adp * 5 < recalcs_ref,
+        "adaptive did {recalcs_adp} recalcs vs {recalcs_ref}"
+    );
+}
+
+#[test]
+fn tighter_threshold_is_more_accurate() {
+    let params = SetLogicParams::default();
+    let logic = synthesize(118, 8, 42);
+    let elab = elaborate(&logic, &params).unwrap();
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(params.temperature).with_seed(3).with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).unwrap();
+            sim.set_lead_voltage(lead, params.vdd).unwrap();
+        }
+        let r = sim.run(RunLength::Events(15_000)).unwrap();
+        r.rate_recalcs as f64 / r.events as f64
+    };
+    // Work decreases monotonically with θ.
+    let w_tight = run(adaptive_spec(0.005));
+    let w_mid = run(adaptive_spec(0.05));
+    let w_loose = run(adaptive_spec(0.5));
+    assert!(w_tight >= w_mid && w_mid >= w_loose, "{w_tight} {w_mid} {w_loose}");
+}
+
+#[test]
+fn delay_measurement_agrees_between_solvers() {
+    // One row of Fig. 7 on the smallest benchmark-style circuit: delays
+    // from the two solvers agree within the paper's error band plus
+    // Monte Carlo noise.
+    let params = SetLogicParams::default();
+    let logic = semsim::logic::Benchmark::Decoder2To10.logic();
+    let elab = elaborate(&logic, &params).unwrap();
+    let output = semsim::logic::Benchmark::Decoder2To10.delay_output();
+
+    let delay = |spec: SolverSpec, seed: u64| {
+        let cfg = SimConfig::new(params.temperature).with_seed(seed).with_solver(spec);
+        measure_delay(&elab, &logic, &cfg, output, 40.0, 100.0)
+            .expect("transition observed")
+            .delay
+    };
+    let seeds = [101u64, 102, 103];
+    let d_ref: f64 =
+        seeds.iter().map(|&s| delay(SolverSpec::NonAdaptive, s)).sum::<f64>() / seeds.len() as f64;
+    let d_adp: f64 =
+        seeds.iter().map(|&s| delay(adaptive_spec(0.05), s)).sum::<f64>() / seeds.len() as f64;
+    let err = (d_adp - d_ref).abs() / d_ref;
+    assert!(err < 0.25, "delay error {err:.3} ({d_adp} vs {d_ref})");
+}
+
+#[test]
+fn zero_threshold_event_stream_is_statistically_identical() {
+    // At θ = 0 every tested junction recomputes; currents must agree
+    // with the reference within tight Monte Carlo noise.
+    let params = SetLogicParams::default();
+    let logic = synthesize(24, 4, 7);
+    let elab = elaborate(&logic, &params).unwrap();
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(params.temperature).with_seed(1).with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).unwrap();
+            sim.set_lead_voltage(lead, params.vdd).unwrap();
+        }
+        let r = sim.run(RunLength::Events(5_000)).unwrap();
+        r.duration
+    };
+    let t_ref = run(SolverSpec::NonAdaptive);
+    let t_adp = run(SolverSpec::Adaptive {
+        threshold: 0.0,
+        refresh_interval: u64::MAX,
+    });
+    let rel = (t_adp - t_ref).abs() / t_ref;
+    assert!(rel < 0.05, "durations {t_ref} vs {t_adp} ({rel:.4})");
+}

@@ -1,0 +1,222 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use semsim::core::circuit::{Circuit, CircuitBuilder, NodeId};
+use semsim::core::constants::K_B;
+use semsim::core::energy::{delta_w, total_free_energy, CircuitState};
+use semsim::core::fenwick::FenwickTree;
+use semsim::core::rates::orthodox_rate;
+use semsim::linalg::Matrix;
+use semsim::quad::{occupancy_factor, LookupTable};
+
+/// A random well-posed ladder circuit: a chain of 1–6 islands between
+/// two leads with random junction capacitances, random gate couplings
+/// and random background charges.
+fn arb_circuit() -> impl Strategy<Value = (Circuit, Vec<NodeId>)> {
+    (
+        1usize..=6,
+        prop::collection::vec(0.2f64..5.0, 12),
+        prop::collection::vec(-0.9f64..0.9, 6),
+        -30e-3f64..30e-3,
+    )
+        .prop_map(|(n, caps, charges, bias)| {
+            let mut b = CircuitBuilder::new();
+            let lead = b.add_lead(bias);
+            let mut nodes = Vec::new();
+            let mut prev = lead;
+            for i in 0..n {
+                let isl = b.add_island_with_charge(charges[i]);
+                b.add_junction(prev, isl, 1e6, caps[2 * i] * 1e-18).unwrap();
+                nodes.push(isl);
+                prev = isl;
+            }
+            b.add_junction(prev, NodeId::GROUND, 1e6, caps[1] * 1e-18)
+                .unwrap();
+            // A gate on the first island keeps every circuit non-trivial.
+            let gate = b.add_lead(5e-3);
+            b.add_capacitor(gate, nodes[0], caps[2] * 1e-18).unwrap();
+            (b.build().unwrap(), nodes)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacitance_inverse_is_consistent((circuit, _nodes) in arb_circuit()) {
+        let c = circuit.capacitance_matrix();
+        let inv = circuit.inverse_capacitance();
+        let id = c.mul(inv).unwrap();
+        let n = c.rows();
+        for r in 0..n {
+            for col in 0..n {
+                let want = if r == col { 1.0 } else { 0.0 };
+                prop_assert!((id.get(r, col) - want).abs() < 1e-9);
+            }
+        }
+        prop_assert!(inv.is_symmetric(1e-6 * inv.get(0, 0).abs()));
+    }
+
+    #[test]
+    fn delta_w_is_the_discrete_free_energy_gradient(
+        (circuit, nodes) in arb_circuit(),
+        transfers in prop::collection::vec((0usize..6, 0usize..6), 1..5),
+    ) {
+        let mut state = CircuitState::new(&circuit);
+        state.recompute_potentials(&circuit);
+        for (a, b) in transfers {
+            let from = nodes[a % nodes.len()];
+            let to = nodes[b % nodes.len()];
+            if from == to { continue; }
+            let f0 = total_free_energy(&circuit, &state);
+            let dw = delta_w(&circuit, &state, from, to, 1);
+            state.apply_transfer(&circuit, from, to, 1);
+            state.recompute_potentials(&circuit);
+            let f1 = total_free_energy(&circuit, &state);
+            let scale = dw.abs().max(f0.abs()).max(1e-25);
+            prop_assert!(((f1 - f0) - dw).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn forward_backward_deltas_cancel((circuit, nodes) in arb_circuit()) {
+        let mut state = CircuitState::new(&circuit);
+        state.recompute_potentials(&circuit);
+        let from = nodes[0];
+        let to = NodeId::GROUND;
+        let fw = delta_w(&circuit, &state, from, to, 1);
+        state.apply_transfer(&circuit, from, to, 1);
+        state.recompute_potentials(&circuit);
+        let bw = delta_w(&circuit, &state, to, from, 1);
+        let scale = fw.abs().max(1e-25);
+        prop_assert!((fw + bw).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn orthodox_rate_detailed_balance(
+        dw_mev in 0.01f64..10.0,
+        temp in 0.05f64..20.0,
+    ) {
+        let dw = dw_mev * 1e-3 * semsim::core::constants::E_CHARGE;
+        let kt = K_B * temp;
+        let fw = orthodox_rate(dw, kt, 1e6);
+        let bw = orthodox_rate(-dw, kt, 1e6);
+        // Γ(ΔW)/Γ(−ΔW) = exp(−ΔW/kT); compare in log space to tolerate
+        // underflow at large ΔW/kT.
+        if fw > 0.0 && bw > 0.0 {
+            let lhs = (fw / bw).ln();
+            let rhs = -dw / kt;
+            prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn occupancy_factor_identity(x in -500.0f64..500.0) {
+        // f(−x) − f(x) = x, everywhere.
+        let lhs = occupancy_factor(-x) - occupancy_factor(x);
+        prop_assert!((lhs - x).abs() < 1e-9 * x.abs().max(1.0));
+    }
+
+    #[test]
+    fn fenwick_matches_naive_prefix_sums(
+        weights in prop::collection::vec(0.0f64..10.0, 1..64),
+        u in 0.0f64..1.0,
+    ) {
+        let mut t = FenwickTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            t.set(i, w);
+        }
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w;
+            prop_assert!((t.prefix_sum(i) - acc).abs() < 1e-9);
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            let idx = t.sample(u).unwrap();
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight slot");
+            // The sampled index must bracket u·total.
+            let before: f64 = weights[..idx].iter().sum();
+            let target = u * total;
+            prop_assert!(before <= target + 1e-9);
+            prop_assert!(before + weights[idx] >= target - 1e-9);
+        } else {
+            prop_assert!(t.sample(u).is_none());
+        }
+    }
+
+    #[test]
+    fn lookup_table_brackets_and_clamps(
+        ys in prop::collection::vec(-5.0f64..5.0, 2..32),
+        x in -2.0f64..34.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let t = LookupTable::new(xs, ys.clone()).unwrap();
+        let v = t.eval(x);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Linear interpolation never leaves the sample hull.
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_random_dominant_systems(
+        seedvals in prop::collection::vec(-1.0f64..1.0, 25),
+        rhs in prop::collection::vec(-10.0f64..10.0, 5),
+    ) {
+        let mut m = Matrix::zeros(5, 5);
+        for r in 0..5 {
+            let mut diag = 1.0;
+            for c in 0..5 {
+                if r != c {
+                    let v = seedvals[r * 5 + c];
+                    m.set(r, c, v);
+                    diag += v.abs();
+                }
+            }
+            m.set(r, r, diag);
+        }
+        let x = m.solve(&rhs).unwrap();
+        let back = m.mul_vec(&x).unwrap();
+        for (a, b) in back.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn synthesized_netlists_are_well_formed(
+        sets in 1usize..60,
+        inputs in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let target = 2 * sets; // even
+        let logic = semsim::logic::synthesize(target, inputs, seed);
+        let total: usize = logic.gates.iter().map(semsim::netlist::gate_set_count).sum();
+        prop_assert_eq!(total, target);
+        // Evaluation must be defined for every vector (topological order,
+        // no undriven signals).
+        let vector: Vec<bool> = (0..inputs).map(|i| i % 2 == 0).collect();
+        let env = logic.evaluate(&vector);
+        for o in &logic.outputs {
+            prop_assert!(env.contains_key(o.as_str()));
+        }
+    }
+
+    #[test]
+    fn circuit_file_roundtrip(
+        n_junc in 1usize..6,
+        g in 1e-7f64..1e-5,
+        cap in 0.1f64..10.0,
+        temp in 0.0f64..20.0,
+    ) {
+        let mut text = String::new();
+        for j in 0..n_junc {
+            text.push_str(&format!("junc {} {} {} {:e} {:e}\n", j + 1, j, j + 1, g, cap * 1e-18));
+        }
+        text.push_str("vdc 1 0.001\n");
+        text.push_str(&format!("temp {temp}\n"));
+        let parsed = semsim::netlist::CircuitFile::parse(&text).unwrap();
+        let reparsed = semsim::netlist::CircuitFile::parse(&parsed.to_input_format()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

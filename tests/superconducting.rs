@@ -1,0 +1,145 @@
+//! Integration tests of the superconducting transport stack: gap
+//! widening (Fig. 1c), JQP resonances and thermally activated sub-gap
+//! transport (the singularity-matching regime of Fig. 5).
+
+use semsim::core::circuit::{Circuit, CircuitBuilder, JunctionId};
+use semsim::core::constants::ev_to_joule;
+use semsim::core::engine::{RunLength, SimConfig, Simulation};
+use semsim::core::superconduct::SuperconductingParams;
+use semsim::core::CoreError;
+
+fn fig1_set() -> (Circuit, JunctionId) {
+    let mut b = CircuitBuilder::new();
+    let src = b.add_lead(0.0);
+    let drn = b.add_lead(0.0);
+    let gate = b.add_lead(0.0);
+    let island = b.add_island();
+    let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+    b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+    b.add_capacitor(gate, island, 3e-18).unwrap();
+    (b.build().unwrap(), j1)
+}
+
+fn fig5_set() -> (Circuit, JunctionId) {
+    let mut b = CircuitBuilder::new();
+    let bias = b.add_lead(0.0);
+    let drn = b.add_lead(0.0);
+    let gate = b.add_lead(0.0);
+    let island = b.add_island_with_charge(0.65);
+    let j1 = b.add_junction(bias, island, 210e3, 110e-18).unwrap();
+    b.add_junction(island, drn, 210e3, 110e-18).unwrap();
+    b.add_capacitor(gate, island, 14e-18).unwrap();
+    (b.build().unwrap(), j1)
+}
+
+fn current(
+    circuit: &Circuit,
+    j1: JunctionId,
+    cfg: SimConfig,
+    v_pairs: &[(usize, f64)],
+    events: u64,
+) -> f64 {
+    let mut sim = Simulation::new(circuit, cfg).unwrap();
+    for &(lead, v) in v_pairs {
+        sim.set_lead_voltage(lead, v).unwrap();
+    }
+    match sim.run(RunLength::Events(events)) {
+        Ok(r) => r.current(j1),
+        Err(CoreError::BlockadeStall { .. }) => 0.0,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn fig1c_params() -> SuperconductingParams {
+    SuperconductingParams::new(ev_to_joule(0.2e-3), 1.2).unwrap()
+}
+
+#[test]
+fn superconducting_gap_widens_the_suppressed_region() {
+    // Fig. 1b vs 1c: a bias just above the normal-state threshold
+    // (32 mV total) is still inside the superconducting suppressed
+    // region, which the gap widens by ≈ 4Δ/e per junction (~1.6 mV of
+    // total bias with the symmetric divider).
+    let (c, j1) = fig1_set();
+    let bias = [(1usize, 16.4e-3), (2usize, -16.4e-3)];
+    let normal = current(&c, j1, SimConfig::new(0.05).with_seed(2), &bias, 20_000);
+    let sc = current(
+        &c,
+        j1,
+        SimConfig::new(0.05).with_seed(2).with_superconducting(fig1c_params()),
+        &bias,
+        20_000,
+    );
+    assert!(normal > 1e-10, "normal state conducts: {normal}");
+    assert!(
+        sc.abs() < 0.02 * normal,
+        "superconducting current {sc} vs normal {normal}"
+    );
+}
+
+#[test]
+fn well_above_gap_currents_converge() {
+    // Far above threshold the superconducting I–V approaches ohmic
+    // (quasi-particle DOS → 1), so normal and SC currents are close.
+    let (c, j1) = fig1_set();
+    let bias = [(1usize, 20e-2), (2usize, -20e-2)];
+    let normal = current(&c, j1, SimConfig::new(0.05).with_seed(4), &bias, 20_000);
+    let sc = current(
+        &c,
+        j1,
+        SimConfig::new(0.05)
+            .with_seed(4)
+            .with_superconducting(fig1c_params()),
+        &bias,
+        20_000,
+    );
+    let rel = (sc - normal).abs() / normal;
+    assert!(rel < 0.1, "normal {normal} vs sc {sc} ({rel:.3})");
+}
+
+#[test]
+fn subgap_transport_is_thermally_activated() {
+    // The singularity-matching regime: sub-gap current grows strongly
+    // with temperature between 50 mK and 0.52 K (paper Fig. 5 region).
+    let (c, j1) = fig5_set();
+    let params = SuperconductingParams::new(ev_to_joule(0.22e-3), 1.43).unwrap();
+    let bias = [(1usize, 0.5e-3), (3usize, 4e-3)];
+    let cold = current(
+        &c,
+        j1,
+        SimConfig::new(0.05).with_seed(7).with_superconducting(params),
+        &bias,
+        6_000,
+    );
+    let warm = current(
+        &c,
+        j1,
+        SimConfig::new(0.52).with_seed(7).with_superconducting(params),
+        &bias,
+        6_000,
+    );
+    assert!(
+        warm.abs() > 5.0 * cold.abs().max(1e-15),
+        "cold {cold} vs warm {warm}"
+    );
+}
+
+#[test]
+fn jqp_cycles_appear_in_the_event_log() {
+    let (c, j1) = fig5_set();
+    let params = SuperconductingParams::new(ev_to_joule(0.22e-3), 1.43).unwrap();
+    let cfg = SimConfig::new(0.52).with_seed(11).with_superconducting(params);
+    let mut sim = Simulation::new(&c, cfg).unwrap();
+    sim.set_lead_voltage(1, 1.37e-3).unwrap();
+    sim.set_lead_voltage(3, 4e-3).unwrap();
+    sim.enable_event_log(20_000);
+    let r = sim.run(RunLength::Events(20_000)).unwrap();
+    let log = sim.event_log().unwrap();
+    assert!(r.events > 0);
+    assert!(
+        log.cooper_pair_fraction() > 0.001,
+        "no Cooper-pair transport near the resonance"
+    );
+    assert!(log.count_jqp_cycles() > 10, "JQP cycles: {}", log.count_jqp_cycles());
+    let _ = j1;
+}
