@@ -1,43 +1,45 @@
-//! Criterion ablation of the adaptive threshold θ: per-event wall cost
-//! at increasing thresholds on a fixed benchmark. The companion
-//! accuracy ablation (error vs. θ) is the `ablation` binary; this bench
-//! isolates the speed half of the trade-off.
+//! Ablation of the adaptive threshold θ: per-event wall cost at
+//! increasing thresholds on a fixed benchmark. The companion accuracy
+//! ablation (error vs. θ) is the `ablation` binary; this bench isolates
+//! the speed half of the trade-off. Plain `std::time::Instant` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
 use semsim_logic::{elaborate, synthesize, SetLogicParams};
 
-fn bench_threshold(c: &mut Criterion) {
+fn main() {
     let params = SetLogicParams::default();
     let logic = synthesize(236, 8, 42);
     let elab = elaborate(&logic, &params).expect("valid params");
 
-    let mut group = c.benchmark_group("adaptive_threshold");
-    group.sample_size(10);
+    println!("adaptive_threshold (500 events per run, mean of 10 runs)");
     for theta in [0.0, 0.01, 0.05, 0.2, 1.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(theta),
-            &theta,
-            |b, &theta| {
-                b.iter(|| {
-                    let cfg = SimConfig::new(1.0).with_seed(3).with_solver(
-                        SolverSpec::Adaptive {
-                            threshold: theta,
-                            refresh_interval: 1_000,
-                        },
-                    );
-                    let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
-                    for name in &logic.inputs {
-                        let lead = elab.input_lead(name).expect("input");
-                        sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
-                    }
-                    sim.run(RunLength::Events(500)).expect("busy circuit")
+        const REPS: usize = 10;
+        let run = || {
+            let cfg = SimConfig::new(1.0)
+                .with_seed(3)
+                .with_solver(SolverSpec::Adaptive {
+                    threshold: theta,
+                    refresh_interval: 1_000,
                 });
-            },
+            let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
+            for name in &logic.inputs {
+                let lead = elab.input_lead(name).expect("input");
+                sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
+            }
+            sim.run(RunLength::Events(500)).expect("busy circuit")
+        };
+        run(); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(run());
+        }
+        let secs = t0.elapsed().as_secs_f64() / REPS as f64;
+        println!(
+            "  theta={theta:<5}  {:>10.1} us/run  {:>8.1} ns/event",
+            secs * 1e6,
+            secs * 1e9 / 500.0
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_threshold);
-criterion_main!(benches);

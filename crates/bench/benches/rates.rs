@@ -1,65 +1,76 @@
-//! Criterion micro-benchmarks of the rate kernels: the orthodox rate
-//! (paper Eq. 1), the cotunneling rate, the superconducting
-//! quasi-particle rate (tabulated vs. from-scratch BCS integral — the
-//! table is the reason superconducting Monte Carlo is feasible at all),
-//! and the Fenwick tree event selector.
+//! Micro-benchmarks of the rate kernels: the orthodox rate (paper
+//! Eq. 1), the cotunneling rate, the superconducting quasi-particle
+//! rate (tabulated vs. from-scratch BCS integral — the table is the
+//! reason superconducting Monte Carlo is feasible at all), and the
+//! Fenwick tree event selector. Plain `std::time::Instant` harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use semsim_core::constants::{ev_to_joule, K_B};
 use semsim_core::cotunnel::cotunnel_rate;
 use semsim_core::fenwick::FenwickTree;
 use semsim_core::rates::orthodox_rate;
 use semsim_core::superconduct::{qp_integral, QpRateTable};
 
-fn bench_rates(c: &mut Criterion) {
-    let kt = K_B * 1.0;
+/// Time `f` over `iters` calls, after one warm-up pass, and print ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    println!("  {name:<22} {ns:>10.1} ns/iter");
+}
 
-    c.bench_function("orthodox_rate", |b| {
-        b.iter(|| orthodox_rate(black_box(-3e-22), black_box(kt), black_box(1e6)))
+fn main() {
+    let kt = K_B * 1.0;
+    println!("rate kernels");
+
+    bench("orthodox_rate", 1_000_000, || {
+        black_box(orthodox_rate(
+            black_box(-3e-22),
+            black_box(kt),
+            black_box(1e6),
+        ));
     });
 
-    c.bench_function("cotunnel_rate", |b| {
-        b.iter(|| {
-            cotunnel_rate(
-                black_box(-1e-23),
-                black_box(2e-22),
-                black_box(3e-22),
-                black_box(kt),
-                1e6,
-                1e6,
-            )
-        })
+    bench("cotunnel_rate", 1_000_000, || {
+        black_box(cotunnel_rate(
+            black_box(-1e-23),
+            black_box(2e-22),
+            black_box(3e-22),
+            black_box(kt),
+            1e6,
+            1e6,
+        ));
     });
 
     let gap = ev_to_joule(0.2e-3);
-    c.bench_function("qp_integral_direct", |b| {
-        b.iter(|| qp_integral(black_box(-2.5 * gap), gap, gap, kt))
+    bench("qp_integral_direct", 10_000, || {
+        black_box(qp_integral(black_box(-2.5 * gap), gap, gap, kt));
     });
 
     let table = QpRateTable::build(gap, kt, 10.0 * gap).expect("valid range");
-    c.bench_function("qp_rate_tabulated", |b| {
-        b.iter(|| table.rate(black_box(-2.5 * gap), black_box(210e3)))
+    bench("qp_rate_tabulated", 1_000_000, || {
+        black_box(table.rate(black_box(-2.5 * gap), black_box(210e3)));
     });
 
     let mut tree = FenwickTree::new(4096);
     for i in 0..4096 {
         tree.set(i, (i % 17) as f64 + 0.5);
     }
-    c.bench_function("fenwick_sample_4096", |b| {
-        let mut u = 0.1;
-        b.iter(|| {
-            u = (u + 0.618_033_988_749) % 1.0;
-            tree.sample(black_box(u))
-        })
+    let mut u = 0.1;
+    bench("fenwick_sample_4096", 1_000_000, || {
+        u = (u + 0.618_033_988_749) % 1.0;
+        black_box(tree.sample(black_box(u)));
     });
-    c.bench_function("fenwick_update_4096", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 997) % 4096;
-            tree.set(black_box(i), black_box(1.25));
-        })
+    let mut i = 0usize;
+    bench("fenwick_update_4096", 1_000_000, || {
+        i = (i + 997) % 4096;
+        tree.set(black_box(i), black_box(1.25));
     });
 }
-
-criterion_group!(benches, bench_rates);
-criterion_main!(benches);

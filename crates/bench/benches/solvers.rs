@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the two Monte Carlo solvers' per-event
-//! cost as a function of circuit size — the quantity behind the paper's
-//! Fig. 6 trend (non-adaptive ∝ junctions, adaptive ≈ flat).
+//! Micro-benchmarks of the two Monte Carlo solvers' per-event cost as a
+//! function of circuit size — the quantity behind the paper's Fig. 6
+//! trend (non-adaptive ∝ junctions, adaptive ≈ flat). Plain
+//! `std::time::Instant` harness; run with `cargo bench -p semsim-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
 use semsim_logic::{elaborate, synthesize, Elaborated, SetLogicParams};
 
@@ -13,9 +15,27 @@ fn build(sets: usize) -> (semsim_netlist::LogicFile, Elaborated) {
     (logic, elab)
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("per_event_cost");
-    group.sample_size(10);
+fn time_one(logic: &semsim_netlist::LogicFile, elab: &Elaborated, spec: SolverSpec) -> f64 {
+    const REPS: usize = 10;
+    let run = || {
+        let cfg = SimConfig::new(1.0).with_seed(7).with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).expect("input");
+            sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
+        }
+        sim.run(RunLength::Events(500)).expect("busy circuit")
+    };
+    run(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(run());
+    }
+    t0.elapsed().as_secs_f64() / REPS as f64
+}
+
+fn main() {
+    println!("per_event_cost (500 events per run, mean of 10 runs)");
     for sets in [50usize, 118, 236] {
         let (logic, elab) = build(sets);
         for (label, spec) in [
@@ -28,21 +48,13 @@ fn bench_solvers(c: &mut Criterion) {
                 },
             ),
         ] {
-            group.bench_with_input(BenchmarkId::new(label, 2 * sets), &spec, |b, spec| {
-                b.iter(|| {
-                    let cfg = SimConfig::new(1.0).with_seed(7).with_solver(*spec);
-                    let mut sim = Simulation::new(&elab.circuit, cfg).expect("valid");
-                    for name in &logic.inputs {
-                        let lead = elab.input_lead(name).expect("input");
-                        sim.set_lead_voltage(lead, elab.params.vdd).expect("lead");
-                    }
-                    sim.run(RunLength::Events(500)).expect("busy circuit")
-                });
-            });
+            let secs = time_one(&logic, &elab, spec);
+            println!(
+                "  {label:>12} junctions={:>4}  {:>10.1} us/run  {:>8.1} ns/event",
+                2 * sets,
+                secs * 1e6,
+                secs * 1e9 / 500.0
+            );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

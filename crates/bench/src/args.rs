@@ -14,11 +14,11 @@ impl Args {
     /// Parses `std::env::args()` (skipping the program name), accepting
     /// `key=value` tokens and ignoring anything else.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parses an explicit token iterator — used by tests.
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         for tok in iter {
             if let Some((k, v)) = tok.split_once('=') {
@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn parses_and_defaults() {
-        let a = Args::from_iter(
-            ["events=500", "theta=0.1", "full=1", "junk"].map(String::from),
-        );
+        let a = Args::from_tokens(["events=500", "theta=0.1", "full=1", "junk"].map(String::from));
         assert_eq!(a.u64_or("events", 1), 500);
         assert_eq!(a.f64_or("theta", 0.0), 0.1);
         assert_eq!(a.u64_or("missing", 7), 7);

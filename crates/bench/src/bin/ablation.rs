@@ -46,7 +46,10 @@ fn main() {
     };
 
     let (ref_dt, ref_recalcs) = run(SolverSpec::NonAdaptive).expect("reference run");
-    println!("# Ablation on a {}-junction synthetic benchmark", elab.junction_count());
+    println!(
+        "# Ablation on a {}-junction synthetic benchmark",
+        elab.junction_count()
+    );
     println!("# reference: dt/event {ref_dt:.4e} s, recalcs/event {ref_recalcs:.1}");
     println!(
         "# {:>8} {:>10} {:>14} {:>12} {:>10}",

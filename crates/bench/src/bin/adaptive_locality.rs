@@ -43,10 +43,12 @@ fn main() -> Result<(), CoreError> {
         }
         let circuit = b.build()?;
 
-        let cfg = SimConfig::new(5.0).with_seed(3).with_solver(SolverSpec::Adaptive {
-            threshold: theta,
-            refresh_interval: u64::MAX,
-        });
+        let cfg = SimConfig::new(5.0)
+            .with_seed(3)
+            .with_solver(SolverSpec::Adaptive {
+                threshold: theta,
+                refresh_interval: u64::MAX,
+            });
         let mut sim = Simulation::new(&circuit, cfg)?;
         let record = sim.run(RunLength::Events(events))?;
         let stats = record.adaptive_stats.expect("adaptive solver ran");

@@ -17,7 +17,9 @@
 
 use semsim_bench::args::Args;
 use semsim_core::engine::{SimConfig, SolverSpec};
-use semsim_logic::{elaborate, find_sensitizing_vector, measure_delay_avg, Benchmark, SetLogicParams};
+use semsim_logic::{
+    elaborate, find_sensitizing_vector, measure_delay_avg, Benchmark, SetLogicParams,
+};
 use semsim_spice::logic_map::measure_delay as spice_delay;
 
 fn main() {
@@ -65,7 +67,15 @@ fn main() {
             let cfg = SimConfig::new(params.temperature)
                 .with_seed(seed)
                 .with_solver(spec);
-            match measure_delay_avg(&elab, &logic, &cfg, &output, settle_factor, window_factor, transitions) {
+            match measure_delay_avg(
+                &elab,
+                &logic,
+                &cfg,
+                &output,
+                settle_factor,
+                window_factor,
+                transitions,
+            ) {
                 Ok(m) => Some(m.delay),
                 Err(e) => {
                     eprintln!("{} seed {seed}: {e}", b.name());

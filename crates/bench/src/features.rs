@@ -26,7 +26,12 @@ pub fn best_pair_detuning(circuit: &Circuit, state: &CircuitState) -> f64 {
 /// in `state` and `n` excess electrons on the (single) island.
 ///
 /// JQP/DJQP resonances sit where this crosses zero.
-pub fn pair_detuning(circuit: &Circuit, state: &CircuitState, junction: JunctionId, n_shift: i64) -> f64 {
+pub fn pair_detuning(
+    circuit: &Circuit,
+    state: &CircuitState,
+    junction: JunctionId,
+    n_shift: i64,
+) -> f64 {
     let j = circuit.junction(junction);
     let mut s = state.clone();
     if n_shift != 0 {

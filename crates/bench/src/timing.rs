@@ -89,7 +89,11 @@ mod tests {
         // 1 s of simulated time = 1e10 events × 1 µs = 1e4 s of wall.
         assert!((t.wall_for(1.0) - 1e4).abs() < 1.0);
         assert_eq!(
-            MethodTiming { sim_per_event: 0.0, ..t }.wall_for(1.0),
+            MethodTiming {
+                sim_per_event: 0.0,
+                ..t
+            }
+            .wall_for(1.0),
             0.0
         );
     }

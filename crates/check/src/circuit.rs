@@ -1,0 +1,420 @@
+//! Electrical checks over an abstract circuit graph.
+
+use semsim_linalg::Matrix;
+
+use crate::{DiagCode, Diagnostic, Diagnostics, Span};
+
+/// Condition-number estimate above which the capacitance matrix is
+/// reported as numerically near-singular (SC003). `f64` carries ~16
+/// digits; κ₁ ≈ 1e12 leaves fewer than 4 trustworthy digits in island
+/// potentials, which is marginal for free-energy differences.
+pub const CONDITION_THRESHOLD: f64 = 1e12;
+
+/// A node handle in a [`CircuitModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelNode(usize);
+
+impl ModelNode {
+    /// The implicit ground node.
+    pub const GROUND: ModelNode = ModelNode(usize::MAX);
+
+    fn is_ground(self) -> bool {
+        self == ModelNode::GROUND
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Lead,
+    Island,
+}
+
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    kind: NodeKind,
+    label: Option<String>,
+    span: Span,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    a: ModelNode,
+    b: ModelNode,
+    capacitance: f64,
+    /// Tunnel junctions carry charge; plain capacitors do not.
+    tunnel: bool,
+    span: Span,
+}
+
+/// An abstract circuit: leads, islands, and capacitive/tunnel edges.
+///
+/// This is the input to [`check_circuit`]. It deliberately knows nothing
+/// about netlist syntax or the simulation engine, so both the netlist
+/// compiler and the core circuit builder can populate it.
+///
+/// # Example
+///
+/// ```
+/// use semsim_check::{check_circuit, CircuitModel, ModelNode};
+///
+/// let mut m = CircuitModel::new();
+/// let lead = m.add_lead();
+/// let isl = m.add_island();
+/// m.add_junction(lead, isl, 1e-6, 1e-18);
+/// m.add_junction(isl, ModelNode::GROUND, 1e-6, 1e-18);
+/// assert!(check_circuit(&m).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitModel {
+    nodes: Vec<NodeInfo>,
+    edges: Vec<Edge>,
+}
+
+impl CircuitModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        CircuitModel::default()
+    }
+
+    fn add_node(&mut self, kind: NodeKind, span: Span) -> ModelNode {
+        self.nodes.push(NodeInfo {
+            kind,
+            label: None,
+            span,
+        });
+        ModelNode(self.nodes.len() - 1)
+    }
+
+    /// Adds a voltage-source lead.
+    pub fn add_lead(&mut self) -> ModelNode {
+        self.add_node(NodeKind::Lead, Span::NONE)
+    }
+
+    /// Adds a lead whose declaration sits at `span`.
+    pub fn add_lead_at(&mut self, span: Span) -> ModelNode {
+        self.add_node(NodeKind::Lead, span)
+    }
+
+    /// Adds an island.
+    pub fn add_island(&mut self) -> ModelNode {
+        self.add_node(NodeKind::Island, Span::NONE)
+    }
+
+    /// Adds an island whose first mention sits at `span`.
+    pub fn add_island_at(&mut self, span: Span) -> ModelNode {
+        self.add_node(NodeKind::Island, span)
+    }
+
+    /// Attaches a human-readable name (e.g. the netlist node number)
+    /// used in diagnostic messages.
+    pub fn set_label(&mut self, node: ModelNode, label: impl Into<String>) {
+        if !node.is_ground() {
+            self.nodes[node.0].label = Some(label.into());
+        }
+    }
+
+    /// Adds a tunnel junction (conductance is recorded for symmetry
+    /// checks by callers; only the capacitance enters the matrix).
+    pub fn add_junction(&mut self, a: ModelNode, b: ModelNode, _conductance: f64, cap: f64) {
+        self.add_junction_at(a, b, _conductance, cap, Span::NONE);
+    }
+
+    /// [`CircuitModel::add_junction`] with a source location.
+    pub fn add_junction_at(
+        &mut self,
+        a: ModelNode,
+        b: ModelNode,
+        _conductance: f64,
+        cap: f64,
+        span: Span,
+    ) {
+        self.edges.push(Edge {
+            a,
+            b,
+            capacitance: cap,
+            tunnel: true,
+            span,
+        });
+    }
+
+    /// Adds a plain capacitor.
+    pub fn add_capacitor(&mut self, a: ModelNode, b: ModelNode, cap: f64) {
+        self.add_capacitor_at(a, b, cap, Span::NONE);
+    }
+
+    /// [`CircuitModel::add_capacitor`] with a source location.
+    pub fn add_capacitor_at(&mut self, a: ModelNode, b: ModelNode, cap: f64, span: Span) {
+        self.edges.push(Edge {
+            a,
+            b,
+            capacitance: cap,
+            tunnel: false,
+            span,
+        });
+    }
+
+    /// Number of islands in the model.
+    pub fn island_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Island)
+            .count()
+    }
+
+    fn describe(&self, node: ModelNode) -> String {
+        if node.is_ground() {
+            return "ground".to_string();
+        }
+        let info = &self.nodes[node.0];
+        match (&info.label, info.kind) {
+            (Some(l), NodeKind::Island) => format!("island (node {l})"),
+            (Some(l), NodeKind::Lead) => format!("lead (node {l})"),
+            (None, NodeKind::Island) => format!("island #{}", node.0),
+            (None, NodeKind::Lead) => format!("lead #{}", node.0),
+        }
+    }
+
+    /// Best source location for a node-level finding: the node's own
+    /// span, falling back to its first incident edge's span when the
+    /// node was added without one.
+    fn span_for(&self, node: ModelNode) -> Span {
+        let own = self.nodes[node.0].span;
+        if own.is_known() {
+            return own;
+        }
+        self.edges
+            .iter()
+            .find(|e| e.a == node || e.b == node)
+            .map(|e| e.span)
+            .unwrap_or(Span::NONE)
+    }
+
+    /// Islands not reached from any lead/ground by a breadth-first walk
+    /// over the selected edges.
+    fn unreached_islands(&self, use_edge: impl Fn(&Edge) -> bool) -> Vec<ModelNode> {
+        let n = self.nodes.len();
+        // Index n stands for ground.
+        let idx = |node: ModelNode| if node.is_ground() { n } else { node.0 };
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for e in self.edges.iter().filter(|e| use_edge(e)) {
+            adj[idx(e.a)].push(idx(e.b));
+            adj[idx(e.b)].push(idx(e.a));
+        }
+        let mut seen = vec![false; n + 1];
+        let mut queue: Vec<usize> = vec![n];
+        seen[n] = true;
+        for (i, info) in self.nodes.iter().enumerate() {
+            if info.kind == NodeKind::Lead {
+                seen[i] = true;
+                queue.push(i);
+            }
+        }
+        while let Some(u) = queue.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        (0..n)
+            .filter(|&i| self.nodes[i].kind == NodeKind::Island && !seen[i])
+            .map(ModelNode)
+            .collect()
+    }
+
+    /// Assembles the island-block capacitance matrix (diagonal = total
+    /// attached capacitance, off-diagonal = −C between island pairs).
+    fn capacitance_matrix(&self) -> Matrix {
+        let islands: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].kind == NodeKind::Island)
+            .collect();
+        let pos: std::collections::HashMap<usize, usize> =
+            islands.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+        let mut c = Matrix::zeros(islands.len(), islands.len());
+        for e in &self.edges {
+            let pa = (!e.a.is_ground()).then(|| pos.get(&e.a.0)).flatten();
+            let pb = (!e.b.is_ground()).then(|| pos.get(&e.b.0)).flatten();
+            if let Some(&ka) = pa {
+                c.add_to(ka, ka, e.capacitance);
+            }
+            if let Some(&kb) = pb {
+                c.add_to(kb, kb, e.capacitance);
+            }
+            if let (Some(&ka), Some(&kb)) = (pa, pb) {
+                if ka != kb {
+                    c.add_to(ka, kb, -e.capacitance);
+                    c.add_to(kb, ka, -e.capacitance);
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Runs the electrical checks: SC001 (floating islands), SC002
+/// (singular capacitance matrix), SC003 (ill-conditioned capacitance
+/// matrix) and SC005 (tunnel-unreachable islands).
+pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    // SC001: capacitive connectivity. Zero-valued capacitances do not
+    // couple anything, so they are excluded from the walk.
+    let floating = model.unreached_islands(|e| e.capacitance > 0.0);
+    for &node in &floating {
+        diags.push(Diagnostic::new(
+            DiagCode::FloatingIsland,
+            format!(
+                "{} has no capacitive path to any lead or ground; its potential is undetermined",
+                model.describe(node)
+            ),
+            model.span_for(node),
+        ));
+    }
+
+    // SC002 / SC003: only meaningful when the connectivity is sound —
+    // a floating island already implies a singular matrix.
+    if floating.is_empty() && model.island_count() > 0 {
+        // Matrix-level findings are anchored to the largest capacitance:
+        // both exact singularity and ill-conditioning come from extreme
+        // capacitance ratios, and the dominant edge is the culprit.
+        let dominant = model
+            .edges
+            .iter()
+            .max_by(|x, y| x.capacitance.total_cmp(&y.capacitance))
+            .map(|e| e.span)
+            .unwrap_or(Span::NONE);
+        let c = model.capacitance_matrix();
+        match c.lu() {
+            Err(_) => diags.push(Diagnostic::new(
+                DiagCode::SingularCapacitanceMatrix,
+                "island capacitance matrix is numerically singular; \
+                 the capacitance ratios exceed what f64 can resolve",
+                dominant,
+            )),
+            Ok(lu) => {
+                let cond = lu
+                    .inverse_norm_one_estimate()
+                    .map(|inv| (c.norm_one() * inv).max(1.0))
+                    .unwrap_or(f64::INFINITY);
+                if cond > CONDITION_THRESHOLD {
+                    diags.push(Diagnostic::new(
+                        DiagCode::IllConditionedCMatrix,
+                        format!(
+                            "island capacitance matrix is ill-conditioned \
+                             (κ₁ ≈ {cond:.2e} > {CONDITION_THRESHOLD:.0e}); \
+                             island potentials may lose most significant digits"
+                        ),
+                        dominant,
+                    ));
+                }
+            }
+        }
+    }
+
+    // SC005: tunnel reachability. An island only coupled through plain
+    // capacitors holds its charge forever — legal, but usually a typo.
+    for node in model.unreached_islands(|e| e.tunnel && e.capacitance > 0.0) {
+        if floating.contains(&node) {
+            continue; // already reported as the harder SC001
+        }
+        diags.push(Diagnostic::new(
+            DiagCode::UnreachableNode,
+            format!(
+                "{} has no tunnel-junction path to any lead or ground; \
+                 its charge can never change",
+                model.describe(node)
+            ),
+            model.span_for(node),
+        ));
+    }
+
+    diags.sort();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_formed_pair() -> CircuitModel {
+        let mut m = CircuitModel::new();
+        let lead = m.add_lead();
+        let isl = m.add_island();
+        m.add_junction(lead, isl, 1e-6, 1e-18);
+        m.add_junction(isl, ModelNode::GROUND, 1e-6, 1e-18);
+        m
+    }
+
+    #[test]
+    fn clean_circuit_has_no_findings() {
+        assert!(check_circuit(&well_formed_pair()).is_empty());
+    }
+
+    #[test]
+    fn floating_island_reported() {
+        let mut m = well_formed_pair();
+        let orphan = m.add_island_at(Span::line(7));
+        m.set_label(orphan, "9");
+        let diags = check_circuit(&m);
+        assert!(diags.has_errors());
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::FloatingIsland)
+            .expect("SC001");
+        assert_eq!(d.span, Span::line(7));
+        assert!(d.message.contains("node 9"));
+    }
+
+    #[test]
+    fn island_cluster_without_external_coupling_is_floating() {
+        let mut m = well_formed_pair();
+        let a = m.add_island();
+        let b = m.add_island();
+        m.add_junction(a, b, 1e-6, 1e-18);
+        let diags = check_circuit(&m);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == DiagCode::FloatingIsland)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn capacitor_only_island_is_unreachable_not_floating() {
+        let mut m = well_formed_pair();
+        let isl = m.add_island_at(Span::line(3));
+        m.add_capacitor(isl, ModelNode::GROUND, 1e-18);
+        let diags = check_circuit(&m);
+        assert!(!diags.has_errors());
+        assert!(diags.iter().any(|d| d.code == DiagCode::UnreachableNode));
+    }
+
+    #[test]
+    fn huge_capacitance_spread_is_ill_conditioned() {
+        let mut m = CircuitModel::new();
+        let lead = m.add_lead();
+        let a = m.add_island();
+        let b = m.add_island();
+        // Strong island–island coupling with vanishing anchors to the
+        // outside: eigenvalues ≈ {2, 1e-15} → κ ≈ 2e15.
+        m.add_junction(lead, a, 1e-6, 1e-15);
+        m.add_junction(a, b, 1e-6, 1.0);
+        m.add_junction(b, ModelNode::GROUND, 1e-6, 1e-15);
+        let diags = check_circuit(&m);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::IllConditionedCMatrix));
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn ground_only_circuit_is_fine() {
+        let mut m = CircuitModel::new();
+        let isl = m.add_island();
+        m.add_junction(isl, ModelNode::GROUND, 1e-6, 1e-18);
+        assert!(check_circuit(&m).is_empty());
+    }
+}

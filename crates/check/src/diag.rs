@@ -1,0 +1,353 @@
+//! Diagnostic vocabulary shared by every static check.
+
+use std::fmt;
+
+/// A source location: the 1-based line of the declaration a diagnostic
+/// points at. Line 0 means "no location" (synthesized netlists, or
+/// file-level findings such as a singular capacitance matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line; 0 when unknown.
+    pub line: usize,
+}
+
+impl Span {
+    /// The "no location" span.
+    pub const NONE: Span = Span { line: 0 };
+
+    /// Span pointing at `line` (1-based).
+    pub fn line(line: usize) -> Span {
+        Span { line }
+    }
+
+    /// Whether the span carries a real location.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but simulable; reported, does not abort.
+    Warning,
+    /// The circuit cannot be simulated meaningfully; aborts compilation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The closed set of diagnostic codes.
+///
+/// Codes SC007–SC009 name two related findings each (an error facet and
+/// a warning facet); the enum keeps them distinct so tests can match
+/// precisely, while [`DiagCode::code`] maps both facets to the shared
+/// printable code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// SC001: an island (or island cluster) with no capacitive path to
+    /// any lead or ground — the electrostatics are underdetermined.
+    FloatingIsland,
+    /// SC002: the island-block capacitance matrix is exactly singular.
+    SingularCapacitanceMatrix,
+    /// SC003: the capacitance matrix is numerically near-singular
+    /// (1-norm condition estimate above threshold).
+    IllConditionedCMatrix,
+    /// SC004: a physical parameter that must be positive (conductance,
+    /// capacitance, gap, Tc) or finite (temperature) is not.
+    NonPositiveParameter,
+    /// SC005: an island with no tunnel-junction path to any lead or
+    /// ground — its charge can never change during simulation.
+    UnreachableNode,
+    /// SC006: the gate graph contains a combinational cycle.
+    CombinationalLoop,
+    /// SC007 (error facet): a gate input that is neither a primary
+    /// input nor driven by any gate.
+    UndrivenInput,
+    /// SC007 (warning facet): a gate output consumed by nothing and not
+    /// a primary output.
+    UnusedOutput,
+    /// SC008: `symm` declared on a node without a `vdc` source, or the
+    /// junction network is visibly asymmetric around the symmetric pair.
+    AsymmetricSymmJunction,
+    /// SC009: superconducting parameters inconsistent with BCS theory
+    /// (T ≥ Tc, or Δ(0) far from 1.764·kB·Tc).
+    SuperconductingGapMismatch,
+}
+
+impl DiagCode {
+    /// The printable `SCnnn` code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DiagCode::FloatingIsland => "SC001",
+            DiagCode::SingularCapacitanceMatrix => "SC002",
+            DiagCode::IllConditionedCMatrix => "SC003",
+            DiagCode::NonPositiveParameter => "SC004",
+            DiagCode::UnreachableNode => "SC005",
+            DiagCode::CombinationalLoop => "SC006",
+            DiagCode::UndrivenInput | DiagCode::UnusedOutput => "SC007",
+            DiagCode::AsymmetricSymmJunction => "SC008",
+            DiagCode::SuperconductingGapMismatch => "SC009",
+        }
+    }
+
+    /// The severity this code carries unless a check overrides it.
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            DiagCode::FloatingIsland
+            | DiagCode::SingularCapacitanceMatrix
+            | DiagCode::NonPositiveParameter
+            | DiagCode::CombinationalLoop
+            | DiagCode::UndrivenInput => Severity::Error,
+            DiagCode::IllConditionedCMatrix
+            | DiagCode::UnreachableNode
+            | DiagCode::UnusedOutput
+            | DiagCode::AsymmetricSymmJunction
+            | DiagCode::SuperconductingGapMismatch => Severity::Warning,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: DiagCode,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source file, if known.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// A diagnostic at `span` with the code's default severity.
+    pub fn new(code: DiagCode, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Overrides the severity (e.g. SC008's error facet).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+}
+
+/// An ordered collection of findings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Appends one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Appends all findings from `other`.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// `true` if any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the findings.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Orders findings by line, then severity (errors first), then code.
+    pub fn sort(&mut self) {
+        self.items.sort_by(|a, b| {
+            (a.span.line, std::cmp::Reverse(a.severity), a.code.code()).cmp(&(
+                b.span.line,
+                std::cmp::Reverse(b.severity),
+                b.code.code(),
+            ))
+        });
+    }
+
+    /// Renders every finding rustc-style:
+    ///
+    /// ```text
+    /// error[SC001]: island 3 has no capacitive path to a lead or ground
+    ///  --> adder.cir:4
+    ///   |
+    /// 4 | junc 2 3 3 1e-6 1e-18
+    ///   | ^
+    /// ```
+    ///
+    /// `source` (when available) supplies the quoted line.
+    pub fn render(&self, filename: &str, source: Option<&str>) -> String {
+        let mut out = String::new();
+        let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
+        for d in &self.items {
+            out.push_str(&format!(
+                "{}[{}]: {}\n",
+                d.severity,
+                d.code.code(),
+                d.message
+            ));
+            if d.span.is_known() {
+                let gutter = d.span.line.to_string().len();
+                out.push_str(&format!(
+                    "{:>gutter$}--> {}:{}\n",
+                    "", filename, d.span.line
+                ));
+                if let Some(text) = lines.get(d.span.line - 1) {
+                    out.push_str(&format!("{:>gutter$} |\n", ""));
+                    out.push_str(&format!("{} | {}\n", d.span.line, text));
+                    out.push_str(&format!(
+                        "{:>gutter$} | {}\n",
+                        "",
+                        "^".repeat(text.trim_end().len().max(1))
+                    ));
+                }
+            } else {
+                out.push_str(&format!(" --> {filename}\n"));
+            }
+            out.push('\n');
+        }
+        let errors = self
+            .items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = self.len() - errors;
+        if errors > 0 || warnings > 0 {
+            let mut parts = Vec::new();
+            if errors > 0 {
+                parts.push(format!(
+                    "{errors} error{}",
+                    if errors == 1 { "" } else { "s" }
+                ));
+            }
+            if warnings > 0 {
+                parts.push(format!(
+                    "{warnings} warning{}",
+                    if warnings == 1 { "" } else { "s" }
+                ));
+            }
+            out.push_str(&format!("{} emitted\n", parts.join(", ")));
+        }
+        out
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(DiagCode::FloatingIsland.code(), "SC001");
+        assert_eq!(DiagCode::UndrivenInput.code(), "SC007");
+        assert_eq!(DiagCode::UnusedOutput.code(), "SC007");
+        assert_eq!(DiagCode::SuperconductingGapMismatch.code(), "SC009");
+    }
+
+    #[test]
+    fn has_errors_tracks_severity() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(
+            DiagCode::UnreachableNode,
+            "island 1 frozen",
+            Span::line(2),
+        ));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::new(
+            DiagCode::FloatingIsland,
+            "island 2 floating",
+            Span::line(3),
+        ));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn sort_orders_by_line_then_severity() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(
+            DiagCode::UnreachableNode,
+            "w",
+            Span::line(5),
+        ));
+        ds.push(Diagnostic::new(
+            DiagCode::FloatingIsland,
+            "e",
+            Span::line(2),
+        ));
+        ds.push(Diagnostic::new(
+            DiagCode::SingularCapacitanceMatrix,
+            "e0",
+            Span::NONE,
+        ));
+        ds.sort();
+        let lines: Vec<usize> = ds.iter().map(|d| d.span.line).collect();
+        assert_eq!(lines, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn render_quotes_the_source_line() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::new(
+            DiagCode::FloatingIsland,
+            "island 3 has no capacitive path to a lead or ground",
+            Span::line(2),
+        ));
+        let src = "junc 1 1 2 1e-6 1e-18\njunc 2 3 3 1e-6 1e-18\n";
+        let rendered = ds.render("bad.cir", Some(src));
+        assert!(rendered.contains("error[SC001]"));
+        assert!(rendered.contains("bad.cir:2"));
+        assert!(rendered.contains("junc 2 3 3"));
+        assert!(rendered.contains("1 error emitted"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Static analysis for single-electron circuits and logic netlists.
+//!
+//! Simulating a malformed circuit wastes hours of Monte Carlo time on
+//! results that are garbage from the first event: a capacitively
+//! floating island makes the electrostatics singular, an island with no
+//! tunnel path never changes charge, a combinational loop makes a logic
+//! netlist unevaluable. This crate runs *before* engine construction
+//! and reports such defects as structured diagnostics with source
+//! locations, rustc-style.
+//!
+//! # Diagnostic codes
+//!
+//! | code | check | severity |
+//! |---|---|---|
+//! | SC001 | island with no capacitive path to a lead/ground | error |
+//! | SC002 | singular island capacitance matrix | error |
+//! | SC003 | ill-conditioned capacitance matrix (κ₁ > 10¹²) | warning |
+//! | SC004 | non-positive / non-finite physical parameter | error |
+//! | SC005 | island with no tunnel-junction path to a lead/ground | warning |
+//! | SC006 | combinational cycle in the gate graph | error |
+//! | SC007 | undriven signal (error) / unused gate output (warning) | mixed |
+//! | SC008 | `symm` without source (error) / asymmetric mirror (warning) | mixed |
+//! | SC009 | T ≥ Tc (error) / Δ(0) far from BCS 1.764·kB·Tc (warning) | mixed |
+//!
+//! SC001–SC003 and SC005 run on the abstract [`CircuitModel`]; SC006 and
+//! SC007 on the abstract [`LogicModel`]. SC004, SC008 and SC009 concern
+//! netlist directives and are implemented in `semsim-netlist::lint`
+//! using this crate's diagnostic vocabulary.
+//!
+//! # Example
+//!
+//! ```
+//! use semsim_check::{check_circuit, CircuitModel, ModelNode, Span};
+//!
+//! let mut m = CircuitModel::new();
+//! let lead = m.add_lead();
+//! let isl = m.add_island_at(Span::line(2));
+//! m.add_junction(lead, isl, 1e-6, 1e-18);
+//! // No second electrode: the island floats only if nothing anchors it.
+//! m.add_junction(isl, ModelNode::GROUND, 1e-6, 1e-18);
+//! assert!(check_circuit(&m).is_empty());
+//! ```
+
+mod circuit;
+mod diag;
+mod logic;
+
+pub use circuit::{check_circuit, CircuitModel, ModelNode, CONDITION_THRESHOLD};
+pub use diag::{DiagCode, Diagnostic, Diagnostics, Severity, Span};
+pub use logic::{check_logic, LogicModel};

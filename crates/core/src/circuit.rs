@@ -139,7 +139,8 @@ impl CircuitBuilder {
     /// Fig. 5 experiment).
     pub fn add_island_with_charge(&mut self, q0_in_e: f64) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeKind::Island(self.island_background.len()));
+        self.nodes
+            .push(NodeKind::Island(self.island_background.len()));
         self.island_background.push(q0_in_e * E_CHARGE);
         id
     }
@@ -190,7 +191,12 @@ impl CircuitBuilder {
     /// # Errors
     ///
     /// Same validation as [`CircuitBuilder::add_junction`].
-    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, capacitance: f64) -> Result<(), CoreError> {
+    pub fn add_capacitor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacitance: f64,
+    ) -> Result<(), CoreError> {
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {
@@ -267,6 +273,11 @@ pub struct Circuit {
     /// Junctions incident to each lead's capacitive neighbourhood — the
     /// BFS seeds for an input-voltage step on that lead.
     lead_seed_junctions: Vec<Vec<JunctionId>>,
+    /// Warning-severity findings from the static checks that ran during
+    /// [`CircuitBuilder::build`] (ill-conditioned capacitance matrix,
+    /// tunnel-unreachable islands). Error-severity defects surface as
+    /// [`CoreError`]s instead.
+    check_warnings: semsim_check::Diagnostics,
 }
 
 impl Circuit {
@@ -296,7 +307,11 @@ impl Circuit {
             .junctions
             .iter()
             .map(|j| (j.node_a, j.node_b, j.capacitance))
-            .chain(b.capacitors.iter().map(|c| (c.node_a, c.node_b, c.capacitance)));
+            .chain(
+                b.capacitors
+                    .iter()
+                    .map(|c| (c.node_a, c.node_b, c.capacitance)),
+            );
         for (na, nb, c) in caps {
             let ka = b.nodes[na.0];
             let kb = b.nodes[nb.0];
@@ -320,6 +335,46 @@ impl Circuit {
                 (NodeKind::Lead(_), NodeKind::Lead(_)) => {}
             }
         }
+
+        // Static checks on the abstract graph. Hard defects (floating
+        // islands → singular matrix) still surface through the inverse
+        // below as `CoreError::FloatingIsland`; the warnings
+        // (ill-conditioning, tunnel-unreachable islands) are kept on the
+        // circuit for callers to surface.
+        let check_warnings = {
+            let mut model = semsim_check::CircuitModel::new();
+            let mut model_nodes = Vec::with_capacity(n_nodes);
+            for (idx, kind) in b.nodes.iter().enumerate() {
+                let mn = match kind {
+                    NodeKind::Lead(_) => model.add_lead(),
+                    NodeKind::Island(_) => model.add_island(),
+                };
+                model.set_label(mn, idx.to_string());
+                model_nodes.push(mn);
+            }
+            for j in &b.junctions {
+                model.add_junction(
+                    model_nodes[j.node_a.0],
+                    model_nodes[j.node_b.0],
+                    1.0 / j.resistance,
+                    j.capacitance,
+                );
+            }
+            for c in &b.capacitors {
+                model.add_capacitor(
+                    model_nodes[c.node_a.0],
+                    model_nodes[c.node_b.0],
+                    c.capacitance,
+                );
+            }
+            let mut warnings = semsim_check::Diagnostics::new();
+            for d in semsim_check::check_circuit(&model) {
+                if d.severity == semsim_check::Severity::Warning {
+                    warnings.push(d);
+                }
+            }
+            warnings
+        };
 
         let cinv = if n_islands > 0 {
             cmatrix.inverse().map_err(CoreError::FloatingIsland)?
@@ -391,8 +446,7 @@ impl Circuit {
         // Seeds for an input step on each lead: junctions touching the
         // lead directly, plus junctions of islands coupled to the lead.
         let mut lead_seed_junctions: Vec<Vec<JunctionId>> = Vec::with_capacity(n_leads);
-        for l in 0..n_leads {
-            let node = lead_nodes[l];
+        for &node in lead_nodes.iter().take(n_leads) {
             let mut seen = vec![false; b.junctions.len()];
             let mut out = Vec::new();
             let push_node = |node: NodeId, seen: &mut Vec<bool>, out: &mut Vec<JunctionId>| {
@@ -426,7 +480,14 @@ impl Circuit {
             node_junctions,
             junction_neighbors,
             lead_seed_junctions,
+            check_warnings,
         })
+    }
+
+    /// Warning-severity findings from the static checks run at build
+    /// time (SC003 ill-conditioning, SC005 tunnel-unreachable islands).
+    pub fn check_warnings(&self) -> &semsim_check::Diagnostics {
+        &self.check_warnings
     }
 
     /// Number of nodes (leads + islands), including ground.
@@ -618,7 +679,9 @@ mod tests {
         // stepping together by 1 V is exactly 1 V.
         let (c, island, _, _) = paper_set();
         let i = c.island_index(island).unwrap();
-        let total: f64 = (0..c.num_leads()).map(|l| c.lead_response().get(i, l)).sum();
+        let total: f64 = (0..c.num_leads())
+            .map(|l| c.lead_response().get(i, l))
+            .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
 
@@ -666,9 +729,7 @@ mod tests {
         assert!(b.add_junction(i, i, 1e6, 1e-18).is_err());
         assert!(b.add_capacitor(i, i, 1e-18).is_err());
         assert!(b.add_capacitor(NodeId::GROUND, i, f64::INFINITY).is_err());
-        assert!(b
-            .add_junction(NodeId(99), i, 1e6, 1e-18)
-            .is_err());
+        assert!(b.add_junction(NodeId(99), i, 1e6, 1e-18).is_err());
     }
 
     #[test]

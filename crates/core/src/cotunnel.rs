@@ -96,14 +96,7 @@ pub fn path_rate(circuit: &Circuit, state: &CircuitState, path: &CotunnelPath, k
 ///
 /// `eps1`/`eps2` are evaluated at zero bias (a good approximation deep
 /// in blockade at small bias).
-pub fn analytic_cotunnel_current(
-    v: f64,
-    eps1: f64,
-    eps2: f64,
-    kt: f64,
-    r1: f64,
-    r2: f64,
-) -> f64 {
+pub fn analytic_cotunnel_current(v: f64, eps1: f64, eps2: f64, kt: f64, r1: f64, r2: f64) -> f64 {
     let amp = 1.0 / eps1 + 1.0 / eps2;
     let prefactor = HBAR / (12.0 * std::f64::consts::PI * E_CHARGE * E_CHARGE * r1 * r2);
     let ev = E_CHARGE * v;
@@ -142,8 +135,7 @@ mod tests {
         let ec = 5e-22;
         let net = |v: f64| {
             let dw = -E_CHARGE * v;
-            cotunnel_rate(dw, ec, ec, 0.0, 1e6, 1e6)
-                - cotunnel_rate(-dw, ec, ec, 0.0, 1e6, 1e6)
+            cotunnel_rate(dw, ec, ec, 0.0, 1e6, 1e6) - cotunnel_rate(-dw, ec, ec, 0.0, 1e6, 1e6)
         };
         let i1 = net(1e-4);
         let i2 = net(2e-4);
@@ -156,14 +148,11 @@ mod tests {
         let kt = K_B * 0.1;
         let v = 2e-4;
         let dw = -E_CHARGE * v;
-        let net = cotunnel_rate(dw, ec, ec, kt, 1e6, 1e6)
-            - cotunnel_rate(-dw, ec, ec, kt, 1e6, 1e6);
+        let net =
+            cotunnel_rate(dw, ec, ec, kt, 1e6, 1e6) - cotunnel_rate(-dw, ec, ec, kt, 1e6, 1e6);
         let i_mc = E_CHARGE * net;
         let i_an = analytic_cotunnel_current(v, ec, ec, kt, 1e6, 1e6);
-        assert!(
-            (i_mc - i_an).abs() < 1e-9 * i_an.abs(),
-            "{i_mc} vs {i_an}"
-        );
+        assert!((i_mc - i_an).abs() < 1e-9 * i_an.abs(), "{i_mc} vs {i_an}");
     }
 
     #[test]

@@ -95,7 +95,9 @@ impl CircuitState {
             self.q_tilde = self.charge_vector(circuit);
             self.q_tilde_dirty = false;
         }
-        circuit.sparse_inverse_capacitance().row_dot(island, &self.q_tilde)
+        circuit
+            .sparse_inverse_capacitance()
+            .row_dot(island, &self.q_tilde)
     }
 
     /// The island charge vector `q̃` (C): `−e·n + q₀ + C_ext·V`.

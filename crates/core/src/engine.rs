@@ -9,15 +9,13 @@
 //! event with probability proportional to its rate; (3) the event is
 //! applied and observables are recorded.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::circuit::{Circuit, JunctionId, NodeId};
 use crate::constants::{thermal_energy, E_CHARGE};
 use crate::cotunnel::path_rate;
 use crate::energy::{delta_w, CircuitState};
 use crate::events::{enumerate_cotunnel_paths, CotunnelPath, Event, RateLayout, SlotKind};
 use crate::fenwick::FenwickTree;
+use crate::rng::Rng;
 use crate::solver::{
     AdaptiveSolver, AdaptiveStats, NonAdaptiveSolver, Solver, SolverContext, StateChange,
     TunnelModel,
@@ -29,9 +27,10 @@ use crate::trace::{EventLog, Probe};
 use crate::CoreError;
 
 /// Which rate solver drives the simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SolverSpec {
     /// Conventional full recalculation each event (accuracy reference).
+    #[default]
     NonAdaptive,
     /// The paper's adaptive Algorithm 1.
     Adaptive {
@@ -40,12 +39,6 @@ pub enum SolverSpec {
         /// Full-refresh period in events.
         refresh_interval: u64,
     },
-}
-
-impl Default for SolverSpec {
-    fn default() -> Self {
-        SolverSpec::NonAdaptive
-    }
 }
 
 /// Simulation configuration.
@@ -212,7 +205,7 @@ pub struct Simulation<'c> {
     rates: FenwickTree,
     cot_paths: Vec<CotunnelPath>,
     super_info: Option<SuperInfo>,
-    rng: StdRng,
+    rng: Rng,
     time: f64,
     total_events: u64,
     electron_counts: Vec<f64>,
@@ -333,7 +326,7 @@ impl<'c> Simulation<'c> {
             rates: FenwickTree::new(layout.len()),
             cot_paths,
             super_info,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             time: 0.0,
             total_events: 0,
             electron_counts: vec![0.0; circuit.num_junctions()],
@@ -353,9 +346,13 @@ impl<'c> Simulation<'c> {
             model: &self.model,
             layout: self.layout,
         };
-        self.solver.initialize(&ctx, &mut self.state, &mut self.rates);
-        drop(ctx);
+        self.solver
+            .initialize(&ctx, &mut self.state, &mut self.rates);
         self.refresh_secondary_rates();
+        debug_assert!(
+            self.rates.is_consistent(),
+            "rate table inconsistent after initialization"
+        );
     }
 
     /// Simulated time (s).
@@ -400,7 +397,6 @@ impl<'c> Simulation<'c> {
                 &mut self.rates,
                 StateChange::LeadStep { lead, dv },
             );
-            drop(ctx);
             self.refresh_secondary_rates();
         }
         Ok(())
@@ -466,7 +462,8 @@ impl<'c> Simulation<'c> {
             let path = self.cot_paths[p];
             for node in [path.from, path.via, path.to] {
                 if let Some(i) = self.circuit.island_index(node) {
-                    self.solver.ensure_island_potential(&ctx, &mut self.state, i);
+                    self.solver
+                        .ensure_island_potential(&ctx, &mut self.state, i);
                 }
             }
             let g = path_rate(self.circuit, &self.state, &path, self.kt);
@@ -477,17 +474,34 @@ impl<'c> Simulation<'c> {
                 let junction = *self.circuit.junction(j);
                 for node in [junction.node_a, junction.node_b] {
                     if let Some(i) = self.circuit.island_index(node) {
-                        self.solver.ensure_island_potential(&ctx, &mut self.state, i);
+                        self.solver
+                            .ensure_island_potential(&ctx, &mut self.state, i);
                     }
                 }
                 let ej = info.ej[j.index()];
                 let gamma = info.gamma[j.index()];
-                let dw_fw = delta_w(self.circuit, &self.state, junction.node_a, junction.node_b, 2);
-                let dw_bw = delta_w(self.circuit, &self.state, junction.node_b, junction.node_a, 2);
-                self.rates
-                    .set(self.layout.cooper_slot(j, true), cooper_pair_rate(dw_fw, ej, gamma));
-                self.rates
-                    .set(self.layout.cooper_slot(j, false), cooper_pair_rate(dw_bw, ej, gamma));
+                let dw_fw = delta_w(
+                    self.circuit,
+                    &self.state,
+                    junction.node_a,
+                    junction.node_b,
+                    2,
+                );
+                let dw_bw = delta_w(
+                    self.circuit,
+                    &self.state,
+                    junction.node_b,
+                    junction.node_a,
+                    2,
+                );
+                self.rates.set(
+                    self.layout.cooper_slot(j, true),
+                    cooper_pair_rate(dw_fw, ej, gamma),
+                );
+                self.rates.set(
+                    self.layout.cooper_slot(j, false),
+                    cooper_pair_rate(dw_bw, ej, gamma),
+                );
             }
         }
     }
@@ -514,7 +528,7 @@ impl<'c> Simulation<'c> {
         let t = self.time;
         let ev = self.total_events;
         for p in 0..self.probes.len() {
-            let due = force || ev % self.probes[p].every == 0;
+            let due = force || ev.is_multiple_of(self.probes[p].every);
             if due {
                 let node = self.probes[p].node;
                 let v = self.node_potential(node);
@@ -566,7 +580,23 @@ impl<'c> Simulation<'c> {
     fn apply_event(&mut self, event: Event) {
         let (from, to) = event.endpoints();
         let count = event.electron_count();
+        #[cfg(debug_assertions)]
+        let electrons_before: i64 = self.state.electrons().iter().sum();
         self.state.apply_transfer(self.circuit, from, to, count);
+        #[cfg(debug_assertions)]
+        {
+            // Charge conservation: island electron totals may only change
+            // through transfers that cross the island/lead boundary.
+            let mut expected = electrons_before;
+            if self.circuit.island_index(from).is_some() {
+                expected -= count;
+            }
+            if self.circuit.island_index(to).is_some() {
+                expected += count;
+            }
+            let after: i64 = self.state.electrons().iter().sum();
+            debug_assert_eq!(after, expected, "charge not conserved by {event:?}");
+        }
         match event {
             Event::Tunnel { junction, from, .. } => {
                 self.count_transfer(junction, from, 1.0);
@@ -597,8 +627,12 @@ impl<'c> Simulation<'c> {
             &mut self.rates,
             StateChange::Transfer { from, to, count },
         );
-        drop(ctx);
         self.refresh_secondary_rates();
+        debug_assert!(
+            self.rates.is_consistent(),
+            "rate table inconsistent after {event:?} at t={}",
+            self.time
+        );
         self.total_events += 1;
         if let Some(log) = &mut self.event_log {
             log.push(self.time, event);
@@ -667,7 +701,7 @@ impl<'c> Simulation<'c> {
             }
 
             // Waiting time (paper Eq. 5): Δt = −ln(r)/Γ_sum.
-            let u: f64 = self.rng.gen();
+            let u: f64 = self.rng.f64();
             let dt = -(1.0 - u).ln() / total;
             let t_next = self.time + dt;
 
@@ -689,7 +723,7 @@ impl<'c> Simulation<'c> {
             }
 
             self.time = t_next;
-            let u2: f64 = self.rng.gen();
+            let u2: f64 = self.rng.f64();
             let slot = self.rates.sample(u2).expect("total is positive");
             let event = self.decode_event(slot);
             self.apply_event(event);
@@ -761,7 +795,10 @@ where
                 Ok(record) => record.current(junction),
             },
         };
-        out.push(SweepPoint { control: x, current });
+        out.push(SweepPoint {
+            control: x,
+            current,
+        });
     }
     Ok(out)
 }
@@ -804,7 +841,7 @@ mod tests {
 
     #[test]
     fn blockade_suppresses_current_at_low_temperature() {
-        let (c, j1, _) = paper_set();
+        let (c, _j1, _) = paper_set();
         // e/CΣ = 32 mV; at ±5 mV bias and 10 mK the SET is blockaded.
         let cfg = SimConfig::new(0.01).with_seed(1);
         let mut sim = Simulation::new(&c, cfg).unwrap();
@@ -850,8 +887,16 @@ mod tests {
         let cfg = SimConfig::new(0.01).with_seed(4);
         let mut sim = Simulation::new(&c, cfg).unwrap();
         sim.schedule(vec![
-            Stimulus { time: 1e-7, lead: 1, voltage: 25e-3 },
-            Stimulus { time: 1e-7, lead: 2, voltage: -25e-3 },
+            Stimulus {
+                time: 1e-7,
+                lead: 1,
+                voltage: 25e-3,
+            },
+            Stimulus {
+                time: 1e-7,
+                lead: 2,
+                voltage: -25e-3,
+            },
         ]);
         let r = sim.run(RunLength::Time(1e-6)).unwrap();
         assert!(r.events > 0, "stimulus should unfreeze the device");
@@ -875,7 +920,10 @@ mod tests {
             refresh_interval: 500,
         });
         let err = (i_adp - i_ref).abs() / i_ref.abs();
-        assert!(err < 0.1, "adaptive {i_adp} vs non-adaptive {i_ref} ({err:.3})");
+        assert!(
+            err < 0.1,
+            "adaptive {i_adp} vs non-adaptive {i_ref} ({err:.3})"
+        );
     }
 
     #[test]
@@ -921,18 +969,10 @@ mod tests {
     fn sweep_records_blockade_as_zero() {
         let (c, j1, _) = paper_set();
         let cfg = SimConfig::new(0.01);
-        let pts = sweep(
-            &c,
-            &cfg,
-            j1,
-            &[1e-3, 40e-3],
-            100,
-            2_000,
-            |sim, v| {
-                sim.set_lead_voltage(1, v / 2.0)?;
-                sim.set_lead_voltage(2, -v / 2.0)
-            },
-        )
+        let pts = sweep(&c, &cfg, j1, &[1e-3, 40e-3], 100, 2_000, |sim, v| {
+            sim.set_lead_voltage(1, v / 2.0)?;
+            sim.set_lead_voltage(2, -v / 2.0)
+        })
         .unwrap();
         assert_eq!(pts[0].current, 0.0, "blockaded point reads zero");
         assert!(pts[1].current > 0.0);

@@ -106,13 +106,22 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CoreError::UnknownNode { node: 3 }.to_string(), "unknown node 3");
-        assert_eq!(CoreError::NoJunctions.to_string(), "circuit has no tunnel junctions");
+        assert_eq!(
+            CoreError::UnknownNode { node: 3 }.to_string(),
+            "unknown node 3"
+        );
+        assert_eq!(
+            CoreError::NoJunctions.to_string(),
+            "circuit has no tunnel junctions"
+        );
         let e = CoreError::InvalidComponent {
             what: "junction resistance",
             value: -1.0,
         };
-        assert_eq!(e.to_string(), "invalid component value: junction resistance = -1");
+        assert_eq!(
+            e.to_string(),
+            "invalid component value: junction resistance = -1"
+        );
     }
 
     #[test]

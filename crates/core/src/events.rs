@@ -164,7 +164,11 @@ impl RateLayout {
     pub fn len(&self) -> usize {
         2 * self.junctions
             + self.cotunnel_paths
-            + if self.cooper_pairs { 2 * self.junctions } else { 0 }
+            + if self.cooper_pairs {
+                2 * self.junctions
+            } else {
+                0
+            }
     }
 
     /// `true` if the layout has no slots.
@@ -204,7 +208,7 @@ impl RateLayout {
         if slot < tunnel_end {
             SlotKind::Tunnel {
                 junction: JunctionId(slot / 2),
-                forward: slot % 2 == 0,
+                forward: slot.is_multiple_of(2),
             }
         } else if slot < cot_end {
             SlotKind::Cotunnel {
@@ -214,7 +218,7 @@ impl RateLayout {
             let rel = slot - cot_end;
             SlotKind::CooperPair {
                 junction: JunctionId(rel / 2),
-                forward: rel % 2 == 0,
+                forward: rel.is_multiple_of(2),
             }
         }
     }
@@ -262,9 +266,7 @@ mod tests {
             let back = match kind {
                 SlotKind::Tunnel { junction, forward } => layout.tunnel_slot(junction, forward),
                 SlotKind::Cotunnel { path } => layout.cotunnel_slot(path),
-                SlotKind::CooperPair { junction, forward } => {
-                    layout.cooper_slot(junction, forward)
-                }
+                SlotKind::CooperPair { junction, forward } => layout.cooper_slot(junction, forward),
             };
             assert_eq!(back, slot);
         }
@@ -281,7 +283,10 @@ mod tests {
         assert!(!layout.is_empty());
         assert!(matches!(
             layout.decode(3),
-            SlotKind::Tunnel { junction: JunctionId(1), forward: false }
+            SlotKind::Tunnel {
+                junction: JunctionId(1),
+                forward: false
+            }
         ));
     }
 

@@ -31,16 +31,24 @@ pub struct FenwickTree {
     weights: Vec<f64>,
     /// Largest power of two ≤ len, used by the prefix descent.
     top_bit: usize,
+    /// Largest weight ever stored — the natural scale for the drift
+    /// tolerance in [`FenwickTree::is_consistent`].
+    peak: f64,
 }
 
 impl FenwickTree {
     /// Creates a tree of `n` zero weights.
     pub fn new(n: usize) -> Self {
-        let top_bit = if n == 0 { 0 } else { usize::BITS as usize - 1 - n.leading_zeros() as usize };
+        let top_bit = if n == 0 {
+            0
+        } else {
+            usize::BITS as usize - 1 - n.leading_zeros() as usize
+        };
         FenwickTree {
             tree: vec![0.0; n + 1],
             weights: vec![0.0; n],
             top_bit: 1 << top_bit,
+            peak: 0.0,
         }
     }
 
@@ -71,6 +79,9 @@ impl FenwickTree {
     /// Panics if `i` is out of bounds or `w` is negative or NaN.
     pub fn set(&mut self, i: usize, w: f64) {
         assert!(w >= 0.0, "fenwick weight must be non-negative, got {w}");
+        if w > self.peak {
+            self.peak = w;
+        }
         let delta = w - self.weights[i];
         if delta == 0.0 {
             return;
@@ -143,10 +154,33 @@ impl FenwickTree {
         Some(idx)
     }
 
+    /// `true` if every weight is finite and non-negative and the tree's
+    /// cumulative total agrees with the sum of the individual weights.
+    ///
+    /// Intended for `debug_assert!` invariant checks in the event loop:
+    /// the adaptive solver updates slots sparsely, so a drifted tree
+    /// would silently bias event selection. The incremental updates
+    /// accumulate rounding error proportional to the *largest* weights
+    /// the tree has held — not the current total, which cancellation can
+    /// make arbitrarily small — so the tolerance scales with the peak.
+    pub fn is_consistent(&self) -> bool {
+        let mut sum = 0.0;
+        for &w in &self.weights {
+            if !w.is_finite() || w < 0.0 {
+                return false;
+            }
+            sum += w;
+        }
+        let total = self.total();
+        let scale = (self.peak * self.weights.len() as f64).max(1.0);
+        (total - sum).abs() <= 1e-6 * scale
+    }
+
     /// Resets every weight to zero.
     pub fn clear(&mut self) {
         self.tree.iter_mut().for_each(|v| *v = 0.0);
         self.weights.iter_mut().for_each(|v| *v = 0.0);
+        self.peak = 0.0;
     }
 }
 

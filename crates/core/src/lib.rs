@@ -62,6 +62,7 @@ pub mod events;
 pub mod fenwick;
 pub mod master;
 pub mod rates;
+pub mod rng;
 pub mod solver;
 pub mod superconduct;
 pub mod trace;

@@ -395,7 +395,8 @@ mod tests {
         let i2 = b.add_island();
         let ja = b.add_junction(l, i1, 1e6, 1e-18).unwrap();
         b.add_junction(i1, i2, 1e6, 1e-18).unwrap();
-        b.add_junction(i2, crate::circuit::NodeId::GROUND, 1e6, 1e-18).unwrap();
+        b.add_junction(i2, crate::circuit::NodeId::GROUND, 1e6, 1e-18)
+            .unwrap();
         let c = b.build().unwrap();
         let me = MasterEquation::new(&c, 2.0, 2).unwrap();
         assert_eq!(me.num_states(), 25);
@@ -416,7 +417,8 @@ mod tests {
             b.add_junction(prev, i, 1e6, 1e-18).unwrap();
             prev = i;
         }
-        b.add_junction(prev, crate::circuit::NodeId::GROUND, 1e6, 1e-18).unwrap();
+        b.add_junction(prev, crate::circuit::NodeId::GROUND, 1e6, 1e-18)
+            .unwrap();
         let c = b.build().unwrap();
         let err = MasterEquation::new(&c, 1.0, 3).unwrap_err();
         assert!(err.to_string().contains("Monte Carlo"));

@@ -1,0 +1,170 @@
+//! Vendored pseudo-random number generator (no external dependencies).
+//!
+//! The Monte Carlo engine needs a fast, seedable, statistically sound
+//! uniform generator — nothing more. This module vendors the
+//! xoshiro256++ generator (Blackman & Vigna, 2019; public domain)
+//! seeded through SplitMix64, so the whole workspace builds with no
+//! registry access. The generator is *not* cryptographic, which is
+//! irrelevant here: tunnel-event sampling only needs equidistribution
+//! and a long period (2²⁵⁶ − 1).
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use semsim_core::rng::Rng;
+///
+/// let mut rng = Rng::seed_from_u64(7);
+/// let u = rng.f64();
+/// assert!((0.0..1.0).contains(&u));
+/// // Same seed, same stream.
+/// assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step — used to expand a 64-bit seed into the 256-bit
+/// xoshiro state (the seeding procedure recommended by the authors).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with the full 53 bits of mantissa
+    /// randomness.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform random boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform integer in `[range.start, range.end)` via the
+    /// multiply-shift reduction (negligible bias for the range sizes
+    /// used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let n = range.end - range.start;
+        assert!(n > 0, "gen_range over an empty range");
+        let r = ((self.next_u64() as u128 * n as u128) >> 64) as usize;
+        range.start + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = Rng::seed_from_u64(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_uniform_ish() {
+        let mut r = Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = Rng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "{hits}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = Rng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| r.bool()).count();
+        assert!((heads as i64 - 5_000).abs() < 300, "{heads}");
+    }
+}

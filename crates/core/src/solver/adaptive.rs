@@ -47,8 +47,15 @@ pub struct AdaptiveStats {
 /// One entry of the replay log.
 #[derive(Debug, Clone, Copy)]
 enum LogEntry {
-    Transfer { from: NodeId, to: NodeId, count: i64 },
-    Step { lead: usize, dv: f64 },
+    Transfer {
+        from: NodeId,
+        to: NodeId,
+        count: i64,
+    },
+    Step {
+        lead: usize,
+        dv: f64,
+    },
 }
 
 /// The adaptive solver of the paper's Algorithm 1.
@@ -121,7 +128,12 @@ impl AdaptiveSolver {
     /// the potential from the maintained charge vector in O(islands)
     /// when the island has been stale for longer than that — so one
     /// refresh never costs more than a single `C⁻¹` row product.
-    pub(crate) fn refresh_island(&mut self, circuit: &Circuit, state: &mut CircuitState, island: usize) {
+    pub(crate) fn refresh_island(
+        &mut self,
+        circuit: &Circuit,
+        state: &mut CircuitState,
+        island: usize,
+    ) {
         let from_idx = self.applied[island];
         let pending = self.log.len() - from_idx.min(self.log.len());
         if pending == 0 {
@@ -145,7 +157,12 @@ impl AdaptiveSolver {
         self.applied[island] = self.log.len();
     }
 
-    fn refresh_junction_nodes(&mut self, circuit: &Circuit, state: &mut CircuitState, j: JunctionId) {
+    fn refresh_junction_nodes(
+        &mut self,
+        circuit: &Circuit,
+        state: &mut CircuitState,
+        j: JunctionId,
+    ) {
         let junction = *circuit.junction(j);
         if let Some(i) = circuit.island_index(junction.node_a) {
             self.refresh_island(circuit, state, i);
@@ -329,11 +346,12 @@ mod tests {
         let i1 = b.add_island();
         let mid = b.add_island(); // "wire" island with large capacitance
         let i2 = b.add_island();
-        let mut js = Vec::new();
-        js.push(b.add_junction(vdd, i1, 1e6, 1e-18).unwrap());
-        js.push(b.add_junction(i1, NodeId::GROUND, 1e6, 1e-18).unwrap());
-        js.push(b.add_junction(mid, i2, 1e6, 1e-18).unwrap());
-        js.push(b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap());
+        let js = vec![
+            b.add_junction(vdd, i1, 1e6, 1e-18).unwrap(),
+            b.add_junction(i1, NodeId::GROUND, 1e6, 1e-18).unwrap(),
+            b.add_junction(mid, i2, 1e6, 1e-18).unwrap(),
+            b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap(),
+        ];
         // Stage 1 output drives the wire through a capacitor; the wire's
         // large ground capacitance isolates stage 2.
         b.add_capacitor(i1, mid, 1e-18).unwrap();
@@ -451,7 +469,11 @@ mod tests {
         solver.initialize(&ctx, &mut state, &mut rates);
         let i1 = c.island_node(0);
         for k in 0..6 {
-            let (from, to) = if k % 2 == 0 { (NodeId(1), i1) } else { (i1, NodeId(1)) };
+            let (from, to) = if k % 2 == 0 {
+                (NodeId(1), i1)
+            } else {
+                (i1, NodeId(1))
+            };
             state.apply_transfer(&c, from, to, 1);
             solver.apply_change(
                 &ctx,
@@ -514,7 +536,11 @@ mod tests {
                 &ctx,
                 &mut state,
                 &mut rates,
-                StateChange::Transfer { from: NodeId(1), to: i1, count: 1 },
+                StateChange::Transfer {
+                    from: NodeId(1),
+                    to: i1,
+                    count: 1,
+                },
             );
         }
         // Lazily refresh each island and compare to exact.

@@ -93,7 +93,12 @@ pub enum StateChange {
 }
 
 /// Static-dispatch wrapper over the two solver implementations.
+///
+/// One instance lives per simulation, so the size difference between
+/// the variants costs nothing; boxing the adaptive solver would add an
+/// indirection on the hot path for no benefit.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum Solver {
     /// Conventional full-recalculation solver.
     NonAdaptive(NonAdaptiveSolver),
@@ -103,7 +108,12 @@ pub enum Solver {
 
 impl Solver {
     /// Fully initializes potentials and every first-order rate.
-    pub fn initialize(&mut self, ctx: &SolverContext<'_>, state: &mut CircuitState, rates: &mut FenwickTree) {
+    pub fn initialize(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) {
         match self {
             Solver::NonAdaptive(s) => s.initialize(ctx, state, rates),
             Solver::Adaptive(s) => s.initialize(ctx, state, rates),
@@ -126,7 +136,12 @@ impl Solver {
     }
 
     /// Guarantees `state`'s cached potential of `island` is exact.
-    pub fn ensure_island_potential(&mut self, ctx: &SolverContext<'_>, state: &mut CircuitState, island: usize) {
+    pub fn ensure_island_potential(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        island: usize,
+    ) {
         match self {
             Solver::NonAdaptive(_) => {} // always exact
             Solver::Adaptive(s) => s.refresh_island(ctx.circuit, state, island),

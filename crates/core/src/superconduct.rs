@@ -303,15 +303,18 @@ mod tests {
         let gap = ev_to_joule(0.2e-3);
         let just_below = qp_integral(-1.98 * gap, gap, gap, K_B * 0.01);
         let just_above = qp_integral(-2.05 * gap, gap, gap, K_B * 0.01);
-        assert!(just_above > 100.0 * just_below.max(1e-40), "{just_below} {just_above}");
+        assert!(
+            just_above > 100.0 * just_below.max(1e-40),
+            "{just_below} {just_above}"
+        );
     }
 
     #[test]
     fn thermally_excited_subgap_transport_exists() {
         // Singularity matching needs finite sub-gap rates at 0 < T < Tc.
         let gap = ev_to_joule(0.21e-3);
-        let cold = qp_integral(-1.0 * gap, gap, gap, K_B * 0.05);
-        let warm = qp_integral(-1.0 * gap, gap, gap, K_B * 0.52);
+        let cold = qp_integral(-gap, gap, gap, K_B * 0.05);
+        let warm = qp_integral(-gap, gap, gap, K_B * 0.52);
         assert!(warm > 10.0 * cold.max(1e-40));
     }
 
@@ -324,7 +327,11 @@ mod tests {
             let direct = qp_integral(dw, gap, gap, kt) / (E_CHARGE * E_CHARGE * 210e3);
             let tab = t.rate(dw, 210e3);
             let tol = 0.05 * direct.abs().max(1e-6);
-            assert!((tab - direct).abs() < tol, "dw/gap={}: {tab} vs {direct}", dw / gap);
+            assert!(
+                (tab - direct).abs() < tol,
+                "dw/gap={}: {tab} vs {direct}",
+                dw / gap
+            );
         }
         assert_eq!(t.gap(), gap);
         assert_eq!(t.thermal_energy(), kt);

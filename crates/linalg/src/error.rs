@@ -97,7 +97,10 @@ mod tests {
             expected: 3,
             found: 2,
         };
-        assert_eq!(e.to_string(), "ragged rows: expected 3 columns, found a row with 2");
+        assert_eq!(
+            e.to_string(),
+            "ragged rows: expected 3 columns, found a row with 2"
+        );
     }
 
     #[test]

@@ -210,6 +210,37 @@ impl Matrix {
         true
     }
 
+    /// Column-sum norm `‖A‖₁ = maxⱼ Σᵢ |aᵢⱼ|`.
+    pub fn norm_one(&self) -> f64 {
+        let mut best = 0.0f64;
+        for c in 0..self.cols {
+            let mut sum = 0.0;
+            for r in 0..self.rows {
+                sum += self.get(r, c).abs();
+            }
+            best = best.max(sum);
+        }
+        best
+    }
+
+    /// Estimates the 1-norm condition number `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` with
+    /// Hager's algorithm: one LU factorization plus a handful of solves,
+    /// instead of the full `O(n³)` inverse. The returned value is a lower
+    /// bound on the true `κ₁` (clamped below at 1), typically within a
+    /// small factor of it; the static checker uses it to flag
+    /// near-singular capacitance matrices (diagnostic SC003).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] for exactly singular matrices (which the
+    /// caller should report as SC002 rather than SC003).
+    pub fn condition_estimate(&self) -> Result<f64, LinalgError> {
+        let lu = self.lu()?;
+        let inv_norm = lu.inverse_norm_one_estimate()?;
+        Ok((self.norm_one() * inv_norm).max(1.0))
+    }
+
     /// LU-decomposes the matrix with partial pivoting.
     ///
     /// # Errors
@@ -267,7 +298,13 @@ mod tests {
     #[test]
     fn from_rows_rejects_ragged() {
         let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
-        assert!(matches!(err, LinalgError::RaggedRows { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            LinalgError::RaggedRows {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]

@@ -101,10 +101,7 @@ impl SparsifiedMatrix {
     /// Panics if `r` is out of bounds or `x` is shorter than the largest
     /// retained column index.
     pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
-        self.rows[r]
-            .iter()
-            .map(|e| e.value * x[e.col])
-            .sum()
+        self.rows[r].iter().map(|e| e.value * x[e.col]).sum()
     }
 }
 
@@ -128,8 +125,8 @@ mod tests {
 
     #[test]
     fn drops_small_couplings() {
-        let m = Matrix::from_rows(&[&[1.0, 1e-8, 0.5], &[1e-8, 1.0, 1e-8], &[0.5, 1e-8, 1.0]])
-            .unwrap();
+        let m =
+            Matrix::from_rows(&[&[1.0, 1e-8, 0.5], &[1e-8, 1.0, 1e-8], &[0.5, 1e-8, 1.0]]).unwrap();
         let s = SparsifiedMatrix::new(&m, 1e-4);
         assert_eq!(s.row(0).len(), 2);
         assert_eq!(s.row(1).len(), 1);
@@ -138,8 +135,8 @@ mod tests {
 
     #[test]
     fn row_dot_matches_dense() {
-        let m = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
-            .unwrap();
+        let m =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
         let s = SparsifiedMatrix::new(&m, 0.0);
         let x = [1.0, 2.0, 3.0];
         for r in 0..3 {

@@ -1,73 +1,141 @@
-//! Property-based tests of the linear-algebra substrate.
+//! Property-style tests of the linear-algebra substrate: plain seeded
+//! loops over randomly generated inputs (no external test framework).
 
-use proptest::prelude::*;
 use semsim_linalg::{Matrix, SparsifiedMatrix};
+
+/// Minimal SplitMix64 generator for test-input generation.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+}
 
 /// Random strictly diagonally dominant symmetric matrix — the class
 /// capacitance matrices live in.
-fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
-        let mut m = Matrix::zeros(n, n);
-        for r in 0..n {
-            for c in (r + 1)..n {
-                let v = vals[r * n + c];
-                m.set(r, c, v);
-                m.set(c, r, v);
-            }
+fn random_spd(rng: &mut TestRng, n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in (r + 1)..n {
+            let v = rng.uniform(-1.0, 1.0);
+            m.set(r, c, v);
+            m.set(c, r, v);
         }
-        for r in 0..n {
-            let dominance: f64 = (0..n).filter(|&c| c != r).map(|c| m.get(r, c).abs()).sum();
-            m.set(r, r, dominance + 1.0);
-        }
-        m
-    })
+    }
+    for r in 0..n {
+        let dominance: f64 = (0..n).filter(|&c| c != r).map(|c| m.get(r, c).abs()).sum();
+        m.set(r, r, dominance + 1.0);
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn inverse_roundtrips(m in arb_spd(6)) {
+#[test]
+fn inverse_roundtrips() {
+    let mut rng = TestRng(1);
+    for case in 0..CASES {
+        let m = random_spd(&mut rng, 6);
         let inv = m.inverse().unwrap();
         let id = m.mul(&inv).unwrap();
         for r in 0..6 {
             for c in 0..6 {
                 let want = if r == c { 1.0 } else { 0.0 };
-                prop_assert!((id.get(r, c) - want).abs() < 1e-9);
+                assert!((id.get(r, c) - want).abs() < 1e-9, "case {case} ({r},{c})");
             }
         }
     }
+}
 
-    #[test]
-    fn solve_agrees_with_inverse(m in arb_spd(5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+#[test]
+fn solve_agrees_with_inverse() {
+    let mut rng = TestRng(2);
+    for case in 0..CASES {
+        let m = random_spd(&mut rng, 5);
+        let b: Vec<f64> = (0..5).map(|_| rng.uniform(-10.0, 10.0)).collect();
         let x1 = m.solve(&b).unwrap();
         let x2 = m.inverse().unwrap().mul_vec(&b).unwrap();
         for (a, c) in x1.iter().zip(&x2) {
-            prop_assert!((a - c).abs() < 1e-8 * c.abs().max(1.0));
+            assert!((a - c).abs() < 1e-8 * c.abs().max(1.0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn determinant_of_product(m1 in arb_spd(4), m2 in arb_spd(4)) {
+#[test]
+fn determinant_of_product() {
+    let mut rng = TestRng(3);
+    for case in 0..CASES {
+        let m1 = random_spd(&mut rng, 4);
+        let m2 = random_spd(&mut rng, 4);
         let d1 = m1.lu().unwrap().determinant();
         let d2 = m2.lu().unwrap().determinant();
         let dp = m1.mul(&m2).unwrap().lu().unwrap().determinant();
-        prop_assert!((dp - d1 * d2).abs() < 1e-6 * (d1 * d2).abs().max(1.0));
+        assert!(
+            (dp - d1 * d2).abs() < 1e-6 * (d1 * d2).abs().max(1.0),
+            "case {case}: {dp} vs {}",
+            d1 * d2
+        );
     }
+}
 
-    #[test]
-    fn sparsified_row_dot_matches_dense(m in arb_spd(6), x in prop::collection::vec(-2.0f64..2.0, 6)) {
+#[test]
+fn sparsified_row_dot_matches_dense() {
+    let mut rng = TestRng(4);
+    for case in 0..CASES {
+        let m = random_spd(&mut rng, 6);
+        let x: Vec<f64> = (0..6).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let s = SparsifiedMatrix::new(&m, 0.0);
         for r in 0..6 {
             let dense = semsim_linalg::dot(m.row(r), &x);
-            prop_assert!((s.row_dot(r, &x) - dense).abs() < 1e-10 * dense.abs().max(1.0));
+            assert!(
+                (s.row_dot(r, &x) - dense).abs() < 1e-10 * dense.abs().max(1.0),
+                "case {case} row {r}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transpose_preserves_determinant(m in arb_spd(4)) {
+#[test]
+fn transpose_preserves_determinant() {
+    let mut rng = TestRng(5);
+    for case in 0..CASES {
+        let m = random_spd(&mut rng, 4);
         let d = m.lu().unwrap().determinant();
         let dt = m.transposed().lu().unwrap().determinant();
-        prop_assert!((d - dt).abs() < 1e-8 * d.abs().max(1.0));
+        assert!((d - dt).abs() < 1e-8 * d.abs().max(1.0), "case {case}");
+    }
+}
+
+#[test]
+fn condition_estimate_brackets_true_condition() {
+    // For well-conditioned SPD matrices the 1-norm condition estimate
+    // must be ≥ 1 and never exceed ‖A‖₁·‖A⁻¹‖₁ computed exactly from
+    // the dense inverse (Hager's estimator is a lower bound).
+    let mut rng = TestRng(6);
+    for case in 0..CASES {
+        let m = random_spd(&mut rng, 5);
+        let est = m.condition_estimate().unwrap();
+        let inv = m.inverse().unwrap();
+        let exact = m.norm_one() * inv.norm_one();
+        assert!(est >= 1.0, "case {case}: estimate {est} < 1");
+        assert!(
+            est <= exact * (1.0 + 1e-9),
+            "case {case}: estimate {est} above exact {exact}"
+        );
+        assert!(
+            est >= 0.3 * exact,
+            "case {case}: estimate {est} far below exact {exact}"
+        );
     }
 }

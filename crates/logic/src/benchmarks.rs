@@ -16,8 +16,7 @@
 //! stand-ins preserve the shape of the paper's Figs. 6–7 (see
 //! DESIGN.md, substitution 1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use semsim_core::rng::Rng;
 use semsim_netlist::{Gate, GateKind, LogicFile};
 
 /// One of the paper's 15 benchmarks, ordered smallest to largest.
@@ -238,9 +237,12 @@ fn full_adder() -> LogicFile {
 /// SETs, so only even totals are reachable), or if `inputs == 0`.
 pub fn synthesize(target_sets: usize, inputs: usize, seed: u64) -> LogicFile {
     assert!(target_sets >= 2, "need at least one inverter (2 SETs)");
-    assert!(target_sets % 2 == 0, "SET totals are even (2 per INV, 4 per NAND/NOR)");
+    assert!(
+        target_sets.is_multiple_of(2),
+        "SET totals are even (2 per INV, 4 per NAND/NOR)"
+    );
     assert!(inputs > 0, "need at least one primary input");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let input_names: Vec<String> = (0..inputs).map(|i| format!("i{i}")).collect();
     let mut signals: Vec<String> = input_names.clone();
     let mut gates: Vec<Gate> = Vec::new();
@@ -256,7 +258,7 @@ pub fn synthesize(target_sets: usize, inputs: usize, seed: u64) -> LogicFile {
     let pick = |avoid: Option<usize>,
                 signals: &Vec<String>,
                 consumed: &mut Vec<bool>,
-                rng: &mut StdRng|
+                rng: &mut Rng|
      -> usize {
         let n = signals.len();
         loop {

@@ -8,9 +8,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use semsim_core::engine::{RunLength, SimConfig, Simulation};
+use semsim_core::rng::Rng;
 use semsim_netlist::LogicFile;
 
 use crate::{Elaborated, LogicError};
@@ -68,9 +67,9 @@ pub fn find_sensitizing_vector(
         }
         None
     } else {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..256 {
-            let vector: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let vector: Vec<bool> = (0..n).map(|_| rng.bool()).collect();
             if let Some(i) = check(&vector) {
                 return Some((vector, i));
             }
@@ -139,8 +138,12 @@ pub fn measure_delay(
     settle_factor: f64,
     window_factor: f64,
 ) -> Result<DelayMeasurement, LogicError> {
-    let (vector, input_idx) = find_sensitizing_vector(logic, output, config.seed)
-        .ok_or_else(|| LogicError::NoSensitizingVector { output: output.into() })?;
+    let (vector, input_idx) =
+        find_sensitizing_vector(logic, output, config.seed).ok_or_else(|| {
+            LogicError::NoSensitizingVector {
+                output: output.into(),
+            }
+        })?;
     let input = logic.inputs[input_idx].clone();
     let tau = elab.params.switching_time();
 
@@ -162,7 +165,11 @@ pub fn measure_delay(
     let probe_idx = sim.add_probe(node, 1);
     let t0 = sim.time();
     let lead = elab.input_lead(&input)?;
-    let v_new = if toggled[input_idx] { elab.params.vdd } else { 0.0 };
+    let v_new = if toggled[input_idx] {
+        elab.params.vdd
+    } else {
+        0.0
+    };
     sim.set_lead_voltage(lead, v_new)?;
     let events_before = sim.events();
     let record = sim.run(RunLength::Time(window_factor * tau))?;
@@ -170,12 +177,13 @@ pub fn measure_delay(
 
     let level = 0.5 * elab.params.vdd;
     let probe = &record.probes[probe_idx];
-    let crossing = probe
-        .crossing_time(t0, level, rising, 5)
-        .ok_or_else(|| LogicError::NoTransition {
-            output: output.into(),
-            window: window_factor * tau,
-        })?;
+    let crossing =
+        probe
+            .crossing_time(t0, level, rising, 5)
+            .ok_or_else(|| LogicError::NoTransition {
+                output: output.into(),
+                window: window_factor * tau,
+            })?;
     Ok(DelayMeasurement {
         delay: crossing - t0,
         input,
@@ -206,8 +214,12 @@ pub fn measure_delay_avg(
     window_factor: f64,
     transitions: usize,
 ) -> Result<DelayMeasurement, LogicError> {
-    let (vector, input_idx) = find_sensitizing_vector(logic, output, config.seed)
-        .ok_or_else(|| LogicError::NoSensitizingVector { output: output.into() })?;
+    let (vector, input_idx) =
+        find_sensitizing_vector(logic, output, config.seed).ok_or_else(|| {
+            LogicError::NoSensitizingVector {
+                output: output.into(),
+            }
+        })?;
     let input = logic.inputs[input_idx].clone();
     let tau = elab.params.switching_time();
     let transitions = transitions.max(1);
@@ -353,7 +365,11 @@ mod tests {
             let out = settle_outputs(&elab, &logic, &cfg, &[a, b], 60.0 * tau).unwrap();
             let y = out["y"];
             if want_high {
-                assert!(y > 0.6 * vdd, "NAND({a},{b}) = {:.2} mV, want high", y * 1e3);
+                assert!(
+                    y > 0.6 * vdd,
+                    "NAND({a},{b}) = {:.2} mV, want high",
+                    y * 1e3
+                );
             } else {
                 assert!(y < 0.4 * vdd, "NAND({a},{b}) = {:.2} mV, want low", y * 1e3);
             }

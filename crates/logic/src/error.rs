@@ -88,7 +88,10 @@ mod tests {
         assert!(e.source().is_none());
         let e = LogicError::Core(CoreError::NoJunctions);
         assert!(e.source().is_some());
-        let e = LogicError::NoTransition { output: "y".into(), window: 1e-9 };
+        let e = LogicError::NoTransition {
+            output: "y".into(),
+            window: 1e-9,
+        };
         assert!(e.to_string().contains("1.000e-9") || e.to_string().contains("1e-9"));
     }
 }

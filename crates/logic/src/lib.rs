@@ -34,14 +34,16 @@
 //! ```
 
 mod benchmarks;
-pub mod library;
 mod delay;
 mod elaborate;
 mod error;
+pub mod library;
 mod params;
 
 pub use benchmarks::{synthesize, Benchmark};
-pub use delay::{find_sensitizing_vector, measure_delay, measure_delay_avg, settle_outputs, DelayMeasurement};
+pub use delay::{
+    find_sensitizing_vector, measure_delay, measure_delay_avg, settle_outputs, DelayMeasurement,
+};
 pub use elaborate::{elaborate, lower, Elaborated};
 pub use error::LogicError;
 pub use params::SetLogicParams;

@@ -181,7 +181,8 @@ pub fn parity_tree(width: usize) -> LogicFile {
         layer = next;
     }
     gates.push(gate(GateKind::Buf, "odd", &[&layer[0]]));
-    LogicFile::from_parts(inputs, vec!["odd".into()], gates).expect("generator emits valid netlists")
+    LogicFile::from_parts(inputs, vec!["odd".into()], gates)
+        .expect("generator emits valid netlists")
 }
 
 /// A `width`-line priority encoder (the 74148 family, active-high,
@@ -192,7 +193,10 @@ pub fn parity_tree(width: usize) -> LogicFile {
 ///
 /// Panics unless `2 ≤ width ≤ 8`.
 pub fn priority_encoder(width: usize) -> LogicFile {
-    assert!((2..=8).contains(&width), "priority encoder supports 2..=8 lines");
+    assert!(
+        (2..=8).contains(&width),
+        "priority encoder supports 2..=8 lines"
+    );
     let inputs: Vec<String> = (0..width).map(|i| format!("i{i}")).collect();
     let mut gates = Vec::new();
 
@@ -347,8 +351,8 @@ mod tests {
                 assert!(!env["valid"]);
             } else {
                 assert!(env["valid"]);
-                let winner = 7 - word.leading_zeros() as usize + usize::BITS as usize - 8;
-                let winner = winner - (usize::BITS as usize - 8); // highest set bit
+                // Highest set bit of the 8-line input word.
+                let winner = usize::BITS as usize - 1 - word.leading_zeros() as usize;
                 for bit in 0..3 {
                     assert_eq!(
                         env[&format!("q{bit}")],

@@ -84,9 +84,7 @@ impl SetLogicParams {
     /// Total island capacitance of either transistor type
     /// (`2C_j + C_g + C_b`; both carry a bias gate).
     pub fn island_sigma(&self) -> f64 {
-        2.0 * self.junction_capacitance
-            + self.input_gate_capacitance
-            + self.bias_gate_capacitance
+        2.0 * self.junction_capacitance + self.input_gate_capacitance + self.bias_gate_capacitance
     }
 
     /// Blockade threshold `e/C_Σ` of an nSET (V).
@@ -147,8 +145,7 @@ impl SetLogicParams {
                 ),
             });
         }
-        let qbp_design =
-            0.5 + (self.island_sigma() * self.vdd) / E_CHARGE - 0.05;
+        let qbp_design = 0.5 + (self.island_sigma() * self.vdd) / E_CHARGE - 0.05;
         let qbp = self.pset_bias_charge();
         if (qbp - qbp_design).abs() > 0.1 {
             return Err(LogicError::BadParams {
@@ -192,8 +189,16 @@ mod tests {
     fn default_bias_charges_at_design_point() {
         let p = SetLogicParams::default();
         // Tuned values from the Monte Carlo scan.
-        assert!((p.pset_bias_charge() - 0.824).abs() < 0.01, "{}", p.pset_bias_charge());
-        assert!((p.nset_bias_charge() - 0.188).abs() < 0.01, "{}", p.nset_bias_charge());
+        assert!(
+            (p.pset_bias_charge() - 0.824).abs() < 0.01,
+            "{}",
+            p.pset_bias_charge()
+        );
+        assert!(
+            (p.nset_bias_charge() - 0.188).abs() < 0.01,
+            "{}",
+            p.nset_bias_charge()
+        );
     }
 
     #[test]
@@ -205,12 +210,16 @@ mod tests {
 
     #[test]
     fn bad_params_rejected() {
-        let mut p = SetLogicParams::default();
-        p.vdd = 40e-3; // destroys the blockade margin
+        let p = SetLogicParams {
+            vdd: 40e-3, // destroys the blockade margin
+            ..SetLogicParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = SetLogicParams::default();
-        p.junction_capacitance = -1.0;
+        let p = SetLogicParams {
+            junction_capacitance: -1.0,
+            ..SetLogicParams::default()
+        };
         assert!(p.validate().is_err());
 
         let mut p = SetLogicParams::default();
@@ -221,8 +230,10 @@ mod tests {
         p.vn *= 3.0;
         assert!(p.validate().is_err());
 
-        let mut p = SetLogicParams::default();
-        p.temperature = -0.1;
+        let p = SetLogicParams {
+            temperature: -0.1,
+            ..SetLogicParams::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -89,8 +89,35 @@ pub struct SuperDecl {
     pub tc: f64,
 }
 
+/// Source line numbers (1-based; 0 = synthesized) for the declarations
+/// of a [`CircuitFile`]. The vectors run parallel to the corresponding
+/// declaration vectors. Spans are excluded from [`CircuitFile`]
+/// equality so that round-tripping through
+/// [`CircuitFile::to_input_format`] compares equal.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitSpans {
+    /// Line of each `junc` directive.
+    pub junctions: Vec<usize>,
+    /// Line of each `cap` directive.
+    pub capacitors: Vec<usize>,
+    /// Line of each `charge` directive.
+    pub charges: Vec<usize>,
+    /// Line of each `vdc` directive.
+    pub sources: Vec<usize>,
+    /// Line of the `symm` directive.
+    pub symm: usize,
+    /// Line of the `temp` directive.
+    pub temp: usize,
+    /// Line of the `gap` directive.
+    pub gap: usize,
+    /// Line of the `tc` directive.
+    pub tc: usize,
+    /// Line of the `super` directive.
+    pub superconducting: usize,
+}
+
 /// A parsed circuit input file.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CircuitFile {
     /// Tunnel junctions in file order.
     pub junctions: Vec<JunctionDecl>,
@@ -126,6 +153,32 @@ pub struct CircuitFile {
     pub adaptive: Option<(f64, u64)>,
     /// RNG seed.
     pub seed: Option<u64>,
+    /// Source locations of the declarations (not part of equality).
+    pub spans: CircuitSpans,
+}
+
+impl PartialEq for CircuitFile {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `spans`: two files that parse to the same
+        // circuit are equal regardless of layout.
+        self.junctions == other.junctions
+            && self.capacitors == other.capacitors
+            && self.charges == other.charges
+            && self.sources == other.sources
+            && self.symmetric_with == other.symmetric_with
+            && self.declared_junctions == other.declared_junctions
+            && self.declared_ext == other.declared_ext
+            && self.declared_nodes == other.declared_nodes
+            && self.temperature == other.temperature
+            && self.cotunnel == other.cotunnel
+            && self.superconducting == other.superconducting
+            && self.record == other.record
+            && self.jumps == other.jumps
+            && self.sim_time == other.sim_time
+            && self.sweep == other.sweep
+            && self.adaptive == other.adaptive
+            && self.seed == other.seed
+    }
 }
 
 impl Default for CircuitFile {
@@ -148,6 +201,7 @@ impl Default for CircuitFile {
             sweep: None,
             adaptive: None,
             seed: None,
+            spans: CircuitSpans::default(),
         }
     }
 }
@@ -161,7 +215,10 @@ fn expect_args(parts: &[&str], n: usize, line: usize, directive: &str) -> Result
     if parts.len() != n + 1 {
         return Err(ParseError::new(
             line,
-            format!("`{directive}` expects {n} argument(s), got {}", parts.len() - 1),
+            format!(
+                "`{directive}` expects {n} argument(s), got {}",
+                parts.len() - 1
+            ),
         ));
     }
     Ok(())
@@ -212,6 +269,7 @@ impl CircuitFile {
                         ));
                     }
                     file.junctions.push(decl);
+                    file.spans.junctions.push(line);
                 }
                 "cap" => {
                     expect_args(&parts, 3, line, "cap")?;
@@ -224,6 +282,7 @@ impl CircuitFile {
                         return Err(ParseError::new(line, "capacitance must be positive"));
                     }
                     file.capacitors.push(decl);
+                    file.spans.capacitors.push(line);
                 }
                 "charge" => {
                     expect_args(&parts, 2, line, "charge")?;
@@ -231,6 +290,7 @@ impl CircuitFile {
                         parse_num(parts[1], line, "node")?,
                         parse_num(parts[2], line, "charge")?,
                     ));
+                    file.spans.charges.push(line);
                 }
                 "vdc" => {
                     expect_args(&parts, 2, line, "vdc")?;
@@ -238,10 +298,12 @@ impl CircuitFile {
                         parse_num(parts[1], line, "node")?,
                         parse_num(parts[2], line, "voltage")?,
                     ));
+                    file.spans.sources.push(line);
                 }
                 "symm" => {
                     expect_args(&parts, 1, line, "symm")?;
                     file.symmetric_with = Some(parse_num(parts[1], line, "node")?);
+                    file.spans.symm = line;
                 }
                 "num" => {
                     expect_args(&parts, 2, line, "num")?;
@@ -261,6 +323,7 @@ impl CircuitFile {
                 "temp" => {
                     expect_args(&parts, 1, line, "temp")?;
                     file.temperature = parse_num(parts[1], line, "temperature")?;
+                    file.spans.temp = line;
                     if file.temperature < 0.0 {
                         return Err(ParseError::new(line, "temperature must be ≥ 0"));
                     }
@@ -272,14 +335,17 @@ impl CircuitFile {
                 "super" => {
                     expect_args(&parts, 0, line, "super")?;
                     is_super = true;
+                    file.spans.superconducting = line;
                 }
                 "gap" => {
                     expect_args(&parts, 1, line, "gap")?;
                     gap_ev = Some(parse_num(parts[1], line, "gap")?);
+                    file.spans.gap = line;
                 }
                 "tc" => {
                     expect_args(&parts, 1, line, "tc")?;
                     tc = Some(parse_num(parts[1], line, "critical temperature")?);
+                    file.spans.tc = line;
                 }
                 "record" => {
                     expect_args(&parts, 3, line, "record")?;
@@ -324,15 +390,18 @@ impl CircuitFile {
                     file.seed = Some(parse_num(parts[1], line, "seed")?);
                 }
                 other => {
-                    return Err(ParseError::new(line, format!("unknown directive `{other}`")));
+                    return Err(ParseError::new(
+                        line,
+                        format!("unknown directive `{other}`"),
+                    ));
                 }
             }
         }
 
         // Post-parse consistency.
         if is_super {
-            let gap = gap_ev
-                .ok_or_else(|| ParseError::new(0, "`super` requires a `gap` declaration"))?;
+            let gap =
+                gap_ev.ok_or_else(|| ParseError::new(0, "`super` requires a `gap` declaration"))?;
             let tc = tc.ok_or_else(|| ParseError::new(0, "`super` requires a `tc` declaration"))?;
             file.superconducting = Some(SuperDecl { gap_ev: gap, tc });
         } else if gap_ev.is_some() || tc.is_some() {
@@ -342,7 +411,10 @@ impl CircuitFile {
             if n != file.junctions.len() {
                 return Err(ParseError::new(
                     0,
-                    format!("`num j {n}` but {} junctions declared", file.junctions.len()),
+                    format!(
+                        "`num j {n}` but {} junctions declared",
+                        file.junctions.len()
+                    ),
                 ));
             }
         }
@@ -359,7 +431,10 @@ impl CircuitFile {
             if n != seen.len() {
                 return Err(ParseError::new(
                     0,
-                    format!("`num nodes {n}` but {} distinct nodes referenced", seen.len()),
+                    format!(
+                        "`num nodes {n}` but {} distinct nodes referenced",
+                        seen.len()
+                    ),
                 ));
             }
         }
@@ -408,7 +483,10 @@ impl CircuitFile {
             ));
         }
         for c in &self.capacitors {
-            out.push_str(&format!("cap {} {} {:e}\n", c.node_a, c.node_b, c.capacitance));
+            out.push_str(&format!(
+                "cap {} {} {:e}\n",
+                c.node_a, c.node_b, c.capacitance
+            ));
         }
         for &(n, q) in &self.charges {
             out.push_str(&format!("charge {n} {q}\n"));
@@ -500,7 +578,14 @@ sweep 2 0.02 0.00005
         assert_eq!(f.symmetric_with, Some(1));
         assert_eq!(f.temperature, 5.0);
         assert!(f.cotunnel);
-        assert_eq!(f.record, Some(RecordSpec { from: 1, to: 2, every: 2 }));
+        assert_eq!(
+            f.record,
+            Some(RecordSpec {
+                from: 1,
+                to: 2,
+                every: 2
+            })
+        );
         assert_eq!(f.jumps, Some((100_000, 1)));
         let sweep = f.sweep.unwrap();
         assert_eq!(sweep.node, 2);

@@ -11,6 +11,8 @@ use semsim_core::engine::{sweep, RunLength, SimConfig, Simulation, SolverSpec, S
 use semsim_core::superconduct::SuperconductingParams;
 use semsim_core::CoreError;
 
+use semsim_check::{Diagnostics, Severity};
+
 use crate::{CircuitFile, ParseError};
 
 /// A compiled circuit plus the mappings from file-level numbering to
@@ -25,6 +27,9 @@ pub struct CompiledCircuit {
     pub junctions: HashMap<usize, JunctionId>,
     /// File node number → lead index (for nodes carrying a `vdc`).
     pub leads: HashMap<usize, usize>,
+    /// Non-fatal findings from the static checks (warnings only; any
+    /// error-severity diagnostic aborts compilation instead).
+    pub warnings: Diagnostics,
 }
 
 impl CompiledCircuit {
@@ -61,9 +66,27 @@ impl CircuitFile {
     /// # Errors
     ///
     /// Returns a [`ParseError`] for semantic problems (a `charge` on a
-    /// source node, components referencing no-longer-existing nodes) and
-    /// wraps [`CoreError`]s from circuit construction.
+    /// source node, components referencing no-longer-existing nodes),
+    /// for any error-severity finding of the static checks
+    /// ([`crate::lint_circuit`], reported with its `SCnnn` code and
+    /// source line), and wraps [`CoreError`]s from circuit construction.
     pub fn compile(&self) -> Result<CompiledCircuit, ParseError> {
+        // Static analysis gate: errors abort before any engine work;
+        // warnings ride along on the compiled circuit.
+        let diags = crate::lint_circuit(self);
+        if diags.has_errors() {
+            let first = diags
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .expect("has_errors implies an error exists");
+            return Err(ParseError::new(
+                first.span.line,
+                format!("[{}] {}", first.code.code(), first.message),
+            ));
+        }
+        // No errors left: everything remaining is warning severity.
+        let warnings = diags;
+
         let mut b = CircuitBuilder::new();
         let mut nodes: HashMap<usize, NodeId> = HashMap::new();
         let mut leads: HashMap<usize, usize> = HashMap::new();
@@ -83,21 +106,22 @@ impl CircuitFile {
 
         // Leads first (their index order mirrors the file's source list),
         // then islands in ascending node-number order.
-        let mut lead_index = 1;
-        for &(n, v) in &self.sources {
+        for (lead_index, &(n, v)) in (1..).zip(&self.sources) {
             if nodes.contains_key(&n) {
-                return Err(ParseError::new(0, format!("node {n} has two `vdc` sources")));
+                return Err(ParseError::new(
+                    0,
+                    format!("node {n} has two `vdc` sources"),
+                ));
             }
             let id = b.add_lead(v);
             nodes.insert(n, id);
             leads.insert(n, lead_index);
-            lead_index += 1;
         }
         for n in self.node_numbers() {
-            if !nodes.contains_key(&n) {
+            nodes.entry(n).or_insert_with(|| {
                 let q = charge_of.get(&n).copied().unwrap_or(0.0);
-                nodes.insert(n, b.add_island_with_charge(q));
-            }
+                b.add_island_with_charge(q)
+            });
         }
 
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
@@ -120,6 +144,7 @@ impl CircuitFile {
             nodes,
             junctions,
             leads,
+            warnings,
         })
     }
 
@@ -193,16 +218,16 @@ impl CircuitFile {
                 }])
             }
             Some(spec) => {
-                let lead = *compiled
-                    .leads
-                    .get(&spec.node)
-                    .ok_or_else(|| ParseError::new(0, format!("sweep node {} has no vdc", spec.node)))?;
-                let symm_lead = match self.symmetric_with {
-                    Some(n) => Some(*compiled.leads.get(&n).ok_or_else(|| {
-                        ParseError::new(0, format!("symm node {n} has no vdc"))
-                    })?),
-                    None => None,
-                };
+                let lead = *compiled.leads.get(&spec.node).ok_or_else(|| {
+                    ParseError::new(0, format!("sweep node {} has no vdc", spec.node))
+                })?;
+                let symm_lead =
+                    match self.symmetric_with {
+                        Some(n) => Some(*compiled.leads.get(&n).ok_or_else(|| {
+                            ParseError::new(0, format!("symm node {n} has no vdc"))
+                        })?),
+                        None => None,
+                    };
                 let start = self
                     .sources
                     .iter()
@@ -350,10 +375,9 @@ jumps 3000 1
 
     #[test]
     fn superconducting_config_units() {
-        let f = CircuitFile::parse(
-            "junc 1 0 2 1e-6 110e-18\nsuper\ngap 0.2e-3\ntc 1.2\ntemp 0.05\n",
-        )
-        .unwrap();
+        let f =
+            CircuitFile::parse("junc 1 0 2 1e-6 110e-18\nsuper\ngap 0.2e-3\ntc 1.2\ntemp 0.05\n")
+                .unwrap();
         let cfg = f.sim_config().unwrap();
         let sc = cfg.superconducting.unwrap();
         assert!((sc.gap0 - ev_to_joule(0.2e-3)).abs() < 1e-30);

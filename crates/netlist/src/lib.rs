@@ -33,11 +33,13 @@
 mod circuit_file;
 mod compile;
 mod error;
+pub mod lint;
 mod logic_file;
 
 pub use circuit_file::{
-    CapacitorDecl, CircuitFile, JunctionDecl, RecordSpec, SuperDecl, SweepSpec,
+    CapacitorDecl, CircuitFile, CircuitSpans, JunctionDecl, RecordSpec, SuperDecl, SweepSpec,
 };
 pub use compile::CompiledCircuit;
 pub use error::ParseError;
-pub use logic_file::{gate_set_count, Gate, GateKind, LogicFile};
+pub use lint::{lint_circuit, lint_logic};
+pub use logic_file::{gate_set_count, Gate, GateKind, LogicFile, RawLogicFile};

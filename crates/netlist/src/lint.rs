@@ -1,0 +1,415 @@
+//! Static analysis of parsed netlists: builds the abstract
+//! `semsim-check` models from [`CircuitFile`] / [`RawLogicFile`] and
+//! adds the directive-level checks (SC004, SC008, SC009) that need
+//! netlist vocabulary.
+
+use std::collections::HashMap;
+
+use semsim_check::{
+    check_circuit, check_logic, CircuitModel, DiagCode, Diagnostic, Diagnostics, LogicModel,
+    ModelNode, Severity, Span,
+};
+
+use crate::{CircuitFile, RawLogicFile};
+
+/// Boltzmann constant in eV/K, for the BCS gap relation in file units.
+const KB_EV: f64 = 8.617_333_262e-5;
+
+/// Relative deviation of `gap` from the BCS weak-coupling value
+/// `1.764·kB·Tc` above which SC009's warning facet fires. Strong-coupling
+/// superconductors reach ~2.2·kB·Tc (25% above BCS), so the gate sits
+/// just beyond that.
+const BCS_GAP_TOLERANCE: f64 = 0.35;
+
+/// First source line mentioning each node number, for spanned
+/// node-level diagnostics.
+fn first_mention(file: &CircuitFile) -> HashMap<usize, usize> {
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    let mut note = |node: usize, line: usize| {
+        seen.entry(node).or_insert(line);
+    };
+    for (j, &line) in file.junctions.iter().zip(&file.spans.junctions) {
+        note(j.node_a, line);
+        note(j.node_b, line);
+    }
+    for (c, &line) in file.capacitors.iter().zip(&file.spans.capacitors) {
+        note(c.node_a, line);
+        note(c.node_b, line);
+    }
+    for (&(n, _), &line) in file.sources.iter().zip(&file.spans.sources) {
+        note(n, line);
+    }
+    for (&(n, _), &line) in file.charges.iter().zip(&file.spans.charges) {
+        note(n, line);
+    }
+    seen
+}
+
+/// Builds the abstract electrical model of a circuit file: `vdc` nodes
+/// become leads, node 0 is ground, everything else is an island.
+fn circuit_model(file: &CircuitFile) -> CircuitModel {
+    let mut model = CircuitModel::new();
+    let mentions = first_mention(file);
+    let sources = file.source_nodes();
+    let mut nodes: HashMap<usize, ModelNode> = HashMap::new();
+    nodes.insert(0, ModelNode::GROUND);
+    for n in file.node_numbers() {
+        let span = Span::line(mentions.get(&n).copied().unwrap_or(0));
+        let node = if sources.contains(&n) {
+            model.add_lead_at(span)
+        } else {
+            model.add_island_at(span)
+        };
+        model.set_label(node, n.to_string());
+        nodes.insert(n, node);
+    }
+    for (j, &line) in file.junctions.iter().zip(&file.spans.junctions) {
+        model.add_junction_at(
+            nodes[&j.node_a],
+            nodes[&j.node_b],
+            j.conductance,
+            j.capacitance,
+            Span::line(line),
+        );
+    }
+    for (c, &line) in file.capacitors.iter().zip(&file.spans.capacitors) {
+        model.add_capacitor_at(
+            nodes[&c.node_a],
+            nodes[&c.node_b],
+            c.capacitance,
+            Span::line(line),
+        );
+    }
+    model
+}
+
+/// SC004: parameters the parser's sign checks cannot catch — values
+/// that overflowed to infinity (`1e999` parses as `inf`, and `inf > 0`
+/// holds) or NaN temperatures (`NaN < 0` is false).
+fn check_parameters(file: &CircuitFile, diags: &mut Diagnostics) {
+    for (j, &line) in file.junctions.iter().zip(&file.spans.junctions) {
+        if !j.conductance.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonPositiveParameter,
+                format!("junction {} conductance is not finite", j.id),
+                Span::line(line),
+            ));
+        }
+        if !j.capacitance.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonPositiveParameter,
+                format!("junction {} capacitance is not finite", j.id),
+                Span::line(line),
+            ));
+        }
+    }
+    for (c, &line) in file.capacitors.iter().zip(&file.spans.capacitors) {
+        if !c.capacitance.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonPositiveParameter,
+                format!(
+                    "capacitor between nodes {} and {} is not finite",
+                    c.node_a, c.node_b
+                ),
+                Span::line(line),
+            ));
+        }
+    }
+    if !file.temperature.is_finite() {
+        diags.push(Diagnostic::new(
+            DiagCode::NonPositiveParameter,
+            "temperature is not a finite number",
+            Span::line(file.spans.temp),
+        ));
+    }
+    if let Some(s) = &file.superconducting {
+        if !(s.gap_ev > 0.0) || !s.gap_ev.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonPositiveParameter,
+                format!(
+                    "superconducting gap must be positive and finite, got {}",
+                    s.gap_ev
+                ),
+                Span::line(file.spans.gap),
+            ));
+        }
+        if !(s.tc > 0.0) || !s.tc.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonPositiveParameter,
+                format!(
+                    "critical temperature must be positive and finite, got {}",
+                    s.tc
+                ),
+                Span::line(file.spans.tc),
+            ));
+        }
+    }
+}
+
+/// SC008: `symm` must name a `vdc` node (error), and under a sweep the
+/// symmetric node's junction set should mirror the swept node's
+/// (warning) — asymmetric devices give misleading symmetric-bias I–V.
+fn check_symmetry(file: &CircuitFile, diags: &mut Diagnostics) {
+    let Some(symm) = file.symmetric_with else {
+        return;
+    };
+    let span = Span::line(file.spans.symm);
+    if !file.source_nodes().contains(&symm) {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::AsymmetricSymmJunction,
+                format!("`symm {symm}` names a node with no `vdc` source"),
+                span,
+            )
+            .with_severity(Severity::Error),
+        );
+        return;
+    }
+    let Some(sweep) = &file.sweep else {
+        return;
+    };
+    let incident = |node: usize| -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = file
+            .junctions
+            .iter()
+            .filter(|j| j.node_a == node || j.node_b == node)
+            .map(|j| (j.conductance.to_bits(), j.capacitance.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    if incident(symm) != incident(sweep.node) {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::AsymmetricSymmJunction,
+                format!(
+                    "symmetric bias pairs node {symm} with swept node {}, but their \
+                     attached junctions differ; the ±V bias will not be symmetric",
+                    sweep.node
+                ),
+                span,
+            )
+            .with_severity(Severity::Warning),
+        );
+    }
+}
+
+/// SC009: superconducting parameters must be mutually consistent —
+/// `temp < tc` (error: above Tc the film is normal and the gap closes)
+/// and `gap ≈ 1.764·kB·Tc` (warning: BCS weak-coupling relation).
+fn check_superconducting(file: &CircuitFile, diags: &mut Diagnostics) {
+    let Some(s) = &file.superconducting else {
+        return;
+    };
+    if !s.gap_ev.is_finite() || !s.tc.is_finite() || !(s.tc > 0.0) || !(s.gap_ev > 0.0) {
+        return; // already reported as SC004
+    }
+    if file.temperature >= s.tc {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::SuperconductingGapMismatch,
+                format!(
+                    "temperature {} K is at or above the critical temperature {} K; \
+                 the electrodes are normal and `super` does not apply",
+                    file.temperature, s.tc
+                ),
+                Span::line(if file.spans.temp > 0 {
+                    file.spans.temp
+                } else {
+                    file.spans.tc
+                }),
+            )
+            .with_severity(Severity::Error),
+        );
+        return;
+    }
+    let bcs = 1.764 * KB_EV * s.tc;
+    let dev = (s.gap_ev - bcs).abs() / bcs;
+    if dev > BCS_GAP_TOLERANCE {
+        diags.push(Diagnostic::new(
+            DiagCode::SuperconductingGapMismatch,
+            format!(
+                "gap {:.3e} eV deviates {:.0}% from the BCS value 1.764·kB·Tc = {:.3e} eV \
+                 for Tc = {} K; check the units of `gap` or `tc`",
+                s.gap_ev,
+                dev * 100.0,
+                bcs,
+                s.tc
+            ),
+            Span::line(file.spans.gap),
+        ));
+    }
+}
+
+/// Runs every circuit-level check: the electrical analyses of
+/// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
+/// (SC004, SC008, SC009). Pure inspection — never fails.
+pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
+    let mut diags = check_circuit(&circuit_model(file));
+    check_parameters(file, &mut diags);
+    check_symmetry(file, &mut diags);
+    check_superconducting(file, &mut diags);
+    diags.sort();
+    diags
+}
+
+/// Runs the structural checks (SC006, SC007) on a raw logic netlist.
+pub fn lint_logic(raw: &RawLogicFile) -> Diagnostics {
+    let mut model = LogicModel::new();
+    for (name, line) in &raw.inputs {
+        model.add_input_at(name.clone(), Span::line(*line));
+    }
+    for (name, line) in &raw.outputs {
+        model.add_output_at(name.clone(), Span::line(*line));
+    }
+    for (gate, line) in &raw.gates {
+        model.add_gate_at(
+            gate.output.clone(),
+            gate.inputs.iter().cloned(),
+            Span::line(*line),
+        );
+    }
+    check_logic(&model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_file_lints_clean() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        assert!(diags.is_empty(), "{:?}", diags);
+    }
+
+    #[test]
+    fn floating_island_spans_its_first_mention() {
+        // Node 7 only appears in the charge directive on line 3.
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 1e-18\nvdc 1 0.0\ncharge 7 0.5\njunc 2 2 1 1e-6 1e-18\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::FloatingIsland)
+            .expect("SC001");
+        assert_eq!(d.span.line, 3);
+    }
+
+    #[test]
+    fn overflowed_conductance_is_sc004() {
+        let f = CircuitFile::parse("junc 1 0 2 1e999 1e-18\nvdc 1 0.0\njunc 2 2 1 1e-6 1e-18\n")
+            .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::NonPositiveParameter)
+            .expect("SC004");
+        assert_eq!(d.span.line, 1);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn symm_without_vdc_is_sc008() {
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.01\nsymm 5\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::AsymmetricSymmJunction)
+            .expect("SC008");
+        assert_eq!(d.span.line, 4);
+    }
+
+    #[test]
+    fn asymmetric_mirror_warns() {
+        // symm 1 pairs with swept node 2, but node 1's junction has a
+        // different capacitance than node 2's.
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 2e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\nsymm 1\nsweep 2 0.02 0.01\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::AsymmetricSymmJunction)
+            .expect("SC008 warning");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn temp_above_tc_is_sc009_error() {
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 110e-18\njunc 2 2 1 1e-6 110e-18\nvdc 1 0.001\n\
+             super\ngap 0.18e-3\ntc 1.2\ntemp 4.2\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::SuperconductingGapMismatch)
+            .expect("SC009");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.line, 7);
+    }
+
+    #[test]
+    fn gap_far_from_bcs_warns() {
+        // Tc = 1.2 K → BCS gap ≈ 0.182 meV; declare 1 eV (unit slip).
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 110e-18\njunc 2 2 1 1e-6 110e-18\nvdc 1 0.001\n\
+             super\ngap 1.0\ntc 1.2\ntemp 0.05\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::SuperconductingGapMismatch)
+            .expect("SC009 warning");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 5);
+    }
+
+    #[test]
+    fn bcs_consistent_gap_is_clean() {
+        // 1.764 · kB · 1.2 K ≈ 0.1825 meV.
+        let f = CircuitFile::parse(
+            "junc 1 0 2 1e-6 110e-18\njunc 2 2 1 1e-6 110e-18\nvdc 1 0.001\n\
+             super\ngap 0.18e-3\ntc 1.2\ntemp 0.05\n",
+        )
+        .unwrap();
+        assert!(lint_circuit(&f).is_empty());
+    }
+
+    #[test]
+    fn logic_lint_reports_cycles_with_lines() {
+        let raw = RawLogicFile::parse("input a\noutput y\nand y a x\nand x a y\n").unwrap();
+        let diags = lint_logic(&raw);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::CombinationalLoop)
+            .expect("SC006");
+        assert_eq!(d.span.line, 3);
+    }
+
+    #[test]
+    fn logic_lint_reports_undriven_with_lines() {
+        let raw = RawLogicFile::parse("input a\noutput y\nand y a ghost\n").unwrap();
+        let diags = lint_logic(&raw);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UndrivenInput)
+            .expect("SC007");
+        assert_eq!(d.span.line, 3);
+    }
+}

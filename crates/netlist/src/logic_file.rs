@@ -109,21 +109,41 @@ pub struct LogicFile {
     pub gates: Vec<Gate>,
 }
 
-impl LogicFile {
-    /// Parses and validates the logic format.
+/// A syntactically parsed logic netlist that has **not** been
+/// structurally validated: signals may be undriven or multiply driven
+/// and the gate graph may be cyclic. Each declaration carries its
+/// 1-based source line, so the static checker (`semsim-check`) can
+/// report structural defects as spanned diagnostics instead of opaque
+/// parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawLogicFile {
+    /// `(name, line)` primary inputs.
+    pub inputs: Vec<(String, usize)>,
+    /// `(name, line)` primary outputs.
+    pub outputs: Vec<(String, usize)>,
+    /// `(gate, line)` gates in file order.
+    pub gates: Vec<(Gate, usize)>,
+}
+
+impl RawLogicFile {
+    /// Parses the logic format, checking syntax only (directive shape,
+    /// gate kinds, fan-in arity). Structural properties are deferred to
+    /// [`RawLogicFile::validate`] or the static checker.
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseError`] on malformed lines, undriven or
-    /// multiply-driven signals, bad fan-in, or combinational cycles.
+    /// Returns a [`ParseError`] on malformed lines, unknown gate kinds,
+    /// or out-of-range fan-in.
     pub fn parse(text: &str) -> Result<Self, ParseError> {
-        let mut inputs: Vec<String> = Vec::new();
-        let mut outputs: Vec<String> = Vec::new();
-        let mut gates: Vec<Gate> = Vec::new();
+        let mut raw = RawLogicFile {
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        };
 
-        for (lineno, raw) in text.lines().enumerate() {
+        for (lineno, line_text) in text.lines().enumerate() {
             let line = lineno + 1;
-            let content = raw.split('#').next().unwrap_or("").trim();
+            let content = line_text.split('#').next().unwrap_or("").trim();
             if content.is_empty() {
                 continue;
             }
@@ -133,13 +153,15 @@ impl LogicFile {
                     if parts.len() < 2 {
                         return Err(ParseError::new(line, "`input` needs at least one name"));
                     }
-                    inputs.extend(parts[1..].iter().map(|s| s.to_string()));
+                    raw.inputs
+                        .extend(parts[1..].iter().map(|s| (s.to_string(), line)));
                 }
                 "output" => {
                     if parts.len() < 2 {
                         return Err(ParseError::new(line, "`output` needs at least one name"));
                     }
-                    outputs.extend(parts[1..].iter().map(|s| s.to_string()));
+                    raw.outputs
+                        .extend(parts[1..].iter().map(|s| (s.to_string(), line)));
                 }
                 tok => {
                     let kind = GateKind::from_token(tok).ok_or_else(|| {
@@ -166,12 +188,38 @@ impl LogicFile {
                             ),
                         ));
                     }
-                    gates.push(gate);
+                    raw.gates.push((gate, line));
                 }
             }
         }
+        Ok(raw)
+    }
 
-        Self::validate(inputs, outputs, gates)
+    /// Runs the structural validation and topological sort, producing a
+    /// simulable [`LogicFile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on undriven or multiply-driven signals
+    /// and combinational cycles.
+    pub fn validate(self) -> Result<LogicFile, ParseError> {
+        LogicFile::validate(
+            self.inputs.into_iter().map(|(n, _)| n).collect(),
+            self.outputs.into_iter().map(|(n, _)| n).collect(),
+            self.gates.into_iter().map(|(g, _)| g).collect(),
+        )
+    }
+}
+
+impl LogicFile {
+    /// Parses and validates the logic format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed lines, undriven or
+    /// multiply-driven signals, bad fan-in, or combinational cycles.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        RawLogicFile::parse(text)?.validate()
     }
 
     /// Builds a netlist from already-constructed parts, running the
@@ -198,7 +246,10 @@ impl LogicFile {
             if inputs.iter().any(|i| i == &g.output) {
                 return Err(ParseError::new(
                     0,
-                    format!("signal `{}` is both a primary input and a gate output", g.output),
+                    format!(
+                        "signal `{}` is both a primary input and a gate output",
+                        g.output
+                    ),
                 ));
             }
             if driver.insert(g.output.as_str(), gi).is_some() {
@@ -300,7 +351,7 @@ impl LogicFile {
     /// With this counting a full adder is exactly 50 SETs = 100
     /// junctions — the paper's "Full-Adder (100)" benchmark size.
     pub fn set_count(&self) -> usize {
-        self.gates.iter().map(|g| gate_set_count(g)).sum()
+        self.gates.iter().map(gate_set_count).sum()
     }
 }
 

@@ -69,7 +69,7 @@ const GL20_NODES: [f64; 10] = [
     0.636_053_680_726_515_1,
     0.746_331_906_460_150_8,
     0.839_116_971_822_218_8,
-    0.912_234_428_251_325_9,
+    0.912_234_428_251_326,
     0.963_971_927_277_913_8,
     0.993_128_599_185_094_9,
 ];

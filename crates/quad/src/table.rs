@@ -28,7 +28,10 @@ impl fmt::Display for TableError {
                 write!(f, "lookup table needs at least 2 points, got {found}")
             }
             TableError::NotMonotone { index } => {
-                write!(f, "lookup table abscissae not strictly increasing at index {index}")
+                write!(
+                    f,
+                    "lookup table abscissae not strictly increasing at index {index}"
+                )
             }
             TableError::NonFinite { index } => {
                 write!(f, "lookup table sample at index {index} is not finite")
@@ -88,7 +91,9 @@ impl LookupTable {
         }
         for (i, v) in xs.iter().chain(ys.iter()).enumerate() {
             if !v.is_finite() {
-                return Err(TableError::NonFinite { index: i % xs.len() });
+                return Err(TableError::NonFinite {
+                    index: i % xs.len(),
+                });
             }
         }
         Ok(LookupTable { xs, ys })
@@ -126,7 +131,10 @@ impl LookupTable {
 
     /// Domain `[min, max]` of the grid.
     pub fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("nonempty by construction"))
+        (
+            self.xs[0],
+            *self.xs.last().expect("nonempty by construction"),
+        )
     }
 
     /// Piecewise-linear evaluation at `x`, extrapolating beyond the
@@ -158,9 +166,10 @@ impl LookupTable {
             return self.ys[n - 1];
         }
         // Binary search for the bracketing interval.
-        let idx = match self.xs.binary_search_by(|v| {
-            v.partial_cmp(&x).expect("finite by construction")
-        }) {
+        let idx = match self
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite by construction"))
+        {
             Ok(i) => return self.ys[i],
             Err(i) => i,
         };
@@ -225,9 +234,9 @@ mod tests {
 
     #[test]
     fn interpolation_error_bounded_for_smooth_fn() {
-        let t = LookupTable::from_fn(f64::sin, 0.0, 3.14, 1000).unwrap();
+        let t = LookupTable::from_fn(f64::sin, 0.0, 3.0, 1000).unwrap();
         for i in 0..100 {
-            let x = i as f64 * 0.031;
+            let x = i as f64 * 0.029;
             assert!((t.eval(x) - x.sin()).abs() < 1e-5);
         }
     }

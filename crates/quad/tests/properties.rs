@@ -1,83 +1,140 @@
-//! Property-based tests of the quadrature and special-function layer.
+//! Property-style tests of the quadrature and special-function layer:
+//! plain seeded loops over randomly generated inputs.
 
-use proptest::prelude::*;
 use semsim_quad::{
     adaptive_simpson, bcs_dos, bcs_gap, fermi, gauss_legendre, occupancy_factor, tanh_sinh,
     LookupTable,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Minimal SplitMix64 generator for test-input generation.
+struct TestRng(u64);
 
-    #[test]
-    fn quadratures_agree_on_smooth_integrands(
-        a in -2.0f64..0.0,
-        b in 0.1f64..2.0,
-        c0 in -3.0f64..3.0,
-        c1 in -3.0f64..3.0,
-        c2 in -3.0f64..3.0,
-    ) {
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+const CASES: usize = 128;
+
+#[test]
+fn quadratures_agree_on_smooth_integrands() {
+    let mut rng = TestRng(10);
+    for case in 0..CASES {
+        let a = rng.uniform(-2.0, 0.0);
+        let b = rng.uniform(0.1, 2.0);
+        let c0 = rng.uniform(-3.0, 3.0);
+        let c1 = rng.uniform(-3.0, 3.0);
+        let c2 = rng.uniform(-3.0, 3.0);
         let f = move |x: f64| c0 + c1 * x + c2 * (x * x).cos();
         let s = adaptive_simpson(f, a, b, 1e-12);
         let g = gauss_legendre(f, a, b);
         let t = tanh_sinh(f, a, b, 1e-12);
-        prop_assert!((s - g).abs() < 1e-7 * s.abs().max(1.0));
-        prop_assert!((s - t).abs() < 1e-6 * s.abs().max(1.0));
+        assert!((s - g).abs() < 1e-7 * s.abs().max(1.0), "case {case}");
+        assert!((s - t).abs() < 1e-6 * s.abs().max(1.0), "case {case}");
     }
+}
 
-    #[test]
-    fn integral_additivity(a in -1.0f64..0.0, m in 0.0f64..1.0, b in 1.0f64..2.0) {
+#[test]
+fn integral_additivity() {
+    let mut rng = TestRng(11);
+    for case in 0..CASES {
+        let a = rng.uniform(-1.0, 0.0);
+        let m = rng.uniform(0.0, 1.0);
+        let b = rng.uniform(1.0, 2.0);
         let f = |x: f64| (1.0 + x * x).ln();
         let whole = adaptive_simpson(f, a, b, 1e-12);
         let split = adaptive_simpson(f, a, m, 1e-12) + adaptive_simpson(f, m, b, 1e-12);
-        prop_assert!((whole - split).abs() < 1e-8 * whole.abs().max(1.0));
+        assert!(
+            (whole - split).abs() < 1e-8 * whole.abs().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn fermi_bounds_and_symmetry(e in -100.0f64..100.0, kt in 0.01f64..10.0) {
+#[test]
+fn fermi_bounds_and_symmetry() {
+    let mut rng = TestRng(12);
+    for case in 0..CASES {
+        let e = rng.uniform(-100.0, 100.0);
+        let kt = rng.uniform(0.01, 10.0);
         let f = fermi(e, kt);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!((f + fermi(-e, kt) - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&f), "case {case}");
+        assert!((f + fermi(-e, kt) - 1.0).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn bcs_dos_support(e in -5.0f64..5.0, gap in 0.01f64..2.0) {
+#[test]
+fn bcs_dos_support() {
+    let mut rng = TestRng(13);
+    for case in 0..CASES {
+        let e = rng.uniform(-5.0, 5.0);
+        let gap = rng.uniform(0.01, 2.0);
         let n = bcs_dos(e, gap);
         if e.abs() <= gap {
-            prop_assert_eq!(n, 0.0);
+            assert_eq!(n, 0.0, "case {case}");
         } else {
-            prop_assert!(n >= 1.0); // singular DOS never dips below normal
+            // Singular DOS never dips below normal.
+            assert!(n >= 1.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gap_bounded_and_monotone(gap0 in 0.01f64..2.0, tc in 0.1f64..5.0, t in 0.0f64..6.0) {
+#[test]
+fn gap_bounded_and_monotone() {
+    let mut rng = TestRng(14);
+    for case in 0..CASES {
+        let gap0 = rng.uniform(0.01, 2.0);
+        let tc = rng.uniform(0.1, 5.0);
+        let t = rng.uniform(0.0, 6.0);
         let g = bcs_gap(gap0, tc, t);
-        prop_assert!((0.0..=gap0 * (1.0 + 1e-12)).contains(&g));
+        assert!(
+            (0.0..=gap0 * (1.0 + 1e-12)).contains(&g),
+            "case {case}: {g} outside [0, {gap0}]"
+        );
         let g2 = bcs_gap(gap0, tc, t + 0.1);
-        prop_assert!(g2 <= g + 1e-12);
+        assert!(g2 <= g + 1e-12, "case {case}: gap not monotone in T");
     }
+}
 
-    #[test]
-    fn occupancy_detailed_balance(x in -300.0f64..300.0) {
+#[test]
+fn occupancy_detailed_balance() {
+    let mut rng = TestRng(15);
+    for case in 0..CASES {
+        let x = rng.uniform(-300.0, 300.0);
         // f(x)/f(−x) = e^{−x} in log space where both are nonzero.
         let fwd = occupancy_factor(x);
         let bwd = occupancy_factor(-x);
         if fwd > 0.0 && bwd > 0.0 {
             let lhs = (fwd / bwd).ln();
-            prop_assert!((lhs + x).abs() < 1e-6 * x.abs().max(1.0));
+            assert!((lhs + x).abs() < 1e-6 * x.abs().max(1.0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn table_eval_is_monotone_for_monotone_data(
-        n in 3usize..40,
-        x in -0.5f64..40.0,
-    ) {
+#[test]
+fn table_eval_is_monotone_for_monotone_data() {
+    let mut rng = TestRng(16);
+    for case in 0..CASES {
+        let n = rng.range_usize(3, 40);
+        let x = rng.uniform(-0.5, 40.0);
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let ys: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
         let t = LookupTable::new(xs, ys).unwrap();
         // Monotone samples → monotone interpolant.
-        prop_assert!(t.eval(x) <= t.eval(x + 0.5) + 1e-12);
+        assert!(t.eval(x) <= t.eval(x + 0.5) + 1e-12, "case {case}");
     }
 }

@@ -52,7 +52,9 @@ fn base_model(params: &SetLogicParams, q_offset: f64) -> SetModel {
 pub fn map_logic(logic: &LogicFile, params: &SetLogicParams) -> Result<MappedLogic, SpiceError> {
     params
         .validate()
-        .map_err(|e| SpiceError::InvalidComponent { what: e.to_string() })?;
+        .map_err(|e| SpiceError::InvalidComponent {
+            what: e.to_string(),
+        })?;
     let pset = base_model(params, params.pset_bias_charge() * E_CHARGE);
     let nset = base_model(params, params.nset_bias_charge() * E_CHARGE);
 
@@ -101,7 +103,11 @@ pub fn map_logic(logic: &LogicFile, params: &SetLogicParams) -> Result<MappedLog
             GateKind::Nor => {
                 let mut top = vdd;
                 for (k, &i) in ins.iter().enumerate() {
-                    let bottom = if k + 1 == ins.len() { out } else { c.add_node() };
+                    let bottom = if k + 1 == ins.len() {
+                        out
+                    } else {
+                        c.add_node()
+                    };
                     c.add_set(pset, top, bottom, i)?;
                     top = bottom;
                 }
@@ -175,11 +181,10 @@ pub fn measure_delay(
     window: f64,
 ) -> Result<SpiceDelay, SpiceError> {
     let mapped = map_logic(logic, params)?;
-    let (vector, input_idx) = find_sensitizing_vector(logic, output, 0).ok_or_else(|| {
-        SpiceError::InvalidComponent {
+    let (vector, input_idx) =
+        find_sensitizing_vector(logic, output, 0).ok_or_else(|| SpiceError::InvalidComponent {
             what: format!("no sensitizing vector for output `{output}`"),
-        }
-    })?;
+        })?;
     let out_node = *mapped
         .signals
         .get(output)

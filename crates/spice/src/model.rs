@@ -103,9 +103,7 @@ impl SetModel {
         // the recursion runs in log space (the ratios span thousands of
         // decades at low temperature).
         let max_rate = (lo..=hi)
-            .map(|n| {
-                (g1_in(n) + g2_in(n)).max(g1_out(n) + g2_out(n))
-            })
+            .map(|n| (g1_in(n) + g2_in(n)).max(g1_out(n) + g2_out(n)))
             .fold(0.0_f64, f64::max);
         if !(max_rate > 0.0) {
             return 0.0; // fully frozen: no transport at all
@@ -214,10 +212,7 @@ mod tests {
         let v = 0.5;
         let i = set.drain_current(v / 2.0, -v / 2.0, 0.0);
         let r_eff = v / i;
-        assert!(
-            (r_eff - 2e6).abs() < 0.2e6,
-            "effective resistance {r_eff}"
-        );
+        assert!((r_eff - 2e6).abs() < 0.2e6, "effective resistance {r_eff}");
     }
 
     #[test]

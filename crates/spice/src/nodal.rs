@@ -185,11 +185,7 @@ impl NodalCircuit {
                 what: format!("time step {dt}"),
             });
         }
-        let voltages: Vec<f64> = self
-            .sources
-            .iter()
-            .map(|s| s.unwrap_or(0.0))
-            .collect();
+        let voltages: Vec<f64> = self.sources.iter().map(|s| s.unwrap_or(0.0)).collect();
         Ok(Transient {
             circuit: self,
             sources: self.sources.clone(),
@@ -320,9 +316,9 @@ impl Transient<'_> {
 
         let mut v = self.voltages.clone();
         // Source nodes take their (possibly just-stepped) values.
-        for n in 0..c.nodes {
-            if let Some(val) = self.sources[n] {
-                v[n] = val;
+        for (vn, src) in v.iter_mut().zip(&self.sources).take(c.nodes) {
+            if let Some(val) = *src {
+                *vn = val;
             }
         }
         let v_prev = self.voltages.clone();
@@ -439,8 +435,14 @@ mod tests {
             q_offset: 0.0,
             temperature: 1.0,
         };
-        let pset = SetModel { q_offset: qbp, ..base };
-        let nset = SetModel { q_offset: qbn, ..base };
+        let pset = SetModel {
+            q_offset: qbp,
+            ..base
+        };
+        let nset = SetModel {
+            q_offset: qbn,
+            ..base
+        };
         (pset, nset, vdd)
     }
 

@@ -39,12 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // SEMSIM's adaptive solver, same protocol.
-    let adaptive_cfg = SimConfig::new(params.temperature)
-        .with_seed(2)
-        .with_solver(SolverSpec::Adaptive {
-            threshold: 0.05,
-            refresh_interval: 1_000,
-        });
+    let adaptive_cfg =
+        SimConfig::new(params.temperature)
+            .with_seed(2)
+            .with_solver(SolverSpec::Adaptive {
+                threshold: 0.05,
+                refresh_interval: 1_000,
+            });
     let adaptive = measure_delay_avg(
         &elab,
         &logic,

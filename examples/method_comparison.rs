@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let temperature = 5.0;
     let vg = 10e-3;
 
-    println!("# Fig. 1b SET, T = {temperature} K, Vg = {:.0} mV", vg * 1e3);
+    println!(
+        "# Fig. 1b SET, T = {temperature} K, Vg = {:.0} mV",
+        vg * 1e3
+    );
     println!("# Vds(V)      I_mc(A)        I_me(A)        I_spice(A)");
 
     let model = SetModel::symmetric(1e6, 1e-18, 3e-18, temperature);

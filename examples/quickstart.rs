@@ -36,19 +36,11 @@ fn main() -> Result<(), CoreError> {
 
     let mut columns = Vec::new();
     for vg in [0.0, 0.01, 0.02, 0.03] {
-        let points = sweep(
-            &circuit,
-            &config,
-            j1,
-            &biases,
-            500,
-            20_000,
-            |sim, vds| {
-                sim.set_lead_voltage(1, vds / 2.0)?;
-                sim.set_lead_voltage(2, -vds / 2.0)?;
-                sim.set_lead_voltage(3, vg)
-            },
-        )?;
+        let points = sweep(&circuit, &config, j1, &biases, 500, 20_000, |sim, vds| {
+            sim.set_lead_voltage(1, vds / 2.0)?;
+            sim.set_lead_voltage(2, -vds / 2.0)?;
+            sim.set_lead_voltage(3, vg)
+        })?;
         columns.push(points);
     }
 

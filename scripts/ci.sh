@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, full test suite.
+# The workspace has no registry dependencies, so this runs without
+# network access. Run from anywhere; it cd's to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> semsim lint examples/netlists/*"
+./target/release/semsim lint examples/netlists/*
+
+echo "CI OK"

@@ -13,6 +13,8 @@
 //!   the paper's evaluation.
 //! * [`spice`] — the analytical SET model + transient nodal simulator
 //!   used as the comparison baseline.
+//! * [`check`] — static circuit/netlist analysis (diagnostics SC001–SC009)
+//!   run before engine construction; also behind `semsim lint`.
 //! * [`linalg`], [`quad`] — the numerical substrates.
 //!
 //! # Quickstart
@@ -25,7 +27,9 @@
 //! let mut b = CircuitBuilder::new();
 //! let src = b.add_lead(20e-3);
 //! let drn = b.add_lead(-20e-3);
-//! let island = b.add_island();
+//! // Background charge e/2 biases the island at the charge degeneracy
+//! // point, where the Coulomb blockade is lifted.
+//! let island = b.add_island_with_charge(0.5);
 //! let j1 = b.add_junction(src, island, 1e6, 1e-18)?;
 //! b.add_junction(island, drn, 1e6, 1e-18)?;
 //! let circuit = b.build()?;
@@ -36,6 +40,7 @@
 //! # }
 //! ```
 
+pub use semsim_check as check;
 pub use semsim_core as core;
 pub use semsim_linalg as linalg;
 pub use semsim_logic as logic;

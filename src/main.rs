@@ -1,0 +1,112 @@
+//! The `semsim` command-line tool.
+//!
+//! Currently a single subcommand:
+//!
+//! ```text
+//! semsim lint <file>...
+//! ```
+//!
+//! runs the static netlist checks (diagnostic codes SC001–SC009) over
+//! each file and prints rustc-style diagnostics. Files are treated as
+//! gate-level logic netlists when their first directive is one of the
+//! logic keywords (`input`, `output`, `inv`, `nand`, …) or the file
+//! ends in `.logic`; everything else is parsed as the circuit format.
+//!
+//! Exit status: 0 when every file is clean or carries only warnings,
+//! 1 when any file has an error-severity finding or fails to parse,
+//! 2 on usage errors.
+
+use std::process::ExitCode;
+
+use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
+
+const USAGE: &str = "usage: semsim lint <netlist>...
+
+Runs the static circuit/logic netlist checks (SC001-SC009) and prints
+rustc-style diagnostics. See docs/diagnostics.md for the code table.";
+
+/// Directive keywords that identify the gate-level logic format.
+const LOGIC_KEYWORDS: [&str; 10] = [
+    "input", "output", "inv", "buf", "nand", "nor", "and", "or", "xor", "xnor",
+];
+
+/// `true` if `source` looks like a logic netlist: first non-comment,
+/// non-empty line starts with a logic directive.
+fn is_logic_format(path: &str, source: &str) -> bool {
+    if path.ends_with(".logic") {
+        return true;
+    }
+    for line in source.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let word = line.split_whitespace().next().unwrap_or("");
+        return LOGIC_KEYWORDS.contains(&word);
+    }
+    false
+}
+
+/// Lints one file; returns `true` if it is free of error-severity
+/// findings.
+fn lint_file(path: &str) -> bool {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return false;
+        }
+    };
+    let diags = if is_logic_format(path, &source) {
+        match RawLogicFile::parse(&source) {
+            Ok(raw) => lint_logic(&raw),
+            Err(e) => {
+                eprintln!("{path}:{}: parse error: {e}", e.line());
+                return false;
+            }
+        }
+    } else {
+        match CircuitFile::parse(&source) {
+            Ok(file) => lint_circuit(&file),
+            Err(e) => {
+                eprintln!("{path}:{}: parse error: {e}", e.line());
+                return false;
+            }
+        }
+    };
+    if diags.is_empty() {
+        println!("{path}: clean");
+        return true;
+    }
+    print!("{}", diags.render(path, Some(&source)));
+    !diags.has_errors()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, files)) if cmd == "lint" && !files.is_empty() => {
+            let mut ok = true;
+            for path in files {
+                ok &= lint_file(path);
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some((cmd, _)) if cmd == "lint" => {
+            eprintln!("error: `semsim lint` needs at least one netlist file\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Some((cmd, _)) => {
+            eprintln!("error: unknown subcommand `{cmd}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8d531a6f83c61252.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8d531a6f83c61252: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

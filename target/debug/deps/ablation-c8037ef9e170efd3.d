@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation-c8037ef9e170efd3.d: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-c8037ef9e170efd3.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

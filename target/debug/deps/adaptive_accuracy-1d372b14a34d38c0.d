@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adaptive_accuracy-1d372b14a34d38c0.d: /root/repo/clippy.toml tests/adaptive_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_accuracy-1d372b14a34d38c0.rmeta: /root/repo/clippy.toml tests/adaptive_accuracy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/adaptive_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_accuracy-b51275bbb7a6a12f.d: tests/adaptive_accuracy.rs
+
+/root/repo/target/debug/deps/adaptive_accuracy-b51275bbb7a6a12f: tests/adaptive_accuracy.rs
+
+tests/adaptive_accuracy.rs:

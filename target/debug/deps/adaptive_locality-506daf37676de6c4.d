@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adaptive_locality-506daf37676de6c4.d: /root/repo/clippy.toml crates/bench/src/bin/adaptive_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_locality-506daf37676de6c4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/adaptive_locality.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/adaptive_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

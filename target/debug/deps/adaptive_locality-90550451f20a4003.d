@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_locality-90550451f20a4003.d: crates/bench/src/bin/adaptive_locality.rs
+
+/root/repo/target/debug/deps/adaptive_locality-90550451f20a4003: crates/bench/src/bin/adaptive_locality.rs
+
+crates/bench/src/bin/adaptive_locality.rs:

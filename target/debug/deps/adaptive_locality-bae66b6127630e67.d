@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adaptive_locality-bae66b6127630e67.d: /root/repo/clippy.toml crates/bench/src/bin/adaptive_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_locality-bae66b6127630e67.rmeta: /root/repo/clippy.toml crates/bench/src/bin/adaptive_locality.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/adaptive_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cotunnel_check-c6828af07b16ad37.d: crates/bench/src/bin/cotunnel_check.rs
+
+/root/repo/target/debug/deps/cotunnel_check-c6828af07b16ad37: crates/bench/src/bin/cotunnel_check.rs
+
+crates/bench/src/bin/cotunnel_check.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cotunnel_check-eeff8e846ab99ec4.d: /root/repo/clippy.toml crates/bench/src/bin/cotunnel_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcotunnel_check-eeff8e846ab99ec4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/cotunnel_check.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/cotunnel_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

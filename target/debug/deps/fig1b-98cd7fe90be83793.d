@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1b-98cd7fe90be83793.d: /root/repo/clippy.toml crates/bench/src/bin/fig1b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1b-98cd7fe90be83793.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig1b.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig1b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

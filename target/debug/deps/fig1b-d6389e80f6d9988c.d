@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1b-d6389e80f6d9988c.d: crates/bench/src/bin/fig1b.rs
+
+/root/repo/target/debug/deps/fig1b-d6389e80f6d9988c: crates/bench/src/bin/fig1b.rs
+
+crates/bench/src/bin/fig1b.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1b-fd0b8e93e57a8e6d.d: /root/repo/clippy.toml crates/bench/src/bin/fig1b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1b-fd0b8e93e57a8e6d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig1b.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig1b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

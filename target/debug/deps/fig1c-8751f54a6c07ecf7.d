@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1c-8751f54a6c07ecf7.d: /root/repo/clippy.toml crates/bench/src/bin/fig1c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1c-8751f54a6c07ecf7.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig1c.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig1c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1c-ebf2ccbe98eef33b.d: crates/bench/src/bin/fig1c.rs
+
+/root/repo/target/debug/deps/fig1c-ebf2ccbe98eef33b: crates/bench/src/bin/fig1c.rs
+
+crates/bench/src/bin/fig1c.rs:

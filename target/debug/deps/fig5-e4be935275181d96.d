@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e4be935275181d96.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e4be935275181d96: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-107fcae167a8cbe4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-107fcae167a8cbe4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

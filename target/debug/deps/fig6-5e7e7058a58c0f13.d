@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-5e7e7058a58c0f13.d: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-5e7e7058a58c0f13.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-0514a1a47a8f0d3b.d: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-0514a1a47a8f0d3b.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

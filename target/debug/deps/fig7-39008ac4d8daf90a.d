@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-39008ac4d8daf90a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-39008ac4d8daf90a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

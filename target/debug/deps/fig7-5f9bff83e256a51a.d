@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-5f9bff83e256a51a.d: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-5f9bff83e256a51a.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

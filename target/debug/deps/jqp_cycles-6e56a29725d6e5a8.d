@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jqp_cycles-6e56a29725d6e5a8.d: /root/repo/clippy.toml crates/bench/src/bin/jqp_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjqp_cycles-6e56a29725d6e5a8.rmeta: /root/repo/clippy.toml crates/bench/src/bin/jqp_cycles.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/jqp_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jqp_cycles-ede5454fb91eff51.d: crates/bench/src/bin/jqp_cycles.rs
+
+/root/repo/target/debug/deps/jqp_cycles-ede5454fb91eff51: crates/bench/src/bin/jqp_cycles.rs
+
+crates/bench/src/bin/jqp_cycles.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lint_golden-19180c220e529894.d: /root/repo/clippy.toml tests/lint_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_golden-19180c220e529894.rmeta: /root/repo/clippy.toml tests/lint_golden.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/lint_golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

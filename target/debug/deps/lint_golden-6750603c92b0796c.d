@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_golden-6750603c92b0796c.d: tests/lint_golden.rs
+
+/root/repo/target/debug/deps/lint_golden-6750603c92b0796c: tests/lint_golden.rs
+
+tests/lint_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netlist_end_to_end-580acb2b5afa2bd9.d: /root/repo/clippy.toml tests/netlist_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlist_end_to_end-580acb2b5afa2bd9.rmeta: /root/repo/clippy.toml tests/netlist_end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/netlist_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

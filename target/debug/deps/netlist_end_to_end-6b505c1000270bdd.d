@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_end_to_end-6b505c1000270bdd.d: tests/netlist_end_to_end.rs
+
+/root/repo/target/debug/deps/netlist_end_to_end-6b505c1000270bdd: tests/netlist_end_to_end.rs
+
+tests/netlist_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2a93b1e81462d4d5.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2a93b1e81462d4d5: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-45cbbc0295b9b4af.d: /root/repo/clippy.toml crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-45cbbc0295b9b4af.rmeta: /root/repo/clippy.toml crates/linalg/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

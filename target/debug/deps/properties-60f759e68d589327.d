@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60f759e68d589327.d: crates/quad/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60f759e68d589327: crates/quad/tests/properties.rs
+
+crates/quad/tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-f3b3adca0a58bcb8.d: /root/repo/clippy.toml crates/quad/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f3b3adca0a58bcb8.rmeta: /root/repo/clippy.toml crates/quad/tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/quad/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptests-3e9bb60f70389372.d: /root/repo/clippy.toml tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3e9bb60f70389372.rmeta: /root/repo/clippy.toml tests/proptests.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

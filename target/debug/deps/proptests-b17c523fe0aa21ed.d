@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b17c523fe0aa21ed.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b17c523fe0aa21ed: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rates-fc101fdffee1a677.d: /root/repo/clippy.toml crates/bench/benches/rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/librates-fc101fdffee1a677.rmeta: /root/repo/clippy.toml crates/bench/benches/rates.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

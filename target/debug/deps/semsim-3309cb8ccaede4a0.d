@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/semsim-3309cb8ccaede4a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemsim-3309cb8ccaede4a0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsemsim-3309cb8ccaede4a0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-86ebee80a70cbbeb.d: src/main.rs
+
+/root/repo/target/debug/deps/semsim-86ebee80a70cbbeb: src/main.rs
+
+src/main.rs:

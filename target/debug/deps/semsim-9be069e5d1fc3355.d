@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semsim-9be069e5d1fc3355.d: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim-9be069e5d1fc3355.rmeta: /root/repo/clippy.toml src/main.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-be2f84947f1c57f8.d: src/main.rs
+
+/root/repo/target/debug/deps/semsim-be2f84947f1c57f8: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-c4395860bb6f1589.d: src/lib.rs
+
+/root/repo/target/debug/deps/semsim-c4395860bb6f1589: src/lib.rs
+
+src/lib.rs:

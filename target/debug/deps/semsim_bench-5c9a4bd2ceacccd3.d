@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semsim_bench-5c9a4bd2ceacccd3.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsemsim_bench-5c9a4bd2ceacccd3.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsemsim_bench-5c9a4bd2ceacccd3.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/devices.rs:
+crates/bench/src/features.rs:
+crates/bench/src/timing.rs:

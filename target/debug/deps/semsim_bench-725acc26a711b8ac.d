@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semsim_bench-725acc26a711b8ac.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_bench-725acc26a711b8ac.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/devices.rs:
+crates/bench/src/features.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

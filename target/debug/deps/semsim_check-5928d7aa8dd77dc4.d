@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semsim_check-5928d7aa8dd77dc4.d: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/debug/deps/libsemsim_check-5928d7aa8dd77dc4.rlib: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/debug/deps/libsemsim_check-5928d7aa8dd77dc4.rmeta: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:

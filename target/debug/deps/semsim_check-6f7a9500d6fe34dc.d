@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/semsim_check-6f7a9500d6fe34dc.d: /root/repo/clippy.toml crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_check-6f7a9500d6fe34dc.rmeta: /root/repo/clippy.toml crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

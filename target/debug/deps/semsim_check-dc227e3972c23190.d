@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/semsim_check-dc227e3972c23190.d: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/debug/deps/semsim_check-dc227e3972c23190: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/semsim_core-aa11a9781e0cec4b.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/circuit.rs crates/core/src/constants.rs crates/core/src/cotunnel.rs crates/core/src/energy.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/fenwick.rs crates/core/src/master.rs crates/core/src/rates.rs crates/core/src/rng.rs crates/core/src/solver/mod.rs crates/core/src/solver/adaptive.rs crates/core/src/solver/nonadaptive.rs crates/core/src/superconduct.rs crates/core/src/trace.rs crates/core/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_core-aa11a9781e0cec4b.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/circuit.rs crates/core/src/constants.rs crates/core/src/cotunnel.rs crates/core/src/energy.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/fenwick.rs crates/core/src/master.rs crates/core/src/rates.rs crates/core/src/rng.rs crates/core/src/solver/mod.rs crates/core/src/solver/adaptive.rs crates/core/src/solver/nonadaptive.rs crates/core/src/superconduct.rs crates/core/src/trace.rs crates/core/src/error.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/circuit.rs:
+crates/core/src/constants.rs:
+crates/core/src/cotunnel.rs:
+crates/core/src/energy.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/fenwick.rs:
+crates/core/src/master.rs:
+crates/core/src/rates.rs:
+crates/core/src/rng.rs:
+crates/core/src/solver/mod.rs:
+crates/core/src/solver/adaptive.rs:
+crates/core/src/solver/nonadaptive.rs:
+crates/core/src/superconduct.rs:
+crates/core/src/trace.rs:
+crates/core/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/semsim_linalg-1b07b7c1ac793425.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_linalg-1b07b7c1ac793425.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semsim_linalg-53c920a8f2907018.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libsemsim_linalg-53c920a8f2907018.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libsemsim_linalg-53c920a8f2907018.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vector.rs:

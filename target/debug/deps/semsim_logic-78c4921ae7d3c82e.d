@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/semsim_logic-78c4921ae7d3c82e.d: /root/repo/clippy.toml crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_logic-78c4921ae7d3c82e.rmeta: /root/repo/clippy.toml crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/logic/src/lib.rs:
+crates/logic/src/benchmarks.rs:
+crates/logic/src/delay.rs:
+crates/logic/src/elaborate.rs:
+crates/logic/src/error.rs:
+crates/logic/src/library.rs:
+crates/logic/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/semsim_netlist-2779ed1aa3733cf6.d: /root/repo/clippy.toml crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_netlist-2779ed1aa3733cf6.rmeta: /root/repo/clippy.toml crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/netlist/src/lib.rs:
+crates/netlist/src/circuit_file.rs:
+crates/netlist/src/compile.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/logic_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/semsim_netlist-bd53059db880e904.d: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/debug/deps/libsemsim_netlist-bd53059db880e904.rlib: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/debug/deps/libsemsim_netlist-bd53059db880e904.rmeta: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/circuit_file.rs:
+crates/netlist/src/compile.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/logic_file.rs:

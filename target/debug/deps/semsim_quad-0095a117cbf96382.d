@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semsim_quad-0095a117cbf96382.d: /root/repo/clippy.toml crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_quad-0095a117cbf96382.rmeta: /root/repo/clippy.toml crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

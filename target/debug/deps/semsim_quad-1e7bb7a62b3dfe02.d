@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_quad-1e7bb7a62b3dfe02.d: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/debug/deps/semsim_quad-1e7bb7a62b3dfe02: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semsim_quad-34f42ee2d27a9be2.d: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/debug/deps/libsemsim_quad-34f42ee2d27a9be2.rlib: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/debug/deps/libsemsim_quad-34f42ee2d27a9be2.rmeta: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semsim_quad-be4ccf00016d1655.d: /root/repo/clippy.toml crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_quad-be4ccf00016d1655.rmeta: /root/repo/clippy.toml crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

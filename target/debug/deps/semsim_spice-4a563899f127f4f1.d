@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semsim_spice-4a563899f127f4f1.d: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+/root/repo/target/debug/deps/libsemsim_spice-4a563899f127f4f1.rlib: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+/root/repo/target/debug/deps/libsemsim_spice-4a563899f127f4f1.rmeta: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/logic_map.rs:
+crates/spice/src/nodal.rs:
+crates/spice/src/error.rs:
+crates/spice/src/model.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/semsim_spice-82ab7b773f24662a.d: /root/repo/clippy.toml crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemsim_spice-82ab7b773f24662a.rmeta: /root/repo/clippy.toml crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/spice/src/lib.rs:
+crates/spice/src/logic_map.rs:
+crates/spice/src/nodal.rs:
+crates/spice/src/error.rs:
+crates/spice/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/set_device-569068b9cd85df9e.d: tests/set_device.rs
+
+/root/repo/target/debug/deps/set_device-569068b9cd85df9e: tests/set_device.rs
+
+tests/set_device.rs:

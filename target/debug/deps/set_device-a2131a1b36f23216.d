@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/set_device-a2131a1b36f23216.d: /root/repo/clippy.toml tests/set_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libset_device-a2131a1b36f23216.rmeta: /root/repo/clippy.toml tests/set_device.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/set_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/solvers-98325c74ff974c8d.d: /root/repo/clippy.toml crates/bench/benches/solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolvers-98325c74ff974c8d.rmeta: /root/repo/clippy.toml crates/bench/benches/solvers.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

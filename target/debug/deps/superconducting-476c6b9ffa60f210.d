@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/superconducting-476c6b9ffa60f210.d: /root/repo/clippy.toml tests/superconducting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperconducting-476c6b9ffa60f210.rmeta: /root/repo/clippy.toml tests/superconducting.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/superconducting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superconducting-cd4d1c18a892c533.d: tests/superconducting.rs
+
+/root/repo/target/debug/deps/superconducting-cd4d1c18a892c533: tests/superconducting.rs
+
+tests/superconducting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__dbg-68df90840215dfdd.d: examples/__dbg.rs
+
+/root/repo/target/debug/examples/__dbg-68df90840215dfdd: examples/__dbg.rs
+
+examples/__dbg.rs:

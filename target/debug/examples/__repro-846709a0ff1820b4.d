@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__repro-846709a0ff1820b4.d: examples/__repro.rs
+
+/root/repo/target/debug/examples/__repro-846709a0ff1820b4: examples/__repro.rs
+
+examples/__repro.rs:

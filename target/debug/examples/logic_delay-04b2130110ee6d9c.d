@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/logic_delay-04b2130110ee6d9c.d: /root/repo/clippy.toml examples/logic_delay.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblogic_delay-04b2130110ee6d9c.rmeta: /root/repo/clippy.toml examples/logic_delay.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/logic_delay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logic_delay-c53269e4d3fe68c9.d: examples/logic_delay.rs
+
+/root/repo/target/debug/examples/logic_delay-c53269e4d3fe68c9: examples/logic_delay.rs
+
+examples/logic_delay.rs:

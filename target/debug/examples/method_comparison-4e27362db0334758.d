@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/method_comparison-4e27362db0334758.d: /root/repo/clippy.toml examples/method_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmethod_comparison-4e27362db0334758.rmeta: /root/repo/clippy.toml examples/method_comparison.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/method_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

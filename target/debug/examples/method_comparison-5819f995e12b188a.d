@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_comparison-5819f995e12b188a.d: examples/method_comparison.rs
+
+/root/repo/target/debug/examples/method_comparison-5819f995e12b188a: examples/method_comparison.rs
+
+examples/method_comparison.rs:

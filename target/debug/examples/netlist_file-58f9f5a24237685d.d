@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/netlist_file-58f9f5a24237685d.d: /root/repo/clippy.toml examples/netlist_file.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetlist_file-58f9f5a24237685d.rmeta: /root/repo/clippy.toml examples/netlist_file.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/netlist_file.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

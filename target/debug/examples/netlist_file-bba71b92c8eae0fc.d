@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_file-bba71b92c8eae0fc.d: examples/netlist_file.rs
+
+/root/repo/target/debug/examples/netlist_file-bba71b92c8eae0fc: examples/netlist_file.rs
+
+examples/netlist_file.rs:

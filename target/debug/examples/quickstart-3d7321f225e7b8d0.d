@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-3d7321f225e7b8d0.d: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-3d7321f225e7b8d0.rmeta: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

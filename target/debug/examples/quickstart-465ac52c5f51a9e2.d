@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-465ac52c5f51a9e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-465ac52c5f51a9e2: examples/quickstart.rs
+
+examples/quickstart.rs:

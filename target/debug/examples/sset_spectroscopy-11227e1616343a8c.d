@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/sset_spectroscopy-11227e1616343a8c.d: /root/repo/clippy.toml examples/sset_spectroscopy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsset_spectroscopy-11227e1616343a8c.rmeta: /root/repo/clippy.toml examples/sset_spectroscopy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/sset_spectroscopy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

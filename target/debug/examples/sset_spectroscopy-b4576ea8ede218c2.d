@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sset_spectroscopy-b4576ea8ede218c2.d: examples/sset_spectroscopy.rs
+
+/root/repo/target/debug/examples/sset_spectroscopy-b4576ea8ede218c2: examples/sset_spectroscopy.rs
+
+examples/sset_spectroscopy.rs:

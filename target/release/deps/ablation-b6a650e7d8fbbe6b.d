@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b6a650e7d8fbbe6b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b6a650e7d8fbbe6b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adaptive_locality-285925f77fef3881.d: crates/bench/src/bin/adaptive_locality.rs
+
+/root/repo/target/release/deps/adaptive_locality-285925f77fef3881: crates/bench/src/bin/adaptive_locality.rs
+
+crates/bench/src/bin/adaptive_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cotunnel_check-e13c80cc82fb7dbf.d: crates/bench/src/bin/cotunnel_check.rs
+
+/root/repo/target/release/deps/cotunnel_check-e13c80cc82fb7dbf: crates/bench/src/bin/cotunnel_check.rs
+
+crates/bench/src/bin/cotunnel_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1b-405856de08ef0762.d: crates/bench/src/bin/fig1b.rs
+
+/root/repo/target/release/deps/fig1b-405856de08ef0762: crates/bench/src/bin/fig1b.rs
+
+crates/bench/src/bin/fig1b.rs:

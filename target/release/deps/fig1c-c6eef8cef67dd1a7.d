@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1c-c6eef8cef67dd1a7.d: crates/bench/src/bin/fig1c.rs
+
+/root/repo/target/release/deps/fig1c-c6eef8cef67dd1a7: crates/bench/src/bin/fig1c.rs
+
+crates/bench/src/bin/fig1c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f802b9e8190ea1ae.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f802b9e8190ea1ae: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-4ba74ad331f4561c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-4ba74ad331f4561c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

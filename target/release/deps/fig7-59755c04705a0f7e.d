@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-59755c04705a0f7e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-59755c04705a0f7e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

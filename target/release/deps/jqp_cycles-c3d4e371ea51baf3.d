@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/jqp_cycles-c3d4e371ea51baf3.d: crates/bench/src/bin/jqp_cycles.rs
+
+/root/repo/target/release/deps/jqp_cycles-c3d4e371ea51baf3: crates/bench/src/bin/jqp_cycles.rs
+
+crates/bench/src/bin/jqp_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/semsim-57810da068cfa036.d: src/main.rs
+
+/root/repo/target/release/deps/semsim-57810da068cfa036: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/semsim-6840c3260f9cc8b9.d: src/lib.rs
+
+/root/repo/target/release/deps/libsemsim-6840c3260f9cc8b9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsemsim-6840c3260f9cc8b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/semsim_bench-4d2d18eafffabb01.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libsemsim_bench-4d2d18eafffabb01.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libsemsim_bench-4d2d18eafffabb01.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/devices.rs:
+crates/bench/src/features.rs:
+crates/bench/src/timing.rs:

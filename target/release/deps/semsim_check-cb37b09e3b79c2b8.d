@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/semsim_check-cb37b09e3b79c2b8.d: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/release/deps/libsemsim_check-cb37b09e3b79c2b8.rlib: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/release/deps/libsemsim_check-cb37b09e3b79c2b8.rmeta: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:

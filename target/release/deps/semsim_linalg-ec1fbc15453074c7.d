@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semsim_linalg-ec1fbc15453074c7.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libsemsim_linalg-ec1fbc15453074c7.rlib: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libsemsim_linalg-ec1fbc15453074c7.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vector.rs:

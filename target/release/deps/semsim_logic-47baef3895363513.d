@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/semsim_logic-47baef3895363513.d: crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs
+
+/root/repo/target/release/deps/libsemsim_logic-47baef3895363513.rlib: crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs
+
+/root/repo/target/release/deps/libsemsim_logic-47baef3895363513.rmeta: crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/benchmarks.rs:
+crates/logic/src/delay.rs:
+crates/logic/src/elaborate.rs:
+crates/logic/src/error.rs:
+crates/logic/src/library.rs:
+crates/logic/src/params.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/semsim_netlist-db689f94d6900238.d: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/release/deps/libsemsim_netlist-db689f94d6900238.rlib: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/release/deps/libsemsim_netlist-db689f94d6900238.rmeta: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/circuit_file.rs:
+crates/netlist/src/compile.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/logic_file.rs:

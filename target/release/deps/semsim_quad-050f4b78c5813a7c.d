@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/semsim_quad-050f4b78c5813a7c.d: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/release/deps/libsemsim_quad-050f4b78c5813a7c.rlib: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/release/deps/libsemsim_quad-050f4b78c5813a7c.rmeta: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:

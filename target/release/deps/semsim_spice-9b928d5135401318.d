@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/semsim_spice-9b928d5135401318.d: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+/root/repo/target/release/deps/libsemsim_spice-9b928d5135401318.rlib: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+/root/repo/target/release/deps/libsemsim_spice-9b928d5135401318.rmeta: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/logic_map.rs:
+crates/spice/src/nodal.rs:
+crates/spice/src/error.rs:
+crates/spice/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/netlist_file-cac3eaf7dd9922a8.d: examples/netlist_file.rs
+
+/root/repo/target/release/examples/netlist_file-cac3eaf7dd9922a8: examples/netlist_file.rs
+
+examples/netlist_file.rs:

@@ -22,7 +22,9 @@ fn adaptive_reproduces_event_rate_on_logic_benchmark() {
     let logic = synthesize(118, 8, 42); // ≈ 74LS153-sized
     let elab = elaborate(&logic, &params).unwrap();
     let run = |spec: SolverSpec| {
-        let cfg = SimConfig::new(params.temperature).with_seed(3).with_solver(spec);
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(3)
+            .with_solver(spec);
         let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
         for name in &logic.inputs {
             let lead = elab.input_lead(name).unwrap();
@@ -47,7 +49,9 @@ fn tighter_threshold_is_more_accurate() {
     let logic = synthesize(118, 8, 42);
     let elab = elaborate(&logic, &params).unwrap();
     let run = |spec: SolverSpec| {
-        let cfg = SimConfig::new(params.temperature).with_seed(3).with_solver(spec);
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(3)
+            .with_solver(spec);
         let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
         for name in &logic.inputs {
             let lead = elab.input_lead(name).unwrap();
@@ -60,7 +64,10 @@ fn tighter_threshold_is_more_accurate() {
     let w_tight = run(adaptive_spec(0.005));
     let w_mid = run(adaptive_spec(0.05));
     let w_loose = run(adaptive_spec(0.5));
-    assert!(w_tight >= w_mid && w_mid >= w_loose, "{w_tight} {w_mid} {w_loose}");
+    assert!(
+        w_tight >= w_mid && w_mid >= w_loose,
+        "{w_tight} {w_mid} {w_loose}"
+    );
 }
 
 #[test]
@@ -74,16 +81,24 @@ fn delay_measurement_agrees_between_solvers() {
     let output = semsim::logic::Benchmark::Decoder2To10.delay_output();
 
     let delay = |spec: SolverSpec, seed: u64| {
-        let cfg = SimConfig::new(params.temperature).with_seed(seed).with_solver(spec);
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(seed)
+            .with_solver(spec);
         measure_delay(&elab, &logic, &cfg, output, 40.0, 100.0)
             .expect("transition observed")
             .delay
     };
     let seeds = [101u64, 102, 103];
-    let d_ref: f64 =
-        seeds.iter().map(|&s| delay(SolverSpec::NonAdaptive, s)).sum::<f64>() / seeds.len() as f64;
-    let d_adp: f64 =
-        seeds.iter().map(|&s| delay(adaptive_spec(0.05), s)).sum::<f64>() / seeds.len() as f64;
+    let d_ref: f64 = seeds
+        .iter()
+        .map(|&s| delay(SolverSpec::NonAdaptive, s))
+        .sum::<f64>()
+        / seeds.len() as f64;
+    let d_adp: f64 = seeds
+        .iter()
+        .map(|&s| delay(adaptive_spec(0.05), s))
+        .sum::<f64>()
+        / seeds.len() as f64;
     let err = (d_adp - d_ref).abs() / d_ref;
     assert!(err < 0.25, "delay error {err:.3} ({d_adp} vs {d_ref})");
 }
@@ -96,7 +111,9 @@ fn zero_threshold_event_stream_is_statistically_identical() {
     let logic = synthesize(24, 4, 7);
     let elab = elaborate(&logic, &params).unwrap();
     let run = |spec: SolverSpec| {
-        let cfg = SimConfig::new(params.temperature).with_seed(1).with_solver(spec);
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(1)
+            .with_solver(spec);
         let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
         for name in &logic.inputs {
             let lead = elab.input_lead(name).unwrap();

@@ -1,0 +1,166 @@
+//! Golden-file tests for the static netlist checks: one malformed
+//! netlist per diagnostic code under `tests/fixtures/lint/`, each
+//! asserting the expected code, severity, and line span.
+
+use semsim::check::{DiagCode, Diagnostics, Severity};
+use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
+
+fn fixture(name: &str) -> (String, Diagnostics) {
+    let path = format!("{}/tests/fixtures/lint/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let diags = if name.ends_with(".logic") {
+        lint_logic(&RawLogicFile::parse(&source).expect("fixture must parse"))
+    } else {
+        lint_circuit(&CircuitFile::parse(&source).expect("fixture must parse"))
+    };
+    (source, diags)
+}
+
+/// Asserts that the fixture reports `code` at `line` with `severity`,
+/// and that the rendered output carries the `SCnnn` tag and the line.
+fn assert_diag(name: &str, code: DiagCode, severity: Severity, line: usize) {
+    let (source, diags) = fixture(name);
+    let d = diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("{name}: no {} finding in {diags:?}", code.code()));
+    assert_eq!(d.severity, severity, "{name}: severity of {}", code.code());
+    assert_eq!(d.span.line, line, "{name}: line of {}", code.code());
+    let rendered = diags.render(name, Some(&source));
+    let tag = match severity {
+        Severity::Error => format!("error[{}]", code.code()),
+        Severity::Warning => format!("warning[{}]", code.code()),
+    };
+    assert!(
+        rendered.contains(&tag),
+        "{name}: rendered output lacks {tag}:\n{rendered}"
+    );
+    assert!(
+        rendered.contains(&format!("{name}:{line}")),
+        "{name}: rendered output lacks the {line} span:\n{rendered}"
+    );
+}
+
+#[test]
+fn sc001_floating_island() {
+    assert_diag(
+        "sc001_floating_island.cir",
+        DiagCode::FloatingIsland,
+        Severity::Error,
+        3,
+    );
+}
+
+#[test]
+fn sc002_singular_cmatrix() {
+    assert_diag(
+        "sc002_singular_cmatrix.cir",
+        DiagCode::SingularCapacitanceMatrix,
+        Severity::Error,
+        2,
+    );
+}
+
+#[test]
+fn sc003_ill_conditioned() {
+    assert_diag(
+        "sc003_ill_conditioned.cir",
+        DiagCode::IllConditionedCMatrix,
+        Severity::Warning,
+        2,
+    );
+}
+
+#[test]
+fn sc004_overflowed_parameter() {
+    assert_diag(
+        "sc004_overflowed_parameter.cir",
+        DiagCode::NonPositiveParameter,
+        Severity::Error,
+        1,
+    );
+}
+
+#[test]
+fn sc005_unreachable_island() {
+    assert_diag(
+        "sc005_unreachable_island.cir",
+        DiagCode::UnreachableNode,
+        Severity::Warning,
+        3,
+    );
+}
+
+#[test]
+fn sc006_combinational_loop() {
+    assert_diag(
+        "sc006_combinational_loop.logic",
+        DiagCode::CombinationalLoop,
+        Severity::Error,
+        3,
+    );
+}
+
+#[test]
+fn sc007_undriven_input() {
+    assert_diag(
+        "sc007_undriven_input.logic",
+        DiagCode::UndrivenInput,
+        Severity::Error,
+        3,
+    );
+}
+
+#[test]
+fn sc007_unused_output() {
+    assert_diag(
+        "sc007_unused_output.logic",
+        DiagCode::UnusedOutput,
+        Severity::Warning,
+        5,
+    );
+}
+
+#[test]
+fn sc008_symm_without_source() {
+    assert_diag(
+        "sc008_symm_without_source.cir",
+        DiagCode::AsymmetricSymmJunction,
+        Severity::Error,
+        4,
+    );
+}
+
+#[test]
+fn sc009_temp_above_tc() {
+    assert_diag(
+        "sc009_temp_above_tc.cir",
+        DiagCode::SuperconductingGapMismatch,
+        Severity::Error,
+        7,
+    );
+}
+
+/// The example netlists shipped with the crate must lint clean — they
+/// are what `semsim lint` is demonstrated on in the README.
+#[test]
+fn shipped_examples_are_clean() {
+    let dir = format!("{}/examples/netlists", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/netlists exists") {
+        let path = entry.expect("readable dir entry").path();
+        let name = path.display().to_string();
+        let source = std::fs::read_to_string(&path).expect("readable example");
+        let diags = if name.ends_with(".logic") {
+            lint_logic(&RawLogicFile::parse(&source).expect("example parses"))
+        } else {
+            lint_circuit(&CircuitFile::parse(&source).expect("example parses"))
+        };
+        assert!(diags.is_empty(), "{name} is not clean: {diags:?}");
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected at least 3 example netlists, found {checked}"
+    );
+}

@@ -47,7 +47,10 @@ fn paper_example_file_runs_end_to_end() {
 fn adaptive_directive_matches_nonadaptive_result() {
     let adaptive_file = format!("{PAPER_FILE}adaptive 0.05 1000\nseed 2\n");
     let reference = CircuitFile::parse(PAPER_FILE).unwrap().execute().unwrap();
-    let adaptive = CircuitFile::parse(&adaptive_file).unwrap().execute().unwrap();
+    let adaptive = CircuitFile::parse(&adaptive_file)
+        .unwrap()
+        .execute()
+        .unwrap();
     for (a, b) in reference.iter().zip(&adaptive) {
         let scale = a.current.abs().max(1e-12);
         assert!(

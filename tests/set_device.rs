@@ -59,7 +59,10 @@ fn gate_degeneracy_lifts_blockade() {
     let half = E_CHARGE / (2.0 * 3e-18); // e/2Cg ≈ 26.7 mV
     let blocked = mc_current(&c, j1, 10e-3, 0.0, 0.05);
     let open = mc_current(&c, j1, 10e-3, half, 0.05);
-    assert!(open.abs() > 100.0 * blocked.abs().max(1e-16), "{blocked} vs {open}");
+    assert!(
+        open.abs() > 100.0 * blocked.abs().max(1e-16),
+        "{blocked} vs {open}"
+    );
 }
 
 #[test]

@@ -66,7 +66,9 @@ fn superconducting_gap_widens_the_suppressed_region() {
     let sc = current(
         &c,
         j1,
-        SimConfig::new(0.05).with_seed(2).with_superconducting(fig1c_params()),
+        SimConfig::new(0.05)
+            .with_seed(2)
+            .with_superconducting(fig1c_params()),
         &bias,
         20_000,
     );
@@ -107,14 +109,18 @@ fn subgap_transport_is_thermally_activated() {
     let cold = current(
         &c,
         j1,
-        SimConfig::new(0.05).with_seed(7).with_superconducting(params),
+        SimConfig::new(0.05)
+            .with_seed(7)
+            .with_superconducting(params),
         &bias,
         6_000,
     );
     let warm = current(
         &c,
         j1,
-        SimConfig::new(0.52).with_seed(7).with_superconducting(params),
+        SimConfig::new(0.52)
+            .with_seed(7)
+            .with_superconducting(params),
         &bias,
         6_000,
     );
@@ -128,7 +134,9 @@ fn subgap_transport_is_thermally_activated() {
 fn jqp_cycles_appear_in_the_event_log() {
     let (c, j1) = fig5_set();
     let params = SuperconductingParams::new(ev_to_joule(0.22e-3), 1.43).unwrap();
-    let cfg = SimConfig::new(0.52).with_seed(11).with_superconducting(params);
+    let cfg = SimConfig::new(0.52)
+        .with_seed(11)
+        .with_superconducting(params);
     let mut sim = Simulation::new(&c, cfg).unwrap();
     sim.set_lead_voltage(1, 1.37e-3).unwrap();
     sim.set_lead_voltage(3, 4e-3).unwrap();
@@ -140,6 +148,10 @@ fn jqp_cycles_appear_in_the_event_log() {
         log.cooper_pair_fraction() > 0.001,
         "no Cooper-pair transport near the resonance"
     );
-    assert!(log.count_jqp_cycles() > 10, "JQP cycles: {}", log.count_jqp_cycles());
+    assert!(
+        log.count_jqp_cycles() > 10,
+        "JQP cycles: {}",
+        log.count_jqp_cycles()
+    );
     let _ = j1;
 }
