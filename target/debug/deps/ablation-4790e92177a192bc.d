@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4790e92177a192bc.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-4790e92177a192bc.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4e3df8c09d2b4598.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-4e3df8c09d2b4598.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

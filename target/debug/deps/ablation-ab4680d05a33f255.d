@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ab4680d05a33f255.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-ab4680d05a33f255.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

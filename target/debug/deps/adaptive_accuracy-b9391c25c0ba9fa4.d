@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_accuracy-b9391c25c0ba9fa4.d: tests/adaptive_accuracy.rs
+
+/root/repo/target/debug/deps/libadaptive_accuracy-b9391c25c0ba9fa4.rmeta: tests/adaptive_accuracy.rs
+
+tests/adaptive_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_locality-24e2cda2c24027ad.d: crates/bench/src/bin/adaptive_locality.rs
+
+/root/repo/target/debug/deps/libadaptive_locality-24e2cda2c24027ad.rmeta: crates/bench/src/bin/adaptive_locality.rs
+
+crates/bench/src/bin/adaptive_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_locality-32bafccb1c696ef5.d: crates/bench/src/bin/adaptive_locality.rs
+
+/root/repo/target/debug/deps/libadaptive_locality-32bafccb1c696ef5.rmeta: crates/bench/src/bin/adaptive_locality.rs
+
+crates/bench/src/bin/adaptive_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cotunnel_check-2d5b621662c809d5.d: crates/bench/src/bin/cotunnel_check.rs
+
+/root/repo/target/debug/deps/libcotunnel_check-2d5b621662c809d5.rmeta: crates/bench/src/bin/cotunnel_check.rs
+
+crates/bench/src/bin/cotunnel_check.rs:

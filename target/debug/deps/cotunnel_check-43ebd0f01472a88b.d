@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cotunnel_check-43ebd0f01472a88b.d: crates/bench/src/bin/cotunnel_check.rs
+
+/root/repo/target/debug/deps/libcotunnel_check-43ebd0f01472a88b.rmeta: crates/bench/src/bin/cotunnel_check.rs
+
+crates/bench/src/bin/cotunnel_check.rs:

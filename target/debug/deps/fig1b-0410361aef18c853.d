@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1b-0410361aef18c853.d: crates/bench/src/bin/fig1b.rs
+
+/root/repo/target/debug/deps/libfig1b-0410361aef18c853.rmeta: crates/bench/src/bin/fig1b.rs
+
+crates/bench/src/bin/fig1b.rs:

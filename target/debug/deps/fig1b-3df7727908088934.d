@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1b-3df7727908088934.d: crates/bench/src/bin/fig1b.rs
+
+/root/repo/target/debug/deps/libfig1b-3df7727908088934.rmeta: crates/bench/src/bin/fig1b.rs
+
+crates/bench/src/bin/fig1b.rs:

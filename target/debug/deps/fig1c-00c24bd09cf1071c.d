@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1c-00c24bd09cf1071c.d: crates/bench/src/bin/fig1c.rs
+
+/root/repo/target/debug/deps/libfig1c-00c24bd09cf1071c.rmeta: crates/bench/src/bin/fig1c.rs
+
+crates/bench/src/bin/fig1c.rs:

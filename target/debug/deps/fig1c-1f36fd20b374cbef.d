@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1c-1f36fd20b374cbef.d: crates/bench/src/bin/fig1c.rs
+
+/root/repo/target/debug/deps/libfig1c-1f36fd20b374cbef.rmeta: crates/bench/src/bin/fig1c.rs
+
+crates/bench/src/bin/fig1c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-26b90801ca17b782.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-26b90801ca17b782.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5d098ddf748f47e8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-5d098ddf748f47e8.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

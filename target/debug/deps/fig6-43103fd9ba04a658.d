@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-43103fd9ba04a658.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-43103fd9ba04a658.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

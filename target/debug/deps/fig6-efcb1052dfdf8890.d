@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-efcb1052dfdf8890.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-efcb1052dfdf8890.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-443a1ed7e247b686.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-443a1ed7e247b686.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-df803cb035e7bce1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-df803cb035e7bce1.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

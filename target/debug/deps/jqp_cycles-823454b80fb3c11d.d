@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jqp_cycles-823454b80fb3c11d.d: crates/bench/src/bin/jqp_cycles.rs
+
+/root/repo/target/debug/deps/libjqp_cycles-823454b80fb3c11d.rmeta: crates/bench/src/bin/jqp_cycles.rs
+
+crates/bench/src/bin/jqp_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jqp_cycles-d9466a45df5680ab.d: crates/bench/src/bin/jqp_cycles.rs
+
+/root/repo/target/debug/deps/libjqp_cycles-d9466a45df5680ab.rmeta: crates/bench/src/bin/jqp_cycles.rs
+
+crates/bench/src/bin/jqp_cycles.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_golden-4b5b5e70f1498a16.d: tests/lint_golden.rs
+
+/root/repo/target/debug/deps/liblint_golden-4b5b5e70f1498a16.rmeta: tests/lint_golden.rs
+
+tests/lint_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_end_to_end-19b1767f1981a2ed.d: tests/netlist_end_to_end.rs
+
+/root/repo/target/debug/deps/libnetlist_end_to_end-19b1767f1981a2ed.rmeta: tests/netlist_end_to_end.rs
+
+tests/netlist_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-269e6dca5e23eb77.d: crates/quad/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-269e6dca5e23eb77.rmeta: crates/quad/tests/properties.rs
+
+crates/quad/tests/properties.rs:

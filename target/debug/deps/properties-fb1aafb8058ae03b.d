@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fb1aafb8058ae03b.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-fb1aafb8058ae03b.rmeta: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

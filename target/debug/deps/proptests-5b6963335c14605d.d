@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5b6963335c14605d.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-5b6963335c14605d.rmeta: tests/proptests.rs
+
+tests/proptests.rs:

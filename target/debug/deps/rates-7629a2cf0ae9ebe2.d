@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rates-7629a2cf0ae9ebe2.d: crates/bench/benches/rates.rs
+
+/root/repo/target/debug/deps/librates-7629a2cf0ae9ebe2.rmeta: crates/bench/benches/rates.rs
+
+crates/bench/benches/rates.rs:

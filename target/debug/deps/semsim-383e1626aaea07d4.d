@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-383e1626aaea07d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemsim-383e1626aaea07d4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-be18b9a179781ba5.d: src/main.rs
+
+/root/repo/target/debug/deps/libsemsim-be18b9a179781ba5.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-cbdf4b00ec390e32.d: src/main.rs
+
+/root/repo/target/debug/deps/libsemsim-cbdf4b00ec390e32.rmeta: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semsim-f5203b261daf9301.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsemsim-f5203b261daf9301.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_bench-7afe8deafa51ecd8.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsemsim_bench-7afe8deafa51ecd8.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/devices.rs:
+crates/bench/src/features.rs:
+crates/bench/src/timing.rs:

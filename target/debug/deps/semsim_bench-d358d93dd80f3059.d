@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_bench-d358d93dd80f3059.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libsemsim_bench-d358d93dd80f3059.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/devices.rs crates/bench/src/features.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/devices.rs:
+crates/bench/src/features.rs:
+crates/bench/src/timing.rs:

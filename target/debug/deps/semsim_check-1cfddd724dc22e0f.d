@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/semsim_check-1cfddd724dc22e0f.d: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/debug/deps/libsemsim_check-1cfddd724dc22e0f.rmeta: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:

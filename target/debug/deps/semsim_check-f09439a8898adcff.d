@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/semsim_check-f09439a8898adcff.d: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+/root/repo/target/debug/deps/libsemsim_check-f09439a8898adcff.rmeta: crates/check/src/lib.rs crates/check/src/circuit.rs crates/check/src/diag.rs crates/check/src/logic.rs
+
+crates/check/src/lib.rs:
+crates/check/src/circuit.rs:
+crates/check/src/diag.rs:
+crates/check/src/logic.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/semsim_core-1d4c8fc6f5edc755.d: crates/core/src/lib.rs crates/core/src/circuit.rs crates/core/src/constants.rs crates/core/src/cotunnel.rs crates/core/src/energy.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/fenwick.rs crates/core/src/master.rs crates/core/src/rates.rs crates/core/src/rng.rs crates/core/src/solver/mod.rs crates/core/src/solver/adaptive.rs crates/core/src/solver/nonadaptive.rs crates/core/src/superconduct.rs crates/core/src/trace.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libsemsim_core-1d4c8fc6f5edc755.rmeta: crates/core/src/lib.rs crates/core/src/circuit.rs crates/core/src/constants.rs crates/core/src/cotunnel.rs crates/core/src/energy.rs crates/core/src/engine.rs crates/core/src/events.rs crates/core/src/fenwick.rs crates/core/src/master.rs crates/core/src/rates.rs crates/core/src/rng.rs crates/core/src/solver/mod.rs crates/core/src/solver/adaptive.rs crates/core/src/solver/nonadaptive.rs crates/core/src/superconduct.rs crates/core/src/trace.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/circuit.rs:
+crates/core/src/constants.rs:
+crates/core/src/cotunnel.rs:
+crates/core/src/energy.rs:
+crates/core/src/engine.rs:
+crates/core/src/events.rs:
+crates/core/src/fenwick.rs:
+crates/core/src/master.rs:
+crates/core/src/rates.rs:
+crates/core/src/rng.rs:
+crates/core/src/solver/mod.rs:
+crates/core/src/solver/adaptive.rs:
+crates/core/src/solver/nonadaptive.rs:
+crates/core/src/superconduct.rs:
+crates/core/src/trace.rs:
+crates/core/src/error.rs:

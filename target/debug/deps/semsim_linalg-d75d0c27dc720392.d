@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semsim_linalg-d75d0c27dc720392.d: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/libsemsim_linalg-d75d0c27dc720392.rmeta: crates/linalg/src/lib.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/sparse.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/sparse.rs:
+crates/linalg/src/vector.rs:

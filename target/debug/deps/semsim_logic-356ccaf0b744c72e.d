@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/semsim_logic-356ccaf0b744c72e.d: crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs
+
+/root/repo/target/debug/deps/libsemsim_logic-356ccaf0b744c72e.rmeta: crates/logic/src/lib.rs crates/logic/src/benchmarks.rs crates/logic/src/delay.rs crates/logic/src/elaborate.rs crates/logic/src/error.rs crates/logic/src/library.rs crates/logic/src/params.rs
+
+crates/logic/src/lib.rs:
+crates/logic/src/benchmarks.rs:
+crates/logic/src/delay.rs:
+crates/logic/src/elaborate.rs:
+crates/logic/src/error.rs:
+crates/logic/src/library.rs:
+crates/logic/src/params.rs:

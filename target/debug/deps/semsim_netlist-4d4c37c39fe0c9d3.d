@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semsim_netlist-4d4c37c39fe0c9d3.d: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/debug/deps/libsemsim_netlist-4d4c37c39fe0c9d3.rmeta: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/circuit_file.rs:
+crates/netlist/src/compile.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/logic_file.rs:

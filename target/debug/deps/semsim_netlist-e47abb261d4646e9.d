@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/semsim_netlist-e47abb261d4646e9.d: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+/root/repo/target/debug/deps/libsemsim_netlist-e47abb261d4646e9.rmeta: crates/netlist/src/lib.rs crates/netlist/src/circuit_file.rs crates/netlist/src/compile.rs crates/netlist/src/error.rs crates/netlist/src/lint.rs crates/netlist/src/logic_file.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/circuit_file.rs:
+crates/netlist/src/compile.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/logic_file.rs:

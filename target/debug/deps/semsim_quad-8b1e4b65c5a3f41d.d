@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_quad-8b1e4b65c5a3f41d.d: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/debug/deps/libsemsim_quad-8b1e4b65c5a3f41d.rmeta: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:

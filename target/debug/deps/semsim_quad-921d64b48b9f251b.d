@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_quad-921d64b48b9f251b.d: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+/root/repo/target/debug/deps/libsemsim_quad-921d64b48b9f251b.rmeta: crates/quad/src/lib.rs crates/quad/src/bcs.rs crates/quad/src/integrate.rs crates/quad/src/stable.rs crates/quad/src/table.rs
+
+crates/quad/src/lib.rs:
+crates/quad/src/bcs.rs:
+crates/quad/src/integrate.rs:
+crates/quad/src/stable.rs:
+crates/quad/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semsim_spice-22ff21f70470f56c.d: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+/root/repo/target/debug/deps/libsemsim_spice-22ff21f70470f56c.rmeta: crates/spice/src/lib.rs crates/spice/src/logic_map.rs crates/spice/src/nodal.rs crates/spice/src/error.rs crates/spice/src/model.rs
+
+crates/spice/src/lib.rs:
+crates/spice/src/logic_map.rs:
+crates/spice/src/nodal.rs:
+crates/spice/src/error.rs:
+crates/spice/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/set_device-bff9f2dad11c63bc.d: tests/set_device.rs
+
+/root/repo/target/debug/deps/libset_device-bff9f2dad11c63bc.rmeta: tests/set_device.rs
+
+tests/set_device.rs:

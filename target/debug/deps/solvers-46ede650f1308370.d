@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solvers-46ede650f1308370.d: crates/bench/benches/solvers.rs
+
+/root/repo/target/debug/deps/libsolvers-46ede650f1308370.rmeta: crates/bench/benches/solvers.rs
+
+crates/bench/benches/solvers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/superconducting-7ca05943b39b92c4.d: tests/superconducting.rs
+
+/root/repo/target/debug/deps/libsuperconducting-7ca05943b39b92c4.rmeta: tests/superconducting.rs
+
+tests/superconducting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/logic_delay-26f4a2a4f0cbcefc.d: examples/logic_delay.rs
+
+/root/repo/target/debug/examples/liblogic_delay-26f4a2a4f0cbcefc.rmeta: examples/logic_delay.rs
+
+examples/logic_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_comparison-e68d84ec1577ca0b.d: examples/method_comparison.rs
+
+/root/repo/target/debug/examples/libmethod_comparison-e68d84ec1577ca0b.rmeta: examples/method_comparison.rs
+
+examples/method_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netlist_file-ca9c6fe3fdc09c13.d: examples/netlist_file.rs
+
+/root/repo/target/debug/examples/libnetlist_file-ca9c6fe3fdc09c13.rmeta: examples/netlist_file.rs
+
+examples/netlist_file.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28950bb4c65e63c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-28950bb4c65e63c0.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sset_spectroscopy-8707bbebab69e75d.d: examples/sset_spectroscopy.rs
+
+/root/repo/target/debug/examples/libsset_spectroscopy-8707bbebab69e75d.rmeta: examples/sset_spectroscopy.rs
+
+examples/sset_spectroscopy.rs:
