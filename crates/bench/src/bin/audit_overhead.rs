@@ -1,0 +1,81 @@
+//! Measures the wall-clock cost of the periodic drift audit on the
+//! shipped `set_sweep.cir` example: the same trajectory is timed with
+//! auditing off and with auditing on, and the relative slowdown is
+//! printed as `audit-overhead-pct: X.XX` (the line `scripts/ci.sh`
+//! greps to enforce the <5 % overhead budget).
+//!
+//! Arguments: `events` (timed events per run, default 200000),
+//! `interval` (audit period in events, default 1000), `seed` (1),
+//! `netlist` is fixed to `examples/netlists/set_sweep.cir` resolved
+//! against the workspace root.
+
+use std::time::Instant;
+
+use semsim_bench::args::Args;
+use semsim_core::engine::{RunLength, SimConfig, Simulation};
+use semsim_netlist::CircuitFile;
+
+fn netlist_path() -> std::path::PathBuf {
+    // crates/bench/ → workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root");
+    root.join("examples/netlists/set_sweep.cir")
+}
+
+/// Best-of-3 wall-clock seconds for `events` Monte Carlo events.
+fn time_run(
+    make_cfg: impl Fn() -> SimConfig,
+    circuit: &semsim_core::circuit::Circuit,
+    events: u64,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut sim = Simulation::new(circuit, make_cfg()).expect("valid configuration");
+        // Warm-up: reach the steady state before timing.
+        sim.run(RunLength::Events(events / 10))
+            .expect("warm-up runs");
+        let t0 = Instant::now();
+        sim.run(RunLength::Events(events)).expect("timed run");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    let events = args.u64_or("events", 200_000);
+    let interval = args.u64_or("interval", 1_000);
+    let seed = args.u64_or("seed", 1);
+
+    let path = netlist_path();
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let file = CircuitFile::parse(&source).expect("shipped example parses");
+    let compiled = file.compile().expect("shipped example compiles");
+    let cfg = file.sim_config().expect("shipped example configures");
+
+    println!(
+        "# drift-audit overhead on {} ({} junctions, {} timed events, audit every {})",
+        path.display(),
+        compiled.circuit.num_junctions(),
+        events,
+        interval
+    );
+
+    let base_cfg = cfg.clone().with_seed(seed);
+    let audit_cfg = base_cfg.clone().with_audit_interval(interval);
+
+    let t_base = time_run(|| base_cfg.clone(), &compiled.circuit, events);
+    let t_audit = time_run(|| audit_cfg.clone(), &compiled.circuit, events);
+
+    let pct = (t_audit - t_base) / t_base * 100.0;
+    println!(
+        "baseline: {:.3e} s   audited: {:.3e} s   ({:.1} ns/event baseline)",
+        t_base,
+        t_audit,
+        t_base / events as f64 * 1e9
+    );
+    println!("audit-overhead-pct: {pct:.2}");
+}

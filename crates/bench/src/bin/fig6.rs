@@ -127,7 +127,10 @@ fn main() {
             if apply_inputs(&mut sim).is_err() {
                 continue;
             }
-            sim.schedule(stimuli.clone());
+            if let Err(e) = sim.schedule(stimuli.clone()) {
+                eprintln!("{}: bad stimuli: {e}", b.name());
+                continue;
+            }
             let t0 = Instant::now();
             match sim.run(RunLength::Time(window)) {
                 Ok(r) => (r.events.max(1), t0.elapsed().as_secs_f64()),

@@ -80,6 +80,11 @@ pub enum DiagCode {
     /// SC009: superconducting parameters inconsistent with BCS theory
     /// (T ≥ Tc, or Δ(0) far from 1.764·kB·Tc).
     SuperconductingGapMismatch,
+    /// SC010: a degenerate or runaway `sweep` — zero/non-finite step
+    /// (error), a step whose sign points away from the end voltage
+    /// (warning: the compiled sweep auto-corrects the direction), or a
+    /// grid of more than 10⁶ points (error).
+    RunawaySweep,
 }
 
 impl DiagCode {
@@ -95,6 +100,7 @@ impl DiagCode {
             DiagCode::UndrivenInput | DiagCode::UnusedOutput => "SC007",
             DiagCode::AsymmetricSymmJunction => "SC008",
             DiagCode::SuperconductingGapMismatch => "SC009",
+            DiagCode::RunawaySweep => "SC010",
         }
     }
 
@@ -105,7 +111,8 @@ impl DiagCode {
             | DiagCode::SingularCapacitanceMatrix
             | DiagCode::NonPositiveParameter
             | DiagCode::CombinationalLoop
-            | DiagCode::UndrivenInput => Severity::Error,
+            | DiagCode::UndrivenInput
+            | DiagCode::RunawaySweep => Severity::Error,
             DiagCode::IllConditionedCMatrix
             | DiagCode::UnreachableNode
             | DiagCode::UnusedOutput
@@ -292,6 +299,7 @@ mod tests {
         assert_eq!(DiagCode::UndrivenInput.code(), "SC007");
         assert_eq!(DiagCode::UnusedOutput.code(), "SC007");
         assert_eq!(DiagCode::SuperconductingGapMismatch.code(), "SC009");
+        assert_eq!(DiagCode::RunawaySweep.code(), "SC010");
     }
 
     #[test]

@@ -142,6 +142,31 @@ impl CircuitState {
         &self.phi
     }
 
+    /// Rebuilds the maintained q̃ cache from scratch. Incremental q̃
+    /// updates are exact only up to floating-point association order;
+    /// checkpoint/resume rebuilds the cache on *both* sides so their
+    /// subsequent potential refreshes agree bit-for-bit.
+    pub(crate) fn rebuild_charge_cache(&mut self, circuit: &Circuit) {
+        self.q_tilde = self.charge_vector(circuit);
+        self.q_tilde_dirty = false;
+    }
+
+    /// Overwrites the dynamic state from a checkpoint: electron numbers
+    /// and lead voltages are replaced, q̃ is rebuilt from scratch, and
+    /// potentials are left for the caller to recompute.
+    pub(crate) fn restore(
+        &mut self,
+        circuit: &Circuit,
+        electrons: Vec<i64>,
+        lead_voltages: Vec<f64>,
+    ) {
+        debug_assert_eq!(electrons.len(), circuit.num_islands());
+        debug_assert_eq!(lead_voltages.len(), circuit.num_leads());
+        self.electrons = electrons;
+        self.lead_voltages = lead_voltages;
+        self.rebuild_charge_cache(circuit);
+    }
+
     /// Moves `count` electrons from `from` to `to` (island electron
     /// numbers and q̃ only; potentials are the solver's responsibility).
     pub fn apply_transfer(&mut self, circuit: &Circuit, from: NodeId, to: NodeId, count: i64) {

@@ -9,12 +9,19 @@
 //! event with probability proportional to its rate; (3) the event is
 //! applied and observables are recorded.
 
+use crate::checkpoint::{Checkpoint, ProbeSnapshot, SolverSnapshot};
 use crate::circuit::{Circuit, JunctionId, NodeId};
 use crate::constants::{thermal_energy, E_CHARGE};
 use crate::cotunnel::path_rate;
 use crate::energy::{delta_w, CircuitState};
 use crate::events::{enumerate_cotunnel_paths, CotunnelPath, Event, RateLayout, SlotKind};
 use crate::fenwick::FenwickTree;
+use crate::health::{
+    measure_rate_drift, screen_finite, screen_rate, DegradationEvent, FaultStage, HealthMonitor,
+    HealthReport, RunOutcome, Supervisor,
+};
+#[cfg(feature = "fault-inject")]
+use crate::health::{FaultKind, FaultPlan};
 use crate::rng::Rng;
 use crate::solver::{
     AdaptiveSolver, AdaptiveStats, NonAdaptiveSolver, Solver, SolverContext, StateChange,
@@ -75,6 +82,13 @@ pub struct SimConfig {
     /// thermal energy this configuration implies (checked at
     /// [`Simulation::new`]).
     pub qp_table: Option<QpRateTable>,
+    /// Drift-audit period in events (`None` disables auditing).
+    pub audit_interval: Option<u64>,
+    /// Maximum tolerated relative rate drift before an audit degrades
+    /// gracefully (cache flush + threshold tightening).
+    pub drift_tolerance: f64,
+    /// Run supervisor limits (wall clock, event cap, blockade policy).
+    pub supervisor: Supervisor,
 }
 
 impl SimConfig {
@@ -89,6 +103,9 @@ impl SimConfig {
             seed: 0,
             qp_table_range: None,
             qp_table: None,
+            audit_interval: None,
+            drift_tolerance: 0.25,
+            supervisor: Supervisor::default(),
         }
     }
 
@@ -128,6 +145,26 @@ impl SimConfig {
         self.qp_table = Some(table);
         self
     }
+
+    /// Audits cached rates against a ground-truth recompute every
+    /// `events` events (must be ≥ 1; checked at [`Simulation::new`]).
+    pub fn with_audit_interval(mut self, events: u64) -> Self {
+        self.audit_interval = Some(events);
+        self
+    }
+
+    /// Sets the relative rate drift beyond which an audit flushes every
+    /// cache and tightens the adaptive threshold (default 0.25).
+    pub fn with_drift_tolerance(mut self, tolerance: f64) -> Self {
+        self.drift_tolerance = tolerance;
+        self
+    }
+
+    /// Installs run supervisor limits.
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
 }
 
 /// How long to run.
@@ -151,7 +188,7 @@ pub struct Stimulus {
 }
 
 /// Results of one [`Simulation::run`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Simulated time covered by the run (s).
     pub duration: f64,
@@ -165,6 +202,10 @@ pub struct Record {
     pub adaptive_stats: Option<AdaptiveStats>,
     /// Total first-order rate recalculations during the run.
     pub rate_recalcs: u64,
+    /// Why the run stopped (supervisor taxonomy).
+    pub outcome: RunOutcome,
+    /// Graceful-degradation incidents during this run, oldest first.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl Record {
@@ -191,6 +232,19 @@ struct SuperInfo {
     gamma: Vec<f64>,
 }
 
+/// Builds a [`SolverContext`] from a `Simulation`'s fields. A macro
+/// rather than a method so the borrow stays field-precise: the context
+/// borrows only `model` (and copies the `circuit` reference), leaving
+/// `state`, `rates`, and `solver` free for simultaneous `&mut` access.
+macro_rules! solver_ctx {
+    ($sim:expr) => {{
+        let ctx = SolverContext::new($sim.circuit, $sim.kt, &$sim.model, $sim.layout);
+        #[cfg(feature = "fault-inject")]
+        let ctx = ctx.with_poison($sim.pending_poison);
+        ctx
+    }};
+}
+
 /// A running Monte Carlo simulation of one circuit.
 ///
 /// See the crate-level example in [`crate`].
@@ -214,6 +268,14 @@ pub struct Simulation<'c> {
     /// Pending stimuli sorted by time (ascending); consumed front-first.
     stimuli: Vec<Stimulus>,
     next_stimulus: usize,
+    supervisor: Supervisor,
+    health: HealthMonitor,
+    #[cfg(feature = "fault-inject")]
+    faults: FaultPlan,
+    /// Junction whose next computed forward rate is replaced with NaN
+    /// (armed by the fault-injection harness).
+    #[cfg(feature = "fault-inject")]
+    pending_poison: Option<usize>,
 }
 
 impl<'c> Simulation<'c> {
@@ -229,6 +291,26 @@ impl<'c> Simulation<'c> {
                 what: "temperature",
                 value: config.temperature,
             });
+        }
+        if config.audit_interval == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                what: "audit interval",
+                value: 0.0,
+            });
+        }
+        if !(config.drift_tolerance > 0.0) || !config.drift_tolerance.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: "drift tolerance",
+                value: config.drift_tolerance,
+            });
+        }
+        if let Some(budget) = config.supervisor.wall_clock_budget {
+            if !(budget > 0.0) || !budget.is_finite() {
+                return Err(CoreError::InvalidConfig {
+                    what: "wall clock budget",
+                    value: budget,
+                });
+            }
         }
         let kt = thermal_energy(config.temperature);
 
@@ -334,25 +416,27 @@ impl<'c> Simulation<'c> {
             event_log: None,
             stimuli: Vec::new(),
             next_stimulus: 0,
+            supervisor: config.supervisor,
+            health: HealthMonitor::new(config.audit_interval, config.drift_tolerance),
+            #[cfg(feature = "fault-inject")]
+            faults: FaultPlan::new(),
+            #[cfg(feature = "fault-inject")]
+            pending_poison: None,
         };
-        sim.initialize();
+        sim.initialize()?;
         Ok(sim)
     }
 
-    fn initialize(&mut self) {
-        let ctx = SolverContext {
-            circuit: self.circuit,
-            kt: self.kt,
-            model: &self.model,
-            layout: self.layout,
-        };
+    fn initialize(&mut self) -> Result<(), CoreError> {
+        let ctx = solver_ctx!(self);
         self.solver
-            .initialize(&ctx, &mut self.state, &mut self.rates);
-        self.refresh_secondary_rates();
+            .initialize(&ctx, &mut self.state, &mut self.rates)?;
+        self.refresh_secondary_rates()?;
         debug_assert!(
             self.rates.is_consistent(),
             "rate table inconsistent after initialization"
         );
+        Ok(())
     }
 
     /// Simulated time (s).
@@ -378,36 +462,92 @@ impl<'c> Simulation<'c> {
 
     /// Immediately sets `lead` to `voltage`, updating rates through the
     /// solver (counts as an input step for the adaptive algorithm).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownLead`] for an out-of-range lead,
+    /// [`CoreError::InvalidComponent`] for a non-finite voltage.
     pub fn set_lead_voltage(&mut self, lead: usize, voltage: f64) -> Result<(), CoreError> {
         if lead >= self.circuit.num_leads() {
             return Err(CoreError::UnknownLead { lead });
         }
+        if !voltage.is_finite() {
+            return Err(CoreError::InvalidComponent {
+                what: "lead voltage",
+                value: voltage,
+            });
+        }
         let old = self.state.set_lead_voltage(lead, voltage);
         let dv = voltage - old;
         if dv != 0.0 {
-            let ctx = SolverContext {
-                circuit: self.circuit,
-                kt: self.kt,
-                model: &self.model,
-                layout: self.layout,
-            };
+            let ctx = solver_ctx!(self);
             self.solver.apply_change(
                 &ctx,
                 &mut self.state,
                 &mut self.rates,
                 StateChange::LeadStep { lead, dv },
-            );
-            self.refresh_secondary_rates();
+            )?;
+            self.refresh_secondary_rates()?;
         }
         Ok(())
     }
 
-    /// Schedules input steps for subsequent runs. Stimuli are sorted by
-    /// time; times must be ≥ the current simulated time.
-    pub fn schedule(&mut self, mut stimuli: Vec<Stimulus>) {
-        stimuli.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite stimulus times"));
-        self.stimuli = stimuli;
+    /// Schedules input steps for subsequent runs, replacing any pending
+    /// ones. Stimuli are sorted by time (declaration order does not
+    /// matter); duplicates with identical `(time, lead)` are collapsed
+    /// to the last-declared one, counted in
+    /// [`HealthReport::duplicate_stimuli_dropped`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidComponent`] for a non-finite time/voltage or
+    /// a time before the current simulated time;
+    /// [`CoreError::UnknownLead`] for an out-of-range lead. On error
+    /// nothing is scheduled and previously pending stimuli are kept.
+    pub fn schedule(&mut self, mut stimuli: Vec<Stimulus>) -> Result<(), CoreError> {
+        for s in &stimuli {
+            if !s.time.is_finite() {
+                return Err(CoreError::InvalidComponent {
+                    what: "stimulus time",
+                    value: s.time,
+                });
+            }
+            if s.time < self.time {
+                return Err(CoreError::InvalidComponent {
+                    what: "stimulus time before current simulation time",
+                    value: s.time,
+                });
+            }
+            if !s.voltage.is_finite() {
+                return Err(CoreError::InvalidComponent {
+                    what: "stimulus voltage",
+                    value: s.voltage,
+                });
+            }
+            if s.lead >= self.circuit.num_leads() {
+                return Err(CoreError::UnknownLead { lead: s.lead });
+            }
+        }
+        // Stable sort: same-(time, lead) entries keep declaration order,
+        // so the dedup below retains the last-declared value.
+        stimuli.sort_by(|a, b| f64::total_cmp(&a.time, &b.time).then(a.lead.cmp(&b.lead)));
+        let mut dropped = 0u64;
+        let mut deduped: Vec<Stimulus> = Vec::with_capacity(stimuli.len());
+        for s in stimuli {
+            match deduped.last_mut() {
+                Some(last) if last.time.to_bits() == s.time.to_bits() && last.lead == s.lead => {
+                    *last = s;
+                    dropped += 1;
+                }
+                _ => deduped.push(s),
+            }
+        }
+        if dropped > 0 {
+            self.health.note_duplicate_stimuli(dropped);
+        }
+        self.stimuli = deduped;
         self.next_stimulus = 0;
+        Ok(())
     }
 
     /// Attaches a voltage probe to `node`, sampled every `every` events;
@@ -430,44 +570,43 @@ impl<'c> Simulation<'c> {
 
     /// Exact potential (V) of any node right now (lazily refreshing the
     /// adaptive solver's cache if needed).
-    pub fn node_potential(&mut self, node: NodeId) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NumericalFault`] if the refreshed potential is
+    /// non-finite.
+    pub fn node_potential(&mut self, node: NodeId) -> Result<f64, CoreError> {
         if let Some(island) = self.circuit.island_index(node) {
-            let ctx = SolverContext {
-                circuit: self.circuit,
-                kt: self.kt,
-                model: &self.model,
-                layout: self.layout,
-            };
+            let ctx = solver_ctx!(self);
             self.solver
-                .ensure_island_potential(&ctx, &mut self.state, island);
+                .ensure_island_potential(&ctx, &mut self.state, island)?;
         }
-        self.state.potential(self.circuit, node)
+        Ok(self.state.potential(self.circuit, node))
     }
 
     /// Recomputes cotunneling and Cooper-pair rates non-adaptively (the
-    /// paper's "non-adaptive solver" box in Fig. 3).
-    fn refresh_secondary_rates(&mut self) {
+    /// paper's "non-adaptive solver" box in Fig. 3), screening each
+    /// produced rate before it enters the table.
+    fn refresh_secondary_rates(&mut self) -> Result<(), CoreError> {
         if self.cot_paths.is_empty() && self.super_info.is_none() {
-            return;
+            return Ok(());
         }
         // The adaptive solver's cached potentials may be stale for the
         // involved islands; refresh them first.
-        let ctx = SolverContext {
-            circuit: self.circuit,
-            kt: self.kt,
-            model: &self.model,
-            layout: self.layout,
-        };
+        let ctx = solver_ctx!(self);
         for p in 0..self.cot_paths.len() {
             let path = self.cot_paths[p];
             for node in [path.from, path.via, path.to] {
                 if let Some(i) = self.circuit.island_index(node) {
                     self.solver
-                        .ensure_island_potential(&ctx, &mut self.state, i);
+                        .ensure_island_potential(&ctx, &mut self.state, i)?;
                 }
             }
             let g = path_rate(self.circuit, &self.state, &path, self.kt);
-            self.rates.set(self.layout.cotunnel_slot(p), g);
+            self.rates.set(
+                self.layout.cotunnel_slot(p),
+                screen_rate(FaultStage::CotunnelRate, Some(p), g)?,
+            );
         }
         if let Some(info) = &self.super_info {
             for j in self.circuit.junction_ids() {
@@ -475,11 +614,12 @@ impl<'c> Simulation<'c> {
                 for node in [junction.node_a, junction.node_b] {
                     if let Some(i) = self.circuit.island_index(node) {
                         self.solver
-                            .ensure_island_potential(&ctx, &mut self.state, i);
+                            .ensure_island_potential(&ctx, &mut self.state, i)?;
                     }
                 }
                 let ej = info.ej[j.index()];
                 let gamma = info.gamma[j.index()];
+                let jx = Some(j.index());
                 let dw_fw = delta_w(
                     self.circuit,
                     &self.state,
@@ -494,36 +634,48 @@ impl<'c> Simulation<'c> {
                     junction.node_a,
                     2,
                 );
+                screen_finite(FaultStage::FreeEnergy, jx, dw_fw)?;
+                screen_finite(FaultStage::FreeEnergy, jx, dw_bw)?;
                 self.rates.set(
                     self.layout.cooper_slot(j, true),
-                    cooper_pair_rate(dw_fw, ej, gamma),
+                    screen_rate(
+                        FaultStage::CooperPairRate,
+                        jx,
+                        cooper_pair_rate(dw_fw, ej, gamma),
+                    )?,
                 );
                 self.rates.set(
                     self.layout.cooper_slot(j, false),
-                    cooper_pair_rate(dw_bw, ej, gamma),
+                    screen_rate(
+                        FaultStage::CooperPairRate,
+                        jx,
+                        cooper_pair_rate(dw_bw, ej, gamma),
+                    )?,
                 );
             }
         }
+        Ok(())
     }
 
     /// Applies any stimulus scheduled at or before `self.time`.
-    fn apply_due_stimuli(&mut self) {
+    /// Stimulus leads and voltages were validated at [`schedule`]
+    /// (`Simulation::schedule`) time, so failures here are genuine
+    /// numerical faults and propagate.
+    fn apply_due_stimuli(&mut self) -> Result<(), CoreError> {
         while self.next_stimulus < self.stimuli.len()
             && self.stimuli[self.next_stimulus].time <= self.time
         {
             let s = self.stimuli[self.next_stimulus];
             self.next_stimulus += 1;
-            // set_lead_voltage cannot fail here: lead indices were the
-            // caller's responsibility at schedule time; invalid ones are
-            // skipped rather than corrupting the run.
-            let _ = self.set_lead_voltage(s.lead, s.voltage);
-            self.sample_probes(true);
+            self.set_lead_voltage(s.lead, s.voltage)?;
+            self.sample_probes(true)?;
         }
+        Ok(())
     }
 
-    fn sample_probes(&mut self, force: bool) {
+    fn sample_probes(&mut self, force: bool) -> Result<(), CoreError> {
         if self.probes.is_empty() {
-            return;
+            return Ok(());
         }
         let t = self.time;
         let ev = self.total_events;
@@ -531,10 +683,11 @@ impl<'c> Simulation<'c> {
             let due = force || ev.is_multiple_of(self.probes[p].every);
             if due {
                 let node = self.probes[p].node;
-                let v = self.node_potential(node);
+                let v = self.node_potential(node)?;
                 self.probes[p].push(t, v);
             }
         }
+        Ok(())
     }
 
     fn decode_event(&self, slot: usize) -> Event {
@@ -577,7 +730,7 @@ impl<'c> Simulation<'c> {
         self.electron_counts[junction.index()] += sign * electrons;
     }
 
-    fn apply_event(&mut self, event: Event) {
+    fn apply_event(&mut self, event: Event) -> Result<(), CoreError> {
         let (from, to) = event.endpoints();
         let count = event.electron_count();
         #[cfg(debug_assertions)]
@@ -615,19 +768,14 @@ impl<'c> Simulation<'c> {
                 self.count_transfer(junction_b, via, 1.0);
             }
         }
-        let ctx = SolverContext {
-            circuit: self.circuit,
-            kt: self.kt,
-            model: &self.model,
-            layout: self.layout,
-        };
+        let ctx = solver_ctx!(self);
         self.solver.apply_change(
             &ctx,
             &mut self.state,
             &mut self.rates,
             StateChange::Transfer { from, to, count },
-        );
-        self.refresh_secondary_rates();
+        )?;
+        self.refresh_secondary_rates()?;
         debug_assert!(
             self.rates.is_consistent(),
             "rate table inconsistent after {event:?} at t={}",
@@ -637,24 +785,302 @@ impl<'c> Simulation<'c> {
         if let Some(log) = &mut self.event_log {
             log.push(self.time, event);
         }
-        self.sample_probes(false);
+        self.sample_probes(false)?;
+        Ok(())
     }
 
-    /// Runs the Monte Carlo loop for `length`.
+    /// Flushes every cache: clears the whole rate table and rebuilds
+    /// potentials and rates from the electron numbers in canonical
+    /// order. The Fenwick tree is reaccumulated from zero so its
+    /// internal partial sums are a pure function of the current state —
+    /// the invariant checkpoint/resume bit-identity rests on.
+    fn resync_rates(&mut self) -> Result<(), CoreError> {
+        self.rates.clear();
+        self.state.rebuild_charge_cache(self.circuit);
+        let ctx = solver_ctx!(self);
+        self.solver.resync(&ctx, &mut self.state, &mut self.rates)?;
+        self.refresh_secondary_rates()?;
+        debug_assert!(
+            self.rates.is_consistent(),
+            "rate table inconsistent after resync"
+        );
+        Ok(())
+    }
+
+    /// One drift audit: measure cached-vs-exact rate drift; beyond
+    /// tolerance, degrade gracefully (full cache flush + adaptive
+    /// threshold tightening) and log the incident.
+    fn run_drift_audit(&mut self) -> Result<(), CoreError> {
+        let (drift, slot) = {
+            let ctx = solver_ctx!(self);
+            measure_rate_drift(&ctx, &self.state, &self.rates)?
+        };
+        self.health.note_audit(drift);
+        if drift > self.health.drift_tolerance() {
+            self.resync_rates()?;
+            let threshold_after = self.solver.tighten_threshold();
+            self.health.note_degradation(DegradationEvent {
+                event: self.total_events,
+                time: self.time,
+                drift,
+                slot,
+                threshold_after,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fires every scripted fault whose event index has been reached.
+    #[cfg(feature = "fault-inject")]
+    fn trigger_due_faults(&mut self) -> Result<(), CoreError> {
+        for i in 0..self.faults.actions.len() {
+            if self.faults.actions[i].fired || self.faults.actions[i].at_event > self.total_events {
+                continue;
+            }
+            self.faults.actions[i].fired = true;
+            match self.faults.actions[i].kind {
+                FaultKind::PoisonRate { junction } => {
+                    self.pending_poison = Some(junction);
+                }
+                FaultKind::CorruptCache { junction, factor } => {
+                    if let Solver::Adaptive(s) = &mut self.solver {
+                        s.corrupt_cache_entry(junction, factor);
+                    }
+                }
+                FaultKind::FailRefresh { junction } => {
+                    self.pending_poison = Some(junction);
+                    self.resync_rates()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Arms a scripted fault plan (testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Cumulative health summary: audits performed, worst drift,
+    /// degradation incidents, dropped duplicate stimuli.
+    pub fn health_report(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// Serializes the complete dynamic state as a versioned binary
+    /// checkpoint (see [`crate::checkpoint`] for the format). The
+    /// caches are synchronized first, which mutates solver work
+    /// counters identically to what a later [`Simulation::resume`] of
+    /// the snapshot does — so a resumed run and the uninterrupted
+    /// original produce bit-identical [`Record`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical faults detected while synchronizing.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CoreError> {
+        self.resync_rates()?;
+        self.health.reset_audit_clock();
+        Ok(self.capture().encode())
+    }
+
+    fn capture(&self) -> Checkpoint {
+        Checkpoint {
+            time: self.time,
+            events: self.total_events,
+            rng_state: self.rng.state(),
+            islands: self.circuit.num_islands() as u64,
+            leads: self.circuit.num_leads() as u64,
+            junctions: self.circuit.num_junctions() as u64,
+            electrons: self.state.electrons().to_vec(),
+            lead_voltages: self.state.lead_voltages().to_vec(),
+            electron_counts: self.electron_counts.clone(),
+            stimuli: self.stimuli.clone(),
+            next_stimulus: self.next_stimulus as u64,
+            probes: self
+                .probes
+                .iter()
+                .map(|p| ProbeSnapshot {
+                    node: p.node.index() as u64,
+                    every: p.every,
+                    samples: p.samples().to_vec(),
+                })
+                .collect(),
+            solver: match &self.solver {
+                Solver::NonAdaptive(s) => SolverSnapshot::NonAdaptive {
+                    rate_recalcs: s.rate_recalcs(),
+                },
+                Solver::Adaptive(s) => SolverSnapshot::Adaptive {
+                    threshold: s.threshold(),
+                    refresh_interval: s.refresh_interval(),
+                    stats: *s.stats(),
+                },
+            },
+        }
+    }
+
+    /// Restores the dynamic state from a checkpoint produced by
+    /// [`Simulation::checkpoint`] on a simulation of the *same* circuit
+    /// and an equivalent configuration. Probes and pending stimuli are
+    /// replaced by the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CheckpointCorrupt`] for a damaged byte stream,
+    /// [`CoreError::CheckpointMismatch`] when the snapshot does not
+    /// describe this circuit/solver.
+    pub fn resume(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        let cp = Checkpoint::decode(bytes)?;
+        let shape = |what, expected: u64, found: u64| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(CoreError::CheckpointMismatch {
+                    what,
+                    expected,
+                    found,
+                })
+            }
+        };
+        let islands = self.circuit.num_islands() as u64;
+        let leads = self.circuit.num_leads() as u64;
+        let junctions = self.circuit.num_junctions() as u64;
+        shape("islands", islands, cp.islands)?;
+        shape("leads", leads, cp.leads)?;
+        shape("junctions", junctions, cp.junctions)?;
+        if cp.electrons.len() as u64 != islands {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "electron vector length",
+            });
+        }
+        if cp.lead_voltages.len() as u64 != leads {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "lead voltage vector length",
+            });
+        }
+        if cp.electron_counts.len() as u64 != junctions {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "electron count vector length",
+            });
+        }
+        if !cp.time.is_finite() {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "non-finite time",
+            });
+        }
+        match (&self.solver, &cp.solver) {
+            (Solver::NonAdaptive(_), SolverSnapshot::NonAdaptive { .. }) => {}
+            (
+                Solver::Adaptive(s),
+                SolverSnapshot::Adaptive {
+                    refresh_interval, ..
+                },
+            ) => {
+                shape(
+                    "adaptive refresh interval",
+                    s.refresh_interval(),
+                    *refresh_interval,
+                )?;
+            }
+            (mine, theirs) => {
+                let kind = |s: &SolverSnapshot| match s {
+                    SolverSnapshot::NonAdaptive { .. } => 0,
+                    SolverSnapshot::Adaptive { .. } => 1,
+                };
+                let my_kind = match mine {
+                    Solver::NonAdaptive(_) => 0,
+                    Solver::Adaptive(_) => 1,
+                };
+                return Err(CoreError::CheckpointMismatch {
+                    what: "solver kind",
+                    expected: my_kind,
+                    found: kind(theirs),
+                });
+            }
+        }
+        if cp.next_stimulus as usize > cp.stimuli.len() {
+            return Err(CoreError::CheckpointCorrupt {
+                what: "stimulus cursor",
+            });
+        }
+        for s in &cp.stimuli {
+            if !s.time.is_finite() || !s.voltage.is_finite() || s.lead as u64 >= leads {
+                return Err(CoreError::CheckpointCorrupt { what: "stimulus" });
+            }
+        }
+        let num_nodes = (islands + leads) as usize;
+        for p in &cp.probes {
+            if p.node as usize >= num_nodes {
+                return Err(CoreError::CheckpointCorrupt { what: "probe node" });
+            }
+        }
+
+        self.state
+            .restore(self.circuit, cp.electrons, cp.lead_voltages);
+        self.rng = Rng::from_state(cp.rng_state);
+        self.time = cp.time;
+        self.total_events = cp.events;
+        self.electron_counts = cp.electron_counts;
+        self.stimuli = cp.stimuli;
+        self.next_stimulus = cp.next_stimulus as usize;
+        self.probes = cp
+            .probes
+            .into_iter()
+            .map(|p| {
+                let mut probe = Probe::new(NodeId(p.node as usize), p.every);
+                probe.samples = p.samples;
+                probe
+            })
+            .collect();
+        self.resync_rates()?;
+        // Overwrite the solver counters *after* the resync: the
+        // checkpoint side's counters were serialized after its own
+        // resync, so copying them verbatim keeps both sides equal.
+        match (&mut self.solver, cp.solver) {
+            (Solver::NonAdaptive(s), SolverSnapshot::NonAdaptive { rate_recalcs }) => {
+                s.set_rate_recalcs(rate_recalcs);
+            }
+            (
+                Solver::Adaptive(s),
+                SolverSnapshot::Adaptive {
+                    threshold, stats, ..
+                },
+            ) => {
+                s.set_threshold(threshold);
+                s.set_stats(stats);
+            }
+            _ => unreachable!("solver kind validated above"),
+        }
+        self.health.reset_audit_clock();
+        Ok(())
+    }
+
+    /// Runs the Monte Carlo loop for `length`, under the configured
+    /// [`Supervisor`] limits; [`Record::outcome`] states why the run
+    /// stopped.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::BlockadeStall`] if every rate is zero, no
     /// stimulus is pending, and the requested length is event-counted
     /// (with [`RunLength::Time`] the remaining span simply elapses
-    /// without transport, which is physically meaningful).
+    /// without transport, which is physically meaningful). With
+    /// [`Supervisor::blockade_is_outcome`] set the stall is instead
+    /// reported as [`RunOutcome::Blockaded`]. [`CoreError::NumericalFault`]
+    /// surfaces non-finite rates the moment they are produced.
     pub fn run(&mut self, length: RunLength) -> Result<Record, CoreError> {
         let t_start = self.time;
         let ev_start = self.total_events;
         let counts_start = self.electron_counts.clone();
         let recalcs_start = self.solver.rate_recalcs();
+        let deg_start = self.health.degradations().len();
+        let wall_start = std::time::Instant::now();
+        let mut outcome = RunOutcome::Completed;
+        // One free drift audit per frozen stretch (see the blockade
+        // branch below); reset whenever an event actually executes.
+        let mut audited_frozen = false;
 
-        self.apply_due_stimuli();
+        self.apply_due_stimuli()?;
 
         loop {
             match length {
@@ -669,25 +1095,58 @@ impl<'c> Simulation<'c> {
                     }
                 }
             }
+            if let Some(cap) = self.supervisor.max_events {
+                if self.total_events >= cap {
+                    outcome = RunOutcome::EventCapReached { cap };
+                    break;
+                }
+            }
+            if let Some(budget) = self.supervisor.wall_clock_budget {
+                if wall_start.elapsed().as_secs_f64() >= budget {
+                    outcome = RunOutcome::WallClockExceeded { budget };
+                    break;
+                }
+            }
+            #[cfg(feature = "fault-inject")]
+            self.trigger_due_faults()?;
 
             let total = self.rates.total();
+            if !total.is_finite() {
+                return Err(CoreError::NumericalFault {
+                    stage: FaultStage::RateTotal,
+                    junction: None,
+                    value: total,
+                });
+            }
             let next_stim_time = self
                 .stimuli
                 .get(self.next_stimulus)
                 .map(|s| s.time.max(self.time));
 
             if !(total > 0.0) {
+                // A frozen table is either genuine Coulomb blockade or
+                // a drifted cache whose stale rates decayed to zero.
+                // When the drift audit is enabled, check against ground
+                // truth once before declaring blockade — a degradation
+                // flushes the cache and the run continues.
+                if self.health.audit_enabled() && !audited_frozen {
+                    audited_frozen = true;
+                    self.run_drift_audit()?;
+                    if self.rates.total() > 0.0 {
+                        continue;
+                    }
+                }
                 // Frozen: jump to the next stimulus or the end of a
                 // timed run.
                 match (next_stim_time, length) {
                     (Some(ts), RunLength::Time(t)) if ts <= t_start + t => {
                         self.time = ts;
-                        self.apply_due_stimuli();
+                        self.apply_due_stimuli()?;
                         continue;
                     }
                     (Some(ts), RunLength::Events(_)) => {
                         self.time = ts;
-                        self.apply_due_stimuli();
+                        self.apply_due_stimuli()?;
                         continue;
                     }
                     (_, RunLength::Time(t)) => {
@@ -695,6 +1154,10 @@ impl<'c> Simulation<'c> {
                         break;
                     }
                     (None, RunLength::Events(_)) => {
+                        if self.supervisor.blockade_is_outcome {
+                            outcome = RunOutcome::Blockaded { time: self.time };
+                            break;
+                        }
                         return Err(CoreError::BlockadeStall { time: self.time });
                     }
                 }
@@ -710,7 +1173,7 @@ impl<'c> Simulation<'c> {
             if let Some(ts) = next_stim_time {
                 if ts <= t_next {
                     self.time = ts;
-                    self.apply_due_stimuli();
+                    self.apply_due_stimuli()?;
                     continue;
                 }
             }
@@ -724,9 +1187,17 @@ impl<'c> Simulation<'c> {
 
             self.time = t_next;
             let u2: f64 = self.rng.f64();
-            let slot = self.rates.sample(u2).expect("total is positive");
+            let slot = self.rates.sample(u2).ok_or(CoreError::NumericalFault {
+                stage: FaultStage::EventSampling,
+                junction: None,
+                value: total,
+            })?;
             let event = self.decode_event(slot);
-            self.apply_event(event);
+            self.apply_event(event)?;
+            audited_frozen = false;
+            if self.health.audit_due() {
+                self.run_drift_audit()?;
+            }
         }
 
         Ok(Record {
@@ -741,6 +1212,8 @@ impl<'c> Simulation<'c> {
             probes: self.probes.clone(),
             adaptive_stats: self.solver.adaptive_stats().copied(),
             rate_recalcs: self.solver.rate_recalcs() - recalcs_start,
+            outcome,
+            degradations: self.health.degradations()[deg_start..].to_vec(),
         })
     }
 }
@@ -897,7 +1370,8 @@ mod tests {
                 lead: 2,
                 voltage: -25e-3,
             },
-        ]);
+        ])
+        .unwrap();
         let r = sim.run(RunLength::Time(1e-6)).unwrap();
         assert!(r.events > 0, "stimulus should unfreeze the device");
         assert!(r.current(j1) > 0.0);
@@ -1015,5 +1489,257 @@ mod tests {
         assert_eq!(linspace(0.0, 1.0, 1), vec![0.0]);
         let g = linspace(-1.0, 1.0, 3);
         assert_eq!(g, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn supervisor_reports_blockade_as_outcome() {
+        let (c, j1, _) = paper_set();
+        let cfg = SimConfig::new(0.01)
+            .with_seed(1)
+            .with_supervisor(Supervisor {
+                blockade_is_outcome: true,
+                ..Supervisor::default()
+            });
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.set_lead_voltage(1, 2.5e-3).unwrap();
+        sim.set_lead_voltage(2, -2.5e-3).unwrap();
+        let r = sim.run(RunLength::Events(100)).unwrap();
+        assert!(matches!(r.outcome, RunOutcome::Blockaded { .. }));
+        assert_eq!(r.events, 0);
+        assert_eq!(r.current(j1), 0.0);
+    }
+
+    #[test]
+    fn supervisor_event_cap_stops_run() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(0.01)
+            .with_seed(2)
+            .with_supervisor(Supervisor {
+                max_events: Some(50),
+                ..Supervisor::default()
+            });
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        let r = sim.run(RunLength::Events(5_000)).unwrap();
+        assert_eq!(r.outcome, RunOutcome::EventCapReached { cap: 50 });
+        assert_eq!(r.events, 50);
+        // A subsequent run stops immediately at the cap.
+        let r2 = sim.run(RunLength::Events(10)).unwrap();
+        assert_eq!(r2.events, 0);
+        assert_eq!(r2.outcome, RunOutcome::EventCapReached { cap: 50 });
+    }
+
+    #[test]
+    fn supervisor_wall_clock_budget_stops_run() {
+        let (c, _, _) = paper_set();
+        // A budget far below one loop iteration: the run must stop at
+        // the first check with the wall-clock outcome, not an error.
+        let cfg = SimConfig::new(0.01)
+            .with_seed(2)
+            .with_supervisor(Supervisor {
+                wall_clock_budget: Some(1e-12),
+                ..Supervisor::default()
+            });
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        let r = sim.run(RunLength::Events(1_000_000)).unwrap();
+        assert_eq!(r.outcome, RunOutcome::WallClockExceeded { budget: 1e-12 });
+        assert!(r.events < 1_000_000);
+    }
+
+    #[test]
+    fn invalid_supervisor_and_audit_config_rejected() {
+        let (c, _, _) = paper_set();
+        let bad = SimConfig::new(1.0).with_audit_interval(0);
+        assert!(Simulation::new(&c, bad).is_err());
+        let bad = SimConfig::new(1.0).with_drift_tolerance(f64::NAN);
+        assert!(Simulation::new(&c, bad).is_err());
+        let bad = SimConfig::new(1.0).with_supervisor(Supervisor {
+            wall_clock_budget: Some(-1.0),
+            ..Supervisor::default()
+        });
+        assert!(Simulation::new(&c, bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_lead_voltage_rejected() {
+        let (c, _, _) = paper_set();
+        let mut sim = Simulation::new(&c, SimConfig::new(1.0)).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                sim.set_lead_voltage(1, bad),
+                Err(CoreError::InvalidComponent {
+                    what: "lead voltage",
+                    ..
+                })
+            ));
+        }
+        // The rejected step must not have disturbed the rate table.
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        assert!(sim.run(RunLength::Events(100)).is_ok());
+    }
+
+    #[test]
+    fn schedule_rejects_bad_stimuli() {
+        let (c, _, _) = paper_set();
+        let mut sim = Simulation::new(&c, SimConfig::new(1.0)).unwrap();
+        let stim = |time, lead, voltage| Stimulus {
+            time,
+            lead,
+            voltage,
+        };
+        assert!(matches!(
+            sim.schedule(vec![stim(f64::NAN, 1, 1e-3)]),
+            Err(CoreError::InvalidComponent {
+                what: "stimulus time",
+                ..
+            })
+        ));
+        assert!(matches!(
+            sim.schedule(vec![stim(1e-9, 1, f64::INFINITY)]),
+            Err(CoreError::InvalidComponent {
+                what: "stimulus voltage",
+                ..
+            })
+        ));
+        assert!(matches!(
+            sim.schedule(vec![stim(1e-9, 99, 1e-3)]),
+            Err(CoreError::UnknownLead { lead: 99 })
+        ));
+        // A stimulus in the simulated past is rejected too.
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        sim.run(RunLength::Time(1e-8)).unwrap();
+        assert!(matches!(
+            sim.schedule(vec![stim(1e-12, 1, 1e-3)]),
+            Err(CoreError::InvalidComponent {
+                what: "stimulus time before current simulation time",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn schedule_sorts_and_dedups() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(0.01).with_seed(4);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        // Declared out of order, with a duplicate (time, lead): the
+        // last-declared duplicate must win, and the same-time pair on
+        // different leads must both survive.
+        sim.schedule(vec![
+            Stimulus {
+                time: 2e-7,
+                lead: 1,
+                voltage: 10e-3,
+            },
+            Stimulus {
+                time: 1e-7,
+                lead: 2,
+                voltage: -25e-3,
+            },
+            Stimulus {
+                time: 1e-7,
+                lead: 1,
+                voltage: 5e-3,
+            },
+            Stimulus {
+                time: 2e-7,
+                lead: 1,
+                voltage: 25e-3,
+            },
+        ])
+        .unwrap();
+        let r = sim.run(RunLength::Time(1e-6)).unwrap();
+        assert_eq!(sim.health_report().duplicate_stimuli_dropped, 1);
+        assert_eq!(sim.state().lead_voltages()[1], 25e-3);
+        assert_eq!(sim.state().lead_voltages()[2], -25e-3);
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn drift_audits_run_clean_on_nonadaptive_solver() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(5.0).with_seed(9).with_audit_interval(100);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        let r = sim.run(RunLength::Events(1_000)).unwrap();
+        let h = sim.health_report();
+        assert_eq!(h.audits, 10);
+        // The non-adaptive solver recomputes everything each event, so
+        // drift can only be rounding noise and never degrades.
+        assert!(h.worst_drift < 1e-9, "drift {}", h.worst_drift);
+        assert!(r.degradations.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_smoke() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(5.0).with_seed(12);
+        let mut sim = Simulation::new(&c, cfg.clone()).unwrap();
+        sim.set_lead_voltage(1, 20e-3).unwrap();
+        sim.set_lead_voltage(2, -20e-3).unwrap();
+        sim.run(RunLength::Events(500)).unwrap();
+        let bytes = sim.checkpoint().unwrap();
+
+        let mut restored = Simulation::new(&c, cfg).unwrap();
+        restored.resume(&bytes).unwrap();
+        assert_eq!(restored.time(), sim.time());
+        assert_eq!(restored.events(), sim.events());
+        assert_eq!(restored.state().electrons(), sim.state().electrons());
+
+        let a = sim.run(RunLength::Events(500)).unwrap();
+        let b = restored.run(RunLength::Events(500)).unwrap();
+        assert_eq!(a, b, "resumed run diverged from the original");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_circuit() {
+        let (c, _, _) = paper_set();
+        let cfg = SimConfig::new(5.0).with_seed(12);
+        let mut sim = Simulation::new(&c, cfg.clone()).unwrap();
+        let bytes = sim.checkpoint().unwrap();
+
+        // A different topology: one extra lead.
+        let mut b = CircuitBuilder::new();
+        let src = b.add_lead(0.0);
+        let _extra = b.add_lead(0.0);
+        let _gate = b.add_lead(0.0);
+        let _gate2 = b.add_lead(0.0);
+        let island = b.add_island();
+        b.add_junction(src, island, 1e6, 1e-18).unwrap();
+        let c2 = b.build().unwrap();
+        let mut other = Simulation::new(&c2, SimConfig::new(5.0)).unwrap();
+        assert!(matches!(
+            other.resume(&bytes),
+            Err(CoreError::CheckpointMismatch { .. })
+        ));
+
+        // A mismatched solver kind is caught too.
+        let adaptive_cfg = SimConfig::new(5.0).with_solver(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 500,
+        });
+        let mut adaptive = Simulation::new(&c, adaptive_cfg).unwrap();
+        assert!(matches!(
+            adaptive.resume(&bytes),
+            Err(CoreError::CheckpointMismatch {
+                what: "solver kind",
+                ..
+            })
+        ));
+
+        // Corrupt bytes are rejected.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(matches!(
+            sim.resume(&bad),
+            Err(CoreError::CheckpointCorrupt { .. })
+        ));
     }
 }

@@ -3,6 +3,8 @@ use std::fmt;
 
 use semsim_linalg::LinalgError;
 
+use crate::health::FaultStage;
+
 /// Errors produced by the SEMSIM core.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -51,6 +53,33 @@ pub enum CoreError {
         /// Simulated time at which the stall occurred (s).
         time: f64,
     },
+    /// A health guard caught a NaN/Inf/negative value at the point of
+    /// production, before it could poison the rate table or a `Record`.
+    NumericalFault {
+        /// Pipeline stage that produced the value.
+        stage: FaultStage,
+        /// Index of the faulting junction (or island / cotunnel path,
+        /// depending on `stage`), when one is identifiable.
+        junction: Option<usize>,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A checkpoint byte stream failed structural validation (bad magic,
+    /// unsupported version, truncation, or checksum mismatch).
+    CheckpointCorrupt {
+        /// What failed to validate.
+        what: &'static str,
+    },
+    /// A structurally valid checkpoint does not describe this
+    /// simulation (different circuit shape or solver configuration).
+    CheckpointMismatch {
+        /// The mismatching quantity.
+        what: &'static str,
+        /// Value required by the running simulation.
+        expected: u64,
+        /// Value recorded in the checkpoint.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -78,6 +107,28 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "all tunnel rates are zero at t = {time:.3e} s (Coulomb blockade stall)"
+                )
+            }
+            CoreError::NumericalFault {
+                stage,
+                junction,
+                value,
+            } => match junction {
+                Some(j) => write!(f, "numerical fault in {stage} (index {j}): value {value}"),
+                None => write!(f, "numerical fault in {stage}: value {value}"),
+            },
+            CoreError::CheckpointCorrupt { what } => {
+                write!(f, "corrupt checkpoint: {what}")
+            }
+            CoreError::CheckpointMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "checkpoint does not match this simulation: {what} \
+                     (simulation has {expected}, checkpoint has {found})"
                 )
             }
         }
@@ -121,6 +172,33 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "invalid component value: junction resistance = -1"
+        );
+    }
+
+    #[test]
+    fn robustness_display_messages() {
+        let e = CoreError::NumericalFault {
+            stage: FaultStage::TunnelRate,
+            junction: Some(3),
+            value: f64::NAN,
+        };
+        assert_eq!(
+            e.to_string(),
+            "numerical fault in tunnel rate evaluation (index 3): value NaN"
+        );
+        assert_eq!(
+            CoreError::CheckpointCorrupt { what: "checksum" }.to_string(),
+            "corrupt checkpoint: checksum"
+        );
+        let m = CoreError::CheckpointMismatch {
+            what: "islands",
+            expected: 2,
+            found: 5,
+        };
+        assert_eq!(
+            m.to_string(),
+            "checkpoint does not match this simulation: islands \
+             (simulation has 2, checkpoint has 5)"
         );
     }
 

@@ -25,6 +25,10 @@
 //!   solvers.
 //! * [`engine`] — the Monte Carlo event loop (Eq. 5), stimuli, recording
 //!   and sweeps.
+//! * [`health`] — numerical health guards, drift audits with graceful
+//!   degradation, and the run supervisor (outcome taxonomy).
+//! * [`checkpoint`] — versioned binary snapshots for
+//!   checkpoint/resume of long runs.
 //!
 //! # Quickstart
 //!
@@ -53,6 +57,7 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod circuit;
 pub mod constants;
 pub mod cotunnel;
@@ -60,6 +65,7 @@ pub mod energy;
 pub mod engine;
 pub mod events;
 pub mod fenwick;
+pub mod health;
 pub mod master;
 pub mod rates;
 pub mod rng;

@@ -27,7 +27,9 @@
 use crate::circuit::{Circuit, JunctionId, NodeId};
 use crate::energy::{lead_step_delta, potential_delta, CircuitState};
 use crate::fenwick::FenwickTree;
+use crate::health::{screen_finite, FaultStage};
 use crate::solver::{write_junction_rates, SolverContext, StateChange};
+use crate::CoreError;
 
 /// Counters describing the work the adaptive solver actually performed
 /// — the quantities behind the paper's Fig. 6 speedup argument.
@@ -133,28 +135,29 @@ impl AdaptiveSolver {
         circuit: &Circuit,
         state: &mut CircuitState,
         island: usize,
-    ) {
+    ) -> Result<(), CoreError> {
         let from_idx = self.applied[island];
         let pending = self.log.len() - from_idx.min(self.log.len());
         if pending == 0 {
-            return;
+            return Ok(());
         }
         if pending > circuit.num_islands() {
             state.phi[island] = state.exact_island_potential(circuit, island);
-            self.applied[island] = self.log.len();
-            return;
+        } else {
+            let mut phi = state.phi[island];
+            for entry in &self.log[from_idx..] {
+                phi += match *entry {
+                    LogEntry::Transfer { from, to, count } => {
+                        potential_delta(circuit, island, from, to, count)
+                    }
+                    LogEntry::Step { lead, dv } => lead_step_delta(circuit, island, lead, dv),
+                };
+            }
+            state.phi[island] = phi;
         }
-        let mut phi = state.phi[island];
-        for entry in &self.log[from_idx..] {
-            phi += match *entry {
-                LogEntry::Transfer { from, to, count } => {
-                    potential_delta(circuit, island, from, to, count)
-                }
-                LogEntry::Step { lead, dv } => lead_step_delta(circuit, island, lead, dv),
-            };
-        }
-        state.phi[island] = phi;
         self.applied[island] = self.log.len();
+        screen_finite(FaultStage::IslandPotential, Some(island), state.phi[island])?;
+        Ok(())
     }
 
     fn refresh_junction_nodes(
@@ -162,14 +165,15 @@ impl AdaptiveSolver {
         circuit: &Circuit,
         state: &mut CircuitState,
         j: JunctionId,
-    ) {
+    ) -> Result<(), CoreError> {
         let junction = *circuit.junction(j);
         if let Some(i) = circuit.island_index(junction.node_a) {
-            self.refresh_island(circuit, state, i);
+            self.refresh_island(circuit, state, i)?;
         }
         if let Some(i) = circuit.island_index(junction.node_b) {
-            self.refresh_island(circuit, state, i);
+            self.refresh_island(circuit, state, i)?;
         }
+        Ok(())
     }
 
     pub(crate) fn initialize(
@@ -177,13 +181,14 @@ impl AdaptiveSolver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
-    ) {
+    ) -> Result<(), CoreError> {
         // Establish the exact-potential invariant the replay log
         // maintains from here on.
         state.recompute_potentials(ctx.circuit);
-        self.full_refresh(ctx, state, rates);
+        self.full_refresh(ctx, state, rates)?;
         // initialize() is not a "refresh" in the statistics sense.
         self.stats.full_refreshes = self.stats.full_refreshes.saturating_sub(1);
+        Ok(())
     }
 
     fn full_refresh(
@@ -191,28 +196,88 @@ impl AdaptiveSolver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
-    ) {
+    ) -> Result<(), CoreError> {
         let circuit = ctx.circuit;
         // Replaying the log per island costs O(islands·pending); the
         // exact matvec costs O(islands²). Pick the cheaper route.
         if self.log.len() < circuit.num_islands() {
             for island in 0..circuit.num_islands() {
-                self.refresh_island(circuit, state, island);
+                self.refresh_island(circuit, state, island)?;
             }
         } else {
             state.recompute_potentials(circuit);
         }
         self.log.clear();
         self.applied.iter_mut().for_each(|a| *a = 0);
-        for j in circuit.junction_ids() {
-            let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j);
+        self.rewrite_all_rates(ctx, state, rates)?;
+        self.stats.full_refreshes += 1;
+        self.events_since_refresh = 0;
+        Ok(())
+    }
+
+    /// Recomputes every junction's rates from the current potentials in
+    /// canonical order, resetting the `ΔW'`/`b₀` caches.
+    fn rewrite_all_rates(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) -> Result<(), CoreError> {
+        for j in ctx.circuit.junction_ids() {
+            let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j)?;
             self.dw_fw[j.index()] = dw_fw;
             self.dw_bw[j.index()] = dw_bw;
             self.b0[j.index()] = 0.0;
         }
-        self.stats.rate_recalcs += circuit.num_junctions() as u64;
+        self.stats.rate_recalcs += ctx.circuit.num_junctions() as u64;
+        Ok(())
+    }
+
+    /// Discards the replay log and every cache, recomputing potentials
+    /// with the full matvec (never the replay path — checkpoint/resume
+    /// relies on both sides reaching bit-identical potentials, and the
+    /// replay path's summation order depends on history).
+    pub(crate) fn resync(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) -> Result<(), CoreError> {
+        state.recompute_potentials(ctx.circuit);
+        self.log.clear();
+        self.applied.iter_mut().for_each(|a| *a = 0);
+        self.rewrite_all_rates(ctx, state, rates)?;
         self.stats.full_refreshes += 1;
         self.events_since_refresh = 0;
+        Ok(())
+    }
+
+    /// Halves the testing threshold (graceful degradation after a failed
+    /// drift audit), returning the new value.
+    pub(crate) fn tighten_threshold(&mut self) -> f64 {
+        self.threshold *= 0.5;
+        self.threshold
+    }
+
+    /// Overwrites the threshold (checkpoint restore — the running value
+    /// may have been tightened below the configured one).
+    pub(crate) fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Overwrites the work counters (checkpoint restore).
+    pub(crate) fn set_stats(&mut self, stats: AdaptiveStats) {
+        self.stats = stats;
+    }
+
+    /// Scales the cached `ΔW'` magnitudes of `junction` by `factor`,
+    /// silencing the testing gate so the junction's rates go stale —
+    /// used by the fault-injection harness to prove the drift audit
+    /// catches exactly this class of corruption.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn corrupt_cache_entry(&mut self, junction: usize, factor: f64) {
+        self.dw_fw[junction] *= factor;
+        self.dw_bw[junction] *= factor;
     }
 
     /// Exact potential change of `node` caused by one log entry (0 for
@@ -243,7 +308,7 @@ impl AdaptiveSolver {
         state: &mut CircuitState,
         rates: &mut FenwickTree,
         change: StateChange,
-    ) {
+    ) -> Result<(), CoreError> {
         let circuit = ctx.circuit;
         self.stats.events += 1;
         self.events_since_refresh += 1;
@@ -257,8 +322,7 @@ impl AdaptiveSolver {
         if self.events_since_refresh >= self.refresh_interval {
             // Periodic full recalculation (paper: "all junction
             // tunneling rates are recalculated periodically").
-            self.full_refresh(ctx, state, rates);
-            return;
+            return self.full_refresh(ctx, state, rates);
         }
 
         // Seed the BFS: junctions nearest the disturbance.
@@ -311,8 +375,8 @@ impl AdaptiveSolver {
             // compare against the smaller magnitude.
             let gate = self.threshold * self.dw_fw[idx].abs().min(self.dw_bw[idx].abs());
             if b.abs() >= gate {
-                self.refresh_junction_nodes(circuit, state, j);
-                let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j);
+                self.refresh_junction_nodes(circuit, state, j)?;
+                let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j)?;
                 self.dw_fw[idx] = dw_fw;
                 self.dw_bw[idx] = dw_bw;
                 self.b0[idx] = 0.0;
@@ -327,6 +391,7 @@ impl AdaptiveSolver {
                 self.b0[idx] = b;
             }
         }
+        Ok(())
     }
 }
 
@@ -382,34 +447,31 @@ mod tests {
         let (c, _js) = two_stage();
         let model = TunnelModel::Normal;
         let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.0, u64::MAX);
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
-        solver.initialize(&ctx, &mut state, &mut rates);
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
+        solver.initialize(&ctx, &mut state, &mut rates).unwrap();
 
         // Fire a transfer on stage 1.
         let i1 = c.island_node(0);
         state.apply_transfer(&c, NodeId(1), i1, 1);
-        solver.apply_change(
-            &ctx,
-            &mut state,
-            &mut rates,
-            StateChange::Transfer {
-                from: NodeId(1),
-                to: i1,
-                count: 1,
-            },
-        );
+        solver
+            .apply_change(
+                &ctx,
+                &mut state,
+                &mut rates,
+                StateChange::Transfer {
+                    from: NodeId(1),
+                    to: i1,
+                    count: 1,
+                },
+            )
+            .unwrap();
 
         // Compare against a fresh exact computation.
         let mut exact_state = state.clone();
         exact_state.recompute_potentials(&c);
         let mut exact_rates = FenwickTree::new(layout.len());
         for j in c.junction_ids() {
-            write_junction_rates(&ctx, &exact_state, &mut exact_rates, j);
+            write_junction_rates(&ctx, &exact_state, &mut exact_rates, j).unwrap();
         }
         for slot in 0..layout.len() {
             let a = rates.get(slot);
@@ -426,27 +488,24 @@ mod tests {
         let (c, js) = two_stage();
         let model = TunnelModel::Normal;
         let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.05, u64::MAX);
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
-        solver.initialize(&ctx, &mut state, &mut rates);
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
+        solver.initialize(&ctx, &mut state, &mut rates).unwrap();
         let before = solver.stats().rate_recalcs;
 
         let i1 = c.island_node(0);
         state.apply_transfer(&c, NodeId(1), i1, 1);
-        solver.apply_change(
-            &ctx,
-            &mut state,
-            &mut rates,
-            StateChange::Transfer {
-                from: NodeId(1),
-                to: i1,
-                count: 1,
-            },
-        );
+        solver
+            .apply_change(
+                &ctx,
+                &mut state,
+                &mut rates,
+                StateChange::Transfer {
+                    from: NodeId(1),
+                    to: i1,
+                    count: 1,
+                },
+            )
+            .unwrap();
         let recalcs = solver.stats().rate_recalcs - before;
         // Stage 1 has 2 junctions; stage 2's 2 junctions must have been
         // left alone thanks to the 1 fF wire capacitance.
@@ -460,13 +519,8 @@ mod tests {
         let (c, _js) = two_stage();
         let model = TunnelModel::Normal;
         let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.5, 3);
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
-        solver.initialize(&ctx, &mut state, &mut rates);
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
+        solver.initialize(&ctx, &mut state, &mut rates).unwrap();
         let i1 = c.island_node(0);
         for k in 0..6 {
             let (from, to) = if k % 2 == 0 {
@@ -475,12 +529,14 @@ mod tests {
                 (i1, NodeId(1))
             };
             state.apply_transfer(&c, from, to, 1);
-            solver.apply_change(
-                &ctx,
-                &mut state,
-                &mut rates,
-                StateChange::Transfer { from, to, count: 1 },
-            );
+            solver
+                .apply_change(
+                    &ctx,
+                    &mut state,
+                    &mut rates,
+                    StateChange::Transfer { from, to, count: 1 },
+                )
+                .unwrap();
         }
         assert_eq!(solver.stats().full_refreshes, 2);
         // After refreshes the log must be compact.
@@ -492,26 +548,23 @@ mod tests {
         let (c, _js) = two_stage();
         let model = TunnelModel::Normal;
         let (mut state, mut rates, mut solver, layout) = make_parts(&c, 0.01, u64::MAX);
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
-        solver.initialize(&ctx, &mut state, &mut rates);
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
+        solver.initialize(&ctx, &mut state, &mut rates).unwrap();
         let total_before = rates.total();
 
         // Step the supply lead (lead index 1 — ground is 0).
         let old = state.set_lead_voltage(1, 30e-3);
-        solver.apply_change(
-            &ctx,
-            &mut state,
-            &mut rates,
-            StateChange::LeadStep {
-                lead: 1,
-                dv: 30e-3 - old,
-            },
-        );
+        solver
+            .apply_change(
+                &ctx,
+                &mut state,
+                &mut rates,
+                StateChange::LeadStep {
+                    lead: 1,
+                    dv: 30e-3 - old,
+                },
+            )
+            .unwrap();
         assert!(rates.total() != total_before);
     }
 
@@ -520,32 +573,29 @@ mod tests {
         let (c, _js) = two_stage();
         let model = TunnelModel::Normal;
         let (mut state, mut rates, mut solver, layout) = make_parts(&c, 10.0, u64::MAX);
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
-        solver.initialize(&ctx, &mut state, &mut rates);
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
+        solver.initialize(&ctx, &mut state, &mut rates).unwrap();
 
         // Huge threshold → nothing flags → potentials go stale.
         let i1 = c.island_node(0);
         for _ in 0..5 {
             state.apply_transfer(&c, NodeId(1), i1, 1);
-            solver.apply_change(
-                &ctx,
-                &mut state,
-                &mut rates,
-                StateChange::Transfer {
-                    from: NodeId(1),
-                    to: i1,
-                    count: 1,
-                },
-            );
+            solver
+                .apply_change(
+                    &ctx,
+                    &mut state,
+                    &mut rates,
+                    StateChange::Transfer {
+                        from: NodeId(1),
+                        to: i1,
+                        count: 1,
+                    },
+                )
+                .unwrap();
         }
         // Lazily refresh each island and compare to exact.
         for island in 0..c.num_islands() {
-            solver.refresh_island(&c, &mut state, island);
+            solver.refresh_island(&c, &mut state, island).unwrap();
         }
         let lazy = state.island_potentials().to_vec();
         state.recompute_potentials(&c);

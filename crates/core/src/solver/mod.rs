@@ -23,8 +23,10 @@ use crate::circuit::{Circuit, JunctionId};
 use crate::energy::{delta_w, CircuitState};
 use crate::events::RateLayout;
 use crate::fenwick::FenwickTree;
+use crate::health::{screen_finite, screen_rate, FaultStage};
 use crate::rates::orthodox_rate;
 use crate::superconduct::QpRateTable;
+use crate::CoreError;
 
 /// How single-electron (or quasi-particle) rates are evaluated.
 #[derive(Debug, Clone)]
@@ -46,9 +48,32 @@ pub struct SolverContext<'a> {
     pub model: &'a TunnelModel,
     /// Layout of the shared rate table.
     pub layout: RateLayout,
+    /// Fault-injection hook: junction whose forward rate is replaced
+    /// with NaN the next time it is evaluated.
+    #[cfg(feature = "fault-inject")]
+    pub poison_rate: Option<usize>,
 }
 
-impl SolverContext<'_> {
+impl<'a> SolverContext<'a> {
+    /// Builds a context with no fault injection armed.
+    pub fn new(circuit: &'a Circuit, kt: f64, model: &'a TunnelModel, layout: RateLayout) -> Self {
+        SolverContext {
+            circuit,
+            kt,
+            model,
+            layout,
+            #[cfg(feature = "fault-inject")]
+            poison_rate: None,
+        }
+    }
+
+    /// Arms NaN poisoning of `junction`'s forward rate.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_poison(mut self, junction: Option<usize>) -> Self {
+        self.poison_rate = junction;
+        self
+    }
+
     /// Evaluates both directed first-order rates of junction `j` from
     /// the current state, returning `(ΔW_fw, Γ_fw, ΔW_bw, Γ_bw)`.
     #[inline]
@@ -56,7 +81,8 @@ impl SolverContext<'_> {
         let junction = self.circuit.junction(j);
         let dw_fw = delta_w(self.circuit, state, junction.node_a, junction.node_b, 1);
         let dw_bw = delta_w(self.circuit, state, junction.node_b, junction.node_a, 1);
-        let (g_fw, g_bw) = match self.model {
+        #[allow(unused_mut)]
+        let (mut g_fw, g_bw) = match self.model {
             TunnelModel::Normal => (
                 orthodox_rate(dw_fw, self.kt, junction.resistance),
                 orthodox_rate(dw_bw, self.kt, junction.resistance),
@@ -66,6 +92,10 @@ impl SolverContext<'_> {
                 table.rate(dw_bw, junction.resistance),
             ),
         };
+        #[cfg(feature = "fault-inject")]
+        if self.poison_rate == Some(j.index()) {
+            g_fw = f64::NAN;
+        }
         (dw_fw, g_fw, dw_bw, g_bw)
     }
 }
@@ -113,7 +143,7 @@ impl Solver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
-    ) {
+    ) -> Result<(), CoreError> {
         match self {
             Solver::NonAdaptive(s) => s.initialize(ctx, state, rates),
             Solver::Adaptive(s) => s.initialize(ctx, state, rates),
@@ -128,7 +158,7 @@ impl Solver {
         state: &mut CircuitState,
         rates: &mut FenwickTree,
         change: StateChange,
-    ) {
+    ) -> Result<(), CoreError> {
         match self {
             Solver::NonAdaptive(s) => s.apply_change(ctx, state, rates, change),
             Solver::Adaptive(s) => s.apply_change(ctx, state, rates, change),
@@ -141,10 +171,37 @@ impl Solver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         island: usize,
-    ) {
+    ) -> Result<(), CoreError> {
         match self {
-            Solver::NonAdaptive(_) => {} // always exact
+            Solver::NonAdaptive(_) => Ok(()), // always exact
             Solver::Adaptive(s) => s.refresh_island(ctx.circuit, state, island),
+        }
+    }
+
+    /// Discards every cached quantity and rebuilds potentials and the
+    /// whole rate table from the electron numbers, writing rates in
+    /// canonical junction order. The caller must clear the rate table
+    /// first so the Fenwick partial sums are reaccumulated
+    /// deterministically (required for bit-identical checkpoint/resume).
+    pub(crate) fn resync(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) -> Result<(), CoreError> {
+        match self {
+            Solver::NonAdaptive(s) => s.resync(ctx, state, rates),
+            Solver::Adaptive(s) => s.resync(ctx, state, rates),
+        }
+    }
+
+    /// Halves the adaptive testing threshold (graceful degradation after
+    /// a failed drift audit), returning the new value. `None` for the
+    /// non-adaptive solver, which has no approximation to tighten.
+    pub(crate) fn tighten_threshold(&mut self) -> Option<f64> {
+        match self {
+            Solver::NonAdaptive(_) => None,
+            Solver::Adaptive(s) => Some(s.tighten_threshold()),
         }
     }
 
@@ -166,16 +223,28 @@ impl Solver {
     }
 }
 
-/// Writes both directed rates of `j` into the rate table.
+/// Writes both directed rates of `j` into the rate table, screening the
+/// free-energy changes and rates for NaN/Inf/negative poison *before*
+/// they can enter the Fenwick tree (whose prefix sums would silently
+/// spread the corruption to every sampling decision).
 #[inline]
 pub(crate) fn write_junction_rates(
     ctx: &SolverContext<'_>,
     state: &CircuitState,
     rates: &mut FenwickTree,
     j: JunctionId,
-) -> (f64, f64) {
+) -> Result<(f64, f64), CoreError> {
     let (dw_fw, g_fw, dw_bw, g_bw) = ctx.junction_rates(state, j);
-    rates.set(ctx.layout.tunnel_slot(j, true), g_fw);
-    rates.set(ctx.layout.tunnel_slot(j, false), g_bw);
-    (dw_fw, dw_bw)
+    let jx = Some(j.index());
+    screen_finite(FaultStage::FreeEnergy, jx, dw_fw)?;
+    screen_finite(FaultStage::FreeEnergy, jx, dw_bw)?;
+    rates.set(
+        ctx.layout.tunnel_slot(j, true),
+        screen_rate(FaultStage::TunnelRate, jx, g_fw)?,
+    );
+    rates.set(
+        ctx.layout.tunnel_slot(j, false),
+        screen_rate(FaultStage::TunnelRate, jx, g_bw)?,
+    );
+    Ok((dw_fw, dw_bw))
 }

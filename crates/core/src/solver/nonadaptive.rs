@@ -8,6 +8,7 @@
 use crate::energy::{lead_step_delta, potential_delta, CircuitState};
 use crate::fenwick::FenwickTree;
 use crate::solver::{write_junction_rates, SolverContext, StateChange};
+use crate::CoreError;
 
 /// Conventional solver: every potential and every rate, every event.
 #[derive(Debug, Default)]
@@ -39,12 +40,13 @@ impl NonAdaptiveSolver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
-    ) {
+    ) -> Result<(), CoreError> {
         state.recompute_potentials(ctx.circuit);
         for j in ctx.circuit.junction_ids() {
-            write_junction_rates(ctx, state, rates, j);
+            write_junction_rates(ctx, state, rates, j)?;
         }
         self.rate_recalcs += ctx.circuit.num_junctions() as u64;
+        Ok(())
     }
 
     pub(crate) fn apply_change(
@@ -53,7 +55,7 @@ impl NonAdaptiveSolver {
         state: &mut CircuitState,
         rates: &mut FenwickTree,
         change: StateChange,
-    ) {
+    ) -> Result<(), CoreError> {
         let circuit = ctx.circuit;
         self.events_since_exact += 1;
         if self.events_since_exact >= EXACT_REFRESH_INTERVAL {
@@ -74,9 +76,34 @@ impl NonAdaptiveSolver {
             }
         }
         for j in circuit.junction_ids() {
-            write_junction_rates(ctx, state, rates, j);
+            write_junction_rates(ctx, state, rates, j)?;
         }
         self.rate_recalcs += circuit.num_junctions() as u64;
+        Ok(())
+    }
+
+    /// Rebuilds potentials and every rate from scratch (the caller has
+    /// cleared the rate table). Resets the exact-refresh phase so a
+    /// resumed run schedules its periodic recomputes identically to an
+    /// uninterrupted one.
+    pub(crate) fn resync(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+    ) -> Result<(), CoreError> {
+        state.recompute_potentials(ctx.circuit);
+        for j in ctx.circuit.junction_ids() {
+            write_junction_rates(ctx, state, rates, j)?;
+        }
+        self.rate_recalcs += ctx.circuit.num_junctions() as u64;
+        self.events_since_exact = 0;
+        Ok(())
+    }
+
+    /// Overwrites the work counter (checkpoint restore).
+    pub(crate) fn set_rate_recalcs(&mut self, n: u64) {
+        self.rate_recalcs = n;
     }
 }
 
@@ -110,15 +137,10 @@ mod tests {
             cooper_pairs: false,
         };
         let model = TunnelModel::Normal;
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
         let mut rates = FenwickTree::new(layout.len());
         let mut solver = NonAdaptiveSolver::new();
-        solver.initialize(&ctx, &mut s, &mut rates);
+        solver.initialize(&ctx, &mut s, &mut rates).unwrap();
         assert!(rates.total() > 0.0);
         assert_eq!(solver.rate_recalcs(), 2);
     }
@@ -132,41 +154,40 @@ mod tests {
             cooper_pairs: false,
         };
         let model = TunnelModel::Normal;
-        let ctx = SolverContext {
-            circuit: &c,
-            kt: K_B * 5.0,
-            model: &model,
-            layout,
-        };
+        let ctx = SolverContext::new(&c, K_B * 5.0, &model, layout);
         let mut rates = FenwickTree::new(layout.len());
         let mut solver = NonAdaptiveSolver::new();
-        solver.initialize(&ctx, &mut s, &mut rates);
+        solver.initialize(&ctx, &mut s, &mut rates).unwrap();
 
         let island = c.island_node(0);
         // Apply a few transfers and a lead step through the solver.
         for _ in 0..3 {
             s.apply_transfer(&c, NodeId(1), island, 1);
-            solver.apply_change(
+            solver
+                .apply_change(
+                    &ctx,
+                    &mut s,
+                    &mut rates,
+                    StateChange::Transfer {
+                        from: NodeId(1),
+                        to: island,
+                        count: 1,
+                    },
+                )
+                .unwrap();
+        }
+        let old = s.set_lead_voltage(1, 9e-3);
+        solver
+            .apply_change(
                 &ctx,
                 &mut s,
                 &mut rates,
-                StateChange::Transfer {
-                    from: NodeId(1),
-                    to: island,
-                    count: 1,
+                StateChange::LeadStep {
+                    lead: 1,
+                    dv: 9e-3 - old,
                 },
-            );
-        }
-        let old = s.set_lead_voltage(1, 9e-3);
-        solver.apply_change(
-            &ctx,
-            &mut s,
-            &mut rates,
-            StateChange::LeadStep {
-                lead: 1,
-                dv: 9e-3 - old,
-            },
-        );
+            )
+            .unwrap();
 
         let cached = s.island_potentials().to_vec();
         s.recompute_potentials(&c);

@@ -9,7 +9,7 @@ pub type Sample = (f64, f64);
 
 /// A voltage probe attached to a node, sampled every `every` events and
 /// at every stimulus application.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Probe {
     /// The probed node.
     pub node: NodeId,

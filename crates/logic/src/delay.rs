@@ -98,7 +98,7 @@ pub fn settle_outputs(
     let mut out = HashMap::new();
     for name in &logic.outputs {
         let node = elab.signal(name)?;
-        out.insert(name.clone(), sim.node_potential(node));
+        out.insert(name.clone(), sim.node_potential(node)?);
     }
     Ok(out)
 }

@@ -114,6 +114,8 @@ pub struct CircuitSpans {
     pub tc: usize,
     /// Line of the `super` directive.
     pub superconducting: usize,
+    /// Line of the `sweep` directive.
+    pub sweep: usize,
 }
 
 /// A parsed circuit input file.
@@ -373,10 +375,18 @@ impl CircuitFile {
                         end: parse_num(parts[2], line, "end voltage")?,
                         step: parse_num(parts[3], line, "step")?,
                     };
-                    if !(spec.step > 0.0) {
-                        return Err(ParseError::new(line, "sweep step must be positive"));
+                    // Sign errors are a lint (SC010), not a parse
+                    // failure: the compiled sweep auto-corrects the
+                    // direction. Zero/non-finite steps can never form a
+                    // voltage grid, so they stay hard errors.
+                    if spec.step == 0.0 || !spec.step.is_finite() {
+                        return Err(ParseError::new(
+                            line,
+                            "sweep step must be finite and nonzero",
+                        ));
                     }
                     file.sweep = Some(spec);
+                    file.spans.sweep = line;
                 }
                 "adaptive" => {
                     expect_args(&parts, 2, line, "adaptive")?;
@@ -657,6 +667,15 @@ sweep 2 0.02 0.00005
         assert!(CircuitFile::parse("cap 1 2 0\n").is_err());
         assert!(CircuitFile::parse("temp -4\n").is_err());
         assert!(CircuitFile::parse("sweep 1 0.1 0\n").is_err());
+        assert!(CircuitFile::parse("sweep 1 0.1 1e999\n").is_err());
+    }
+
+    #[test]
+    fn negative_sweep_step_parses() {
+        // Direction errors are SC010 lint findings, not parse errors.
+        let f = CircuitFile::parse("sweep 1 -0.1 -0.001\n").unwrap();
+        assert_eq!(f.sweep.unwrap().step, -0.001);
+        assert_eq!(f.spans.sweep, 1);
     }
 
     #[test]

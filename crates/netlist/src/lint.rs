@@ -1,7 +1,7 @@
 //! Static analysis of parsed netlists: builds the abstract
 //! `semsim-check` models from [`CircuitFile`] / [`RawLogicFile`] and
-//! adds the directive-level checks (SC004, SC008, SC009) that need
-//! netlist vocabulary.
+//! adds the directive-level checks (SC004, SC008, SC009, SC010) that
+//! need netlist vocabulary.
 
 use std::collections::HashMap;
 
@@ -20,6 +20,10 @@ const KB_EV: f64 = 8.617_333_262e-5;
 /// superconductors reach ~2.2·kB·Tc (25% above BCS), so the gate sits
 /// just beyond that.
 const BCS_GAP_TOLERANCE: f64 = 0.35;
+
+/// Point-count cap for SC010: a sweep beyond this many points is a
+/// runaway — more Monte Carlo work than any I–V plot can use.
+const MAX_SWEEP_POINTS: f64 = 1e6;
 
 /// First source line mentioning each node number, for spanned
 /// node-level diagnostics.
@@ -241,14 +245,69 @@ fn check_superconducting(file: &CircuitFile, diags: &mut Diagnostics) {
     }
 }
 
+/// SC010: a degenerate or runaway `sweep`. A zero or non-finite step
+/// can never form a voltage grid (error; the parser rejects it too, but
+/// programmatically built files reach lint directly). A step pointing
+/// away from the end voltage is suspicious but recoverable (warning:
+/// the compiled sweep auto-corrects the direction). A grid of more than
+/// [`MAX_SWEEP_POINTS`] points is a runaway simulation request (error).
+fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
+    let Some(spec) = &file.sweep else {
+        return;
+    };
+    let span = Span::line(file.spans.sweep);
+    if spec.step == 0.0 || !spec.step.is_finite() {
+        diags.push(Diagnostic::new(
+            DiagCode::RunawaySweep,
+            format!("sweep step {} cannot form a voltage grid", spec.step),
+            span,
+        ));
+        return;
+    }
+    let start = file
+        .sources
+        .iter()
+        .find(|&&(n, _)| n == spec.node)
+        .map(|&(_, v)| v)
+        .unwrap_or(0.0);
+    let distance = spec.end - start;
+    if distance != 0.0 && distance.signum() != spec.step.signum() {
+        diags.push(
+            Diagnostic::new(
+                DiagCode::RunawaySweep,
+                format!(
+                    "sweep step {} points away from the end voltage {} (start {start}); \
+                     the compiled sweep auto-corrects the direction",
+                    spec.step, spec.end
+                ),
+                span,
+            )
+            .with_severity(Severity::Warning),
+        );
+    }
+    let points = (distance / spec.step).abs();
+    if points > MAX_SWEEP_POINTS {
+        diags.push(Diagnostic::new(
+            DiagCode::RunawaySweep,
+            format!(
+                "sweep from {start} to {} in steps of {} takes {points:.0} points \
+                 (limit {MAX_SWEEP_POINTS:.0})",
+                spec.end, spec.step
+            ),
+            span,
+        ));
+    }
+}
+
 /// Runs every circuit-level check: the electrical analyses of
 /// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
-/// (SC004, SC008, SC009). Pure inspection — never fails.
+/// (SC004, SC008, SC009, SC010). Pure inspection — never fails.
 pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     let mut diags = check_circuit(&circuit_model(file));
     check_parameters(file, &mut diags);
     check_symmetry(file, &mut diags);
     check_superconducting(file, &mut diags);
+    check_sweep(file, &mut diags);
     diags.sort();
     diags
 }
@@ -386,6 +445,71 @@ mod tests {
         let f = CircuitFile::parse(
             "junc 1 0 2 1e-6 110e-18\njunc 2 2 1 1e-6 110e-18\nvdc 1 0.001\n\
              super\ngap 0.18e-3\ntc 1.2\ntemp 0.05\n",
+        )
+        .unwrap();
+        assert!(lint_circuit(&f).is_empty());
+    }
+
+    #[test]
+    fn zero_step_sweep_is_sc010_error() {
+        // The parser rejects a zero step, so build the file in code —
+        // the path a programmatic frontend would take.
+        let mut f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\n",
+        )
+        .unwrap();
+        f.sweep = Some(crate::SweepSpec {
+            node: 2,
+            end: 0.02,
+            step: 0.0,
+        });
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::RunawaySweep)
+            .expect("SC010");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn wrong_sign_sweep_is_sc010_warning() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 -0.002\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::RunawaySweep)
+            .expect("SC010 warning");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 8);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn runaway_point_count_is_sc010_error() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 1e-9\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::RunawaySweep)
+            .expect("SC010");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.line, 8);
+    }
+
+    #[test]
+    fn sane_sweep_is_clean() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.002\n",
         )
         .unwrap();
         assert!(lint_circuit(&f).is_empty());

@@ -18,7 +18,17 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace -q --features fault-inject"
+cargo test --workspace -q --features fault-inject
+
 echo "==> semsim lint examples/netlists/*"
 ./target/release/semsim lint examples/netlists/*
+
+echo "==> drift-audit overhead budget (<5%)"
+overhead_out=$(cargo run -q --release -p semsim-bench --bin audit_overhead)
+echo "$overhead_out"
+pct=$(echo "$overhead_out" | grep -oP 'audit-overhead-pct: \K[-0-9.]+')
+awk -v p="$pct" 'BEGIN { exit !(p < 5.0) }' \
+  || { echo "FAIL: drift-audit overhead ${pct}% exceeds the 5% budget"; exit 1; }
 
 echo "CI OK"

@@ -1,16 +1,22 @@
 //! The `semsim` command-line tool.
 //!
-//! Currently a single subcommand:
-//!
 //! ```text
 //! semsim lint <file>...
+//! semsim run <netlist.cir> [--events N] [--checkpoint-every N]
+//!                          [--checkpoint FILE] [--resume FILE]
 //! ```
 //!
-//! runs the static netlist checks (diagnostic codes SC001–SC009) over
-//! each file and prints rustc-style diagnostics. Files are treated as
-//! gate-level logic netlists when their first directive is one of the
+//! `lint` runs the static netlist checks (diagnostic codes SC001–SC010)
+//! over each file and prints rustc-style diagnostics. Files are treated
+//! as gate-level logic netlists when their first directive is one of the
 //! logic keywords (`input`, `output`, `inv`, `nand`, …) or the file
 //! ends in `.logic`; everything else is parsed as the circuit format.
+//!
+//! `run` compiles a circuit netlist and executes a Monte Carlo run at
+//! the declared bias, optionally writing a binary checkpoint every N
+//! events (`--checkpoint-every`) and resuming from one (`--resume`).
+//! A resumed run continues to the same total event target and produces
+//! the same trajectory the uninterrupted run would have.
 //!
 //! Exit status: 0 when every file is clean or carries only warnings,
 //! 1 when any file has an error-severity finding or fails to parse,
@@ -18,12 +24,26 @@
 
 use std::process::ExitCode;
 
+use semsim::core::constants::E_CHARGE;
+use semsim::core::engine::{RunLength, Simulation};
+use semsim::core::health::{RunOutcome, Supervisor};
 use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
 
-const USAGE: &str = "usage: semsim lint <netlist>...
+const USAGE: &str = "usage: semsim <command>
 
-Runs the static circuit/logic netlist checks (SC001-SC009) and prints
-rustc-style diagnostics. See docs/diagnostics.md for the code table.";
+commands:
+  lint <netlist>...
+      Run the static circuit/logic netlist checks (SC001-SC010) and
+      print rustc-style diagnostics. See docs/diagnostics.md.
+
+  run <netlist.cir> [--events N] [--checkpoint-every N]
+                    [--checkpoint FILE] [--resume FILE]
+      Compile the circuit and execute a Monte Carlo run at the declared
+      bias. --events overrides the file's `jumps` directive (total
+      events since the start of the trajectory). --checkpoint-every
+      writes a binary snapshot to FILE (default: <netlist>.ckpt) every
+      N events; --resume restores one and continues the identical
+      trajectory. See docs/robustness.md.";
 
 /// Directive keywords that identify the gate-level logic format.
 const LOGIC_KEYWORDS: [&str; 10] = [
@@ -82,6 +102,174 @@ fn lint_file(path: &str) -> bool {
     !diags.has_errors()
 }
 
+/// Parsed `semsim run` options.
+struct RunOpts {
+    netlist: String,
+    events: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        netlist: String::new(),
+        events: None,
+        checkpoint_every: None,
+        checkpoint: None,
+        resume: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--events" => {
+                opts.events = Some(
+                    value("--events")?
+                        .parse()
+                        .map_err(|_| "invalid `--events` count".to_string())?,
+                );
+            }
+            "--checkpoint-every" => {
+                let n: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "invalid `--checkpoint-every` count".to_string())?;
+                if n == 0 {
+                    return Err("`--checkpoint-every` must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => opts.resume = Some(value("--resume")?),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path if opts.netlist.is_empty() => opts.netlist = path.to_string(),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if opts.netlist.is_empty() {
+        return Err("`semsim run` needs a netlist file".into());
+    }
+    Ok(opts)
+}
+
+/// Executes `semsim run`; returns `true` on success.
+fn run_file(opts: &RunOpts) -> bool {
+    match try_run(opts) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+fn try_run(opts: &RunOpts) -> Result<(), String> {
+    let source = std::fs::read_to_string(&opts.netlist)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
+    let file =
+        CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    let compiled = file
+        .compile()
+        .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    for w in compiled.warnings.iter() {
+        eprintln!("warning[{}]: {}", w.code.code(), w.message);
+    }
+    let cfg = file
+        .sim_config()
+        .map_err(|e| format!("{}: {e}", opts.netlist))?
+        .with_supervisor(Supervisor {
+            blockade_is_outcome: true,
+            ..Supervisor::default()
+        });
+    let mut sim = Simulation::new(&compiled.circuit, cfg).map_err(|e| e.to_string())?;
+
+    if let Some(path) = &opts.resume {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        sim.resume(&bytes).map_err(|e| e.to_string())?;
+        println!(
+            "resumed from {path}: event {} at t = {:.6e} s",
+            sim.events(),
+            sim.time()
+        );
+    }
+
+    let target = opts
+        .events
+        .or(file.jumps.map(|(e, _)| e))
+        .unwrap_or(100_000);
+    let chunk = opts.checkpoint_every.unwrap_or(target.max(1));
+    let checkpoint_path = opts.checkpoint.clone().or_else(|| {
+        opts.checkpoint_every
+            .map(|_| format!("{}.ckpt", opts.netlist))
+    });
+
+    let junction = match &file.record {
+        Some(r) => compiled.junction(r.from).map_err(|e| e.to_string())?,
+        None => compiled
+            .circuit
+            .junction_ids()
+            .next()
+            .ok_or_else(|| "netlist has no junctions".to_string())?,
+    };
+    let mut duration = 0.0;
+    let mut electrons = 0.0;
+    let mut outcome = RunOutcome::Completed;
+    while sim.events() < target {
+        let n = chunk.min(target - sim.events());
+        let rec = sim.run(RunLength::Events(n)).map_err(|e| e.to_string())?;
+        duration += rec.duration;
+        electrons += rec.electron_counts[junction.index()];
+        outcome = rec.outcome;
+        for d in &rec.degradations {
+            eprintln!(
+                "degraded: drift {:.3} at event {} (threshold now {:?})",
+                d.drift, d.event, d.threshold_after
+            );
+        }
+        if let Some(path) = &checkpoint_path {
+            let bytes = sim.checkpoint().map_err(|e| e.to_string())?;
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!(
+                "checkpoint: {path} ({} bytes) at event {}",
+                bytes.len(),
+                sim.events()
+            );
+        }
+        if outcome != RunOutcome::Completed {
+            break;
+        }
+    }
+
+    let current = if duration > 0.0 {
+        -E_CHARGE * electrons / duration
+    } else {
+        0.0
+    };
+    let health = sim.health_report();
+    println!(
+        "done: {} events, t = {:.6e} s, outcome {:?}",
+        sim.events(),
+        sim.time(),
+        outcome
+    );
+    println!("current through recorded junction: {current:.6e} A");
+    if health.audits > 0 {
+        println!(
+            "health: {} audits, worst drift {:.3e}, {} degradation(s)",
+            health.audits,
+            health.worst_drift,
+            health.degradations.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -100,6 +288,19 @@ fn main() -> ExitCode {
             eprintln!("error: `semsim lint` needs at least one netlist file\n\n{USAGE}");
             ExitCode::from(2)
         }
+        Some((cmd, rest)) if cmd == "run" => match parse_run_opts(rest) {
+            Ok(opts) => {
+                if run_file(&opts) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some((cmd, _)) => {
             eprintln!("error: unknown subcommand `{cmd}`\n\n{USAGE}");
             ExitCode::from(2)

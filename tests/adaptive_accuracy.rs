@@ -130,3 +130,83 @@ fn zero_threshold_event_stream_is_statistically_identical() {
     let rel = (t_adp - t_ref).abs() / t_ref;
     assert!(rel < 0.05, "durations {t_ref} vs {t_adp} ({rel:.4})");
 }
+
+#[test]
+fn drift_audit_stays_clean_on_logic_benchmark() {
+    // The runtime's periodic drift audit, running on a multi-stage
+    // logic circuit under the adaptive solver at a practical θ, must
+    // observe only the drift the threshold permits: no degradation
+    // events, and the observables still match the reference solver.
+    let params = SetLogicParams::default();
+    let logic = synthesize(60, 6, 21);
+    let elab = elaborate(&logic, &params).unwrap();
+    let run = |spec: SolverSpec, audit: Option<u64>| {
+        let mut cfg = SimConfig::new(params.temperature)
+            .with_seed(9)
+            .with_solver(spec);
+        if let Some(n) = audit {
+            cfg = cfg.with_audit_interval(n).with_drift_tolerance(0.5);
+        }
+        let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).unwrap();
+            sim.set_lead_voltage(lead, params.vdd).unwrap();
+        }
+        let r = sim.run(RunLength::Events(10_000)).unwrap();
+        (r.duration / r.events as f64, sim.health_report())
+    };
+    let (dt_ref, _) = run(SolverSpec::NonAdaptive, None);
+    let (dt_adp, report) = run(adaptive_spec(0.05), Some(500));
+    assert_eq!(report.audits, 20, "expected an audit every 500 events");
+    assert!(
+        report.worst_drift.is_finite() && report.worst_drift >= 0.0,
+        "{report:?}"
+    );
+    assert!(
+        report.degradations.is_empty(),
+        "θ = 0.05 drifted past tolerance: {report:?}"
+    );
+    let err = (dt_adp - dt_ref).abs() / dt_ref;
+    assert!(err < 0.10, "event-rate error {err:.3} under auditing");
+}
+
+#[test]
+fn checkpoint_round_trip_is_bit_identical() {
+    // The checkpoint contract: an interrupted-and-resumed run must
+    // reproduce the uninterrupted trajectory bit for bit — identical
+    // event counts, identical duration, identical probe samples —
+    // under both solvers.
+    let params = SetLogicParams::default();
+    let logic = synthesize(24, 4, 7);
+    let elab = elaborate(&logic, &params).unwrap();
+    for spec in [SolverSpec::NonAdaptive, adaptive_spec(0.05)] {
+        let make = || {
+            let cfg = SimConfig::new(params.temperature)
+                .with_seed(77)
+                .with_solver(spec);
+            let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+            for name in &logic.inputs {
+                let lead = elab.input_lead(name).unwrap();
+                sim.set_lead_voltage(lead, params.vdd).unwrap();
+            }
+            sim.add_probe(elab.circuit.island_node(0), 250);
+            sim
+        };
+
+        // Uninterrupted reference: 10k warm-up + checkpoint mid-flight,
+        // then 10k more.
+        let mut straight = make();
+        straight.run(RunLength::Events(10_000)).unwrap();
+        let snapshot = straight.checkpoint().unwrap();
+        let reference = straight.run(RunLength::Events(10_000)).unwrap();
+
+        // Interrupted run: a fresh simulation restored from the bytes.
+        let mut resumed = make();
+        resumed.resume(&snapshot).unwrap();
+        assert_eq!(resumed.events(), 10_000);
+        let replay = resumed.run(RunLength::Events(10_000)).unwrap();
+
+        assert_eq!(reference, replay, "trajectory diverged ({spec:?})");
+        assert_eq!(straight.time().to_bits(), resumed.time().to_bits());
+    }
+}

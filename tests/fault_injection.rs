@@ -1,0 +1,173 @@
+//! Fault-injection tests (only built with `--features fault-inject`):
+//! each scripted fault class must be caught by the specific recovery
+//! path the runtime promises for it — NaN poison by the point-of-
+//! production health guard, stale adaptive caches by the drift audit's
+//! flush-and-tighten degradation, and a failed refresh by the guard
+//! inside the resync itself.
+
+#![cfg(feature = "fault-inject")]
+
+use semsim::core::circuit::{Circuit, CircuitBuilder};
+use semsim::core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim::core::health::{FaultPlan, FaultStage, RunOutcome};
+use semsim::core::CoreError;
+
+/// A conducting SET biased at the charge degeneracy point: both
+/// junctions tunnel at a healthy rate, so every fault site is hot.
+fn conducting_set() -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let src = b.add_lead(20e-3);
+    let drn = b.add_lead(-20e-3);
+    let island = b.add_island_with_charge(0.5);
+    b.add_junction(src, island, 1e6, 1e-18).unwrap();
+    b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn poisoned_rate_is_caught_by_production_guard() {
+    let circuit = conducting_set();
+    let mut sim = Simulation::new(&circuit, SimConfig::new(5.0).with_seed(7)).unwrap();
+    sim.inject_faults(FaultPlan::new().poison_rate(50, 0));
+    let err = sim.run(RunLength::Events(5_000)).unwrap_err();
+    match err {
+        CoreError::NumericalFault {
+            stage,
+            junction,
+            value,
+        } => {
+            assert_eq!(stage, FaultStage::TunnelRate);
+            assert_eq!(junction, Some(0));
+            assert!(value.is_nan(), "guard saw {value}, expected NaN");
+        }
+        other => panic!("expected NumericalFault, got {other:?}"),
+    }
+    // The fault surfaced promptly: the non-adaptive solver rewrites
+    // every rate each event, so the poison cannot hide past the event
+    // after it was armed.
+    assert!(sim.events() >= 50 && sim.events() <= 52, "{}", sim.events());
+}
+
+#[test]
+fn poisoned_rate_is_caught_under_adaptive_solver_too() {
+    let cfg = SimConfig::new(5.0)
+        .with_seed(7)
+        .with_solver(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 2_000,
+        });
+    let circuit = conducting_set();
+    let mut sim = Simulation::new(&circuit, cfg).unwrap();
+    sim.inject_faults(FaultPlan::new().poison_rate(50, 1));
+    let err = sim.run(RunLength::Events(5_000)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::NumericalFault {
+                stage: FaultStage::TunnelRate,
+                junction: Some(1),
+                ..
+            }
+        ),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn corrupted_cache_is_caught_by_drift_audit() {
+    // Silence junction 0's testing gate (cached |ΔW'| scaled by 1e6) so
+    // its rates go stale while the island charge keeps toggling. The
+    // periodic drift audit must notice, flush the caches, tighten θ,
+    // and let the run complete cleanly.
+    let theta = 0.05;
+    let cfg = SimConfig::new(5.0)
+        .with_seed(11)
+        .with_solver(SolverSpec::Adaptive {
+            threshold: theta,
+            refresh_interval: u64::MAX, // no periodic refresh to mask the fault
+        })
+        .with_audit_interval(100)
+        .with_drift_tolerance(0.05);
+    let circuit = conducting_set();
+    let mut sim = Simulation::new(&circuit, cfg).unwrap();
+    sim.inject_faults(FaultPlan::new().corrupt_cache(100, 0, 1e6));
+    let record = sim.run(RunLength::Events(4_000)).unwrap();
+
+    assert_eq!(record.outcome, RunOutcome::Completed);
+    let report = sim.health_report();
+    assert!(report.audits > 0, "no audits ran");
+    assert!(
+        !report.degradations.is_empty(),
+        "drift audit never fired a degradation (worst drift {:.3e})",
+        report.worst_drift
+    );
+    let d = &report.degradations[0];
+    assert!(d.event >= 100, "degradation before the fault: {d:?}");
+    assert!(
+        d.drift > 0.05,
+        "recorded drift {:.3e} below tolerance",
+        d.drift
+    );
+    // Graceful degradation tightened the threshold below the configured
+    // value (θ halves on every failed audit).
+    let after = d.threshold_after.expect("adaptive run records θ");
+    assert!(after < theta, "θ not tightened: {after}");
+    // The degradations also ride along on the run's record.
+    assert_eq!(record.degradations.len(), report.degradations.len());
+    // After the flush the caches are sound again: a fresh audit-heavy
+    // stretch runs clean.
+    let before = sim.health_report().degradations.len();
+    sim.run(RunLength::Events(1_000)).unwrap();
+    assert_eq!(
+        sim.health_report().degradations.len(),
+        before,
+        "degradations kept firing after the recovery flush"
+    );
+}
+
+#[test]
+fn corrupted_cache_is_a_noop_for_nonadaptive_solver() {
+    // The non-adaptive solver holds no long-lived cache; the corruption
+    // hook must not disturb it.
+    let cfg = SimConfig::new(5.0).with_seed(3).with_audit_interval(200);
+    let circuit = conducting_set();
+    let mut sim = Simulation::new(&circuit, cfg).unwrap();
+    sim.inject_faults(FaultPlan::new().corrupt_cache(100, 0, 1e6));
+    let record = sim.run(RunLength::Events(2_000)).unwrap();
+    assert_eq!(record.outcome, RunOutcome::Completed);
+    let report = sim.health_report();
+    assert!(report.audits > 0);
+    assert!(report.degradations.is_empty(), "{report:?}");
+    assert!(report.worst_drift < 1e-9, "{:.3e}", report.worst_drift);
+}
+
+#[test]
+fn failed_refresh_surfaces_numerical_fault() {
+    // FailRefresh forces an immediate full resync with a poisoned rate:
+    // the guard inside the refresh path itself must reject it rather
+    // than let a NaN enter the rate table.
+    let cfg = SimConfig::new(5.0)
+        .with_seed(5)
+        .with_solver(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 2_000,
+        });
+    let circuit = conducting_set();
+    let mut sim = Simulation::new(&circuit, cfg).unwrap();
+    sim.inject_faults(FaultPlan::new().fail_refresh(75, 0));
+    let err = sim.run(RunLength::Events(5_000)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::NumericalFault {
+                stage: FaultStage::TunnelRate,
+                junction: Some(0),
+                ..
+            }
+        ),
+        "unexpected error: {err:?}"
+    );
+    // The failure is reported at the refresh, not deferred: the rate
+    // table was never contaminated with the poisoned value.
+    assert!(sim.events() >= 75 && sim.events() <= 77, "{}", sim.events());
+}

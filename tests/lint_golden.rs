@@ -141,6 +141,26 @@ fn sc009_temp_above_tc() {
     );
 }
 
+#[test]
+fn sc010_runaway_sweep() {
+    assert_diag(
+        "sc010_runaway_sweep.cir",
+        DiagCode::RunawaySweep,
+        Severity::Error,
+        8,
+    );
+}
+
+#[test]
+fn sc010_wrong_sign_sweep() {
+    assert_diag(
+        "sc010_wrong_sign_sweep.cir",
+        DiagCode::RunawaySweep,
+        Severity::Warning,
+        8,
+    );
+}
+
 /// The example netlists shipped with the crate must lint clean — they
 /// are what `semsim lint` is demonstrated on in the README.
 #[test]
