@@ -52,6 +52,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Parallel execution options from the `threads` key: `threads=N`
+    /// pins the worker count, otherwise all available cores are used.
+    /// The determinism contract of [`semsim_core::par`] makes the
+    /// choice observable only in wall-clock time, never in output.
+    pub fn par_opts(&self) -> semsim_core::par::ParOpts {
+        semsim_core::par::ParOpts::with_threads(self.usize_or("threads", 0))
+    }
+
     /// A boolean flag (`key=1`/`true`/`yes`).
     pub fn flag(&self, key: &str) -> bool {
         matches!(

@@ -10,10 +10,12 @@
 //! reference within Monte Carlo noise.
 //!
 //! Arguments: `events` (default 30000), `benchmark_sets` (default 236 —
-//! half of 74LS280), `seed` (9).
+//! half of 74LS280), `seed` (9), `threads` (all cores; the settings
+//! grid runs in parallel).
 
 use semsim_bench::args::Args;
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_core::par::par_indexed;
 use semsim_logic::{elaborate, synthesize, SetLogicParams};
 
 fn main() {
@@ -21,6 +23,7 @@ fn main() {
     let events = args.u64_or("events", 30_000);
     let sets = args.usize_or("benchmark_sets", 236);
     let seed = args.u64_or("seed", 9);
+    let opts = args.par_opts();
 
     let params = SetLogicParams::default();
     let logic = synthesize(sets.max(2) & !1, 8, 42);
@@ -56,26 +59,36 @@ fn main() {
         "theta", "refresh", "dt err %", "recalcs/ev", "work save"
     );
 
-    for &theta in &[0.0, 0.01, 0.05, 0.1, 0.3, 1.0] {
-        for &refresh in &[100u64, 1_000, 100_000] {
-            let spec = SolverSpec::Adaptive {
-                threshold: theta,
-                refresh_interval: refresh,
-            };
-            match run(spec) {
-                Some((dt, recalcs)) => {
-                    let err = (dt - ref_dt).abs() / ref_dt * 100.0;
-                    println!(
-                        "{:>10.2} {:>10} {:>13.2}% {:>12.1} {:>9.1}x",
-                        theta,
-                        refresh,
-                        err,
-                        recalcs,
-                        ref_recalcs / recalcs.max(1e-9)
-                    );
-                }
-                None => println!("{theta:>10.2} {refresh:>10} FAILED"),
+    // Each (θ, refresh) setting is an independent run from the same
+    // seed; fan the grid out on the deterministic parallel driver and
+    // print the results in grid order.
+    let thetas = [0.0, 0.01, 0.05, 0.1, 0.3, 1.0];
+    let refreshes = [100u64, 1_000, 100_000];
+    let settings: Vec<(f64, u64)> = thetas
+        .iter()
+        .flat_map(|&t| refreshes.iter().map(move |&r| (t, r)))
+        .collect();
+    let results = par_indexed(settings.len(), opts, |i| {
+        let (theta, refresh) = settings[i];
+        run(SolverSpec::Adaptive {
+            threshold: theta,
+            refresh_interval: refresh,
+        })
+    });
+    for (&(theta, refresh), result) in settings.iter().zip(results) {
+        match result {
+            Some((dt, recalcs)) => {
+                let err = (dt - ref_dt).abs() / ref_dt * 100.0;
+                println!(
+                    "{:>10.2} {:>10} {:>13.2}% {:>12.1} {:>9.1}x",
+                    theta,
+                    refresh,
+                    err,
+                    recalcs,
+                    ref_recalcs / recalcs.max(1e-9)
+                );
             }
+            None => println!("{theta:>10.2} {refresh:>10} FAILED"),
         }
     }
 }

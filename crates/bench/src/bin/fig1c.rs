@@ -8,11 +8,13 @@
 //! = 0.8 mV`-per-junction scaled by the divider, and Cooper-pair (JQP)
 //! structure appears inside it.
 //!
-//! Arguments: `events` (default 20000), `points` (41), `seed` (42).
+//! Arguments: `events` (default 20000), `points` (41), `seed` (42),
+//! `threads` (all cores).
 
 use semsim_bench::args::Args;
 use semsim_bench::devices::{fig1_set, fig1c_params};
-use semsim_core::engine::{linspace, sweep, SimConfig};
+use semsim_core::engine::{linspace, SimConfig};
+use semsim_core::par::par_sweep;
 use semsim_core::CoreError;
 
 fn main() -> Result<(), CoreError> {
@@ -20,6 +22,7 @@ fn main() -> Result<(), CoreError> {
     let events = args.u64_or("events", 20_000);
     let points = args.usize_or("points", 41);
     let seed = args.u64_or("seed", 42);
+    let opts = args.par_opts();
 
     let dev = fig1_set()?;
     let config = SimConfig::new(0.05)
@@ -30,13 +33,14 @@ fn main() -> Result<(), CoreError> {
 
     let mut columns = Vec::new();
     for &vg in &gate_voltages {
-        let pts = sweep(
+        let pts = par_sweep(
             &dev.circuit,
             &config,
             dev.j1,
             &biases,
             events / 20,
             events,
+            opts,
             |sim, vds| {
                 sim.set_lead_voltage(dev.source_lead, vds / 2.0)?;
                 sim.set_lead_voltage(dev.drain_lead, -vds / 2.0)?;

@@ -14,14 +14,16 @@
 //! sharply past the threshold.
 //!
 //! Arguments: `events` (default 6000), `nb` (36 bias points),
-//! `ng` (26 gate points), `temp` (0.52), `seed` (7).
+//! `ng` (26 gate points), `temp` (0.52), `seed` (7), `threads` (all
+//! cores).
 
 use semsim_bench::args::Args;
 use semsim_bench::devices::{fig5_params, fig5_set};
 use semsim_bench::features::{best_pair_detuning, qp_transport_open};
 use semsim_core::constants::HBAR;
 use semsim_core::energy::CircuitState;
-use semsim_core::engine::{linspace, RunLength, SimConfig, Simulation};
+use semsim_core::engine::{linspace, SimConfig};
+use semsim_core::par::par_map2d;
 use semsim_core::superconduct::{gap_at, QpRateTable};
 use semsim_core::CoreError;
 
@@ -32,6 +34,7 @@ fn main() -> Result<(), CoreError> {
     let ng = args.usize_or("ng", 26);
     let temp = args.f64_or("temp", 0.52);
     let seed = args.u64_or("seed", 7);
+    let opts = args.par_opts();
 
     let dev = fig5_set()?;
     let params = fig5_params()?;
@@ -55,22 +58,26 @@ fn main() -> Result<(), CoreError> {
 
     println!("# Fig. 5 — SSET current map, T = {temp} K, Qb = 0.65 e");
     println!("# vb(V) vg(V) I(A)");
-    for &vg in &gates {
-        for &vb in &biases {
-            let cfg = config.clone();
-            let mut sim = Simulation::new(&dev.circuit, cfg)?;
+    // Row-major map over the (gate, bias) grid on the deterministic
+    // parallel driver; the printed values are identical for any thread
+    // count.
+    let map = par_map2d(
+        &dev.circuit,
+        &config,
+        dev.j1,
+        &biases,
+        &gates,
+        events / 10,
+        events,
+        opts,
+        |sim, vb, vg| {
             sim.set_lead_voltage(dev.source_lead, vb)?;
-            sim.set_lead_voltage(dev.gate_lead, vg)?;
-            let current = match sim.run(RunLength::Events(events / 10)) {
-                Err(CoreError::BlockadeStall { .. }) => 0.0,
-                Err(e) => return Err(e),
-                Ok(_) => match sim.run(RunLength::Events(events)) {
-                    Err(CoreError::BlockadeStall { .. }) => 0.0,
-                    Err(e) => return Err(e),
-                    Ok(r) => r.current(dev.j1),
-                },
-            };
-            println!("{vb:>10.4e} {vg:>10.4e} {current:>12.4e}");
+            sim.set_lead_voltage(dev.gate_lead, vg)
+        },
+    )?;
+    for row in map.chunks(biases.len()) {
+        for p in row {
+            println!("{:>10.4e} {:>10.4e} {:>12.4e}", p.x, p.y, p.current);
         }
         println!();
     }

@@ -21,13 +21,16 @@
 //! toggles per window, 4), `spice_max_junctions` (default 2072),
 //! `max_junctions` (default unlimited), `seed` (1),
 //! `spice_steps` (timed SPICE steps, 12), `sim_time` (default 1e-5),
-//! `temp` (K; default = the logic family's 2 K operating point).
+//! `temp` (K; default = the logic family's 2 K operating point),
+//! `threads` (all cores; affects only the untimed vector search — the
+//! timed measurements always run serially).
 
 use std::time::Instant;
 
 use semsim_bench::args::Args;
 use semsim_bench::timing::{fmt_secs, measure_mc};
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, Stimulus};
+use semsim_core::par::par_indexed;
 use semsim_logic::{elaborate, find_sensitizing_vector, Benchmark, SetLogicParams};
 use semsim_spice::logic_map::map_logic;
 
@@ -41,6 +44,7 @@ fn main() {
     let seed = args.u64_or("seed", 1);
     let spice_steps = args.u64_or("spice_steps", 12);
     let sim_time = args.f64_or("sim_time", 1e-5);
+    let opts = args.par_opts();
 
     let mut params = SetLogicParams::default();
     // Colder circuits have fewer thermally active regions, which widens
@@ -53,11 +57,28 @@ fn main() {
         "benchmark", "junc", "nonadapt(s)", "semsim(s)", "spice(s)", "speedup"
     );
 
-    for b in Benchmark::all() {
-        if b.target_junctions() > max_junctions {
-            continue;
-        }
-        let logic = b.logic();
+    // The sensitizing-vector search is pure and independent per
+    // benchmark, so it is prefetched in parallel. Everything after it is
+    // wall-clock *measurement* and must stay serial — co-running workers
+    // would pollute the per-event timings this figure exists to report.
+    let benches: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|b| b.target_junctions() <= max_junctions)
+        .collect();
+    let prefetched = par_indexed(benches.len(), opts, |i| {
+        let logic = benches[i].logic();
+        let found =
+            find_sensitizing_vector(&logic, benches[i].delay_output(), seed).or_else(|| {
+                logic
+                    .outputs
+                    .iter()
+                    .rev()
+                    .find_map(|o| find_sensitizing_vector(&logic, o, seed))
+            });
+        (logic, found)
+    });
+
+    for (&b, (logic, found)) in benches.iter().zip(prefetched) {
         let t_build = Instant::now();
         let elab = match elaborate(&logic, &params) {
             Ok(e) => e,
@@ -69,14 +90,8 @@ fn main() {
         let build_s = t_build.elapsed().as_secs_f64();
 
         // Stimulus: toggle the sensitizing input of the canonical delay
-        // output, falling back to any controllable output.
-        let found = find_sensitizing_vector(&logic, b.delay_output(), seed).or_else(|| {
-            logic
-                .outputs
-                .iter()
-                .rev()
-                .find_map(|o| find_sensitizing_vector(&logic, o, seed))
-        });
+        // output, falling back to any controllable output (prefetched
+        // above).
         let (vector, input_idx) = match found {
             Some(v) => v,
             None => {

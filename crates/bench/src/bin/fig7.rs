@@ -13,10 +13,12 @@
 //! seed on the non-adaptive reference; raise to run them all),
 //! `spice_max_junctions` (default 484), `theta` (0.05),
 //! `refresh` (1000), `settle` (default 40 × switching time — the
-//! embedded delay line is 8 stages deep), `window` (100 ×).
+//! embedded delay line is 8 stages deep), `window` (100 ×),
+//! `threads` (all cores; per-seed runs execute in parallel).
 
 use semsim_bench::args::Args;
 use semsim_core::engine::{SimConfig, SolverSpec};
+use semsim_core::par::par_indexed;
 use semsim_logic::{
     elaborate, find_sensitizing_vector, measure_delay_avg, Benchmark, SetLogicParams,
 };
@@ -32,6 +34,7 @@ fn main() {
     let settle_factor = args.f64_or("settle", 40.0);
     let window_factor = args.f64_or("window", 60.0);
     let transitions = args.usize_or("transitions", 6);
+    let opts = args.par_opts();
 
     let params = SetLogicParams::default();
     println!("# Fig. 7 — propagation delay error vs non-adaptive MC ({seeds} seeds)");
@@ -84,10 +87,15 @@ fn main() {
             }
         };
 
-        // Reference: averaged non-adaptive delays.
-        let ref_delays: Vec<f64> = (0..seeds)
-            .filter_map(|s| run(SolverSpec::NonAdaptive, 100 + s))
-            .collect();
+        // Reference: averaged non-adaptive delays. Each seed is an
+        // independent trajectory, so the seed loop runs on the
+        // deterministic parallel driver.
+        let ref_delays: Vec<f64> = par_indexed(seeds as usize, opts, |s| {
+            run(SolverSpec::NonAdaptive, 100 + s as u64)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         if ref_delays.is_empty() {
             eprintln!("{}: reference failed", b.name());
             continue;
@@ -114,8 +122,9 @@ fn main() {
             threshold: theta,
             refresh_interval: refresh.max(4 * elab.circuit.num_islands() as u64),
         };
-        let errors: Vec<f64> = (0..seeds)
-            .filter_map(|s| run(adaptive, 100 + s))
+        let errors: Vec<f64> = par_indexed(seeds as usize, opts, |s| run(adaptive, 100 + s as u64))
+            .into_iter()
+            .flatten()
             .map(|d| (d - d_ref).abs() / d_ref * 100.0)
             .collect();
         let semsim_err = if errors.is_empty() {

@@ -85,6 +85,11 @@ pub enum DiagCode {
     /// (warning: the compiled sweep auto-corrects the direction), or a
     /// grid of more than 10⁶ points (error).
     RunawaySweep,
+    /// SC011: a `jumps` ensemble whose run count is more than one but
+    /// small enough to fit inside a single worker's task chunk — the
+    /// parallel drivers cannot occupy a second thread, so the extra
+    /// replicas cost wall-clock time without any parallel payoff.
+    DegenerateEnsemble,
 }
 
 impl DiagCode {
@@ -101,6 +106,7 @@ impl DiagCode {
             DiagCode::AsymmetricSymmJunction => "SC008",
             DiagCode::SuperconductingGapMismatch => "SC009",
             DiagCode::RunawaySweep => "SC010",
+            DiagCode::DegenerateEnsemble => "SC011",
         }
     }
 
@@ -117,7 +123,8 @@ impl DiagCode {
             | DiagCode::UnreachableNode
             | DiagCode::UnusedOutput
             | DiagCode::AsymmetricSymmJunction
-            | DiagCode::SuperconductingGapMismatch => Severity::Warning,
+            | DiagCode::SuperconductingGapMismatch
+            | DiagCode::DegenerateEnsemble => Severity::Warning,
         }
     }
 }
@@ -300,6 +307,7 @@ mod tests {
         assert_eq!(DiagCode::UnusedOutput.code(), "SC007");
         assert_eq!(DiagCode::SuperconductingGapMismatch.code(), "SC009");
         assert_eq!(DiagCode::RunawaySweep.code(), "SC010");
+        assert_eq!(DiagCode::DegenerateEnsemble.code(), "SC011");
     }
 
     #[test]

@@ -1225,18 +1225,89 @@ pub struct SweepPoint {
     pub control: f64,
     /// Measured time-averaged current (A).
     pub current: f64,
+    /// Why the measurement run stopped. A true Coulomb-blockade zero is
+    /// [`RunOutcome::Blockaded`]; a point whose supervisor budget
+    /// expired before measuring anything is
+    /// [`RunOutcome::WallClockExceeded`]/[`RunOutcome::EventCapReached`]
+    /// — previously both read as an indistinguishable `0.0 A`.
+    pub outcome: RunOutcome,
+    /// Tunnel events actually measured (after warmup).
+    pub events: u64,
+}
+
+impl SweepPoint {
+    /// `true` when the point's current is a trustworthy measurement:
+    /// the run completed, or the device is genuinely blockaded (zero is
+    /// the physical reading). Budget-truncated points return `false`.
+    pub fn is_measured(&self) -> bool {
+        matches!(
+            self.outcome,
+            RunOutcome::Completed | RunOutcome::Blockaded { .. }
+        )
+    }
+}
+
+/// Measures one sweep/map point: a fresh simulation of `circuit` with
+/// the task's split seed, `setup` applied, `warmup` discarded events,
+/// `events` measured events through `junction`. Shared by the serial
+/// [`sweep`] and the parallel drivers in [`crate::par`] — bit-identical
+/// results regardless of the caller.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sweep_point<F>(
+    circuit: &Circuit,
+    config: &SimConfig,
+    junction: JunctionId,
+    task: u64,
+    control: f64,
+    warmup: u64,
+    events: u64,
+    setup: &mut F,
+) -> Result<SweepPoint, CoreError>
+where
+    F: FnMut(&mut Simulation<'_>, f64) -> Result<(), CoreError> + ?Sized,
+{
+    let cfg = config
+        .clone()
+        .with_seed(crate::rng::split_seed(config.seed, task));
+    let mut sim = Simulation::new(circuit, cfg)?;
+    setup(&mut sim, control)?;
+    let blockaded = |time| SweepPoint {
+        control,
+        current: 0.0,
+        outcome: RunOutcome::Blockaded { time },
+        events: 0,
+    };
+    match sim.run(RunLength::Events(warmup)) {
+        Err(CoreError::BlockadeStall { time }) => Ok(blockaded(time)),
+        Err(e) => Err(e),
+        Ok(_) => match sim.run(RunLength::Events(events)) {
+            Err(CoreError::BlockadeStall { time }) => Ok(blockaded(time)),
+            Err(e) => Err(e),
+            Ok(record) => Ok(SweepPoint {
+                control,
+                current: record.current(junction),
+                outcome: record.outcome,
+                events: record.events,
+            }),
+        },
+    }
 }
 
 /// Sweeps a control variable, building a fresh simulation per point.
 ///
 /// `setup(sim, x)` applies the control value (e.g. sets bias leads);
 /// `warmup` events are discarded before `events` measured events. The
-/// current is measured through `junction`.
+/// current is measured through `junction`. Each point draws from its
+/// own PRNG stream derived by [`crate::rng::split_seed`] from
+/// `(config.seed, point index)`, so this serial driver and the parallel
+/// [`crate::par::par_sweep`] produce bit-identical results.
 ///
 /// Points where the device is fully blockaded (zero total rate, which
 /// [`Simulation::run`] reports as a stall) record zero current — that is
 /// the physically correct reading for a Coulomb-blockaded device at the
-/// measurement precision of a finite run.
+/// measurement precision of a finite run; such points carry
+/// [`RunOutcome::Blockaded`] so they stay distinguishable from points
+/// truncated by a supervisor budget.
 ///
 /// # Errors
 ///
@@ -1255,23 +1326,9 @@ where
 {
     let mut out = Vec::with_capacity(controls.len());
     for (i, &x) in controls.iter().enumerate() {
-        let cfg = config.clone().with_seed(config.seed.wrapping_add(i as u64));
-        let mut sim = Simulation::new(circuit, cfg)?;
-        setup(&mut sim, x)?;
-        let warm = sim.run(RunLength::Events(warmup));
-        let current = match warm {
-            Err(CoreError::BlockadeStall { .. }) => 0.0,
-            Err(e) => return Err(e),
-            Ok(_) => match sim.run(RunLength::Events(events)) {
-                Err(CoreError::BlockadeStall { .. }) => 0.0,
-                Err(e) => return Err(e),
-                Ok(record) => record.current(junction),
-            },
-        };
-        out.push(SweepPoint {
-            control: x,
-            current,
-        });
+        out.push(run_sweep_point(
+            circuit, config, junction, i as u64, x, warmup, events, &mut setup,
+        )?);
     }
     Ok(out)
 }
@@ -1449,7 +1506,44 @@ mod tests {
         })
         .unwrap();
         assert_eq!(pts[0].current, 0.0, "blockaded point reads zero");
+        assert!(matches!(pts[0].outcome, RunOutcome::Blockaded { .. }));
+        assert!(pts[0].is_measured(), "blockade zero is a physical reading");
         assert!(pts[1].current > 0.0);
+        assert_eq!(pts[1].outcome, RunOutcome::Completed);
+        assert_eq!(pts[1].events, 2_000);
+    }
+
+    #[test]
+    fn sweep_wall_clock_point_distinguishable_from_blockade() {
+        // Two zero-current readings with opposite meanings: a genuinely
+        // blockaded device, and a conducting device whose wall-clock
+        // budget expired before a single event was measured. Before
+        // `SweepPoint::outcome` both collapsed to `current == 0.0`.
+        let (c, j1, _) = paper_set();
+        let bias = |sim: &mut Simulation<'_>, v: f64| {
+            sim.set_lead_voltage(1, v / 2.0)?;
+            sim.set_lead_voltage(2, -v / 2.0)
+        };
+        let blocked = sweep(&c, &SimConfig::new(0.01), j1, &[1e-3], 100, 2_000, bias).unwrap();
+        assert_eq!(blocked[0].current, 0.0);
+        assert!(matches!(blocked[0].outcome, RunOutcome::Blockaded { .. }));
+        assert!(blocked[0].is_measured());
+
+        // The same zero reading from a *conducting* device whose
+        // wall-clock budget expired before a single event was measured.
+        let strangled = SimConfig::new(0.01).with_supervisor(Supervisor {
+            wall_clock_budget: Some(1e-12),
+            ..Supervisor::default()
+        });
+        let cut = sweep(&c, &strangled, j1, &[40e-3], 100, 2_000, bias).unwrap();
+        assert_eq!(cut[0].current, 0.0);
+        assert!(
+            matches!(cut[0].outcome, RunOutcome::WallClockExceeded { .. }),
+            "truncated point must not masquerade as blockade: {:?}",
+            cut[0].outcome
+        );
+        assert!(!cut[0].is_measured());
+        assert_eq!(cut[0].events, 0);
     }
 
     #[test]

@@ -173,6 +173,31 @@ pub struct HealthReport {
     pub duplicate_stimuli_dropped: u64,
 }
 
+impl HealthReport {
+    /// An empty report (no audits, no incidents) — the identity of
+    /// [`HealthReport::absorb`].
+    pub fn empty() -> Self {
+        HealthReport {
+            audits: 0,
+            worst_drift: 0.0,
+            degradations: Vec::new(),
+            duplicate_stimuli_dropped: 0,
+        }
+    }
+
+    /// Folds another simulation's report into this one: audit and
+    /// dropped-stimulus counts add, the worst drift is the maximum, and
+    /// degradation incidents concatenate in absorption order. The
+    /// parallel ensemble driver absorbs replica reports in replica-index
+    /// order, so the merged report is independent of thread scheduling.
+    pub fn absorb(&mut self, other: &HealthReport) {
+        self.audits += other.audits;
+        self.worst_drift = self.worst_drift.max(other.worst_drift);
+        self.degradations.extend_from_slice(&other.degradations);
+        self.duplicate_stimuli_dropped += other.duplicate_stimuli_dropped;
+    }
+}
+
 /// Internal bookkeeping behind the drift audit and health report.
 #[derive(Debug)]
 pub(crate) struct HealthMonitor {

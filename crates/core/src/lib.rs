@@ -29,6 +29,9 @@
 //!   degradation, and the run supervisor (outcome taxonomy).
 //! * [`checkpoint`] — versioned binary snapshots for
 //!   checkpoint/resume of long runs.
+//! * [`par`] — deterministic parallel drivers (sweeps, 2-D maps, MC
+//!   ensembles) with counter-based seed splitting: bit-identical
+//!   results for any thread count.
 //!
 //! # Quickstart
 //!
@@ -67,6 +70,7 @@ pub mod events;
 pub mod fenwick;
 pub mod health;
 pub mod master;
+pub mod par;
 pub mod rates;
 pub mod rng;
 pub mod solver;

@@ -116,6 +116,8 @@ pub struct CircuitSpans {
     pub superconducting: usize,
     /// Line of the `sweep` directive.
     pub sweep: usize,
+    /// Line of the `jumps` directive.
+    pub jumps: usize,
 }
 
 /// A parsed circuit input file.
@@ -363,6 +365,7 @@ impl CircuitFile {
                         parse_num(parts[1], line, "event count")?,
                         parse_num(parts[2], line, "run count")?,
                     ));
+                    file.spans.jumps = line;
                 }
                 "time" => {
                     expect_args(&parts, 1, line, "time")?;

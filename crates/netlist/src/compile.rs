@@ -7,7 +7,9 @@ use std::collections::HashMap;
 
 use semsim_core::circuit::{Circuit, CircuitBuilder, JunctionId, NodeId};
 use semsim_core::constants::ev_to_joule;
-use semsim_core::engine::{sweep, RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
+use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
+use semsim_core::health::RunOutcome;
+use semsim_core::par::{par_sweep, Ensemble, EnsembleReport, ParOpts};
 use semsim_core::superconduct::SuperconductingParams;
 use semsim_core::CoreError;
 
@@ -180,11 +182,27 @@ impl CircuitFile {
     /// The paper's `symm` directive is honoured: the named source is
     /// held at minus the swept voltage.
     ///
+    /// Serial entry point — identical to
+    /// [`CircuitFile::execute_par`]`(ParOpts::serial())`; the parallel
+    /// driver is bit-identical for any thread count.
+    ///
     /// # Errors
     ///
     /// Compilation errors as [`ParseError`]; simulation errors convert
     /// to [`ParseError`] with the core error message.
     pub fn execute(&self) -> Result<Vec<SweepPoint>, ParseError> {
+        self.execute_par(ParOpts::serial())
+    }
+
+    /// [`CircuitFile::execute`] with explicit parallel execution
+    /// options. Sweep points run on the work queue in `opts`; the
+    /// determinism contract of [`semsim_core::par`] guarantees the
+    /// returned points are bit-identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitFile::execute`].
+    pub fn execute_par(&self, opts: ParOpts) -> Result<Vec<SweepPoint>, ParseError> {
         let compiled = self.compile()?;
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
@@ -203,10 +221,17 @@ impl CircuitFile {
                     None => sim.run(RunLength::Events(events)),
                 };
                 // A fully blockaded circuit reads zero current — the
-                // physically correct result, not a failure.
-                let current = match run_result {
-                    Ok(record) => record.current(record_junction),
-                    Err(CoreError::BlockadeStall { .. }) => 0.0,
+                // physically correct result, not a failure; the outcome
+                // keeps it distinguishable from a budget truncation.
+                let (current, outcome, measured) = match run_result {
+                    Ok(record) => (
+                        record.current(record_junction),
+                        record.outcome,
+                        record.events,
+                    ),
+                    Err(CoreError::BlockadeStall { time }) => {
+                        (0.0, RunOutcome::Blockaded { time }, 0)
+                    }
                     Err(e) => return Err(wrap(e)),
                 };
                 let bias = self
@@ -215,6 +240,8 @@ impl CircuitFile {
                 Ok(vec![SweepPoint {
                     control: bias,
                     current,
+                    outcome,
+                    events: measured,
                 }])
             }
             Some(spec) => {
@@ -238,13 +265,14 @@ impl CircuitFile {
                 let controls: Vec<f64> = (0..n_steps)
                     .map(|i| start + (spec.end - start) * i as f64 / (n_steps - 1).max(1) as f64)
                     .collect();
-                sweep(
+                par_sweep(
                     &compiled.circuit,
                     &cfg,
                     record_junction,
                     &controls,
                     events / 10,
                     events,
+                    opts,
                     |sim, v| {
                         sim.set_lead_voltage(lead, v)?;
                         if let Some(sl) = symm_lead {
@@ -256,6 +284,48 @@ impl CircuitFile {
                 .map_err(wrap)
             }
         }
+    }
+
+    /// Runs the file's `jumps <events> <runs>` declaration as an
+    /// independent-replica Monte Carlo ensemble: `runs` statistically
+    /// independent copies of the single-point simulation, fanned out
+    /// over `opts` and merged into one [`EnsembleReport`] (mean ± std
+    /// current, outcome tally, folded health report). The file must not
+    /// declare a `sweep` — an ensemble of sweeps is ambiguous.
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors as [`ParseError`]; a declared `sweep`
+    /// conflicts with ensemble execution; simulation errors convert
+    /// with the core error message.
+    pub fn execute_ensemble(&self, opts: ParOpts) -> Result<EnsembleReport, ParseError> {
+        if self.sweep.is_some() {
+            return Err(ParseError::new(
+                self.spans.sweep,
+                "ensemble execution conflicts with a `sweep` declaration".to_string(),
+            ));
+        }
+        let compiled = self.compile()?;
+        let cfg = self.sim_config()?;
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+        let record_junction = match &self.record {
+            Some(r) => compiled.junction(r.from).map_err(wrap)?,
+            None => JunctionId::from_index_checked(&compiled.circuit, 0).map_err(wrap)?,
+        };
+        let (events, runs) = self.jumps.unwrap_or((100_000, 1));
+        let length = match self.sim_time {
+            Some(t) => RunLength::Time(t),
+            None => RunLength::Events(events),
+        };
+        Ensemble::new(
+            &compiled.circuit,
+            cfg,
+            record_junction,
+            runs.max(1) as usize,
+            length,
+        )
+        .run(opts)
+        .map_err(wrap)
     }
 
     fn sweep_source_voltage(&self) -> Option<f64> {
@@ -341,6 +411,47 @@ jumps 3000 1
             pts[0].current,
             pts[4].current
         );
+    }
+
+    #[test]
+    fn execute_par_is_bit_identical_to_serial() {
+        let text = format!("{SET_FILE}symm 1\nsweep 2 0.02 0.01\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let serial = f.execute().unwrap();
+        for threads in [2, 4] {
+            let par = f.execute_par(ParOpts::with_threads(threads)).unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_run_point_carries_outcome() {
+        let f = CircuitFile::parse(SET_FILE).unwrap();
+        let pts = f.execute().unwrap();
+        assert!(matches!(pts[0].outcome, RunOutcome::Completed));
+        assert_eq!(pts[0].events, 3000);
+        assert!(pts[0].is_measured());
+    }
+
+    #[test]
+    fn ensemble_execution_merges_replicas() {
+        let text = SET_FILE.replace("jumps 3000 1", "jumps 1000 6");
+        let f = CircuitFile::parse(&text).unwrap();
+        let a = f.execute_ensemble(ParOpts::serial()).unwrap();
+        assert_eq!(a.replicas(), 6);
+        assert_eq!(a.outcomes.completed, 6);
+        assert!(a.mean_current.abs() > 1e-11);
+        assert!(a.std_current > 0.0, "independent replicas disagree");
+        // Thread-count invariance extends through the interpreter.
+        let b = f.execute_ensemble(ParOpts::with_threads(4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ensemble_rejects_sweep_files() {
+        let text = format!("{SET_FILE}sweep 2 0.02 0.01\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        assert!(f.execute_ensemble(ParOpts::serial()).is_err());
     }
 
     #[test]

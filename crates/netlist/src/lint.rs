@@ -1,7 +1,7 @@
 //! Static analysis of parsed netlists: builds the abstract
 //! `semsim-check` models from [`CircuitFile`] / [`RawLogicFile`] and
-//! adds the directive-level checks (SC004, SC008, SC009, SC010) that
-//! need netlist vocabulary.
+//! adds the directive-level checks (SC004, SC008, SC009, SC010, SC011)
+//! that need netlist vocabulary.
 
 use std::collections::HashMap;
 
@@ -299,15 +299,41 @@ fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
     }
 }
 
+/// SC011: a degenerate ensemble request. `jumps <events> <runs>` with
+/// `1 < runs ≤ TASK_CHUNK` declares a Monte Carlo ensemble so small it
+/// fits inside a single worker's task chunk
+/// ([`semsim_core::par::TASK_CHUNK`]): the parallel drivers hand all
+/// replicas to one thread, so the extra replicas serialize — the run
+/// count should either be 1 (no ensemble) or large enough to spread
+/// across threads.
+fn check_ensemble(file: &CircuitFile, diags: &mut Diagnostics) {
+    let Some((_, runs)) = file.jumps else {
+        return;
+    };
+    let chunk = semsim_core::par::TASK_CHUNK as u32;
+    if runs > 1 && runs <= chunk {
+        diags.push(Diagnostic::new(
+            DiagCode::DegenerateEnsemble,
+            format!(
+                "`jumps` requests an ensemble of {runs} runs, which fits in a single \
+                 worker's task chunk ({chunk}); the replicas will serialize on one \
+                 thread — use 1 run, or more than {chunk} for parallel speedup"
+            ),
+            Span::line(file.spans.jumps),
+        ));
+    }
+}
+
 /// Runs every circuit-level check: the electrical analyses of
 /// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
-/// (SC004, SC008, SC009, SC010). Pure inspection — never fails.
+/// (SC004, SC008, SC009, SC010, SC011). Pure inspection — never fails.
 pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     let mut diags = check_circuit(&circuit_model(file));
     check_parameters(file, &mut diags);
     check_symmetry(file, &mut diags);
     check_superconducting(file, &mut diags);
     check_sweep(file, &mut diags);
+    check_ensemble(file, &mut diags);
     diags.sort();
     diags
 }
@@ -513,6 +539,35 @@ mod tests {
         )
         .unwrap();
         assert!(lint_circuit(&f).is_empty());
+    }
+
+    #[test]
+    fn degenerate_ensemble_is_sc011_warning() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\njumps 1000 2\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::DegenerateEnsemble)
+            .expect("SC011");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 8);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn single_run_and_large_ensembles_are_clean() {
+        for runs in ["1", "5", "64"] {
+            let f = CircuitFile::parse(&format!(
+                "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+                 vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\njumps 1000 {runs}\n",
+            ))
+            .unwrap();
+            assert!(lint_circuit(&f).is_empty(), "runs = {runs}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   the paper's evaluation.
 //! * [`spice`] — the analytical SET model + transient nodal simulator
 //!   used as the comparison baseline.
-//! * [`check`] — static circuit/netlist analysis (diagnostics SC001–SC010)
+//! * [`check`] — static circuit/netlist analysis (diagnostics SC001–SC011)
 //!   run before engine construction; also behind `semsim lint`.
 //! * [`linalg`], [`quad`] — the numerical substrates.
 //!

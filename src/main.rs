@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! semsim lint <file>...
-//! semsim run <netlist.cir> [--events N] [--checkpoint-every N]
+//! semsim run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
 //!                          [--checkpoint FILE] [--resume FILE]
+//! semsim sweep <netlist.cir> [--events N] [--threads N]
 //! ```
 //!
-//! `lint` runs the static netlist checks (diagnostic codes SC001–SC010)
+//! `lint` runs the static netlist checks (diagnostic codes SC001–SC011)
 //! over each file and prints rustc-style diagnostics. Files are treated
 //! as gate-level logic netlists when their first directive is one of the
 //! logic keywords (`input`, `output`, `inv`, `nand`, …) or the file
@@ -16,7 +17,15 @@
 //! the declared bias, optionally writing a binary checkpoint every N
 //! events (`--checkpoint-every`) and resuming from one (`--resume`).
 //! A resumed run continues to the same total event target and produces
-//! the same trajectory the uninterrupted run would have.
+//! the same trajectory the uninterrupted run would have. When the
+//! file's `jumps <events> <runs>` declares more than one run, the runs
+//! execute as an independent-replica ensemble over `--threads` worker
+//! threads (incompatible with checkpointing — each replica is its own
+//! short trajectory).
+//!
+//! `sweep` executes the file's `sweep` declaration over `--threads`
+//! worker threads. Results are bit-identical for every thread count
+//! (see docs/parallelism.md).
 //!
 //! Exit status: 0 when every file is clean or carries only warnings,
 //! 1 when any file has an error-severity finding or fails to parse,
@@ -27,23 +36,33 @@ use std::process::ExitCode;
 use semsim::core::constants::E_CHARGE;
 use semsim::core::engine::{RunLength, Simulation};
 use semsim::core::health::{RunOutcome, Supervisor};
+use semsim::core::par::{available_threads, ParOpts};
 use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
 
 const USAGE: &str = "usage: semsim <command>
 
 commands:
   lint <netlist>...
-      Run the static circuit/logic netlist checks (SC001-SC010) and
+      Run the static circuit/logic netlist checks (SC001-SC011) and
       print rustc-style diagnostics. See docs/diagnostics.md.
 
-  run <netlist.cir> [--events N] [--checkpoint-every N]
+  run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
                     [--checkpoint FILE] [--resume FILE]
       Compile the circuit and execute a Monte Carlo run at the declared
       bias. --events overrides the file's `jumps` directive (total
       events since the start of the trajectory). --checkpoint-every
       writes a binary snapshot to FILE (default: <netlist>.ckpt) every
       N events; --resume restores one and continues the identical
-      trajectory. See docs/robustness.md.";
+      trajectory. See docs/robustness.md. When `jumps` declares more
+      than one run, the runs execute as an independent-replica ensemble
+      over --threads worker threads (default: all cores); ensembles
+      cannot be combined with checkpointing.
+
+  sweep <netlist.cir> [--events N] [--threads N]
+      Execute the file's `sweep` declaration in parallel over --threads
+      worker threads (default: all cores) and print one `control
+      current outcome` line per point. Output is bit-identical for
+      every thread count. See docs/parallelism.md.";
 
 /// Directive keywords that identify the gate-level logic format.
 const LOGIC_KEYWORDS: [&str; 10] = [
@@ -102,23 +121,29 @@ fn lint_file(path: &str) -> bool {
     !diags.has_errors()
 }
 
-/// Parsed `semsim run` options.
+/// Parsed `semsim run` / `semsim sweep` options.
 struct RunOpts {
     netlist: String,
     events: Option<u64>,
+    /// Worker threads; 0 = available parallelism.
+    threads: usize,
     checkpoint_every: Option<u64>,
     checkpoint: Option<String>,
     resume: Option<String>,
 }
 
-fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
+fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
     let mut opts = RunOpts {
         netlist: String::new(),
         events: None,
+        threads: 0,
         checkpoint_every: None,
         checkpoint: None,
         resume: None,
     };
+    // `sweep` takes the parallel flags only; the checkpoint family is
+    // run-trajectory specific.
+    let checkpointable = cmd == "run";
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -134,7 +159,16 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                         .map_err(|_| "invalid `--events` count".to_string())?,
                 );
             }
-            "--checkpoint-every" => {
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid `--threads` count".to_string())?;
+                if n == 0 {
+                    return Err("`--threads` must be at least 1".into());
+                }
+                opts.threads = n;
+            }
+            "--checkpoint-every" if checkpointable => {
                 let n: u64 = value("--checkpoint-every")?
                     .parse()
                     .map_err(|_| "invalid `--checkpoint-every` count".to_string())?;
@@ -143,17 +177,17 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                 }
                 opts.checkpoint_every = Some(n);
             }
-            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
-            "--resume" => opts.resume = Some(value("--resume")?),
+            "--checkpoint" if checkpointable => opts.checkpoint = Some(value("--checkpoint")?),
+            "--resume" if checkpointable => opts.resume = Some(value("--resume")?),
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag `{flag}`"));
+                return Err(format!("unknown flag `{flag}` for `semsim {cmd}`"));
             }
             path if opts.netlist.is_empty() => opts.netlist = path.to_string(),
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
     if opts.netlist.is_empty() {
-        return Err("`semsim run` needs a netlist file".into());
+        return Err(format!("`semsim {cmd}` needs a netlist file"));
     }
     Ok(opts)
 }
@@ -174,6 +208,16 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
         .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
     let file =
         CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
+    if runs > 1 && file.sweep.is_none() {
+        if opts.checkpoint_every.is_some() || opts.checkpoint.is_some() || opts.resume.is_some() {
+            return Err(format!(
+                "checkpointing is incompatible with an ensemble run \
+                 (`jumps` declares {runs} runs; each replica is its own short trajectory)"
+            ));
+        }
+        return run_ensemble(opts, &file);
+    }
     let compiled = file
         .compile()
         .map_err(|e| format!("{}: {e}", opts.netlist))?;
@@ -270,6 +314,112 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the file's `jumps` declaration as an independent-replica
+/// ensemble over the parallel drivers and prints the merged report.
+fn run_ensemble(opts: &RunOpts, file: &CircuitFile) -> Result<(), String> {
+    // Compile once up front so static-check warnings surface exactly as
+    // in the single-run path (`execute_ensemble` recompiles internally).
+    let compiled = file
+        .compile()
+        .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    for w in compiled.warnings.iter() {
+        eprintln!("warning[{}]: {}", w.code.code(), w.message);
+    }
+    let mut file = file.clone();
+    if let Some(e) = opts.events {
+        let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
+        file.jumps = Some((e, runs));
+    }
+    let threads = if opts.threads == 0 {
+        available_threads()
+    } else {
+        opts.threads
+    };
+    let report = file
+        .execute_ensemble(ParOpts::with_threads(threads))
+        .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    println!(
+        "ensemble: {} replicas on {} thread(s), {} events total",
+        report.replicas(),
+        threads,
+        report.total_events
+    );
+    println!(
+        "outcomes: {} completed, {} blockaded, {} wall-clock, {} event-cap",
+        report.outcomes.completed,
+        report.outcomes.blockaded,
+        report.outcomes.wall_clock_exceeded,
+        report.outcomes.event_cap_reached
+    );
+    println!(
+        "current through recorded junction: {:.6e} A +/- {:.6e} A",
+        report.mean_current, report.std_current
+    );
+    if report.health.audits > 0 {
+        println!(
+            "health: {} audits, worst drift {:.3e}, {} degradation(s)",
+            report.health.audits,
+            report.health.worst_drift,
+            report.health.degradations.len()
+        );
+    }
+    Ok(())
+}
+
+/// Executes `semsim sweep`; returns `true` on success.
+fn sweep_file(opts: &RunOpts) -> bool {
+    match try_sweep(opts) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+fn try_sweep(opts: &RunOpts) -> Result<(), String> {
+    let source = std::fs::read_to_string(&opts.netlist)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
+    let mut file =
+        CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    if file.sweep.is_none() {
+        return Err(format!(
+            "{}: `semsim sweep` needs a `sweep` declaration in the netlist",
+            opts.netlist
+        ));
+    }
+    let compiled = file
+        .compile()
+        .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    for w in compiled.warnings.iter() {
+        eprintln!("warning[{}]: {}", w.code.code(), w.message);
+    }
+    if let Some(e) = opts.events {
+        let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
+        file.jumps = Some((e, runs));
+    }
+    let threads = if opts.threads == 0 {
+        available_threads()
+    } else {
+        opts.threads
+    };
+    let points = file
+        .execute_par(ParOpts::with_threads(threads))
+        .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    println!("# {} points on {} thread(s)", points.len(), threads);
+    println!("# control_V current_A outcome");
+    for p in &points {
+        let tag = match p.outcome {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Blockaded { .. } => "blockaded",
+            RunOutcome::WallClockExceeded { .. } => "wall-clock",
+            RunOutcome::EventCapReached { .. } => "event-cap",
+        };
+        println!("{:.6e} {:.6e} {tag}", p.control, p.current);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -288,9 +438,22 @@ fn main() -> ExitCode {
             eprintln!("error: `semsim lint` needs at least one netlist file\n\n{USAGE}");
             ExitCode::from(2)
         }
-        Some((cmd, rest)) if cmd == "run" => match parse_run_opts(rest) {
+        Some((cmd, rest)) if cmd == "run" => match parse_run_opts("run", rest) {
             Ok(opts) => {
                 if run_file(&opts) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        Some((cmd, rest)) if cmd == "sweep" => match parse_run_opts("sweep", rest) {
+            Ok(opts) => {
+                if sweep_file(&opts) {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE

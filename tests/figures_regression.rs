@@ -1,0 +1,118 @@
+//! Golden shape regressions for the committed paper figures
+//! (`results/fig1b.txt`, `results/fig1c.txt`), on reduced grids so they
+//! run in test time. These don't pin exact currents — Monte Carlo noise
+//! moves the digits — they pin the *physics* the figures exist to show:
+//!
+//! * Fig. 1b: Coulomb blockade of half-width `e/C_Σ ≈ 32 mV` at
+//!   `V_g = 0` (committed data: conduction turns on between 30 and
+//!   34 mV), lifted by the gate.
+//! * Fig. 1c: the superconducting gap *widens* the suppressed region —
+//!   32 mV conducts normally (`≈ 8e-10 A` committed) but is dead in the
+//!   SSET (`≈ 7e-20 A` committed).
+//!
+//! The sweeps run on the deterministic parallel driver, so these are
+//! also end-to-end regressions for [`semsim::core::par`].
+
+use semsim::core::engine::SimConfig;
+use semsim::core::par::{par_sweep, ParOpts};
+use semsim_bench::devices::{fig1_set, fig1c_params, SetDevice};
+
+const EVENTS: u64 = 3_000;
+const WARMUP: u64 = 150;
+
+/// Currents through `j1` at the given symmetric drain-source biases.
+fn currents(dev: &SetDevice, config: &SimConfig, biases: &[f64], vg: f64) -> Vec<f64> {
+    par_sweep(
+        &dev.circuit,
+        config,
+        dev.j1,
+        biases,
+        WARMUP,
+        EVENTS,
+        ParOpts::default(),
+        |sim, vds| {
+            sim.set_lead_voltage(dev.source_lead, vds / 2.0)?;
+            sim.set_lead_voltage(dev.drain_lead, -vds / 2.0)?;
+            sim.set_lead_voltage(dev.gate_lead, vg)
+        },
+    )
+    .expect("sweep")
+    .iter()
+    .map(|p| p.current)
+    .collect()
+}
+
+#[test]
+fn fig1b_blockade_half_width_is_about_32_mv() {
+    let dev = fig1_set().expect("device");
+    let config = SimConfig::new(5.0).with_seed(42);
+    let i = currents(&dev, &config, &[0.024, 0.030, 0.034, 0.040], 0.0);
+    let (i24, i30, i34, i40) = (i[0].abs(), i[1].abs(), i[2].abs(), i[3].abs());
+
+    assert!(
+        i40 > 1e-9,
+        "device must conduct well past the blockade: {i40:e}"
+    );
+    // Deep inside the blockade the current is thermally activated and
+    // orders of magnitude down (committed: 6e-13 at 24 mV).
+    assert!(
+        i24 < 1e-3 * i40,
+        "24 mV should be deep in blockade: {i24:e} vs {i40:e}"
+    );
+    // The turn-on sits between 30 and 34 mV — i.e. half-width ≈ e/C_Σ =
+    // 32 mV (committed ratios to I(40 mV): 0.031 at 30 mV, 0.31 at 34 mV).
+    assert!(
+        i30 < 0.1 * i40,
+        "30 mV is still inside the blockade: {i30:e}"
+    );
+    assert!(i34 > 0.1 * i40, "34 mV is past the blockade edge: {i34:e}");
+    assert!(
+        i34 > 3.0 * i30,
+        "conduction must turn on steeply across 32 mV"
+    );
+}
+
+#[test]
+fn fig1b_gate_lifts_blockade() {
+    let dev = fig1_set().expect("device");
+    let config = SimConfig::new(5.0).with_seed(42);
+    let biases = [0.010];
+    let closed = currents(&dev, &config, &biases, 0.0)[0].abs();
+    let open = currents(&dev, &config, &biases, 0.03)[0].abs();
+
+    // Committed: 1.1e-19 A at V_g = 0 vs 2.1e-9 A at V_g = 30 mV.
+    assert!(
+        open > 1e-10,
+        "30 mV gate should open conduction at 10 mV bias: {open:e}"
+    );
+    assert!(
+        closed < 1e-3 * open,
+        "zero gate should stay blockaded: {closed:e} vs {open:e}"
+    );
+}
+
+#[test]
+fn fig1c_superconducting_gap_widens_blockade() {
+    let dev = fig1_set().expect("device");
+    let normal = SimConfig::new(5.0).with_seed(42);
+    let sset = SimConfig::new(0.05)
+        .with_seed(42)
+        .with_superconducting(fig1c_params().expect("params"));
+
+    let biases = [0.032, 0.040];
+    let i_normal = currents(&dev, &normal, &biases, 0.0);
+    let i_sset = currents(&dev, &sset, &biases, 0.0);
+
+    // Both variants conduct at 40 mV (committed: ≈ 6.5e-9 A each)...
+    assert!(i_normal[1].abs() > 1e-9);
+    assert!(i_sset[1].abs() > 1e-9);
+    // ...but 32 mV — just outside the normal-state blockade (committed
+    // ≈ 8e-10 A) — is suppressed by ten orders in the SSET (≈ 7e-20 A):
+    // quasi-particle transport must additionally pay 2Δ per crossing.
+    assert!(
+        i_sset[0].abs() < 1e-3 * i_normal[0].abs(),
+        "superconductivity must widen the gap region: sset {:e} vs normal {:e}",
+        i_sset[0],
+        i_normal[0]
+    );
+}

@@ -161,6 +161,16 @@ fn sc010_wrong_sign_sweep() {
     );
 }
 
+#[test]
+fn sc011_degenerate_ensemble() {
+    assert_diag(
+        "sc011_degenerate_ensemble.cir",
+        DiagCode::DegenerateEnsemble,
+        Severity::Warning,
+        8,
+    );
+}
+
 /// The example netlists shipped with the crate must lint clean — they
 /// are what `semsim lint` is demonstrated on in the README.
 #[test]
