@@ -1,0 +1,93 @@
+//! Measures the wall-clock cost of journaling a batch sweep on the
+//! shipped `set_sweep.cir` example: the same 21-point sweep is timed
+//! without a journal and with one, the results are asserted
+//! bit-identical, and the relative slowdown is printed as
+//! `journal-overhead-pct: X.XX` (the line `scripts/ci.sh` greps to
+//! enforce the <10 % overhead budget).
+//!
+//! Arguments: `events` (Monte Carlo events per point, default 20000),
+//! `threads` (worker threads, default 1 for stable timing).
+
+use std::time::Instant;
+
+use semsim_bench::args::Args;
+use semsim_core::batch::{BatchOpts, BatchReport};
+use semsim_core::engine::SweepPoint;
+use semsim_core::par::ParOpts;
+use semsim_netlist::CircuitFile;
+
+fn netlist_path() -> std::path::PathBuf {
+    // crates/bench/ → workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root");
+    root.join("examples/netlists/set_sweep.cir")
+}
+
+/// Best-of-3 wall-clock seconds for one full batch sweep; returns the
+/// timing together with the last report for the bit-identity check.
+fn time_batch(file: &CircuitFile, opts: &BatchOpts) -> (f64, BatchReport<SweepPoint>) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..3 {
+        if let Some(path) = &opts.journal {
+            let _ = std::fs::remove_file(path);
+        }
+        let t0 = Instant::now();
+        let report = file.execute_batch(opts).expect("shipped example sweeps");
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    (best, last.expect("three timed repetitions ran"))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let events = args.u64_or("events", 20_000);
+    let threads = args.u64_or("threads", 1) as usize;
+
+    let path = netlist_path();
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut file = CircuitFile::parse(&source).expect("shipped example parses");
+    let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
+    file.jumps = Some((events, runs));
+
+    let journal =
+        std::env::temp_dir().join(format!("semsim_journal_overhead_{}.jl", std::process::id()));
+    let plain_opts = BatchOpts {
+        par: ParOpts::with_threads(threads),
+        ..BatchOpts::default()
+    };
+    let journal_opts = BatchOpts {
+        journal: Some(journal.clone()),
+        ..plain_opts.clone()
+    };
+
+    println!(
+        "# journal overhead on {} ({} events/point, {} thread(s))",
+        path.display(),
+        events,
+        threads
+    );
+
+    let (t_plain, plain) = time_batch(&file, &plain_opts);
+    let (t_journal, journaled) = time_batch(&file, &journal_opts);
+    let bytes = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&journal);
+
+    assert_eq!(
+        plain.values().expect("plain batch completes"),
+        journaled.values().expect("journaled batch completes"),
+        "journaling changed the sweep results"
+    );
+    println!("bit-identity: OK ({} points)", plain.counts.total());
+
+    let pct = (t_journal - t_plain) / t_plain * 100.0;
+    println!(
+        "plain: {:.3e} s   journaled: {:.3e} s   ({} journal bytes)",
+        t_plain, t_journal, bytes
+    );
+    println!("journal-overhead-pct: {pct:.2}");
+}

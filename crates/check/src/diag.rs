@@ -90,6 +90,11 @@ pub enum DiagCode {
     /// parallel drivers cannot occupy a second thread, so the extra
     /// replicas cost wall-clock time without any parallel payoff.
     DegenerateEnsemble,
+    /// SC012: a long batch (large sweep grid and/or ensemble) with no
+    /// journal configured — a crash loses every completed point, where
+    /// a `journal` declaration would make the run resumable for the
+    /// cost of a few bytes per point.
+    UnjournaledLongSweep,
 }
 
 impl DiagCode {
@@ -107,6 +112,7 @@ impl DiagCode {
             DiagCode::SuperconductingGapMismatch => "SC009",
             DiagCode::RunawaySweep => "SC010",
             DiagCode::DegenerateEnsemble => "SC011",
+            DiagCode::UnjournaledLongSweep => "SC012",
         }
     }
 
@@ -124,7 +130,8 @@ impl DiagCode {
             | DiagCode::UnusedOutput
             | DiagCode::AsymmetricSymmJunction
             | DiagCode::SuperconductingGapMismatch
-            | DiagCode::DegenerateEnsemble => Severity::Warning,
+            | DiagCode::DegenerateEnsemble
+            | DiagCode::UnjournaledLongSweep => Severity::Warning,
         }
     }
 }
@@ -308,6 +315,7 @@ mod tests {
         assert_eq!(DiagCode::SuperconductingGapMismatch.code(), "SC009");
         assert_eq!(DiagCode::RunawaySweep.code(), "SC010");
         assert_eq!(DiagCode::DegenerateEnsemble.code(), "SC011");
+        assert_eq!(DiagCode::UnjournaledLongSweep.code(), "SC012");
     }
 
     #[test]

@@ -289,7 +289,9 @@ impl Checkpoint {
 }
 
 /// FNV-1a 64-bit hash — an error-detection checksum (not cryptographic).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Shared by the checkpoint (`SEMSIMCP`) and journal (`SEMSIMJL`)
+/// formats.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -298,38 +300,48 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-struct Writer {
-    buf: Vec<u8>,
+/// Little-endian byte writer of the SEMSIM binary formats. Shared by
+/// the checkpoint codec and the append-only journal in
+/// [`crate::journal`] so every on-disk artifact uses one encoding.
+#[derive(Default)]
+pub struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub fn new() -> Self {
         Writer { buf: Vec::new() }
     }
-    fn bytes(&mut self, b: &[u8]) {
+    pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
-    fn u32(&mut self, v: u32) {
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// Bounds-checked little-endian reader over a byte slice; the `what`
+/// labels flow into [`CoreError::CheckpointCorrupt`] so a truncated
+/// stream names the field it died in. Counterpart of [`Writer`].
+pub struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CoreError> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CoreError> {
         let end = self
             .pos
             .checked_add(n)
@@ -339,26 +351,26 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u32(&mut self, what: &'static str) -> Result<u32, CoreError> {
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CoreError> {
         let mut b = [0u8; 4];
         b.copy_from_slice(self.bytes(4, what)?);
         Ok(u32::from_le_bytes(b))
     }
-    fn u64(&mut self, what: &'static str) -> Result<u64, CoreError> {
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CoreError> {
         let mut b = [0u8; 8];
         b.copy_from_slice(self.bytes(8, what)?);
         Ok(u64::from_le_bytes(b))
     }
-    fn i64(&mut self, what: &'static str) -> Result<i64, CoreError> {
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, CoreError> {
         Ok(self.u64(what)? as i64)
     }
-    fn f64(&mut self, what: &'static str) -> Result<f64, CoreError> {
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, CoreError> {
         Ok(f64::from_bits(self.u64(what)?))
     }
     /// A u64 length prefix, sanity-checked against the bytes actually
     /// remaining (each element needs ≥ `elem_size` bytes) so a corrupt
     /// length cannot trigger an absurd allocation.
-    fn len(&mut self, what: &'static str, elem_size: usize) -> Result<usize, CoreError> {
+    pub fn len(&mut self, what: &'static str, elem_size: usize) -> Result<usize, CoreError> {
         let n = self.u64(what)?;
         let remaining = (self.buf.len() - self.pos) as u64;
         if n.checked_mul(elem_size as u64)

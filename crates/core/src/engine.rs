@@ -851,6 +851,12 @@ impl<'c> Simulation<'c> {
                     self.pending_poison = Some(junction);
                     self.resync_rates()?;
                 }
+                FaultKind::PanicAt => {
+                    panic!(
+                        "injected fault: panic at event {}",
+                        self.faults.actions[i].at_event
+                    );
+                }
             }
         }
         Ok(())
@@ -1247,6 +1253,53 @@ impl SweepPoint {
     }
 }
 
+/// Measures one sweep/map point from an **already-seeded** config: a
+/// fresh simulation of `circuit`, `setup` applied, `warmup` discarded
+/// events, `events` measured events through `junction`. The per-point
+/// health report rides along so batch drivers can merge it. This is the
+/// primitive under both [`run_sweep_point`] (which derives the seed
+/// from the task index) and the retrying batch layer in
+/// [`crate::batch`] (which derives it from task *and* attempt).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_point_seeded<F>(
+    circuit: &Circuit,
+    cfg: SimConfig,
+    junction: JunctionId,
+    control: f64,
+    warmup: u64,
+    events: u64,
+    setup: &mut F,
+) -> Result<(SweepPoint, HealthReport), CoreError>
+where
+    F: FnMut(&mut Simulation<'_>, f64) -> Result<(), CoreError> + ?Sized,
+{
+    let mut sim = Simulation::new(circuit, cfg)?;
+    setup(&mut sim, control)?;
+    let blockaded = |time| SweepPoint {
+        control,
+        current: 0.0,
+        outcome: RunOutcome::Blockaded { time },
+        events: 0,
+    };
+    match sim.run(RunLength::Events(warmup)) {
+        Err(CoreError::BlockadeStall { time }) => Ok((blockaded(time), sim.health_report())),
+        Err(e) => Err(e),
+        Ok(_) => match sim.run(RunLength::Events(events)) {
+            Err(CoreError::BlockadeStall { time }) => Ok((blockaded(time), sim.health_report())),
+            Err(e) => Err(e),
+            Ok(record) => {
+                let point = SweepPoint {
+                    control,
+                    current: record.current(junction),
+                    outcome: record.outcome,
+                    events: record.events,
+                };
+                Ok((point, sim.health_report()))
+            }
+        },
+    }
+}
+
 /// Measures one sweep/map point: a fresh simulation of `circuit` with
 /// the task's split seed, `setup` applied, `warmup` discarded events,
 /// `events` measured events through `junction`. Shared by the serial
@@ -1269,28 +1322,7 @@ where
     let cfg = config
         .clone()
         .with_seed(crate::rng::split_seed(config.seed, task));
-    let mut sim = Simulation::new(circuit, cfg)?;
-    setup(&mut sim, control)?;
-    let blockaded = |time| SweepPoint {
-        control,
-        current: 0.0,
-        outcome: RunOutcome::Blockaded { time },
-        events: 0,
-    };
-    match sim.run(RunLength::Events(warmup)) {
-        Err(CoreError::BlockadeStall { time }) => Ok(blockaded(time)),
-        Err(e) => Err(e),
-        Ok(_) => match sim.run(RunLength::Events(events)) {
-            Err(CoreError::BlockadeStall { time }) => Ok(blockaded(time)),
-            Err(e) => Err(e),
-            Ok(record) => Ok(SweepPoint {
-                control,
-                current: record.current(junction),
-                outcome: record.outcome,
-                events: record.events,
-            }),
-        },
-    }
+    run_point_seeded(circuit, cfg, junction, control, warmup, events, setup).map(|(p, _)| p)
 }
 
 /// Sweeps a control variable, building a fresh simulation per point.

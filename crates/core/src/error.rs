@@ -80,6 +80,40 @@ pub enum CoreError {
         /// Value recorded in the checkpoint.
         found: u64,
     },
+    /// A parallel task panicked. The panic was caught at the task
+    /// boundary ([`crate::par`]), converted into this error, and the
+    /// sibling tasks ran to completion — a panic never tears down the
+    /// batch.
+    TaskPanicked {
+        /// Index of the panicking task.
+        task: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A journal header failed structural validation (bad magic,
+    /// unsupported version, truncation, or checksum mismatch). Corrupt
+    /// *records* are not errors — the valid prefix is kept and the tail
+    /// discarded (see [`crate::journal`]).
+    JournalCorrupt {
+        /// What failed to validate.
+        what: &'static str,
+    },
+    /// A structurally valid journal describes a different batch (other
+    /// seed, grid, run parameters, or payload kind) and cannot be
+    /// resumed against this one.
+    JournalMismatch {
+        /// The mismatching quantity.
+        what: &'static str,
+        /// Value required by the running batch.
+        expected: u64,
+        /// Value recorded in the journal.
+        found: u64,
+    },
+    /// An I/O failure while reading or writing a journal file.
+    JournalIo {
+        /// The formatted OS error, with the path.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -130,6 +164,26 @@ impl fmt::Display for CoreError {
                     "checkpoint does not match this simulation: {what} \
                      (simulation has {expected}, checkpoint has {found})"
                 )
+            }
+            CoreError::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+            CoreError::JournalCorrupt { what } => {
+                write!(f, "corrupt journal: {what}")
+            }
+            CoreError::JournalMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "journal does not match this batch: {what} \
+                     (batch has {expected}, journal has {found})"
+                )
+            }
+            CoreError::JournalIo { message } => {
+                write!(f, "journal I/O error: {message}")
             }
         }
     }

@@ -351,6 +351,9 @@ pub(crate) enum FaultKind {
         /// Target junction.
         junction: usize,
     },
+    /// Panic inside the event loop, exercising the batch layer's panic
+    /// isolation and rerun-on-panic recovery paths.
+    PanicAt,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -408,6 +411,18 @@ impl FaultPlan {
         self.actions.push(FaultAction {
             at_event,
             kind: FaultKind::FailRefresh { junction },
+            fired: false,
+        });
+        self
+    }
+
+    /// Panics (with a deterministic message naming `at_event`) once
+    /// `at_event` events have executed — a stand-in for transient
+    /// crashes, caught by the panic isolation in [`crate::par`].
+    pub fn panic_at(mut self, at_event: u64) -> Self {
+        self.actions.push(FaultAction {
+            at_event,
+            kind: FaultKind::PanicAt,
             fired: false,
         });
         self

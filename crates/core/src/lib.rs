@@ -31,7 +31,13 @@
 //!   checkpoint/resume of long runs.
 //! * [`par`] — deterministic parallel drivers (sweeps, 2-D maps, MC
 //!   ensembles) with counter-based seed splitting: bit-identical
-//!   results for any thread count.
+//!   results for any thread count, panics isolated per task.
+//! * [`batch`] — resilient batch execution on top of [`par`]: per-point
+//!   retry with graceful degradation (reseed, θ-tightening, solver
+//!   fallback), partial-result salvage ([`batch::BatchReport`]), and
+//!   journaled crash-safe resume.
+//! * [`journal`] — the append-only `SEMSIMJL` journal format behind
+//!   `--journal`/`--resume` (shares the checkpoint codec).
 //!
 //! # Quickstart
 //!
@@ -60,6 +66,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod checkpoint;
 pub mod circuit;
 pub mod constants;
@@ -69,6 +76,7 @@ pub mod engine;
 pub mod events;
 pub mod fenwick;
 pub mod health;
+pub mod journal;
 pub mod master;
 pub mod par;
 pub mod rates;

@@ -26,7 +26,16 @@
 //! byte-identical sweeps across 1/2/4/8 threads, ensemble statistics
 //! invariant under thread count and task permutation, and collision-free
 //! split streams.
+//!
+//! Every task additionally runs under **panic isolation**: a panicking
+//! job is caught at the task boundary ([`std::panic::catch_unwind`])
+//! and surfaces as [`CoreError::TaskPanicked`] through the ordinary
+//! lowest-index-error-wins fold — sibling tasks run to completion, and
+//! the error a caller sees is the same at every thread count. The
+//! retry/salvage layer in [`crate::batch`] builds on this to turn
+//! isolated faults into recovered or individually-faulted points.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -101,11 +110,41 @@ impl ParOpts {
     }
 }
 
+/// Renders a caught panic payload as a message (panics carry a `&str`
+/// or `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job under panic isolation: an unwinding task becomes
+/// [`CoreError::TaskPanicked`] instead of propagating the panic into
+/// the worker (parallel path) or the caller (serial path).
+fn run_isolated<T, F>(i: usize, job: &F) -> Result<T, CoreError>
+where
+    F: Fn(usize) -> Result<T, CoreError> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| job(i))) {
+        Ok(r) => r,
+        Err(payload) => Err(CoreError::TaskPanicked {
+            task: i,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
 /// Runs `tasks` fallible jobs over the chunked work queue and returns
 /// their results in task order. On failure the error of the *smallest*
 /// failing task index is returned — the same error the serial loop
 /// would hit first, keeping error behavior thread-count-invariant.
-fn run_tasks<T, F>(tasks: usize, opts: ParOpts, job: F) -> Result<Vec<T>, CoreError>
+/// Panics are isolated per task (see [`run_isolated`]) and participate
+/// in the same lowest-index selection as ordinary errors.
+pub(crate) fn run_tasks<T, F>(tasks: usize, opts: ParOpts, job: F) -> Result<Vec<T>, CoreError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, CoreError> + Sync,
@@ -117,7 +156,7 @@ where
     if threads == 1 {
         // Serial fast path: short-circuits on the first (= lowest
         // index) error, exactly like the pre-parallel drivers.
-        return (0..tasks).map(job).collect();
+        return (0..tasks).map(|i| run_isolated(i, &job)).collect();
     }
     let chunk = opts.resolved_chunk();
     let nchunks = tasks.div_ceil(chunk);
@@ -139,7 +178,7 @@ where
                         let start = c * chunk;
                         let end = (start + chunk).min(tasks);
                         for i in start..end {
-                            done.push((i, job(i)));
+                            done.push((i, run_isolated(i, &job)));
                         }
                     }
                     done
@@ -147,10 +186,15 @@ where
             })
             .collect();
         for handle in handles {
-            // A panicking worker poisons nothing: join propagates the
-            // panic and `thread::scope` unwinds the remaining workers.
-            for (i, r) in handle.join().expect("parallel worker panicked") {
-                slots[i] = Some(r);
+            // Jobs are panic-isolated, so a worker thread can only die
+            // to something catastrophic that bypasses `catch_unwind`
+            // (e.g. a double panic or stack exhaustion). Even then the
+            // sibling workers' results are kept; the dead worker's
+            // tasks stay `None` and surface as `TaskPanicked` below.
+            if let Ok(done) = handle.join() {
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
             }
         }
     });
@@ -161,7 +205,12 @@ where
         match slot {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
-            None => unreachable!("task {i} never executed"),
+            None => {
+                return Err(CoreError::TaskPanicked {
+                    task: i,
+                    message: "worker thread died before reporting the task result".to_string(),
+                })
+            }
         }
     }
     Ok(out)
@@ -178,6 +227,12 @@ where
 {
     match run_tasks(n, opts, |i| Ok(f(i))) {
         Ok(v) => v,
+        // Infallible jobs can still panic; re-raise on the caller's
+        // thread with the original payload so `par_indexed` behaves
+        // like a serial loop would.
+        Err(CoreError::TaskPanicked { task, message }) => {
+            panic!("par_indexed task {task} panicked: {message}")
+        }
         Err(_) => unreachable!("infallible job returned an error"),
     }
 }
@@ -679,5 +734,64 @@ mod tests {
         assert_eq!(squares.len(), 100);
         assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
         assert!(par_indexed(0, ParOpts::default(), |i| i).is_empty());
+    }
+
+    #[test]
+    fn panic_is_isolated_and_thread_count_invariant() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 2, 4] {
+            let completed = AtomicUsize::new(0);
+            let err = run_tasks(6, ParOpts::with_threads(threads), |i| {
+                if i == 3 {
+                    panic!("injected panic at task {i}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                Ok(i)
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                CoreError::TaskPanicked {
+                    task: 3,
+                    message: "injected panic at task 3".to_string(),
+                },
+                "threads = {threads}"
+            );
+            // The serial path short-circuits at the panic; the parallel
+            // path keeps running sibling tasks instead of tearing down
+            // the scope.
+            let done = completed.load(Ordering::Relaxed);
+            if threads == 1 {
+                assert_eq!(done, 3, "serial path stops at the panic");
+            } else {
+                assert_eq!(done, 5, "siblings of a panicked task still run");
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_index_wins_across_panics_and_errors() {
+        // Task 1 errors, task 2 panics: the fold must pick task 1's
+        // error at every thread count, like the serial loop would.
+        for threads in [1, 4] {
+            let err = run_tasks(4, ParOpts::with_threads(threads), |i| match i {
+                1 => Err(CoreError::NoJunctions),
+                2 => panic!("later panic loses"),
+                _ => Ok(i),
+            })
+            .unwrap_err();
+            assert_eq!(err, CoreError::NoJunctions, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "par_indexed task 2 panicked: boom")]
+    fn par_indexed_repanics_on_caller_thread() {
+        par_indexed(4, ParOpts::with_threads(2), |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

@@ -21,6 +21,7 @@
 //! | `sweep <node> <end> <step>` | sweep the source on `<node>` from its `vdc` value to `end` |
 //! | `adaptive <theta> <refresh>` | use the adaptive solver |
 //! | `seed <n>` | RNG seed |
+//! | `journal <path>` | default journal file for crash-safe batch execution |
 
 use crate::ParseError;
 
@@ -118,6 +119,8 @@ pub struct CircuitSpans {
     pub sweep: usize,
     /// Line of the `jumps` directive.
     pub jumps: usize,
+    /// Line of the `journal` directive.
+    pub journal: usize,
 }
 
 /// A parsed circuit input file.
@@ -157,6 +160,8 @@ pub struct CircuitFile {
     pub adaptive: Option<(f64, u64)>,
     /// RNG seed.
     pub seed: Option<u64>,
+    /// Default journal path for batch execution (`journal` directive).
+    pub journal: Option<String>,
     /// Source locations of the declarations (not part of equality).
     pub spans: CircuitSpans,
 }
@@ -182,6 +187,7 @@ impl PartialEq for CircuitFile {
             && self.sweep == other.sweep
             && self.adaptive == other.adaptive
             && self.seed == other.seed
+            && self.journal == other.journal
     }
 }
 
@@ -205,6 +211,7 @@ impl Default for CircuitFile {
             sweep: None,
             adaptive: None,
             seed: None,
+            journal: None,
             spans: CircuitSpans::default(),
         }
     }
@@ -402,6 +409,11 @@ impl CircuitFile {
                     expect_args(&parts, 1, line, "seed")?;
                     file.seed = Some(parse_num(parts[1], line, "seed")?);
                 }
+                "journal" => {
+                    expect_args(&parts, 1, line, "journal")?;
+                    file.journal = Some(parts[1].to_string());
+                    file.spans.journal = line;
+                }
                 other => {
                     return Err(ParseError::new(
                         line,
@@ -544,6 +556,9 @@ impl CircuitFile {
         if let Some(s) = self.seed {
             out.push_str(&format!("seed {s}\n"));
         }
+        if let Some(j) = &self.journal {
+            out.push_str(&format!("journal {j}\n"));
+        }
         out
     }
 }
@@ -679,6 +694,16 @@ sweep 2 0.02 0.00005
         let f = CircuitFile::parse("sweep 1 -0.1 -0.001\n").unwrap();
         assert_eq!(f.sweep.unwrap().step, -0.001);
         assert_eq!(f.spans.sweep, 1);
+    }
+
+    #[test]
+    fn journal_directive_roundtrips() {
+        let f = CircuitFile::parse("junc 1 1 2 1e-6 1e-18\nsweep 1 0.1 0.001\njournal out.jl\n")
+            .unwrap();
+        assert_eq!(f.journal.as_deref(), Some("out.jl"));
+        assert_eq!(f.spans.journal, 3);
+        let f2 = CircuitFile::parse(&f.to_input_format()).unwrap();
+        assert_eq!(f, f2);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use std::collections::HashMap;
 
+use semsim_core::batch::{batch_ensemble, batch_sweep, BatchOpts, BatchReport, ReplicaSummary};
 use semsim_core::circuit::{Circuit, CircuitBuilder, JunctionId, NodeId};
 use semsim_core::constants::ev_to_joule;
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
@@ -207,10 +208,7 @@ impl CircuitFile {
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
 
-        let record_junction = match &self.record {
-            Some(r) => compiled.junction(r.from).map_err(wrap)?,
-            None => JunctionId::from_index_checked(&compiled.circuit, 0).map_err(wrap)?,
-        };
+        let record_junction = self.record_junction(&compiled)?;
         let events = self.jumps.map(|(e, _)| e).unwrap_or(100_000);
 
         match &self.sweep {
@@ -244,46 +242,60 @@ impl CircuitFile {
                     events: measured,
                 }])
             }
-            Some(spec) => {
-                let lead = *compiled.leads.get(&spec.node).ok_or_else(|| {
-                    ParseError::new(0, format!("sweep node {} has no vdc", spec.node))
-                })?;
-                let symm_lead =
-                    match self.symmetric_with {
-                        Some(n) => Some(*compiled.leads.get(&n).ok_or_else(|| {
-                            ParseError::new(0, format!("symm node {n} has no vdc"))
-                        })?),
-                        None => None,
-                    };
-                let start = self
-                    .sources
-                    .iter()
-                    .find(|&&(n, _)| n == spec.node)
-                    .map(|&(_, v)| v)
-                    .unwrap_or(0.0);
-                let n_steps = ((spec.end - start) / spec.step).abs().round() as usize + 1;
-                let controls: Vec<f64> = (0..n_steps)
-                    .map(|i| start + (spec.end - start) * i as f64 / (n_steps - 1).max(1) as f64)
-                    .collect();
+            Some(_) => {
+                let plan = self.sweep_plan(&compiled)?;
                 par_sweep(
                     &compiled.circuit,
                     &cfg,
                     record_junction,
-                    &controls,
+                    &plan.controls,
                     events / 10,
                     events,
                     opts,
-                    |sim, v| {
-                        sim.set_lead_voltage(lead, v)?;
-                        if let Some(sl) = symm_lead {
-                            sim.set_lead_voltage(sl, -v)?;
-                        }
-                        Ok(())
-                    },
+                    |sim, v| plan.apply(sim, v),
                 )
                 .map_err(wrap)
             }
         }
+    }
+
+    /// Executes the declared `sweep` through the resilient batch layer
+    /// ([`semsim_core::batch::batch_sweep`]): per-point panic isolation
+    /// and retry, partial-result salvage, and — when a journal is
+    /// configured via `opts` or the file's `journal` directive —
+    /// crash-safe journaled resume. Fault-free batches are bit-identical
+    /// to [`CircuitFile::execute_par`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation errors as [`ParseError`]; a missing `sweep`
+    /// declaration; journal I/O or mismatch errors convert with the
+    /// core error message.
+    pub fn execute_batch(&self, opts: &BatchOpts) -> Result<BatchReport<SweepPoint>, ParseError> {
+        if self.sweep.is_none() {
+            return Err(ParseError::new(
+                0,
+                "batch sweep execution requires a `sweep` declaration".to_string(),
+            ));
+        }
+        let compiled = self.compile()?;
+        let cfg = self.sim_config()?;
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+        let record_junction = self.record_junction(&compiled)?;
+        let events = self.jumps.map(|(e, _)| e).unwrap_or(100_000);
+        let plan = self.sweep_plan(&compiled)?;
+        let opts = self.with_default_journal(opts);
+        batch_sweep(
+            &compiled.circuit,
+            &cfg,
+            record_junction,
+            &plan.controls,
+            events / 10,
+            events,
+            &opts,
+            |sim, v, _spec| plan.apply(sim, v),
+        )
+        .map_err(wrap)
     }
 
     /// Runs the file's `jumps <events> <runs>` declaration as an
@@ -308,10 +320,7 @@ impl CircuitFile {
         let compiled = self.compile()?;
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
-        let record_junction = match &self.record {
-            Some(r) => compiled.junction(r.from).map_err(wrap)?,
-            None => JunctionId::from_index_checked(&compiled.circuit, 0).map_err(wrap)?,
-        };
+        let record_junction = self.record_junction(&compiled)?;
         let (events, runs) = self.jumps.unwrap_or((100_000, 1));
         let length = match self.sim_time {
             Some(t) => RunLength::Time(t),
@@ -328,12 +337,133 @@ impl CircuitFile {
         .map_err(wrap)
     }
 
+    /// [`CircuitFile::execute_ensemble`] through the resilient batch
+    /// layer ([`semsim_core::batch::batch_ensemble`]): per-replica
+    /// panic isolation and retry, partial-result salvage, and
+    /// crash-safe journaled resume when a journal is configured via
+    /// `opts` or the file's `journal` directive. Fault-free runs yield
+    /// the same statistics as [`CircuitFile::execute_ensemble`]
+    /// (compare [`BatchReport::ensemble_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitFile::execute_ensemble`], plus journal I/O or
+    /// mismatch errors converted with the core error message.
+    pub fn execute_ensemble_batch(
+        &self,
+        opts: &BatchOpts,
+    ) -> Result<BatchReport<ReplicaSummary>, ParseError> {
+        if self.sweep.is_some() {
+            return Err(ParseError::new(
+                self.spans.sweep,
+                "ensemble execution conflicts with a `sweep` declaration".to_string(),
+            ));
+        }
+        let compiled = self.compile()?;
+        let cfg = self.sim_config()?;
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+        let record_junction = self.record_junction(&compiled)?;
+        let (events, runs) = self.jumps.unwrap_or((100_000, 1));
+        let length = match self.sim_time {
+            Some(t) => RunLength::Time(t),
+            None => RunLength::Events(events),
+        };
+        let opts = self.with_default_journal(opts);
+        batch_ensemble(
+            &compiled.circuit,
+            &cfg,
+            record_junction,
+            runs.max(1) as usize,
+            0,
+            length,
+            &opts,
+            |_sim, _replica, _spec| Ok(()),
+        )
+        .map_err(wrap)
+    }
+
+    /// The junction whose current the file reports: the `record`
+    /// directive's first junction, or the first junction in the circuit.
+    fn record_junction(&self, compiled: &CompiledCircuit) -> Result<JunctionId, ParseError> {
+        let wrap = |e: CoreError| ParseError::new(0, e.to_string());
+        match &self.record {
+            Some(r) => compiled.junction(r.from).map_err(wrap),
+            None => JunctionId::from_index_checked(&compiled.circuit, 0).map_err(wrap),
+        }
+    }
+
+    /// Resolves the `sweep` directive against the compiled circuit:
+    /// swept lead, optional `symm` partner, and the voltage grid.
+    fn sweep_plan(&self, compiled: &CompiledCircuit) -> Result<SweepPlan, ParseError> {
+        let spec = self
+            .sweep
+            .as_ref()
+            .ok_or_else(|| ParseError::new(0, "no `sweep` declaration".to_string()))?;
+        let lead = *compiled
+            .leads
+            .get(&spec.node)
+            .ok_or_else(|| ParseError::new(0, format!("sweep node {} has no vdc", spec.node)))?;
+        let symm_lead = match self.symmetric_with {
+            Some(n) => Some(
+                *compiled
+                    .leads
+                    .get(&n)
+                    .ok_or_else(|| ParseError::new(0, format!("symm node {n} has no vdc")))?,
+            ),
+            None => None,
+        };
+        let start = self
+            .sources
+            .iter()
+            .find(|&&(n, _)| n == spec.node)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        let n_steps = ((spec.end - start) / spec.step).abs().round() as usize + 1;
+        let controls: Vec<f64> = (0..n_steps)
+            .map(|i| start + (spec.end - start) * i as f64 / (n_steps - 1).max(1) as f64)
+            .collect();
+        Ok(SweepPlan {
+            lead,
+            symm_lead,
+            controls,
+        })
+    }
+
+    /// Copies `opts`, filling [`BatchOpts::journal`] from the file's
+    /// `journal` directive when the caller left it unset.
+    fn with_default_journal(&self, opts: &BatchOpts) -> BatchOpts {
+        let mut opts = opts.clone();
+        if opts.journal.is_none() {
+            opts.journal = self.journal.as_ref().map(std::path::PathBuf::from);
+        }
+        opts
+    }
+
     fn sweep_source_voltage(&self) -> Option<f64> {
         let node = self.sweep.as_ref()?.node;
         self.sources
             .iter()
             .find(|&&(n, _)| n == node)
             .map(|&(_, v)| v)
+    }
+}
+
+/// A resolved `sweep` directive: which lead to drive (plus the `symm`
+/// partner held at minus the value) and the voltage grid.
+struct SweepPlan {
+    lead: usize,
+    symm_lead: Option<usize>,
+    controls: Vec<f64>,
+}
+
+impl SweepPlan {
+    /// Applies one grid voltage to a fresh simulation.
+    fn apply(&self, sim: &mut Simulation<'_>, v: f64) -> Result<(), CoreError> {
+        sim.set_lead_voltage(self.lead, v)?;
+        if let Some(sl) = self.symm_lead {
+            sim.set_lead_voltage(sl, -v)?;
+        }
+        Ok(())
     }
 }
 
@@ -445,6 +575,68 @@ jumps 3000 1
         // Thread-count invariance extends through the interpreter.
         let b = f.execute_ensemble(ParOpts::with_threads(4)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn execute_batch_matches_execute_par() {
+        let text = format!("{SET_FILE}symm 1\nsweep 2 0.02 0.01\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let reference = f.execute().unwrap();
+        for threads in [1, 4] {
+            let opts = BatchOpts {
+                par: ParOpts::with_threads(threads),
+                ..BatchOpts::default()
+            };
+            let report = f.execute_batch(&opts).unwrap();
+            assert!(report.is_complete());
+            assert_eq!(report.values().unwrap(), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn execute_ensemble_batch_matches_execute_ensemble() {
+        let text = SET_FILE.replace("jumps 3000 1", "jumps 1000 6");
+        let f = CircuitFile::parse(&text).unwrap();
+        let reference = f.execute_ensemble(ParOpts::serial()).unwrap();
+        let report = f.execute_ensemble_batch(&BatchOpts::default()).unwrap();
+        assert!(report.is_complete());
+        let stats = report.ensemble_stats();
+        assert_eq!(stats.mean_current, reference.mean_current);
+        assert_eq!(stats.std_current, reference.std_current);
+        assert_eq!(report.counts.ok, 6);
+    }
+
+    #[test]
+    fn journal_directive_sets_the_default_journal() {
+        let path =
+            std::env::temp_dir().join(format!("semsim_compile_journal_{}.jl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let text = format!(
+            "{SET_FILE}symm 1\nsweep 2 0.02 0.01\njournal {}\n",
+            path.display()
+        );
+        let f = CircuitFile::parse(&text).unwrap();
+        let report = f.execute_batch(&BatchOpts::default()).unwrap();
+        assert!(report.is_complete());
+        assert!(path.exists(), "journal directive should create the file");
+        // Resume restores every point from the journal.
+        let opts = BatchOpts {
+            resume: true,
+            ..BatchOpts::default()
+        };
+        let resumed = f.execute_batch(&opts).unwrap();
+        assert_eq!(resumed.counts.skipped, report.counts.total());
+        assert_eq!(resumed.values(), report.values());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_entry_points_validate_sweep_presence() {
+        let f = CircuitFile::parse(SET_FILE).unwrap();
+        assert!(f.execute_batch(&BatchOpts::default()).is_err());
+        let text = format!("{SET_FILE}sweep 2 0.02 0.01\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        assert!(f.execute_ensemble_batch(&BatchOpts::default()).is_err());
     }
 
     #[test]

@@ -25,6 +25,11 @@ const BCS_GAP_TOLERANCE: f64 = 0.35;
 /// runaway — more Monte Carlo work than any I–V plot can use.
 const MAX_SWEEP_POINTS: f64 = 1e6;
 
+/// Task-count threshold for SC012: a batch of more than this many
+/// points (sweep grid × ensemble runs) without a `journal` declaration
+/// loses everything on a crash.
+const UNJOURNALED_TASKS: f64 = 1000.0;
+
 /// First source line mentioning each node number, for spanned
 /// node-level diagnostics.
 fn first_mention(file: &CircuitFile) -> HashMap<usize, usize> {
@@ -324,9 +329,52 @@ fn check_ensemble(file: &CircuitFile, diags: &mut Diagnostics) {
     }
 }
 
+/// SC012: a long batch with no journal. With more than
+/// [`UNJOURNALED_TASKS`] points (sweep grid × ensemble runs) and no
+/// `journal` declaration, a crash at hour N discards every completed
+/// point; journaled execution would resume from the crash instead.
+fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
+    if file.journal.is_some() {
+        return;
+    }
+    let grid_points = match &file.sweep {
+        Some(spec) if spec.step != 0.0 && spec.step.is_finite() => {
+            let start = file
+                .sources
+                .iter()
+                .find(|&&(n, _)| n == spec.node)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            ((spec.end - start) / spec.step).abs().round() + 1.0
+        }
+        Some(_) => return, // degenerate step: SC010 owns the report
+        None => 1.0,
+    };
+    let runs = file.jumps.map(|(_, r)| r.max(1)).unwrap_or(1) as f64;
+    let tasks = grid_points * runs;
+    if tasks <= UNJOURNALED_TASKS {
+        return;
+    }
+    let span = Span::line(if file.sweep.is_some() {
+        file.spans.sweep
+    } else {
+        file.spans.jumps
+    });
+    diags.push(Diagnostic::new(
+        DiagCode::UnjournaledLongSweep,
+        format!(
+            "this run computes {tasks:.0} points (limit {UNJOURNALED_TASKS:.0} without a \
+             journal) and a crash would discard all of them; add `journal <path>` or pass \
+             `--journal` to make it resumable"
+        ),
+        span,
+    ));
+}
+
 /// Runs every circuit-level check: the electrical analyses of
 /// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
-/// (SC004, SC008, SC009, SC010, SC011). Pure inspection — never fails.
+/// (SC004, SC008, SC009, SC010, SC011, SC012). Pure inspection — never
+/// fails.
 pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     let mut diags = check_circuit(&circuit_model(file));
     check_parameters(file, &mut diags);
@@ -334,6 +382,7 @@ pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     check_superconducting(file, &mut diags);
     check_sweep(file, &mut diags);
     check_ensemble(file, &mut diags);
+    check_journal(file, &mut diags);
     diags.sort();
     diags
 }
@@ -568,6 +617,60 @@ mod tests {
             .unwrap();
             assert!(lint_circuit(&f).is_empty(), "runs = {runs}");
         }
+    }
+
+    #[test]
+    fn unjournaled_long_sweep_is_sc012_warning() {
+        // -0.02 → 0.02 in 1e-5 steps = 4001 points, no journal.
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.00001\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UnjournaledLongSweep)
+            .expect("SC012");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 8);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn journal_directive_silences_sc012() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.00001\n\
+             journal sweep.jl\n",
+        )
+        .unwrap();
+        assert!(lint_circuit(&f).is_empty(), "{:?}", lint_circuit(&f));
+    }
+
+    #[test]
+    fn unjournaled_large_ensemble_is_sc012() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\njumps 100 2000\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UnjournaledLongSweep)
+            .expect("SC012 for ensembles");
+        assert_eq!(d.span.line, 8);
+    }
+
+    #[test]
+    fn short_batches_need_no_journal() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.001\n",
+        )
+        .unwrap();
+        assert!(lint_circuit(&f).is_empty());
     }
 
     #[test]

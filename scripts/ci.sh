@@ -48,6 +48,35 @@ fi
 echo "==> semsim lint examples/netlists/*"
 ./target/release/semsim lint examples/netlists/*
 
+echo "==> journaled sweep: crash, resume, diff against the clean run"
+jdir=$(mktemp -d)
+trap 'rm -rf "$jdir"' EXIT
+./target/release/semsim sweep examples/netlists/set_sweep.cir --events 2000 \
+  > "$jdir/clean.out"
+./target/release/semsim sweep examples/netlists/set_sweep.cir --events 2000 \
+  --journal "$jdir/sweep.jl" > "$jdir/ref.out"
+diff "$jdir/clean.out" "$jdir/ref.out" \
+  || { echo "FAIL: journaling changed the sweep output"; exit 1; }
+# Simulate a mid-run kill: keep ~60% of the journal (a torn final
+# record) and resume. The resumed output must be byte-identical.
+full=$(stat -c %s "$jdir/sweep.jl")
+head -c $(( full * 60 / 100 )) "$jdir/sweep.jl" > "$jdir/torn.jl"
+mv "$jdir/torn.jl" "$jdir/sweep.jl"
+./target/release/semsim sweep examples/netlists/set_sweep.cir --events 2000 \
+  --journal "$jdir/sweep.jl" --resume > "$jdir/resumed.out" 2> "$jdir/resumed.err"
+grep -q "restored from journal" "$jdir/resumed.err" \
+  || { echo "FAIL: resume did not restore any points"; cat "$jdir/resumed.err"; exit 1; }
+diff "$jdir/clean.out" "$jdir/resumed.out" \
+  || { echo "FAIL: resumed sweep differs from the uninterrupted run"; exit 1; }
+echo "resume OK: $(grep 'batch:' "$jdir/resumed.err")"
+
+echo "==> journal overhead budget (<10%) + bit-identity"
+journal_out=$(cargo run -q --release -p semsim-bench --bin journal_overhead)
+echo "$journal_out"
+jpct=$(echo "$journal_out" | grep -oP 'journal-overhead-pct: \K[-0-9.]+')
+awk -v p="$jpct" 'BEGIN { exit !(p < 10.0) }' \
+  || { echo "FAIL: journal overhead ${jpct}% exceeds the 10% budget"; exit 1; }
+
 echo "==> drift-audit overhead budget (<5%)"
 overhead_out=$(cargo run -q --release -p semsim-bench --bin audit_overhead)
 echo "$overhead_out"

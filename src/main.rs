@@ -3,11 +3,13 @@
 //! ```text
 //! semsim lint <file>...
 //! semsim run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
-//!                          [--checkpoint FILE] [--resume FILE]
+//!                          [--checkpoint FILE] [--resume [FILE]]
+//!                          [--journal FILE] [--max-retries N]
 //! semsim sweep <netlist.cir> [--events N] [--threads N]
+//!                            [--journal FILE] [--resume] [--max-retries N]
 //! ```
 //!
-//! `lint` runs the static netlist checks (diagnostic codes SC001–SC011)
+//! `lint` runs the static netlist checks (diagnostic codes SC001–SC012)
 //! over each file and prints rustc-style diagnostics. Files are treated
 //! as gate-level logic netlists when their first directive is one of the
 //! logic keywords (`input`, `output`, `inv`, `nand`, …) or the file
@@ -15,17 +17,22 @@
 //!
 //! `run` compiles a circuit netlist and executes a Monte Carlo run at
 //! the declared bias, optionally writing a binary checkpoint every N
-//! events (`--checkpoint-every`) and resuming from one (`--resume`).
+//! events (`--checkpoint-every`) and resuming from one (`--resume FILE`).
 //! A resumed run continues to the same total event target and produces
 //! the same trajectory the uninterrupted run would have. When the
 //! file's `jumps <events> <runs>` declares more than one run, the runs
 //! execute as an independent-replica ensemble over `--threads` worker
 //! threads (incompatible with checkpointing — each replica is its own
-//! short trajectory).
+//! short trajectory), through the resilient batch layer: per-replica
+//! panic isolation and retry, optional journaling (`--journal`), and
+//! crash-safe resume (the bare `--resume` flag).
 //!
 //! `sweep` executes the file's `sweep` declaration over `--threads`
-//! worker threads. Results are bit-identical for every thread count
-//! (see docs/parallelism.md).
+//! worker threads through the resilient batch layer. Results are
+//! bit-identical for every thread count (see docs/parallelism.md);
+//! faulted points never abort the sweep (they print as comment lines),
+//! and `--journal`/`--resume` make long sweeps crash-safe (see
+//! docs/robustness.md).
 //!
 //! Exit status: 0 when every file is clean or carries only warnings,
 //! 1 when any file has an error-severity finding or fails to parse,
@@ -33,6 +40,7 @@
 
 use std::process::ExitCode;
 
+use semsim::core::batch::{BatchCounts, BatchOpts, RetryPolicy};
 use semsim::core::constants::E_CHARGE;
 use semsim::core::engine::{RunLength, Simulation};
 use semsim::core::health::{RunOutcome, Supervisor};
@@ -43,26 +51,36 @@ const USAGE: &str = "usage: semsim <command>
 
 commands:
   lint <netlist>...
-      Run the static circuit/logic netlist checks (SC001-SC011) and
+      Run the static circuit/logic netlist checks (SC001-SC012) and
       print rustc-style diagnostics. See docs/diagnostics.md.
 
   run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
-                    [--checkpoint FILE] [--resume FILE]
+                    [--checkpoint FILE] [--resume [FILE]]
+                    [--journal FILE] [--max-retries N]
       Compile the circuit and execute a Monte Carlo run at the declared
       bias. --events overrides the file's `jumps` directive (total
       events since the start of the trajectory). --checkpoint-every
       writes a binary snapshot to FILE (default: <netlist>.ckpt) every
-      N events; --resume restores one and continues the identical
+      N events; --resume FILE restores one and continues the identical
       trajectory. See docs/robustness.md. When `jumps` declares more
       than one run, the runs execute as an independent-replica ensemble
-      over --threads worker threads (default: all cores); ensembles
-      cannot be combined with checkpointing.
+      over --threads worker threads (default: all cores) with per-replica
+      retry (--max-retries, default 2); --journal appends finished
+      replicas to a crash-safe journal and the bare --resume flag
+      restores them instead of recomputing. Ensembles cannot be combined
+      with checkpointing.
 
   sweep <netlist.cir> [--events N] [--threads N]
+                      [--journal FILE] [--resume] [--max-retries N]
       Execute the file's `sweep` declaration in parallel over --threads
       worker threads (default: all cores) and print one `control
       current outcome` line per point. Output is bit-identical for
-      every thread count. See docs/parallelism.md.";
+      every thread count (see docs/parallelism.md). Points that fault
+      print as comment lines instead of aborting the sweep; --journal
+      appends finished points to a crash-safe journal (default: the
+      file's `journal` directive) and --resume skips them on the next
+      invocation, reproducing the uninterrupted sweep bit-for-bit. See
+      docs/robustness.md.";
 
 /// Directive keywords that identify the gate-level logic format.
 const LOGIC_KEYWORDS: [&str; 10] = [
@@ -130,6 +148,12 @@ struct RunOpts {
     checkpoint_every: Option<u64>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    /// Journal file for batch execution (`--journal`).
+    journal: Option<String>,
+    /// Retry budget per point (`--max-retries`).
+    max_retries: Option<u32>,
+    /// Bare `--resume` flag: restore finished points from the journal.
+    resume_journal: bool,
 }
 
 fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
@@ -140,11 +164,14 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
         checkpoint_every: None,
         checkpoint: None,
         resume: None,
+        journal: None,
+        max_retries: None,
+        resume_journal: false,
     };
     // `sweep` takes the parallel flags only; the checkpoint family is
     // run-trajectory specific.
     let checkpointable = cmd == "run";
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
             it.next()
@@ -178,7 +205,26 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
                 opts.checkpoint_every = Some(n);
             }
             "--checkpoint" if checkpointable => opts.checkpoint = Some(value("--checkpoint")?),
-            "--resume" if checkpointable => opts.resume = Some(value("--resume")?),
+            "--resume" => {
+                // `run` historically takes `--resume FILE` (checkpoint
+                // restore); the journal form is the bare flag. A next
+                // argument that is not a flag selects the file form.
+                let file_form =
+                    checkpointable && it.peek().map(|v| !v.starts_with("--")).unwrap_or(false);
+                if file_form {
+                    opts.resume = it.next().cloned();
+                } else {
+                    opts.resume_journal = true;
+                }
+            }
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--max-retries" => {
+                opts.max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|_| "invalid `--max-retries` count".to_string())?,
+                );
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `semsim {cmd}`"));
             }
@@ -190,6 +236,48 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
         return Err(format!("`semsim {cmd}` needs a netlist file"));
     }
     Ok(opts)
+}
+
+/// Assembles the resilient-batch options implied by the CLI flags.
+/// [`BatchOpts::journal`] stays `None` when `--journal` was not given,
+/// so the netlist's own `journal` directive can supply the default.
+fn batch_opts(opts: &RunOpts, threads: usize) -> BatchOpts {
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = opts.max_retries {
+        retry.max_retries = n;
+    }
+    BatchOpts {
+        par: ParOpts::with_threads(threads),
+        retry,
+        journal: opts.journal.as_ref().map(std::path::PathBuf::from),
+        resume: opts.resume_journal,
+    }
+}
+
+/// Prints the batch recovery summary (stderr) when anything other than
+/// a clean first-attempt-only run happened.
+fn report_batch_recovery(counts: &BatchCounts, retries: u64, discarded_tail_bytes: usize) {
+    if counts.recovered + counts.faulted + counts.skipped == 0 && discarded_tail_bytes == 0 {
+        return;
+    }
+    eprintln!(
+        "batch: {} ok, {} recovered, {} faulted, {} restored from journal \
+         ({} retry attempt(s))",
+        counts.ok, counts.recovered, counts.faulted, counts.skipped, retries
+    );
+    if discarded_tail_bytes > 0 {
+        eprintln!("journal: discarded {discarded_tail_bytes} corrupt tail byte(s)");
+    }
+}
+
+/// One-word outcome tag for sweep data lines.
+fn outcome_tag(outcome: RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Completed => "completed",
+        RunOutcome::Blockaded { .. } => "blockaded",
+        RunOutcome::WallClockExceeded { .. } => "wall-clock",
+        RunOutcome::EventCapReached { .. } => "event-cap",
+    }
 }
 
 /// Executes `semsim run`; returns `true` on success.
@@ -217,6 +305,13 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
             ));
         }
         return run_ensemble(opts, &file);
+    }
+    if opts.journal.is_some() || opts.resume_journal || opts.max_retries.is_some() {
+        return Err(
+            "`--journal`/`--resume` (flag form)/`--max-retries` apply to sweeps and \
+             ensembles (`jumps` runs > 1), not to a single trajectory"
+                .to_string(),
+        );
     }
     let compiled = file
         .compile()
@@ -336,13 +431,14 @@ fn run_ensemble(opts: &RunOpts, file: &CircuitFile) -> Result<(), String> {
         opts.threads
     };
     let report = file
-        .execute_ensemble(ParOpts::with_threads(threads))
+        .execute_ensemble_batch(&batch_opts(opts, threads))
         .map_err(|e| format!("{}: {e}", opts.netlist))?;
+    let stats = report.ensemble_stats();
     println!(
         "ensemble: {} replicas on {} thread(s), {} events total",
-        report.replicas(),
+        report.counts.total(),
         threads,
-        report.total_events
+        stats.total_events
     );
     println!(
         "outcomes: {} completed, {} blockaded, {} wall-clock, {} event-cap",
@@ -353,8 +449,18 @@ fn run_ensemble(opts: &RunOpts, file: &CircuitFile) -> Result<(), String> {
     );
     println!(
         "current through recorded junction: {:.6e} A +/- {:.6e} A",
-        report.mean_current, report.std_current
+        stats.mean_current, stats.std_current
     );
+    report_batch_recovery(&report.counts, report.retries, report.discarded_tail_bytes);
+    for p in &report.points {
+        if let Some(fault) = &p.fault {
+            eprintln!(
+                "replica {} faulted after {} attempt(s): {fault}",
+                p.task,
+                p.attempts.len()
+            );
+        }
+    }
     if report.health.audits > 0 {
         println!(
             "health: {} audits, worst drift {:.3e}, {} degradation(s)",
@@ -403,20 +509,40 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
     } else {
         opts.threads
     };
-    let points = file
-        .execute_par(ParOpts::with_threads(threads))
+    let report = file
+        .execute_batch(&batch_opts(opts, threads))
         .map_err(|e| format!("{}: {e}", opts.netlist))?;
-    println!("# {} points on {} thread(s)", points.len(), threads);
+    println!(
+        "# {} points on {} thread(s)",
+        report.counts.total(),
+        threads
+    );
     println!("# control_V current_A outcome");
-    for p in &points {
-        let tag = match p.outcome {
-            RunOutcome::Completed => "completed",
-            RunOutcome::Blockaded { .. } => "blockaded",
-            RunOutcome::WallClockExceeded { .. } => "wall-clock",
-            RunOutcome::EventCapReached { .. } => "event-cap",
-        };
-        println!("{:.6e} {:.6e} {tag}", p.control, p.current);
+    for p in &report.points {
+        match &p.item {
+            Some(pt) => {
+                println!(
+                    "{:.6e} {:.6e} {}",
+                    pt.control,
+                    pt.current,
+                    outcome_tag(pt.outcome)
+                );
+            }
+            None => {
+                let fault = p
+                    .fault
+                    .as_ref()
+                    .map(|f| f.to_string())
+                    .unwrap_or_else(|| "unknown fault".to_string());
+                println!(
+                    "# point {} faulted after {} attempt(s): {fault}",
+                    p.task,
+                    p.attempts.len()
+                );
+            }
+        }
     }
+    report_batch_recovery(&report.counts, report.retries, report.discarded_tail_bytes);
     Ok(())
 }
 

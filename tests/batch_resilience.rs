@@ -1,0 +1,302 @@
+//! Integration tests of the resilient batch layer: fault-free batches
+//! must be bit-identical to the plain parallel drivers, and the
+//! `SEMSIMJL` journal must survive truncation at every byte boundary,
+//! single-bit rot, and version skew — a resumed batch reproduces the
+//! uninterrupted one bit-for-bit or refuses loudly, never silently
+//! drifts.
+
+use std::path::PathBuf;
+
+use semsim::core::batch::{batch_sweep, BatchOpts, BatchReport, RetryPolicy};
+use semsim::core::checkpoint::fnv1a64;
+use semsim::core::circuit::{Circuit, CircuitBuilder, JunctionId};
+use semsim::core::engine::{SimConfig, Simulation, SweepPoint};
+use semsim::core::journal::{scan, HEADER_LEN};
+use semsim::core::par::{par_sweep, ParOpts};
+use semsim::core::CoreError;
+
+/// A conducting SET (source—island—drain plus gate): every sweep point
+/// tunnels at a healthy rate.
+fn set_circuit() -> (Circuit, JunctionId) {
+    let mut b = CircuitBuilder::new();
+    let src = b.add_lead(10e-3);
+    let drn = b.add_lead(-10e-3);
+    let gate = b.add_lead(0.0);
+    let island = b.add_island();
+    let j = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+    b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+    b.add_capacitor(gate, island, 3e-18).unwrap();
+    (b.build().unwrap(), j)
+}
+
+fn controls() -> Vec<f64> {
+    (0..8).map(|i| 2e-3 * (i as f64 + 1.0)).collect()
+}
+
+fn apply_bias(sim: &mut Simulation<'_>, v: f64) -> Result<(), CoreError> {
+    sim.set_lead_voltage(1, v / 2.0)?;
+    sim.set_lead_voltage(2, -v / 2.0)
+}
+
+/// Runs the reference batch with the given options.
+fn run_batch(opts: &BatchOpts) -> BatchReport<SweepPoint> {
+    let (circuit, j) = set_circuit();
+    let cfg = SimConfig::new(5.0).with_seed(33);
+    batch_sweep(
+        &circuit,
+        &cfg,
+        j,
+        &controls(),
+        150,
+        1200,
+        opts,
+        |sim, v, _spec| apply_bias(sim, v),
+    )
+    .unwrap()
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("semsim_batch_{name}_{}.jl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn batch_sweep_is_bit_identical_to_par_sweep() {
+    let (circuit, j) = set_circuit();
+    let cfg = SimConfig::new(5.0).with_seed(33);
+    let reference = par_sweep(
+        &circuit,
+        &cfg,
+        j,
+        &controls(),
+        150,
+        1200,
+        ParOpts::serial(),
+        apply_bias,
+    )
+    .unwrap();
+    for threads in [1, 2, 4] {
+        let opts = BatchOpts {
+            par: ParOpts::with_threads(threads),
+            ..BatchOpts::default()
+        };
+        let report = run_batch(&opts);
+        assert!(report.is_complete());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.values().unwrap(), reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn killed_and_resumed_journal_reproduces_the_uninterrupted_run() {
+    let path = temp_journal("kill_resume");
+    let opts = BatchOpts {
+        par: ParOpts::with_threads(1),
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    let reference = run_batch(&opts);
+    assert!(reference.is_complete());
+    let full = std::fs::read(&path).unwrap();
+
+    // Kill the writer at two different points mid-record (a torn
+    // append), then resume at different thread counts: the journal
+    // restores the finished prefix and the recomputed remainder is
+    // bit-identical to the uninterrupted run.
+    for (threads, frac) in [(1usize, 0.6), (4, 0.85)] {
+        let cut = (full.len() as f64 * frac) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let opts = BatchOpts {
+            par: ParOpts::with_threads(threads),
+            journal: Some(path.clone()),
+            resume: true,
+            ..BatchOpts::default()
+        };
+        let resumed = run_batch(&opts);
+        assert!(
+            resumed.counts.skipped > 0 && resumed.counts.skipped < controls().len(),
+            "cut at {frac} restored {} points",
+            resumed.counts.skipped
+        );
+        assert!(resumed.discarded_tail_bytes > 0, "no torn record at {frac}");
+        assert_eq!(
+            resumed.values().unwrap(),
+            reference.values().unwrap(),
+            "threads = {threads}, cut = {frac}"
+        );
+    }
+
+    // A resume against the completed journal recomputes nothing.
+    std::fs::write(&path, &full).unwrap();
+    let opts = BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    };
+    let restored = run_batch(&opts);
+    assert_eq!(restored.counts.skipped, controls().len());
+    assert_eq!(restored.retries, 0);
+    assert_eq!(restored.values().unwrap(), reference.values().unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn scan_survives_truncation_at_every_byte_boundary() {
+    let path = temp_journal("truncate");
+    let opts = BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    run_batch(&opts);
+    let full = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let complete = scan::<SweepPoint>(&full).unwrap();
+    assert_eq!(complete.entries.len(), controls().len());
+    assert_eq!(complete.discarded_tail_bytes, 0);
+
+    for len in 0..=full.len() {
+        match scan::<SweepPoint>(&full[..len]) {
+            Ok(s) => {
+                assert!(len >= HEADER_LEN, "short header scanned at {len}");
+                // The valid prefix is always an exact prefix of the
+                // complete journal's entries.
+                assert!(s.entries.len() <= complete.entries.len());
+                for (got, want) in s.entries.iter().zip(&complete.entries) {
+                    assert_eq!(got.task, want.task, "len = {len}");
+                    assert_eq!(got.item, want.item, "len = {len}");
+                }
+                assert_eq!(s.valid_len + s.discarded_tail_bytes, len);
+            }
+            Err(CoreError::JournalCorrupt { .. }) => {
+                assert!(len < HEADER_LEN, "valid header rejected at {len}");
+            }
+            Err(other) => panic!("unexpected error at {len}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_discard_the_tail_never_panic() {
+    let path = temp_journal("bitflip");
+    let opts = BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    run_batch(&opts);
+    let full = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let complete = scan::<SweepPoint>(&full).unwrap();
+
+    for byte in 0..full.len() {
+        for bit in 0..8 {
+            let mut rotted = full.clone();
+            rotted[byte] ^= 1 << bit;
+            match scan::<SweepPoint>(&rotted) {
+                Ok(s) => {
+                    // A flip inside the record region invalidates that
+                    // record's checksum or framing: the tail is
+                    // discarded, the prefix survives untouched.
+                    assert!(byte >= HEADER_LEN, "header flip at {byte}:{bit} scanned");
+                    assert!(
+                        s.entries.len() < complete.entries.len(),
+                        "flip at {byte}:{bit} went unnoticed"
+                    );
+                    for (got, want) in s.entries.iter().zip(&complete.entries) {
+                        assert_eq!(got.item, want.item, "prefix drift at {byte}:{bit}");
+                    }
+                }
+                Err(CoreError::JournalCorrupt { .. }) => {
+                    assert!(byte < HEADER_LEN, "record flip at {byte}:{bit} errored");
+                }
+                Err(other) => panic!("unexpected error at {byte}:{bit}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let path = temp_journal("version");
+    let opts = BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    run_batch(&opts);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    // Bump the version field (bytes 8..12, LE) and reseal the header
+    // checksum so only the version is wrong.
+    bytes[8] += 1;
+    let sum = fnv1a64(&bytes[..HEADER_LEN - 8]).to_le_bytes();
+    bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&sum);
+    match scan::<SweepPoint>(&bytes) {
+        Err(CoreError::JournalCorrupt { what }) => {
+            assert_eq!(what, "unsupported version");
+        }
+        other => panic!("version 2 accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn journal_from_a_different_batch_is_refused() {
+    let path = temp_journal("mismatch");
+    let opts = BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    run_batch(&opts);
+
+    let (circuit, j) = set_circuit();
+    let resume = BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    };
+    // Different master seed.
+    let err = batch_sweep(
+        &circuit,
+        &SimConfig::new(5.0).with_seed(34),
+        j,
+        &controls(),
+        150,
+        1200,
+        &resume,
+        |sim, v, _spec| apply_bias(sim, v),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::JournalMismatch { .. }), "{err:?}");
+    // Different voltage grid (fingerprint).
+    let err = batch_sweep(
+        &circuit,
+        &SimConfig::new(5.0).with_seed(33),
+        j,
+        &controls()[..6],
+        150,
+        1200,
+        &resume,
+        |sim, v, _spec| apply_bias(sim, v),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::JournalMismatch { .. }), "{err:?}");
+    // Different retry policy (also part of the fingerprint).
+    let err = batch_sweep(
+        &circuit,
+        &SimConfig::new(5.0).with_seed(33),
+        j,
+        &controls(),
+        150,
+        1200,
+        &BatchOpts {
+            retry: RetryPolicy {
+                max_retries: 7,
+                ..RetryPolicy::default()
+            },
+            ..resume.clone()
+        },
+        |sim, v, _spec| apply_bias(sim, v),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::JournalMismatch { .. }), "{err:?}");
+    let _ = std::fs::remove_file(&path);
+}

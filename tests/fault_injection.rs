@@ -7,9 +7,14 @@
 
 #![cfg(feature = "fault-inject")]
 
+use semsim::core::batch::{
+    batch_sweep, BatchFaultPlan, BatchOpts, BatchReport, PointStatus, RecoveryAction, RetryPolicy,
+};
 use semsim::core::circuit::{Circuit, CircuitBuilder};
-use semsim::core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim::core::engine::{RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
 use semsim::core::health::{FaultPlan, FaultStage, RunOutcome};
+use semsim::core::journal::corrupt_journal_tail;
+use semsim::core::par::ParOpts;
 use semsim::core::CoreError;
 
 /// A conducting SET biased at the charge degeneracy point: both
@@ -22,6 +27,173 @@ fn conducting_set() -> Circuit {
     b.add_junction(src, island, 1e6, 1e-18).unwrap();
     b.add_junction(island, drn, 1e6, 1e-18).unwrap();
     b.build().unwrap()
+}
+
+/// Runs a 6-point I–V batch over the conducting SET with the scripted
+/// fault plan armed in every attempt's setup.
+fn batch_iv(cfg: &SimConfig, opts: &BatchOpts, plan: &BatchFaultPlan) -> BatchReport<SweepPoint> {
+    let circuit = conducting_set();
+    let junction = circuit.junction_ids().next().unwrap();
+    let controls: Vec<f64> = (0..6).map(|i| 5e-3 * (i as f64 + 1.0)).collect();
+    batch_sweep(
+        &circuit,
+        cfg,
+        junction,
+        &controls,
+        200,
+        1500,
+        opts,
+        |sim, v, spec| {
+            plan.arm(sim, spec);
+            sim.set_lead_voltage(1, v)?;
+            sim.set_lead_voltage(2, -v)
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn injected_panic_recovers_bit_identically_to_the_clean_run() {
+    // A panic on the initial attempt reruns with the identical seed
+    // (RerunSame — the transient-crash assumption), so the recovered
+    // batch equals the fault-free one bit for bit, at any thread count.
+    let cfg = SimConfig::new(5.0).with_seed(42);
+    let clean = batch_iv(&cfg, &BatchOpts::default(), &BatchFaultPlan::new());
+    assert!(clean.is_complete());
+    assert_eq!(clean.retries, 0);
+    for threads in [1, 2, 4] {
+        let opts = BatchOpts {
+            par: ParOpts::with_threads(threads),
+            ..BatchOpts::default()
+        };
+        let plan = BatchFaultPlan::new().panic_at(2, 300);
+        let report = batch_iv(&cfg, &opts, &plan);
+        assert_eq!(report.counts.recovered, 1, "threads = {threads}");
+        let p = &report.points[2];
+        assert_eq!(p.status, PointStatus::Recovered { attempts: 2 });
+        assert_eq!(p.attempts[1].action, RecoveryAction::RerunSame);
+        assert_eq!(p.attempts[0].seed, p.attempts[1].seed);
+        let fault = p.attempts[0].fault.as_deref().unwrap();
+        assert!(fault.contains("injected fault: panic"), "{fault}");
+        assert_eq!(
+            report.values().unwrap(),
+            clean.values().unwrap(),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn transient_poison_recovery_reseeds_and_spares_siblings() {
+    let cfg = SimConfig::new(5.0).with_seed(42);
+    let clean = batch_iv(&cfg, &BatchOpts::default(), &BatchFaultPlan::new());
+    let plan = BatchFaultPlan::new().poison_rate(1, 100, 0);
+    let first = batch_iv(&cfg, &BatchOpts::default(), &plan);
+    let p = &first.points[1];
+    assert_eq!(p.status, PointStatus::Recovered { attempts: 2 });
+    assert_eq!(p.attempts[1].action, RecoveryAction::ReseedTightened);
+    assert_ne!(
+        p.attempts[0].seed, p.attempts[1].seed,
+        "a numerical fault must not rerun the same trajectory"
+    );
+    // Siblings are untouched by the neighbour's recovery.
+    for (i, (got, want)) in first.points.iter().zip(&clean.points).enumerate() {
+        if i != 1 {
+            assert_eq!(got.item, want.item, "sibling {i} drifted");
+        }
+    }
+    // The recovery itself is deterministic: any thread count reproduces
+    // the single-threaded recovered batch bit for bit.
+    for threads in [2, 4] {
+        let opts = BatchOpts {
+            par: ParOpts::with_threads(threads),
+            ..BatchOpts::default()
+        };
+        let report = batch_iv(&cfg, &opts, &plan);
+        assert_eq!(
+            report.values().unwrap(),
+            first.values().unwrap(),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn persistent_poison_is_rescued_by_the_solver_fallback() {
+    // The poison fires in every adaptive attempt; only the final
+    // non-adaptive fallback attempt escapes it.
+    let cfg = SimConfig::new(5.0)
+        .with_seed(42)
+        .with_solver(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval: 2_000,
+        });
+    let plan = BatchFaultPlan::new().persistent_poison(3, 100, 0);
+    let report = batch_iv(&cfg, &BatchOpts::default(), &plan);
+    let p = &report.points[3];
+    assert_eq!(p.status, PointStatus::Recovered { attempts: 3 });
+    assert_eq!(p.attempts[2].action, RecoveryAction::SolverFallback);
+    assert!(p.item.is_some());
+    assert!(report.is_complete());
+    assert_eq!(report.counts.recovered, 1);
+}
+
+#[test]
+fn exhausted_ladder_faults_the_point_and_salvages_the_rest() {
+    let cfg = SimConfig::new(5.0).with_seed(42);
+    let clean = batch_iv(&cfg, &BatchOpts::default(), &BatchFaultPlan::new());
+    let opts = BatchOpts {
+        retry: RetryPolicy {
+            max_retries: 2,
+            solver_fallback: false,
+            ..RetryPolicy::default()
+        },
+        ..BatchOpts::default()
+    };
+    let plan = BatchFaultPlan::new().persistent_poison(4, 100, 0);
+    let report = batch_iv(&cfg, &opts, &plan);
+    let p = &report.points[4];
+    assert_eq!(p.status, PointStatus::Faulted);
+    assert_eq!(p.attempts.len(), 3, "initial + 2 retries");
+    assert!(p.item.is_none());
+    assert!(p.fault.is_some());
+    assert!(!report.is_complete());
+    assert!(report.values().is_none());
+    assert_eq!(report.counts.faulted, 1);
+    assert_eq!(report.counts.ok, 5);
+    // Every sibling still carries the clean value — partial salvage.
+    for (i, (got, want)) in report.points.iter().zip(&clean.points).enumerate() {
+        if i != 4 {
+            assert_eq!(got.item, want.item, "sibling {i} drifted");
+        }
+    }
+}
+
+#[test]
+fn corrupted_journal_tail_is_discarded_and_resume_stays_exact() {
+    let path = std::env::temp_dir().join(format!("semsim_fault_journal_{}.jl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = SimConfig::new(5.0).with_seed(42);
+    let opts = BatchOpts {
+        par: ParOpts::with_threads(1),
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    };
+    let reference = batch_iv(&cfg, &opts, &BatchFaultPlan::new());
+    assert!(reference.is_complete());
+
+    corrupt_journal_tail(&path).unwrap();
+    let opts = BatchOpts {
+        par: ParOpts::with_threads(1),
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    };
+    let resumed = batch_iv(&cfg, &opts, &BatchFaultPlan::new());
+    assert!(resumed.discarded_tail_bytes > 0, "tail rot went unnoticed");
+    assert_eq!(resumed.counts.skipped, 5, "only the rotted record re-runs");
+    assert_eq!(resumed.values().unwrap(), reference.values().unwrap());
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

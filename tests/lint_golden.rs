@@ -171,6 +171,16 @@ fn sc011_degenerate_ensemble() {
     );
 }
 
+#[test]
+fn sc012_unjournaled_long_sweep() {
+    assert_diag(
+        "sc012_unjournaled_long_sweep.cir",
+        DiagCode::UnjournaledLongSweep,
+        Severity::Warning,
+        8,
+    );
+}
+
 /// The example netlists shipped with the crate must lint clean — they
 /// are what `semsim lint` is demonstrated on in the README.
 #[test]
