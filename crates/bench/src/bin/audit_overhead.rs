@@ -4,7 +4,7 @@
 //! printed as `audit-overhead-pct: X.XX` (the line `scripts/ci.sh`
 //! greps to enforce the <5 % overhead budget).
 //!
-//! Arguments: `events` (timed events per run, default 200000),
+//! Arguments: `events` (timed events per run, default 400000),
 //! `interval` (audit period in events, default 1000), `seed` (1),
 //! `netlist` is fixed to `examples/netlists/set_sweep.cir` resolved
 //! against the workspace root.
@@ -24,28 +24,39 @@ fn netlist_path() -> std::path::PathBuf {
     root.join("examples/netlists/set_sweep.cir")
 }
 
-/// Best-of-3 wall-clock seconds for `events` Monte Carlo events.
-fn time_run(
-    make_cfg: impl Fn() -> SimConfig,
+/// One timed repetition: a fresh simulation, warmed to steady state,
+/// then `events` timed Monte Carlo events.
+fn time_once(cfg: &SimConfig, circuit: &semsim_core::circuit::Circuit, events: u64) -> f64 {
+    let mut sim = Simulation::new(circuit, cfg.clone()).expect("valid configuration");
+    sim.run(RunLength::Events(events / 10))
+        .expect("warm-up runs");
+    let t0 = Instant::now();
+    sim.run(RunLength::Events(events)).expect("timed run");
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-7 for both configurations, with the repetitions interleaved
+/// (base, audited, base, audited, …) so machine-wide drift — frequency
+/// scaling, co-tenant load — hits both sides alike instead of biasing
+/// whichever side happens to run second.
+fn time_pair(
+    base_cfg: &SimConfig,
+    audit_cfg: &SimConfig,
     circuit: &semsim_core::circuit::Circuit,
     events: u64,
-) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let mut sim = Simulation::new(circuit, make_cfg()).expect("valid configuration");
-        // Warm-up: reach the steady state before timing.
-        sim.run(RunLength::Events(events / 10))
-            .expect("warm-up runs");
-        let t0 = Instant::now();
-        sim.run(RunLength::Events(events)).expect("timed run");
-        best = best.min(t0.elapsed().as_secs_f64());
+) -> (f64, f64) {
+    let mut best_base = f64::INFINITY;
+    let mut best_audit = f64::INFINITY;
+    for _ in 0..7 {
+        best_base = best_base.min(time_once(base_cfg, circuit, events));
+        best_audit = best_audit.min(time_once(audit_cfg, circuit, events));
     }
-    best
+    (best_base, best_audit)
 }
 
 fn main() {
     let args = Args::from_env();
-    let events = args.u64_or("events", 200_000);
+    let events = args.u64_or("events", 400_000);
     let interval = args.u64_or("interval", 1_000);
     let seed = args.u64_or("seed", 1);
 
@@ -67,8 +78,7 @@ fn main() {
     let base_cfg = cfg.clone().with_seed(seed);
     let audit_cfg = base_cfg.clone().with_audit_interval(interval);
 
-    let t_base = time_run(|| base_cfg.clone(), &compiled.circuit, events);
-    let t_audit = time_run(|| audit_cfg.clone(), &compiled.circuit, events);
+    let (t_base, t_audit) = time_pair(&base_cfg, &audit_cfg, &compiled.circuit, events);
 
     let pct = (t_audit - t_base) / t_base * 100.0;
     println!(

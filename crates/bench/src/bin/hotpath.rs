@@ -1,0 +1,360 @@
+//! Hot-path performance harness: events/sec of the optimized adaptive
+//! solver (sparsified dependency neighborhoods, memoised rate lookups,
+//! allocation-free event loop) against the dense-reference oracle
+//! ([`SolverSpec::AdaptiveDense`]), which reaches the same decisions by
+//! scanning every junction per event. Both runs share one seed, so
+//! their run records must agree bit-for-bit — the harness exits nonzero
+//! on any mismatch before it reports a single number.
+//!
+//! Workloads are the Fig. 6 logic benchmarks, measured strictly
+//! serially (co-running workers would pollute the per-event timings).
+//! A machine-readable summary is written to
+//! `results/BENCH_hotpath.json`, and the final stdout line
+//! `hotpath-speedup-largest: X.XX` is the CI gate quantity: the
+//! events/sec ratio on the largest measured benchmark, expected ≥ 1.5.
+//!
+//! The harness also re-asserts sweep bit-identity on the Fig. 1 SET:
+//! a serial I–V sweep under the optimized solver must match the
+//! dense-reference sweep bitwise in every control, current, and event
+//! count.
+//!
+//! Arguments: `sample` (timed events per window, default 4000),
+//! `repeats` (timed windows per solver run, min-of-N, default 5),
+//! `warmup` (discarded events, default 500), `max_junctions` (default
+//! 2072), `seed` (1), `temp` (K; default = the logic family's
+//! operating point), `out` (default `results/BENCH_hotpath.json`).
+
+use std::time::Instant;
+
+use semsim_bench::args::Args;
+use semsim_bench::devices::fig1_set;
+use semsim_core::circuit::Circuit;
+use semsim_core::engine::{linspace, sweep, Record, RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_core::CoreError;
+use semsim_logic::{elaborate, Benchmark, SetLogicParams};
+
+/// Steady-state cost of one solver configuration on one circuit.
+struct RunCost {
+    wall_per_event: f64,
+    recalcs_per_event: f64,
+}
+
+impl RunCost {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_per_event > 0.0 {
+            1.0 / self.wall_per_event
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One simulation being sampled in timed windows on a steady-state
+/// trajectory.
+struct Sampler<'a> {
+    sim: Simulation<'a>,
+    records: Vec<Record>,
+    best_wall: f64,
+    events: u64,
+    recalcs: u64,
+}
+
+impl<'a> Sampler<'a> {
+    fn new<F>(
+        circuit: &'a Circuit,
+        config: &SimConfig,
+        warmup: u64,
+        mut setup: F,
+    ) -> Result<Self, CoreError>
+    where
+        F: FnMut(&mut Simulation<'_>) -> Result<(), CoreError>,
+    {
+        let mut sim = Simulation::new(circuit, config.clone())?;
+        setup(&mut sim)?;
+        sim.run(RunLength::Events(warmup))?;
+        Ok(Sampler {
+            sim,
+            records: Vec::new(),
+            best_wall: f64::INFINITY,
+            events: 0,
+            recalcs: 0,
+        })
+    }
+
+    /// Times one window of `sample` events; keeps the fastest window.
+    fn window(&mut self, sample: u64) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let record = self.sim.run(RunLength::Events(sample))?;
+        let wall = t0.elapsed().as_secs_f64();
+        self.best_wall = self.best_wall.min(wall / record.events.max(1) as f64);
+        self.events += record.events;
+        self.recalcs += record.rate_recalcs;
+        self.records.push(record);
+        Ok(())
+    }
+
+    fn cost(&self) -> RunCost {
+        RunCost {
+            wall_per_event: self.best_wall,
+            recalcs_per_event: self.recalcs as f64 / self.events.max(1) as f64,
+        }
+    }
+}
+
+/// Measures the optimized and dense-reference solvers on one circuit:
+/// both are warmed up, then their timed windows are *interleaved*
+/// (opt, dense, opt, dense, …) so slow machine-wide drift — frequency
+/// scaling, co-tenant load — hits both sides alike and cancels out of
+/// the events/sec ratio. Each side keeps its minimum wall-clock per
+/// event over `repeats` windows (the noise floor). Returns both cost
+/// profiles, both per-window record lists (for the bit-identity
+/// check), and the optimized side's memo counters.
+#[allow(clippy::type_complexity)]
+fn measure_pair<F>(
+    circuit: &Circuit,
+    cfg_opt: &SimConfig,
+    cfg_dense: &SimConfig,
+    warmup: u64,
+    sample: u64,
+    repeats: u64,
+    mut setup: F,
+) -> Result<
+    (
+        RunCost,
+        RunCost,
+        Vec<Record>,
+        Vec<Record>,
+        Option<(u64, u64)>,
+    ),
+    CoreError,
+>
+where
+    F: FnMut(&mut Simulation<'_>) -> Result<(), CoreError>,
+{
+    let mut opt = Sampler::new(circuit, cfg_opt, warmup, &mut setup)?;
+    let mut dense = Sampler::new(circuit, cfg_dense, warmup, &mut setup)?;
+    for _ in 0..repeats.max(1) {
+        opt.window(sample)?;
+        dense.window(sample)?;
+    }
+    let memo = opt.sim.memo_stats();
+    Ok((opt.cost(), dense.cost(), opt.records, dense.records, memo))
+}
+
+/// Sweep bit-identity: the optimized solver's I–V curve on the Fig. 1
+/// SET must match the dense-reference oracle's bitwise.
+fn sweep_bit_identity(seed: u64) -> Result<(), String> {
+    let d = fig1_set().map_err(|e| e.to_string())?;
+    let controls = linspace(10e-3, 40e-3, 6);
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(0.1).with_seed(seed).with_solver(spec);
+        sweep(&d.circuit, &cfg, d.j1, &controls, 300, 1200, |sim, v| {
+            sim.set_lead_voltage(d.source_lead, v / 2.0)?;
+            sim.set_lead_voltage(d.drain_lead, -v / 2.0)
+        })
+        .map_err(|e| e.to_string())
+    };
+    let opt = run(SolverSpec::Adaptive {
+        threshold: 0.05,
+        refresh_interval: 500,
+    })?;
+    let dense = run(SolverSpec::AdaptiveDense {
+        threshold: 0.05,
+        refresh_interval: 500,
+    })?;
+    for (o, r) in opt.iter().zip(&dense) {
+        let ob = (o.control.to_bits(), o.current.to_bits(), o.events);
+        let rb = (r.control.to_bits(), r.current.to_bits(), r.events);
+        if ob != rb {
+            return Err(format!(
+                "sweep point diverged at control {}: optimized {ob:?} vs dense {rb:?}",
+                o.control
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sample = args.u64_or("sample", 4_000);
+    let warmup = args.u64_or("warmup", 500);
+    let repeats = args.u64_or("repeats", 5);
+    let max_junctions = args.usize_or("max_junctions", 2072);
+    let seed = args.u64_or("seed", 1);
+    let out_path = std::env::args()
+        .skip(1)
+        .find_map(|t| t.strip_prefix("out=").map(String::from))
+        .unwrap_or_else(|| "results/BENCH_hotpath.json".to_string());
+
+    // Gate the cheap correctness check before any timing.
+    if let Err(e) = sweep_bit_identity(seed) {
+        eprintln!("FAIL: optimized sweep is not bit-identical to dense reference: {e}");
+        std::process::exit(1);
+    }
+    println!("# sweep bit-identity (optimized vs dense reference): OK");
+
+    let mut params = SetLogicParams::default();
+    params.temperature = args.f64_or("temp", params.temperature);
+    println!("# hotpath — serial events/sec, optimized vs dense-reference adaptive solver");
+    println!(
+        "# {:<16} {:>6} {:>6} {:>12} {:>12} {:>8} {:>10} {:>9}",
+        "benchmark", "junc", "isl", "opt(ev/s)", "dense(ev/s)", "speedup", "recalc/ev", "memo-hit"
+    );
+
+    let benches: Vec<Benchmark> = Benchmark::all()
+        .into_iter()
+        .filter(|b| b.target_junctions() <= max_junctions)
+        .collect();
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut largest: Option<(usize, String, f64)> = None;
+    let mut mismatch = false;
+
+    for b in &benches {
+        let logic = b.logic();
+        let elab = match elaborate(&logic, &params) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{}: elaboration failed: {e}", b.name());
+                continue;
+            }
+        };
+        let apply_inputs = |sim: &mut Simulation<'_>| -> Result<(), CoreError> {
+            for name in &logic.inputs {
+                let lead = elab.input_lead(name).expect("input exists");
+                sim.set_lead_voltage(lead, params.vdd)?;
+            }
+            Ok(())
+        };
+        // The full-refresh interval scales with circuit size so the
+        // O(islands) refresh stays amortized-constant per event (same
+        // policy as the Fig. 6 harness).
+        let refresh_interval = 1_000u64.max(4 * elab.circuit.num_islands() as u64);
+        let mk_cfg = |spec: SolverSpec| {
+            SimConfig::new(params.temperature)
+                .with_seed(seed)
+                .with_solver(spec)
+        };
+        let cfg_opt = mk_cfg(SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval,
+        });
+        let cfg_dense = mk_cfg(SolverSpec::AdaptiveDense {
+            threshold: 0.05,
+            refresh_interval,
+        });
+
+        let (opt, dense, opt_records, dense_records, memo) = match measure_pair(
+            &elab.circuit,
+            &cfg_opt,
+            &cfg_dense,
+            warmup,
+            sample,
+            repeats,
+            apply_inputs,
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: measurement failed: {e}", b.name());
+                continue;
+            }
+        };
+        if opt_records != dense_records {
+            eprintln!(
+                "FAIL: {}: optimized run records differ from dense reference \
+                 (events {:?} vs {:?})",
+                b.name(),
+                opt_records.iter().map(|r| r.events).collect::<Vec<_>>(),
+                dense_records.iter().map(|r| r.events).collect::<Vec<_>>(),
+            );
+            mismatch = true;
+            continue;
+        }
+
+        let speedup = dense.wall_per_event / opt.wall_per_event;
+        let (hits, misses) = memo.unwrap_or((0, 0));
+        let memo_pct = if hits + misses > 0 {
+            100.0 * hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let junc = b.target_junctions();
+        println!(
+            "{:<18} {:>6} {:>6} {:>12.0} {:>12.0} {:>7.2}x {:>10.3} {:>8.1}%",
+            b.name(),
+            junc,
+            elab.circuit.num_islands(),
+            opt.events_per_sec(),
+            dense.events_per_sec(),
+            speedup,
+            opt.recalcs_per_event,
+            memo_pct,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"junctions\": {}, \"islands\": {},\n",
+                "     \"optimized\": {{\"events_per_sec\": {:.6e}, \"wall_per_event\": {:.6e}, ",
+                "\"recalcs_per_event\": {:.6e}, \"memo_hits\": {}, \"memo_misses\": {}}},\n",
+                "     \"dense\": {{\"events_per_sec\": {:.6e}, \"wall_per_event\": {:.6e}, ",
+                "\"recalcs_per_event\": {:.6e}}},\n",
+                "     \"speedup\": {:.4}}}"
+            ),
+            b.name(),
+            junc,
+            elab.circuit.num_islands(),
+            opt.events_per_sec(),
+            opt.wall_per_event,
+            opt.recalcs_per_event,
+            hits,
+            misses,
+            dense.events_per_sec(),
+            dense.wall_per_event,
+            dense.recalcs_per_event,
+            speedup,
+        ));
+        if largest.as_ref().is_none_or(|&(j, _, _)| junc > j) {
+            largest = Some((junc, b.name().to_string(), speedup));
+        }
+    }
+
+    if mismatch {
+        eprintln!("FAIL: at least one benchmark diverged from the dense reference");
+        std::process::exit(1);
+    }
+    let Some((junc, name, speedup)) = largest else {
+        eprintln!("FAIL: no benchmark measured (max_junctions too small?)");
+        std::process::exit(1);
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"harness\": \"hotpath\",\n",
+            "  \"sample\": {},\n",
+            "  \"warmup\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"threshold\": 0.05,\n",
+            "  \"temperature\": {:.6e},\n",
+            "  \"bit_identity\": \"optimized and dense-reference records compared ",
+            "bitwise per benchmark, plus a Fig. 1 SET sweep\",\n",
+            "  \"benchmarks\": [\n{}\n  ],\n",
+            "  \"largest\": {{\"name\": \"{}\", \"junctions\": {}, \"speedup\": {:.4}}}\n",
+            "}}\n"
+        ),
+        sample,
+        warmup,
+        seed,
+        params.temperature,
+        rows.join(",\n"),
+        name,
+        junc,
+        speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("FAIL: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# wrote {out_path}");
+    println!("hotpath-speedup-largest: {speedup:.2}");
+}

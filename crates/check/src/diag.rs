@@ -95,6 +95,10 @@ pub enum DiagCode {
     /// a `journal` declaration would make the run resumable for the
     /// cost of a few bytes per point.
     UnjournaledLongSweep,
+    /// SC013: the sweep range is not an integer multiple of the step,
+    /// so the compiled grid cannot be uniform — the final interval is
+    /// adjusted to land exactly on the end voltage.
+    NonUniformSweepGrid,
 }
 
 impl DiagCode {
@@ -113,6 +117,7 @@ impl DiagCode {
             DiagCode::RunawaySweep => "SC010",
             DiagCode::DegenerateEnsemble => "SC011",
             DiagCode::UnjournaledLongSweep => "SC012",
+            DiagCode::NonUniformSweepGrid => "SC013",
         }
     }
 
@@ -131,7 +136,8 @@ impl DiagCode {
             | DiagCode::AsymmetricSymmJunction
             | DiagCode::SuperconductingGapMismatch
             | DiagCode::DegenerateEnsemble
-            | DiagCode::UnjournaledLongSweep => Severity::Warning,
+            | DiagCode::UnjournaledLongSweep
+            | DiagCode::NonUniformSweepGrid => Severity::Warning,
         }
     }
 }
@@ -316,6 +322,7 @@ mod tests {
         assert_eq!(DiagCode::RunawaySweep.code(), "SC010");
         assert_eq!(DiagCode::DegenerateEnsemble.code(), "SC011");
         assert_eq!(DiagCode::UnjournaledLongSweep.code(), "SC012");
+        assert_eq!(DiagCode::NonUniformSweepGrid.code(), "SC013");
     }
 
     #[test]

@@ -577,6 +577,14 @@ fn fingerprint_config(w: &mut Writer, config: &SimConfig) {
             w.f64(threshold);
             w.u64(refresh_interval);
         }
+        SolverSpec::AdaptiveDense {
+            threshold,
+            refresh_interval,
+        } => {
+            w.u32(2);
+            w.f64(threshold);
+            w.u64(refresh_interval);
+        }
     }
     w.u32(u32::from(config.cotunneling));
     match &config.superconducting {

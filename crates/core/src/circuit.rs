@@ -273,6 +273,21 @@ pub struct Circuit {
     /// Junctions incident to each lead's capacitive neighbourhood — the
     /// BFS seeds for an input-voltage step on that lead.
     lead_seed_junctions: Vec<Vec<JunctionId>>,
+    /// Sparsified dependency neighbourhood of each island: the
+    /// junctions (ascending id order) whose ΔW changes by more than the
+    /// sparsification threshold when that island's charge changes —
+    /// i.e. junctions with a terminal island `k` such that
+    /// `|C⁻¹[island,k]|` exceeds [`Circuit::COUPLING_EPS`] of the
+    /// island's own diagonal. The adaptive solver walks these flat
+    /// lists per event instead of scanning dense `C⁻¹` rows.
+    island_dependents: Vec<Vec<JunctionId>>,
+    /// Dependency neighbourhood of each lead: junctions touching the
+    /// lead node plus junctions on islands whose potential responds to
+    /// a step on that lead above the sparsification threshold.
+    lead_dependents: Vec<Vec<JunctionId>>,
+    /// Per-lead maximum `|lead_response|` over islands — the scale the
+    /// lead sparsification threshold is relative to.
+    lead_response_colmax: Vec<f64>,
     /// Warning-severity findings from the static checks that ran during
     /// [`CircuitBuilder::build`] (ill-conditioned capacitance matrix,
     /// tunnel-unreachable islands). Error-severity defects surface as
@@ -464,7 +479,7 @@ impl Circuit {
             lead_seed_junctions.push(out);
         }
 
-        Ok(Circuit {
+        let mut circuit = Circuit {
             nodes: b.nodes,
             lead_bias: b.lead_bias,
             lead_nodes,
@@ -480,8 +495,40 @@ impl Circuit {
             node_junctions,
             junction_neighbors,
             lead_seed_junctions,
+            island_dependents: Vec::new(),
+            lead_dependents: Vec::new(),
+            lead_response_colmax: Vec::new(),
             check_warnings,
-        })
+        };
+
+        // Sparsified dependency neighbourhoods, precomputed from the
+        // same membership predicates the dense-reference solver mode
+        // evaluates per event — the two paths are identical sets in
+        // identical (ascending) order by construction, which is what
+        // makes the optimized solver bit-identical to the reference.
+        circuit.lead_response_colmax = (0..n_leads)
+            .map(|l| {
+                (0..n_islands).fold(0.0f64, |m, k| m.max(circuit.lead_response.get(k, l).abs()))
+            })
+            .collect();
+        circuit.island_dependents = (0..n_islands)
+            .map(|i| {
+                circuit
+                    .junction_ids()
+                    .filter(|&j| circuit.junction_depends_on_island(i, j))
+                    .collect()
+            })
+            .collect();
+        circuit.lead_dependents = (0..n_leads)
+            .map(|l| {
+                circuit
+                    .junction_ids()
+                    .filter(|&j| circuit.junction_depends_on_lead(l, j))
+                    .collect()
+            })
+            .collect();
+
+        Ok(circuit)
     }
 
     /// Warning-severity findings from the static checks run at build
@@ -636,6 +683,66 @@ impl Circuit {
         &self.lead_seed_junctions[lead]
     }
 
+    /// Relative threshold below which a `C⁻¹` (or lead-response)
+    /// coupling is treated as zero when building dependency
+    /// neighbourhoods. Matches the sparsification threshold of
+    /// [`Circuit::sparse_inverse_capacitance`], so a junction outside a
+    /// neighbourhood sees exactly the potential change the sparsified
+    /// exact refresh would give it: none.
+    pub const COUPLING_EPS: f64 = 1e-8;
+
+    /// Does junction `j`'s free energy depend (above
+    /// [`Circuit::COUPLING_EPS`]) on the charge of island `island`?
+    ///
+    /// True iff a terminal of `j` is an island `k` with
+    /// `|C⁻¹[island,k]| ≥ COUPLING_EPS·|C⁻¹[island,island]|`. The
+    /// diagonal always qualifies, so junctions incident to the island
+    /// itself are always dependents.
+    #[inline]
+    pub fn junction_depends_on_island(&self, island: usize, j: JunctionId) -> bool {
+        let tol = Self::COUPLING_EPS * self.cinv.get(island, island).abs();
+        let junction = &self.junctions[j.0];
+        [junction.node_a, junction.node_b]
+            .into_iter()
+            .filter_map(|n| self.island_index(n))
+            .any(|k| self.cinv.get(island, k).abs() >= tol)
+    }
+
+    /// Does junction `j`'s free energy depend (above
+    /// [`Circuit::COUPLING_EPS`]) on the bias voltage of `lead`?
+    ///
+    /// True iff `j` touches the lead node itself (the lead potential
+    /// enters ΔW directly) or has an island terminal whose
+    /// lead-response coefficient for `lead` is at least `COUPLING_EPS`
+    /// of the largest response any island has to that lead. A lead no
+    /// island responds to keeps only its directly attached junctions.
+    #[inline]
+    pub fn junction_depends_on_lead(&self, lead: usize, j: JunctionId) -> bool {
+        let junction = &self.junctions[j.0];
+        let lead_node = self.lead_nodes[lead];
+        if junction.node_a == lead_node || junction.node_b == lead_node {
+            return true;
+        }
+        let tol = Self::COUPLING_EPS * self.lead_response_colmax[lead];
+        tol > 0.0
+            && [junction.node_a, junction.node_b]
+                .into_iter()
+                .filter_map(|n| self.island_index(n))
+                .any(|k| self.lead_response.get(k, lead).abs() >= tol)
+    }
+
+    /// Precomputed dependency neighbourhood of `island`: junctions
+    /// satisfying [`Circuit::junction_depends_on_island`], ascending.
+    pub fn island_dependents(&self, island: usize) -> &[JunctionId] {
+        &self.island_dependents[island]
+    }
+
+    /// Precomputed dependency neighbourhood of `lead`: junctions
+    /// satisfying [`Circuit::junction_depends_on_lead`], ascending.
+    pub fn lead_dependents(&self, lead: usize) -> &[JunctionId] {
+        &self.lead_dependents[lead]
+    }
+
     /// Iterator over all junction ids.
     pub fn junction_ids(&self) -> impl ExactSizeIterator<Item = JunctionId> {
         (0..self.junctions.len()).map(JunctionId)
@@ -764,6 +871,80 @@ mod tests {
         // junctions of the SET.
         let seeds = c.lead_seed_junctions(3);
         assert!(seeds.contains(&j1) && seeds.contains(&j2));
+    }
+
+    #[test]
+    fn island_dependents_cover_incident_and_coupled_junctions() {
+        // Two islands coupled by a sizeable capacitor: each island's
+        // neighbourhood must include the other island's junctions, in
+        // ascending id order, and agree with the per-event predicate.
+        let mut b = CircuitBuilder::new();
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        let ja = b.add_junction(NodeId::GROUND, i1, 1e6, 1e-18).unwrap();
+        let jb = b.add_junction(NodeId::GROUND, i2, 1e6, 1e-18).unwrap();
+        b.add_capacitor(i1, i2, 1e-17).unwrap();
+        let c = b.build().unwrap();
+        for island in 0..c.num_islands() {
+            let deps = c.island_dependents(island);
+            assert!(deps.contains(&ja) && deps.contains(&jb));
+            assert!(deps.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+            let from_predicate: Vec<JunctionId> = c
+                .junction_ids()
+                .filter(|&j| c.junction_depends_on_island(island, j))
+                .collect();
+            assert_eq!(deps, from_predicate.as_slice());
+        }
+    }
+
+    #[test]
+    fn island_dependents_exclude_decoupled_stages() {
+        // Two SET stages that talk only through ground (a lead): their
+        // C⁻¹ cross-coupling is exactly zero, so neither stage's island
+        // lists the other stage's junction.
+        let mut b = CircuitBuilder::new();
+        let i1 = b.add_island();
+        let i2 = b.add_island();
+        let ja = b.add_junction(NodeId::GROUND, i1, 1e6, 1e-18).unwrap();
+        let jb = b.add_junction(NodeId::GROUND, i2, 1e6, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.island_dependents(0), &[ja]);
+        assert_eq!(c.island_dependents(1), &[jb]);
+    }
+
+    #[test]
+    fn lead_dependents_cover_direct_and_responsive_junctions() {
+        let (c, _, j1, j2) = paper_set();
+        // Gate lead (index 3): couples to the island, whose junctions
+        // both respond.
+        let gate_deps = c.lead_dependents(3);
+        assert!(gate_deps.contains(&j1) && gate_deps.contains(&j2));
+        // Source lead (index 1): j1 touches it directly; j2 sits on the
+        // island, which responds to the source step.
+        let src_deps = c.lead_dependents(1);
+        assert!(src_deps.contains(&j1) && src_deps.contains(&j2));
+        for lead in 0..c.num_leads() {
+            let from_predicate: Vec<JunctionId> = c
+                .junction_ids()
+                .filter(|&j| c.junction_depends_on_lead(lead, j))
+                .collect();
+            assert_eq!(c.lead_dependents(lead), from_predicate.as_slice());
+        }
+    }
+
+    #[test]
+    fn unresponsive_lead_keeps_only_direct_junctions() {
+        // A lead that couples to no island at all (only a lead–lead
+        // capacitor) has zero response column; its dependents must be
+        // exactly the junctions touching it — here, none.
+        let mut b = CircuitBuilder::new();
+        let stub = b.add_lead(0.0);
+        let isl = b.add_island();
+        b.add_junction(NodeId::GROUND, isl, 1e6, 1e-18).unwrap();
+        b.add_capacitor(stub, NodeId::GROUND, 1e-18).unwrap();
+        let c = b.build().unwrap();
+        let stub_idx = c.lead_index(stub).unwrap();
+        assert!(c.lead_dependents(stub_idx).is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::constants::E_CHARGE;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CircuitState {
     /// Excess electrons per island.
     electrons: Vec<i64>,
@@ -46,6 +46,21 @@ pub struct CircuitState {
     /// replaying event history.
     q_tilde: Vec<f64>,
     q_tilde_dirty: bool,
+    /// Reusable buffer for charge-vector assembly — keeps potential
+    /// refreshes allocation-free on the event loop's hot path.
+    scratch_q: Vec<f64>,
+}
+
+/// Scratch-buffer contents carry no state; equality is over the
+/// dynamic state proper.
+impl PartialEq for CircuitState {
+    fn eq(&self, other: &Self) -> bool {
+        self.electrons == other.electrons
+            && self.lead_voltages == other.lead_voltages
+            && self.phi == other.phi
+            && self.q_tilde == other.q_tilde
+            && self.q_tilde_dirty == other.q_tilde_dirty
+    }
 }
 
 impl CircuitState {
@@ -59,6 +74,7 @@ impl CircuitState {
             phi: vec![0.0; circuit.num_islands()],
             q_tilde: Vec::new(),
             q_tilde_dirty: false,
+            scratch_q: Vec::with_capacity(circuit.num_islands()),
         };
         state.q_tilde = state.charge_vector(circuit);
         state
@@ -92,7 +108,9 @@ impl CircuitState {
     /// caller skipped.
     pub fn exact_island_potential(&mut self, circuit: &Circuit, island: usize) -> f64 {
         if self.q_tilde_dirty {
-            self.q_tilde = self.charge_vector(circuit);
+            let mut q = std::mem::take(&mut self.q_tilde);
+            fill_charge_vector(circuit, &self.electrons, &self.lead_voltages, &mut q);
+            self.q_tilde = q;
             self.q_tilde_dirty = false;
         }
         circuit
@@ -102,26 +120,22 @@ impl CircuitState {
 
     /// The island charge vector `q̃` (C): `−e·n + q₀ + C_ext·V`.
     pub fn charge_vector(&self, circuit: &Circuit) -> Vec<f64> {
-        let q0 = circuit.island_background_charges();
-        let cext = circuit.lead_coupling();
-        (0..circuit.num_islands())
-            .map(|i| {
-                let mut q = -E_CHARGE * self.electrons[i] as f64 + q0[i];
-                for (l, &v) in self.lead_voltages.iter().enumerate() {
-                    q += cext.get(i, l) * v;
-                }
-                q
-            })
-            .collect()
+        let mut q = Vec::with_capacity(circuit.num_islands());
+        fill_charge_vector(circuit, &self.electrons, &self.lead_voltages, &mut q);
+        q
     }
 
     /// Recomputes all island potentials exactly: `φ = C⁻¹·q̃`.
+    /// Allocation-free: assembles q̃ into the reusable scratch buffer
+    /// and multiplies into the existing `phi` storage.
     pub fn recompute_potentials(&mut self, circuit: &Circuit) {
-        let q = self.charge_vector(circuit);
-        self.phi = circuit
+        let mut q = std::mem::take(&mut self.scratch_q);
+        fill_charge_vector(circuit, &self.electrons, &self.lead_voltages, &mut q);
+        circuit
             .inverse_capacitance()
-            .mul_vec(&q)
+            .mul_vec_into(&q, &mut self.phi)
             .expect("island dimensions fixed at build");
+        self.scratch_q = q;
     }
 
     /// Potential of a node: lead voltage for leads, cached `φ` for
@@ -147,7 +161,9 @@ impl CircuitState {
     /// checkpoint/resume rebuilds the cache on *both* sides so their
     /// subsequent potential refreshes agree bit-for-bit.
     pub(crate) fn rebuild_charge_cache(&mut self, circuit: &Circuit) {
-        self.q_tilde = self.charge_vector(circuit);
+        let mut q = std::mem::take(&mut self.q_tilde);
+        fill_charge_vector(circuit, &self.electrons, &self.lead_voltages, &mut q);
+        self.q_tilde = q;
         self.q_tilde_dirty = false;
     }
 
@@ -179,6 +195,28 @@ impl CircuitState {
             self.q_tilde[i] -= count as f64 * E_CHARGE;
         }
     }
+}
+
+/// Assembles the island charge vector `q̃ = −e·n + q₀ + C_ext·V` into
+/// `out` (cleared first). The arithmetic and accumulation order are
+/// identical to the historical `charge_vector`, so values are
+/// bit-identical whichever entry point assembles them.
+fn fill_charge_vector(
+    circuit: &Circuit,
+    electrons: &[i64],
+    lead_voltages: &[f64],
+    out: &mut Vec<f64>,
+) {
+    let q0 = circuit.island_background_charges();
+    let cext = circuit.lead_coupling();
+    out.clear();
+    out.extend((0..circuit.num_islands()).map(|i| {
+        let mut q = -E_CHARGE * electrons[i] as f64 + q0[i];
+        for (l, &v) in lead_voltages.iter().enumerate() {
+            q += cext.get(i, l) * v;
+        }
+        q
+    }));
 }
 
 /// Free-energy change (J) for moving `count` electrons from node `from`

@@ -46,6 +46,18 @@ pub enum SolverSpec {
         /// Full-refresh period in events.
         refresh_interval: u64,
     },
+    /// [`SolverSpec::Adaptive`] in dense-reference mode: dependency
+    /// neighbourhoods are recomputed from the dense matrices on every
+    /// event and the rate memo is bypassed. Produces bit-identical
+    /// output to `Adaptive` with the same parameters — kept as the
+    /// oracle the optimized hot path is validated (and benchmarked)
+    /// against.
+    AdaptiveDense {
+        /// Testing threshold θ (typically 0.01–0.3).
+        threshold: f64,
+        /// Full-refresh period in events.
+        refresh_interval: u64,
+    },
 }
 
 /// Simulation configuration.
@@ -381,6 +393,10 @@ impl<'c> Simulation<'c> {
             SolverSpec::Adaptive {
                 threshold,
                 refresh_interval,
+            }
+            | SolverSpec::AdaptiveDense {
+                threshold,
+                refresh_interval,
             } => {
                 if !(threshold >= 0.0) || !threshold.is_finite() {
                     return Err(CoreError::InvalidConfig {
@@ -394,7 +410,13 @@ impl<'c> Simulation<'c> {
                         value: 0.0,
                     });
                 }
-                Solver::Adaptive(AdaptiveSolver::new(circuit, threshold, refresh_interval))
+                let s = AdaptiveSolver::new(circuit, threshold, refresh_interval);
+                let s = if matches!(config.solver, SolverSpec::AdaptiveDense { .. }) {
+                    s.with_dense_reference()
+                } else {
+                    s
+                };
+                Solver::Adaptive(s)
             }
         };
 
@@ -458,6 +480,15 @@ impl<'c> Simulation<'c> {
     /// The circuit being simulated.
     pub fn circuit(&self) -> &Circuit {
         self.circuit
+    }
+
+    /// Lifetime `(hits, misses)` of the adaptive solver's rate memo,
+    /// or `None` for the non-adaptive solver.
+    pub fn memo_stats(&self) -> Option<(u64, u64)> {
+        match &self.solver {
+            Solver::Adaptive(s) => Some(s.memo_stats()),
+            Solver::NonAdaptive(_) => None,
+        }
     }
 
     /// Immediately sets `lead` to `voltage`, updating rates through the

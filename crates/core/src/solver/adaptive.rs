@@ -1,14 +1,32 @@
 //! The paper's adaptive solver (Algorithm 1).
 //!
 //! After each tunnel event (or input-voltage step), only the junctions
-//! near the disturbance are *tested*: the exact potential change across
-//! each tested junction is accumulated into a per-junction testing
-//! factor `b`, and the junction's rates are recomputed only when `|b|`
-//! exceeds the threshold `θ` times the free-energy changes recorded at
-//! the last recomputation (`ΔW'_fw`, `ΔW'_bw`). Flagged junctions
-//! propagate the test to their neighbours (breadth-first), so a strongly
-//! coupled region is fully updated while isolated stages are left alone
-//! — the source of the paper's up-to-40× speedup.
+//! in the disturbance's *dependency neighbourhood* are tested: the
+//! exact potential change across each tested junction is accumulated
+//! into a per-junction testing factor `b`, and the junction's rates are
+//! recomputed only when `|b|` exceeds the threshold `θ` times the
+//! free-energy changes recorded at the last recomputation (`ΔW'_fw`,
+//! `ΔW'_bw`). The neighbourhoods — precomputed at circuit build from
+//! the sparsified `C⁻¹` coupling structure — contain every junction
+//! whose `ΔW` moves by more than [`Circuit::COUPLING_EPS`] (relative)
+//! for the event, so a strongly coupled region is fully updated while
+//! isolated stages are left alone — the source of the paper's
+//! up-to-40× speedup. Junctions outside a neighbourhood feel only
+//! couplings below the same threshold the sparsified exact potential
+//! refresh already drops, so skipping them adds no new approximation
+//! class.
+//!
+//! Rate *values* are additionally memoised: for a fixed model and
+//! temperature the rate is a pure function of `(ΔW, R)`, and a junction
+//! toggling between a handful of charge configurations keeps
+//! re-deriving the same ΔW bit patterns. An [`EvalMemo`] keyed on the
+//! exact bit pattern serves those repeats without touching the
+//! exponential/table evaluation — hits return the exact previously
+//! computed value, so memoisation cannot perturb a trajectory.
+//!
+//! A `dense_reference` mode evaluates neighbourhood membership from the
+//! dense matrices per event (and bypasses the memo); it is the
+//! bit-identity oracle the optimized path is validated against.
 //!
 //! ## Exactness bookkeeping
 //!
@@ -24,12 +42,19 @@
 //! not even tested), all rates are additionally recomputed every
 //! `refresh_interval` events, as the paper prescribes.
 
+use semsim_quad::EvalMemo;
+
 use crate::circuit::{Circuit, JunctionId, NodeId};
-use crate::energy::{lead_step_delta, potential_delta, CircuitState};
+use crate::energy::{delta_w, lead_step_delta, potential_delta, CircuitState};
 use crate::fenwick::FenwickTree;
-use crate::health::{screen_finite, FaultStage};
+use crate::health::{screen_finite, screen_rate, FaultStage};
 use crate::solver::{write_junction_rates, SolverContext, StateChange};
 use crate::CoreError;
+
+/// Entries kept per junction in the rate memo. Toggling circuits
+/// revisit only a few charge configurations per junction; eight ways
+/// cover them with room for transients.
+const MEMO_WAYS: usize = 8;
 
 /// Counters describing the work the adaptive solver actually performed
 /// — the quantities behind the paper's Fig. 6 speedup argument.
@@ -77,13 +102,16 @@ pub struct AdaptiveSolver {
     log: Vec<LogEntry>,
     /// Per-island index into `log` of the first unapplied entry.
     applied: Vec<usize>,
-    /// Per-junction visit stamp for the BFS.
-    visit: Vec<u64>,
-    stamp: u64,
     events_since_refresh: u64,
     stats: AdaptiveStats,
-    /// Scratch BFS queue.
-    queue: Vec<JunctionId>,
+    /// Reference mode: evaluate dependency membership from the dense
+    /// matrices per event and bypass the rate memo. Must produce
+    /// bit-identical trajectories to the optimized path.
+    dense_reference: bool,
+    /// Per-junction memo of `ΔW → Γ` evaluations (one slot per
+    /// junction; both directions share a slot — the rate is the same
+    /// pure function either way).
+    memo: EvalMemo,
 }
 
 impl AdaptiveSolver {
@@ -102,12 +130,31 @@ impl AdaptiveSolver {
             b0: vec![0.0; nj],
             log: Vec::new(),
             applied: vec![0; circuit.num_islands()],
-            visit: vec![0; nj],
-            stamp: 0,
             events_since_refresh: 0,
             stats: AdaptiveStats::default(),
-            queue: Vec::new(),
+            dense_reference: false,
+            memo: EvalMemo::new(nj, MEMO_WAYS),
         }
+    }
+
+    /// Switches this solver to dense-reference mode: dependency
+    /// membership is recomputed from the dense `C⁻¹`/lead-response
+    /// matrices on every event and the rate memo is bypassed. Slower,
+    /// but free of precomputed structure — the oracle the optimized
+    /// path is asserted bit-identical against.
+    pub fn with_dense_reference(mut self) -> Self {
+        self.dense_reference = true;
+        self
+    }
+
+    /// Is this solver in dense-reference mode?
+    pub fn is_dense_reference(&self) -> bool {
+        self.dense_reference
+    }
+
+    /// Lifetime `(hits, misses)` of the rate memo.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.stats()
     }
 
     /// The threshold `θ`.
@@ -224,13 +271,68 @@ impl AdaptiveSolver {
         rates: &mut FenwickTree,
     ) -> Result<(), CoreError> {
         for j in ctx.circuit.junction_ids() {
-            let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j)?;
+            let (dw_fw, dw_bw) = self.write_rates_cached(ctx, state, rates, j)?;
             self.dw_fw[j.index()] = dw_fw;
             self.dw_bw[j.index()] = dw_bw;
             self.b0[j.index()] = 0.0;
         }
         self.stats.rate_recalcs += ctx.circuit.num_junctions() as u64;
         Ok(())
+    }
+
+    /// Writes both directed rates of `j`, serving repeated `ΔW` bit
+    /// patterns from the memo. A memo hit returns the exact value the
+    /// rate function previously computed for that bit pattern, so this
+    /// is bit-identical to [`write_junction_rates`]; dense-reference
+    /// mode and fault-injected junctions take that uncached path
+    /// directly.
+    fn write_rates_cached(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+        j: JunctionId,
+    ) -> Result<(f64, f64), CoreError> {
+        if self.dense_reference {
+            return write_junction_rates(ctx, state, rates, j);
+        }
+        #[cfg(feature = "fault-inject")]
+        if ctx.poison_rate == Some(j.index()) {
+            return write_junction_rates(ctx, state, rates, j);
+        }
+        let circuit = ctx.circuit;
+        let junction = *circuit.junction(j);
+        let dw_fw = delta_w(circuit, state, junction.node_a, junction.node_b, 1);
+        let dw_bw = delta_w(circuit, state, junction.node_b, junction.node_a, 1);
+        let jx = Some(j.index());
+        screen_finite(FaultStage::FreeEnergy, jx, dw_fw)?;
+        screen_finite(FaultStage::FreeEnergy, jx, dw_bw)?;
+        let idx = j.index();
+        let g_fw = match self.memo.get(idx, dw_fw) {
+            Some(g) => g,
+            None => {
+                let g = ctx.directed_rate(&junction, dw_fw);
+                self.memo.insert(idx, dw_fw, g);
+                g
+            }
+        };
+        let g_bw = match self.memo.get(idx, dw_bw) {
+            Some(g) => g,
+            None => {
+                let g = ctx.directed_rate(&junction, dw_bw);
+                self.memo.insert(idx, dw_bw, g);
+                g
+            }
+        };
+        rates.set(
+            ctx.layout.tunnel_slot(j, true),
+            screen_rate(FaultStage::TunnelRate, jx, g_fw)?,
+        );
+        rates.set(
+            ctx.layout.tunnel_slot(j, false),
+            screen_rate(FaultStage::TunnelRate, jx, g_bw)?,
+        );
+        Ok((dw_fw, dw_bw))
     }
 
     /// Discards the replay log and every cache, recomputing potentials
@@ -246,6 +348,10 @@ impl AdaptiveSolver {
         state.recompute_potentials(ctx.circuit);
         self.log.clear();
         self.applied.iter_mut().for_each(|a| *a = 0);
+        // A resync re-establishes state from external data (checkpoint
+        // restore, drift-audit repair); drop memoised rates so the
+        // rebuilt table owes nothing to pre-resync history.
+        self.memo.clear();
         self.rewrite_all_rates(ctx, state, rates)?;
         self.stats.full_refreshes += 1;
         self.events_since_refresh = 0;
@@ -256,6 +362,9 @@ impl AdaptiveSolver {
     /// drift audit), returning the new value.
     pub(crate) fn tighten_threshold(&mut self) -> f64 {
         self.threshold *= 0.5;
+        // Conservative: the audit just found drift, so discard every
+        // cached evaluation along with the looser threshold.
+        self.memo.clear();
         self.threshold
     }
 
@@ -263,6 +372,7 @@ impl AdaptiveSolver {
     /// may have been tightened below the configured one).
     pub(crate) fn set_threshold(&mut self, threshold: f64) {
         self.threshold = threshold;
+        self.memo.clear();
     }
 
     /// Overwrites the work counters (checkpoint restore).
@@ -325,71 +435,110 @@ impl AdaptiveSolver {
             return self.full_refresh(ctx, state, rates);
         }
 
-        // Seed the BFS: junctions nearest the disturbance.
-        self.stamp += 1;
-        self.queue.clear();
+        // Test exactly the junctions in the disturbance's dependency
+        // neighbourhood, in ascending junction order (Algorithm 1
+        // lines 2–11). Lead endpoints of a transfer contribute no
+        // neighbourhood: a lead is a fixed-potential wall, so the
+        // hundreds of junctions sharing a supply rail with the event
+        // are unaffected unless their own islands couple.
         match change {
             StateChange::Transfer { from, to, .. } => {
-                // Only island endpoints propagate influence: a lead is a
-                // fixed-potential wall, so the hundreds of junctions
-                // sharing a supply rail with the event are unaffected
-                // unless their own islands couple (the BFS reaches those
-                // through neighbour expansion).
-                for &node in &[from, to] {
-                    if !circuit.is_island(node) {
-                        continue;
-                    }
-                    for &j in circuit.junctions_at(node) {
-                        if self.visit[j.index()] != self.stamp {
-                            self.visit[j.index()] = self.stamp;
-                            self.queue.push(j);
+                let ia = circuit.island_index(from);
+                let ib = circuit.island_index(to);
+                if self.dense_reference {
+                    for j in circuit.junction_ids() {
+                        let member = ia.is_some_and(|i| circuit.junction_depends_on_island(i, j))
+                            || ib.is_some_and(|i| circuit.junction_depends_on_island(i, j));
+                        if member {
+                            self.test_junction(ctx, state, rates, entry, j)?;
                         }
+                    }
+                } else {
+                    // Allocation-free merge of the two endpoints' sorted
+                    // dependent lists: ascending order, each junction
+                    // tested once even when both islands list it.
+                    let la = ia.map_or(&[][..], |i| circuit.island_dependents(i));
+                    let lb = ib.map_or(&[][..], |i| circuit.island_dependents(i));
+                    let (mut pa, mut pb) = (0, 0);
+                    while pa < la.len() || pb < lb.len() {
+                        let j = match (la.get(pa), lb.get(pb)) {
+                            (Some(&a), Some(&b)) if a == b => {
+                                pa += 1;
+                                pb += 1;
+                                a
+                            }
+                            (Some(&a), Some(&b)) if a < b => {
+                                pa += 1;
+                                a
+                            }
+                            (Some(_), Some(&b)) => {
+                                pb += 1;
+                                b
+                            }
+                            (Some(&a), None) => {
+                                pa += 1;
+                                a
+                            }
+                            (None, Some(&b)) => {
+                                pb += 1;
+                                b
+                            }
+                            (None, None) => unreachable!("loop condition"),
+                        };
+                        self.test_junction(ctx, state, rates, entry, j)?;
                     }
                 }
             }
             StateChange::LeadStep { lead, .. } => {
-                for &j in circuit.lead_seed_junctions(lead) {
-                    if self.visit[j.index()] != self.stamp {
-                        self.visit[j.index()] = self.stamp;
-                        self.queue.push(j);
+                if self.dense_reference {
+                    for j in circuit.junction_ids() {
+                        if circuit.junction_depends_on_lead(lead, j) {
+                            self.test_junction(ctx, state, rates, entry, j)?;
+                        }
+                    }
+                } else {
+                    for &j in circuit.lead_dependents(lead) {
+                        self.test_junction(ctx, state, rates, entry, j)?;
                     }
                 }
             }
         }
+        Ok(())
+    }
 
-        // Breadth-first testing (Algorithm 1 lines 2–11).
-        let mut head = 0;
-        while head < self.queue.len() {
-            let j = self.queue[head];
-            head += 1;
-            self.stats.junctions_tested += 1;
-            let junction = *circuit.junction(j);
-            let dp_a = Self::node_delta(circuit, entry, junction.node_a);
-            let dp_b = Self::node_delta(circuit, entry, junction.node_b);
-            // The testing factor accumulates in energy units: a potential
-            // change δP across the junction shifts ΔW by e·δP (Eq. 2), so
-            // it is e·b that is compared against θ·|ΔW'|.
-            let b = self.b0[j.index()] + crate::constants::E_CHARGE * (dp_a - dp_b);
-            let idx = j.index();
-            // Flag when |b| exceeds θ·|ΔW'| for either direction, i.e.
-            // compare against the smaller magnitude.
-            let gate = self.threshold * self.dw_fw[idx].abs().min(self.dw_bw[idx].abs());
-            if b.abs() >= gate {
-                self.refresh_junction_nodes(circuit, state, j)?;
-                let (dw_fw, dw_bw) = write_junction_rates(ctx, state, rates, j)?;
-                self.dw_fw[idx] = dw_fw;
-                self.dw_bw[idx] = dw_bw;
-                self.b0[idx] = 0.0;
-                self.stats.rate_recalcs += 1;
-                for &nb in circuit.junction_neighbors(j) {
-                    if self.visit[nb.index()] != self.stamp {
-                        self.visit[nb.index()] = self.stamp;
-                        self.queue.push(nb);
-                    }
-                }
-            } else {
-                self.b0[idx] = b;
-            }
+    /// Tests one junction against the disturbance (Algorithm 1 lines
+    /// 3–5): accumulates the exact `ΔW` shift into `b` and recomputes
+    /// the junction's rates when it crosses the testing gate.
+    fn test_junction(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+        entry: LogEntry,
+        j: JunctionId,
+    ) -> Result<(), CoreError> {
+        let circuit = ctx.circuit;
+        self.stats.junctions_tested += 1;
+        let junction = *circuit.junction(j);
+        let dp_a = Self::node_delta(circuit, entry, junction.node_a);
+        let dp_b = Self::node_delta(circuit, entry, junction.node_b);
+        // The testing factor accumulates in energy units: a potential
+        // change δP across the junction shifts ΔW by e·δP (Eq. 2), so
+        // it is e·b that is compared against θ·|ΔW'|.
+        let idx = j.index();
+        let b = self.b0[idx] + crate::constants::E_CHARGE * (dp_a - dp_b);
+        // Flag when |b| exceeds θ·|ΔW'| for either direction, i.e.
+        // compare against the smaller magnitude.
+        let gate = self.threshold * self.dw_fw[idx].abs().min(self.dw_bw[idx].abs());
+        if b.abs() >= gate {
+            self.refresh_junction_nodes(circuit, state, j)?;
+            let (dw_fw, dw_bw) = self.write_rates_cached(ctx, state, rates, j)?;
+            self.dw_fw[idx] = dw_fw;
+            self.dw_bw[idx] = dw_bw;
+            self.b0[idx] = 0.0;
+            self.stats.rate_recalcs += 1;
+        } else {
+            self.b0[idx] = b;
         }
         Ok(())
     }

@@ -1,6 +1,8 @@
 //! Simulation observability: voltage probes, event logs, and JQP/DJQP
 //! cycle detection (paper Fig. 2).
 
+use std::collections::VecDeque;
+
 use crate::circuit::{JunctionId, NodeId};
 use crate::events::Event;
 
@@ -35,6 +37,17 @@ impl Probe {
     }
 
     pub(crate) fn push(&mut self, t: f64, v: f64) {
+        // The engine samples both every-N-events and at every stimulus
+        // application, so two pushes can land on the same timestamp.
+        // Keep only the last one: it carries the post-stimulus
+        // potential, and a duplicated timestamp would inflate the
+        // `hold` run-length in `crossing_time`.
+        if let Some(last) = self.samples.last_mut() {
+            if last.0 == t {
+                *last = (t, v);
+                return;
+            }
+        }
         self.samples.push((t, v));
     }
 
@@ -68,11 +81,13 @@ impl Probe {
     }
 }
 
-/// A bounded log of `(time, event)` records.
+/// A bounded log of `(time, event)` records, kept in a ring buffer so
+/// that pushing past capacity evicts the oldest entry in O(1) instead
+/// of shifting the whole backlog.
 #[derive(Debug, Clone)]
 pub struct EventLog {
     capacity: usize,
-    entries: Vec<(f64, Event)>,
+    entries: VecDeque<(f64, Event)>,
 }
 
 impl EventLog {
@@ -80,21 +95,21 @@ impl EventLog {
     pub fn new(capacity: usize) -> Self {
         EventLog {
             capacity: capacity.max(1),
-            entries: Vec::new(),
+            entries: VecDeque::with_capacity(capacity.max(1)),
         }
     }
 
-    /// Records an event.
+    /// Records an event, evicting the oldest entry once full.
     pub fn push(&mut self, t: f64, e: Event) {
         if self.entries.len() == self.capacity {
-            self.entries.remove(0);
+            self.entries.pop_front();
         }
-        self.entries.push((t, e));
+        self.entries.push_back((t, e));
     }
 
     /// The retained entries, oldest first.
-    pub fn entries(&self) -> &[(f64, Event)] {
-        &self.entries
+    pub fn entries(&self) -> impl Iterator<Item = &(f64, Event)> {
+        self.entries.iter()
     }
 
     /// Number of retained entries.
@@ -112,12 +127,12 @@ impl EventLog {
     /// through the *other* junction.
     pub fn count_jqp_cycles(&self) -> usize {
         let mut n = 0;
-        for w in self.entries.windows(3) {
+        for i in 0..self.entries.len().saturating_sub(2) {
             if let (
                 (_, Event::CooperPair { junction: ja, .. }),
                 (_, Event::Tunnel { junction: jb1, .. }),
                 (_, Event::Tunnel { junction: jb2, .. }),
-            ) = (&w[0], &w[1], &w[2])
+            ) = (&self.entries[i], &self.entries[i + 1], &self.entries[i + 2])
             {
                 if jb1 == jb2 && ja != jb1 {
                     n += 1;
@@ -132,14 +147,18 @@ impl EventLog {
     /// quasi-particle through `A`.
     pub fn count_djqp_cycles(&self) -> usize {
         let mut n = 0;
-        for w in self.entries.windows(4) {
+        for i in 0..self.entries.len().saturating_sub(3) {
             if let (
                 (_, Event::CooperPair { junction: ja, .. }),
                 (_, Event::Tunnel { junction: jb, .. }),
                 (_, Event::CooperPair { junction: jb2, .. }),
                 (_, Event::Tunnel { junction: ja2, .. }),
-            ) = (&w[0], &w[1], &w[2], &w[3])
-            {
+            ) = (
+                &self.entries[i],
+                &self.entries[i + 1],
+                &self.entries[i + 2],
+                &self.entries[i + 3],
+            ) {
                 if ja == ja2 && jb == jb2 && ja != jb {
                     n += 1;
                 }
@@ -216,7 +235,57 @@ mod tests {
         log.push(1.0, qp(1));
         log.push(2.0, qp(2));
         assert_eq!(log.len(), 2);
-        assert_eq!(log.entries()[0].0, 1.0);
+        let times: Vec<f64> = log.entries().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn log_push_is_constant_time_at_large_capacity() {
+        // Regression: `push` used `Vec::remove(0)`, making every push
+        // past capacity O(capacity). At capacity 10⁵ the loop below did
+        // ~10¹⁰ element moves; the ring buffer does 2·10⁵ O(1) ops and
+        // finishes instantly even in debug builds.
+        const CAP: usize = 100_000;
+        let mut log = EventLog::new(CAP);
+        let start = std::time::Instant::now();
+        for i in 0..2 * CAP {
+            log.push(i as f64, qp(i % 3));
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "push at capacity is not O(1) amortized"
+        );
+        // Rotation logic: exactly the newest CAP entries, oldest first.
+        assert_eq!(log.len(), CAP);
+        let mut expect = CAP as f64;
+        for &(t, _) in log.entries() {
+            assert_eq!(t, expect);
+            expect += 1.0;
+        }
+    }
+
+    #[test]
+    fn probe_dedups_equal_time_samples() {
+        // Regression: an every-N-events sample and a stimulus sample
+        // landing on the same timestamp were both recorded, so a
+        // single-sample blip could satisfy `hold = 2` by itself.
+        let mut p = Probe::new(NodeId(0), 1);
+        p.push(0.0, 0.0);
+        p.push(1.0, 0.9); // event sample: blip above level...
+        p.push(1.0, 0.9); // ...stimulus sample at the same instant
+        p.push(2.0, 0.1);
+        assert_eq!(p.samples().len(), 3);
+        assert_eq!(p.crossing_time(0.0, 0.5, true, 2), None);
+    }
+
+    #[test]
+    fn probe_equal_time_dedup_keeps_last_value() {
+        // The stimulus sample is pushed after the lead change, so the
+        // later value is the physically current one.
+        let mut p = Probe::new(NodeId(0), 1);
+        p.push(0.0, 0.2);
+        p.push(0.0, 0.8);
+        assert_eq!(p.samples(), &[(0.0, 0.8)]);
     }
 
     #[test]

@@ -157,6 +157,34 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix–vector product `self · x` written into `out`, reusing its
+    /// allocation. Produces exactly the values of [`Matrix::mul_vec`]
+    /// (same per-row dot products, same order) without allocating — the
+    /// hot-path variant used by the simulator's per-event potential
+    /// recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        out.clear();
+        if self.rows == 0 {
+            return Ok(());
+        }
+        out.extend(
+            self.data
+                .chunks_exact(self.cols)
+                .map(|row| crate::dot(row, x)),
+        );
+        Ok(())
+    }
+
     /// Matrix–matrix product `self · other`.
     ///
     /// # Errors
@@ -317,6 +345,21 @@ mod tests {
     fn mul_vec_rejects_bad_shape() {
         let m = Matrix::identity(2);
         assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_into_is_bit_identical_and_reuses_buffer() {
+        let m = Matrix::from_rows(&[&[1.25, -2.0, 0.5], &[3.0, 4.5, -1.0]]).unwrap();
+        let x = [0.1, -7.0, 2.5];
+        let fresh = m.mul_vec(&x).unwrap();
+        let mut out = vec![99.0; 17];
+        m.mul_vec_into(&x, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        for (a, b) in fresh.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut short = Vec::new();
+        assert!(m.mul_vec_into(&[1.0], &mut short).is_err());
     }
 
     #[test]

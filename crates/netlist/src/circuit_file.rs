@@ -368,10 +368,19 @@ impl CircuitFile {
                 }
                 "jumps" => {
                     expect_args(&parts, 2, line, "jumps")?;
-                    file.jumps = Some((
-                        parse_num(parts[1], line, "event count")?,
-                        parse_num(parts[2], line, "run count")?,
-                    ));
+                    let events: u64 = parse_num(parts[1], line, "event count")?;
+                    let runs: u32 = parse_num(parts[2], line, "run count")?;
+                    // A zero here used to be silently clamped to one at
+                    // execution time, turning `jumps E 0` into a run
+                    // the author asked to skip. Reject it at the
+                    // declaration instead.
+                    if events == 0 {
+                        return Err(ParseError::new(line, "`jumps` event count must be nonzero"));
+                    }
+                    if runs == 0 {
+                        return Err(ParseError::new(line, "`jumps` run count must be nonzero"));
+                    }
+                    file.jumps = Some((events, runs));
                     file.spans.jumps = line;
                 }
                 "time" => {
@@ -671,6 +680,18 @@ sweep 2 0.02 0.00005
         assert_eq!(e.line(), 2);
         let e = CircuitFile::parse("junc 1 1\n").unwrap_err();
         assert_eq!(e.line(), 1);
+    }
+
+    #[test]
+    fn zero_jumps_rejected_with_line() {
+        // Regression: both zeros used to be silently clamped to 1 at
+        // execution time instead of failing at the declaration.
+        let e = CircuitFile::parse("junc 1 1 2 1e-6 1e-18\njumps 0 1\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.message().contains("event count"), "{e}");
+        let e = CircuitFile::parse("junc 1 1 2 1e-6 1e-18\njumps 1000 0\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.message().contains("run count"), "{e}");
     }
 
     #[test]

@@ -321,20 +321,14 @@ impl CircuitFile {
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
         let record_junction = self.record_junction(&compiled)?;
-        let (events, runs) = self.jumps.unwrap_or((100_000, 1));
+        let (events, runs) = self.ensemble_shape()?;
         let length = match self.sim_time {
             Some(t) => RunLength::Time(t),
             None => RunLength::Events(events),
         };
-        Ensemble::new(
-            &compiled.circuit,
-            cfg,
-            record_junction,
-            runs.max(1) as usize,
-            length,
-        )
-        .run(opts)
-        .map_err(wrap)
+        Ensemble::new(&compiled.circuit, cfg, record_junction, runs, length)
+            .run(opts)
+            .map_err(wrap)
     }
 
     /// [`CircuitFile::execute_ensemble`] through the resilient batch
@@ -363,7 +357,7 @@ impl CircuitFile {
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
         let record_junction = self.record_junction(&compiled)?;
-        let (events, runs) = self.jumps.unwrap_or((100_000, 1));
+        let (events, runs) = self.ensemble_shape()?;
         let length = match self.sim_time {
             Some(t) => RunLength::Time(t),
             None => RunLength::Events(events),
@@ -373,13 +367,28 @@ impl CircuitFile {
             &compiled.circuit,
             &cfg,
             record_junction,
-            runs.max(1) as usize,
+            runs,
             0,
             length,
             &opts,
             |_sim, _replica, _spec| Ok(()),
         )
         .map_err(wrap)
+    }
+
+    /// The `(events, runs)` declared by `jumps`, defaulting to a single
+    /// 100 000-event run. Zero in either slot is rejected (the parser
+    /// already refuses it; this guards programmatically built files —
+    /// before, a zero run count was silently clamped to one).
+    fn ensemble_shape(&self) -> Result<(u64, usize), ParseError> {
+        let (events, runs) = self.jumps.unwrap_or((100_000, 1));
+        if events == 0 || runs == 0 {
+            return Err(ParseError::new(
+                self.spans.jumps,
+                format!("`jumps {events} {runs}` requests zero work; both counts must be nonzero"),
+            ));
+        }
+        Ok((events, runs as usize))
     }
 
     /// The junction whose current the file reports: the `record`
@@ -418,10 +427,7 @@ impl CircuitFile {
             .find(|&&(n, _)| n == spec.node)
             .map(|&(_, v)| v)
             .unwrap_or(0.0);
-        let n_steps = ((spec.end - start) / spec.step).abs().round() as usize + 1;
-        let controls: Vec<f64> = (0..n_steps)
-            .map(|i| start + (spec.end - start) * i as f64 / (n_steps - 1).max(1) as f64)
-            .collect();
+        let controls = sweep_grid(start, spec.end, spec.step);
         Ok(SweepPlan {
             lead,
             symm_lead,
@@ -446,6 +452,61 @@ impl CircuitFile {
             .find(|&&(n, _)| n == node)
             .map(|&(_, v)| v)
     }
+}
+
+/// Relative slack used when deciding how many whole steps fit in a
+/// sweep range: `0 → 1` by `0.1` computes `(end-start)/step` as
+/// `9.999…`, which must still count as 10 steps.
+const GRID_RATIO_TOL: f64 = 1e-9;
+
+/// Shape of a sweep voltage grid: number of whole steps from the start,
+/// the step with the sign pointing toward `end`, and whether `end`
+/// needs an extra trailing point (true when the leftover distance after
+/// the last whole step exceeds half a step, so clamping the last grid
+/// point onto `end` would stretch that interval past 1.5·step).
+fn grid_shape(start: f64, end: f64, step: f64) -> (usize, f64, bool) {
+    let distance = end - start;
+    if distance == 0.0 || step == 0.0 || !step.is_finite() {
+        return (0, 0.0, false);
+    }
+    let signed = step.abs() * distance.signum();
+    let whole = ((distance / signed) + GRID_RATIO_TOL).floor() as usize;
+    let last = start + whole as f64 * signed;
+    let extra = (last - end).abs() > 0.5 * signed.abs();
+    (whole, signed, extra)
+}
+
+/// The voltage grid for a `sweep` directive: index-multiplication
+/// points `start + i·step` (drift-free, matching `engine::linspace`'s
+/// construction), with the final point clamped to exactly `end` when it
+/// lands within half a step, or `end` appended otherwise. The endpoint
+/// is always present exactly once; interior spacing is exactly `step`.
+pub(crate) fn sweep_grid(start: f64, end: f64, step: f64) -> Vec<f64> {
+    let (whole, signed, extra) = grid_shape(start, end, step);
+    if whole == 0 && !extra {
+        return if start == end {
+            vec![start]
+        } else {
+            vec![start, end]
+        };
+    }
+    let mut controls: Vec<f64> = (0..=whole).map(|i| start + i as f64 * signed).collect();
+    if extra {
+        controls.push(end);
+    } else {
+        *controls.last_mut().expect("whole >= 1") = end;
+    }
+    controls
+}
+
+/// Number of points [`sweep_grid`] produces, without materializing the
+/// grid (the lint pass sizes runaway sweeps before building anything).
+pub(crate) fn sweep_grid_len(start: f64, end: f64, step: f64) -> usize {
+    let (whole, _, extra) = grid_shape(start, end, step);
+    if whole == 0 && !extra {
+        return if start == end { 1 } else { 2 };
+    }
+    whole + 1 + usize::from(extra)
 }
 
 /// A resolved `sweep` directive: which lead to drive (plus the `symm`
@@ -644,6 +705,56 @@ jumps 3000 1
         let text = format!("{SET_FILE}sweep 2 0.02 0.01\n");
         let f = CircuitFile::parse(&text).unwrap();
         assert!(f.execute_ensemble(ParOpts::serial()).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_keeps_the_exact_step() {
+        // Regression: the old grid rounded (end-start)/step to a point
+        // count and then linspaced, so 0 → 1 by 0.3 produced spacing
+        // 1/3 instead of the requested 0.3.
+        let g = sweep_grid(0.0, 1.0, 0.3);
+        assert_eq!(g, vec![0.0, 0.3, 0.6, 1.0]);
+        // Leftover beyond half a step: the endpoint is appended rather
+        // than stretching the last interval past 1.5·step.
+        assert_eq!(sweep_grid(0.0, 1.0, 0.6), vec![0.0, 0.6, 1.0]);
+    }
+
+    #[test]
+    fn sweep_grid_hits_the_endpoint_exactly() {
+        // 0 → 1 by 0.1: the ratio computes as 9.999…, which must still
+        // count 10 whole steps, and 10·0.1 = 1.0000000000000002 must be
+        // clamped to exactly 1.0.
+        let g = sweep_grid(0.0, 1.0, 0.1);
+        assert_eq!(g.len(), 11);
+        assert_eq!(*g.last().unwrap(), 1.0);
+        // Descending sweeps auto-correct the step direction.
+        let d = sweep_grid(0.02, -0.02, 0.01);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], 0.02);
+        assert_eq!(*d.last().unwrap(), -0.02);
+        assert!(d.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn sweep_grid_degenerate_ranges() {
+        assert_eq!(sweep_grid(0.5, 0.5, 0.1), vec![0.5]);
+        // Range shorter than one step: both endpoints, nothing else.
+        assert_eq!(sweep_grid(0.0, 0.04, 0.1), vec![0.0, 0.04]);
+        assert_eq!(sweep_grid_len(0.0, 0.04, 0.1), 2);
+        assert_eq!(sweep_grid_len(0.0, 1.0, 0.3), 4);
+        assert_eq!(sweep_grid_len(0.0, 1.0, 0.6), 3);
+        assert_eq!(sweep_grid_len(0.0, 1.0, 0.1), 11);
+    }
+
+    #[test]
+    fn zero_runs_is_a_compile_error_not_a_clamp() {
+        // Regression: `jumps 1000 0` was silently rewritten to one run.
+        let mut f = CircuitFile::parse(SET_FILE).unwrap();
+        f.jumps = Some((1000, 0));
+        let err = f.execute_ensemble(ParOpts::serial()).unwrap_err();
+        assert!(err.to_string().contains("nonzero"), "{err}");
+        let err = f.execute_ensemble_batch(&BatchOpts::default()).unwrap_err();
+        assert!(err.to_string().contains("nonzero"), "{err}");
     }
 
     #[test]

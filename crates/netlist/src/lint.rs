@@ -1,7 +1,7 @@
 //! Static analysis of parsed netlists: builds the abstract
 //! `semsim-check` models from [`CircuitFile`] / [`RawLogicFile`] and
-//! adds the directive-level checks (SC004, SC008, SC009, SC010, SC011)
-//! that need netlist vocabulary.
+//! adds the directive-level checks (SC004, SC008–SC013) that need
+//! netlist vocabulary.
 
 use std::collections::HashMap;
 
@@ -256,6 +256,11 @@ fn check_superconducting(file: &CircuitFile, diags: &mut Diagnostics) {
 /// away from the end voltage is suspicious but recoverable (warning:
 /// the compiled sweep auto-corrects the direction). A grid of more than
 /// [`MAX_SWEEP_POINTS`] points is a runaway simulation request (error).
+///
+/// Also SC013: a range that is not an integer multiple of the step
+/// (warning) — the compiled grid keeps the exact step for interior
+/// points, so the final interval must stretch or shrink to land on the
+/// end voltage.
 fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
     let Some(spec) = &file.sweep else {
         return;
@@ -298,6 +303,23 @@ fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
                 "sweep from {start} to {} in steps of {} takes {points:.0} points \
                  (limit {MAX_SWEEP_POINTS:.0})",
                 spec.end, spec.step
+            ),
+            span,
+        ));
+        return;
+    }
+    // SC013: a range that is not an integer multiple of the step cannot
+    // form a uniform grid — the compiled sweep lands exactly on the end
+    // voltage by adjusting the final interval.
+    let frac = (points - points.round()).abs();
+    if distance != 0.0 && frac > 1e-6 * points.max(1.0) {
+        diags.push(Diagnostic::new(
+            DiagCode::NonUniformSweepGrid,
+            format!(
+                "sweep range {distance:e} is not an integer multiple of step {:e}; the \
+                 grid keeps the exact step but the final interval is adjusted to land \
+                 on {} — shrink the step or move the end voltage for a uniform grid",
+                spec.step, spec.end
             ),
             span,
         ));
@@ -345,7 +367,7 @@ fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
                 .find(|&&(n, _)| n == spec.node)
                 .map(|&(_, v)| v)
                 .unwrap_or(0.0);
-            ((spec.end - start) / spec.step).abs().round() + 1.0
+            crate::compile::sweep_grid_len(start, spec.end, spec.step) as f64
         }
         Some(_) => return, // degenerate step: SC010 owns the report
         None => 1.0,
@@ -373,8 +395,7 @@ fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
 
 /// Runs every circuit-level check: the electrical analyses of
 /// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
-/// (SC004, SC008, SC009, SC010, SC011, SC012). Pure inspection — never
-/// fails.
+/// (SC004, SC008–SC013). Pure inspection — never fails.
 pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     let mut diags = check_circuit(&circuit_model(file));
     check_parameters(file, &mut diags);
@@ -588,6 +609,36 @@ mod tests {
         )
         .unwrap();
         assert!(lint_circuit(&f).is_empty());
+    }
+
+    #[test]
+    fn non_multiple_sweep_range_is_sc013_warning() {
+        // -0.02 → 0.02 is 0.04, not an integer multiple of 0.003.
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.003\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::NonUniformSweepGrid)
+            .expect("SC013");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 8);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn integer_multiple_sweep_is_sc013_clean() {
+        // 0.04 / 0.0001 = 400 whole steps despite inexact binary
+        // representation of both numbers.
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.0001\n",
+        )
+        .unwrap();
+        assert!(lint_circuit(&f).is_empty(), "{:?}", lint_circuit(&f));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * physics helpers: [`fermi`], [`bcs_dos`], [`bcs_gap`],
 //!   [`occupancy_factor`] (a numerically stable `x / expm1(x)`);
 //! * [`LookupTable`] — monotone-grid linear interpolation used to cache
-//!   expensive rate functions during Monte Carlo runs.
+//!   expensive rate functions during Monte Carlo runs;
+//! * [`EvalMemo`] — bit-exact set-associative memoisation of repeated
+//!   rate evaluations on the Monte Carlo hot path.
 //!
 //! # Example
 //!
@@ -25,10 +27,12 @@
 
 mod bcs;
 mod integrate;
+mod memo;
 mod stable;
 mod table;
 
 pub use bcs::{bcs_dos, bcs_gap, fermi, BCS_GAP_TANH_COEFF};
 pub use integrate::{adaptive_simpson, gauss_legendre, tanh_sinh};
+pub use memo::EvalMemo;
 pub use stable::{log1p_exp, occupancy_factor};
 pub use table::{LookupTable, TableError};

@@ -1,0 +1,201 @@
+//! Exact-value memoisation for repeated rate evaluations.
+//!
+//! The adaptive solver recomputes a junction's tunnel rates whenever its
+//! free-energy drift crosses the testing threshold. Between refreshes of
+//! the surrounding circuit the same ΔW values recur frequently — a
+//! junction toggling with a clock revisits a small set of charge
+//! configurations — so the rate, a pure function of ΔW for fixed
+//! temperature and resistance, can be served from a small cache instead
+//! of re-running the exponential/quadrature evaluation.
+//!
+//! The memo is keyed on the *bit pattern* of ΔW and stores the exact
+//! value the rate function previously returned, so a hit is
+//! bit-identical to a recompute by construction: caching can never
+//! change a sampled trajectory, only skip redundant work. Invalidation
+//! is the caller's job — the solver flushes the memo whenever the
+//! mapping from ΔW to rate could change (temperature/threshold resync,
+//! model swap).
+
+/// A fixed-size, set-associative memo from `f64` keys to `f64` values.
+///
+/// The table is organised as `slots × ways`: each slot (one per
+/// junction) holds up to `ways` recent key/value pairs, evicted
+/// oldest-first within the slot. Lookups compare keys by bit pattern
+/// (`f64::to_bits`), so `-0.0`/`+0.0` and NaN payloads are distinct
+/// keys — exactly the discipline the bit-identity contract needs.
+///
+/// # Example
+///
+/// ```
+/// use semsim_quad::EvalMemo;
+///
+/// let mut memo = EvalMemo::new(2, 4);
+/// assert_eq!(memo.get(0, 1.5), None);
+/// memo.insert(0, 1.5, 42.0);
+/// assert_eq!(memo.get(0, 1.5), Some(42.0));
+/// assert_eq!(memo.get(1, 1.5), None); // slots are independent
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalMemo {
+    ways: usize,
+    /// Bit patterns of the keys, `slots × ways`, newest first within a
+    /// slot; only the first `len[slot]` entries of a slot are valid.
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    len: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvalMemo {
+    /// Creates a memo with `slots` independent sets of `ways` entries.
+    ///
+    /// `ways` is clamped to `[1, 255]` so the per-slot occupancy fits a
+    /// byte; `slots == 0` yields an always-missing memo.
+    pub fn new(slots: usize, ways: usize) -> Self {
+        let ways = ways.clamp(1, 255);
+        EvalMemo {
+            ways,
+            keys: vec![0; slots * ways],
+            vals: vec![0.0; slots * ways],
+            len: vec![0; slots],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of independent slots.
+    pub fn slots(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Looks up `x` in `slot`, returning the stored value on a
+    /// bit-exact key match. Counts a hit or miss for diagnostics.
+    #[inline]
+    pub fn get(&mut self, slot: usize, x: f64) -> Option<f64> {
+        if slot >= self.len.len() {
+            self.misses += 1;
+            return None;
+        }
+        let bits = x.to_bits();
+        let base = slot * self.ways;
+        let n = self.len[slot] as usize;
+        for i in 0..n {
+            if self.keys[base + i] == bits {
+                self.hits += 1;
+                return Some(self.vals[base + i]);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Records `x → y` in `slot`, evicting the oldest entry if the slot
+    /// is full. Re-inserting an existing key refreshes its value and
+    /// moves it to the front.
+    #[inline]
+    pub fn insert(&mut self, slot: usize, x: f64, y: f64) {
+        if slot >= self.len.len() {
+            return;
+        }
+        let bits = x.to_bits();
+        let base = slot * self.ways;
+        let n = self.len[slot] as usize;
+        // If the key is already present, shift only the entries ahead
+        // of it; otherwise shift the whole (possibly truncated) slot.
+        let shift_end = match (0..n).find(|&i| self.keys[base + i] == bits) {
+            Some(i) => i,
+            None => {
+                let grown = (n + 1).min(self.ways);
+                self.len[slot] = grown as u8;
+                grown - 1
+            }
+        };
+        for i in (0..shift_end).rev() {
+            self.keys[base + i + 1] = self.keys[base + i];
+            self.vals[base + i + 1] = self.vals[base + i];
+        }
+        self.keys[base] = bits;
+        self.vals[base] = y;
+    }
+
+    /// Empties every slot. Hit/miss counters are preserved — they
+    /// describe the memo's lifetime effectiveness, not one epoch.
+    pub fn clear(&mut self) {
+        self.len.fill(0);
+    }
+
+    /// Lifetime `(hits, misses)` counts across all slots.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let mut m = EvalMemo::new(3, 2);
+        assert_eq!(m.get(1, 0.25), None);
+        m.insert(1, 0.25, -7.5);
+        assert_eq!(m.get(1, 0.25), Some(-7.5));
+        assert_eq!(m.get(0, 0.25), None);
+        assert_eq!(m.get(2, 0.25), None);
+        assert_eq!(m.stats(), (1, 3));
+    }
+
+    #[test]
+    fn keys_compare_by_bit_pattern() {
+        let mut m = EvalMemo::new(1, 4);
+        m.insert(0, 0.0, 1.0);
+        // -0.0 == 0.0 numerically but is a distinct bit pattern.
+        assert_eq!(m.get(0, -0.0), None);
+        m.insert(0, -0.0, 2.0);
+        assert_eq!(m.get(0, 0.0), Some(1.0));
+        assert_eq!(m.get(0, -0.0), Some(2.0));
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_within_slot() {
+        let mut m = EvalMemo::new(1, 2);
+        m.insert(0, 1.0, 10.0);
+        m.insert(0, 2.0, 20.0);
+        m.insert(0, 3.0, 30.0); // evicts 1.0
+        assert_eq!(m.get(0, 1.0), None);
+        assert_eq!(m.get(0, 2.0), Some(20.0));
+        assert_eq!(m.get(0, 3.0), Some(30.0));
+    }
+
+    #[test]
+    fn reinsert_moves_to_front_and_updates() {
+        let mut m = EvalMemo::new(1, 2);
+        m.insert(0, 1.0, 10.0);
+        m.insert(0, 2.0, 20.0);
+        m.insert(0, 1.0, 11.0); // refresh: 1.0 now newest
+        m.insert(0, 3.0, 30.0); // evicts 2.0, not 1.0
+        assert_eq!(m.get(0, 1.0), Some(11.0));
+        assert_eq!(m.get(0, 2.0), None);
+        assert_eq!(m.get(0, 3.0), Some(30.0));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut m = EvalMemo::new(2, 2);
+        m.insert(0, 1.0, 1.0);
+        assert_eq!(m.get(0, 1.0), Some(1.0));
+        m.clear();
+        assert_eq!(m.get(0, 1.0), None);
+        assert_eq!(m.stats(), (1, 1));
+    }
+
+    #[test]
+    fn out_of_range_slot_is_inert() {
+        let mut m = EvalMemo::new(1, 2);
+        m.insert(5, 1.0, 1.0);
+        assert_eq!(m.get(5, 1.0), None);
+        let empty = EvalMemo::new(0, 4);
+        assert_eq!(empty.slots(), 0);
+    }
+}

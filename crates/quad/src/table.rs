@@ -67,6 +67,15 @@ impl Error for TableError {}
 pub struct LookupTable {
     xs: Vec<f64>,
     ys: Vec<f64>,
+    /// Uniform-grid segment index: `bucket_start[k]` is the first
+    /// interior index `i` (`1 ≤ i ≤ n−1`) whose abscissa is at or past
+    /// the left edge of bucket `k`. Turns the per-query binary search
+    /// into an O(1) bucket lookup plus a short local scan — the Monte
+    /// Carlo loop evaluates the quasi-particle table per candidate
+    /// event, so the lookup is on the simulator's hot path.
+    bucket_start: Vec<u32>,
+    /// Buckets per unit of `x` (`nb / (xs[n−1] − xs[0])`).
+    inv_bucket: f64,
 }
 
 impl LookupTable {
@@ -96,7 +105,22 @@ impl LookupTable {
                 });
             }
         }
-        Ok(LookupTable { xs, ys })
+        let n = xs.len();
+        let nb = (2 * n).min(1 << 20);
+        let span = xs[n - 1] - xs[0];
+        let inv_bucket = nb as f64 / span;
+        let bucket_start = (0..nb)
+            .map(|k| {
+                let edge = xs[0] + k as f64 * span / nb as f64;
+                xs.partition_point(|&v| v < edge).clamp(1, n - 1) as u32
+            })
+            .collect();
+        Ok(LookupTable {
+            xs,
+            ys,
+            bucket_start,
+            inv_bucket,
+        })
     }
 
     /// Builds a table by sampling `f` at `n` evenly spaced points on
@@ -156,6 +180,12 @@ impl LookupTable {
     }
 
     /// Piecewise-linear evaluation at `x`, clamped to the grid domain.
+    ///
+    /// The bracketing segment is found through the precomputed uniform
+    /// bucket index — a bucket lookup plus a bounded local scan instead
+    /// of a binary search. The scan lands on exactly the segment the
+    /// binary search selected, so evaluations are bit-identical to the
+    /// pre-index implementation.
     #[inline]
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.xs.len();
@@ -165,14 +195,21 @@ impl LookupTable {
         if x >= self.xs[n - 1] {
             return self.ys[n - 1];
         }
-        // Binary search for the bracketing interval.
-        let idx = match self
-            .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite by construction"))
-        {
-            Ok(i) => return self.ys[i],
-            Err(i) => i,
-        };
+        // xs[0] < x < xs[n−1] from here on, so the first interior index
+        // with xs[idx] ≥ x exists in [1, n−1]. The bucket start may be
+        // off by a point or two from floating rounding of the bucket
+        // arithmetic; the two scans correct in either direction.
+        let k = (((x - self.xs[0]) * self.inv_bucket) as usize).min(self.bucket_start.len() - 1);
+        let mut idx = self.bucket_start[k] as usize;
+        while self.xs[idx] < x {
+            idx += 1;
+        }
+        while idx > 1 && self.xs[idx - 1] >= x {
+            idx -= 1;
+        }
+        if self.xs[idx] == x {
+            return self.ys[idx];
+        }
         let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
         let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)
@@ -230,6 +267,68 @@ mod tests {
     fn from_fn_validates_args() {
         assert!(LookupTable::from_fn(|x| x, 0.0, 1.0, 1).is_err());
         assert!(LookupTable::from_fn(|x| x, 1.0, 1.0, 5).is_err());
+    }
+
+    /// Reference implementation: the pre-index binary search. The
+    /// bucket-indexed `eval` must agree bit-for-bit with it — the
+    /// quasi-particle rates feed the Fenwick rate table, where any
+    /// ULP-level difference changes sampled trajectories.
+    fn eval_binary_search(t: &LookupTable, x: f64) -> f64 {
+        let n = t.xs.len();
+        if x <= t.xs[0] {
+            return t.ys[0];
+        }
+        if x >= t.xs[n - 1] {
+            return t.ys[n - 1];
+        }
+        let idx = match t
+            .xs
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite by construction"))
+        {
+            Ok(i) => return t.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (t.xs[idx - 1], t.xs[idx]);
+        let (y0, y1) = (t.ys[idx - 1], t.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    #[test]
+    fn bucket_index_matches_binary_search_bitwise() {
+        // Strongly non-uniform grid: clustered points near 1.0 inside a
+        // wide span, so several grid points share a bucket and many
+        // buckets are empty — both scan directions get exercised.
+        let xs: Vec<f64> = vec![
+            -50.0, -10.0, 0.5, 0.9, 0.99, 0.999, 1.0, 1.001, 1.01, 1.1, 2.0, 30.0, 75.0,
+        ];
+        let ys: Vec<f64> = xs.iter().map(|&x| (0.3 * x).sin() + 0.01 * x * x).collect();
+        let t = LookupTable::new(xs.clone(), ys).unwrap();
+        // Exact node hits (binary search Ok arm) …
+        for &x in &xs {
+            assert_eq!(t.eval(x).to_bits(), eval_binary_search(&t, x).to_bits());
+        }
+        // … interior points, bucket edges, and out-of-domain clamps.
+        for i in 0..4000 {
+            let x = -60.0 + i as f64 * (150.0 / 4000.0);
+            assert_eq!(
+                t.eval(x).to_bits(),
+                eval_binary_search(&t, x).to_bits(),
+                "mismatch at x={x}"
+            );
+        }
+        // Points an ULP either side of each node.
+        for &x in &xs {
+            for probe in [
+                f64::from_bits(x.to_bits().wrapping_sub(1)),
+                f64::from_bits(x.to_bits() + 1),
+            ] {
+                assert_eq!(
+                    t.eval(probe).to_bits(),
+                    eval_binary_search(&t, probe).to_bits(),
+                    "mismatch at probe {probe} near node {x}"
+                );
+            }
+        }
     }
 
     #[test]

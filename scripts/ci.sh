@@ -45,6 +45,27 @@ else
   echo "skip: speedup floor needs >= 4 cores (host has $cores)"
 fi
 
+echo "==> hotpath bit-identity + speedup vs dense reference"
+hotdir=$(mktemp -d)
+# Defaults reach c432 (2072 junctions) — the speedup grows with size,
+# so gating on a smaller "largest benchmark" would test the wrong claim.
+hotpath_out=$(cargo run -q --release -p semsim-bench --bin hotpath -- \
+  out="$hotdir/BENCH_hotpath.json")
+echo "$hotpath_out"
+rm -rf "$hotdir"
+# The binary itself exits nonzero if the optimized solver's trajectory
+# is not bit-identical to the dense-reference oracle. The speedup floor
+# compares the two solvers within one run, so it is load-tolerant, but
+# a single-core host is still too noisy to gate on.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 2 ]; then
+  hspeed=$(echo "$hotpath_out" | grep -oP 'hotpath-speedup-largest: \K[0-9.]+')
+  awk -v s="$hspeed" 'BEGIN { exit !(s >= 1.5) }' \
+    || { echo "FAIL: hotpath speedup ${hspeed}x below the 1.5x floor"; exit 1; }
+else
+  echo "skip: hotpath speedup floor needs >= 2 cores (host has $cores)"
+fi
+
 echo "==> semsim lint examples/netlists/*"
 ./target/release/semsim lint examples/netlists/*
 

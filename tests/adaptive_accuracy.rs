@@ -3,7 +3,11 @@
 //! logic circuits, the adaptive solver must do far less rate work than
 //! the conventional solver while reproducing its observables.
 
-use semsim::core::engine::{RunLength, SimConfig, Simulation, SolverSpec};
+use semsim::core::circuit::{CircuitBuilder, NodeId};
+use semsim::core::constants::ev_to_joule;
+use semsim::core::engine::{linspace, sweep, RunLength, SimConfig, Simulation, SolverSpec};
+use semsim::core::par::{par_sweep, ParOpts};
+use semsim::core::superconduct::SuperconductingParams;
 use semsim::logic::{elaborate, measure_delay, synthesize, SetLogicParams};
 
 fn adaptive_spec(theta: f64) -> SolverSpec {
@@ -168,6 +172,146 @@ fn drift_audit_stays_clean_on_logic_benchmark() {
     );
     let err = (dt_adp - dt_ref).abs() / dt_ref;
     assert!(err < 0.10, "event-rate error {err:.3} under auditing");
+}
+
+#[test]
+fn optimized_adaptive_is_bit_identical_to_dense_reference() {
+    // The hot-path contract: precomputed dependency neighbourhoods and
+    // the rate memo are pure optimizations. At every threshold — from
+    // "recompute everything" (θ = 0) through ablation values to
+    // "recompute almost nothing" (θ = 1) — the optimized solver must
+    // reproduce the dense-reference solver's trajectory bit for bit:
+    // identical Records (duration, electron counts, probe samples,
+    // adaptive work counters) and identical simulated-time bits.
+    let params = SetLogicParams::default();
+    let logic = synthesize(60, 6, 21);
+    let elab = elaborate(&logic, &params).unwrap();
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(5)
+            .with_solver(spec);
+        let mut sim = Simulation::new(&elab.circuit, cfg).unwrap();
+        for name in &logic.inputs {
+            let lead = elab.input_lead(name).unwrap();
+            sim.set_lead_voltage(lead, params.vdd).unwrap();
+        }
+        sim.add_probe(elab.circuit.island_node(0), 100);
+        let r = sim.run(RunLength::Events(8_000)).unwrap();
+        (r, sim.time())
+    };
+    for theta in [0.0, 0.01, 0.05, 0.1, 0.3, 1.0] {
+        let (opt, t_opt) = run(SolverSpec::Adaptive {
+            threshold: theta,
+            refresh_interval: 1_500,
+        });
+        let (dense, t_dense) = run(SolverSpec::AdaptiveDense {
+            threshold: theta,
+            refresh_interval: 1_500,
+        });
+        assert_eq!(opt, dense, "trajectory diverged at θ = {theta}");
+        assert_eq!(
+            t_opt.to_bits(),
+            t_dense.to_bits(),
+            "time diverged at θ = {theta}"
+        );
+    }
+}
+
+#[test]
+fn superconducting_optimized_adaptive_matches_dense_reference() {
+    // Same contract through the quasi-particle path: rates come from
+    // the bucket-indexed lookup table and flow through the memo, and a
+    // two-island chain exercises non-trivial dependency lists.
+    let mut b = CircuitBuilder::new();
+    let bias = b.add_lead(20e-2);
+    let i1 = b.add_island();
+    let i2 = b.add_island();
+    b.add_junction(bias, i1, 1e6, 1e-18).unwrap();
+    b.add_junction(i1, i2, 1e6, 1e-18).unwrap();
+    b.add_junction(i2, NodeId::GROUND, 1e6, 1e-18).unwrap();
+    let c = b.build().unwrap();
+    let sc = SuperconductingParams::new(ev_to_joule(0.2e-3), 1.2).unwrap();
+    let run = |spec: SolverSpec| {
+        let cfg = SimConfig::new(0.05)
+            .with_seed(11)
+            .with_solver(spec)
+            .with_superconducting(sc);
+        let mut sim = Simulation::new(&c, cfg).unwrap();
+        let r = sim.run(RunLength::Events(6_000)).unwrap();
+        (r, sim.time())
+    };
+    for theta in [0.01, 0.1, 0.3] {
+        let (opt, t_opt) = run(SolverSpec::Adaptive {
+            threshold: theta,
+            refresh_interval: 1_000,
+        });
+        let (dense, t_dense) = run(SolverSpec::AdaptiveDense {
+            threshold: theta,
+            refresh_interval: 1_000,
+        });
+        assert_eq!(opt, dense, "SC trajectory diverged at θ = {theta}");
+        assert_eq!(t_opt.to_bits(), t_dense.to_bits(), "θ = {theta}");
+    }
+}
+
+#[test]
+fn optimized_sweep_is_bit_identical_across_modes_and_threads() {
+    // SweepPoint output must not depend on the optimization or on the
+    // thread count: serial optimized == serial dense-reference ==
+    // parallel optimized at any worker count.
+    let mut b = CircuitBuilder::new();
+    let src = b.add_lead(0.0);
+    let drn = b.add_lead(0.0);
+    let gate = b.add_lead(0.0);
+    let island = b.add_island();
+    let j1 = b.add_junction(src, island, 1e6, 1e-18).unwrap();
+    b.add_junction(island, drn, 1e6, 1e-18).unwrap();
+    b.add_capacitor(gate, island, 3e-18).unwrap();
+    let c = b.build().unwrap();
+    let src_idx = c.lead_index(src).unwrap();
+    let drn_idx = c.lead_index(drn).unwrap();
+    let controls = linspace(10e-3, 40e-3, 6);
+    let setup = |sim: &mut Simulation<'_>, v: f64| {
+        sim.set_lead_voltage(src_idx, 0.5 * v)?;
+        sim.set_lead_voltage(drn_idx, -0.5 * v)
+    };
+
+    let optimized = SolverSpec::Adaptive {
+        threshold: 0.05,
+        refresh_interval: 500,
+    };
+    let dense = SolverSpec::AdaptiveDense {
+        threshold: 0.05,
+        refresh_interval: 500,
+    };
+    let cfg = |spec| SimConfig::new(0.1).with_seed(21).with_solver(spec);
+
+    let bits = |pts: &[semsim::core::engine::SweepPoint]| -> Vec<(u64, u64, u64)> {
+        pts.iter()
+            .map(|p| (p.control.to_bits(), p.current.to_bits(), p.events))
+            .collect()
+    };
+
+    let serial_opt = sweep(&c, &cfg(optimized), j1, &controls, 300, 1_200, setup).unwrap();
+    let serial_dense = sweep(&c, &cfg(dense), j1, &controls, 300, 1_200, setup).unwrap();
+    assert_eq!(bits(&serial_opt), bits(&serial_dense));
+    assert_eq!(serial_opt, serial_dense);
+
+    for threads in [2usize, 4, 8] {
+        let par = par_sweep(
+            &c,
+            &cfg(optimized),
+            j1,
+            &controls,
+            300,
+            1_200,
+            ParOpts::with_threads(threads),
+            setup,
+        )
+        .unwrap();
+        assert_eq!(bits(&serial_opt), bits(&par), "threads = {threads}");
+        assert_eq!(serial_opt, par, "threads = {threads}");
+    }
 }
 
 #[test]

@@ -181,6 +181,16 @@ fn sc012_unjournaled_long_sweep() {
     );
 }
 
+#[test]
+fn sc013_non_uniform_grid() {
+    assert_diag(
+        "sc013_non_uniform_grid.cir",
+        DiagCode::NonUniformSweepGrid,
+        Severity::Warning,
+        8,
+    );
+}
+
 /// The example netlists shipped with the crate must lint clean — they
 /// are what `semsim lint` is demonstrated on in the README.
 #[test]
