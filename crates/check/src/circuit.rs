@@ -1,7 +1,6 @@
 //! Electrical checks over an abstract circuit graph.
 
-use semsim_linalg::Matrix;
-
+use crate::ir::CircuitModel;
 use crate::{DiagCode, Diagnostic, Diagnostics, Span};
 
 /// Condition-number estimate above which the capacitance matrix is
@@ -10,251 +9,11 @@ use crate::{DiagCode, Diagnostic, Diagnostics, Span};
 /// potentials, which is marginal for free-energy differences.
 pub const CONDITION_THRESHOLD: f64 = 1e12;
 
-/// A node handle in a [`CircuitModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ModelNode(usize);
-
-impl ModelNode {
-    /// The implicit ground node.
-    pub const GROUND: ModelNode = ModelNode(usize::MAX);
-
-    fn is_ground(self) -> bool {
-        self == ModelNode::GROUND
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NodeKind {
-    Lead,
-    Island,
-}
-
-#[derive(Debug, Clone)]
-struct NodeInfo {
-    kind: NodeKind,
-    label: Option<String>,
-    span: Span,
-}
-
-#[derive(Debug, Clone)]
-struct Edge {
-    a: ModelNode,
-    b: ModelNode,
-    capacitance: f64,
-    /// Tunnel junctions carry charge; plain capacitors do not.
-    tunnel: bool,
-    span: Span,
-}
-
-/// An abstract circuit: leads, islands, and capacitive/tunnel edges.
-///
-/// This is the input to [`check_circuit`]. It deliberately knows nothing
-/// about netlist syntax or the simulation engine, so both the netlist
-/// compiler and the core circuit builder can populate it.
-///
-/// # Example
-///
-/// ```
-/// use semsim_check::{check_circuit, CircuitModel, ModelNode};
-///
-/// let mut m = CircuitModel::new();
-/// let lead = m.add_lead();
-/// let isl = m.add_island();
-/// m.add_junction(lead, isl, 1e-6, 1e-18);
-/// m.add_junction(isl, ModelNode::GROUND, 1e-6, 1e-18);
-/// assert!(check_circuit(&m).is_empty());
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct CircuitModel {
-    nodes: Vec<NodeInfo>,
-    edges: Vec<Edge>,
-}
-
-impl CircuitModel {
-    /// An empty model.
-    pub fn new() -> Self {
-        CircuitModel::default()
-    }
-
-    fn add_node(&mut self, kind: NodeKind, span: Span) -> ModelNode {
-        self.nodes.push(NodeInfo {
-            kind,
-            label: None,
-            span,
-        });
-        ModelNode(self.nodes.len() - 1)
-    }
-
-    /// Adds a voltage-source lead.
-    pub fn add_lead(&mut self) -> ModelNode {
-        self.add_node(NodeKind::Lead, Span::NONE)
-    }
-
-    /// Adds a lead whose declaration sits at `span`.
-    pub fn add_lead_at(&mut self, span: Span) -> ModelNode {
-        self.add_node(NodeKind::Lead, span)
-    }
-
-    /// Adds an island.
-    pub fn add_island(&mut self) -> ModelNode {
-        self.add_node(NodeKind::Island, Span::NONE)
-    }
-
-    /// Adds an island whose first mention sits at `span`.
-    pub fn add_island_at(&mut self, span: Span) -> ModelNode {
-        self.add_node(NodeKind::Island, span)
-    }
-
-    /// Attaches a human-readable name (e.g. the netlist node number)
-    /// used in diagnostic messages.
-    pub fn set_label(&mut self, node: ModelNode, label: impl Into<String>) {
-        if !node.is_ground() {
-            self.nodes[node.0].label = Some(label.into());
-        }
-    }
-
-    /// Adds a tunnel junction (conductance is recorded for symmetry
-    /// checks by callers; only the capacitance enters the matrix).
-    pub fn add_junction(&mut self, a: ModelNode, b: ModelNode, _conductance: f64, cap: f64) {
-        self.add_junction_at(a, b, _conductance, cap, Span::NONE);
-    }
-
-    /// [`CircuitModel::add_junction`] with a source location.
-    pub fn add_junction_at(
-        &mut self,
-        a: ModelNode,
-        b: ModelNode,
-        _conductance: f64,
-        cap: f64,
-        span: Span,
-    ) {
-        self.edges.push(Edge {
-            a,
-            b,
-            capacitance: cap,
-            tunnel: true,
-            span,
-        });
-    }
-
-    /// Adds a plain capacitor.
-    pub fn add_capacitor(&mut self, a: ModelNode, b: ModelNode, cap: f64) {
-        self.add_capacitor_at(a, b, cap, Span::NONE);
-    }
-
-    /// [`CircuitModel::add_capacitor`] with a source location.
-    pub fn add_capacitor_at(&mut self, a: ModelNode, b: ModelNode, cap: f64, span: Span) {
-        self.edges.push(Edge {
-            a,
-            b,
-            capacitance: cap,
-            tunnel: false,
-            span,
-        });
-    }
-
-    /// Number of islands in the model.
-    pub fn island_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.kind == NodeKind::Island)
-            .count()
-    }
-
-    fn describe(&self, node: ModelNode) -> String {
-        if node.is_ground() {
-            return "ground".to_string();
-        }
-        let info = &self.nodes[node.0];
-        match (&info.label, info.kind) {
-            (Some(l), NodeKind::Island) => format!("island (node {l})"),
-            (Some(l), NodeKind::Lead) => format!("lead (node {l})"),
-            (None, NodeKind::Island) => format!("island #{}", node.0),
-            (None, NodeKind::Lead) => format!("lead #{}", node.0),
-        }
-    }
-
-    /// Best source location for a node-level finding: the node's own
-    /// span, falling back to its first incident edge's span when the
-    /// node was added without one.
-    fn span_for(&self, node: ModelNode) -> Span {
-        let own = self.nodes[node.0].span;
-        if own.is_known() {
-            return own;
-        }
-        self.edges
-            .iter()
-            .find(|e| e.a == node || e.b == node)
-            .map(|e| e.span)
-            .unwrap_or(Span::NONE)
-    }
-
-    /// Islands not reached from any lead/ground by a breadth-first walk
-    /// over the selected edges.
-    fn unreached_islands(&self, use_edge: impl Fn(&Edge) -> bool) -> Vec<ModelNode> {
-        let n = self.nodes.len();
-        // Index n stands for ground.
-        let idx = |node: ModelNode| if node.is_ground() { n } else { node.0 };
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
-        for e in self.edges.iter().filter(|e| use_edge(e)) {
-            adj[idx(e.a)].push(idx(e.b));
-            adj[idx(e.b)].push(idx(e.a));
-        }
-        let mut seen = vec![false; n + 1];
-        let mut queue: Vec<usize> = vec![n];
-        seen[n] = true;
-        for (i, info) in self.nodes.iter().enumerate() {
-            if info.kind == NodeKind::Lead {
-                seen[i] = true;
-                queue.push(i);
-            }
-        }
-        while let Some(u) = queue.pop() {
-            for &v in &adj[u] {
-                if !seen[v] {
-                    seen[v] = true;
-                    queue.push(v);
-                }
-            }
-        }
-        (0..n)
-            .filter(|&i| self.nodes[i].kind == NodeKind::Island && !seen[i])
-            .map(ModelNode)
-            .collect()
-    }
-
-    /// Assembles the island-block capacitance matrix (diagonal = total
-    /// attached capacitance, off-diagonal = −C between island pairs).
-    fn capacitance_matrix(&self) -> Matrix {
-        let islands: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].kind == NodeKind::Island)
-            .collect();
-        let pos: std::collections::HashMap<usize, usize> =
-            islands.iter().enumerate().map(|(k, &i)| (i, k)).collect();
-        let mut c = Matrix::zeros(islands.len(), islands.len());
-        for e in &self.edges {
-            let pa = (!e.a.is_ground()).then(|| pos.get(&e.a.0)).flatten();
-            let pb = (!e.b.is_ground()).then(|| pos.get(&e.b.0)).flatten();
-            if let Some(&ka) = pa {
-                c.add_to(ka, ka, e.capacitance);
-            }
-            if let Some(&kb) = pb {
-                c.add_to(kb, kb, e.capacitance);
-            }
-            if let (Some(&ka), Some(&kb)) = (pa, pb) {
-                if ka != kb {
-                    c.add_to(ka, kb, -e.capacitance);
-                    c.add_to(kb, ka, -e.capacitance);
-                }
-            }
-        }
-        c
-    }
-}
-
 /// Runs the electrical checks: SC001 (floating islands), SC002
 /// (singular capacitance matrix), SC003 (ill-conditioned capacitance
-/// matrix) and SC005 (tunnel-unreachable islands).
+/// matrix), SC005 (tunnel-unreachable islands), and — when the model
+/// carries dataflow facts — the influence-reachability diagnostics
+/// SC014–SC018 (see [`crate::reach`]).
 pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
     let mut diags = Diagnostics::new();
 
@@ -282,8 +41,7 @@ pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
             .edges
             .iter()
             .max_by(|x, y| x.capacitance.total_cmp(&y.capacitance))
-            .map(|e| e.span)
-            .unwrap_or(Span::NONE);
+            .map_or(Span::NONE, |e| e.span);
         let c = model.capacitance_matrix();
         match c.lu() {
             Err(_) => diags.push(Diagnostic::new(
@@ -295,8 +53,7 @@ pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
             Ok(lu) => {
                 let cond = lu
                     .inverse_norm_one_estimate()
-                    .map(|inv| (c.norm_one() * inv).max(1.0))
-                    .unwrap_or(f64::INFINITY);
+                    .map_or(f64::INFINITY, |inv| (c.norm_one() * inv).max(1.0));
                 if cond > CONDITION_THRESHOLD {
                     diags.push(Diagnostic::new(
                         DiagCode::IllConditionedCMatrix,
@@ -329,6 +86,9 @@ pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
         ));
     }
 
+    // SC014–SC018: dataflow/influence diagnostics over the same model.
+    diags.extend(crate::reach::check_influence(model));
+
     diags.sort();
     diags
 }
@@ -336,6 +96,7 @@ pub fn check_circuit(model: &CircuitModel) -> Diagnostics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::ModelNode;
 
     fn well_formed_pair() -> CircuitModel {
         let mut m = CircuitModel::new();

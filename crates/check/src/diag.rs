@@ -1,5 +1,6 @@
 //! Diagnostic vocabulary shared by every static check.
 
+use crate::fixit::Suggestion;
 use std::fmt;
 
 /// A source location: the 1-based line of the declaration a diagnostic
@@ -99,6 +100,28 @@ pub enum DiagCode {
     /// so the compiled grid cannot be uniform — the final interval is
     /// adjusted to land exactly on the end voltage.
     NonUniformSweepGrid,
+    /// SC014: a dead sweep — the swept source (circuit facet) or a
+    /// primary input (logic facet) has no influence path, through the
+    /// capacitance graph or the gate fanout, to any probe or measured
+    /// observable; every point of the sweep computes the same numbers.
+    DeadSweep,
+    /// SC015: a constant-foldable construct — a sweep whose grid
+    /// collapses to a single effective point, or a stimulus overwritten
+    /// before any event can observe it.
+    ConstantFoldableSweep,
+    /// SC016: a probe observing a node driven only by constants (ground,
+    /// or an un-stimulated, un-swept source) — every sample is the same
+    /// value, known before the simulation starts.
+    ConstantProbe,
+    /// SC017: the adaptive threshold θ is outside its validity envelope
+    /// for this circuit's kT/E_C regime (or the refresh interval is
+    /// degenerate) — the θ-band screening argument no longer bounds the
+    /// rate error.
+    AdaptiveThresholdRegime,
+    /// SC018: conflicting stimuli — two `jump` directives on the same
+    /// lead at the same timestamp with different voltages; the engine
+    /// keeps the later declaration, silently discarding the earlier one.
+    ConflictingStimuli,
 }
 
 impl DiagCode {
@@ -118,7 +141,43 @@ impl DiagCode {
             DiagCode::DegenerateEnsemble => "SC011",
             DiagCode::UnjournaledLongSweep => "SC012",
             DiagCode::NonUniformSweepGrid => "SC013",
+            DiagCode::DeadSweep => "SC014",
+            DiagCode::ConstantFoldableSweep => "SC015",
+            DiagCode::ConstantProbe => "SC016",
+            DiagCode::AdaptiveThresholdRegime => "SC017",
+            DiagCode::ConflictingStimuli => "SC018",
         }
+    }
+
+    /// Parses a printable `SCnnn` code into every enum facet that
+    /// carries it (SC007 and SC014 name two facets each). Returns an
+    /// empty vector for unknown codes.
+    pub fn parse(code: &str) -> Vec<DiagCode> {
+        const ALL: [DiagCode; 19] = [
+            DiagCode::FloatingIsland,
+            DiagCode::SingularCapacitanceMatrix,
+            DiagCode::IllConditionedCMatrix,
+            DiagCode::NonPositiveParameter,
+            DiagCode::UnreachableNode,
+            DiagCode::CombinationalLoop,
+            DiagCode::UndrivenInput,
+            DiagCode::UnusedOutput,
+            DiagCode::AsymmetricSymmJunction,
+            DiagCode::SuperconductingGapMismatch,
+            DiagCode::RunawaySweep,
+            DiagCode::DegenerateEnsemble,
+            DiagCode::UnjournaledLongSweep,
+            DiagCode::NonUniformSweepGrid,
+            DiagCode::DeadSweep,
+            DiagCode::ConstantFoldableSweep,
+            DiagCode::ConstantProbe,
+            DiagCode::AdaptiveThresholdRegime,
+            DiagCode::ConflictingStimuli,
+        ];
+        ALL.iter()
+            .copied()
+            .filter(|c| c.code().eq_ignore_ascii_case(code))
+            .collect()
     }
 
     /// The severity this code carries unless a check overrides it.
@@ -137,7 +196,12 @@ impl DiagCode {
             | DiagCode::SuperconductingGapMismatch
             | DiagCode::DegenerateEnsemble
             | DiagCode::UnjournaledLongSweep
-            | DiagCode::NonUniformSweepGrid => Severity::Warning,
+            | DiagCode::NonUniformSweepGrid
+            | DiagCode::DeadSweep
+            | DiagCode::ConstantFoldableSweep
+            | DiagCode::ConstantProbe
+            | DiagCode::AdaptiveThresholdRegime => Severity::Warning,
+            DiagCode::ConflictingStimuli => Severity::Error,
         }
     }
 }
@@ -153,6 +217,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the source file, if known.
     pub span: Span,
+    /// A suggested repair, when the check can formulate one.
+    pub suggestion: Option<Suggestion>,
 }
 
 impl Diagnostic {
@@ -163,12 +229,19 @@ impl Diagnostic {
             severity: code.default_severity(),
             message: message.into(),
             span,
+            suggestion: None,
         }
     }
 
     /// Overrides the severity (e.g. SC008's error facet).
     pub fn with_severity(mut self, severity: Severity) -> Self {
         self.severity = severity;
+        self
+    }
+
+    /// Attaches a suggested repair.
+    pub fn with_suggestion(mut self, suggestion: Suggestion) -> Self {
+        self.suggestion = Some(suggestion);
         self
     }
 }
@@ -215,14 +288,42 @@ impl Diagnostics {
         self.items.iter()
     }
 
-    /// Orders findings by line, then severity (errors first), then code.
+    /// Iterates mutably over the findings (used by `--deny`/`--allow`
+    /// severity rewriting).
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Diagnostic> {
+        self.items.iter_mut()
+    }
+
+    /// Keeps only the findings for which `keep` returns `true` (used by
+    /// `--allow` flags and in-source allow pragmas).
+    pub fn retain(&mut self, keep: impl FnMut(&Diagnostic) -> bool) {
+        self.items.retain(keep);
+    }
+
+    /// Orders findings by (line, code, severity, message) — the
+    /// byte-stable output order, independent of check-pass ordering —
+    /// and drops exact duplicates (same line, code facet, severity,
+    /// and message).
     pub fn sort(&mut self) {
         self.items.sort_by(|a, b| {
-            (a.span.line, std::cmp::Reverse(a.severity), a.code.code()).cmp(&(
-                b.span.line,
-                std::cmp::Reverse(b.severity),
-                b.code.code(),
-            ))
+            (
+                a.span.line,
+                a.code.code(),
+                std::cmp::Reverse(a.severity),
+                &a.message,
+            )
+                .cmp(&(
+                    b.span.line,
+                    b.code.code(),
+                    std::cmp::Reverse(b.severity),
+                    &b.message,
+                ))
+        });
+        self.items.dedup_by(|a, b| {
+            a.span == b.span
+                && a.code == b.code
+                && a.severity == b.severity
+                && a.message == b.message
         });
     }
 
@@ -264,6 +365,30 @@ impl Diagnostics {
                 }
             } else {
                 out.push_str(&format!(" --> {filename}\n"));
+            }
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!(
+                    "help: {} [{}]\n",
+                    s.message,
+                    s.applicability.as_str()
+                ));
+                for e in &s.edits {
+                    match &e.replacement {
+                        Some(text) => {
+                            for (k, repl_line) in text.lines().enumerate() {
+                                if k == 0 {
+                                    out.push_str(&format!(
+                                        "  fix: line {} -> {repl_line}\n",
+                                        e.line
+                                    ));
+                                } else {
+                                    out.push_str(&format!("  fix: insert   {repl_line}\n"));
+                                }
+                            }
+                        }
+                        None => out.push_str(&format!("  fix: delete line {}\n", e.line)),
+                    }
+                }
             }
             out.push('\n');
         }
@@ -364,6 +489,55 @@ mod tests {
         ds.sort();
         let lines: Vec<usize> = ds.iter().map(|d| d.span.line).collect();
         assert_eq!(lines, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn parse_maps_codes_to_facets() {
+        assert_eq!(DiagCode::parse("SC001"), vec![DiagCode::FloatingIsland]);
+        assert_eq!(
+            DiagCode::parse("sc007"),
+            vec![DiagCode::UndrivenInput, DiagCode::UnusedOutput]
+        );
+        assert_eq!(DiagCode::parse("SC014"), vec![DiagCode::DeadSweep]);
+        assert_eq!(DiagCode::parse("SC018"), vec![DiagCode::ConflictingStimuli]);
+        assert!(DiagCode::parse("SC999").is_empty());
+    }
+
+    #[test]
+    fn sort_dedupes_identical_findings() {
+        let mut ds = Diagnostics::new();
+        for _ in 0..2 {
+            ds.push(Diagnostic::new(
+                DiagCode::DeadSweep,
+                "sweep is dead",
+                Span::line(4),
+            ));
+        }
+        ds.push(Diagnostic::new(
+            DiagCode::DeadSweep,
+            "another message",
+            Span::line(4),
+        ));
+        ds.sort();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_shows_suggestions() {
+        use crate::fixit::{Applicability, Edit};
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diagnostic::new(DiagCode::DeadSweep, "sweep is dead", Span::line(3)).with_suggestion(
+                Suggestion::new(
+                    "delete the dead `sweep` directive",
+                    Applicability::MachineApplicable,
+                    vec![Edit::delete(3)],
+                ),
+            ),
+        );
+        let rendered = ds.render("dead.cir", None);
+        assert!(rendered.contains("help: delete the dead `sweep` directive [machine-applicable]"));
+        assert!(rendered.contains("fix: delete line 3"));
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Machine-applicable fix-its: line-granularity edits attached to
+//! diagnostics, and the engine that applies them to source text.
+//!
+//! The netlist formats are strictly line-oriented (one directive per
+//! line), so an edit is "replace line N" or "delete line N" — no column
+//! arithmetic. A replacement may contain embedded newlines, which is how
+//! a fix inserts a directive after an existing one.
+//!
+//! The contract `semsim lint --fix` relies on: applying every
+//! machine-applicable suggestion and re-linting either produces a clean
+//! file or reaches a fixed point (the second pass is byte-identical).
+
+/// How confident a suggestion is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// Applying the edit preserves the simulated semantics (or removes
+    /// something provably dead); `--fix` applies it automatically.
+    MachineApplicable,
+    /// The edit is a plausible repair but needs human judgement;
+    /// `--fix` leaves it alone and it is only displayed.
+    MaybeIncorrect,
+}
+
+impl Applicability {
+    /// Stable string form used in text and JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+        }
+    }
+}
+
+/// One line-granularity edit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edit {
+    /// 1-based source line the edit targets.
+    pub line: usize,
+    /// Replacement text for the line (may contain `\n` to insert
+    /// additional lines); `None` deletes the line.
+    pub replacement: Option<String>,
+}
+
+impl Edit {
+    /// An edit that replaces `line` with `text`.
+    pub fn replace(line: usize, text: impl Into<String>) -> Edit {
+        Edit {
+            line,
+            replacement: Some(text.into()),
+        }
+    }
+
+    /// An edit that deletes `line`.
+    pub fn delete(line: usize) -> Edit {
+        Edit {
+            line,
+            replacement: None,
+        }
+    }
+}
+
+/// A suggested repair: a human-readable description plus the edits that
+/// realize it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// What the fix does, e.g. "delete the dead `sweep` directive".
+    pub message: String,
+    /// Whether `--fix` may apply it automatically.
+    pub applicability: Applicability,
+    /// The edits, each targeting a distinct line.
+    pub edits: Vec<Edit>,
+}
+
+impl Suggestion {
+    /// A new suggestion.
+    pub fn new(
+        message: impl Into<String>,
+        applicability: Applicability,
+        edits: Vec<Edit>,
+    ) -> Suggestion {
+        Suggestion {
+            message: message.into(),
+            applicability,
+            edits,
+        }
+    }
+
+    /// `true` when `--fix` applies this suggestion automatically.
+    pub fn is_machine_applicable(&self) -> bool {
+        self.applicability == Applicability::MachineApplicable
+    }
+}
+
+/// Applies `suggestions` to `source`, returning the rewritten text.
+///
+/// Only edits whose target line exists are applied. When two
+/// suggestions touch the same line, the first one wins and the later
+/// edits to that line are dropped — `--fix` re-lints and converges over
+/// multiple rounds instead of guessing how edits compose.
+pub fn apply_suggestions(source: &str, suggestions: &[&Suggestion]) -> String {
+    let mut planned: std::collections::BTreeMap<usize, Option<&str>> =
+        std::collections::BTreeMap::new();
+    for s in suggestions {
+        if s.edits
+            .iter()
+            .any(|e| planned.contains_key(&e.line) || e.line == 0)
+        {
+            continue; // conflicting or unlocated suggestion: next round
+        }
+        for e in &s.edits {
+            planned.insert(e.line, e.replacement.as_deref());
+        }
+    }
+    let mut out = String::with_capacity(source.len());
+    for (i, text) in source.lines().enumerate() {
+        match planned.get(&(i + 1)) {
+            Some(None) => {}
+            Some(Some(replacement)) => {
+                out.push_str(replacement);
+                out.push('\n');
+            }
+            None => {
+                out.push_str(text);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delete_and_replace() {
+        let src = "a\nb\nc\n";
+        let del = Suggestion::new("d", Applicability::MachineApplicable, vec![Edit::delete(2)]);
+        let rep = Suggestion::new(
+            "r",
+            Applicability::MachineApplicable,
+            vec![Edit::replace(3, "C")],
+        );
+        assert_eq!(apply_suggestions(src, &[&del, &rep]), "a\nC\n");
+    }
+
+    #[test]
+    fn multi_line_replacement_inserts() {
+        let src = "a\nb\n";
+        let s = Suggestion::new(
+            "insert",
+            Applicability::MachineApplicable,
+            vec![Edit::replace(2, "b\njournal out.jl")],
+        );
+        assert_eq!(apply_suggestions(src, &[&s]), "a\nb\njournal out.jl\n");
+    }
+
+    #[test]
+    fn conflicting_suggestions_first_wins() {
+        let src = "a\nb\n";
+        let s1 = Suggestion::new(
+            "one",
+            Applicability::MachineApplicable,
+            vec![Edit::replace(1, "A")],
+        );
+        let s2 = Suggestion::new(
+            "two",
+            Applicability::MachineApplicable,
+            vec![Edit::replace(1, "X"), Edit::delete(2)],
+        );
+        // s2 touches line 1, already claimed by s1: the whole suggestion
+        // is deferred, including its delete of line 2.
+        assert_eq!(apply_suggestions(src, &[&s1, &s2]), "A\nb\n");
+    }
+
+    #[test]
+    fn out_of_range_and_zero_lines_are_ignored() {
+        let src = "a\n";
+        let s = Suggestion::new(
+            "oob",
+            Applicability::MachineApplicable,
+            vec![Edit::delete(7)],
+        );
+        let z = Suggestion::new(
+            "zero",
+            Applicability::MachineApplicable,
+            vec![Edit::delete(0)],
+        );
+        assert_eq!(apply_suggestions(src, &[&s, &z]), "a\n");
+    }
+}

@@ -2,92 +2,13 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::ir::{LogicModel, ModelGate};
 use crate::{DiagCode, Diagnostic, Diagnostics, Span};
 
-/// One gate in a [`LogicModel`].
-#[derive(Debug, Clone)]
-struct ModelGate {
-    output: String,
-    inputs: Vec<String>,
-    span: Span,
-}
-
-/// An abstract combinational netlist: primary inputs/outputs and gates.
-///
-/// Populated from a *raw* (syntax-only) parse so that structural defects
-/// — cycles, undriven signals — surface as diagnostics with source
-/// locations instead of opaque parse failures.
-///
-/// # Example
-///
-/// ```
-/// use semsim_check::{check_logic, DiagCode, LogicModel};
-///
-/// let mut m = LogicModel::new();
-/// m.add_input("a");
-/// m.add_output("y");
-/// m.add_gate("y", ["a", "ghost"]);
-/// let diags = check_logic(&m);
-/// assert!(diags.iter().any(|d| d.code == DiagCode::UndrivenInput));
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct LogicModel {
-    inputs: Vec<(String, Span)>,
-    outputs: Vec<(String, Span)>,
-    gates: Vec<ModelGate>,
-}
-
-impl LogicModel {
-    /// An empty model.
-    pub fn new() -> Self {
-        LogicModel::default()
-    }
-
-    /// Declares a primary input.
-    pub fn add_input(&mut self, name: impl Into<String>) {
-        self.inputs.push((name.into(), Span::NONE));
-    }
-
-    /// Declares a primary input at `span`.
-    pub fn add_input_at(&mut self, name: impl Into<String>, span: Span) {
-        self.inputs.push((name.into(), span));
-    }
-
-    /// Declares a primary output.
-    pub fn add_output(&mut self, name: impl Into<String>) {
-        self.outputs.push((name.into(), Span::NONE));
-    }
-
-    /// Declares a primary output at `span`.
-    pub fn add_output_at(&mut self, name: impl Into<String>, span: Span) {
-        self.outputs.push((name.into(), span));
-    }
-
-    /// Adds a gate driving `output` from `inputs`.
-    pub fn add_gate<I, S>(&mut self, output: impl Into<String>, inputs: I)
-    where
-        I: IntoIterator<Item = S>,
-        S: Into<String>,
-    {
-        self.add_gate_at(output, inputs, Span::NONE);
-    }
-
-    /// [`LogicModel::add_gate`] with a source location.
-    pub fn add_gate_at<I, S>(&mut self, output: impl Into<String>, inputs: I, span: Span)
-    where
-        I: IntoIterator<Item = S>,
-        S: Into<String>,
-    {
-        self.gates.push(ModelGate {
-            output: output.into(),
-            inputs: inputs.into_iter().map(Into::into).collect(),
-            span,
-        });
-    }
-}
-
-/// Runs the structural checks: SC006 (combinational loops) and SC007
-/// (undriven inputs — errors; unused gate outputs — warnings).
+/// Runs the structural checks: SC006 (combinational loops), SC007
+/// (undriven inputs — errors; unused gate outputs — warnings), and
+/// SC014 (dead primary inputs with no fanout path to any primary
+/// output, see [`crate::reach`]).
 pub fn check_logic(model: &LogicModel) -> Diagnostics {
     let mut diags = Diagnostics::new();
     let input_set: HashSet<&str> = model.inputs.iter().map(|(n, _)| n.as_str()).collect();
@@ -141,7 +62,7 @@ pub fn check_logic(model: &LogicModel) -> Diagnostics {
     let consumed: HashSet<&str> = model
         .gates
         .iter()
-        .flat_map(|g| g.inputs.iter().map(|s| s.as_str()))
+        .flat_map(|g| g.inputs.iter().map(std::string::String::as_str))
         .collect();
     let output_set: HashSet<&str> = model.outputs.iter().map(|(n, _)| n.as_str()).collect();
     for g in &model.gates {
@@ -194,6 +115,10 @@ pub fn check_logic(model: &LogicModel) -> Diagnostics {
             cyclic.first().map_or(Span::NONE, |g| g.span),
         ));
     }
+
+    // SC014 (logic facet): primary inputs with no fanout path to any
+    // primary output.
+    diags.extend(crate::reach::check_fanout(model));
 
     diags.sort();
     diags

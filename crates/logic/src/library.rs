@@ -15,7 +15,10 @@ fn gate(kind: GateKind, output: impl Into<String>, inputs: &[&str]) -> Gate {
     Gate {
         kind,
         output: output.into(),
-        inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        inputs: inputs
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect(),
     }
 }
 

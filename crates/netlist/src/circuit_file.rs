@@ -22,6 +22,13 @@
 //! | `adaptive <theta> <refresh>` | use the adaptive solver |
 //! | `seed <n>` | RNG seed |
 //! | `journal <path>` | default journal file for crash-safe batch execution |
+//! | `jump <node> <t> <V>` | step the source on `<node>` to `V` volts at time `t` (s) |
+//! | `probe <node> <every>` | print the potential of `<node>` every `every` events |
+//!
+//! Lines starting with `*` are comments too (SPICE idiom). A comment —
+//! either form — containing `lint: allow SCxxx` suppresses that
+//! diagnostic: file-wide when the comment stands alone on its line,
+//! line-scoped when it trails a directive.
 
 use crate::ParseError;
 
@@ -81,6 +88,36 @@ pub struct SweepSpec {
     pub step: f64,
 }
 
+/// A `jump` declaration: a voltage step applied mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JumpDecl {
+    /// Node whose source is stepped (must carry a `vdc`).
+    pub node: usize,
+    /// Time of the step (s, ≥ 0).
+    pub time: f64,
+    /// Voltage after the step (V).
+    pub voltage: f64,
+}
+
+/// A `probe` declaration: periodic potential readout of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeDecl {
+    /// Probed node number.
+    pub node: usize,
+    /// Sampling period in events (> 0).
+    pub every: u64,
+}
+
+/// One `lint: allow SCxxx` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintAllow {
+    /// The suppressed code, upper-cased (e.g. `"SC014"`).
+    pub code: String,
+    /// Line the pragma applies to; 0 = whole file (the pragma stood
+    /// alone on its line).
+    pub line: usize,
+}
+
 /// Superconducting declarations (`super`, `gap`, `tc`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuperDecl {
@@ -121,6 +158,14 @@ pub struct CircuitSpans {
     pub jumps: usize,
     /// Line of the `journal` directive.
     pub journal: usize,
+    /// Line of the `adaptive` directive.
+    pub adaptive: usize,
+    /// Line of the `record` directive.
+    pub record: usize,
+    /// Line of each `jump` directive.
+    pub stimuli: Vec<usize>,
+    /// Line of each `probe` directive.
+    pub probes: Vec<usize>,
 }
 
 /// A parsed circuit input file.
@@ -162,6 +207,12 @@ pub struct CircuitFile {
     pub seed: Option<u64>,
     /// Default journal path for batch execution (`journal` directive).
     pub journal: Option<String>,
+    /// Mid-run voltage steps (`jump` directives) in file order.
+    pub stimuli: Vec<JumpDecl>,
+    /// Potential probes (`probe` directives) in file order.
+    pub probes: Vec<ProbeDecl>,
+    /// `lint: allow` pragmas (not part of equality).
+    pub allows: Vec<LintAllow>,
     /// Source locations of the declarations (not part of equality).
     pub spans: CircuitSpans,
 }
@@ -188,6 +239,8 @@ impl PartialEq for CircuitFile {
             && self.adaptive == other.adaptive
             && self.seed == other.seed
             && self.journal == other.journal
+            && self.stimuli == other.stimuli
+            && self.probes == other.probes
     }
 }
 
@@ -212,7 +265,35 @@ impl Default for CircuitFile {
             adaptive: None,
             seed: None,
             journal: None,
+            stimuli: Vec::new(),
+            probes: Vec::new(),
+            allows: Vec::new(),
             spans: CircuitSpans::default(),
+        }
+    }
+}
+
+/// Scans a comment body for `lint: allow SCxxx [SCyyy ...]` and
+/// records one [`LintAllow`] per code. `scope_line` is 0 when the
+/// comment stands alone (file-wide suppression).
+pub(crate) fn collect_lint_allows(comment: &str, scope_line: usize, allows: &mut Vec<LintAllow>) {
+    let Some(idx) = comment.find("lint:") else {
+        return;
+    };
+    let rest = comment[idx + "lint:".len()..].trim_start();
+    let Some(codes) = rest.strip_prefix("allow") else {
+        return;
+    };
+    for tok in codes.split_whitespace() {
+        let code = tok.trim_matches(',').to_ascii_uppercase();
+        if code.starts_with("SC")
+            && code.len() == 5
+            && code[2..].chars().all(|c| c.is_ascii_digit())
+        {
+            allows.push(LintAllow {
+                code,
+                line: scope_line,
+            });
         }
     }
 }
@@ -252,7 +333,19 @@ impl CircuitFile {
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = lineno + 1;
-            let content = raw.split('#').next().unwrap_or("").trim();
+            if raw.trim_start().starts_with('*') {
+                // SPICE-style full-line comment; may carry a pragma.
+                collect_lint_allows(raw.trim_start(), 0, &mut file.allows);
+                continue;
+            }
+            let mut split = raw.splitn(2, '#');
+            let content = split.next().unwrap_or("").trim();
+            if let Some(comment) = split.next() {
+                // A pragma trailing a directive is line-scoped; a
+                // pragma on its own line suppresses file-wide.
+                let scope = if content.is_empty() { 0 } else { line };
+                collect_lint_allows(comment, scope, &mut file.allows);
+            }
             if content.is_empty() {
                 continue;
             }
@@ -365,6 +458,7 @@ impl CircuitFile {
                         to: parse_num(parts[2], line, "junction id")?,
                         every: parse_num(parts[3], line, "period")?,
                     });
+                    file.spans.record = line;
                 }
                 "jumps" => {
                     expect_args(&parts, 2, line, "jumps")?;
@@ -413,6 +507,35 @@ impl CircuitFile {
                         parse_num(parts[1], line, "threshold")?,
                         parse_num(parts[2], line, "refresh interval")?,
                     ));
+                    file.spans.adaptive = line;
+                }
+                "jump" => {
+                    expect_args(&parts, 3, line, "jump")?;
+                    let decl = JumpDecl {
+                        node: parse_num(parts[1], line, "node")?,
+                        time: parse_num(parts[2], line, "time")?,
+                        voltage: parse_num(parts[3], line, "voltage")?,
+                    };
+                    if !decl.time.is_finite() || decl.time < 0.0 {
+                        return Err(ParseError::new(line, "jump time must be finite and ≥ 0"));
+                    }
+                    if !decl.voltage.is_finite() {
+                        return Err(ParseError::new(line, "jump voltage must be finite"));
+                    }
+                    file.stimuli.push(decl);
+                    file.spans.stimuli.push(line);
+                }
+                "probe" => {
+                    expect_args(&parts, 2, line, "probe")?;
+                    let decl = ProbeDecl {
+                        node: parse_num(parts[1], line, "node")?,
+                        every: parse_num(parts[2], line, "period")?,
+                    };
+                    if decl.every == 0 {
+                        return Err(ParseError::new(line, "probe period must be nonzero"));
+                    }
+                    file.probes.push(decl);
+                    file.spans.probes.push(line);
                 }
                 "seed" => {
                     expect_args(&parts, 1, line, "seed")?;
@@ -567,6 +690,12 @@ impl CircuitFile {
         }
         if let Some(j) = &self.journal {
             out.push_str(&format!("journal {j}\n"));
+        }
+        for j in &self.stimuli {
+            out.push_str(&format!("jump {} {:e} {}\n", j.node, j.time, j.voltage));
+        }
+        for p in &self.probes {
+            out.push_str(&format!("probe {} {}\n", p.node, p.every));
         }
         out
     }
@@ -737,5 +866,85 @@ sweep 2 0.02 0.00005
     fn ground_is_not_a_counted_node() {
         let f = CircuitFile::parse("junc 1 0 2 1e-6 1e-18\n").unwrap();
         assert_eq!(f.node_numbers(), vec![2]);
+    }
+
+    #[test]
+    fn jump_and_probe_directives_roundtrip() {
+        let f =
+            CircuitFile::parse("junc 1 1 2 1e-6 1e-18\nvdc 1 0.0\njump 1 1e-9 0.05\nprobe 2 100\n")
+                .unwrap();
+        assert_eq!(
+            f.stimuli,
+            vec![JumpDecl {
+                node: 1,
+                time: 1e-9,
+                voltage: 0.05
+            }]
+        );
+        assert_eq!(
+            f.probes,
+            vec![ProbeDecl {
+                node: 2,
+                every: 100
+            }]
+        );
+        assert_eq!(f.spans.stimuli, vec![3]);
+        assert_eq!(f.spans.probes, vec![4]);
+        let f2 = CircuitFile::parse(&f.to_input_format()).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn malformed_jump_and_probe_rejected() {
+        assert!(CircuitFile::parse("jump 1 -1e-9 0.05\n").is_err());
+        assert!(CircuitFile::parse("jump 1 1e999 0.05\n").is_err());
+        assert!(CircuitFile::parse("jump 1 0 1e999\n").is_err());
+        assert!(CircuitFile::parse("probe 1 0\n").is_err());
+    }
+
+    #[test]
+    fn star_lines_are_comments() {
+        let f = CircuitFile::parse("* header comment\njunc 1 1 2 1e-6 1e-18\n").unwrap();
+        assert_eq!(f.junctions.len(), 1);
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn lint_allow_pragmas_collected_with_scope() {
+        let f = CircuitFile::parse(
+            "* lint: allow SC012\n\
+             junc 1 1 2 1e-6 1e-18\n\
+             sweep 1 0.1 0.001 # lint: allow sc010, SC013\n\
+             # lint: allow SC015\n",
+        )
+        .unwrap();
+        assert_eq!(
+            f.allows,
+            vec![
+                LintAllow {
+                    code: "SC012".into(),
+                    line: 0
+                },
+                LintAllow {
+                    code: "SC010".into(),
+                    line: 3
+                },
+                LintAllow {
+                    code: "SC013".into(),
+                    line: 3
+                },
+                LintAllow {
+                    code: "SC015".into(),
+                    line: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn adaptive_span_recorded() {
+        let f = CircuitFile::parse("junc 1 1 2 1e-6 1e-18\nadaptive 0.1 1000\n").unwrap();
+        assert_eq!(f.adaptive, Some((0.1, 1000)));
+        assert_eq!(f.spans.adaptive, 2);
     }
 }

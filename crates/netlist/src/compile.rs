@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use semsim_core::batch::{batch_ensemble, batch_sweep, BatchOpts, BatchReport, ReplicaSummary};
 use semsim_core::circuit::{Circuit, CircuitBuilder, JunctionId, NodeId};
 use semsim_core::constants::ev_to_joule;
-use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, SweepPoint};
+use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, Stimulus, SweepPoint};
 use semsim_core::health::RunOutcome;
 use semsim_core::par::{par_sweep, Ensemble, EnsembleReport, ParOpts};
 use semsim_core::superconduct::SuperconductingParams;
@@ -209,11 +209,12 @@ impl CircuitFile {
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
 
         let record_junction = self.record_junction(&compiled)?;
-        let events = self.jumps.map(|(e, _)| e).unwrap_or(100_000);
+        let events = self.jumps.map_or(100_000, |(e, _)| e);
 
         match &self.sweep {
             None => {
                 let mut sim = Simulation::new(&compiled.circuit, cfg).map_err(wrap)?;
+                self.schedule_dynamics(&compiled, &mut sim).map_err(wrap)?;
                 let run_result = match self.sim_time {
                     Some(t) => sim.run(RunLength::Time(t)),
                     None => sim.run(RunLength::Events(events)),
@@ -234,7 +235,7 @@ impl CircuitFile {
                 };
                 let bias = self
                     .sweep_source_voltage()
-                    .unwrap_or_else(|| self.sources.first().map(|&(_, v)| v).unwrap_or(0.0));
+                    .unwrap_or_else(|| self.sources.first().map_or(0.0, |&(_, v)| v));
                 Ok(vec![SweepPoint {
                     control: bias,
                     current,
@@ -252,7 +253,10 @@ impl CircuitFile {
                     events / 10,
                     events,
                     opts,
-                    |sim, v| plan.apply(sim, v),
+                    |sim, v| {
+                        plan.apply(sim, v)?;
+                        self.schedule_dynamics(&compiled, sim)
+                    },
                 )
                 .map_err(wrap)
             }
@@ -282,7 +286,7 @@ impl CircuitFile {
         let cfg = self.sim_config()?;
         let wrap = |e: CoreError| ParseError::new(0, e.to_string());
         let record_junction = self.record_junction(&compiled)?;
-        let events = self.jumps.map(|(e, _)| e).unwrap_or(100_000);
+        let events = self.jumps.map_or(100_000, |(e, _)| e);
         let plan = self.sweep_plan(&compiled)?;
         let opts = self.with_default_journal(opts);
         batch_sweep(
@@ -293,7 +297,10 @@ impl CircuitFile {
             events / 10,
             events,
             &opts,
-            |sim, v, _spec| plan.apply(sim, v),
+            |sim, v, _spec| {
+                plan.apply(sim, v)?;
+                self.schedule_dynamics(&compiled, sim)
+            },
         )
         .map_err(wrap)
     }
@@ -327,7 +334,7 @@ impl CircuitFile {
             None => RunLength::Events(events),
         };
         Ensemble::new(&compiled.circuit, cfg, record_junction, runs, length)
-            .run(opts)
+            .run_with(opts, |sim, _replica| self.schedule_dynamics(&compiled, sim))
             .map_err(wrap)
     }
 
@@ -371,7 +378,7 @@ impl CircuitFile {
             0,
             length,
             &opts,
-            |_sim, _replica, _spec| Ok(()),
+            |sim, _replica, _spec| self.schedule_dynamics(&compiled, sim),
         )
         .map_err(wrap)
     }
@@ -389,6 +396,51 @@ impl CircuitFile {
             ));
         }
         Ok((events, runs as usize))
+    }
+
+    /// Applies the file's dynamics to a fresh simulation: `jump`
+    /// directives become scheduled [`Stimulus`] steps, `probe`
+    /// directives attach voltage probes (trace order follows file
+    /// order).
+    ///
+    /// Compilation already guarantees every `jump` targets a `vdc`
+    /// lead and every `probe` a declared node (SC018/SC016 error
+    /// facets), so failures here only arise for hand-built files that
+    /// bypassed [`CircuitFile::compile`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownLead`] / [`CoreError::UnknownNode`] for
+    /// references the compiled circuit cannot resolve; scheduling
+    /// errors from [`Simulation::schedule`].
+    pub fn schedule_dynamics(
+        &self,
+        compiled: &CompiledCircuit,
+        sim: &mut Simulation<'_>,
+    ) -> Result<(), CoreError> {
+        if !self.stimuli.is_empty() {
+            let stimuli = self
+                .stimuli
+                .iter()
+                .map(|j| {
+                    let lead = *compiled
+                        .leads
+                        .get(&j.node)
+                        .ok_or(CoreError::UnknownLead { lead: j.node })?;
+                    Ok(Stimulus {
+                        time: j.time,
+                        lead,
+                        voltage: j.voltage,
+                    })
+                })
+                .collect::<Result<Vec<_>, CoreError>>()?;
+            sim.schedule(stimuli)?;
+        }
+        for p in &self.probes {
+            let node = compiled.node(p.node)?;
+            sim.add_probe(node, p.every);
+        }
+        Ok(())
     }
 
     /// The junction whose current the file reports: the `record`
@@ -425,8 +477,7 @@ impl CircuitFile {
             .sources
             .iter()
             .find(|&&(n, _)| n == spec.node)
-            .map(|&(_, v)| v)
-            .unwrap_or(0.0);
+            .map_or(0.0, |&(_, v)| v);
         let controls = sweep_grid(start, spec.end, spec.step);
         Ok(SweepPlan {
             lead,
@@ -755,6 +806,47 @@ jumps 3000 1
         assert!(err.to_string().contains("nonzero"), "{err}");
         let err = f.execute_ensemble_batch(&BatchOpts::default()).unwrap_err();
         assert!(err.to_string().contains("nonzero"), "{err}");
+    }
+
+    #[test]
+    fn jump_directive_steps_the_bias_mid_run() {
+        let base = CircuitFile::parse(SET_FILE).unwrap();
+        let reference = base.execute().unwrap()[0].current;
+        assert!(reference.abs() > 1e-11);
+        // Step both source leads to zero bias very early: the SET
+        // blockades and the time-averaged current collapses.
+        let text = format!("{SET_FILE}jump 1 1e-9 0.0\njump 2 1e-9 0.0\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let stepped = f.execute().unwrap()[0].current;
+        assert!(
+            stepped.abs() < 0.1 * reference.abs(),
+            "stepped {stepped} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn probe_directive_attaches_a_trace() {
+        let text = format!("{SET_FILE}probe 4 10\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let compiled = f.compile().unwrap();
+        let cfg = f.sim_config().unwrap();
+        let mut sim = Simulation::new(&compiled.circuit, cfg).unwrap();
+        f.schedule_dynamics(&compiled, &mut sim).unwrap();
+        let record = sim.run(RunLength::Events(500)).unwrap();
+        assert_eq!(record.probes.len(), 1);
+        assert!(!record.probes[0].samples().is_empty());
+    }
+
+    #[test]
+    fn dynamics_survive_the_parallel_sweep_path() {
+        // jump on the non-swept source + probe: every sweep point gets
+        // the same schedule, and the parallel driver stays bit-identical.
+        let text = format!("{SET_FILE}symm 1\nsweep 2 0.02 0.01\njump 3 1e-9 0.001\nprobe 4 50\n");
+        let f = CircuitFile::parse(&text).unwrap();
+        let serial = f.execute().unwrap();
+        assert_eq!(serial.len(), 5);
+        let par = f.execute_par(ParOpts::with_threads(4)).unwrap();
+        assert_eq!(serial, par);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod lint;
 mod logic_file;
 
 pub use circuit_file::{
-    CapacitorDecl, CircuitFile, CircuitSpans, JunctionDecl, RecordSpec, SuperDecl, SweepSpec,
+    CapacitorDecl, CircuitFile, CircuitSpans, JumpDecl, JunctionDecl, LintAllow, ProbeDecl,
+    RecordSpec, SuperDecl, SweepSpec,
 };
 pub use compile::CompiledCircuit;
 pub use error::ParseError;

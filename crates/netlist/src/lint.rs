@@ -6,11 +6,11 @@
 use std::collections::HashMap;
 
 use semsim_check::{
-    check_circuit, check_logic, CircuitModel, DiagCode, Diagnostic, Diagnostics, LogicModel,
-    ModelNode, Severity, Span,
+    check_circuit, check_logic, Applicability, CircuitModel, DiagCode, Diagnostic, Diagnostics,
+    Edit, LogicModel, ModelNode, ProbeInfo, Severity, Span, StimulusInfo, Suggestion, SweepInfo,
 };
 
-use crate::{CircuitFile, RawLogicFile};
+use crate::{CircuitFile, LintAllow, RawLogicFile};
 
 /// Boltzmann constant in eV/K, for the BCS gap relation in file units.
 const KB_EV: f64 = 8.617_333_262e-5;
@@ -55,7 +55,11 @@ fn first_mention(file: &CircuitFile) -> HashMap<usize, usize> {
 }
 
 /// Builds the abstract electrical model of a circuit file: `vdc` nodes
-/// become leads, node 0 is ground, everything else is an island.
+/// become leads, node 0 is ground, everything else is an island. On top
+/// of the topology, every dataflow fact the file carries — source
+/// values, the swept parameter, stimuli, probes, recorded junctions —
+/// is registered so the influence-reachability checks (SC014–SC018)
+/// can run.
 fn circuit_model(file: &CircuitFile) -> CircuitModel {
     let mut model = CircuitModel::new();
     let mentions = first_mention(file);
@@ -72,14 +76,15 @@ fn circuit_model(file: &CircuitFile) -> CircuitModel {
         model.set_label(node, n.to_string());
         nodes.insert(n, node);
     }
+    let mut junction_edges = Vec::with_capacity(file.junctions.len());
     for (j, &line) in file.junctions.iter().zip(&file.spans.junctions) {
-        model.add_junction_at(
+        junction_edges.push(model.add_junction_at(
             nodes[&j.node_a],
             nodes[&j.node_b],
             j.conductance,
             j.capacitance,
             Span::line(line),
-        );
+        ));
     }
     for (c, &line) in file.capacitors.iter().zip(&file.spans.capacitors) {
         model.add_capacitor_at(
@@ -89,7 +94,126 @@ fn circuit_model(file: &CircuitFile) -> CircuitModel {
             Span::line(line),
         );
     }
+
+    // Dataflow facts.
+    model.set_temperature(file.temperature);
+    for (&(n, v), &line) in file.sources.iter().zip(&file.spans.sources) {
+        if let Some(&node) = nodes.get(&n).filter(|_| n != 0) {
+            model.set_lead_voltage(node, v, Span::line(line));
+        }
+    }
+    if let Some((threshold, refresh)) = file.adaptive {
+        model.set_adaptive(threshold, refresh, Span::line(file.spans.adaptive));
+    }
+    if let Some(spec) = &file.sweep {
+        if let Some(&node) = nodes.get(&spec.node) {
+            let start = file
+                .sources
+                .iter()
+                .find(|&&(n, _)| n == spec.node)
+                .map_or(0.0, |&(_, v)| v);
+            model.set_sweep(SweepInfo {
+                node,
+                symm: file
+                    .symmetric_with
+                    .and_then(|s| nodes.get(&s).copied())
+                    .filter(|s| *s != node),
+                start,
+                end: spec.end,
+                step: spec.step,
+                span: Span::line(file.spans.sweep),
+            });
+        }
+    }
+    for (j, &line) in file.stimuli.iter().zip(&file.spans.stimuli) {
+        if let Some(&node) = nodes.get(&j.node) {
+            model.add_stimulus(StimulusInfo {
+                node,
+                time: j.time,
+                voltage: j.voltage,
+                span: Span::line(line),
+            });
+        }
+    }
+    for (p, &line) in file.probes.iter().zip(&file.spans.probes) {
+        if let Some(&node) = nodes.get(&p.node) {
+            model.add_probe(ProbeInfo {
+                node,
+                every: p.every,
+                span: Span::line(line),
+            });
+        }
+    }
+    match &file.record {
+        Some(r) => {
+            let span = Span::line(file.spans.record);
+            for (j, &edge) in file.junctions.iter().zip(&junction_edges) {
+                if (r.from..=r.to).contains(&j.id) {
+                    model.mark_observed(edge, span);
+                }
+            }
+        }
+        None => {
+            // Without an explicit `record`, the engine's default output
+            // covers every junction: all of them are observables.
+            for (&edge, &line) in junction_edges.iter().zip(&file.spans.junctions) {
+                model.mark_observed(edge, Span::line(line));
+            }
+        }
+    }
     model
+}
+
+/// Error facets of SC016/SC018 that the abstract model cannot express:
+/// a `jump` or `probe` naming a node number the circuit never declares.
+/// (A `jump` targeting an existing island is caught downstream by the
+/// influence analysis.)
+fn check_dataflow_refs(file: &CircuitFile, diags: &mut Diagnostics) {
+    let known = file.node_numbers();
+    for (j, &line) in file.stimuli.iter().zip(&file.spans.stimuli) {
+        if j.node != 0 && !known.contains(&j.node) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ConflictingStimuli,
+                    format!(
+                        "`jump` names node {}, which the circuit never declares",
+                        j.node
+                    ),
+                    Span::line(line),
+                )
+                .with_severity(Severity::Error),
+            );
+        }
+    }
+    for (p, &line) in file.probes.iter().zip(&file.spans.probes) {
+        if p.node != 0 && !known.contains(&p.node) {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::ConstantProbe,
+                    format!(
+                        "`probe` names node {}, which the circuit never declares",
+                        p.node
+                    ),
+                    Span::line(line),
+                )
+                .with_severity(Severity::Error),
+            );
+        }
+    }
+}
+
+/// Drops findings suppressed by `lint: allow` pragmas: a file-wide
+/// pragma (line 0) silences the code everywhere, a trailing pragma only
+/// on its own line.
+fn apply_allows(diags: &mut Diagnostics, allows: &[LintAllow]) {
+    if allows.is_empty() {
+        return;
+    }
+    diags.retain(|d| {
+        !allows
+            .iter()
+            .any(|a| a.code == d.code.code() && (a.line == 0 || a.line == d.span.line))
+    });
 }
 
 /// SC004: parameters the parser's sign checks cannot catch — values
@@ -278,22 +402,32 @@ fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
         .sources
         .iter()
         .find(|&&(n, _)| n == spec.node)
-        .map(|&(_, v)| v)
-        .unwrap_or(0.0);
+        .map_or(0.0, |&(_, v)| v);
     let distance = spec.end - start;
     if distance != 0.0 && distance.signum() != spec.step.signum() {
-        diags.push(
-            Diagnostic::new(
-                DiagCode::RunawaySweep,
-                format!(
-                    "sweep step {} points away from the end voltage {} (start {start}); \
-                     the compiled sweep auto-corrects the direction",
-                    spec.step, spec.end
-                ),
-                span,
-            )
-            .with_severity(Severity::Warning),
-        );
+        let mut d = Diagnostic::new(
+            DiagCode::RunawaySweep,
+            format!(
+                "sweep step {} points away from the end voltage {} (start {start}); \
+                 the compiled sweep auto-corrects the direction",
+                spec.step, spec.end
+            ),
+            span,
+        )
+        .with_severity(Severity::Warning);
+        if span.is_known() {
+            // The compiled sweep already flips the sign, so writing the
+            // corrected sign into the file changes nothing downstream.
+            d = d.with_suggestion(Suggestion::new(
+                "flip the step sign to match the sweep direction",
+                Applicability::MachineApplicable,
+                vec![Edit::replace(
+                    span.line,
+                    format!("sweep {} {} {}", spec.node, spec.end, -spec.step),
+                )],
+            ));
+        }
+        diags.push(d);
     }
     let points = (distance / spec.step).abs();
     if points > MAX_SWEEP_POINTS {
@@ -313,7 +447,7 @@ fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
     // voltage by adjusting the final interval.
     let frac = (points - points.round()).abs();
     if distance != 0.0 && frac > 1e-6 * points.max(1.0) {
-        diags.push(Diagnostic::new(
+        let mut d = Diagnostic::new(
             DiagCode::NonUniformSweepGrid,
             format!(
                 "sweep range {distance:e} is not an integer multiple of step {:e}; the \
@@ -322,7 +456,21 @@ fn check_sweep(file: &CircuitFile, diags: &mut Diagnostics) {
                 spec.step, spec.end
             ),
             span,
-        ));
+        );
+        if span.is_known() {
+            // Snap the end voltage to the nearest whole number of
+            // steps. Moves the declared end, so a human should look.
+            let snapped = start + spec.step.abs().copysign(distance) * points.round();
+            d = d.with_suggestion(Suggestion::new(
+                "move the end voltage to the nearest whole number of steps",
+                Applicability::MaybeIncorrect,
+                vec![Edit::replace(
+                    span.line,
+                    format!("sweep {} {} {}", spec.node, snapped, spec.step),
+                )],
+            ));
+        }
+        diags.push(d);
     }
 }
 
@@ -365,14 +513,13 @@ fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
                 .sources
                 .iter()
                 .find(|&&(n, _)| n == spec.node)
-                .map(|&(_, v)| v)
-                .unwrap_or(0.0);
+                .map_or(0.0, |&(_, v)| v);
             crate::compile::sweep_grid_len(start, spec.end, spec.step) as f64
         }
         Some(_) => return, // degenerate step: SC010 owns the report
         None => 1.0,
     };
-    let runs = file.jumps.map(|(_, r)| r.max(1)).unwrap_or(1) as f64;
+    let runs = file.jumps.map_or(1, |(_, r)| r.max(1)) as f64;
     let tasks = grid_points * runs;
     if tasks <= UNJOURNALED_TASKS {
         return;
@@ -382,7 +529,7 @@ fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
     } else {
         file.spans.jumps
     });
-    diags.push(Diagnostic::new(
+    let mut d = Diagnostic::new(
         DiagCode::UnjournaledLongSweep,
         format!(
             "this run computes {tasks:.0} points (limit {UNJOURNALED_TASKS:.0} without a \
@@ -390,12 +537,34 @@ fn check_journal(file: &CircuitFile, diags: &mut Diagnostics) {
              `--journal` to make it resumable"
         ),
         span,
-    ));
+    );
+    if span.is_known() {
+        // Re-emit the anchoring directive and append a `journal` line
+        // after it. The path is a guess, hence maybe-incorrect.
+        let anchor = match (&file.sweep, file.jumps) {
+            (Some(s), _) if span.line == file.spans.sweep => {
+                format!("sweep {} {} {}", s.node, s.end, s.step)
+            }
+            (_, Some((e, r))) => format!("jumps {e} {r}"),
+            _ => return,
+        };
+        d = d.with_suggestion(Suggestion::new(
+            "journal the batch so a crash resumes instead of restarting",
+            Applicability::MaybeIncorrect,
+            vec![Edit::replace(
+                span.line,
+                format!("{anchor}\njournal run.jl"),
+            )],
+        ));
+    }
+    diags.push(d);
 }
 
 /// Runs every circuit-level check: the electrical analyses of
-/// `semsim-check` (SC001–SC003, SC005) plus the directive-level checks
-/// (SC004, SC008–SC013). Pure inspection — never fails.
+/// `semsim-check` (SC001–SC003, SC005), the influence-reachability
+/// diagnostics (SC014–SC018), and the directive-level checks (SC004,
+/// SC008–SC013). `lint: allow` pragmas are honored. Pure inspection —
+/// never fails.
 pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     let mut diags = check_circuit(&circuit_model(file));
     check_parameters(file, &mut diags);
@@ -404,11 +573,14 @@ pub fn lint_circuit(file: &CircuitFile) -> Diagnostics {
     check_sweep(file, &mut diags);
     check_ensemble(file, &mut diags);
     check_journal(file, &mut diags);
+    check_dataflow_refs(file, &mut diags);
+    apply_allows(&mut diags, &file.allows);
     diags.sort();
     diags
 }
 
-/// Runs the structural checks (SC006, SC007) on a raw logic netlist.
+/// Runs the structural checks (SC006, SC007) and dead-input analysis
+/// (SC014) on a raw logic netlist, honoring `lint: allow` pragmas.
 pub fn lint_logic(raw: &RawLogicFile) -> Diagnostics {
     let mut model = LogicModel::new();
     for (name, line) in &raw.inputs {
@@ -424,7 +596,10 @@ pub fn lint_logic(raw: &RawLogicFile) -> Diagnostics {
             Span::line(*line),
         );
     }
-    check_logic(&model)
+    let mut diags = check_logic(&model);
+    apply_allows(&mut diags, &raw.allows);
+    diags.sort();
+    diags
 }
 
 #[cfg(test)]
@@ -439,7 +614,7 @@ mod tests {
         )
         .unwrap();
         let diags = lint_circuit(&f);
-        assert!(diags.is_empty(), "{:?}", diags);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
@@ -744,5 +919,241 @@ mod tests {
             .find(|d| d.code == DiagCode::UndrivenInput)
             .expect("SC007");
         assert_eq!(d.span.line, 3);
+    }
+
+    #[test]
+    fn coupling_eps_matches_the_engine() {
+        // The influence analysis restates the engine's screening cutoff
+        // (the check crate cannot depend on semsim-core). This pins the
+        // two constants together.
+        assert_eq!(
+            semsim_check::COUPLING_EPS,
+            semsim_core::circuit::Circuit::COUPLING_EPS
+        );
+    }
+
+    /// Two capacitively disconnected SET components; the sweep drives
+    /// component A while `record` observes only component B.
+    const DEAD_SWEEP: &str = "\
+junc 1 1 3 1e-6 1e-18
+junc 2 3 0 1e-6 1e-18
+junc 3 2 4 1e-6 1e-18
+junc 4 4 0 1e-6 1e-18
+vdc 1 0.0
+vdc 2 0.1
+record 3 4 1
+sweep 1 0.005 0.001
+";
+
+    #[test]
+    fn dead_sweep_is_sc014_with_delete_fix() {
+        let f = CircuitFile::parse(DEAD_SWEEP).unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::DeadSweep)
+            .expect("SC014");
+        assert_eq!(d.span.line, 8);
+        let s = d.suggestion.as_ref().expect("fix");
+        assert_eq!(s.edits, vec![Edit::delete(8)]);
+        assert!(!diags.has_errors());
+    }
+
+    #[test]
+    fn recording_the_swept_component_revives_the_sweep() {
+        let f = CircuitFile::parse(&DEAD_SWEEP.replace("record 3 4 1", "record 1 2 1")).unwrap();
+        let diags = lint_circuit(&f);
+        assert!(
+            !diags.iter().any(|d| d.code == DiagCode::DeadSweep),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn file_wide_pragma_silences_sc014() {
+        let f = CircuitFile::parse(&format!("* lint: allow SC014\n{DEAD_SWEEP}")).unwrap();
+        let diags = lint_circuit(&f);
+        assert!(!diags.iter().any(|d| d.code == DiagCode::DeadSweep));
+    }
+
+    #[test]
+    fn line_scoped_pragma_silences_only_its_line() {
+        let f = CircuitFile::parse(&DEAD_SWEEP.replace(
+            "sweep 1 0.005 0.001",
+            "sweep 1 0.005 0.001 # lint: allow SC014",
+        ))
+        .unwrap();
+        assert!(!lint_circuit(&f)
+            .iter()
+            .any(|d| d.code == DiagCode::DeadSweep));
+        // The same pragma on a different line must not suppress it.
+        let f =
+            CircuitFile::parse(&DEAD_SWEEP.replace("vdc 1 0.0", "vdc 1 0.0 # lint: allow SC014"))
+                .unwrap();
+        assert!(lint_circuit(&f)
+            .iter()
+            .any(|d| d.code == DiagCode::DeadSweep));
+    }
+
+    #[test]
+    fn conflicting_jumps_are_sc018() {
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.0\n\
+             jump 1 1e-9 0.05\njump 1 1e-9 -0.05\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ConflictingStimuli)
+            .expect("SC018");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.line, 5);
+        let s = d.suggestion.as_ref().expect("fix deletes the loser");
+        assert_eq!(s.edits, vec![Edit::delete(4)]);
+    }
+
+    #[test]
+    fn jump_on_undeclared_node_is_sc018_error() {
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.0\njump 9 1e-9 0.05\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ConflictingStimuli)
+            .expect("SC018 unknown node");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("never declares"));
+    }
+
+    #[test]
+    fn probe_on_undeclared_node_is_sc016_error() {
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.0\nprobe 9 100\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ConstantProbe)
+            .expect("SC016 unknown node");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn constant_probe_is_sc016_warning() {
+        // Probing a fixed vdc lead that is neither swept nor stepped.
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.1\nprobe 1 100\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ConstantProbe)
+            .expect("SC016");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 4);
+    }
+
+    #[test]
+    fn theta_regime_violation_is_sc017() {
+        // T = 0.1 K, E_C = e²/2·(2e-18 F) ≈ 40 µeV → E_C/kT ≈ 4645;
+        // θ = 0.3 puts θ·E_C/kT far above the validity limit of 10.
+        let f = CircuitFile::parse(
+            "junc 1 1 2 1e-6 1e-18\njunc 2 2 0 1e-6 1e-18\nvdc 1 0.001\n\
+             temp 0.1\nadaptive 0.3 1000\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::AdaptiveThresholdRegime)
+            .expect("SC017");
+        assert_eq!(d.span.line, 5);
+        let s = d.suggestion.as_ref().expect("tightening fix");
+        assert!(s.is_machine_applicable());
+    }
+
+    #[test]
+    fn sign_flip_fix_attached_to_sc010_warning() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 -0.002\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::RunawaySweep)
+            .expect("SC010 warning");
+        let s = d.suggestion.as_ref().expect("sign-flip fix");
+        assert!(s.is_machine_applicable());
+        assert_eq!(s.edits, vec![Edit::replace(8, "sweep 2 0.02 0.002")]);
+    }
+
+    #[test]
+    fn sc013_snap_fix_lands_on_a_whole_grid() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.003\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::NonUniformSweepGrid)
+            .expect("SC013");
+        let s = d.suggestion.as_ref().expect("snap fix");
+        assert!(!s.is_machine_applicable());
+        // Applying the snapped end must make SC013 go away.
+        let text = s.edits[0].replacement.as_ref().unwrap();
+        let snapped = CircuitFile::parse(&format!(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\n{text}\n"
+        ))
+        .unwrap();
+        assert!(!lint_circuit(&snapped)
+            .iter()
+            .any(|d| d.code == DiagCode::NonUniformSweepGrid));
+    }
+
+    #[test]
+    fn sc012_fix_inserts_a_journal_line() {
+        let f = CircuitFile::parse(
+            "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\n\
+             vdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\ntemp 5\nsweep 2 0.02 0.00001\n",
+        )
+        .unwrap();
+        let diags = lint_circuit(&f);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::UnjournaledLongSweep)
+            .expect("SC012");
+        let s = d.suggestion.as_ref().expect("journal fix");
+        let text = s.edits[0].replacement.as_ref().unwrap();
+        assert!(text.contains('\n') && text.contains("journal"), "{text}");
+    }
+
+    #[test]
+    fn dead_logic_input_is_sc014() {
+        let raw = RawLogicFile::parse("input a b\noutput y\ninv y a\n").unwrap();
+        let diags = lint_logic(&raw);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::DeadSweep)
+            .expect("SC014 logic facet");
+        assert_eq!(d.span.line, 1);
+        let s = d.suggestion.as_ref().expect("rewrite fix");
+        assert_eq!(s.edits, vec![Edit::replace(1, "input a")]);
+    }
+
+    #[test]
+    fn logic_pragma_silences_sc014() {
+        let raw =
+            RawLogicFile::parse("* lint: allow SC014\ninput a b\noutput y\ninv y a\n").unwrap();
+        assert!(lint_logic(&raw).is_empty());
     }
 }

@@ -20,7 +20,8 @@
 
 use std::collections::HashMap;
 
-use crate::ParseError;
+use crate::circuit_file::collect_lint_allows;
+use crate::{LintAllow, ParseError};
 
 /// Supported gate kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +124,8 @@ pub struct RawLogicFile {
     pub outputs: Vec<(String, usize)>,
     /// `(gate, line)` gates in file order.
     pub gates: Vec<(Gate, usize)>,
+    /// `lint: allow` pragmas (same syntax as circuit files).
+    pub allows: Vec<LintAllow>,
 }
 
 impl RawLogicFile {
@@ -139,11 +142,21 @@ impl RawLogicFile {
             inputs: Vec::new(),
             outputs: Vec::new(),
             gates: Vec::new(),
+            allows: Vec::new(),
         };
 
         for (lineno, line_text) in text.lines().enumerate() {
             let line = lineno + 1;
-            let content = line_text.split('#').next().unwrap_or("").trim();
+            if line_text.trim_start().starts_with('*') {
+                collect_lint_allows(line_text.trim_start(), 0, &mut raw.allows);
+                continue;
+            }
+            let mut split = line_text.splitn(2, '#');
+            let content = split.next().unwrap_or("").trim();
+            if let Some(comment) = split.next() {
+                let scope = if content.is_empty() { 0 } else { line };
+                collect_lint_allows(comment, scope, &mut raw.allows);
+            }
             if content.is_empty() {
                 continue;
             }
@@ -176,7 +189,10 @@ impl RawLogicFile {
                     let gate = Gate {
                         kind,
                         output: parts[1].to_string(),
-                        inputs: parts[2..].iter().map(|s| s.to_string()).collect(),
+                        inputs: parts[2..]
+                            .iter()
+                            .map(std::string::ToString::to_string)
+                            .collect(),
                     };
                     let (lo, hi) = kind.fanin_range();
                     if gate.inputs.len() < lo || gate.inputs.len() > hi {
@@ -473,5 +489,26 @@ or cout t2 t3
     fn outputs_may_alias_inputs() {
         let f = LogicFile::parse("input a\noutput a\n").unwrap();
         assert_eq!(f.gate_count(), 0);
+    }
+
+    #[test]
+    fn star_comments_and_pragmas() {
+        let raw =
+            RawLogicFile::parse("* lint: allow SC014\ninput a b # lint: allow SC007\noutput a\n")
+                .unwrap();
+        assert_eq!(raw.inputs.len(), 2);
+        assert_eq!(
+            raw.allows,
+            vec![
+                LintAllow {
+                    code: "SC014".into(),
+                    line: 0
+                },
+                LintAllow {
+                    code: "SC007".into(),
+                    line: 2
+                },
+            ]
+        );
     }
 }

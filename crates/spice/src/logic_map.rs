@@ -242,7 +242,7 @@ mod tests {
     fn inverter_delay_measured() {
         let logic = LogicFile::parse("input a\noutput y\ninv y a\n").unwrap();
         let d = measure_delay(&logic, &params(), "y", 5e-11, 40e-9, 100e-9).unwrap();
-        assert!(d.delay > 0.0 && d.delay < 100e-9, "{:?}", d);
+        assert!(d.delay > 0.0 && d.delay < 100e-9, "{d:?}");
         assert!(d.newton_iterations > 0);
     }
 

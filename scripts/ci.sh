@@ -66,8 +66,18 @@ else
   echo "skip: hotpath speedup floor needs >= 2 cores (host has $cores)"
 fi
 
-echo "==> semsim lint examples/netlists/*"
-./target/release/semsim lint examples/netlists/*
+echo "==> semsim lint --deny warnings --format json (examples + clean fixtures)"
+# The shipped examples and the lint-clean fixtures must stay clean even
+# with every warning escalated; the JSON report must satisfy the
+# schema-version-1 validator the emitter is tested against.
+lintdir=$(mktemp -d)
+./target/release/semsim lint --deny warnings --format json \
+  examples/netlists/* tests/fixtures/lint/clean_*.cir \
+  > "$lintdir/report.json" \
+  || { echo "FAIL: lint found problems:"; cat "$lintdir/report.json"; exit 1; }
+./target/release/semsim json-verify "$lintdir/report.json" \
+  || { echo "FAIL: lint JSON report does not validate"; exit 1; }
+rm -rf "$lintdir"
 
 echo "==> journaled sweep: crash, resume, diff against the clean run"
 jdir=$(mktemp -d)

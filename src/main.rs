@@ -1,7 +1,9 @@
 //! The `semsim` command-line tool.
 //!
 //! ```text
-//! semsim lint <file>...
+//! semsim lint <file>... [--fix] [--format text|json]
+//!                       [--deny SCxxx|warnings] [--allow SCxxx]
+//! semsim json-verify [FILE]
 //! semsim run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
 //!                          [--checkpoint FILE] [--resume [FILE]]
 //!                          [--journal FILE] [--max-retries N]
@@ -9,11 +11,18 @@
 //!                            [--journal FILE] [--resume] [--max-retries N]
 //! ```
 //!
-//! `lint` runs the static netlist checks (diagnostic codes SC001–SC012)
+//! `lint` runs the static netlist checks (diagnostic codes SC001–SC018)
 //! over each file and prints rustc-style diagnostics. Files are treated
 //! as gate-level logic netlists when their first directive is one of the
 //! logic keywords (`input`, `output`, `inv`, `nand`, …) or the file
 //! ends in `.logic`; everything else is parsed as the circuit format.
+//! `--fix` applies every machine-applicable suggestion in place and
+//! re-lints until the file is clean or stable (at most 8 rounds);
+//! `--format json` emits the schema-version-1 report documented in
+//! docs/diagnostics.md; `--deny`/`--allow` escalate or silence
+//! individual codes from the command line (in-source `lint: allow`
+//! pragmas do the same per file). `json-verify` validates a JSON report
+//! read from FILE or stdin against that schema.
 //!
 //! `run` compiles a circuit netlist and executes a Monte Carlo run at
 //! the declared bias, optionally writing a binary checkpoint every N
@@ -35,11 +44,15 @@
 //! docs/robustness.md).
 //!
 //! Exit status: 0 when every file is clean or carries only warnings,
-//! 1 when any file has an error-severity finding or fails to parse,
-//! 2 on usage errors.
+//! 1 when any file has an error-severity finding (including warnings
+//! escalated by `--deny`) or fails to parse, 2 on usage errors.
 
 use std::process::ExitCode;
 
+use semsim::check::{
+    apply_suggestions, report_to_json, validate_report, DiagCode, Diagnostics, JsonFileReport,
+    Severity, Suggestion,
+};
 use semsim::core::batch::{BatchCounts, BatchOpts, RetryPolicy};
 use semsim::core::constants::E_CHARGE;
 use semsim::core::engine::{RunLength, Simulation};
@@ -50,9 +63,25 @@ use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
 const USAGE: &str = "usage: semsim <command>
 
 commands:
-  lint <netlist>...
-      Run the static circuit/logic netlist checks (SC001-SC012) and
-      print rustc-style diagnostics. See docs/diagnostics.md.
+  lint <netlist>... [--fix] [--format text|json]
+                    [--deny SCxxx|warnings] [--allow SCxxx]
+      Run the static circuit/logic netlist checks (SC001-SC018) and
+      print rustc-style diagnostics. --fix applies every
+      machine-applicable suggestion in place and re-lints until the
+      file is clean or stable. --format json emits the stable
+      schema-version-1 report (see docs/diagnostics.md). --deny SCxxx
+      escalates that code's warnings to errors; --deny warnings
+      escalates every warning; --allow SCxxx silences the code (both
+      flags repeat; `# lint: allow SCxxx` pragmas in the netlist do the
+      same per file or per line). Exit status: 0 when every file is
+      clean or carries only warnings, 1 when any file has an error
+      (including escalated warnings) or fails to parse, 2 on usage
+      errors.
+
+  json-verify [FILE]
+      Validate a `semsim lint --format json` report read from FILE (or
+      stdin) against the schema-version-1 contract. Exit status: 0 when
+      the document validates, 1 otherwise.
 
   run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
                     [--checkpoint FILE] [--resume [FILE]]
@@ -104,39 +133,263 @@ fn is_logic_format(path: &str, source: &str) -> bool {
     false
 }
 
-/// Lints one file; returns `true` if it is free of error-severity
-/// findings.
-fn lint_file(path: &str) -> bool {
-    let source = match std::fs::read_to_string(path) {
+/// Output format for `semsim lint`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+}
+
+/// Parsed `semsim lint` options.
+struct LintOpts {
+    files: Vec<String>,
+    /// Apply machine-applicable suggestions in place (`--fix`).
+    fix: bool,
+    format: LintFormat,
+    /// Escalate every warning to an error (`--deny warnings`).
+    deny_warnings: bool,
+    /// Codes escalated to errors (`--deny SCxxx`), normalized uppercase.
+    deny: Vec<String>,
+    /// Codes silenced entirely (`--allow SCxxx`), normalized uppercase.
+    allow: Vec<String>,
+}
+
+/// Validates and normalizes an `SCxxx` code given to `--deny`/`--allow`.
+fn parse_code_arg(flag: &str, value: &str) -> Result<String, String> {
+    let code = value.to_ascii_uppercase();
+    if DiagCode::parse(&code).is_empty() {
+        return Err(format!(
+            "unknown diagnostic code `{value}` for `{flag}` (expected SC001..SC018)"
+        ));
+    }
+    Ok(code)
+}
+
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts {
+        files: Vec::new(),
+        fix: false,
+        format: LintFormat::Text,
+        deny_warnings: false,
+        deny: Vec::new(),
+        allow: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--fix" => opts.fix = true,
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "invalid `--format` value `{other}` (expected `text` or `json`)"
+                        ));
+                    }
+                };
+            }
+            "--deny" => {
+                let v = value("--deny")?;
+                if v == "warnings" {
+                    opts.deny_warnings = true;
+                } else {
+                    opts.deny.push(parse_code_arg("--deny", &v)?);
+                }
+            }
+            "--allow" => {
+                let v = value("--allow")?;
+                opts.allow.push(parse_code_arg("--allow", &v)?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `semsim lint`"));
+            }
+            path => opts.files.push(path.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("`semsim lint` needs at least one netlist file".into());
+    }
+    Ok(opts)
+}
+
+/// What linting one file produced.
+struct FileOutcome {
+    path: String,
+    /// The source text after any `--fix` rewrites (for rendering).
+    source: Option<String>,
+    diags: Diagnostics,
+    /// `(line, message)` when the file could not be read or parsed;
+    /// line 0 means the failure was not tied to a source line.
+    parse_error: Option<(usize, String)>,
+}
+
+/// Parses and lints `source`, picking the front-end by format sniffing.
+fn lint_source(path: &str, source: &str) -> Result<Diagnostics, (usize, String)> {
+    if is_logic_format(path, source) {
+        RawLogicFile::parse(source)
+            .map(|raw| lint_logic(&raw))
+            .map_err(|e| (e.line(), e.to_string()))
+    } else {
+        CircuitFile::parse(source)
+            .map(|file| lint_circuit(&file))
+            .map_err(|e| (e.line(), e.to_string()))
+    }
+}
+
+/// Drops findings whose code is on the `--allow` list.
+fn filter_allowed(diags: &mut Diagnostics, allow: &[String]) {
+    if !allow.is_empty() {
+        diags.retain(|d| !allow.iter().any(|c| c == d.code.code()));
+    }
+}
+
+/// Escalates warnings to errors per `--deny warnings` / `--deny SCxxx`.
+fn escalate_denied(diags: &mut Diagnostics, opts: &LintOpts) {
+    for d in diags.iter_mut() {
+        let denied = opts.deny_warnings || opts.deny.iter().any(|c| c == d.code.code());
+        if denied && d.severity == Severity::Warning {
+            d.severity = Severity::Error;
+        }
+    }
+}
+
+/// Upper bound on `--fix` rounds. Each round either shrinks the finding
+/// set or reaches a fixed point, so this is a safety net, not a tuning
+/// knob.
+const FIX_ROUNDS: usize = 8;
+
+/// Lints one file, applying `--fix` rewrites first when requested.
+fn lint_one(path: &str, opts: &LintOpts) -> FileOutcome {
+    let mut outcome = FileOutcome {
+        path: path.to_string(),
+        source: None,
+        diags: Diagnostics::new(),
+        parse_error: None,
+    };
+    let mut source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read `{path}`: {e}");
-            return false;
+            outcome.parse_error = Some((0, format!("cannot read file: {e}")));
+            return outcome;
         }
     };
-    let diags = if is_logic_format(path, &source) {
-        match RawLogicFile::parse(&source) {
-            Ok(raw) => lint_logic(&raw),
-            Err(e) => {
-                eprintln!("{path}:{}: parse error: {e}", e.line());
-                return false;
+    if opts.fix {
+        for _ in 0..FIX_ROUNDS {
+            let Ok(mut diags) = lint_source(path, &source) else {
+                break;
+            };
+            filter_allowed(&mut diags, &opts.allow);
+            let fixes: Vec<&Suggestion> = diags
+                .iter()
+                .filter_map(|d| d.suggestion.as_ref())
+                .filter(|s| s.is_machine_applicable())
+                .collect();
+            if fixes.is_empty() {
+                break;
             }
-        }
-    } else {
-        match CircuitFile::parse(&source) {
-            Ok(file) => lint_circuit(&file),
-            Err(e) => {
-                eprintln!("{path}:{}: parse error: {e}", e.line());
-                return false;
+            let rewritten = apply_suggestions(&source, &fixes);
+            if rewritten == source {
+                break;
             }
+            if let Err(e) = std::fs::write(path, &rewritten) {
+                outcome.parse_error = Some((0, format!("cannot write fixed file: {e}")));
+                return outcome;
+            }
+            source = rewritten;
         }
-    };
-    if diags.is_empty() {
-        println!("{path}: clean");
-        return true;
     }
-    print!("{}", diags.render(path, Some(&source)));
-    !diags.has_errors()
+    match lint_source(path, &source) {
+        Ok(mut diags) => {
+            filter_allowed(&mut diags, &opts.allow);
+            escalate_denied(&mut diags, opts);
+            diags.sort();
+            outcome.diags = diags;
+        }
+        Err((line, message)) => outcome.parse_error = Some((line, message)),
+    }
+    outcome.source = Some(source);
+    outcome
+}
+
+/// Executes `semsim lint` over every file and prints the report.
+fn lint_files(opts: &LintOpts) -> ExitCode {
+    let outcomes: Vec<FileOutcome> = opts.files.iter().map(|p| lint_one(p, opts)).collect();
+    match opts.format {
+        LintFormat::Text => {
+            for o in &outcomes {
+                match &o.parse_error {
+                    Some((line, message)) if *line > 0 => {
+                        eprintln!("{}:{line}: parse error: {message}", o.path);
+                    }
+                    Some((_, message)) => eprintln!("error: `{}`: {message}", o.path),
+                    None if o.diags.is_empty() => println!("{}: clean", o.path),
+                    None => print!("{}", o.diags.render(&o.path, o.source.as_deref())),
+                }
+            }
+        }
+        LintFormat::Json => {
+            let reports: Vec<JsonFileReport<'_>> = outcomes
+                .iter()
+                .map(|o| JsonFileReport {
+                    path: &o.path,
+                    diags: &o.diags,
+                    parse_error: o.parse_error.clone(),
+                })
+                .collect();
+            print!("{}", report_to_json(&reports));
+        }
+    }
+    let failed = outcomes
+        .iter()
+        .any(|o| o.parse_error.is_some() || o.diags.has_errors());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Executes `semsim json-verify`: validates a lint report read from the
+/// given file (or stdin) against the schema-version-1 contract.
+fn json_verify(args: &[String]) -> ExitCode {
+    if args.len() > 1 || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("error: `semsim json-verify` takes at most one file argument\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let text = match args.first() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+    match validate_report(&text) {
+        Ok(()) => {
+            println!("ok: valid semsim lint report (schema version 1)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: invalid lint report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Parsed `semsim run` / `semsim sweep` options.
@@ -549,21 +802,14 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, files)) if cmd == "lint" && !files.is_empty() => {
-            let mut ok = true;
-            for path in files {
-                ok &= lint_file(path);
+        Some((cmd, rest)) if cmd == "lint" => match parse_lint_opts(rest) {
+            Ok(opts) => lint_files(&opts),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
             }
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
-        Some((cmd, _)) if cmd == "lint" => {
-            eprintln!("error: `semsim lint` needs at least one netlist file\n\n{USAGE}");
-            ExitCode::from(2)
-        }
+        },
+        Some((cmd, rest)) if cmd == "json-verify" => json_verify(rest),
         Some((cmd, rest)) if cmd == "run" => match parse_run_opts("run", rest) {
             Ok(opts) => {
                 if run_file(&opts) {

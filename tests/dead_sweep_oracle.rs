@@ -1,0 +1,104 @@
+//! SC014's dynamic oracle: the sweep the static analysis calls dead is
+//! confirmed dead by actually simulating it — with the RNG seed pinned,
+//! every point of the sweep computes a bit-identical observable — and
+//! the rewrite that revives it (recording the swept component across a
+//! wider range) produces a sweep that measurably varies.
+//!
+//! The fixture is built for an exact zero-temperature argument: two
+//! electrically separate SETs share only ground. The swept component is
+//! biased 0–5 mV against a ≈ 80 mV Coulomb threshold, so at T = 0 every
+//! one of its tunnel rates is exactly 0.0 at every sweep point — the
+//! swept voltage cannot perturb the RNG stream, and the recorded
+//! component's trajectory is bit-for-bit the same run. (The production
+//! sweep drivers deliberately split the seed per grid point, so the
+//! oracle drives the grid by hand with one fixed seed.)
+
+use semsim::check::DiagCode;
+use semsim::core::engine::{RunLength, Simulation};
+use semsim::netlist::{lint_circuit, CircuitFile};
+
+fn fixture_source() -> String {
+    let path = format!(
+        "{}/tests/fixtures/lint/sc014_dead_sweep.cir",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).expect("fixture readable")
+}
+
+/// Runs the file's sweep grid by hand: every point gets a fresh
+/// simulation with the *same* seed, the swept lead set to the grid
+/// voltage, and the same event budget; returns the recorded junction's
+/// time-averaged current per point.
+fn manual_sweep(file: &CircuitFile, grid: &[f64]) -> Vec<f64> {
+    let compiled = file.compile().expect("fixture compiles");
+    let cfg = file.sim_config().expect("config");
+    let spec = file.sweep.as_ref().expect("sweep declared");
+    let lead = compiled.leads[&spec.node];
+    let record = file.record.as_ref().expect("record declared");
+    let junction = compiled.junction(record.from).expect("recorded junction");
+    let events = file.jumps.map(|(e, _)| e).unwrap_or(2000);
+    grid.iter()
+        .map(|&v| {
+            let mut sim = Simulation::new(&compiled.circuit, cfg.clone()).expect("sim");
+            sim.set_lead_voltage(lead, v).expect("set swept voltage");
+            let rec = sim.run(RunLength::Events(events)).expect("run completes");
+            rec.current(junction)
+        })
+        .collect()
+}
+
+#[test]
+fn statically_dead_sweep_is_dynamically_constant() {
+    let source = fixture_source();
+    let file = CircuitFile::parse(&source).expect("fixture parses");
+
+    // Static verdict: SC014, warning severity (the file still runs).
+    let diags = lint_circuit(&file);
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::DeadSweep),
+        "static analysis must flag the sweep: {diags:?}"
+    );
+    assert!(!diags.has_errors());
+
+    // Dynamic oracle: the declared grid, identical seed per point.
+    let grid = [0.0, 0.001, 0.002, 0.003, 0.004, 0.005];
+    let currents = manual_sweep(&file, &grid);
+    assert!(
+        currents[0] != 0.0,
+        "the recorded component conducts at 0.1 V"
+    );
+    for (v, i) in grid.iter().zip(&currents) {
+        assert_eq!(
+            i.to_bits(),
+            currents[0].to_bits(),
+            "dead sweep must be bit-identical at control {v} V (got {i:e} vs {:e})",
+            currents[0]
+        );
+    }
+}
+
+#[test]
+fn recording_the_swept_component_revives_the_sweep() {
+    // Point `record` at the swept component and widen the sweep across
+    // the Coulomb threshold: the lint verdict flips to alive, and the
+    // simulated observable actually varies between grid points.
+    let source = fixture_source()
+        .replace("record 3 4 1", "record 1 2 1")
+        .replace("sweep 1 0.005 0.001", "sweep 1 0.1 0.02");
+    let file = CircuitFile::parse(&source).expect("revived fixture parses");
+
+    let diags = lint_circuit(&file);
+    assert!(
+        !diags.iter().any(|d| d.code == DiagCode::DeadSweep),
+        "recording the swept component revives the sweep: {diags:?}"
+    );
+
+    let grid = [0.0, 0.02, 0.04, 0.06, 0.08, 0.1];
+    let currents = manual_sweep(&file, &grid);
+    let distinct: std::collections::HashSet<u64> = currents.iter().map(|i| i.to_bits()).collect();
+    assert!(
+        distinct.len() > 1,
+        "sweep crossing the threshold must vary: {:?}",
+        grid.iter().zip(&currents).collect::<Vec<_>>()
+    );
+}

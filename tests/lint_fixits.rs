@@ -1,0 +1,320 @@
+//! Fix-it and CLI contract tests: `--fix` idempotence over every lint
+//! fixture, JSON round-trips through the schema validator, and the
+//! binary's exit-code policy (`--deny`/`--allow`, `json-verify`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use semsim::check::{
+    apply_suggestions, parse_json, report_to_json, validate_report, Diagnostics, JsonFileReport,
+    Suggestion,
+};
+use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(format!(
+        "{}/tests/fixtures/lint",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+fn fixture_path(name: &str) -> String {
+    fixtures_dir().join(name).display().to_string()
+}
+
+/// Lints `source`, picking the front-end by file extension (fixtures
+/// never rely on content sniffing). `None` when the text fails to parse.
+fn lint_text(name: &str, source: &str) -> Option<Diagnostics> {
+    if name.ends_with(".logic") {
+        RawLogicFile::parse(source).ok().map(|r| lint_logic(&r))
+    } else {
+        CircuitFile::parse(source).ok().map(|f| lint_circuit(&f))
+    }
+}
+
+/// The in-process mirror of `semsim lint --fix`: apply every
+/// machine-applicable suggestion and re-lint until clean or stable.
+fn fix_to_convergence(name: &str, mut source: String) -> String {
+    for _ in 0..8 {
+        let Some(diags) = lint_text(name, &source) else {
+            break;
+        };
+        let fixes: Vec<&Suggestion> = diags
+            .iter()
+            .filter_map(|d| d.suggestion.as_ref())
+            .filter(|s| s.is_machine_applicable())
+            .collect();
+        if fixes.is_empty() {
+            break;
+        }
+        let rewritten = apply_suggestions(&source, &fixes);
+        if rewritten == source {
+            break;
+        }
+        source = rewritten;
+    }
+    source
+}
+
+/// Every fixture, fixed and re-fixed: the second pass must be a no-op
+/// (byte-identical), and no machine-applicable suggestion may survive
+/// the first pass — the convergence contract `--fix` documents.
+#[test]
+fn fix_is_idempotent_on_every_fixture() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let source = std::fs::read_to_string(&path).expect("readable fixture");
+        let fixed = fix_to_convergence(&name, source);
+        let fixed_again = fix_to_convergence(&name, fixed.clone());
+        assert_eq!(fixed, fixed_again, "{name}: --fix is not idempotent");
+        if let Some(diags) = lint_text(&name, &fixed) {
+            let leftover: Vec<&Suggestion> = diags
+                .iter()
+                .filter_map(|d| d.suggestion.as_ref())
+                .filter(|s| s.is_machine_applicable())
+                .collect();
+            assert!(
+                leftover.is_empty(),
+                "{name}: machine-applicable fixes survive --fix: {leftover:?}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 20, "expected ≥ 20 fixtures, found {checked}");
+}
+
+/// Warning-only fixtures become clean once their machine-applicable
+/// fixes land — the before/after pairs documented in
+/// docs/diagnostics.md.
+#[test]
+fn machine_fixes_clean_their_fixtures() {
+    for name in [
+        "sc010_wrong_sign_sweep.cir",
+        "sc014_dead_sweep.cir",
+        "sc014_dead_input.logic",
+        "sc015_constant_sweep.cir",
+        "sc015_shadowed_jump.cir",
+        "sc016_constant_probe.cir",
+        "sc017_theta_regime.cir",
+        "sc018_conflicting_jumps.cir",
+    ] {
+        let source = std::fs::read_to_string(fixture_path(name)).expect("fixture");
+        let fixed = fix_to_convergence(name, source);
+        let diags = lint_text(name, &fixed).expect("fixed text parses");
+        assert!(diags.is_empty(), "{name} not clean after --fix: {diags:?}");
+    }
+}
+
+/// Every fixture's diagnostics, rendered to JSON, must satisfy the
+/// schema validator and survive a parse round-trip with the counts and
+/// codes intact.
+#[test]
+fn json_report_round_trips_for_every_fixture() {
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let source = std::fs::read_to_string(&path).expect("readable fixture");
+        let diags = lint_text(&name, &source).expect("fixtures parse");
+        let text = report_to_json(&[JsonFileReport {
+            path: &name,
+            diags: &diags,
+            parse_error: None,
+        }]);
+        validate_report(&text).unwrap_or_else(|e| panic!("{name}: invalid JSON report: {e}"));
+        let doc = parse_json(&text).expect("report parses");
+        let files = doc.get("files").and_then(|f| f.as_array()).expect("files");
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].get("path").and_then(|p| p.as_str()), Some(&*name));
+        let listed = files[0]
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .expect("diagnostics");
+        assert_eq!(listed.len(), diags.len(), "{name}: diagnostic count");
+        for (j, d) in listed.iter().zip(diags.iter()) {
+            assert_eq!(
+                j.get("code").and_then(|c| c.as_str()),
+                Some(d.code.code()),
+                "{name}: code mismatch"
+            );
+        }
+    }
+}
+
+fn semsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_semsim"))
+}
+
+/// Scratch file that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str, contents: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!("semsim_{}_{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write scratch file");
+        Scratch(path)
+    }
+
+    fn path(&self) -> String {
+        self.0.display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn warning_only_file_exits_zero() {
+    let out = semsim()
+        .args(["lint", &fixture_path("sc013_non_uniform_grid.cir")])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(0), "warnings alone must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[SC013]"), "{stdout}");
+}
+
+#[test]
+fn deny_warnings_escalates_to_exit_one() {
+    let out = semsim()
+        .args([
+            "lint",
+            "--deny",
+            "warnings",
+            &fixture_path("sc013_non_uniform_grid.cir"),
+        ])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[SC013]"), "{stdout}");
+}
+
+#[test]
+fn deny_single_code_escalates_only_that_code() {
+    let out = semsim()
+        .args([
+            "lint",
+            "--deny",
+            "SC013",
+            &fixture_path("sc013_non_uniform_grid.cir"),
+        ])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(1));
+    let out = semsim()
+        .args([
+            "lint",
+            "--deny",
+            "SC012",
+            &fixture_path("sc013_non_uniform_grid.cir"),
+        ])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(0), "denying another code is inert");
+}
+
+#[test]
+fn allow_silences_the_code() {
+    let out = semsim()
+        .args([
+            "lint",
+            "--allow",
+            "SC013",
+            &fixture_path("sc013_non_uniform_grid.cir"),
+        ])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn error_file_exits_one() {
+    let out = semsim()
+        .args(["lint", &fixture_path("sc001_floating_island.cir")])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn unknown_code_is_a_usage_error() {
+    for flag in ["--deny", "--allow"] {
+        let out = semsim()
+            .args([
+                "lint",
+                flag,
+                "SC999",
+                &fixture_path("sc013_non_uniform_grid.cir"),
+            ])
+            .output()
+            .expect("run semsim");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} SC999 must be usage error"
+        );
+    }
+}
+
+#[test]
+fn json_output_validates_through_json_verify() {
+    let out = semsim()
+        .args([
+            "lint",
+            "--format",
+            "json",
+            &fixture_path("sc013_non_uniform_grid.cir"),
+            &fixture_path("sc001_floating_island.cir"),
+            &fixture_path("clean_jump_probe.cir"),
+        ])
+        .output()
+        .expect("run semsim");
+    assert_eq!(out.status.code(), Some(1), "SC001 is an error");
+    let report = String::from_utf8(out.stdout).expect("utf-8 report");
+    validate_report(&report).expect("CLI emits schema-valid JSON");
+    let scratch = Scratch::new("report.json", &report);
+    let verify = semsim()
+        .args(["json-verify", &scratch.path()])
+        .output()
+        .expect("run json-verify");
+    assert_eq!(verify.status.code(), Some(0));
+    let garbage = Scratch::new("garbage.json", "{\"schema_version\":2}");
+    let verify = semsim()
+        .args(["json-verify", &garbage.path()])
+        .output()
+        .expect("run json-verify");
+    assert_eq!(verify.status.code(), Some(1));
+}
+
+#[test]
+fn fix_flag_rewrites_the_file_in_place() {
+    let source = std::fs::read_to_string(fixture_path("sc016_constant_probe.cir")).unwrap();
+    let scratch = Scratch::new("fixme.cir", &source);
+    let out = semsim()
+        .args(["lint", "--fix", &scratch.path()])
+        .output()
+        .expect("run semsim --fix");
+    assert_eq!(out.status.code(), Some(0));
+    let fixed = std::fs::read_to_string(&scratch.0).expect("rewritten file");
+    assert!(
+        !fixed.contains("probe"),
+        "constant probe line deleted:\n{fixed}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("clean"),
+        "file is clean after --fix"
+    );
+    // A second --fix run is a no-op on the already-fixed file.
+    let out = semsim()
+        .args(["lint", "--fix", &scratch.path()])
+        .output()
+        .expect("run semsim --fix again");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(std::fs::read_to_string(&scratch.0).unwrap(), fixed);
+}

@@ -191,6 +191,139 @@ fn sc013_non_uniform_grid() {
     );
 }
 
+#[test]
+fn sc014_dead_sweep() {
+    assert_diag(
+        "sc014_dead_sweep.cir",
+        DiagCode::DeadSweep,
+        Severity::Warning,
+        8,
+    );
+}
+
+#[test]
+fn sc014_dead_input() {
+    assert_diag(
+        "sc014_dead_input.logic",
+        DiagCode::DeadSweep,
+        Severity::Warning,
+        1,
+    );
+}
+
+#[test]
+fn sc015_constant_sweep() {
+    assert_diag(
+        "sc015_constant_sweep.cir",
+        DiagCode::ConstantFoldableSweep,
+        Severity::Warning,
+        8,
+    );
+}
+
+#[test]
+fn sc015_shadowed_jump() {
+    assert_diag(
+        "sc015_shadowed_jump.cir",
+        DiagCode::ConstantFoldableSweep,
+        Severity::Warning,
+        6,
+    );
+}
+
+#[test]
+fn sc016_constant_probe() {
+    assert_diag(
+        "sc016_constant_probe.cir",
+        DiagCode::ConstantProbe,
+        Severity::Warning,
+        5,
+    );
+}
+
+#[test]
+fn sc017_theta_regime() {
+    assert_diag(
+        "sc017_theta_regime.cir",
+        DiagCode::AdaptiveThresholdRegime,
+        Severity::Warning,
+        5,
+    );
+}
+
+#[test]
+fn sc018_conflicting_jumps() {
+    assert_diag(
+        "sc018_conflicting_jumps.cir",
+        DiagCode::ConflictingStimuli,
+        Severity::Error,
+        6,
+    );
+}
+
+/// The `clean_*` fixtures exercise the dataflow directives (`jump`,
+/// `probe`, `adaptive`) in configurations the checks must accept.
+#[test]
+fn clean_fixtures_are_clean() {
+    for name in ["clean_jump_probe.cir", "clean_adaptive_ok.cir"] {
+        let (_, diags) = fixture(name);
+        assert!(diags.is_empty(), "{name} is not clean: {diags:?}");
+    }
+}
+
+/// A netlist with several findings on scattered lines: the diagnostics
+/// come out sorted by (line, code) regardless of check-pass order, and
+/// re-linting renders byte-identical output (the golden ordering
+/// contract CI and editors rely on).
+#[test]
+fn diagnostics_are_ordered_and_byte_stable() {
+    let source = "\
+junc 1 1 3 1e-6 1e-18
+junc 2 3 0 1e-6 1e-18
+junc 3 2 3 1e-6 1e-18
+vdc 1 0.1
+vdc 2 0.0
+temp 0.1
+adaptive 0.3 1000
+probe 2 100
+jump 1 1e-9 0.05
+jump 1 1e-9 0.05
+";
+    let lint = || lint_circuit(&CircuitFile::parse(source).expect("parses"));
+    let diags = lint();
+    let found: Vec<(usize, &str)> = diags.iter().map(|d| (d.span.line, d.code.code())).collect();
+    assert_eq!(
+        found,
+        vec![(7, "SC017"), (8, "SC016"), (10, "SC015")],
+        "diagnostics must be sorted by (line, code)"
+    );
+    assert_eq!(
+        diags.render("ordered.cir", Some(source)),
+        lint().render("ordered.cir", Some(source)),
+        "re-linting must render byte-identical output"
+    );
+}
+
+/// In-source allow pragmas silence findings at the golden level too: a
+/// file-wide `*` pragma and a line-scoped trailing pragma.
+#[test]
+fn allow_pragmas_silence_fixture_findings() {
+    let base = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/lint/sc015_constant_sweep.cir",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("fixture readable");
+    let file_wide = format!("* lint: allow SC015\n{base}");
+    let diags = lint_circuit(&CircuitFile::parse(&file_wide).expect("parses"));
+    assert!(diags.is_empty(), "file-wide pragma failed: {diags:?}");
+    let line_scoped = base.replace(
+        "sweep 2 -0.02 0.002",
+        "sweep 2 -0.02 0.002 # lint: allow SC015",
+    );
+    let diags = lint_circuit(&CircuitFile::parse(&line_scoped).expect("parses"));
+    assert!(diags.is_empty(), "line-scoped pragma failed: {diags:?}");
+}
+
 /// The example netlists shipped with the crate must lint clean — they
 /// are what `semsim lint` is demonstrated on in the README.
 #[test]
