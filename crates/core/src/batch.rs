@@ -51,6 +51,8 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::checkpoint::{fnv1a64, Writer};
 use crate::circuit::{Circuit, JunctionId};
@@ -93,6 +95,48 @@ impl RetryPolicy {
     }
 }
 
+/// Cooperative cancellation handle for a batch. Clones share one flag;
+/// once [`CancelToken::cancel`] fires, workers finish (and journal) the
+/// point they are on, then skip every remaining task as
+/// [`PointStatus::Cancelled`] — the batch returns a salvageable partial
+/// [`BatchReport`] instead of tearing down.
+///
+/// Cancellation never changes a *computed* value: points finished
+/// before the flag flipped are bit-identical to the uninterrupted run,
+/// so a cancelled-then-resumed batch still satisfies the determinism
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flips the shared flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Token equality is identity: two tokens are equal when they share
+/// the same flag (so `BatchOpts` can stay `PartialEq`).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
 /// Options of one batch run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchOpts {
@@ -105,6 +149,18 @@ pub struct BatchOpts {
     /// Restore already-journaled points instead of recomputing them
     /// (no-op when the file does not exist yet).
     pub resume: bool,
+    /// Replace the configuration's run supervisor for every point
+    /// (wall-clock/event budgets). Applied *before* the journal
+    /// fingerprint is computed, so a journal written under one budget
+    /// is refused under another.
+    pub supervisor: Option<Supervisor>,
+    /// Cooperative cancellation: when the token fires, remaining points
+    /// finish as [`PointStatus::Cancelled`] and the partial report is
+    /// salvaged.
+    pub cancel: Option<CancelToken>,
+    /// Scripted faults for the batch's attempts (testing only).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<BatchFaultPlan>,
 }
 
 /// What kind of recovery step an attempt is.
@@ -204,6 +260,9 @@ pub enum PointStatus {
     Faulted,
     /// Restored from the journal without recomputation.
     Skipped,
+    /// Never ran: a [`CancelToken`] fired before this point started.
+    /// Carries no value; a journaled resume recomputes it.
+    Cancelled,
 }
 
 /// Everything known about one point of a batch.
@@ -233,6 +292,8 @@ pub struct BatchCounts {
     pub faulted: usize,
     /// Points restored from the journal.
     pub skipped: usize,
+    /// Points that never ran because the batch was cancelled.
+    pub cancelled: usize,
 }
 
 impl BatchCounts {
@@ -242,13 +303,14 @@ impl BatchCounts {
             PointStatus::Recovered { .. } => self.recovered += 1,
             PointStatus::Faulted => self.faulted += 1,
             PointStatus::Skipped => self.skipped += 1,
+            PointStatus::Cancelled => self.cancelled += 1,
         }
     }
 
     /// Total points tallied.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.ok + self.recovered + self.faulted + self.skipped
+        self.ok + self.recovered + self.faulted + self.skipped + self.cancelled
     }
 }
 
@@ -285,6 +347,9 @@ pub struct BatchReport<T> {
     pub retries: u64,
     /// Corrupt journal-tail bytes discarded on resume (0 otherwise).
     pub discarded_tail_bytes: usize,
+    /// Which check the discarded tail failed (`None` when no tail was
+    /// discarded).
+    pub discarded_tail_reason: Option<String>,
 }
 
 impl<T> BatchReport<T> {
@@ -293,10 +358,11 @@ impl<T> BatchReport<T> {
         self.points.iter().map(|p| p.item.as_ref())
     }
 
-    /// `true` when no point faulted — every value is present.
+    /// `true` when no point faulted or was cancelled — every value is
+    /// present.
     #[must_use]
     pub fn is_complete(&self) -> bool {
-        self.counts.faulted == 0
+        self.counts.faulted == 0 && self.counts.cancelled == 0
     }
 
     /// The lowest-index faulted point, if any.
@@ -335,6 +401,16 @@ fn attempt_config(config: &SimConfig, spec: &AttemptSpec) -> SimConfig {
                 refresh_interval,
             };
         }
+    }
+    cfg
+}
+
+/// Applies [`BatchOpts::supervisor`] (if any) to the configuration the
+/// whole batch runs — and fingerprints — under.
+fn effective_config(config: &SimConfig, opts: &BatchOpts) -> SimConfig {
+    let mut cfg = config.clone();
+    if let Some(supervisor) = opts.supervisor {
+        cfg.supervisor = supervisor;
     }
     cfg
 }
@@ -472,6 +548,7 @@ where
 /// The generic batch driver: fans the attempt ladders out over the
 /// deterministic work queue, journals completions, folds the report in
 /// task order.
+#[allow(clippy::too_many_arguments)]
 fn run_batch<T, F>(
     tasks: usize,
     master_seed: u64,
@@ -479,6 +556,7 @@ fn run_batch<T, F>(
     par: ParOpts,
     journal: Option<&Journal<T>>,
     restored: &HashMap<usize, JournalEntry<T>>,
+    cancel: Option<&CancelToken>,
     run_attempt: F,
 ) -> Result<BatchReport<T>, CoreError>
 where
@@ -486,11 +564,22 @@ where
     F: Fn(&AttemptSpec) -> Result<(T, HealthReport), CoreError> + Sync,
 {
     let runs = run_tasks(tasks, par, |i| {
+        // Journal-restored points are salvaged even under cancellation
+        // — they cost nothing and keep the partial report maximal.
         if let Some(entry) = restored.get(&i) {
             return Ok(TaskRun {
                 status: PointStatus::Skipped,
                 attempts: entry.attempts.clone(),
                 item: Some(entry.item.clone()),
+                health: HealthReport::empty(),
+                fault: None,
+            });
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Ok(TaskRun {
+                status: PointStatus::Cancelled,
+                attempts: Vec::new(),
+                item: None,
                 health: HealthReport::empty(),
                 fault: None,
             });
@@ -534,6 +623,8 @@ where
         health,
         retries,
         discarded_tail_bytes: journal.map_or(0, Journal::discarded_tail_bytes),
+        discarded_tail_reason: journal
+            .and_then(|j| j.discarded_tail_reason().map(ToOwned::to_owned)),
     })
 }
 
@@ -688,6 +779,7 @@ pub fn batch_sweep<F>(
 where
     F: Fn(&mut Simulation<'_>, f64, &AttemptSpec) -> Result<(), CoreError> + Sync,
 {
+    let config = &effective_config(config, opts);
     let header = JournalHeader {
         master_seed: config.seed,
         tasks: controls.len() as u64,
@@ -702,9 +794,16 @@ where
         opts.par,
         journal.as_ref(),
         &restored,
+        opts.cancel.as_ref(),
         |spec| {
             let cfg = attempt_config(config, spec);
-            let mut apply = |sim: &mut Simulation<'_>, v: f64| setup(sim, v, spec);
+            let mut apply = |sim: &mut Simulation<'_>, v: f64| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = &opts.fault_plan {
+                    plan.arm(sim, spec);
+                }
+                setup(sim, v, spec)
+            };
             run_point_seeded(
                 circuit,
                 cfg,
@@ -856,6 +955,7 @@ pub fn batch_ensemble<F>(
 where
     F: Fn(&mut Simulation<'_>, usize, &AttemptSpec) -> Result<(), CoreError> + Sync,
 {
+    let config = &effective_config(config, opts);
     let header = JournalHeader {
         master_seed: config.seed,
         tasks: replicas as u64,
@@ -870,6 +970,7 @@ where
         opts.par,
         journal.as_ref(),
         &restored,
+        opts.cancel.as_ref(),
         |spec| {
             let mut cfg = attempt_config(config, spec);
             cfg.supervisor = Supervisor {
@@ -877,6 +978,10 @@ where
                 ..cfg.supervisor
             };
             let mut sim = Simulation::new(circuit, cfg)?;
+            #[cfg(feature = "fault-inject")]
+            if let Some(plan) = &opts.fault_plan {
+                plan.arm(&mut sim, spec);
+            }
             setup(&mut sim, spec.task, spec)?;
             if warmup > 0 {
                 sim.run(RunLength::Events(warmup))?;
@@ -904,7 +1009,7 @@ where
 /// is not the solver fallback, so only the fallback can succeed —
 /// proving the degradation ladder reaches it.
 #[cfg(feature = "fault-inject")]
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchFaultPlan {
     panics: Vec<(usize, u64)>,
     poisons: Vec<(usize, u64, usize)>,

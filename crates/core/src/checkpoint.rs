@@ -312,6 +312,11 @@ impl Writer {
     pub fn new() -> Self {
         Writer { buf: Vec::new() }
     }
+    /// The encoded bytes so far (for hashing an encoding in memory).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
     pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }

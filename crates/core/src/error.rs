@@ -98,6 +98,16 @@ pub enum CoreError {
         /// What failed to validate.
         what: &'static str,
     },
+    /// A journal was written by a newer (or otherwise unknown) format
+    /// revision. Distinct from [`CoreError::JournalCorrupt`] so callers
+    /// can tell version skew ("upgrade the reader") from rot ("the file
+    /// is damaged").
+    JournalVersionSkew {
+        /// Version recorded in the journal header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
     /// A structurally valid journal describes a different batch (other
     /// seed, grid, run parameters, or payload kind) and cannot be
     /// resumed against this one.
@@ -170,6 +180,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::JournalCorrupt { what } => {
                 write!(f, "corrupt journal: {what}")
+            }
+            CoreError::JournalVersionSkew { found, supported } => {
+                write!(
+                    f,
+                    "journal version skew: file is version {found}, \
+                     this build reads up to version {supported}"
+                )
             }
             CoreError::JournalMismatch {
                 what,

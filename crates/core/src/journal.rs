@@ -112,11 +112,6 @@ impl JournalHeader {
         let body = &bytes[..HEADER_LEN - 8];
         let mut r = Reader::new(&bytes[8..HEADER_LEN]);
         let version = r.u32("journal version")?;
-        if version != FORMAT_VERSION {
-            return Err(CoreError::JournalCorrupt {
-                what: "unsupported version",
-            });
-        }
         let header = JournalHeader {
             master_seed: r.u64("journal master seed")?,
             tasks: r.u64("journal task count")?,
@@ -124,9 +119,18 @@ impl JournalHeader {
             kind: r.u32("journal payload kind")?,
         };
         let stored = r.u64("journal header checksum")?;
+        // Checksum before version: a rotted version *field* is
+        // corruption; only a resealed header from a genuinely newer
+        // writer reports as skew.
         if stored != fnv1a64(body) {
             return Err(CoreError::JournalCorrupt {
                 what: "header checksum",
+            });
+        }
+        if version != FORMAT_VERSION {
+            return Err(CoreError::JournalVersionSkew {
+                found: version,
+                supported: FORMAT_VERSION,
             });
         }
         Ok(header)
@@ -191,6 +195,11 @@ pub struct Scan<T> {
     /// Bytes after the valid prefix (a torn record, a truncated write,
     /// or bit rot) — safe to discard.
     pub discarded_tail_bytes: usize,
+    /// Which check the first invalid record failed (`None` when the
+    /// file ends cleanly on a record boundary). Surfaced through
+    /// `--resume` and serve-restart logs so operators can tell a torn
+    /// crash write from on-disk rot.
+    pub tail_reason: Option<String>,
 }
 
 pub(crate) fn encode_outcome(w: &mut Writer, outcome: &RunOutcome) {
@@ -285,7 +294,7 @@ fn encode_entry<T: JournalItem>(entry: &JournalEntry<T>) -> Result<Vec<u8>, Core
     let (status_tag, recovered_attempts) = match entry.status {
         PointStatus::Ok => (0u32, 0u32),
         PointStatus::Recovered { attempts } => (1, attempts),
-        PointStatus::Faulted | PointStatus::Skipped => {
+        PointStatus::Faulted | PointStatus::Skipped | PointStatus::Cancelled => {
             return Err(CoreError::JournalCorrupt {
                 what: "only Ok/Recovered points are journalable",
             })
@@ -385,6 +394,7 @@ pub fn scan<T: JournalItem>(bytes: &[u8]) -> Result<Scan<T>, CoreError> {
     let header = JournalHeader::decode(bytes)?;
     let mut entries: Vec<JournalEntry<T>> = Vec::new();
     let mut pos = HEADER_LEN;
+    let mut tail_reason: Option<String> = None;
     loop {
         let remaining = &bytes[pos..];
         if remaining.is_empty() {
@@ -392,27 +402,36 @@ pub fn scan<T: JournalItem>(bytes: &[u8]) -> Result<Scan<T>, CoreError> {
         }
         // A record needs its u32 length frame, body, and u64 checksum
         // all present and consistent; anything else is the torn tail.
+        // The first failed check names the tail so resume logs can say
+        // *why* bytes were discarded, not just how many.
         let Some(len_bytes) = remaining.get(..4) else {
+            tail_reason = Some("torn record: truncated length frame".into());
             break;
         };
         let mut b = [0u8; 4];
         b.copy_from_slice(len_bytes);
         let body_len = u32::from_le_bytes(b) as usize;
         let Some(body) = remaining.get(4..4 + body_len) else {
+            tail_reason = Some("torn record: truncated body".into());
             break;
         };
         let Some(sum_bytes) = remaining.get(4 + body_len..4 + body_len + 8) else {
+            tail_reason = Some("torn record: truncated checksum".into());
             break;
         };
         let mut s = [0u8; 8];
         s.copy_from_slice(sum_bytes);
         if u64::from_le_bytes(s) != fnv1a64(body) {
+            tail_reason = Some("record checksum mismatch".into());
             break;
         }
-        let Ok(entry) = decode_entry::<T>(body, header.tasks) else {
-            break;
-        };
-        entries.push(entry);
+        match decode_entry::<T>(body, header.tasks) {
+            Ok(entry) => entries.push(entry),
+            Err(e) => {
+                tail_reason = Some(e.to_string());
+                break;
+            }
+        }
         pos += 4 + body_len + 8;
     }
     Ok(Scan {
@@ -420,6 +439,7 @@ pub fn scan<T: JournalItem>(bytes: &[u8]) -> Result<Scan<T>, CoreError> {
         entries,
         valid_len: pos,
         discarded_tail_bytes: bytes.len() - pos,
+        tail_reason,
     })
 }
 
@@ -440,6 +460,7 @@ pub struct Journal<T> {
     path: PathBuf,
     restored: Vec<JournalEntry<T>>,
     discarded_tail_bytes: usize,
+    discarded_tail_reason: Option<String>,
 }
 
 impl<T: JournalItem> Journal<T> {
@@ -458,6 +479,7 @@ impl<T: JournalItem> Journal<T> {
             path: path.to_path_buf(),
             restored: Vec::new(),
             discarded_tail_bytes: 0,
+            discarded_tail_reason: None,
         })
     }
 
@@ -496,6 +518,7 @@ impl<T: JournalItem> Journal<T> {
             path: path.to_path_buf(),
             restored: scan.entries,
             discarded_tail_bytes: scan.discarded_tail_bytes,
+            discarded_tail_reason: scan.tail_reason,
         })
     }
 
@@ -526,6 +549,28 @@ impl<T: JournalItem> Journal<T> {
     pub fn discarded_tail_bytes(&self) -> usize {
         self.discarded_tail_bytes
     }
+
+    /// Which check the discarded tail failed (`None` when the journal
+    /// was clean).
+    #[must_use]
+    pub fn discarded_tail_reason(&self) -> Option<&str> {
+        self.discarded_tail_reason.as_deref()
+    }
+}
+
+/// Reads and validates only the header of a journal file, without
+/// decoding records. Used by the serve layer's restart recovery to log
+/// what each surviving journal claims to be — including *why* a
+/// damaged one is refused (version skew, bad magic, checksum).
+///
+/// # Errors
+///
+/// [`CoreError::JournalIo`] when the file cannot be read;
+/// [`CoreError::JournalCorrupt`] / [`CoreError::JournalVersionSkew`]
+/// when the header fails validation.
+pub fn read_header(path: &Path) -> Result<JournalHeader, CoreError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, &e))?;
+    JournalHeader::decode(&bytes)
 }
 
 /// Corrupts the final byte of a journal file in place (testing only;

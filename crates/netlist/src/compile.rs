@@ -18,6 +18,37 @@ use semsim_check::{Diagnostics, Severity};
 
 use crate::{CircuitFile, ParseError};
 
+/// What executing a [`CircuitFile`] means, resolved without compiling:
+/// a declared `sweep` runs one point per grid voltage through
+/// [`CircuitFile::execute_batch`]; anything else runs as an ensemble of
+/// `jumps` replicas (a plain single run is a one-replica ensemble)
+/// through [`CircuitFile::execute_ensemble_batch`]. The serve layer
+/// dispatches jobs on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionKind {
+    /// The file declares a `sweep` with this many grid points.
+    Sweep {
+        /// Points in the voltage grid.
+        points: usize,
+    },
+    /// Independent-replica ensemble (`jumps <events> <runs>`).
+    Ensemble {
+        /// Replica count (1 for a plain single run).
+        replicas: usize,
+    },
+}
+
+impl ExecutionKind {
+    /// Total tasks (batch points) this execution fans out.
+    #[must_use]
+    pub fn tasks(&self) -> usize {
+        match *self {
+            ExecutionKind::Sweep { points } => points,
+            ExecutionKind::Ensemble { replicas } => replicas,
+        }
+    }
+}
+
 /// A compiled circuit plus the mappings from file-level numbering to
 /// core identifiers.
 #[derive(Debug)]
@@ -381,6 +412,29 @@ impl CircuitFile {
             |sim, _replica, _spec| self.schedule_dynamics(&compiled, sim),
         )
         .map_err(wrap)
+    }
+
+    /// Resolves how this file executes — sweep or ensemble — and how
+    /// many batch tasks that fans out. Pure directive inspection, no
+    /// compilation.
+    ///
+    /// # Errors
+    ///
+    /// A zero-work `jumps` declaration ([`ParseError`]), matching
+    /// [`CircuitFile::execute_ensemble_batch`]'s validation.
+    pub fn execution_kind(&self) -> Result<ExecutionKind, ParseError> {
+        match &self.sweep {
+            Some(spec) => {
+                let start = self.sweep_source_voltage().unwrap_or(0.0);
+                Ok(ExecutionKind::Sweep {
+                    points: sweep_grid_len(start, spec.end, spec.step),
+                })
+            }
+            None => {
+                let (_, runs) = self.ensemble_shape()?;
+                Ok(ExecutionKind::Ensemble { replicas: runs })
+            }
+        }
     }
 
     /// The `(events, runs)` declared by `jumps`, defaulting to a single

@@ -40,7 +40,7 @@ pub use circuit_file::{
     CapacitorDecl, CircuitFile, CircuitSpans, JumpDecl, JunctionDecl, LintAllow, ProbeDecl,
     RecordSpec, SuperDecl, SweepSpec,
 };
-pub use compile::CompiledCircuit;
+pub use compile::{CompiledCircuit, ExecutionKind};
 pub use error::ParseError;
 pub use lint::{lint_circuit, lint_logic};
 pub use logic_file::{gate_set_count, Gate, GateKind, LogicFile, RawLogicFile};

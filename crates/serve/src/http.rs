@@ -1,0 +1,326 @@
+//! Minimal HTTP/1.1 over [`std::net`]: just enough server-side parsing
+//! for the job API, a chunked-transfer writer for result streaming, and
+//! a small client used by `semsim call` and the integration tests (the
+//! workspace is offline — no `curl`, no HTTP crates).
+//!
+//! Scope is deliberately tiny and defensive:
+//!
+//! - request line + headers capped at [`MAX_HEAD_BYTES`], bodies at
+//!   [`MAX_BODY_BYTES`] — an oversized or malformed request is a
+//!   structured 4xx, never an allocation blow-up or a panic;
+//! - every response carries `Connection: close` (one request per
+//!   connection keeps the daemon's state machine trivial and makes
+//!   kill-ated connections harmless);
+//! - the client understands both `Content-Length` and chunked framing,
+//!   delivering chunks incrementally so callers can watch a result
+//!   stream grow.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, path, and raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Request target as sent (no query parsing — the API needs none).
+    pub path: String,
+    /// Raw body (empty when the request carried none).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped onto a status code.
+#[derive(Debug)]
+pub struct BadRequest {
+    /// Status to answer with (400 or 413).
+    pub status: u16,
+    /// Human-readable reason (becomes the error body).
+    pub reason: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        BadRequest {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Reads one request off the stream. I/O failures (client gone,
+/// timeout) surface as `Err(None)`; protocol violations as
+/// `Err(Some(BadRequest))` so the caller can still answer politely.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, Option<BadRequest>> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise up to the blank line; BufReader keeps this cheap.
+    let mut last4 = [0u8; 4];
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(None),
+            Ok(_) => {}
+            Err(_) => return Err(None),
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(Some(BadRequest::new(400, "request head too large")));
+        }
+        last4.rotate_left(1);
+        last4[3] = byte[0];
+        if &last4 == b"\r\n\r\n" {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Some(BadRequest::new(400, "malformed request line")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Some(BadRequest::new(400, "unsupported protocol version")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Some(BadRequest::new(400, "malformed header line")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return Err(Some(BadRequest::new(400, "invalid Content-Length"))),
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Some(BadRequest::new(413, "request body too large")));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return Err(Some(BadRequest::new(
+            400,
+            "body shorter than Content-Length",
+        )));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "OK",
+    }
+}
+
+/// Writes a complete (non-chunked) response. `extra_headers` lets the
+/// admission path attach `Retry-After`.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason_phrase(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Writes a JSON response.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    respond(stream, status, "application/json", body, extra_headers)
+}
+
+/// Incremental chunked-transfer writer for the result stream endpoint.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Sends the response head and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (client gone).
+    pub fn start(stream: &'a mut TcpStream, status: u16) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; charset=utf-8\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason_phrase(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one chunk (skipped when empty — an empty chunk would
+    /// terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A collected client response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body, decoded from chunked framing when necessary.
+    pub body: String,
+}
+
+/// Performs one request and streams the body through `on_chunk` as it
+/// arrives (chunk-at-a-time for chunked responses, one delivery for
+/// sized ones). Returns the status code.
+///
+/// # Errors
+///
+/// Socket and framing failures as [`std::io::Error`].
+pub fn fetch(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    on_chunk: &mut dyn FnMut(&[u8]),
+) -> std::io::Result<u16> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    writer.write_all(request.as_bytes())?;
+    writer.flush()?;
+
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("malformed chunk size"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            on_chunk(&chunk);
+        }
+    } else if let Some(n) = content_length {
+        let mut body = vec![0u8; n];
+        reader.read_exact(&mut body)?;
+        on_chunk(&body);
+    } else {
+        let mut body = Vec::new();
+        reader.read_to_end(&mut body)?;
+        on_chunk(&body);
+    }
+    Ok(status)
+}
+
+/// [`fetch`] collecting the whole body.
+///
+/// # Errors
+///
+/// As [`fetch`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let mut collected = Vec::new();
+    let status = fetch(addr, method, path, body, &mut |chunk| {
+        collected.extend_from_slice(chunk);
+    })?;
+    Ok(ClientResponse {
+        status,
+        body: String::from_utf8_lossy(&collected).into_owned(),
+    })
+}

@@ -1,0 +1,37 @@
+//! SEMSIM simulation service: `semsim serve`.
+//!
+//! A zero-dependency HTTP/1.1 daemon over [`std::net`] that runs
+//! netlist and logic jobs through the resilient batch layer
+//! ([`semsim_core::batch`]). The design goal is that *nothing a client
+//! or the environment does produces an unstructured failure*:
+//!
+//! - **Admission control** — a bounded fair queue; saturation answers
+//!   `429 Retry-After`, memory use is capped by construction.
+//! - **Budgets** — per-job wall-clock and event budgets flow through
+//!   the run supervisor; a stuck job ends as a structured `timed-out`
+//!   phase with every completed point salvaged.
+//! - **Cancellation** — `DELETE /jobs/:id` stops a job between events
+//!   and keeps its partial results.
+//! - **Crash safety** — every job's points land in a `SEMSIMJL`
+//!   journal as they complete; `kill -9` at any instant loses at most
+//!   one torn record, which the restart diagnoses, discards, and logs.
+//!   Resumed jobs reproduce their results byte-identically.
+//! - **Fairness** — round-robin across tenants, so one tenant's
+//!   backlog cannot starve another's job.
+//! - **Caching** — completed results are reused for identical
+//!   submissions (keyed on source + every result-determining knob,
+//!   never the tenant).
+//!
+//! See `docs/serving.md` for the HTTP API.
+
+pub mod api;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod runner;
+pub mod server;
+
+pub use api::{parse_job, JobSpec, SourceFormat};
+pub use jobs::{cache_key, Job, JobKind, JobPhase, JobResult, JobStore};
+pub use queue::{JobQueue, PushError};
+pub use server::{run, ServeConfig, Server};

@@ -1,0 +1,193 @@
+//! Fault-injection tests of the daemon (`--features fault-inject`):
+//! scripted worker panics, poisoned rates under a live result stream,
+//! and journal tail corruption between restarts. Every scenario must
+//! end in a structured job state — never a hung client, never a dead
+//! worker pool.
+#![cfg(feature = "fault-inject")]
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use semsim_check::{parse_json, Json};
+use semsim_core::journal::corrupt_journal_tail;
+use semsim_serve::http::request;
+use semsim_serve::{ServeConfig, Server};
+
+const SWEEP: &str = "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\nvdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\nsymm 1\ntemp 5\nrecord 1 2 2\njumps 40000 1\nsweep 2 0.02 0.004\n";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("semsim_servef_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(name: &str) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        data_dir: temp_dir(name),
+        max_job_seconds: 0.0,
+    }
+}
+
+fn str_field<'a>(json: &'a Json, key: &str) -> &'a str {
+    json.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+fn num_field(json: &Json, key: &str) -> f64 {
+    json.get(key).and_then(Json::as_number).unwrap_or(-1.0)
+}
+
+fn wait_terminal(addr: &str, id: &str, limit: Duration) -> Json {
+    let deadline = Instant::now() + limit;
+    loop {
+        let resp = request(addr, "GET", &format!("/jobs/{id}"), None)
+            .expect("request must reach the daemon");
+        assert_eq!(resp.status, 200);
+        let json = parse_json(&resp.body).expect("status must be valid JSON");
+        match str_field(&json, "phase") {
+            "queued" | "running" => {}
+            _ => return json,
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A scripted panic inside a worker's point: the batch isolation
+/// catches it, the retry ladder recomputes the point, the job ends
+/// `done` with a recovery on the books — the pool survives.
+#[test]
+fn worker_panic_mid_job_is_recovered() {
+    let (server, _notes) = Server::start(&config("panic")).unwrap();
+    let addr = server.addr().to_string();
+    let body = format!(
+        "{{\"source\": \"{}\", \"seed\": 5, \"fault\": {{\"panic_at\": [3, 500]}}}}",
+        SWEEP.replace('\n', "\\n")
+    );
+    let resp = request(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let done = wait_terminal(&addr, "j1", Duration::from_secs(300));
+    assert_eq!(str_field(&done, "phase"), "done", "{done:?}");
+    let counts = done.get("counts").unwrap();
+    assert_eq!(num_field(counts, "recovered"), 1.0, "{done:?}");
+    assert_eq!(num_field(counts, "faulted"), 0.0);
+    assert!(num_field(&done, "retries") >= 1.0);
+    // The pool is alive: a second, clean job still runs.
+    let clean = format!(
+        "{{\"source\": \"{}\", \"seed\": 6}}",
+        SWEEP.replace('\n', "\\n")
+    );
+    let resp = request(&addr, "POST", "/jobs", Some(&clean)).unwrap();
+    assert_eq!(resp.status, 202);
+    let done = wait_terminal(&addr, "j2", Duration::from_secs(300));
+    assert_eq!(str_field(&done, "phase"), "done");
+    server.drain();
+    server.join();
+}
+
+/// A poisoned (NaN) rate while a client streams the job: the point is
+/// recovered by retry, the stream stays live, terminates cleanly, and
+/// carries exactly the final report's lines — the client never hangs.
+#[test]
+fn poisoned_rate_during_streamed_job_keeps_the_stream_clean() {
+    let (server, _notes) = Server::start(&config("poison")).unwrap();
+    let addr = server.addr().to_string();
+    let body = format!(
+        "{{\"source\": \"{}\", \"seed\": 8, \"fault\": {{\"poison_rate\": [2, 300, 0]}}}}",
+        SWEEP.replace('\n', "\\n")
+    );
+    let resp = request(&addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let addr2 = addr.clone();
+    let stream =
+        std::thread::spawn(move || request(&addr2, "GET", "/jobs/j1/stream", None).unwrap());
+    let done = wait_terminal(&addr, "j1", Duration::from_secs(300));
+    assert_eq!(str_field(&done, "phase"), "done", "{done:?}");
+    let counts = done.get("counts").unwrap();
+    assert_eq!(num_field(counts, "recovered"), 1.0, "{done:?}");
+    let streamed = stream.join().unwrap();
+    assert_eq!(streamed.status, 200);
+    assert!(
+        streamed.body.ends_with("# done done\n"),
+        "{}",
+        streamed.body
+    );
+    let lines = done.get("lines").unwrap().as_array().unwrap();
+    let expected: String = lines
+        .iter()
+        .map(|l| format!("{}\n", l.as_str().unwrap()))
+        .collect::<String>()
+        + "# done done\n";
+    assert_eq!(streamed.body, expected);
+    server.drain();
+    server.join();
+}
+
+/// Journal tail corruption between daemon restarts: the restart
+/// diagnoses the damaged record, discards exactly the tail, resumes the
+/// intact prefix, and the final result is byte-identical to a clean
+/// run — with the discard visible in both the restart log and the
+/// job's `tail` field.
+#[test]
+fn corrupt_journal_tail_between_restarts_is_diagnosed_and_survived() {
+    // Clean reference.
+    let (clean_server, _) = Server::start(&config("tail_clean")).unwrap();
+    let clean_addr = clean_server.addr().to_string();
+    let body = format!(
+        "{{\"source\": \"{}\", \"seed\": 13}}",
+        SWEEP.replace('\n', "\\n")
+    );
+    let resp = request(&clean_addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202);
+    wait_terminal(&clean_addr, "j1", Duration::from_secs(300));
+    let clean = request(&clean_addr, "GET", "/jobs/j1/stream", None).unwrap();
+    clean_server.drain();
+    clean_server.join();
+
+    // Interrupted run: stop mid-job, then rot the journal's last byte.
+    let cfg = config("tail_rot");
+    let (server_a, _) = Server::start(&cfg).unwrap();
+    let addr_a = server_a.addr().to_string();
+    let resp = request(&addr_a, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = request(&addr_a, "GET", "/jobs/j1", None).unwrap();
+        let json = parse_json(&resp.body).unwrap();
+        if num_field(&json, "points_done") >= 2.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no progress before interrupt");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = request(&addr_a, "DELETE", "/jobs/j1", None);
+    wait_terminal(&addr_a, "j1", Duration::from_secs(120));
+    server_a.drain();
+    server_a.join();
+    std::fs::remove_file(cfg.data_dir.join("j1.done")).unwrap();
+    corrupt_journal_tail(&cfg.data_dir.join("j1.jl")).unwrap();
+
+    let (server_b, notes) = Server::start(&cfg).unwrap();
+    let addr_b = server_b.addr().to_string();
+    assert!(
+        notes
+            .iter()
+            .any(|n| n.contains("discarding") && n.contains("tail")),
+        "restart must diagnose the corrupt tail: {notes:?}"
+    );
+    let done = wait_terminal(&addr_b, "j1", Duration::from_secs(300));
+    assert_eq!(str_field(&done, "phase"), "done", "{done:?}");
+    assert!(
+        str_field(&done, "tail").contains("discarded"),
+        "the job must report its discarded tail: {done:?}"
+    );
+    let resumed = request(&addr_b, "GET", "/jobs/j1/stream", None).unwrap();
+    assert_eq!(
+        resumed.body, clean.body,
+        "rotted-tail resume must still be byte-identical"
+    );
+    server_b.drain();
+    server_b.join();
+}

@@ -101,6 +101,81 @@ diff "$jdir/clean.out" "$jdir/resumed.out" \
   || { echo "FAIL: resumed sweep differs from the uninterrupted run"; exit 1; }
 echo "resume OK: $(grep 'batch:' "$jdir/resumed.err")"
 
+echo "==> serve: kill -9 mid-sweep, restart, byte-identical stream; 429; drain"
+sdir=$(mktemp -d)
+trap 'rm -rf "$jdir" "$sdir"' EXIT
+bin=./target/release/semsim
+port=$((18100 + RANDOM % 800))
+# A sweep heavy enough (21 points x 2M events) to be mid-flight when
+# the daemon is killed.
+cat > "$sdir/job.json" <<'JSON'
+{"source": "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\nvdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\nsymm 1\ntemp 5\nrecord 1 2 2\njumps 2000000 1\nsweep 2 0.02 0.002\n", "seed": 77}
+JSON
+wait_phase() { # addr phase
+  for _ in $(seq 1 480); do
+    "$bin" call "$1" GET /jobs/j1 2>/dev/null | grep -q "\"phase\":\"$2\"" && return 0
+    sleep 0.25
+  done
+  return 1
+}
+# Clean baseline.
+"$bin" serve --port "$port" --workers 1 --data-dir "$sdir/clean" 2> "$sdir/clean.log" &
+spid=$!
+sleep 0.5
+"$bin" call "127.0.0.1:$port" POST /jobs "$sdir/job.json" > /dev/null 2>&1
+wait_phase "127.0.0.1:$port" done \
+  || { echo "FAIL: clean serve job never finished"; exit 1; }
+"$bin" call "127.0.0.1:$port" GET /jobs/j1/stream > "$sdir/clean.txt" 2>/dev/null
+"$bin" call "127.0.0.1:$port" POST /drain > /dev/null 2>&1
+wait $spid || { echo "FAIL: drained daemon exited nonzero"; exit 1; }
+# Crash run: same job, kill -9 once >= 2 points are journaled, restart
+# on the same data dir, and the streamed result must be byte-identical.
+"$bin" serve --port "$port" --workers 1 --data-dir "$sdir/crash" 2> "$sdir/crash.log" &
+spid=$!
+sleep 0.5
+"$bin" call "127.0.0.1:$port" POST /jobs "$sdir/job.json" > /dev/null 2>&1
+progressed=0
+for _ in $(seq 1 480); do
+  n=$("$bin" call "127.0.0.1:$port" GET /jobs/j1 2>/dev/null \
+    | grep -o '"points_done":[0-9]*' | cut -d: -f2)
+  if [ "${n:-0}" -ge 2 ]; then progressed=1; break; fi
+  sleep 0.25
+done
+[ "$progressed" = 1 ] || { echo "FAIL: no serve progress before kill"; exit 1; }
+kill -9 $spid; wait $spid 2>/dev/null || true
+"$bin" serve --port "$port" --workers 1 --data-dir "$sdir/crash" 2> "$sdir/restart.log" &
+spid=$!
+sleep 0.5
+grep -q "restored from journal" "$sdir/restart.log" \
+  || { echo "FAIL: restart did not resume the interrupted job"; cat "$sdir/restart.log"; exit 1; }
+wait_phase "127.0.0.1:$port" done \
+  || { echo "FAIL: resumed serve job never finished"; exit 1; }
+"$bin" call "127.0.0.1:$port" GET /jobs/j1/stream > "$sdir/crash.txt" 2>/dev/null
+diff "$sdir/clean.txt" "$sdir/crash.txt" \
+  || { echo "FAIL: kill -9 + restart changed the streamed results"; exit 1; }
+"$bin" call "127.0.0.1:$port" POST /drain > /dev/null 2>&1
+wait $spid || { echo "FAIL: restarted daemon exited nonzero after drain"; exit 1; }
+echo "serve restart OK: $(grep 'restored from journal' "$sdir/restart.log")"
+# Saturation: one worker, queue depth 1 -> the third submission gets a
+# structured 429 while the first two are admitted.
+"$bin" serve --port "$port" --workers 1 --queue-depth 1 \
+  --data-dir "$sdir/sat" 2> "$sdir/sat.log" &
+spid=$!
+sleep 0.5
+"$bin" call "127.0.0.1:$port" POST /jobs "$sdir/job.json" > /dev/null 2>&1
+wait_phase "127.0.0.1:$port" running \
+  || { echo "FAIL: first job never started"; exit 1; }
+"$bin" call "127.0.0.1:$port" POST /jobs "$sdir/job.json" > /dev/null 2>&1
+code=$("$bin" call "127.0.0.1:$port" POST /jobs "$sdir/job.json" 2>&1 >/dev/null \
+  | grep -o 'HTTP [0-9]*' || true)
+[ "$code" = "HTTP 429" ] \
+  || { echo "FAIL: saturated queue answered '$code', wanted HTTP 429"; exit 1; }
+"$bin" call "127.0.0.1:$port" DELETE /jobs/j1 > /dev/null 2>&1
+"$bin" call "127.0.0.1:$port" DELETE /jobs/j2 > /dev/null 2>&1
+"$bin" call "127.0.0.1:$port" POST /drain > /dev/null 2>&1
+wait $spid || { echo "FAIL: saturated daemon exited nonzero after drain"; exit 1; }
+echo "serve admission OK: third submission met HTTP 429"
+
 echo "==> journal overhead budget (<10%) + bit-identity"
 journal_out=$(cargo run -q --release -p semsim-bench --bin journal_overhead)
 echo "$journal_out"

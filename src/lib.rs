@@ -15,6 +15,8 @@
 //!   used as the comparison baseline.
 //! * [`check`] — static circuit/netlist analysis (diagnostics SC001–SC011)
 //!   run before engine construction; also behind `semsim lint`.
+//! * [`serve`] — the `semsim serve` HTTP daemon: admission control,
+//!   job journals, and crash-safe restart over the batch layer.
 //! * [`linalg`], [`quad`] — the numerical substrates.
 //!
 //! # Quickstart
@@ -46,4 +48,5 @@ pub use semsim_linalg as linalg;
 pub use semsim_logic as logic;
 pub use semsim_netlist as netlist;
 pub use semsim_quad as quad;
+pub use semsim_serve as serve;
 pub use semsim_spice as spice;

@@ -9,6 +9,9 @@
 //!                          [--journal FILE] [--max-retries N]
 //! semsim sweep <netlist.cir> [--events N] [--threads N]
 //!                            [--journal FILE] [--resume] [--max-retries N]
+//! semsim serve [--port N] [--workers N] [--queue-depth N]
+//!              [--data-dir DIR] [--max-job-seconds S]
+//! semsim call <addr> <METHOD> <PATH> [BODY-FILE]
 //! ```
 //!
 //! `lint` runs the static netlist checks (diagnostic codes SC001–SC018)
@@ -53,12 +56,13 @@ use semsim::check::{
     apply_suggestions, report_to_json, validate_report, DiagCode, Diagnostics, JsonFileReport,
     Severity, Suggestion,
 };
-use semsim::core::batch::{BatchCounts, BatchOpts, RetryPolicy};
+use semsim::core::batch::{BatchCounts, BatchOpts, PointStatus, RetryPolicy};
 use semsim::core::constants::E_CHARGE;
 use semsim::core::engine::{RunLength, Simulation};
 use semsim::core::health::{RunOutcome, Supervisor};
 use semsim::core::par::{available_threads, ParOpts};
 use semsim::netlist::{lint_circuit, lint_logic, CircuitFile, RawLogicFile};
+use semsim::serve::ServeConfig;
 
 const USAGE: &str = "usage: semsim <command>
 
@@ -109,7 +113,27 @@ commands:
       appends finished points to a crash-safe journal (default: the
       file's `journal` directive) and --resume skips them on the next
       invocation, reproducing the uninterrupted sweep bit-for-bit. See
-      docs/robustness.md.";
+      docs/robustness.md.
+
+  serve [--port N] [--workers N] [--queue-depth N]
+        [--data-dir DIR] [--max-job-seconds S]
+      Run the simulation service: accept netlist/logic jobs as JSON over
+      HTTP on 127.0.0.1:<port> (default 8080), execute them on a pool of
+      --workers threads (default 2) behind a bounded admission queue
+      (--queue-depth, default 16; saturation answers 429 Retry-After).
+      Every job journals completed points under --data-dir (default
+      semsim-serve-data), so a killed daemon resumes all in-flight jobs
+      byte-identically on restart. --max-job-seconds caps any job's
+      wall clock (0 = no cap). SIGTERM or POST /drain drains gracefully:
+      queued and running jobs finish, then the daemon exits 0. See
+      docs/serving.md for the API.
+
+  call <addr> <METHOD> <PATH> [BODY-FILE]
+      Minimal HTTP client for the service (the workspace has no curl):
+      send METHOD PATH to addr (host:port), with the body read from
+      BODY-FILE (`-` for stdin) when given. The response body streams to
+      stdout as it arrives; the status goes to stderr as `HTTP <code>`.
+      Exit status: 0 for 2xx, 1 otherwise.";
 
 /// Directive keywords that identify the gate-level logic format.
 const LOGIC_KEYWORDS: [&str; 10] = [
@@ -407,6 +431,9 @@ struct RunOpts {
     max_retries: Option<u32>,
     /// Bare `--resume` flag: restore finished points from the journal.
     resume_journal: bool,
+    /// Wall-clock budget in seconds (`--timeout`), mapped onto the run
+    /// supervisor.
+    timeout: Option<f64>,
 }
 
 fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
@@ -420,6 +447,7 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
         journal: None,
         max_retries: None,
         resume_journal: false,
+        timeout: None,
     };
     // `sweep` takes the parallel flags only; the checkpoint family is
     // run-trajectory specific.
@@ -478,6 +506,15 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
                         .map_err(|_| "invalid `--max-retries` count".to_string())?,
                 );
             }
+            "--timeout" => {
+                let secs: f64 = value("--timeout")?
+                    .parse()
+                    .map_err(|_| "invalid `--timeout` seconds".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("`--timeout` must be a positive number of seconds".into());
+                }
+                opts.timeout = Some(secs);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `semsim {cmd}`"));
             }
@@ -504,22 +541,35 @@ fn batch_opts(opts: &RunOpts, threads: usize) -> BatchOpts {
         retry,
         journal: opts.journal.as_ref().map(std::path::PathBuf::from),
         resume: opts.resume_journal,
+        supervisor: opts.timeout.map(|secs| Supervisor {
+            wall_clock_budget: Some(secs),
+            ..Supervisor::default()
+        }),
+        ..BatchOpts::default()
     }
 }
 
 /// Prints the batch recovery summary (stderr) when anything other than
 /// a clean first-attempt-only run happened.
-fn report_batch_recovery(counts: &BatchCounts, retries: u64, discarded_tail_bytes: usize) {
-    if counts.recovered + counts.faulted + counts.skipped == 0 && discarded_tail_bytes == 0 {
+fn report_batch_recovery(
+    counts: &BatchCounts,
+    retries: u64,
+    discarded_tail_bytes: usize,
+    discarded_tail_reason: Option<&str>,
+) {
+    if counts.recovered + counts.faulted + counts.skipped + counts.cancelled == 0
+        && discarded_tail_bytes == 0
+    {
         return;
     }
     eprintln!(
-        "batch: {} ok, {} recovered, {} faulted, {} restored from journal \
-         ({} retry attempt(s))",
-        counts.ok, counts.recovered, counts.faulted, counts.skipped, retries
+        "batch: {} ok, {} recovered, {} faulted, {} restored from journal, \
+         {} cancelled ({} retry attempt(s))",
+        counts.ok, counts.recovered, counts.faulted, counts.skipped, counts.cancelled, retries
     );
     if discarded_tail_bytes > 0 {
-        eprintln!("journal: discarded {discarded_tail_bytes} corrupt tail byte(s)");
+        let reason = discarded_tail_reason.unwrap_or("unknown");
+        eprintln!("journal: discarded {discarded_tail_bytes} corrupt tail byte(s) ({reason})");
     }
 }
 
@@ -530,6 +580,22 @@ fn outcome_tag(outcome: RunOutcome) -> &'static str {
         RunOutcome::Blockaded { .. } => "blockaded",
         RunOutcome::WallClockExceeded { .. } => "wall-clock",
         RunOutcome::EventCapReached { .. } => "event-cap",
+    }
+}
+
+/// Human rendering of a run outcome. A wall-clock timeout must read
+/// differently from Coulomb blockade: one says "the budget ran out",
+/// the other says "the physics froze".
+fn render_outcome(outcome: RunOutcome) -> String {
+    match outcome {
+        RunOutcome::Completed => "completed".to_string(),
+        RunOutcome::Blockaded { time } => {
+            format!("Coulomb blockade at t = {time:.3e} s (every tunnel rate is zero)")
+        }
+        RunOutcome::WallClockExceeded { budget } => {
+            format!("timed out (wall-clock budget of {budget} s exhausted before the event target)")
+        }
+        RunOutcome::EventCapReached { cap } => format!("event cap of {cap} reached"),
     }
 }
 
@@ -577,6 +643,7 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
         .map_err(|e| format!("{}: {e}", opts.netlist))?
         .with_supervisor(Supervisor {
             blockade_is_outcome: true,
+            wall_clock_budget: opts.timeout,
             ..Supervisor::default()
         });
     let mut sim = Simulation::new(&compiled.circuit, cfg).map_err(|e| e.to_string())?;
@@ -645,10 +712,10 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
     };
     let health = sim.health_report();
     println!(
-        "done: {} events, t = {:.6e} s, outcome {:?}",
+        "done: {} events, t = {:.6e} s, outcome: {}",
         sim.events(),
         sim.time(),
-        outcome
+        render_outcome(outcome)
     );
     println!("current through recorded junction: {current:.6e} A");
     if health.audits > 0 {
@@ -704,7 +771,12 @@ fn run_ensemble(opts: &RunOpts, file: &CircuitFile) -> Result<(), String> {
         "current through recorded junction: {:.6e} A +/- {:.6e} A",
         stats.mean_current, stats.std_current
     );
-    report_batch_recovery(&report.counts, report.retries, report.discarded_tail_bytes);
+    report_batch_recovery(
+        &report.counts,
+        report.retries,
+        report.discarded_tail_bytes,
+        report.discarded_tail_reason.as_deref(),
+    );
     for p in &report.points {
         if let Some(fault) = &p.fault {
             eprintln!(
@@ -781,6 +853,9 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
                     outcome_tag(pt.outcome)
                 );
             }
+            None if p.status == PointStatus::Cancelled => {
+                println!("# point {} cancelled before it ran", p.task);
+            }
             None => {
                 let fault = p
                     .fault
@@ -795,8 +870,132 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
             }
         }
     }
-    report_batch_recovery(&report.counts, report.retries, report.discarded_tail_bytes);
+    report_batch_recovery(
+        &report.counts,
+        report.retries,
+        report.discarded_tail_bytes,
+        report.discarded_tail_reason.as_deref(),
+    );
     Ok(())
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                let port: u16 = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port must be 0-65535".to_string())?;
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+                if config.workers == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be a positive integer".to_string())?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth must be positive".to_string());
+                }
+            }
+            "--data-dir" => config.data_dir = value("--data-dir")?.into(),
+            "--max-job-seconds" => {
+                config.max_job_seconds = value("--max-job-seconds")?
+                    .parse()
+                    .map_err(|_| "--max-job-seconds must be a number".to_string())?;
+                if config.max_job_seconds.is_nan()
+                    || config.max_job_seconds < 0.0
+                    || !config.max_job_seconds.is_finite()
+                {
+                    return Err("--max-job-seconds must be non-negative and finite".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let config = match parse_serve_opts(args) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match semsim::serve::run(&config) {
+        Ok(code) => ExitCode::from(u8::try_from(code).unwrap_or(1)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn call_cmd(args: &[String]) -> ExitCode {
+    let (addr, method, path) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(addr), Some(method), Some(path)) => (addr, method, path),
+        _ => {
+            eprintln!("error: `semsim call` needs <addr> <METHOD> <PATH>\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let body = match args.get(3) {
+        None => None,
+        Some(file) if file == "-" => {
+            let mut text = String::new();
+            use std::io::Read as _;
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("error: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            Some(text)
+        }
+        Some(file) => match std::fs::read_to_string(file) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("error: `{file}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mut print_chunk = |chunk: &[u8]| {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = out.write_all(chunk);
+        let _ = out.flush();
+    };
+    match semsim::serve::http::fetch(addr, method, path, body.as_deref(), &mut print_chunk) {
+        Ok(status) => {
+            eprintln!("HTTP {status}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -836,6 +1035,8 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some((cmd, rest)) if cmd == "serve" => serve_cmd(rest),
+        Some((cmd, rest)) if cmd == "call" => call_cmd(rest),
         Some((cmd, _)) => {
             eprintln!("error: unknown subcommand `{cmd}`\n\n{USAGE}");
             ExitCode::from(2)

@@ -231,8 +231,9 @@ fn future_format_version_is_rejected() {
     let sum = fnv1a64(&bytes[..HEADER_LEN - 8]).to_le_bytes();
     bytes[HEADER_LEN - 8..HEADER_LEN].copy_from_slice(&sum);
     match scan::<SweepPoint>(&bytes) {
-        Err(CoreError::JournalCorrupt { what }) => {
-            assert_eq!(what, "unsupported version");
+        Err(CoreError::JournalVersionSkew { found, supported }) => {
+            assert_eq!(found, 2);
+            assert_eq!(supported, 1);
         }
         other => panic!("version 2 accepted: {other:?}"),
     }
@@ -298,5 +299,99 @@ fn journal_from_a_different_batch_is_refused() {
     )
     .unwrap_err();
     assert!(matches!(err, CoreError::JournalMismatch { .. }), "{err:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Every point faults (the setup touches a lead that does not exist):
+/// the report is a complete structured account — all points `Faulted`
+/// with their terminal fault recorded — and nothing panics or aborts.
+#[test]
+fn all_points_faulted_is_a_structured_report() {
+    let (circuit, j) = set_circuit();
+    let cfg = SimConfig::new(5.0).with_seed(33);
+    let report = batch_sweep(
+        &circuit,
+        &cfg,
+        j,
+        &controls(),
+        150,
+        1200,
+        &BatchOpts::default(),
+        |sim, _v, _spec| sim.set_lead_voltage(99, 0.0),
+    )
+    .unwrap();
+    assert_eq!(report.counts.faulted, controls().len());
+    assert_eq!(report.counts.ok + report.counts.recovered, 0);
+    assert!(!report.is_complete());
+    assert!(report.values().is_none(), "no values to assemble");
+    for p in &report.points {
+        assert!(p.item.is_none());
+        assert!(p.fault.is_some(), "point {} lost its fault", p.task);
+        assert!(!p.attempts.is_empty());
+    }
+}
+
+/// A token cancelled before the batch starts: every point reports
+/// `Cancelled`, no point computes, and the journal (if any) holds only
+/// its header — a later resume recomputes everything bit-identically.
+#[test]
+fn cancel_before_first_point_salvages_nothing_but_stays_structured() {
+    use semsim::core::batch::{CancelToken, PointStatus};
+    let path = temp_journal("cancel_first");
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let report = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        cancel: Some(cancel),
+        ..BatchOpts::default()
+    });
+    assert_eq!(report.counts.cancelled, controls().len());
+    assert!(report
+        .points
+        .iter()
+        .all(|p| p.status == PointStatus::Cancelled && p.item.is_none()));
+    // The journal was created (header) but holds no entries; resuming
+    // from it reproduces the uninterrupted run bit-for-bit.
+    let scanned = scan::<SweepPoint>(&std::fs::read(&path).unwrap()).unwrap();
+    assert!(scanned.entries.is_empty());
+    assert_eq!(scanned.discarded_tail_bytes, 0);
+    let resumed = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    });
+    assert_eq!(resumed.counts.skipped, 0, "nothing to restore");
+    assert!(resumed.is_complete());
+    let reference = run_batch(&BatchOpts::default());
+    assert_eq!(resumed.values().unwrap(), reference.values().unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal truncated to exactly its header (the crash happened after
+/// the header fsync but before any record): resume accepts it, restores
+/// zero points, and recomputes the full batch bit-identically.
+#[test]
+fn header_only_journal_resumes_to_the_full_run() {
+    let path = temp_journal("header_only");
+    let reference = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    });
+    assert!(reference.is_complete());
+    let full = std::fs::read(&path).unwrap();
+    assert!(full.len() > HEADER_LEN);
+    std::fs::write(&path, &full[..HEADER_LEN]).unwrap();
+    let resumed = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    });
+    assert_eq!(resumed.counts.skipped, 0);
+    assert_eq!(
+        resumed.discarded_tail_bytes, 0,
+        "a clean boundary, not a torn tail"
+    );
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.values().unwrap(), reference.values().unwrap());
     let _ = std::fs::remove_file(&path);
 }
