@@ -24,122 +24,12 @@
 //! 2072), `seed` (1), `temp` (K; default = the logic family's
 //! operating point), `out` (default `results/BENCH_hotpath.json`).
 
-use std::time::Instant;
-
 use semsim_bench::args::Args;
 use semsim_bench::devices::fig1_set;
-use semsim_core::circuit::Circuit;
-use semsim_core::engine::{linspace, sweep, Record, RunLength, SimConfig, Simulation, SolverSpec};
+use semsim_bench::timing::measure_pair;
+use semsim_core::engine::{linspace, sweep, SimConfig, Simulation, SolverSpec};
 use semsim_core::CoreError;
 use semsim_logic::{elaborate, Benchmark, SetLogicParams};
-
-/// Steady-state cost of one solver configuration on one circuit.
-struct RunCost {
-    wall_per_event: f64,
-    recalcs_per_event: f64,
-}
-
-impl RunCost {
-    fn events_per_sec(&self) -> f64 {
-        if self.wall_per_event > 0.0 {
-            1.0 / self.wall_per_event
-        } else {
-            0.0
-        }
-    }
-}
-
-/// One simulation being sampled in timed windows on a steady-state
-/// trajectory.
-struct Sampler<'a> {
-    sim: Simulation<'a>,
-    records: Vec<Record>,
-    best_wall: f64,
-    events: u64,
-    recalcs: u64,
-}
-
-impl<'a> Sampler<'a> {
-    fn new<F>(
-        circuit: &'a Circuit,
-        config: &SimConfig,
-        warmup: u64,
-        mut setup: F,
-    ) -> Result<Self, CoreError>
-    where
-        F: FnMut(&mut Simulation<'_>) -> Result<(), CoreError>,
-    {
-        let mut sim = Simulation::new(circuit, config.clone())?;
-        setup(&mut sim)?;
-        sim.run(RunLength::Events(warmup))?;
-        Ok(Sampler {
-            sim,
-            records: Vec::new(),
-            best_wall: f64::INFINITY,
-            events: 0,
-            recalcs: 0,
-        })
-    }
-
-    /// Times one window of `sample` events; keeps the fastest window.
-    fn window(&mut self, sample: u64) -> Result<(), CoreError> {
-        let t0 = Instant::now();
-        let record = self.sim.run(RunLength::Events(sample))?;
-        let wall = t0.elapsed().as_secs_f64();
-        self.best_wall = self.best_wall.min(wall / record.events.max(1) as f64);
-        self.events += record.events;
-        self.recalcs += record.rate_recalcs;
-        self.records.push(record);
-        Ok(())
-    }
-
-    fn cost(&self) -> RunCost {
-        RunCost {
-            wall_per_event: self.best_wall,
-            recalcs_per_event: self.recalcs as f64 / self.events.max(1) as f64,
-        }
-    }
-}
-
-/// Measures the optimized and dense-reference solvers on one circuit:
-/// both are warmed up, then their timed windows are *interleaved*
-/// (opt, dense, opt, dense, …) so slow machine-wide drift — frequency
-/// scaling, co-tenant load — hits both sides alike and cancels out of
-/// the events/sec ratio. Each side keeps its minimum wall-clock per
-/// event over `repeats` windows (the noise floor). Returns both cost
-/// profiles, both per-window record lists (for the bit-identity
-/// check), and the optimized side's memo counters.
-#[allow(clippy::type_complexity)]
-fn measure_pair<F>(
-    circuit: &Circuit,
-    cfg_opt: &SimConfig,
-    cfg_dense: &SimConfig,
-    warmup: u64,
-    sample: u64,
-    repeats: u64,
-    mut setup: F,
-) -> Result<
-    (
-        RunCost,
-        RunCost,
-        Vec<Record>,
-        Vec<Record>,
-        Option<(u64, u64)>,
-    ),
-    CoreError,
->
-where
-    F: FnMut(&mut Simulation<'_>) -> Result<(), CoreError>,
-{
-    let mut opt = Sampler::new(circuit, cfg_opt, warmup, &mut setup)?;
-    let mut dense = Sampler::new(circuit, cfg_dense, warmup, &mut setup)?;
-    for _ in 0..repeats.max(1) {
-        opt.window(sample)?;
-        dense.window(sample)?;
-    }
-    let memo = opt.sim.memo_stats();
-    Ok((opt.cost(), dense.cost(), opt.records, dense.records, memo))
-}
 
 /// Sweep bit-identity: the optimized solver's I–V curve on the Fig. 1
 /// SET must match the dense-reference oracle's bitwise.
@@ -245,7 +135,7 @@ fn main() {
             refresh_interval,
         });
 
-        let (opt, dense, opt_records, dense_records, memo) = match measure_pair(
+        let pair = match measure_pair(
             &elab.circuit,
             &cfg_opt,
             &cfg_dense,
@@ -260,25 +150,28 @@ fn main() {
                 continue;
             }
         };
-        if opt_records != dense_records {
+        if pair.opt_records != pair.dense_records {
             eprintln!(
                 "FAIL: {}: optimized run records differ from dense reference \
                  (events {:?} vs {:?})",
                 b.name(),
-                opt_records.iter().map(|r| r.events).collect::<Vec<_>>(),
-                dense_records.iter().map(|r| r.events).collect::<Vec<_>>(),
+                pair.opt_records
+                    .iter()
+                    .map(|r| r.events)
+                    .collect::<Vec<_>>(),
+                pair.dense_records
+                    .iter()
+                    .map(|r| r.events)
+                    .collect::<Vec<_>>(),
             );
             mismatch = true;
             continue;
         }
 
-        let speedup = dense.wall_per_event / opt.wall_per_event;
-        let (hits, misses) = memo.unwrap_or((0, 0));
-        let memo_pct = if hits + misses > 0 {
-            100.0 * hits as f64 / (hits + misses) as f64
-        } else {
-            0.0
-        };
+        let (opt, dense) = (pair.opt, pair.dense);
+        let speedup = pair.speedup();
+        let (hits, misses) = pair.memo.unwrap_or((0, 0));
+        let memo_pct = pair.memo_hit_pct();
         let junc = b.target_junctions();
         println!(
             "{:<18} {:>6} {:>6} {:>12.0} {:>12.0} {:>7.2}x {:>10.3} {:>8.1}%",

@@ -216,6 +216,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {

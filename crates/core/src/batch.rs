@@ -875,6 +875,22 @@ pub struct EnsembleStats {
     pub measured: usize,
 }
 
+impl EnsembleStats {
+    /// Standard error of the ensemble mean current: `σ/√n` over the
+    /// measured replicas. This is the statistical error bar a
+    /// cross-engine comparison of [`EnsembleStats::mean_current`]
+    /// should tolerate (`semsim validate` builds its per-point
+    /// tolerances from it); 0 when nothing was measured.
+    #[must_use]
+    pub fn sem_current(&self) -> f64 {
+        if self.measured == 0 {
+            0.0
+        } else {
+            self.std_current / (self.measured as f64).sqrt()
+        }
+    }
+}
+
 impl BatchReport<ReplicaSummary> {
     /// Computes replica statistics — identical to
     /// [`crate::par::EnsembleReport`]'s when no replica faulted.

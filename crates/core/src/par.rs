@@ -395,6 +395,20 @@ impl EnsembleReport {
     pub fn replicas(&self) -> usize {
         self.records.len()
     }
+
+    /// Standard error of the ensemble mean current: `σ/√n` over the
+    /// replica currents. This is the statistical error bar a
+    /// cross-engine comparison of [`EnsembleReport::mean_current`]
+    /// should tolerate; 0 when the ensemble is empty.
+    #[must_use]
+    pub fn sem_current(&self) -> f64 {
+        let n = self.replicas();
+        if n == 0 {
+            0.0
+        } else {
+            self.std_current / (n as f64).sqrt()
+        }
+    }
 }
 
 /// An independent-replica Monte Carlo ensemble of one circuit: `n`

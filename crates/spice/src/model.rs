@@ -55,6 +55,16 @@ impl SetModel {
         }
     }
 
+    /// The same model with a fixed background charge of `qb` electron
+    /// charges on the island — the convention of the circuit builder's
+    /// `add_island_with_charge`, so an analytical baseline for a Monte
+    /// Carlo device can be written down with the same number.
+    #[must_use]
+    pub fn with_background_charge(mut self, qb: f64) -> Self {
+        self.q_offset = qb * E_CHARGE;
+        self
+    }
+
     /// Total island capacitance `C_Σ`.
     pub fn sigma(&self) -> f64 {
         self.c1 + self.c2 + self.cg + self.c_extra
@@ -222,6 +232,9 @@ mod tests {
         set.q_offset = 0.5 * E_CHARGE; // degeneracy point
         let open = set.drain_current(5e-3, -5e-3, 0.0);
         assert!(open.abs() > 50.0 * blocked.abs().max(1e-20));
+        // The builder form states the same charge in units of e.
+        let built = paper_set().with_background_charge(0.5);
+        assert_eq!(built.drain_current(5e-3, -5e-3, 0.0), open);
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! The declared validation grid: which operating points are compared,
+//! against which reference, and under which stated tolerance.
+//!
+//! Every number here is pinned — seeds, replica counts, event budgets —
+//! so a validation run is deterministic (and bit-identical for any
+//! thread count, through the deterministic parallel drivers). Adding a
+//! point means adding one entry to [`grid`] and documenting it in
+//! `docs/validation.md`.
+
+use semsim_core::superconduct::SuperconductingParams;
+use semsim_logic::Benchmark;
+
+use semsim_bench::devices::{fig1c_params, fig5_params};
+
+/// Which profile of the grid to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced replica/event budgets and no logic point: fast enough
+    /// for debug-build test suites; used by the golden and
+    /// kill-and-resume tests.
+    Quick,
+    /// The full grid CI runs with the release binary.
+    Full,
+}
+
+impl Profile {
+    /// Stable lowercase name, used in the table header and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// Electrical parameters of a symmetric SET (the paper's device
+/// family): junction resistance/capacitance, gate capacitance, and
+/// background charge in units of e.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Junction resistance `R₁ = R₂` (Ω).
+    pub r: f64,
+    /// Junction capacitance `C₁ = C₂` (F).
+    pub c: f64,
+    /// Gate capacitance `C_g` (F).
+    pub cg: f64,
+    /// Background charge `Q_b` (units of e).
+    pub qb: f64,
+}
+
+impl DeviceParams {
+    /// The Fig. 1 device: 1 MΩ, 1 aF, `C_g` = 3 aF.
+    #[must_use]
+    pub fn fig1() -> Self {
+        DeviceParams {
+            r: 1e6,
+            c: 1e-18,
+            cg: 3e-18,
+            qb: 0.0,
+        }
+    }
+
+    /// The Fig. 5 device (Manninen et al.): 210 kΩ, 110 aF,
+    /// `C_g` = 14 aF, `Q_b` = 0.65 e.
+    #[must_use]
+    pub fn fig5() -> Self {
+        DeviceParams {
+            r: 210e3,
+            c: 110e-18,
+            cg: 14e-18,
+            qb: 0.65,
+        }
+    }
+}
+
+/// Which oracle a point is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reference {
+    /// The analytical stationary master-equation model
+    /// ([`semsim_spice::SetModel`]) — exact, normal-state only.
+    Analytic,
+    /// An independently seeded ensemble under the exact non-adaptive
+    /// solver — the orthodox-theory oracle where no analytic model
+    /// exists (superconducting transport, logic delays).
+    NonAdaptiveMc,
+}
+
+impl Reference {
+    /// Stable lowercase tag, used in the table and JSON.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Reference::Analytic => "analytic",
+            Reference::NonAdaptiveMc => "nonadaptive-mc",
+        }
+    }
+}
+
+/// One SET operating point: an adaptive-solver ensemble on `device`,
+/// compared against `reference` evaluated from `model`.
+///
+/// `device` and `model` are normally identical; the split exists so
+/// the harness can be *tested* — a deliberately perturbed device with
+/// an unperturbed model must fail the table (see
+/// `tests/validate_properties.rs`).
+#[derive(Debug, Clone)]
+pub struct SetPoint {
+    /// Unique point name (first table column).
+    pub name: String,
+    /// Parameters the Monte Carlo circuit is built from.
+    pub device: DeviceParams,
+    /// Parameters the reference believes.
+    pub model: DeviceParams,
+    /// Operating temperature (K).
+    pub temperature: f64,
+    /// Symmetric drain-source bias: source at `+vds/2`, drain at
+    /// `-vds/2`.
+    pub vds: f64,
+    /// Gate voltage (V).
+    pub vg: f64,
+    /// Superconducting leads/island when set (BCS gap parameters).
+    pub superconducting: Option<SuperconductingParams>,
+    /// Which oracle this point compares against.
+    pub reference: Reference,
+    /// Independent replicas in the adaptive ensemble (and in the
+    /// reference ensemble for [`Reference::NonAdaptiveMc`]).
+    pub replicas: usize,
+    /// Measured events per replica (after warmup).
+    pub events: u64,
+    /// Discarded warmup events per replica.
+    pub warmup: u64,
+    /// Master seed of the adaptive ensemble; the reference ensemble
+    /// uses a decorrelated seed derived from it.
+    pub seed: u64,
+    /// Tolerance multiplier on the combined standard error.
+    pub z: f64,
+    /// Absolute tolerance floor (A): the resolution below which two
+    /// blockaded currents are "equal" even when σ collapses to 0.
+    pub floor: f64,
+}
+
+/// One logic-benchmark delay point: adaptive vs non-adaptive mean
+/// propagation delay over independently seeded runs (the Fig. 7
+/// protocol, reduced to one benchmark).
+#[derive(Debug, Clone)]
+pub struct LogicPoint {
+    /// Unique point name (first table column).
+    pub name: String,
+    /// Which benchmark circuit to elaborate.
+    pub benchmark: Benchmark,
+    /// Independent seeds per solver.
+    pub seeds: usize,
+    /// Settle time before toggling, in units of the switching time.
+    pub settle_factor: f64,
+    /// Observation window per toggle, in units of the switching time.
+    pub window_factor: f64,
+    /// Back-and-forth toggles averaged per run.
+    pub transitions: usize,
+    /// Base seed; run `i` of the adaptive side uses `seed + i`, the
+    /// non-adaptive side `seed + 100 + i` (the Fig. 7 convention).
+    pub seed: u64,
+    /// Tolerance multiplier on the combined standard error.
+    pub z: f64,
+    /// Absolute tolerance floor (s), stated in units of the device
+    /// switching time in `docs/validation.md`.
+    pub floor: f64,
+}
+
+/// A grid entry.
+#[derive(Debug, Clone)]
+pub enum GridPoint {
+    /// A SET operating point.
+    Set(Box<SetPoint>),
+    /// A logic-benchmark delay point.
+    Logic(LogicPoint),
+}
+
+impl GridPoint {
+    /// The point's unique name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            GridPoint::Set(p) => &p.name,
+            GridPoint::Logic(p) => &p.name,
+        }
+    }
+}
+
+/// Tolerance multiplier for ensemble-vs-reference comparisons. With
+/// the ensemble mean approximately normal, 4 combined standard errors
+/// bound the discrepancy with ≈ 1 − 6e-5 probability per point — and
+/// the pinned seeds make the actual table deterministic on top of
+/// that.
+const Z_ENSEMBLE: f64 = 4.0;
+
+/// Absolute current floor (A). Deep in blockade both engines report
+/// currents at the single-electron-per-run resolution and σ can
+/// collapse to exactly 0; two currents closer than this are "equal".
+/// 2 pA is ≈ 3 orders below the smallest on-state current in the grid
+/// and ≈ 1 order above the largest blockade current the committed
+/// Fig. 1b data shows at the grid's blockade points.
+const CURRENT_FLOOR: f64 = 2e-12;
+
+/// Absolute delay floor (s): 0.1 × the 9 ns switching time of the
+/// default logic family — well below the few-percent delay errors the
+/// Fig. 7 reproduction measures on ≈ 100 ns delays.
+const DELAY_FLOOR: f64 = 0.9e-9;
+
+// A grid-literal constructor: every argument is a pinned number that
+// reads top-to-bottom against the SetPoint field list.
+#[allow(clippy::too_many_arguments)]
+fn set_point(
+    name: &str,
+    device: DeviceParams,
+    temperature: f64,
+    vds: f64,
+    vg: f64,
+    superconducting: Option<SuperconductingParams>,
+    reference: Reference,
+    replicas: usize,
+    events: u64,
+    warmup: u64,
+    seed: u64,
+) -> GridPoint {
+    GridPoint::Set(Box::new(SetPoint {
+        name: name.to_string(),
+        device,
+        model: device,
+        temperature,
+        vds,
+        vg,
+        superconducting,
+        reference,
+        replicas,
+        events,
+        warmup,
+        seed,
+        z: Z_ENSEMBLE,
+        floor: CURRENT_FLOOR,
+    }))
+}
+
+/// The declared grid for `profile`, with per-point seeds derived from
+/// `base_seed` (point `i` gets `base_seed + 1000·i`).
+///
+/// # Panics
+///
+/// Never for the shipped parameter sets; the superconducting
+/// parameter constructors are infallible for these constants.
+#[must_use]
+pub fn grid(profile: Profile, base_seed: u64) -> Vec<GridPoint> {
+    let fig1c = fig1c_params().expect("fig1c constants are valid");
+    let fig5 = fig5_params().expect("fig5 constants are valid");
+    let seed = |i: u64| base_seed.wrapping_add(1000 * i);
+    match profile {
+        Profile::Quick => vec![
+            set_point(
+                "set-on-40mV",
+                DeviceParams::fig1(),
+                5.0,
+                40e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                4,
+                4_000,
+                200,
+                seed(0),
+            ),
+            set_point(
+                "set-blockade-16mV",
+                DeviceParams::fig1(),
+                5.0,
+                16e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                4,
+                2_000,
+                100,
+                seed(1),
+            ),
+            set_point(
+                "set-gate-open-10mV",
+                DeviceParams::fig1(),
+                5.0,
+                10e-3,
+                30e-3,
+                None,
+                Reference::Analytic,
+                4,
+                4_000,
+                200,
+                seed(2),
+            ),
+            set_point(
+                "set-degeneracy-5mV",
+                DeviceParams {
+                    qb: 0.5,
+                    ..DeviceParams::fig1()
+                },
+                5.0,
+                5e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                4,
+                4_000,
+                200,
+                seed(3),
+            ),
+            set_point(
+                "sset-above-gap-40mV",
+                DeviceParams::fig1(),
+                0.05,
+                40e-3,
+                0.0,
+                Some(fig1c),
+                Reference::NonAdaptiveMc,
+                3,
+                2_500,
+                150,
+                seed(4),
+            ),
+        ],
+        Profile::Full => vec![
+            set_point(
+                "set-on-40mV",
+                DeviceParams::fig1(),
+                5.0,
+                40e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                8,
+                20_000,
+                1_000,
+                seed(0),
+            ),
+            set_point(
+                "set-edge-34mV",
+                DeviceParams::fig1(),
+                5.0,
+                34e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                8,
+                20_000,
+                1_000,
+                seed(1),
+            ),
+            set_point(
+                "set-blockade-20mV",
+                DeviceParams::fig1(),
+                5.0,
+                20e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                8,
+                6_000,
+                300,
+                seed(2),
+            ),
+            set_point(
+                "set-gate-open-10mV",
+                DeviceParams::fig1(),
+                5.0,
+                10e-3,
+                30e-3,
+                None,
+                Reference::Analytic,
+                8,
+                20_000,
+                1_000,
+                seed(3),
+            ),
+            set_point(
+                "set-degeneracy-5mV",
+                DeviceParams {
+                    qb: 0.5,
+                    ..DeviceParams::fig1()
+                },
+                5.0,
+                5e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                8,
+                20_000,
+                1_000,
+                seed(4),
+            ),
+            set_point(
+                "set-warm-20K-20mV",
+                DeviceParams::fig1(),
+                20.0,
+                20e-3,
+                0.0,
+                None,
+                Reference::Analytic,
+                8,
+                20_000,
+                1_000,
+                seed(5),
+            ),
+            set_point(
+                "sset-above-gap-40mV",
+                DeviceParams::fig1(),
+                0.05,
+                40e-3,
+                0.0,
+                Some(fig1c),
+                Reference::NonAdaptiveMc,
+                6,
+                10_000,
+                500,
+                seed(6),
+            ),
+            set_point(
+                "sset-fig5-qp-2mV",
+                DeviceParams::fig5(),
+                0.52,
+                2e-3,
+                0.0,
+                Some(fig5),
+                Reference::NonAdaptiveMc,
+                6,
+                8_000,
+                400,
+                seed(7),
+            ),
+            GridPoint::Logic(LogicPoint {
+                name: "logic-decoder-delay".to_string(),
+                benchmark: Benchmark::Decoder2To10,
+                seeds: 4,
+                settle_factor: 40.0,
+                window_factor: 60.0,
+                transitions: 4,
+                seed: seed(8),
+                z: Z_ENSEMBLE,
+                floor: DELAY_FLOOR,
+            }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_names_are_unique_and_seeds_distinct() {
+        for profile in [Profile::Quick, Profile::Full] {
+            let g = grid(profile, 11);
+            let mut names: Vec<&str> = g.iter().map(GridPoint::name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), g.len(), "{profile:?}: duplicate point names");
+        }
+    }
+
+    #[test]
+    fn full_grid_covers_both_references_and_logic() {
+        let g = grid(Profile::Full, 11);
+        let mut analytic = 0;
+        let mut mc = 0;
+        let mut logic = 0;
+        for p in &g {
+            match p {
+                GridPoint::Set(s) => match s.reference {
+                    Reference::Analytic => analytic += 1,
+                    Reference::NonAdaptiveMc => mc += 1,
+                },
+                GridPoint::Logic(_) => logic += 1,
+            }
+        }
+        assert!(analytic >= 4, "analytic coverage: {analytic}");
+        assert!(mc >= 2, "exact-MC coverage: {mc}");
+        assert!(logic >= 1, "logic coverage: {logic}");
+    }
+
+    #[test]
+    fn superconducting_points_declare_mc_reference() {
+        // The analytic model is normal-state only; a superconducting
+        // point comparing against it would be validating the wrong
+        // physics.
+        for profile in [Profile::Quick, Profile::Full] {
+            for p in grid(profile, 11) {
+                if let GridPoint::Set(s) = p {
+                    if s.superconducting.is_some() {
+                        assert_eq!(s.reference, Reference::NonAdaptiveMc, "{}", s.name);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Tolerance math for cross-engine comparisons.
+//!
+//! A comparison of two estimates `m` (measured) and `r` (reference)
+//! passes when
+//!
+//! ```text
+//! |m − r| ≤ z · √(sem_m² + sem_r²) + floor
+//! ```
+//!
+//! where each `sem` is the standard error of the corresponding mean
+//! (`σ/√n`; exactly 0 for an analytic reference) and `floor` is a
+//! stated absolute resolution below which two values are considered
+//! equal — it carries the comparison through blockaded points where
+//! both engines report ≈ 0 and the sampled σ collapses to 0.
+//!
+//! Everything here is deliberately plain arithmetic so the JSON
+//! validator can re-derive each point's tolerance from its recorded
+//! `z`, `floor` and standard errors.
+
+/// Standard error of a mean: `σ/√n` (0 for an empty sample).
+#[must_use]
+pub fn sem(std: f64, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        std / (n as f64).sqrt()
+    }
+}
+
+/// Combined standard error of a difference of two independent means:
+/// `√(a² + b²)`.
+#[must_use]
+pub fn combined_sem(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+/// The stated tolerance: `z·√(sem_m² + sem_r²) + floor`.
+#[must_use]
+pub fn tolerance(z: f64, sem_m: f64, sem_r: f64, floor: f64) -> f64 {
+    z * combined_sem(sem_m, sem_r) + floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sem_shrinks_like_inverse_sqrt_n() {
+        let s = 2.0;
+        assert_eq!(sem(s, 1), 2.0);
+        assert!((sem(s, 4) - 1.0).abs() < 1e-15);
+        assert!((sem(s, 16) - 0.5).abs() < 1e-15);
+        assert_eq!(sem(s, 0), 0.0);
+    }
+
+    #[test]
+    fn combined_sem_is_quadrature() {
+        assert!((combined_sem(3.0, 4.0) - 5.0).abs() < 1e-15);
+        assert_eq!(combined_sem(0.0, 0.0), 0.0);
+        // One-sided comparisons (analytic reference) reduce to the
+        // measured side's sem.
+        assert_eq!(combined_sem(1.5, 0.0), 1.5);
+    }
+
+    #[test]
+    fn floor_carries_degenerate_comparisons() {
+        // Both σ exactly 0 (deep blockade): only the floor remains.
+        assert_eq!(tolerance(4.0, 0.0, 0.0, 2e-12), 2e-12);
+        // And the floor only ever widens the band.
+        assert!(tolerance(4.0, 1e-12, 0.0, 2e-12) > tolerance(4.0, 1e-12, 0.0, 0.0));
+    }
+}

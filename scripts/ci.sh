@@ -30,8 +30,11 @@ for t in 1 4; do
   SEMSIM_TEST_THREADS=$t cargo test -q --test par_determinism
 done
 
+# The build stage above already produced every bench binary; the perf
+# stages below invoke them directly instead of going through
+# `cargo run`, so one shared release build serves the whole script.
 echo "==> par_scaling determinism + speedup"
-scaling_out=$(cargo run -q --release -p semsim-bench --bin par_scaling -- events=1500 nb=10 ng=8)
+scaling_out=$(./target/release/par_scaling events=1500 nb=10 ng=8)
 echo "$scaling_out"
 # The ≥2.5x-at-4-threads acceptance gate only means something on a host
 # that actually has 4 cores; single-core CI still runs the bin (its exit
@@ -49,8 +52,7 @@ echo "==> hotpath bit-identity + speedup vs dense reference"
 hotdir=$(mktemp -d)
 # Defaults reach c432 (2072 junctions) — the speedup grows with size,
 # so gating on a smaller "largest benchmark" would test the wrong claim.
-hotpath_out=$(cargo run -q --release -p semsim-bench --bin hotpath -- \
-  out="$hotdir/BENCH_hotpath.json")
+hotpath_out=$(./target/release/hotpath out="$hotdir/BENCH_hotpath.json")
 echo "$hotpath_out"
 rm -rf "$hotdir"
 # The binary itself exits nonzero if the optimized solver's trajectory
@@ -64,6 +66,38 @@ if [ "$cores" -ge 2 ]; then
     || { echo "FAIL: hotpath speedup ${hspeed}x below the 1.5x floor"; exit 1; }
 else
   echo "skip: hotpath speedup floor needs >= 2 cores (host has $cores)"
+fi
+
+echo "==> semsim validate: cross-engine grid + perf trend ratchet"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if validate_out=$(./target/release/semsim validate \
+    --json results/VALIDATE.json --trend results/BENCH_validate.json \
+    --commit "$commit"); then
+  echo "$validate_out"
+else
+  echo "$validate_out"
+  echo "FAIL: validation grid out of tolerance"; exit 1
+fi
+./target/release/semsim json-verify results/VALIDATE.json \
+  || { echo "FAIL: results/VALIDATE.json does not validate"; exit 1; }
+./target/release/semsim json-verify results/BENCH_validate.json \
+  || { echo "FAIL: results/BENCH_validate.json does not validate"; exit 1; }
+# Perf trend ratchet: gate on the *interleaved* adaptive-vs-dense
+# speedup ratio against the previous record — both solvers run in the
+# same process windows, so machine-wide load cancels and a >10% drop
+# means the code got slower, not the host busier. Raw events/sec is
+# recorded for trend plots but not gated (it tracks the host). The
+# first record has no predecessor: skip with a message, never
+# fabricate a baseline.
+ratio=$(echo "$validate_out" | grep -oP 'validate-trend-ratio: \K\S+' || true)
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$ratio" = "none" ] || [ -z "$ratio" ]; then
+  echo "skip: no prior trend record to ratchet against (first run on this history)"
+elif [ "$cores" -ge 2 ]; then
+  awk -v r="$ratio" 'BEGIN { exit !(r >= 0.9) }' \
+    || { echo "FAIL: speedup trend ratio $ratio below the 0.9 floor (>10% regression vs previous record)"; exit 1; }
+else
+  echo "skip: trend ratchet needs >= 2 cores (host has $cores)"
 fi
 
 echo "==> semsim lint --deny warnings --format json (examples + clean fixtures)"
@@ -177,14 +211,14 @@ wait $spid || { echo "FAIL: saturated daemon exited nonzero after drain"; exit 1
 echo "serve admission OK: third submission met HTTP 429"
 
 echo "==> journal overhead budget (<10%) + bit-identity"
-journal_out=$(cargo run -q --release -p semsim-bench --bin journal_overhead)
+journal_out=$(./target/release/journal_overhead)
 echo "$journal_out"
 jpct=$(echo "$journal_out" | grep -oP 'journal-overhead-pct: \K[-0-9.]+')
 awk -v p="$jpct" 'BEGIN { exit !(p < 10.0) }' \
   || { echo "FAIL: journal overhead ${jpct}% exceeds the 10% budget"; exit 1; }
 
 echo "==> drift-audit overhead budget (<5%)"
-overhead_out=$(cargo run -q --release -p semsim-bench --bin audit_overhead)
+overhead_out=$(./target/release/audit_overhead)
 echo "$overhead_out"
 pct=$(echo "$overhead_out" | grep -oP 'audit-overhead-pct: \K[-0-9.]+')
 awk -v p="$pct" 'BEGIN { exit !(p < 5.0) }' \

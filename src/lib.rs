@@ -17,6 +17,11 @@
 //!   run before engine construction; also behind `semsim lint`.
 //! * [`serve`] — the `semsim serve` HTTP daemon: admission control,
 //!   job journals, and crash-safe restart over the batch layer.
+//! * [`validate`] — the `semsim validate` cross-engine validation
+//!   harness: a declared grid of operating points comparing the
+//!   adaptive engine against the analytical baseline and the exact
+//!   non-adaptive solver under stated statistical tolerances, plus
+//!   per-commit performance trend records.
 //! * [`linalg`], [`quad`] — the numerical substrates.
 //!
 //! # Quickstart
@@ -50,3 +55,4 @@ pub use semsim_netlist as netlist;
 pub use semsim_quad as quad;
 pub use semsim_serve as serve;
 pub use semsim_spice as spice;
+pub use semsim_validate as validate;

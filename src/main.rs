@@ -12,6 +12,8 @@
 //! semsim serve [--port N] [--workers N] [--queue-depth N]
 //!              [--data-dir DIR] [--max-job-seconds S]
 //! semsim call <addr> <METHOD> <PATH> [BODY-FILE]
+//! semsim validate [--quick] [--seed N] [--threads N] [--json FILE]
+//!                 [--trend FILE] [--commit HASH] [--journal BASE] [--resume]
 //! ```
 //!
 //! `lint` runs the static netlist checks (diagnostic codes SC001–SC018)
@@ -24,8 +26,18 @@
 //! `--format json` emits the schema-version-1 report documented in
 //! docs/diagnostics.md; `--deny`/`--allow` escalate or silence
 //! individual codes from the command line (in-source `lint: allow`
-//! pragmas do the same per file). `json-verify` validates a JSON report
-//! read from FILE or stdin against that schema.
+//! pragmas do the same per file). `json-verify` validates a JSON
+//! document read from FILE or stdin, dispatching on its top-level
+//! `schema` marker: `semsim-validate` reports and
+//! `semsim-validate-trend` files verify against the validation-harness
+//! schemas; anything else is checked as a schema-version-1 lint report.
+//!
+//! `validate` runs the cross-engine validation grid (see
+//! docs/validation.md): the adaptive Monte Carlo engine against the
+//! analytical SPICE baseline and the exact non-adaptive solver under
+//! stated statistical tolerances, printing a byte-stable pass/fail
+//! table and optionally a machine report (`--json`) and per-commit
+//! performance trend records (`--trend`).
 //!
 //! `run` compiles a circuit netlist and executes a Monte Carlo run at
 //! the declared bias, optionally writing a binary checkpoint every N
@@ -83,9 +95,35 @@ commands:
       errors.
 
   json-verify [FILE]
-      Validate a `semsim lint --format json` report read from FILE (or
-      stdin) against the schema-version-1 contract. Exit status: 0 when
-      the document validates, 1 otherwise.
+      Validate a semsim JSON document read from FILE (or stdin),
+      dispatching on its top-level `schema` marker: `semsim-validate`
+      machine reports and `semsim-validate-trend` files verify against
+      the validation-harness schemas (every tolerance and verdict is
+      re-derived from the recorded inputs); anything else is checked as
+      a `semsim lint --format json` schema-version-1 report. Exit
+      status: 0 when the document validates, 1 otherwise.
+
+  validate [--quick] [--seed N] [--threads N] [--json FILE]
+           [--trend FILE] [--commit HASH] [--journal BASE] [--resume]
+      Run the cross-engine validation grid: adaptive-solver ensembles
+      at declared SET operating points (normal and superconducting)
+      plus a logic-benchmark delay point, each compared against the
+      analytical SPICE baseline or an exact non-adaptive ensemble
+      under a stated tolerance derived from the ensemble standard
+      error (see docs/validation.md). Prints a byte-stable pass/fail
+      table whose last line is `validate-pass: N/M`; exit status 1
+      when any point is out of tolerance. --quick runs the reduced
+      grid (debug-build friendly); --seed rederives every point seed
+      (default 42); --threads caps the worker pool (results are
+      bit-identical for any value); --json writes the schema-versioned
+      machine report (verified by `semsim json-verify`); --trend
+      measures a performance trend record (74LS153 events/sec, memo
+      hit rate, speedup over the dense-reference oracle) and appends
+      it to FILE, printing `validate-trend-ratio:` against the
+      previous record (`none` on the first); --journal BASE journals
+      every ensemble crash-safely under BASE.p<NN> and --resume
+      restores finished replicas (the count goes to stderr; stdout
+      stays byte-identical).
 
   run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
                     [--checkpoint FILE] [--resume [FILE]]
@@ -404,13 +442,31 @@ fn json_verify(args: &[String]) -> ExitCode {
             buf
         }
     };
-    match validate_report(&text) {
+    // Dispatch on the top-level `schema` marker: the validation-harness
+    // documents carry one; lint reports (schema version 1) do not.
+    let schema = semsim::check::parse_json(&text)
+        .ok()
+        .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+    let (kind, result) = match schema.as_deref() {
+        Some("semsim-validate") => (
+            "semsim-validate report",
+            semsim::validate::check_report(&text),
+        ),
+        Some("semsim-validate-trend") => (
+            "semsim-validate trend file",
+            semsim::validate::check_trend_file(&text),
+        ),
+        _ => ("semsim lint report (schema version 1)", {
+            validate_report(&text)
+        }),
+    };
+    match result {
         Ok(()) => {
-            println!("ok: valid semsim lint report (schema version 1)");
+            println!("ok: valid {kind}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: invalid lint report: {e}");
+            eprintln!("error: invalid {kind}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -998,6 +1054,162 @@ fn call_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parsed `semsim validate` options.
+struct ValidateOpts {
+    profile: semsim::validate::Profile,
+    seed: u64,
+    threads: usize,
+    json: Option<String>,
+    trend: Option<String>,
+    commit: String,
+    journal: Option<String>,
+    resume: bool,
+}
+
+/// Trend-measurement window: events per timed window, discarded warmup
+/// events, and interleaved windows per solver (min-of-N). Fixed — the
+/// trend file only makes sense when every record measures the same
+/// workload.
+const TREND_SAMPLE: u64 = 3_000;
+const TREND_WARMUP: u64 = 500;
+const TREND_REPEATS: u64 = 3;
+
+fn parse_validate_opts(args: &[String]) -> Result<ValidateOpts, String> {
+    let mut opts = ValidateOpts {
+        profile: semsim::validate::Profile::Full,
+        seed: 42,
+        threads: 0,
+        json: None,
+        trend: None,
+        commit: "unknown".to_string(),
+        journal: None,
+        resume: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.profile = semsim::validate::Profile::Quick,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid `--seed` value".to_string())?;
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid `--threads` count".to_string())?;
+                if n == 0 {
+                    return Err("`--threads` must be at least 1".into());
+                }
+                opts.threads = n;
+            }
+            "--json" => opts.json = Some(value("--json")?),
+            "--trend" => opts.trend = Some(value("--trend")?),
+            "--commit" => opts.commit = value("--commit")?,
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--resume" => opts.resume = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `semsim validate`"));
+            }
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if opts.resume && opts.journal.is_none() {
+        return Err("`--resume` needs `--journal BASE`".into());
+    }
+    Ok(opts)
+}
+
+/// Measures a trend record and appends it to the trend file, printing
+/// the `validate-*` summary lines to stdout.
+fn record_trend(path: &str, commit: &str, seed: u64) -> Result<(), String> {
+    let rec =
+        semsim::validate::measure_trend(commit, TREND_SAMPLE, TREND_WARMUP, TREND_REPEATS, seed)?;
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read `{path}`: {e}")),
+    };
+    let previous = match existing.as_deref() {
+        Some(text) => semsim::validate::load_records(text)
+            .map_err(|e| format!("`{path}`: {e}"))?
+            .last()
+            .cloned(),
+        None => None,
+    };
+    print!(
+        "{}",
+        semsim::validate::summary_lines(previous.as_ref(), &rec)
+    );
+    let content = semsim::validate::append_record(existing.as_deref(), &rec)
+        .map_err(|e| format!("`{path}`: {e}"))?;
+    std::fs::write(path, &content).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!("validate: appended trend record to {path}");
+    Ok(())
+}
+
+/// Executes `semsim validate`.
+fn validate_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_validate_opts(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let run_opts = semsim::validate::RunOptions {
+        threads: opts.threads,
+        journal: opts.journal.as_ref().map(std::path::PathBuf::from),
+        resume: opts.resume,
+    };
+    let run = match semsim::validate::run_grid(opts.profile, opts.seed, &run_opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The table (stdout) is byte-stable; everything run-specific —
+    // restoration counts, file notices — goes to stderr so a resumed
+    // run diffs clean against the uninterrupted one.
+    print!("{}", semsim::validate::render_table(&run));
+    if run.restored() > 0 {
+        eprintln!(
+            "validate: {} replica(s) restored from journal",
+            run.restored()
+        );
+    }
+    if let Some(path) = &opts.json {
+        let json = semsim::validate::report_json(&run, &opts.commit);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("validate: wrote {path}");
+    }
+    if let Some(path) = &opts.trend {
+        if let Err(e) = record_trend(path, &opts.commit, opts.seed) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if run.all_pass() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {} of {} validation point(s) out of tolerance",
+            run.failed(),
+            run.points.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -1037,6 +1249,7 @@ fn main() -> ExitCode {
         },
         Some((cmd, rest)) if cmd == "serve" => serve_cmd(rest),
         Some((cmd, rest)) if cmd == "call" => call_cmd(rest),
+        Some((cmd, rest)) if cmd == "validate" => validate_cmd(rest),
         Some((cmd, _)) => {
             eprintln!("error: unknown subcommand `{cmd}`\n\n{USAGE}");
             ExitCode::from(2)

@@ -1,7 +1,8 @@
 //! Golden shape regressions for the committed paper figures
-//! (`results/fig1b.txt`, `results/fig1c.txt`), on reduced grids so they
-//! run in test time. These don't pin exact currents — Monte Carlo noise
-//! moves the digits — they pin the *physics* the figures exist to show:
+//! (`results/fig1b.txt`, `results/fig1c.txt`, `results/fig5.txt`,
+//! `results/fig7.txt`), on reduced grids so they run in test time.
+//! These don't pin exact currents — Monte Carlo noise moves the
+//! digits — they pin the *physics* the figures exist to show:
 //!
 //! * Fig. 1b: Coulomb blockade of half-width `e/C_Σ ≈ 32 mV` at
 //!   `V_g = 0` (committed data: conduction turns on between 30 and
@@ -9,13 +10,22 @@
 //! * Fig. 1c: the superconducting gap *widens* the suppressed region —
 //!   32 mV conducts normally (`≈ 8e-10 A` committed) but is dead in the
 //!   SSET (`≈ 7e-20 A` committed).
+//! * Fig. 5: the Manninen SSET's quasi-particle transport threshold —
+//!   sub-gap current at 0.4 mV is ≈ 270× below the current past the
+//!   threshold at 1.6 mV (committed: 6.5e-12 A vs 1.79e-9 A).
+//! * Fig. 7: the adaptive solver's propagation delay on the 2-to-10
+//!   decoder tracks the exact non-adaptive solver (committed:
+//!   1.0128e-7 s reference, 3.59% semsim error over 5 seeds).
 //!
 //! The sweeps run on the deterministic parallel driver, so these are
 //! also end-to-end regressions for [`semsim::core::par`].
 
-use semsim::core::engine::SimConfig;
+use semsim::core::constants::{thermal_energy, E_CHARGE};
+use semsim::core::engine::{SimConfig, SolverSpec};
 use semsim::core::par::{par_sweep, ParOpts};
-use semsim_bench::devices::{fig1_set, fig1c_params, SetDevice};
+use semsim::core::superconduct::{gap_at, QpRateTable};
+use semsim::logic::{elaborate, measure_delay_avg, Benchmark, SetLogicParams};
+use semsim_bench::devices::{fig1_set, fig1c_params, fig5_params, fig5_set, SetDevice};
 
 const EVENTS: u64 = 3_000;
 const WARMUP: u64 = 150;
@@ -114,5 +124,107 @@ fn fig1c_superconducting_gap_widens_blockade() {
         "superconductivity must widen the gap region: sset {:e} vs normal {:e}",
         i_sset[0],
         i_normal[0]
+    );
+}
+
+#[test]
+fn fig5_qp_threshold_separates_subgap_from_open_transport() {
+    // The Manninen SSET, biased exactly as `bench/src/bin/fig5.rs` does:
+    // full bias on the source, drain grounded, V_g = 0. Below the
+    // quasi-particle transport threshold only thermally-activated
+    // sub-gap processes carry current; past it the current jumps by
+    // orders of magnitude (committed fig5.txt at V_g = 0: 6.55e-12 A at
+    // 0.4 mV vs 1.79e-9 A at 1.6 mV — a factor ≈ 270).
+    let dev = fig5_set().expect("device");
+    let params = fig5_params().expect("params");
+    let temp = 0.52;
+    // Pre-size the quasi-particle rate table for the largest energy the
+    // sweep can reach (the fig5 driver's formula): the engine would
+    // otherwise size it from the construction-time lead voltages, which
+    // are zero under the sweep's setup closure.
+    let gap = gap_at(&params, temp);
+    let kt = thermal_energy(temp);
+    let ec = E_CHARGE * E_CHARGE / (2.0 * 234e-18);
+    let w_max = 4.0 * gap + 40.0 * kt + 8.0 * ec + 4.0 * E_CHARGE * 0.011;
+    let config = SimConfig::new(temp)
+        .with_seed(42)
+        .with_superconducting(params)
+        .with_qp_table(QpRateTable::build(gap, kt, w_max).expect("qp table"));
+
+    let i = par_sweep(
+        &dev.circuit,
+        &config,
+        dev.j1,
+        &[0.4e-3, 1.6e-3],
+        WARMUP,
+        EVENTS,
+        ParOpts::default(),
+        |sim, vb| {
+            sim.set_lead_voltage(dev.source_lead, vb)?;
+            sim.set_lead_voltage(dev.gate_lead, 0.0)
+        },
+    )
+    .expect("sweep");
+    let (i_sub, i_open) = (i[0].current.abs(), i[1].current.abs());
+
+    assert!(
+        i_open > 1e-10,
+        "past the qp threshold the SSET must conduct: {i_open:e}"
+    );
+    assert!(
+        i_open > 20.0 * i_sub,
+        "sub-gap current must sit far below the open region: \
+         {i_sub:e} at 0.4 mV vs {i_open:e} at 1.6 mV"
+    );
+    assert!(
+        i_sub > 1e-16,
+        "sub-gap transport is suppressed but not dead at 0.52 K: {i_sub:e}"
+    );
+}
+
+#[test]
+fn fig7_adaptive_delay_tracks_nonadaptive_on_decoder() {
+    // Fig. 7's observable: propagation delay of a logic benchmark under
+    // the adaptive solver vs the exact non-adaptive solver. Reduced to
+    // one seed pair on the 2-to-10 decoder (committed fig7.txt:
+    // reference 1.0128e-7 s ≈ 11 τ, semsim error 3.59% over 5 seeds).
+    let logic = Benchmark::Decoder2To10.logic();
+    let params = SetLogicParams::default();
+    let elab = elaborate(&logic, &params).expect("elaborate");
+    let output = Benchmark::Decoder2To10.delay_output();
+    let tau = elab.params.switching_time();
+    // Full-refresh interval scales with circuit size (Fig. 6/7 policy).
+    let refresh_interval = 1_000u64.max(4 * elab.circuit.num_islands() as u64);
+
+    let run = |solver: SolverSpec, seed: u64| {
+        let cfg = SimConfig::new(params.temperature)
+            .with_seed(seed)
+            .with_solver(solver);
+        measure_delay_avg(&elab, &logic, &cfg, output, 30.0, 50.0, 2)
+            .expect("delay measurement")
+            .delay
+    };
+    let adaptive = run(
+        SolverSpec::Adaptive {
+            threshold: 0.05,
+            refresh_interval,
+        },
+        42,
+    );
+    // fig7's seed convention: the reference ensemble runs at seed + 100.
+    let reference = run(SolverSpec::NonAdaptive, 142);
+
+    for (name, d) in [("adaptive", adaptive), ("non-adaptive", reference)] {
+        assert!(
+            d > 2.0 * tau && d < 40.0 * tau,
+            "{name} decoder delay must be a few switching times: \
+             {d:e} s vs τ = {tau:e} s"
+        );
+    }
+    let rel = (adaptive - reference).abs() / reference;
+    assert!(
+        rel < 0.5,
+        "adaptive delay must track the exact solver: {adaptive:e} vs \
+         {reference:e} (rel {rel:.3})"
     );
 }

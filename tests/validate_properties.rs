@@ -1,0 +1,91 @@
+//! Property tests for the `semsim validate` harness itself: the
+//! tolerance machinery must *shrink* with statistics (σ/√n) and must
+//! *fire* on a genuinely wrong device. A validation harness whose
+//! failure path is never exercised is just a green rubber stamp.
+
+use semsim::validate::{run_points, DeviceParams, GridPoint, Reference, RunOptions, SetPoint};
+
+/// An honest analytic comparison point on the Fig. 1 device at a
+/// conducting bias, with the statistics budget left to the caller.
+fn analytic_point(name: &str, device: DeviceParams, vds: f64, replicas: usize) -> GridPoint {
+    GridPoint::Set(Box::new(SetPoint {
+        name: name.to_string(),
+        device,
+        model: DeviceParams::fig1(),
+        temperature: 5.0,
+        vds,
+        vg: 0.0,
+        superconducting: None,
+        reference: Reference::Analytic,
+        replicas,
+        events: 1_500,
+        warmup: 100,
+        seed: 42,
+        z: 4.0,
+        floor: 2e-12,
+    }))
+}
+
+#[test]
+fn sem_shrinks_like_inverse_sqrt_replicas() {
+    // Same operating point, same per-replica budget, 4× the replicas:
+    // the standard error of the ensemble mean must shrink roughly like
+    // 1/√n (exactly 0.5 in expectation; the population-σ estimate
+    // itself is noisy at these replica counts, hence the wide band).
+    // Pinned seeds make the observed ratio deterministic.
+    let points = [
+        analytic_point("sigma-4", DeviceParams::fig1(), 40e-3, 4),
+        analytic_point("sigma-16", DeviceParams::fig1(), 40e-3, 16),
+    ];
+    let results = run_points(&points, &RunOptions::default()).expect("grid runs");
+    let (s4, s16) = (results[0].sem_measured, results[1].sem_measured);
+    assert!(s4 > 0.0, "4-replica sem must be nonzero: {s4:e}");
+    assert!(s16 > 0.0, "16-replica sem must be nonzero: {s16:e}");
+    let ratio = s16 / s4;
+    assert!(
+        ratio > 0.15 && ratio < 0.85,
+        "sem must shrink ≈ 1/√4 with 4× replicas: sem(4) = {s4:e}, \
+         sem(16) = {s16:e}, ratio = {ratio:.3}"
+    );
+    // And both honest points agree with the analytic model.
+    assert!(results[0].pass(), "honest 4-replica point must pass");
+    assert!(results[1].pass(), "honest 16-replica point must pass");
+}
+
+#[test]
+fn perturbed_capacitance_fails_the_table() {
+    // The simulated device gets doubled junction capacitances
+    // (C_Σ = 7 aF → blockade threshold e/C_Σ ≈ 23 mV) while the
+    // analytic model keeps believing the honest 1 aF device
+    // (threshold ≈ 32 mV). At 28 mV the real device conducts at the
+    // nA scale and the model predicts deep blockade — the comparison
+    // must fail, z·sem and floor notwithstanding.
+    let wrong = DeviceParams {
+        c: 2e-18,
+        ..DeviceParams::fig1()
+    };
+    let points = [
+        analytic_point("perturbed-c", wrong, 28e-3, 4),
+        analytic_point("honest-c", DeviceParams::fig1(), 28e-3, 4),
+    ];
+    let results = run_points(&points, &RunOptions::default()).expect("grid runs");
+    let bad = &results[0];
+    assert!(
+        !bad.pass(),
+        "doubled junction capacitance must fail the table: measured {:e}, \
+         reference {:e}, tolerance {:e}",
+        bad.measured,
+        bad.reference,
+        bad.tolerance()
+    );
+    assert!(
+        bad.measured.abs() > 100.0 * bad.reference.abs(),
+        "the perturbed device should conduct where the model is blockaded: \
+         {:e} vs {:e}",
+        bad.measured,
+        bad.reference
+    );
+    // The identically-budgeted honest twin passes — the failure above
+    // is the physics, not the statistics.
+    assert!(results[1].pass(), "honest twin must pass at the same bias");
+}
