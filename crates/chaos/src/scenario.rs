@@ -1,0 +1,385 @@
+//! The campaign model: which faults are injected, into which layer,
+//! with which parameters. A campaign is a **pure function** of
+//! `(master_seed, index)` via [`split_seed`], so a campaign log is
+//! byte-identical across machines, runs, and thread counts — the same
+//! counter-based determinism contract the batch layer itself makes.
+
+use std::fmt;
+
+use semsim_core::rng::{split_seed, Rng};
+
+/// Number of sweep points in the canonical batch-campaign circuit.
+pub const NTASKS: usize = 6;
+/// Warmup events per point in the canonical batch campaign.
+pub const WARMUP: u64 = 60;
+/// Measured events per point in the canonical batch campaign.
+pub const EVENTS: u64 = 400;
+
+/// One injected fault. The first four are scripted through the batch
+/// layer's [`fault-inject` hooks]; the file faults mutate the journal
+/// on disk between the faulted run and the healing resume; `CancelAt`
+/// fires a cooperative [`CancelToken`] from inside a point's setup.
+///
+/// [`fault-inject` hooks]: semsim_core::batch
+/// [`CancelToken`]: semsim_core::batch::CancelToken
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside `task`'s initial attempt after `event` events.
+    PanicAt {
+        /// Sweep point index.
+        task: usize,
+        /// Event count at which the panic fires.
+        event: u64,
+    },
+    /// Poison a tunnel rate of `junction` in `task`'s initial attempt.
+    PoisonRate {
+        /// Sweep point index.
+        task: usize,
+        /// Event count at which the poison fires.
+        event: u64,
+        /// Junction whose forward rate is poisoned.
+        junction: usize,
+    },
+    /// Poison `junction` in **every** non-fallback attempt of `task`,
+    /// so only the non-adaptive fallback solver can rescue the point.
+    PersistentPoison {
+        /// Sweep point index.
+        task: usize,
+        /// Event count at which the poison fires.
+        event: u64,
+        /// Junction whose forward rate is poisoned.
+        junction: usize,
+    },
+    /// Journal appends fail like ENOSPC after the first `appends`
+    /// succeed, tearing each failed record at `torn_bytes` bytes.
+    JournalFullAfter {
+        /// Appends that succeed before the disk "fills".
+        appends: u64,
+        /// Bytes of each failed record that still reach the file.
+        torn_bytes: usize,
+    },
+    /// Truncate the journal file by `drop_bytes` bytes (a torn final
+    /// write; large values cut into earlier records or the header).
+    TornTail {
+        /// Bytes removed from the end of the file.
+        drop_bytes: usize,
+    },
+    /// Flip one bit `offset_back` bytes from the end of the journal
+    /// (on-disk rot; small offsets hit the newest record, large ones
+    /// reach the header).
+    BitRot {
+        /// Distance from the end of the file, in bytes.
+        offset_back: usize,
+    },
+    /// Simulate a kill -9 mid-append: keep the header plus the first
+    /// `keep_records` records, then append `torn_bytes` of garbage (the
+    /// partially flushed next record).
+    KillAfter {
+        /// Complete records that survive the kill.
+        keep_records: usize,
+        /// Garbage bytes after the last surviving record.
+        torn_bytes: usize,
+    },
+    /// Fire the cooperative [`semsim_core::batch::CancelToken`] when
+    /// `task`'s initial attempt starts.
+    CancelAt {
+        /// Sweep point whose setup cancels the batch.
+        task: usize,
+    },
+}
+
+impl Fault {
+    /// Whether recovery from this fault promises **byte identity**
+    /// with the uninterrupted run. Panics rerun with the identical
+    /// seed, and every journal/cancel fault only changes *which*
+    /// points are recomputed — never their values. Poison faults are
+    /// the exception: the retry ladder reseeds (or falls back to the
+    /// reference solver), which promises a *valid* answer, not the
+    /// same Monte Carlo sample. Campaigns containing them are checked
+    /// for run-to-run determinism instead.
+    #[must_use]
+    pub fn preserves_value(&self) -> bool {
+        !matches!(
+            self,
+            Fault::PoisonRate { .. } | Fault::PersistentPoison { .. }
+        )
+    }
+
+    /// Whether this fault mutates the journal file *after* the faulted
+    /// run (as opposed to acting during it).
+    #[must_use]
+    pub fn is_file_fault(&self) -> bool {
+        matches!(
+            self,
+            Fault::TornTail { .. } | Fault::BitRot { .. } | Fault::KillAfter { .. }
+        )
+    }
+
+    fn sample(rng: &mut Rng) -> Fault {
+        let task = (rng.next_u64() % NTASKS as u64) as usize;
+        let event = 1 + rng.next_u64() % (WARMUP + EVENTS);
+        let junction = (rng.next_u64() % 2) as usize;
+        let small = (rng.next_u64() % 48) as usize;
+        match rng.next_u64() % 8 {
+            0 => Fault::PanicAt { task, event },
+            1 => Fault::PoisonRate {
+                task,
+                event,
+                junction,
+            },
+            2 => Fault::PersistentPoison {
+                task,
+                event,
+                junction,
+            },
+            3 => Fault::JournalFullAfter {
+                appends: task as u64,
+                torn_bytes: small,
+            },
+            4 => Fault::TornTail {
+                drop_bytes: 1 + small * 3,
+            },
+            5 => Fault::BitRot {
+                offset_back: 1 + (rng.next_u64() % 160) as usize,
+            },
+            6 => Fault::KillAfter {
+                keep_records: task,
+                torn_bytes: small,
+            },
+            _ => Fault::CancelAt { task },
+        }
+    }
+
+    /// The fault as a JSON object for a repro file.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Fault::PanicAt { task, event } => {
+                format!("{{\"kind\":\"panic_at\",\"task\":{task},\"event\":{event}}}")
+            }
+            Fault::PoisonRate {
+                task,
+                event,
+                junction,
+            } => format!(
+                "{{\"kind\":\"poison_rate\",\"task\":{task},\"event\":{event},\"junction\":{junction}}}"
+            ),
+            Fault::PersistentPoison {
+                task,
+                event,
+                junction,
+            } => format!(
+                "{{\"kind\":\"persistent_poison\",\"task\":{task},\"event\":{event},\"junction\":{junction}}}"
+            ),
+            Fault::JournalFullAfter { appends, torn_bytes } => format!(
+                "{{\"kind\":\"journal_full_after\",\"appends\":{appends},\"torn_bytes\":{torn_bytes}}}"
+            ),
+            Fault::TornTail { drop_bytes } => {
+                format!("{{\"kind\":\"torn_tail\",\"drop_bytes\":{drop_bytes}}}")
+            }
+            Fault::BitRot { offset_back } => {
+                format!("{{\"kind\":\"bit_rot\",\"offset_back\":{offset_back}}}")
+            }
+            Fault::KillAfter {
+                keep_records,
+                torn_bytes,
+            } => format!(
+                "{{\"kind\":\"kill_after\",\"keep_records\":{keep_records},\"torn_bytes\":{torn_bytes}}}"
+            ),
+            Fault::CancelAt { task } => format!("{{\"kind\":\"cancel_at\",\"task\":{task}}}"),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PanicAt { task, event } => write!(f, "panic_at(task={task},event={event})"),
+            Fault::PoisonRate {
+                task,
+                event,
+                junction,
+            } => write!(
+                f,
+                "poison_rate(task={task},event={event},junction={junction})"
+            ),
+            Fault::PersistentPoison {
+                task,
+                event,
+                junction,
+            } => write!(
+                f,
+                "persistent_poison(task={task},event={event},junction={junction})"
+            ),
+            Fault::JournalFullAfter {
+                appends,
+                torn_bytes,
+            } => {
+                write!(f, "journal_full_after(appends={appends},torn={torn_bytes})")
+            }
+            Fault::TornTail { drop_bytes } => write!(f, "torn_tail(drop={drop_bytes})"),
+            Fault::BitRot { offset_back } => write!(f, "bit_rot(back={offset_back})"),
+            Fault::KillAfter {
+                keep_records,
+                torn_bytes,
+            } => write!(f, "kill_after(keep={keep_records},torn={torn_bytes})"),
+            Fault::CancelAt { task } => write!(f, "cancel_at(task={task})"),
+        }
+    }
+}
+
+/// Which layer a campaign attacks, and with what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scenario {
+    /// Engine/batch/journal faults composed against the canonical
+    /// batch sweep, followed by a healing resume.
+    Batch {
+        /// The injected faults, applied in order.
+        faults: Vec<Fault>,
+    },
+    /// The serve layer: run a sweep job, crash the daemon after
+    /// `cut_points` journaled points (cancel + discard the terminal
+    /// record, exactly what kill -9 before the `.done` write leaves),
+    /// restart on the same data dir, and demand a byte-identical
+    /// result stream.
+    ServeRestart {
+        /// Journaled points to wait for before the simulated crash.
+        cut_points: u64,
+    },
+    /// The serve admission path: saturate a one-worker, depth-1 queue
+    /// and demand the documented structured refusals (429 for the
+    /// overflow, 400 for garbage) while admitted jobs still finish.
+    ServeSaturate,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scenario::Batch { faults } => {
+                write!(f, "batch faults=[")?;
+                for (i, fault) in faults.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{fault}")?;
+                }
+                write!(f, "]")
+            }
+            Scenario::ServeRestart { cut_points } => {
+                write!(f, "serve_restart cut_points={cut_points}")
+            }
+            Scenario::ServeSaturate => write!(f, "serve_saturate"),
+        }
+    }
+}
+
+/// One generated campaign: a simulation seed plus a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Campaign {
+    /// Campaign counter within the run.
+    pub index: u64,
+    /// Master seed of the simulated sweep (distinct per campaign).
+    pub sim_seed: u64,
+    /// The attack.
+    pub scenario: Scenario,
+}
+
+impl Campaign {
+    /// Generates campaign `index` of a run with `master_seed` — a pure
+    /// function of the pair, so logs and repro files are portable.
+    /// Roughly one campaign in ten targets the serve layer (those cost
+    /// real sockets and daemon restarts); the rest compose one to
+    /// three engine/batch/journal faults.
+    #[must_use]
+    pub fn generate(master_seed: u64, index: u64) -> Campaign {
+        let mut rng = Rng::seed_from_u64(split_seed(master_seed, index));
+        let sim_seed = rng.next_u64();
+        let scenario = match rng.next_u64() % 20 {
+            0 => Scenario::ServeRestart {
+                cut_points: 1 + rng.next_u64() % 3,
+            },
+            1 => Scenario::ServeSaturate,
+            _ => {
+                let n = 1 + (rng.next_u64() % 3) as usize;
+                let faults = (0..n).map(|_| Fault::sample(&mut rng)).collect();
+                Scenario::Batch { faults }
+            }
+        };
+        Campaign {
+            index,
+            sim_seed,
+            scenario,
+        }
+    }
+
+    /// Whether every fault in the campaign preserves byte identity
+    /// (see [`Fault::preserves_value`]); serve scenarios always do.
+    #[must_use]
+    pub fn expects_identity(&self) -> bool {
+        match &self.scenario {
+            Scenario::Batch { faults } => faults.iter().all(Fault::preserves_value),
+            Scenario::ServeRestart { .. } | Scenario::ServeSaturate => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed_and_index() {
+        for index in 0..64 {
+            assert_eq!(Campaign::generate(1, index), Campaign::generate(1, index));
+        }
+        // Different indices and different master seeds decorrelate.
+        assert_ne!(Campaign::generate(1, 3), Campaign::generate(1, 4));
+        assert_ne!(Campaign::generate(1, 3), Campaign::generate(2, 3));
+    }
+
+    #[test]
+    fn seed_one_covers_every_layer_and_fault_kind() {
+        // The CI smoke run is `--campaigns 200 --seed 1`; it must
+        // actually exercise every scenario kind, every fault kind, and
+        // in particular at least one identity-expecting campaign with
+        // a BitRot fault (the known-bug hook hides there).
+        let campaigns: Vec<Campaign> = (0..200).map(|i| Campaign::generate(1, i)).collect();
+        let mut kinds = [false; 8];
+        let mut serve_restart = 0;
+        let mut serve_saturate = 0;
+        let mut identity_bit_rot = 0;
+        for c in &campaigns {
+            match &c.scenario {
+                Scenario::ServeRestart { .. } => serve_restart += 1,
+                Scenario::ServeSaturate => serve_saturate += 1,
+                Scenario::Batch { faults } => {
+                    for f in faults {
+                        let k = match f {
+                            Fault::PanicAt { .. } => 0,
+                            Fault::PoisonRate { .. } => 1,
+                            Fault::PersistentPoison { .. } => 2,
+                            Fault::JournalFullAfter { .. } => 3,
+                            Fault::TornTail { .. } => 4,
+                            Fault::BitRot { .. } => 5,
+                            Fault::KillAfter { .. } => 6,
+                            Fault::CancelAt { .. } => 7,
+                        };
+                        kinds[k] = true;
+                    }
+                    if c.expects_identity()
+                        && faults.iter().any(|f| matches!(f, Fault::BitRot { .. }))
+                    {
+                        identity_bit_rot += 1;
+                    }
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "fault kinds covered: {kinds:?}");
+        assert!(serve_restart >= 2, "serve restarts: {serve_restart}");
+        assert!(serve_saturate >= 2, "serve saturations: {serve_saturate}");
+        assert!(
+            identity_bit_rot >= 1,
+            "need an identity-expecting BitRot campaign for the known-bug hook"
+        );
+    }
+}

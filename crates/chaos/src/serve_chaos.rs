@@ -1,0 +1,244 @@
+//! Serve-layer campaigns: real sockets, a real daemon, simulated
+//! crashes. These cost daemon startups and job runs, so the generator
+//! samples them roughly once per ten campaigns.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use semsim_check::{parse_json, Json};
+use semsim_serve::http::request;
+use semsim_serve::{ServeConfig, Server};
+
+/// A 9-point sweep sized to be observable mid-flight yet cheap: the
+/// restart campaign cuts it after one to three journaled points.
+const SWEEP_SRC: &str = "junc 1 1 4 1e-6 1e-18\njunc 2 2 4 1e-6 1e-18\ncap 3 4 3e-18\nvdc 1 0.02\nvdc 2 -0.02\nvdc 3 0.0\nsymm 1\ntemp 5\nrecord 1 2 2\njumps 40000 1\nsweep 2 0.02 0.005\n";
+
+const DEADLINE: Duration = Duration::from_secs(240);
+
+fn job_body(seed: u64) -> String {
+    let escaped = SWEEP_SRC.replace('\n', "\\n");
+    // JSON numbers are f64 on the wire, and the API rejects seeds that
+    // would lose precision there — keep the campaign seed to 32 bits.
+    format!(
+        "{{\"source\": \"{escaped}\", \"seed\": {}}}",
+        seed & 0xFFFF_FFFF
+    )
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("semsim_chaos_serve_{}_{name}", std::process::id()))
+}
+
+fn config(dir: &Path, queue_depth: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth,
+        data_dir: dir.to_path_buf(),
+        max_job_seconds: 0.0,
+        max_memory: 0,
+    }
+}
+
+fn get_json(addr: &str, path: &str) -> Result<(u16, Json), String> {
+    let resp = request(addr, "GET", path, None).map_err(|e| format!("GET {path}: {e}"))?;
+    Ok((resp.status, parse_json(&resp.body).unwrap_or(Json::Null)))
+}
+
+fn phase_of(json: &Json) -> String {
+    json.get("phase")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Polls a job to a terminal phase; the terminal phase must be one of
+/// the documented ones (invariant (b) at the serve layer).
+fn wait_terminal(addr: &str, id: &str) -> Result<String, String> {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let (status, json) = get_json(addr, &format!("/jobs/{id}"))?;
+        if status != 200 {
+            return Err(format!("GET /jobs/{id} answered HTTP {status}"));
+        }
+        match phase_of(&json).as_str() {
+            "queued" | "running" => {}
+            p @ ("done" | "failed" | "cancelled") => return Ok(p.to_string()),
+            p => return Err(format!("job {id} in undocumented phase `{p}`")),
+        }
+        if Instant::now() > deadline {
+            return Err(format!("job {id} never reached a terminal phase"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn stream(addr: &str, id: &str) -> Result<String, String> {
+    let resp = request(addr, "GET", &format!("/jobs/{id}/stream"), None)
+        .map_err(|e| format!("stream {id}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("stream {id} answered HTTP {}", resp.status));
+    }
+    Ok(resp.body)
+}
+
+fn start(dir: &Path, queue_depth: usize) -> Result<(Server, String), String> {
+    let (server, _notes) =
+        Server::start(&config(dir, queue_depth)).map_err(|e| format!("daemon start: {e}"))?;
+    let addr = server.addr().to_string();
+    Ok((server, addr))
+}
+
+fn shutdown(server: Server, addr: &str) {
+    for id in 1..8u64 {
+        let _ = request(addr, "DELETE", &format!("/jobs/j{id}"), None);
+    }
+    server.drain();
+    server.join();
+}
+
+/// Crash-restart campaign: run the job clean, then again with a
+/// simulated kill -9 once `cut_points` points are journaled (cancel,
+/// stop the daemon, discard the terminal `.done` record), restart on
+/// the same data dir, and demand a byte-identical result stream.
+pub(crate) fn run_restart(sim_seed: u64, cut_points: u64, tag: u64) -> Result<(), String> {
+    let body = job_body(sim_seed);
+
+    let clean_dir = scratch_dir(&format!("clean_{tag}"));
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let (server, addr) = start(&clean_dir, 4)?;
+    let resp = request(&addr, "POST", "/jobs", Some(&body)).map_err(|e| e.to_string())?;
+    if resp.status != 202 {
+        shutdown(server, &addr);
+        return Err(format!("clean submission answered HTTP {}", resp.status));
+    }
+    let phase = wait_terminal(&addr, "j1")?;
+    if phase != "done" {
+        shutdown(server, &addr);
+        return Err(format!("clean job ended `{phase}`, wanted `done`"));
+    }
+    let clean = stream(&addr, "j1")?;
+    shutdown(server, &addr);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    let crash_dir = scratch_dir(&format!("crash_{tag}"));
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    let (server, addr) = start(&crash_dir, 4)?;
+    let resp = request(&addr, "POST", "/jobs", Some(&body)).map_err(|e| e.to_string())?;
+    if resp.status != 202 {
+        shutdown(server, &addr);
+        return Err(format!(
+            "crash-run submission answered HTTP {}",
+            resp.status
+        ));
+    }
+    // Wait until the cut point is journaled (or the job finishes first
+    // — the invariant is checkable either way).
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let (_, json) = get_json(&addr, "/jobs/j1")?;
+        let done = json
+            .get("points_done")
+            .and_then(Json::as_number)
+            .unwrap_or(0.0);
+        let phase = phase_of(&json);
+        if done >= cut_points as f64 || (phase != "queued" && phase != "running") {
+            break;
+        }
+        if Instant::now() > deadline {
+            shutdown(server, &addr);
+            return Err("no progress before the simulated crash".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = request(&addr, "DELETE", "/jobs/j1", None);
+    wait_terminal(&addr, "j1")?;
+    server.drain();
+    server.join();
+    // What a kill -9 before the terminal write leaves behind.
+    let _ = std::fs::remove_file(crash_dir.join("j1.done"));
+
+    let (server, addr) = start(&crash_dir, 4)?;
+    let phase = wait_terminal(&addr, "j1")?;
+    if phase != "done" {
+        shutdown(server, &addr);
+        return Err(format!("resumed job ended `{phase}`, wanted `done`"));
+    }
+    let resumed = stream(&addr, "j1")?;
+    shutdown(server, &addr);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+
+    if resumed != clean {
+        return Err(format!(
+            "restart changed the streamed result ({} vs {} bytes)",
+            resumed.len(),
+            clean.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Saturation campaign: one worker, queue depth 1. The first two
+/// submissions are admitted, the third must get the documented 429,
+/// garbage must get a 400, and the admitted jobs must still reach
+/// terminal phases.
+pub(crate) fn run_saturate(sim_seed: u64, tag: u64) -> Result<(), String> {
+    let dir = scratch_dir(&format!("sat_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, addr) = start(&dir, 1)?;
+    let body = job_body(sim_seed);
+
+    let resp = request(&addr, "POST", "/jobs", Some(&body)).map_err(|e| e.to_string())?;
+    if resp.status != 202 {
+        shutdown(server, &addr);
+        return Err(format!("first submission answered HTTP {}", resp.status));
+    }
+    // Wait for it to occupy the worker so the next one queues.
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let (_, json) = get_json(&addr, "/jobs/j1")?;
+        if phase_of(&json) != "queued" {
+            break;
+        }
+        if Instant::now() > deadline {
+            shutdown(server, &addr);
+            return Err("first job never started".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let second = request(&addr, "POST", "/jobs", Some(&body))
+        .map_err(|e| e.to_string())?
+        .status;
+    let third = request(&addr, "POST", "/jobs", Some(&body))
+        .map_err(|e| e.to_string())?
+        .status;
+    let garbage = request(&addr, "POST", "/jobs", Some("{not json"))
+        .map_err(|e| e.to_string())?
+        .status;
+    let mut violations = Vec::new();
+    if second != 202 {
+        violations.push(format!("second submission got HTTP {second}, wanted 202"));
+    }
+    if third != 429 {
+        violations.push(format!("overflow submission got HTTP {third}, wanted 429"));
+    }
+    if garbage != 400 {
+        violations.push(format!("garbage submission got HTTP {garbage}, wanted 400"));
+    }
+    // Admitted jobs must still reach documented terminal phases after
+    // cancellation — saturation must not wedge the queue.
+    let _ = request(&addr, "DELETE", "/jobs/j1", None);
+    let _ = request(&addr, "DELETE", "/jobs/j2", None);
+    for id in ["j1", "j2"] {
+        if let Err(e) = wait_terminal(&addr, id) {
+            violations.push(e);
+        }
+    }
+    shutdown(server, &addr);
+    let _ = std::fs::remove_dir_all(&dir);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("; "))
+    }
+}

@@ -35,7 +35,10 @@
 //!    [`BatchReport`], with per-attempt logs, merged
 //!    [`HealthReport`]s and [`OutcomeCounts`]. The only errors that
 //!    still abort are the batch-level ones retry cannot help
-//!    (journal I/O, journal mismatch).
+//!    (opening the journal: I/O, mismatch). A failed journal *append*
+//!    mid-batch (disk full, short write) is recorded on its point
+//!    ([`PointReport::journal_error`]) and the value salvaged in
+//!    memory — the sweep finishes.
 //! 3. **Journal.** With [`BatchOpts::journal`] set, completed points
 //!    are appended to a crash-safe [`crate::journal`] file as they
 //!    finish; [`BatchOpts::resume`] restores them as
@@ -52,7 +55,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::checkpoint::{fnv1a64, Writer};
 use crate::circuit::{Circuit, JunctionId};
@@ -279,6 +282,10 @@ pub struct PointReport<T> {
     pub item: Option<T>,
     /// Terminal fault of a [`PointStatus::Faulted`] point.
     pub fault: Option<TaskFault>,
+    /// A failed journal append for this point (disk full, short
+    /// write). The value is still salvaged in memory — only its
+    /// durability was lost; a later `--resume` recomputes the point.
+    pub journal_error: Option<String>,
 }
 
 /// Tally of [`PointStatus`]es across a batch.
@@ -356,6 +363,22 @@ impl<T> BatchReport<T> {
     /// Point values in task order, `None` where the point faulted.
     pub fn items(&self) -> impl Iterator<Item = Option<&T>> {
         self.points.iter().map(|p| p.item.as_ref())
+    }
+
+    /// Points whose journal append failed (their values were salvaged
+    /// in memory but are not durable — a `--resume` recomputes them).
+    #[must_use]
+    pub fn journal_write_failures(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.journal_error.is_some())
+            .count()
+    }
+
+    /// The first (lowest-task) journal append failure, if any.
+    #[must_use]
+    pub fn first_journal_write_error(&self) -> Option<&str> {
+        self.points.iter().find_map(|p| p.journal_error.as_deref())
     }
 
     /// `true` when no point faulted or was cancelled — every value is
@@ -563,6 +586,7 @@ where
     T: JournalItem + BatchItem + Clone + Send + Sync,
     F: Fn(&AttemptSpec) -> Result<(T, HealthReport), CoreError> + Sync,
 {
+    let journal_errors: Mutex<HashMap<usize, String>> = Mutex::new(HashMap::new());
     let runs = run_tasks(tasks, par, |i| {
         // Journal-restored points are salvaged even under cancellation
         // — they cost nothing and keep the partial report maximal.
@@ -586,15 +610,29 @@ where
         }
         let run = run_with_retry(i, master_seed, policy, &run_attempt);
         if let (Some(journal), Some(item)) = (journal, &run.item) {
-            journal.append(&JournalEntry {
+            // A failed append (ENOSPC, short write) never aborts the
+            // batch: the computed value is salvaged in memory and the
+            // failure recorded on the point. The journal refuses all
+            // further appends itself (a record written after a torn
+            // one would be unreachable on resume), so later points
+            // collect the same structured failure.
+            if let Err(e) = journal.append(&JournalEntry {
                 task: i,
                 status: run.status,
                 attempts: run.attempts.clone(),
                 item: item.clone(),
-            })?;
+            }) {
+                journal_errors
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(i, e.to_string());
+            }
         }
         Ok(run)
     })?;
+    let mut journal_errors = journal_errors
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
 
     let mut counts = BatchCounts::default();
     let mut outcomes = OutcomeCounts::default();
@@ -614,6 +652,7 @@ where
             attempts: run.attempts,
             item: run.item,
             fault: run.fault,
+            journal_error: journal_errors.remove(&task),
         });
     }
     Ok(BatchReport {
@@ -787,6 +826,10 @@ where
         kind: SweepPoint::KIND,
     };
     let (journal, restored) = open_journal::<SweepPoint>(opts, &header)?;
+    #[cfg(feature = "fault-inject")]
+    if let (Some(plan), Some(j)) = (&opts.fault_plan, journal.as_ref()) {
+        plan.arm_journal(j);
+    }
     run_batch(
         controls.len(),
         config.seed,
@@ -979,6 +1022,10 @@ where
         kind: ReplicaSummary::KIND,
     };
     let (journal, restored) = open_journal::<ReplicaSummary>(opts, &header)?;
+    #[cfg(feature = "fault-inject")]
+    if let (Some(plan), Some(j)) = (&opts.fault_plan, journal.as_ref()) {
+        plan.arm_journal(j);
+    }
     run_batch(
         replicas,
         config.seed,
@@ -1030,6 +1077,7 @@ pub struct BatchFaultPlan {
     panics: Vec<(usize, u64)>,
     poisons: Vec<(usize, u64, usize)>,
     persistent_poisons: Vec<(usize, u64, usize)>,
+    journal_full: Option<(u64, usize)>,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -1063,6 +1111,24 @@ impl BatchFaultPlan {
     pub fn persistent_poison(mut self, task: usize, at_event: u64, junction: usize) -> Self {
         self.persistent_poisons.push((task, at_event, junction));
         self
+    }
+
+    /// Scripts a journal disk-full fault: the first `after_appends`
+    /// appends succeed, then every later append tears its record at
+    /// `torn_bytes` bytes and fails like ENOSPC. The batch must
+    /// salvage the affected points in memory and finish.
+    #[must_use]
+    pub fn journal_full_after(mut self, after_appends: u64, torn_bytes: usize) -> Self {
+        self.journal_full = Some((after_appends, torn_bytes));
+        self
+    }
+
+    /// Arms the scripted journal fault (if any) on an opened journal.
+    /// The batch drivers call this right after opening.
+    pub fn arm_journal<T: JournalItem>(&self, journal: &Journal<T>) {
+        if let Some((after_appends, torn_bytes)) = self.journal_full {
+            journal.arm_write_failure(after_appends, torn_bytes);
+        }
     }
 
     /// Arms the faults this plan scripts for `spec` on a fresh

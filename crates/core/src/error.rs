@@ -124,6 +124,30 @@ pub enum CoreError {
         /// The formatted OS error, with the path.
         message: String,
     },
+    /// An append to a journal failed mid-batch (disk full, short
+    /// write, revoked handle). Distinct from [`CoreError::JournalIo`]
+    /// — which covers open/read failures that abort before any work —
+    /// because an append failure strikes *after* the point computed:
+    /// the batch layer records it on the point and salvages the value
+    /// in memory instead of aborting the sweep.
+    JournalWriteFailed {
+        /// The formatted OS error, with the path.
+        message: String,
+    },
+    /// A circuit was refused before it ran because its estimated
+    /// resource footprint exceeds the configured budget (CLI
+    /// `--max-memory`, serve admission). Carries the estimator's
+    /// breakdown so the caller can size the circuit.
+    ResourceBudget {
+        /// Estimated bytes the circuit needs (see
+        /// [`crate::resource::ResourceEstimate`]).
+        required: u64,
+        /// The configured budget, bytes.
+        limit: u64,
+        /// Human-readable component breakdown (C⁻¹, neighborhood
+        /// tables, journal buffer, …).
+        breakdown: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -202,6 +226,20 @@ impl fmt::Display for CoreError {
             CoreError::JournalIo { message } => {
                 write!(f, "journal I/O error: {message}")
             }
+            CoreError::JournalWriteFailed { message } => {
+                write!(f, "journal write failed: {message}")
+            }
+            CoreError::ResourceBudget {
+                required,
+                limit,
+                breakdown,
+            } => {
+                write!(
+                    f,
+                    "resource budget exceeded: circuit needs an estimated \
+                     {required} bytes but the limit is {limit} bytes ({breakdown})"
+                )
+            }
         }
     }
 }
@@ -270,6 +308,27 @@ mod tests {
             m.to_string(),
             "checkpoint does not match this simulation: islands \
              (simulation has 2, checkpoint has 5)"
+        );
+    }
+
+    #[test]
+    fn resource_display_messages() {
+        let e = CoreError::ResourceBudget {
+            required: 2048,
+            limit: 1024,
+            breakdown: "C and C⁻¹ 1.0 KiB".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "resource budget exceeded: circuit needs an estimated \
+             2048 bytes but the limit is 1024 bytes (C and C⁻¹ 1.0 KiB)"
+        );
+        let w = CoreError::JournalWriteFailed {
+            message: "sweep.jl: No space left on device (os error 28)".to_string(),
+        };
+        assert_eq!(
+            w.to_string(),
+            "journal write failed: sweep.jl: No space left on device (os error 28)"
         );
     }
 

@@ -461,6 +461,31 @@ pub struct Journal<T> {
     restored: Vec<JournalEntry<T>>,
     discarded_tail_bytes: usize,
     discarded_tail_reason: Option<String>,
+    /// Set after the first failed append. A failed append may tear a
+    /// record at the end of the file; any record written after a torn
+    /// one would sit beyond the next resume's scan horizon and be
+    /// silently unreachable, so the journal refuses all further
+    /// appends once one fails.
+    failed: Mutex<Option<String>>,
+    /// Scripted write failure (testing only): `(appends remaining
+    /// before the fault fires, bytes of the faulting record actually
+    /// written — a torn short write, like real ENOSPC)`.
+    #[cfg(feature = "fault-inject")]
+    write_fault: Mutex<Option<(u64, usize)>>,
+}
+
+/// Formats a failed append as the [`CoreError::JournalWriteFailed`]
+/// the batch layer salvages around, naming ENOSPC explicitly — the
+/// one write failure users can act on without a debugger.
+fn write_err(path: &Path, e: &std::io::Error) -> CoreError {
+    let hint = if e.raw_os_error() == Some(28) {
+        " [disk full]"
+    } else {
+        ""
+    };
+    CoreError::JournalWriteFailed {
+        message: format!("{}: {e}{hint}", path.display()),
+    }
 }
 
 impl<T: JournalItem> Journal<T> {
@@ -480,6 +505,9 @@ impl<T: JournalItem> Journal<T> {
             restored: Vec::new(),
             discarded_tail_bytes: 0,
             discarded_tail_reason: None,
+            failed: Mutex::new(None),
+            #[cfg(feature = "fault-inject")]
+            write_fault: Mutex::new(None),
         })
     }
 
@@ -519,14 +547,27 @@ impl<T: JournalItem> Journal<T> {
             restored: scan.entries,
             discarded_tail_bytes: scan.discarded_tail_bytes,
             discarded_tail_reason: scan.tail_reason,
+            failed: Mutex::new(None),
+            #[cfg(feature = "fault-inject")]
+            write_fault: Mutex::new(None),
         })
     }
 
     /// Appends one completed point. Safe to call from parallel workers.
     ///
+    /// A failed append (ENOSPC, short write, revoked handle) may leave
+    /// a torn record at the end of the file. That tail is exactly what
+    /// [`scan`] discards on the next resume, so the journal stays
+    /// loadable — but the caller must stop appending: a later record
+    /// written after a torn one would sit beyond the scan horizon and
+    /// be silently unreachable. The batch layer enforces this (it
+    /// disables journaling for the rest of the batch and salvages
+    /// points in memory).
+    ///
     /// # Errors
     ///
-    /// [`CoreError::JournalIo`] on write failure;
+    /// [`CoreError::JournalWriteFailed`] on write failure (the message
+    /// names ENOSPC when the OS reports it);
     /// [`CoreError::JournalCorrupt`] when `entry.status` is not
     /// journalable (`Faulted`/`Skipped` — a caller bug).
     pub fn append(&self, entry: &JournalEntry<T>) -> Result<(), CoreError> {
@@ -535,7 +576,64 @@ impl<T: JournalItem> Journal<T> {
             .file
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        file.write_all(&record).map_err(|e| io_err(&self.path, &e))
+        let mut failed = self
+            .failed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(message) = failed.as_ref() {
+            return Err(CoreError::JournalWriteFailed {
+                message: format!(
+                    "{}: append disabled after earlier write failure ({message})",
+                    self.path.display()
+                ),
+            });
+        }
+        #[cfg(feature = "fault-inject")]
+        {
+            let mut fault = self
+                .write_fault
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some((remaining, torn_bytes)) = fault.as_mut() {
+                if *remaining == 0 {
+                    // A real ENOSPC writes what fits, then fails: tear
+                    // the record mid-write so resume sees the same
+                    // torn tail a genuine disk-full leaves behind.
+                    let torn = (*torn_bytes).min(record.len());
+                    let _ = file.write_all(&record[..torn]);
+                    let e = std::io::Error::from_raw_os_error(28);
+                    *failed = Some(e.to_string());
+                    return Err(write_err(&self.path, &e));
+                }
+                *remaining -= 1;
+            }
+        }
+        file.write_all(&record).map_err(|e| {
+            *failed = Some(e.to_string());
+            write_err(&self.path, &e)
+        })
+    }
+
+    /// The first append failure (`None` while every append has
+    /// succeeded). Once set, all further appends are refused — see
+    /// [`Journal::append`].
+    #[must_use]
+    pub fn write_failure(&self) -> Option<String> {
+        self.failed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Arms a scripted append failure (testing only): the next
+    /// `after_appends` appends succeed, then every later append writes
+    /// only `torn_bytes` bytes of its record and fails like ENOSPC.
+    #[cfg(feature = "fault-inject")]
+    pub fn arm_write_failure(&self, after_appends: u64, torn_bytes: usize) {
+        *self
+            .write_fault
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some((after_appends, torn_bytes));
     }
 
     /// Takes the entries restored by [`Journal::resume`] (empty for a

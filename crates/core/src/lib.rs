@@ -38,6 +38,8 @@
 //!   journaled crash-safe resume.
 //! * [`journal`] — the append-only `SEMSIMJL` journal format behind
 //!   `--journal`/`--resume` (shares the checkpoint codec).
+//! * [`resource`] — the pre-admission memory/cost estimator behind
+//!   `--max-memory` and serve's 413 admission guard.
 //!
 //! # Quickstart
 //!
@@ -80,6 +82,7 @@ pub mod journal;
 pub mod master;
 pub mod par;
 pub mod rates;
+pub mod resource;
 pub mod rng;
 pub mod solver;
 pub mod superconduct;

@@ -11,6 +11,7 @@ use semsim_core::constants::ev_to_joule;
 use semsim_core::engine::{RunLength, SimConfig, Simulation, SolverSpec, Stimulus, SweepPoint};
 use semsim_core::health::RunOutcome;
 use semsim_core::par::{par_sweep, Ensemble, EnsembleReport, ParOpts};
+use semsim_core::resource::ResourceEstimate;
 use semsim_core::superconduct::SuperconductingParams;
 use semsim_core::CoreError;
 
@@ -204,6 +205,23 @@ impl CircuitFile {
             cfg = cfg.with_seed(seed);
         }
         Ok(cfg)
+    }
+
+    /// Pre-compile resource estimate from the declarations alone: leads
+    /// are ground plus every distinct `vdc` node, every other mentioned
+    /// node is an island. Nothing is materialised, so this is safe to
+    /// call on a circuit far too large to build — which is exactly when
+    /// an admission guard (`--max-memory`, serve's 413) needs it.
+    #[must_use]
+    pub fn resource_estimate(&self) -> ResourceEstimate {
+        let source_nodes = self.source_nodes();
+        let leads = 1 + source_nodes.len();
+        let islands = self
+            .node_numbers()
+            .iter()
+            .filter(|n| !source_nodes.contains(n))
+            .count();
+        ResourceEstimate::predict(islands, leads, self.junctions.len())
     }
 
     /// Executes the file: compiles it, and either runs the declared
@@ -678,6 +696,22 @@ jumps 3000 1
         assert!(c.node(99).is_err());
         assert!(c.junction(1).is_ok());
         assert!(c.junction(9).is_err());
+    }
+
+    #[test]
+    fn resource_estimate_counts_match_compiled_circuit() {
+        let f = CircuitFile::parse(SET_FILE).unwrap();
+        let est = f.resource_estimate();
+        let c = f.compile().unwrap();
+        assert_eq!(est.islands as usize, c.circuit.num_islands());
+        assert_eq!(est.leads as usize, c.circuit.num_leads());
+        assert_eq!(est.junctions as usize, c.circuit.num_junctions());
+        // The predict-time dense blocks are exact (they only depend on
+        // the counts), so the estimate's dense component equals the
+        // measured one.
+        let measured = ResourceEstimate::measured(&c.circuit);
+        assert_eq!(est.dense_matrix_bytes, measured.dense_matrix_bytes);
+        assert_eq!(est.coupling_bytes, measured.coupling_bytes);
     }
 
     #[test]

@@ -427,7 +427,10 @@ impl JobStore {
                     continue;
                 }
             };
-            let (spec, kind, tasks) = match crate::runner::resolve_spec(&raw) {
+            // Recovery never re-prices a job (budget 0): everything on
+            // disk was admitted before the crash, and a restart with a
+            // tighter budget must not strand work that already ran.
+            let (spec, kind, tasks) = match crate::runner::resolve_spec(&raw, 0) {
                 Ok(resolved) => resolved,
                 Err(e) => {
                     notes.push(format!("job j{id}: invalid spec ({e}); skipped"));

@@ -24,6 +24,7 @@ use semsim_core::engine::{RunLength, SimConfig, SweepPoint};
 use semsim_core::health::{HealthReport, RunOutcome, Supervisor};
 use semsim_core::journal::{read_header, scan, JournalItem};
 use semsim_core::par::ParOpts;
+use semsim_core::resource::ResourceEstimate;
 use semsim_logic::{elaborate, SetLogicParams};
 use semsim_netlist::{CircuitFile, ExecutionKind, LogicFile};
 
@@ -106,21 +107,83 @@ fn circuit_file(spec: &JobSpec) -> Result<CircuitFile, String> {
     Ok(file)
 }
 
+/// Why admission refused a job body — the HTTP status is part of the
+/// contract: invalid specs are the client's fault (400), oversized
+/// circuits are a capacity refusal (413) carrying the estimator's
+/// numbers so the client can size down.
+#[derive(Debug)]
+pub enum AdmissionError {
+    /// The spec or its source is invalid (HTTP 400).
+    Invalid(String),
+    /// The circuit's estimated footprint exceeds the daemon's
+    /// `--max-memory` budget (HTTP 413).
+    TooLarge {
+        /// Estimated resident bytes.
+        required: u64,
+        /// The configured budget, bytes.
+        limit: u64,
+        /// The estimator's component breakdown.
+        breakdown: String,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Invalid(message) => f.write_str(message),
+            AdmissionError::TooLarge {
+                required,
+                limit,
+                breakdown,
+            } => write!(
+                f,
+                "circuit needs an estimated {required} bytes but the admission \
+                 budget is {limit} bytes ({breakdown})"
+            ),
+        }
+    }
+}
+
 /// Parses a raw job body and validates its source end to end (parse,
 /// static checks, elaboration), returning the execution shape. Runs at
 /// admission — workers only ever see jobs whose sources compile.
 ///
+/// `max_memory` is the admission byte budget (0 disables). For circuit
+/// sources the estimate is a pure function of the declaration counts
+/// ([`CircuitFile::resource_estimate`]) and is enforced *before*
+/// compilation, so an oversized netlist is refused without its dense
+/// matrices ever being materialised. Logic sources elaborate their
+/// circuit during validation anyway, so they enforce the measured
+/// footprint of that circuit.
+///
 /// # Errors
 ///
-/// A human-readable message destined for a 400 response.
-pub fn resolve_spec(raw: &str) -> Result<(JobSpec, JobKind, usize), String> {
-    let spec = parse_job(raw)?;
+/// [`AdmissionError`], which picks the response status.
+pub fn resolve_spec(
+    raw: &str,
+    max_memory: u64,
+) -> Result<(JobSpec, JobKind, usize), AdmissionError> {
+    let invalid = |e: String| AdmissionError::Invalid(e);
+    let check = |estimate: &ResourceEstimate| match estimate.check_budget(max_memory) {
+        Err(semsim_core::CoreError::ResourceBudget {
+            required,
+            limit,
+            breakdown,
+        }) => Err(AdmissionError::TooLarge {
+            required,
+            limit,
+            breakdown,
+        }),
+        _ => Ok(()),
+    };
+    let spec = parse_job(raw).map_err(invalid)?;
     match spec.format {
         SourceFormat::Circuit => {
-            let file = circuit_file(&spec)?;
-            file.compile().map_err(|e| e.to_string())?;
-            file.sim_config().map_err(|e| e.to_string())?;
-            let kind = file.execution_kind().map_err(|e| e.to_string())?;
+            let file = circuit_file(&spec).map_err(invalid)?;
+            check(&file.resource_estimate())?;
+            file.compile().map_err(|e| invalid(e.to_string()))?;
+            file.sim_config().map_err(|e| invalid(e.to_string()))?;
+            let kind = file.execution_kind().map_err(|e| invalid(e.to_string()))?;
             let (kind, tasks) = match kind {
                 ExecutionKind::Sweep { points } => (JobKind::Sweep, points),
                 ExecutionKind::Ensemble { replicas } => (JobKind::Ensemble, replicas),
@@ -128,13 +191,14 @@ pub fn resolve_spec(raw: &str) -> Result<(JobSpec, JobKind, usize), String> {
             Ok((spec, kind, tasks))
         }
         SourceFormat::Logic => {
-            let logic =
-                LogicFile::parse(&spec.source).map_err(|e| format!("source:{}: {e}", e.line()))?;
+            let logic = LogicFile::parse(&spec.source)
+                .map_err(|e| invalid(format!("source:{}: {e}", e.line())))?;
             let params = SetLogicParams::default();
-            let elab = elaborate(&logic, &params).map_err(|e| e.to_string())?;
+            let elab = elaborate(&logic, &params).map_err(|e| invalid(e.to_string()))?;
             for (name, _) in &spec.inputs {
-                elab.input_lead(name).map_err(|e| e.to_string())?;
+                elab.input_lead(name).map_err(|e| invalid(e.to_string()))?;
             }
+            check(&ResourceEstimate::measured(&elab.circuit))?;
             let tasks = spec.replicas.unwrap_or(1);
             Ok((spec, JobKind::Ensemble, tasks))
         }

@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -47,6 +47,10 @@ pub struct ServeConfig {
     pub data_dir: PathBuf,
     /// Server-side cap on any job's wall-clock seconds (0 disables).
     pub max_job_seconds: f64,
+    /// Admission memory budget in bytes (0 disables): a job whose
+    /// estimated circuit footprint exceeds this is refused with a 413
+    /// instead of OOM-killing a worker mid-job.
+    pub max_memory: u64,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +61,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             data_dir: PathBuf::from("semsim-serve-data"),
             max_job_seconds: 0.0,
+            max_memory: 0,
         }
     }
 }
@@ -71,12 +76,87 @@ struct Shared {
     stopped: AtomicBool,
     workers: usize,
     max_job_seconds: f64,
+    max_memory: u64,
 }
 
 impl Shared {
     fn lock_health(&self) -> std::sync::MutexGuard<'_, HealthReport> {
         self.health.lock().unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Exclusive ownership of a data directory, held as a `serve.lock` PID
+/// file. Two daemons sharing one data dir would interleave journal
+/// appends and job ids; the lock makes the second exit with an error
+/// naming the holder instead. A lock left behind by a dead process
+/// (`kill -9`) is detected via `/proc/<pid>` and reclaimed.
+struct ServeLock {
+    path: PathBuf,
+}
+
+impl ServeLock {
+    fn acquire(data_dir: &Path) -> Result<ServeLock, String> {
+        std::fs::create_dir_all(data_dir)
+            .map_err(|e| format!("data dir {}: {e}", data_dir.display()))?;
+        let path = data_dir.join("serve.lock");
+        // Two rounds: create, or read-check-reclaim a stale lock and
+        // create again. A second failure means a live daemon is racing
+        // us for the same directory — give up rather than loop.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write as _;
+                    let _ = writeln!(file, "{}", std::process::id());
+                    return Ok(ServeLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                    let live = holder
+                        .trim()
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&pid| pid_alive(pid));
+                    if let Some(pid) = live {
+                        return Err(format!(
+                            "data dir {} is locked by a running `semsim serve` \
+                             (pid {pid}, lock file {}); stop that daemon or use \
+                             a different --data-dir",
+                            data_dir.display(),
+                            path.display()
+                        ));
+                    }
+                    // The holder is dead (or the lock unreadable):
+                    // stale — reclaim it and try to create again.
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => return Err(format!("cannot create lock {}: {e}", path.display())),
+            }
+        }
+        Err(format!(
+            "cannot acquire {} (another daemon is racing for this data dir)",
+            path.display()
+        ))
+    }
+}
+
+impl Drop for ServeLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// `true` when `pid` is a live process. Uses `/proc` where it exists
+/// (Linux); elsewhere a held lock is conservatively treated as live.
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        return proc_root.join(pid.to_string()).exists();
+    }
+    true
 }
 
 /// A running daemon and its thread handles.
@@ -86,6 +166,8 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
+    /// Released (deleted) when the server is dropped or joined.
+    _lock: ServeLock,
 }
 
 impl Server {
@@ -97,6 +179,7 @@ impl Server {
     ///
     /// Bind or data-directory failures, as text.
     pub fn start(config: &ServeConfig) -> Result<(Server, Vec<String>), String> {
+        let lock = ServeLock::acquire(&config.data_dir)?;
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener
@@ -115,6 +198,7 @@ impl Server {
             stopped: AtomicBool::new(false),
             workers: config.workers.max(1),
             max_job_seconds: config.max_job_seconds,
+            max_memory: config.max_memory,
         });
         for RecoveredJob { job, journal_note } in recovered {
             notes.push(format!(
@@ -154,6 +238,7 @@ impl Server {
                 workers,
                 accept: Some(accept),
                 watchdog: Some(watchdog),
+                _lock: lock,
             },
             notes,
         ))
@@ -347,9 +432,27 @@ fn submit(stream: &mut TcpStream, request: &Request, shared: &Shared) -> std::io
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return respond_json(stream, 400, &error_body("body is not UTF-8"), &[]);
     };
-    let (spec, kind, tasks) = match runner::resolve_spec(body) {
+    let (spec, kind, tasks) = match runner::resolve_spec(body, shared.max_memory) {
         Ok(resolved) => resolved,
-        Err(e) => return respond_json(stream, 400, &error_body(&e), &[]),
+        Err(runner::AdmissionError::Invalid(e)) => {
+            return respond_json(stream, 400, &error_body(&e), &[])
+        }
+        Err(runner::AdmissionError::TooLarge {
+            required,
+            limit,
+            breakdown,
+        }) => {
+            // 413: a capacity refusal, not a client error. The body
+            // carries the estimator's numbers so the client can size
+            // the circuit to fit.
+            let body = format!(
+                "{{\"error\":\"circuit exceeds the admission memory budget\",\
+                 \"estimated_bytes\":{required},\"max_memory_bytes\":{limit},\
+                 \"breakdown\":\"{}\"}}\n",
+                json_escape(&breakdown)
+            );
+            return respond_json(stream, 413, &body, &[]);
+        }
     };
     let key = cache_key(&spec);
     if let Some(cached_id) = shared.store.cached(key) {

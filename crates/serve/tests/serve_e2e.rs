@@ -35,6 +35,7 @@ fn start(name: &str, workers: usize, queue_depth: usize, max_job_seconds: f64) -
         queue_depth,
         data_dir: temp_dir(name),
         max_job_seconds,
+        max_memory: 0,
     };
     let (server, _notes) = Server::start(&config).expect("daemon must start");
     let addr = server.addr().to_string();
@@ -292,6 +293,7 @@ fn restart_resumes_interrupted_jobs_byte_identically() {
         queue_depth: 4,
         data_dir: data_dir.clone(),
         max_job_seconds: 0.0,
+        max_memory: 0,
     };
     let (server_a, _) = Server::start(&config).unwrap();
     let addr_a = server_a.addr().to_string();
@@ -369,6 +371,108 @@ fn streaming_delivers_points_before_the_job_finishes() {
         .collect::<String>()
         + "# done done\n";
     assert_eq!(body, expected);
+    teardown(&server, &addr);
+    server.join();
+}
+
+#[test]
+fn oversized_job_is_refused_with_a_structured_413() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        data_dir: temp_dir("admission_413"),
+        max_job_seconds: 0.0,
+        max_memory: 16 * 1024,
+    };
+    let (server, _notes) = Server::start(&config).expect("daemon must start");
+    let addr = server.addr().to_string();
+    // A 60-island chain: dense C/C⁻¹ alone is 2·60²·8 = 57.6 KiB,
+    // well past the 16 KiB budget. The estimate is count-based, so the
+    // refusal happens before any matrix is materialised.
+    let mut big = String::from("vdc 1 0.01\ntemp 5\njumps 200 1\n");
+    for i in 1..=60 {
+        big.push_str(&format!("junc {i} {i} {} 1e-6 1e-18\n", i + 1));
+    }
+    let resp = request(&addr, "POST", "/jobs", Some(&job_body(&big, 1))).unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.body);
+    let json = parse_json(&resp.body).unwrap();
+    assert!(
+        num_field(&json, "estimated_bytes") > 16.0 * 1024.0,
+        "{}",
+        resp.body
+    );
+    assert_eq!(num_field(&json, "max_memory_bytes"), 16.0 * 1024.0);
+    assert!(
+        str_field(&json, "breakdown").contains("C and C⁻¹"),
+        "{}",
+        resp.body
+    );
+    // A small job fits the same budget and is admitted normally.
+    let resp = request(&addr, "POST", "/jobs", Some(&job_body(QUICK_SWEEP, 1))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    teardown(&server, &addr);
+    server.join();
+}
+
+#[test]
+fn second_daemon_on_the_same_data_dir_is_refused() {
+    let data_dir = temp_dir("lock_held");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        data_dir: data_dir.clone(),
+        max_job_seconds: 0.0,
+        max_memory: 0,
+    };
+    let (server, _notes) = Server::start(&config).expect("first daemon must start");
+    let addr = server.addr().to_string();
+    let err = match Server::start(&config) {
+        Err(e) => e,
+        Ok(_) => panic!("second daemon must be refused"),
+    };
+    assert!(err.contains("locked by a running"), "{err}");
+    assert!(
+        err.contains(&std::process::id().to_string()),
+        "refusal must name the holder: {err}"
+    );
+    teardown(&server, &addr);
+    server.join();
+    // join released the lock: the same config starts cleanly now.
+    assert!(!data_dir.join("serve.lock").exists());
+    let (server2, _notes) = Server::start(&config).expect("restart after join must work");
+    let addr2 = server2.addr().to_string();
+    teardown(&server2, &addr2);
+    server2.join();
+}
+
+#[test]
+fn stale_lock_from_a_dead_pid_is_reclaimed() {
+    let data_dir = temp_dir("lock_stale");
+    std::fs::create_dir_all(&data_dir).unwrap();
+    // Beyond any kernel's pid_max, so /proc/<pid> cannot exist — the
+    // shape a `kill -9`ed daemon leaves behind.
+    std::fs::write(data_dir.join("serve.lock"), "999999999\n").unwrap();
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        data_dir: data_dir.clone(),
+        max_job_seconds: 0.0,
+        max_memory: 0,
+    };
+    let (server, _notes) = Server::start(&config).expect("stale lock must be reclaimed");
+    let addr = server.addr().to_string();
+    let holder = std::fs::read_to_string(data_dir.join("serve.lock")).unwrap();
+    assert_eq!(holder.trim(), std::process::id().to_string());
+    teardown(&server, &addr);
+    server.join();
+
+    // An unreadable (garbage) lock is also treated as stale.
+    std::fs::write(data_dir.join("serve.lock"), "not-a-pid\n").unwrap();
+    let (server, _notes) = Server::start(&config).expect("garbage lock must be reclaimed");
+    let addr = server.addr().to_string();
     teardown(&server, &addr);
     server.join();
 }

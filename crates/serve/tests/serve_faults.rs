@@ -28,6 +28,7 @@ fn config(name: &str) -> ServeConfig {
         queue_depth: 4,
         data_dir: temp_dir(name),
         max_job_seconds: 0.0,
+        max_memory: 0,
     }
 }
 

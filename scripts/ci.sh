@@ -224,4 +224,38 @@ pct=$(echo "$overhead_out" | grep -oP 'audit-overhead-pct: \K[-0-9.]+')
 awk -v p="$pct" 'BEGIN { exit !(p < 5.0) }' \
   || { echo "FAIL: drift-audit overhead ${pct}% exceeds the 5% budget"; exit 1; }
 
+# Chaos campaigns come last: they need feature-flipped release builds,
+# so every stage that wants the plain release binary runs first.
+echo "==> semsim chaos: 200 deterministic fault campaigns, 0 violations"
+cargo build -q --release --features fault-inject
+chdir=$(mktemp -d)
+trap 'rm -rf "$jdir" "$sdir" "$chdir"' EXIT
+./target/release/semsim chaos --campaigns 200 --seed 1 --out "$chdir" \
+  > "$chdir/log_a.txt" \
+  || { echo "FAIL: chaos campaigns violated a recovery invariant:"; \
+       grep VIOLATION "$chdir/log_a.txt"; exit 1; }
+./target/release/semsim chaos --campaigns 200 --seed 1 --out "$chdir" \
+  > "$chdir/log_b.txt"
+diff "$chdir/log_a.txt" "$chdir/log_b.txt" > /dev/null \
+  || { echo "FAIL: chaos campaign log is not byte-identical across runs"; exit 1; }
+tail -1 "$chdir/log_a.txt"
+
+echo "==> chaos self-test: the known-bug build must be caught and minimized"
+cargo build -q --release --features chaos-known-bug
+if ./target/release/semsim chaos --campaigns 40 --seed 1 --out "$chdir/bug" \
+    > "$chdir/bug.log" 2>/dev/null; then
+  echo "FAIL: the known-bug build passed the chaos campaigns"; exit 1
+fi
+repro=$(ls "$chdir/bug"/chaos_repro_*.json 2>/dev/null | head -1)
+[ -n "$repro" ] || { echo "FAIL: known-bug run wrote no repro"; exit 1; }
+grep -q '"kind":"bit_rot"' "$repro" \
+  || { echo "FAIL: repro lacks the planted bit_rot bug:"; cat "$repro"; exit 1; }
+[ "$(grep -c '"kind":' "$repro")" -eq 1 ] \
+  || { echo "FAIL: repro not minimized to a single fault:"; cat "$repro"; exit 1; }
+./target/release/semsim chaos --replay "$repro" > /dev/null 2>&1 \
+  && { echo "FAIL: known-bug replay did not reproduce the violation"; exit 1; }
+echo "chaos self-test OK: $(basename "$repro") minimized to the planted bit_rot"
+# Leave a plain release binary behind, as every earlier stage built.
+cargo build -q --release --workspace
+
 echo "CI OK"

@@ -17,6 +17,10 @@
 //!   run before engine construction; also behind `semsim lint`.
 //! * [`serve`] — the `semsim serve` HTTP daemon: admission control,
 //!   job journals, and crash-safe restart over the batch layer.
+//! * [`chaos`] — the `semsim chaos` fault-campaign harness:
+//!   deterministic composed faults across the engine, batch, journal,
+//!   and serve layers, checked against the recovery invariants, with
+//!   minimized replayable repros.
 //! * [`validate`] — the `semsim validate` cross-engine validation
 //!   harness: a declared grid of operating points comparing the
 //!   adaptive engine against the analytical baseline and the exact
@@ -47,6 +51,7 @@
 //! # }
 //! ```
 
+pub use semsim_chaos as chaos;
 pub use semsim_check as check;
 pub use semsim_core as core;
 pub use semsim_linalg as linalg;

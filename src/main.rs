@@ -6,14 +6,16 @@
 //! semsim json-verify [FILE]
 //! semsim run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
 //!                          [--checkpoint FILE] [--resume [FILE]]
-//!                          [--journal FILE] [--max-retries N]
+//!                          [--journal FILE] [--max-retries N] [--max-memory BYTES]
 //! semsim sweep <netlist.cir> [--events N] [--threads N]
 //!                            [--journal FILE] [--resume] [--max-retries N]
+//!                            [--max-memory BYTES]
 //! semsim serve [--port N] [--workers N] [--queue-depth N]
-//!              [--data-dir DIR] [--max-job-seconds S]
+//!              [--data-dir DIR] [--max-job-seconds S] [--max-memory BYTES]
 //! semsim call <addr> <METHOD> <PATH> [BODY-FILE]
 //! semsim validate [--quick] [--seed N] [--threads N] [--json FILE]
 //!                 [--trend FILE] [--commit HASH] [--journal BASE] [--resume]
+//! semsim chaos [--campaigns N] [--seed N] [--out DIR] [--replay FILE]
 //! ```
 //!
 //! `lint` runs the static netlist checks (diagnostic codes SC001–SC018)
@@ -62,6 +64,7 @@
 //! 1 when any file has an error-severity finding (including warnings
 //! escalated by `--deny`) or fails to parse, 2 on usage errors.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use semsim::check::{
@@ -127,7 +130,7 @@ commands:
 
   run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
                     [--checkpoint FILE] [--resume [FILE]]
-                    [--journal FILE] [--max-retries N]
+                    [--journal FILE] [--max-retries N] [--max-memory BYTES]
       Compile the circuit and execute a Monte Carlo run at the declared
       bias. --events overrides the file's `jumps` directive (total
       events since the start of the trajectory). --checkpoint-every
@@ -139,10 +142,15 @@ commands:
       retry (--max-retries, default 2); --journal appends finished
       replicas to a crash-safe journal and the bare --resume flag
       restores them instead of recomputing. Ensembles cannot be combined
-      with checkpointing.
+      with checkpointing. --max-memory refuses the circuit before
+      compilation when its estimated footprint (dense C/C⁻¹ matrices,
+      neighborhood tables, journal buffer) exceeds the budget — accepts
+      plain bytes or 64k/16m/2g; the refusal prints the estimator's
+      component breakdown.
 
   sweep <netlist.cir> [--events N] [--threads N]
                       [--journal FILE] [--resume] [--max-retries N]
+                      [--max-memory BYTES]
       Execute the file's `sweep` declaration in parallel over --threads
       worker threads (default: all cores) and print one `control
       current outcome` line per point. Output is bit-identical for
@@ -151,10 +159,10 @@ commands:
       appends finished points to a crash-safe journal (default: the
       file's `journal` directive) and --resume skips them on the next
       invocation, reproducing the uninterrupted sweep bit-for-bit. See
-      docs/robustness.md.
+      docs/robustness.md. --max-memory works as for `run`.
 
   serve [--port N] [--workers N] [--queue-depth N]
-        [--data-dir DIR] [--max-job-seconds S]
+        [--data-dir DIR] [--max-job-seconds S] [--max-memory BYTES]
       Run the simulation service: accept netlist/logic jobs as JSON over
       HTTP on 127.0.0.1:<port> (default 8080), execute them on a pool of
       --workers threads (default 2) behind a bounded admission queue
@@ -162,9 +170,28 @@ commands:
       Every job journals completed points under --data-dir (default
       semsim-serve-data), so a killed daemon resumes all in-flight jobs
       byte-identically on restart. --max-job-seconds caps any job's
-      wall clock (0 = no cap). SIGTERM or POST /drain drains gracefully:
+      wall clock (0 = no cap); --max-memory refuses any job whose
+      estimated circuit footprint exceeds the budget with a structured
+      413 carrying the estimate (0 = no budget). The data dir holds a
+      `serve.lock` PID file, so a second daemon on the same dir exits
+      with an error naming the holder (stale locks from dead processes
+      are reclaimed). SIGTERM or POST /drain drains gracefully:
       queued and running jobs finish, then the daemon exits 0. See
       docs/serving.md for the API.
+
+  chaos [--campaigns N] [--seed N] [--out DIR] [--replay FILE]
+      Run deterministic cross-layer fault campaigns (fault-inject
+      builds only): each campaign composes engine poisons, batch
+      panics, journal truncation/bit-rot, kill-and-resume cuts and
+      cooperative cancels against a small canonical circuit, then
+      checks the recovery invariants (recovery never changes the
+      answer; every run ends in a documented state; a journal on disk
+      is always loadable or rejected with a reason). Campaigns are a
+      pure function of --seed, so the campaign log is byte-identical
+      across machines. A failing campaign is greedily minimized and
+      written to --out (default results/) as a replayable
+      chaos_repro_*.json; --replay re-runs one. Exit status: 0 when
+      every invariant holds, 1 otherwise. See docs/robustness.md.
 
   call <addr> <METHOD> <PATH> [BODY-FILE]
       Minimal HTTP client for the service (the workspace has no curl):
@@ -490,6 +517,9 @@ struct RunOpts {
     /// Wall-clock budget in seconds (`--timeout`), mapped onto the run
     /// supervisor.
     timeout: Option<f64>,
+    /// Memory budget in bytes (`--max-memory`); the circuit is refused
+    /// before compilation when its estimated footprint exceeds this.
+    max_memory: Option<u64>,
 }
 
 fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
@@ -504,6 +534,7 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
         max_retries: None,
         resume_journal: false,
         timeout: None,
+        max_memory: None,
     };
     // `sweep` takes the parallel flags only; the checkpoint family is
     // run-trajectory specific.
@@ -571,6 +602,14 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
                 }
                 opts.timeout = Some(secs);
             }
+            "--max-memory" => {
+                let budget = semsim::core::resource::parse_bytes(&value("--max-memory")?)
+                    .map_err(|e| format!("`--max-memory`: {e}"))?;
+                if budget == 0 {
+                    return Err("`--max-memory` must be positive".into());
+                }
+                opts.max_memory = Some(budget);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `semsim {cmd}`"));
             }
@@ -605,6 +644,24 @@ fn batch_opts(opts: &RunOpts, threads: usize) -> BatchOpts {
     }
 }
 
+/// Enforces `--max-memory` before the circuit is compiled: the
+/// estimate is a pure function of the declaration counts, so an
+/// oversized netlist is refused before its dense matrices are ever
+/// materialised (see [`semsim::core::resource`]).
+fn check_memory_budget(
+    file: &CircuitFile,
+    netlist: &str,
+    limit: Option<u64>,
+) -> Result<(), String> {
+    match limit {
+        Some(l) => file
+            .resource_estimate()
+            .check_budget(l)
+            .map_err(|e| format!("{netlist}: {e}")),
+        None => Ok(()),
+    }
+}
+
 /// Prints the batch recovery summary (stderr) when anything other than
 /// a clean first-attempt-only run happened.
 fn report_batch_recovery(
@@ -612,9 +669,12 @@ fn report_batch_recovery(
     retries: u64,
     discarded_tail_bytes: usize,
     discarded_tail_reason: Option<&str>,
+    journal_write_failures: usize,
+    first_journal_write_error: Option<&str>,
 ) {
     if counts.recovered + counts.faulted + counts.skipped + counts.cancelled == 0
         && discarded_tail_bytes == 0
+        && journal_write_failures == 0
     {
         return;
     }
@@ -626,6 +686,14 @@ fn report_batch_recovery(
     if discarded_tail_bytes > 0 {
         let reason = discarded_tail_reason.unwrap_or("unknown");
         eprintln!("journal: discarded {discarded_tail_bytes} corrupt tail byte(s) ({reason})");
+    }
+    if journal_write_failures > 0 {
+        let detail = first_journal_write_error.unwrap_or("unknown");
+        eprintln!(
+            "journal: {journal_write_failures} point(s) computed but not journaled \
+             ({detail}); results above are complete, but `--resume` will \
+             recompute those points"
+        );
     }
 }
 
@@ -671,6 +739,7 @@ fn try_run(opts: &RunOpts) -> Result<(), String> {
         .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
     let file =
         CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    check_memory_budget(&file, &opts.netlist, opts.max_memory)?;
     let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
     if runs > 1 && file.sweep.is_none() {
         if opts.checkpoint_every.is_some() || opts.checkpoint.is_some() || opts.resume.is_some() {
@@ -832,6 +901,8 @@ fn run_ensemble(opts: &RunOpts, file: &CircuitFile) -> Result<(), String> {
         report.retries,
         report.discarded_tail_bytes,
         report.discarded_tail_reason.as_deref(),
+        report.journal_write_failures(),
+        report.first_journal_write_error(),
     );
     for p in &report.points {
         if let Some(fault) = &p.fault {
@@ -875,6 +946,7 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
             opts.netlist
         ));
     }
+    check_memory_budget(&file, &opts.netlist, opts.max_memory)?;
     let compiled = file
         .compile()
         .map_err(|e| format!("{}: {e}", opts.netlist))?;
@@ -931,6 +1003,8 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
         report.retries,
         report.discarded_tail_bytes,
         report.discarded_tail_reason.as_deref(),
+        report.journal_write_failures(),
+        report.first_journal_write_error(),
     );
     Ok(())
 }
@@ -982,10 +1056,91 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeConfig, String> {
                     return Err("--max-job-seconds must be non-negative and finite".to_string());
                 }
             }
+            "--max-memory" => {
+                config.max_memory = semsim::core::resource::parse_bytes(&value("--max-memory")?)
+                    .map_err(|e| format!("`--max-memory`: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(config)
+}
+
+struct ChaosCliOpts {
+    run: semsim::chaos::ChaosOpts,
+    replay: Option<PathBuf>,
+}
+
+fn parse_chaos_opts(args: &[String]) -> Result<ChaosCliOpts, String> {
+    let mut opts = ChaosCliOpts {
+        run: semsim::chaos::ChaosOpts::default(),
+        replay: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--campaigns" => {
+                opts.run.campaigns = value("--campaigns")?
+                    .parse()
+                    .map_err(|_| "--campaigns must be a positive integer".to_string())?;
+                if opts.run.campaigns == 0 {
+                    return Err("--campaigns must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                opts.run.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an unsigned integer".to_string())?;
+            }
+            "--out" => opts.run.out_dir = value("--out")?.into(),
+            "--replay" => opts.replay = Some(value("--replay")?.into()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn chaos_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_chaos_opts(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match &opts.replay {
+        Some(path) => semsim::chaos::replay(path),
+        None => semsim::chaos::run_campaigns(&opts.run),
+    };
+    match report {
+        Ok(report) => {
+            print!("{}", report.log);
+            if report.violations == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "error: {} of {} chaos campaign(s) violated a recovery invariant{}",
+                    report.violations,
+                    report.campaigns,
+                    if report.repro_files.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (minimized repros: {})", report.repro_files.join(", "))
+                    }
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn serve_cmd(args: &[String]) -> ExitCode {
@@ -1248,6 +1403,7 @@ fn main() -> ExitCode {
             }
         },
         Some((cmd, rest)) if cmd == "serve" => serve_cmd(rest),
+        Some((cmd, rest)) if cmd == "chaos" => chaos_cmd(rest),
         Some((cmd, rest)) if cmd == "call" => call_cmd(rest),
         Some((cmd, rest)) if cmd == "validate" => validate_cmd(rest),
         Some((cmd, _)) => {

@@ -395,3 +395,150 @@ fn header_only_journal_resumes_to_the_full_run() {
     assert_eq!(resumed.values().unwrap(), reference.values().unwrap());
     let _ = std::fs::remove_file(&path);
 }
+
+/// Chaos-found edge: the crash happens *immediately* after the header,
+/// mid-way through the very first record — the file is a valid header
+/// plus garbage. Resume must diagnose the torn tail (with a reason),
+/// restore nothing, and recompute the full batch bit-identically.
+#[test]
+fn header_plus_torn_first_record_resumes_to_the_full_run() {
+    let path = temp_journal("header_torn");
+    let reference = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        ..BatchOpts::default()
+    });
+    assert!(reference.is_complete());
+    let full = std::fs::read(&path).unwrap();
+    assert!(full.len() > HEADER_LEN + 8);
+    // Header, then the first 5 bytes of the first record.
+    std::fs::write(&path, &full[..HEADER_LEN + 5]).unwrap();
+    let scanned = scan::<SweepPoint>(&std::fs::read(&path).unwrap()).unwrap();
+    assert!(scanned.entries.is_empty());
+    assert_eq!(scanned.discarded_tail_bytes, 5);
+    assert!(
+        scanned.tail_reason.is_some(),
+        "torn tail must carry a reason"
+    );
+    let resumed = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    });
+    assert_eq!(resumed.counts.skipped, 0);
+    assert_eq!(resumed.discarded_tail_bytes, 5);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.values().unwrap(), reference.values().unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Chaos-found edge: the cancel token fires while the *final* point is
+/// being set up — racing the last record's flush. Whatever subset got
+/// journaled, a resume restores it and recomputes the rest, and the
+/// final values are bit-identical to the uninterrupted run.
+#[test]
+fn cancel_racing_the_final_record_flush_resumes_exactly() {
+    use semsim::core::batch::{batch_sweep, CancelToken};
+    let path = temp_journal("cancel_last");
+    let reference = run_batch(&BatchOpts::default());
+    let (circuit, j) = set_circuit();
+    let cfg = SimConfig::new(5.0).with_seed(33);
+    let last = controls().len() - 1;
+    let cancel = CancelToken::new();
+    let opts = BatchOpts {
+        par: ParOpts::with_threads(2),
+        journal: Some(path.clone()),
+        cancel: Some(cancel.clone()),
+        ..BatchOpts::default()
+    };
+    let interrupted = batch_sweep(
+        &circuit,
+        &cfg,
+        j,
+        &controls(),
+        150,
+        1200,
+        &opts,
+        |sim, v, spec| {
+            if spec.task == last {
+                cancel.cancel();
+            }
+            apply_bias(sim, v)
+        },
+    )
+    .unwrap();
+    // The journal holds exactly the points that finished — scan agrees
+    // with the report, and every journaled value matches the clean run.
+    let scanned = scan::<SweepPoint>(&std::fs::read(&path).unwrap()).unwrap();
+    let finished = interrupted.counts.ok + interrupted.counts.recovered;
+    assert_eq!(scanned.entries.len(), finished);
+    let reference_values = reference.values().unwrap();
+    for e in &scanned.entries {
+        assert_eq!(
+            e.item, reference_values[e.task],
+            "journaled task {}",
+            e.task
+        );
+    }
+    let resumed = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    });
+    assert_eq!(resumed.counts.skipped, finished);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.values().unwrap(), reference_values);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Chaos-found edge: the disk fills after `k` appends. The batch still
+/// completes with every value salvaged in memory; the on-disk journal
+/// holds a byte-identical prefix of the clean run; and a resume
+/// restores that prefix and recomputes the non-durable points exactly.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn disk_full_salvages_a_byte_identical_prefix() {
+    use semsim::core::batch::BatchFaultPlan;
+    let path = temp_journal("disk_full");
+    let reference = run_batch(&BatchOpts::default());
+    let reference_values = reference.values().unwrap();
+    let kept = 3u64;
+    let report = run_batch(&BatchOpts {
+        par: ParOpts::with_threads(1),
+        journal: Some(path.clone()),
+        fault_plan: Some(BatchFaultPlan::new().journal_full_after(kept, 7)),
+        ..BatchOpts::default()
+    });
+    // Every point computed; the ones past the "full disk" are flagged
+    // as non-durable, and the first failure names the cause.
+    assert!(report.is_complete());
+    assert_eq!(report.values().unwrap(), reference_values);
+    assert_eq!(
+        report.journal_write_failures(),
+        controls().len() - kept as usize
+    );
+    let first = report.first_journal_write_error().unwrap();
+    assert!(first.contains("journal"), "unhelpful error: {first}");
+    // On disk: a valid prefix of exactly `kept` records, each
+    // byte-identical to the clean run, then the torn partial record.
+    let scanned = scan::<SweepPoint>(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(scanned.entries.len(), kept as usize);
+    assert_eq!(scanned.discarded_tail_bytes, 7);
+    for e in &scanned.entries {
+        assert_eq!(
+            e.item, reference_values[e.task],
+            "journaled task {}",
+            e.task
+        );
+    }
+    // After the operator frees space: resume restores the durable
+    // prefix and recomputes the rest bit-identically.
+    let resumed = run_batch(&BatchOpts {
+        journal: Some(path.clone()),
+        resume: true,
+        ..BatchOpts::default()
+    });
+    assert_eq!(resumed.counts.skipped, kept as usize);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.values().unwrap(), reference_values);
+    let _ = std::fs::remove_file(&path);
+}
