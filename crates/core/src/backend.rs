@@ -1,0 +1,999 @@
+//! Compute backends: the hot-loop kernels of the adaptive solver
+//! behind a trait, with a scalar reference implementation and a
+//! SIMD-friendly chunked implementation working on flat
+//! structure-of-arrays buffers ([`crate::circuit::JunctionSoA`]).
+//!
+//! ## Contract
+//!
+//! Every kernel that feeds a simulation trajectory — [`Backend::matvec`],
+//! [`Backend::test_factors`], [`Backend::delta_w_all`],
+//! [`Backend::tunnel_rates`], [`Backend::fenwick_rebuild`] — is
+//! **bit-identical** across backends: for the same inputs the chunked
+//! path produces exactly the bytes the scalar path produces, junction
+//! for junction, because
+//!
+//! * the transposed matrices ([`Circuit::transposed_inverse_capacitance`],
+//!   [`Circuit::transposed_lead_response`]) are bitwise copies of the
+//!   row-major originals, so a gather from a transposed column reads
+//!   the same bits as the strided row-major read;
+//! * per-lane arithmetic replicates the scalar expressions operand for
+//!   operand (the [`JunctionSoA`] charging coefficients are
+//!   precomputed with `delta_w`'s exact operand order);
+//! * chunking never reassociates: a chunk is a loop-blocking of
+//!   independent per-junction computations, and sums that feed
+//!   trajectories (matvec rows, Fenwick folds) keep the sequential
+//!   fold order of the scalar path.
+//!
+//! The one deliberately reassociated kernel is [`Backend::dot`]: the
+//! chunked implementation accumulates in `width` independent lanes and
+//! folds the lanes at the end. Its contract is ULP-bounded, not
+//! bitwise: for inputs of length `n` the result differs from the
+//! sequential fold by at most `n · ε · Σ|aᵢ·bᵢ|` (standard pairwise-
+//! style error bound, checked by test). It is therefore **never** used
+//! on a trajectory path — only for diagnostics and reductions whose
+//! consumers tolerate rounding (see `docs/performance.md`).
+//!
+//! ## Error ordering
+//!
+//! On the non-error path the batched kernels are bit-identical. On
+//! *error* paths (non-finite ΔW or rate, which terminate the
+//! simulation) the batched rewrite computes pure float lanes for
+//! junctions past the failing one before the screen runs; the
+//! surfaced error — first failing junction in ascending order, same
+//! fault stage — is identical, but dead scratch state may differ.
+
+use semsim_linalg::Matrix;
+
+use crate::circuit::{Circuit, JunctionId, JunctionSoA, NodeId};
+use crate::constants::E_CHARGE;
+use crate::energy::{lead_step_delta, potential_delta};
+use crate::fenwick::FenwickTree;
+use crate::solver::TunnelModel;
+
+/// A replay-log entry with its node references pre-resolved to flat
+/// indices — the SoA form the adaptive solver's lazy potential refresh
+/// hands to [`Backend::replay_fold`]. Resolving once at log-push time
+/// removes the per-(island × entry) node-kind lookups the historical
+/// replay loop paid.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayEntry {
+    /// Source island of a transfer ([`JunctionSoA::NONE`] for a lead
+    /// endpoint, or for a lead step).
+    pub from: u32,
+    /// Destination island of a transfer ([`JunctionSoA::NONE`] for a
+    /// lead endpoint, or for a lead step).
+    pub to: u32,
+    /// Stepped lead index; [`JunctionSoA::NONE`] marks a transfer.
+    pub lead: u32,
+    /// `count·e` (C) for a transfer — pre-multiplied in the scalar
+    /// path's exact order — or `dv` (V) for a lead step.
+    pub coef: f64,
+}
+
+impl ReplayEntry {
+    /// Resolves a disturbance against the circuit's node table once,
+    /// at log-push time. The transfer coefficient pre-multiplies
+    /// `count as f64 * E_CHARGE` — the exact first factor of
+    /// [`crate::energy::potential_delta`]'s product.
+    pub fn resolve(circuit: &Circuit, d: Disturbance) -> Self {
+        let idx = |n: NodeId| -> u32 {
+            circuit
+                .island_index(n)
+                .map_or(JunctionSoA::NONE, |i| i as u32)
+        };
+        match d {
+            Disturbance::Transfer { from, to, count } => ReplayEntry {
+                from: idx(from),
+                to: idx(to),
+                lead: JunctionSoA::NONE,
+                coef: count as f64 * E_CHARGE,
+            },
+            Disturbance::Step { lead, dv } => ReplayEntry {
+                from: JunctionSoA::NONE,
+                to: JunctionSoA::NONE,
+                lead: lead as u32,
+                coef: dv,
+            },
+        }
+    }
+
+    /// Exact potential delta this entry causes on the island whose
+    /// `C⁻¹` row is `cinv_row` and lead-response row is `lead_row` —
+    /// operand for operand the expression of
+    /// [`crate::energy::potential_delta`] /
+    /// [`crate::energy::lead_step_delta`].
+    #[inline(always)]
+    pub fn delta(&self, cinv_row: &[f64], lead_row: &[f64]) -> f64 {
+        if self.lead != JunctionSoA::NONE {
+            return lead_row[self.lead as usize] * self.coef;
+        }
+        let xf = if self.from != JunctionSoA::NONE {
+            cinv_row[self.from as usize]
+        } else {
+            0.0
+        };
+        let xt = if self.to != JunctionSoA::NONE {
+            cinv_row[self.to as usize]
+        } else {
+            0.0
+        };
+        self.coef * ((0.0 + xf) - xt)
+    }
+}
+
+/// A state disturbance, as seen by the per-event testing kernel.
+/// Mirrors the adaptive solver's replay-log entry.
+#[derive(Debug, Clone, Copy)]
+pub enum Disturbance {
+    /// `count` electrons moved from `from` to `to`.
+    Transfer {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Electrons moved (2 for a Cooper pair).
+        count: i64,
+    },
+    /// Lead `lead` stepped by `dv` volts.
+    Step {
+        /// Lead index.
+        lead: usize,
+        /// Voltage step (V).
+        dv: f64,
+    },
+}
+
+/// Backend selection, carried by `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// Per-item reference kernels — the historical scalar path.
+    #[default]
+    Scalar,
+    /// Fixed-width chunked kernels over SoA buffers.
+    Chunked {
+        /// Chunk width (lanes); must be ≥ 1.
+        width: usize,
+    },
+}
+
+impl BackendSpec {
+    /// Default lane count of the chunked backend.
+    pub const DEFAULT_CHUNK_WIDTH: usize = 8;
+
+    /// The chunked backend at its default width.
+    pub fn chunked() -> Self {
+        BackendSpec::Chunked {
+            width: Self::DEFAULT_CHUNK_WIDTH,
+        }
+    }
+
+    /// Parses a CLI backend string: `scalar`, `chunked`, or
+    /// `chunked:<width>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "scalar" => Ok(BackendSpec::Scalar),
+            "chunked" => Ok(Self::chunked()),
+            _ => match s.strip_prefix("chunked:") {
+                Some(w) => match w.parse::<usize>() {
+                    Ok(width) if width >= 1 => Ok(BackendSpec::Chunked { width }),
+                    _ => Err(format!("invalid chunk width '{w}' (need an integer ≥ 1)")),
+                },
+                None => Err(format!(
+                    "unknown backend '{s}' (expected scalar, chunked, or chunked:<width>)"
+                )),
+            },
+        }
+    }
+
+    /// Human-readable name (`scalar` / `chunked:<width>`).
+    pub fn label(&self) -> String {
+        match self {
+            BackendSpec::Scalar => "scalar".to_string(),
+            BackendSpec::Chunked { width } => format!("chunked:{width}"),
+        }
+    }
+
+    /// Instantiates the backend.
+    pub fn instantiate(&self) -> Box<dyn Backend> {
+        match *self {
+            BackendSpec::Scalar => Box::new(ScalarBackend),
+            BackendSpec::Chunked { width } => Box::new(ChunkedBackend::new(width)),
+        }
+    }
+}
+
+/// The compute-backend trait: every kernel of the adaptive hot loop
+/// that is worth batching. See the module docs for the bit-identity /
+/// ULP contract per kernel.
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Backend name for logs and bench records.
+    fn name(&self) -> &'static str;
+
+    /// Dense matvec `out = m·x` (clears `out` first). Bit-identical
+    /// across backends: each element is the sequential left fold of
+    /// `semsim_linalg::dot`.
+    fn matvec(&self, m: &Matrix, x: &[f64], out: &mut Vec<f64>);
+
+    /// Per-event testing kernel (Algorithm 1 lines 3–5) over the
+    /// disturbance's dependency neighbourhood `tested` (ascending).
+    ///
+    /// For each tested junction computes the updated testing factor
+    /// `b = b₀ + e·(δφ_a − δφ_b)`; junctions crossing the gate
+    /// `|b| ≥ θ·min(|ΔW'_fw|, |ΔW'_bw|)` are appended to `flagged`
+    /// (ascending) with `b₀` left untouched for the caller's rate
+    /// recompute to reset; unflagged junctions get `b₀ ← b`.
+    /// Bit-identical across backends.
+    #[allow(clippy::too_many_arguments)]
+    fn test_factors(
+        &self,
+        circuit: &Circuit,
+        entry: Disturbance,
+        tested: &[JunctionId],
+        threshold: f64,
+        dw_fw: &[f64],
+        dw_bw: &[f64],
+        b0: &mut [f64],
+        flagged: &mut Vec<JunctionId>,
+    );
+
+    /// Batched ΔW kernel: forward and backward single-electron
+    /// free-energy changes of every junction from the SoA buffers and
+    /// the current potentials. Bit-identical to
+    /// [`crate::energy::delta_w`] per junction.
+    fn delta_w_all(
+        &self,
+        circuit: &Circuit,
+        phi: &[f64],
+        lead_voltages: &[f64],
+        dw_fw: &mut [f64],
+        dw_bw: &mut [f64],
+    );
+
+    /// Batched directed-rate kernel: `out[i] = Γ(dw[i], resistance[i])`
+    /// (appends to `out` after clearing). Bit-identical per lane to
+    /// `SolverContext::directed_rate`.
+    fn tunnel_rates(
+        &self,
+        model: &TunnelModel,
+        kt: f64,
+        dw: &[f64],
+        resistance: &[f64],
+        out: &mut Vec<f64>,
+    );
+
+    /// Sequential fold of a replay-log window into one island's cached
+    /// potential: returns `phi` after adding each entry's exact delta
+    /// in log order. `cinv_row` is the island's dense `C⁻¹` row,
+    /// `lead_row` its lead-response row. Bit-identical across
+    /// backends: per-entry deltas are independent pure products
+    /// ([`ReplayEntry::delta`]) and the accumulation keeps strict log
+    /// order, so batching the products cannot reassociate the fold.
+    fn replay_fold(
+        &self,
+        cinv_row: &[f64],
+        lead_row: &[f64],
+        entries: &[ReplayEntry],
+        phi: f64,
+    ) -> f64;
+
+    /// Rebuilds a **zeroed** Fenwick tree to hold `weights` in slots
+    /// `0..weights.len()`. Bit-identical to setting the slots one at a
+    /// time in ascending order from the zero state (the canonical
+    /// order `rewrite_all_rates` uses); only valid from zero — see
+    /// [`FenwickTree::rebuild_from_zero`].
+    fn fenwick_rebuild(&self, tree: &mut FenwickTree, weights: &[f64]);
+
+    /// Dot product. **The one ULP-bounded kernel**: chunked backends
+    /// may reassociate into independent accumulator lanes, so the
+    /// result can differ from the sequential fold within
+    /// `n·ε·Σ|aᵢ·bᵢ|`. Not used on trajectory paths.
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64;
+}
+
+/// Potential change of one junction terminal for a transfer, from the
+/// transposed-`C⁻¹` columns of the event's endpoints. Replicates
+/// [`potential_delta`] operand for operand.
+#[inline(always)]
+fn transfer_lane(ke: f64, island: u32, colf: Option<&[f64]>, colt: Option<&[f64]>) -> f64 {
+    if island == JunctionSoA::NONE {
+        return 0.0;
+    }
+    let k = island as usize;
+    let mut d = 0.0;
+    if let Some(cf) = colf {
+        d += cf[k];
+    }
+    if let Some(ct) = colt {
+        d -= ct[k];
+    }
+    ke * d
+}
+
+/// Potential change of one junction terminal for a lead step, from the
+/// transposed lead-response row. Replicates the scalar node delta.
+#[inline(always)]
+fn step_lane(island: u32, terminal_lead: u32, lead: u32, dv: f64, lr: &[f64]) -> f64 {
+    if island != JunctionSoA::NONE {
+        lr[island as usize] * dv
+    } else if terminal_lead == lead {
+        dv
+    } else {
+        0.0
+    }
+}
+
+/// Terminal potential from the SoA index pair: cached island potential
+/// for islands, instantaneous voltage for leads.
+#[inline(always)]
+fn lane_potential(island: u32, lead: u32, phi: &[f64], lead_voltages: &[f64]) -> f64 {
+    if island != JunctionSoA::NONE {
+        phi[island as usize]
+    } else {
+        lead_voltages[lead as usize]
+    }
+}
+
+/// Forward/backward ΔW of one junction from SoA lanes — the exact
+/// expression of [`crate::energy::delta_w`] with `count = 1`.
+#[inline(always)]
+fn delta_w_lane(soa: &JunctionSoA, idx: usize, phi: &[f64], lead_voltages: &[f64]) -> (f64, f64) {
+    let pa = lane_potential(soa.a_island[idx], soa.a_lead[idx], phi, lead_voltages);
+    let pb = lane_potential(soa.b_island[idx], soa.b_lead[idx], phi, lead_voltages);
+    let fw = E_CHARGE * (pa - pb) + 0.5 * E_CHARGE * E_CHARGE * soa.charging_fw[idx];
+    let bw = E_CHARGE * (pb - pa) + 0.5 * E_CHARGE * E_CHARGE * soa.charging_bw[idx];
+    (fw, bw)
+}
+
+/// Directed rate of one junction — the exact per-model expression of
+/// `SolverContext::directed_rate`.
+#[inline(always)]
+fn rate_lane(model: &TunnelModel, kt: f64, dw: f64, resistance: f64) -> f64 {
+    match model {
+        TunnelModel::Normal => crate::rates::orthodox_rate(dw, kt, resistance),
+        TunnelModel::Quasiparticle(table) => table.rate(dw, resistance),
+    }
+}
+
+/// The reference backend: straightforward per-item loops — the
+/// historical scalar hot path, kept as the oracle the chunked kernels
+/// are asserted bit-identical against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn matvec(&self, m: &Matrix, x: &[f64], out: &mut Vec<f64>) {
+        m.mul_vec_into(x, out)
+            .expect("matvec dimensions fixed at circuit build");
+    }
+
+    fn test_factors(
+        &self,
+        circuit: &Circuit,
+        entry: Disturbance,
+        tested: &[JunctionId],
+        threshold: f64,
+        dw_fw: &[f64],
+        dw_bw: &[f64],
+        b0: &mut [f64],
+        flagged: &mut Vec<JunctionId>,
+    ) {
+        // Node deltas via the same `potential_delta`/`lead_step_delta`
+        // calls the historical `test_junction` made.
+        let node_delta = |node: NodeId| -> f64 {
+            match entry {
+                Disturbance::Transfer { from, to, count } => match circuit.island_index(node) {
+                    Some(k) => potential_delta(circuit, k, from, to, count),
+                    None => 0.0,
+                },
+                Disturbance::Step { lead, dv } => match circuit.island_index(node) {
+                    Some(k) => lead_step_delta(circuit, k, lead, dv),
+                    None => {
+                        if circuit.lead_index(node) == Some(lead) {
+                            dv
+                        } else {
+                            0.0
+                        }
+                    }
+                },
+            }
+        };
+        for &j in tested {
+            let junction = circuit.junction(j);
+            let dp_a = node_delta(junction.node_a);
+            let dp_b = node_delta(junction.node_b);
+            let idx = j.index();
+            let b = b0[idx] + E_CHARGE * (dp_a - dp_b);
+            let gate = threshold * dw_fw[idx].abs().min(dw_bw[idx].abs());
+            if b.abs() >= gate {
+                flagged.push(j);
+            } else {
+                b0[idx] = b;
+            }
+        }
+    }
+
+    fn delta_w_all(
+        &self,
+        circuit: &Circuit,
+        phi: &[f64],
+        lead_voltages: &[f64],
+        dw_fw: &mut [f64],
+        dw_bw: &mut [f64],
+    ) {
+        let soa = circuit.junction_soa();
+        for idx in 0..circuit.num_junctions() {
+            let (fw, bw) = delta_w_lane(soa, idx, phi, lead_voltages);
+            dw_fw[idx] = fw;
+            dw_bw[idx] = bw;
+        }
+    }
+
+    fn tunnel_rates(
+        &self,
+        model: &TunnelModel,
+        kt: f64,
+        dw: &[f64],
+        resistance: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            dw.iter()
+                .zip(resistance)
+                .map(|(&w, &r)| rate_lane(model, kt, w, r)),
+        );
+    }
+
+    fn replay_fold(
+        &self,
+        cinv_row: &[f64],
+        lead_row: &[f64],
+        entries: &[ReplayEntry],
+        phi: f64,
+    ) -> f64 {
+        let mut phi = phi;
+        for e in entries {
+            phi += e.delta(cinv_row, lead_row);
+        }
+        phi
+    }
+
+    fn fenwick_rebuild(&self, tree: &mut FenwickTree, weights: &[f64]) {
+        for (slot, &w) in weights.iter().enumerate() {
+            tree.set(slot, w);
+        }
+    }
+
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        semsim_linalg::dot(a, b)
+    }
+}
+
+/// The chunked backend: fixed-width lanes over the SoA buffers, with
+/// per-event gathers against the transposed (column-contiguous)
+/// matrices. Bit-identical to [`ScalarBackend`] on every trajectory
+/// kernel; [`Backend::dot`] is ULP-bounded (lane reassociation).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedBackend {
+    width: usize,
+}
+
+impl ChunkedBackend {
+    /// Largest accumulator-lane count [`Backend::dot`] uses; widths
+    /// above this still chunk the junction kernels at full width.
+    pub const MAX_DOT_LANES: usize = 8;
+
+    /// Stack-buffer cap for [`Backend::replay_fold`] delta lanes;
+    /// wider configurations fold in blocks of this size.
+    pub const MAX_REPLAY_LANES: usize = 64;
+
+    /// Gather count below which [`Backend::replay_fold`] skips the
+    /// row prefetch (a short window touches too little of the row for
+    /// streaming it in to pay off).
+    pub const PREFETCH_MIN_GATHERS: usize = 64;
+
+    /// A chunked backend with `width` lanes (clamped to ≥ 1).
+    pub fn new(width: usize) -> Self {
+        ChunkedBackend {
+            width: width.max(1),
+        }
+    }
+
+    /// The configured chunk width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl Backend for ChunkedBackend {
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+
+    fn matvec(&self, m: &Matrix, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(m.cols(), x.len(), "matvec dimension mismatch");
+        out.clear();
+        out.reserve(m.rows());
+        // Row-blocked: each block of `width` rows reuses the cached x
+        // while per-row sums keep the scalar fold order (bit-identity).
+        let data = m.as_slice();
+        if m.cols() == 0 {
+            // Degenerate island-free circuit: every row sum is empty.
+            out.resize(m.rows(), 0.0);
+            return;
+        }
+        for rows in data.chunks(m.cols() * self.width) {
+            for row in rows.chunks_exact(m.cols()) {
+                out.push(semsim_linalg::dot(row, x));
+            }
+        }
+    }
+
+    fn test_factors(
+        &self,
+        circuit: &Circuit,
+        entry: Disturbance,
+        tested: &[JunctionId],
+        threshold: f64,
+        dw_fw: &[f64],
+        dw_bw: &[f64],
+        b0: &mut [f64],
+        flagged: &mut Vec<JunctionId>,
+    ) {
+        let soa = circuit.junction_soa();
+        match entry {
+            Disturbance::Transfer { from, to, count } => {
+                let cinv_t = circuit.transposed_inverse_capacitance();
+                // Resolve the two event columns once; every lane then
+                // gathers from these L1-resident slices instead of
+                // striding across the row-major C⁻¹.
+                let colf = circuit.island_index(from).map(|f| cinv_t.row(f));
+                let colt = circuit.island_index(to).map(|t| cinv_t.row(t));
+                let ke = count as f64 * E_CHARGE;
+                for chunk in tested.chunks(self.width) {
+                    for &j in chunk {
+                        let idx = j.index();
+                        let dp_a = transfer_lane(ke, soa.a_island[idx], colf, colt);
+                        let dp_b = transfer_lane(ke, soa.b_island[idx], colf, colt);
+                        let b = b0[idx] + E_CHARGE * (dp_a - dp_b);
+                        let gate = threshold * dw_fw[idx].abs().min(dw_bw[idx].abs());
+                        if b.abs() >= gate {
+                            flagged.push(j);
+                        } else {
+                            b0[idx] = b;
+                        }
+                    }
+                }
+            }
+            Disturbance::Step { lead, dv } => {
+                let lr = circuit.transposed_lead_response().row(lead);
+                let lead32 = lead as u32;
+                for chunk in tested.chunks(self.width) {
+                    for &j in chunk {
+                        let idx = j.index();
+                        let dp_a = step_lane(soa.a_island[idx], soa.a_lead[idx], lead32, dv, lr);
+                        let dp_b = step_lane(soa.b_island[idx], soa.b_lead[idx], lead32, dv, lr);
+                        let b = b0[idx] + E_CHARGE * (dp_a - dp_b);
+                        let gate = threshold * dw_fw[idx].abs().min(dw_bw[idx].abs());
+                        if b.abs() >= gate {
+                            flagged.push(j);
+                        } else {
+                            b0[idx] = b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn delta_w_all(
+        &self,
+        circuit: &Circuit,
+        phi: &[f64],
+        lead_voltages: &[f64],
+        dw_fw: &mut [f64],
+        dw_bw: &mut [f64],
+    ) {
+        let soa = circuit.junction_soa();
+        let nj = circuit.num_junctions();
+        let mut start = 0;
+        while start < nj {
+            let end = (start + self.width).min(nj);
+            for idx in start..end {
+                let (fw, bw) = delta_w_lane(soa, idx, phi, lead_voltages);
+                dw_fw[idx] = fw;
+                dw_bw[idx] = bw;
+            }
+            start = end;
+        }
+    }
+
+    fn tunnel_rates(
+        &self,
+        model: &TunnelModel,
+        kt: f64,
+        dw: &[f64],
+        resistance: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(dw.len());
+        match model {
+            TunnelModel::Normal => {
+                for (ws, rs) in dw.chunks(self.width).zip(resistance.chunks(self.width)) {
+                    crate::rates::orthodox_rates(ws, rs, kt, out);
+                }
+            }
+            TunnelModel::Quasiparticle(table) => {
+                for (ws, rs) in dw.chunks(self.width).zip(resistance.chunks(self.width)) {
+                    table.rates_batch(ws, rs, out);
+                }
+            }
+        }
+    }
+
+    fn replay_fold(
+        &self,
+        cinv_row: &[f64],
+        lead_row: &[f64],
+        entries: &[ReplayEntry],
+        phi: f64,
+    ) -> f64 {
+        // The replay window gathers at scattered columns of one `C⁻¹`
+        // row that has usually fallen out of cache since the island was
+        // last refreshed. Stream the whole row in ahead of the gathers:
+        // sequential prefetch beats hundreds of dependent random misses
+        // when the window is long enough to touch most of the row.
+        #[cfg(target_arch = "x86_64")]
+        if entries.len() * 2 >= Self::PREFETCH_MIN_GATHERS {
+            const LINE: usize = 64 / std::mem::size_of::<f64>();
+            for chunk in cinv_row.chunks(LINE) {
+                // SAFETY: prefetch has no memory effects; the pointer
+                // is in-bounds of the row slice.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        chunk.as_ptr() as *const i8,
+                        std::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        // Per-entry deltas are independent products: compute a chunk of
+        // lanes, then fold the lanes in strict log order — the same
+        // values added in the same sequence as the scalar reference.
+        let lanes = self.width.min(Self::MAX_REPLAY_LANES);
+        let mut buf = [0.0f64; Self::MAX_REPLAY_LANES];
+        let mut phi = phi;
+        for chunk in entries.chunks(lanes.max(1)) {
+            for (slot, e) in buf.iter_mut().zip(chunk) {
+                *slot = e.delta(cinv_row, lead_row);
+            }
+            for &d in buf.iter().take(chunk.len()) {
+                phi += d;
+            }
+        }
+        phi
+    }
+
+    fn fenwick_rebuild(&self, tree: &mut FenwickTree, weights: &[f64]) {
+        tree.rebuild_from_zero(weights);
+    }
+
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        let lanes = self.width.min(Self::MAX_DOT_LANES);
+        if lanes <= 1 {
+            return semsim_linalg::dot(a, b);
+        }
+        let mut acc = [0.0f64; Self::MAX_DOT_LANES];
+        let mut chunks_a = a.chunks_exact(lanes);
+        let mut chunks_b = b.chunks_exact(lanes);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            for k in 0..lanes {
+                acc[k] += ca[k] * cb[k];
+            }
+        }
+        let mut tail = semsim_linalg::dot(chunks_a.remainder(), chunks_b.remainder());
+        for &lane in acc.iter().take(lanes) {
+            tail += lane;
+        }
+        tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use crate::constants::K_B;
+
+    /// Three coupled islands with a gate — enough structure for every
+    /// kernel to exercise island and lead terminals.
+    fn rig() -> (Circuit, NodeId, NodeId) {
+        let mut b = CircuitBuilder::new();
+        let vdd = b.add_lead(8e-3);
+        let gate = b.add_lead(1e-3);
+        let i1 = b.add_island();
+        let i2 = b.add_island_with_charge(0.2);
+        let i3 = b.add_island();
+        b.add_junction(vdd, i1, 1e6, 1e-18).unwrap();
+        b.add_junction(i1, i2, 2e6, 1.5e-18).unwrap();
+        b.add_junction(i2, i3, 1e6, 1e-18).unwrap();
+        b.add_junction(i3, NodeId::GROUND, 3e6, 2e-18).unwrap();
+        b.add_capacitor(gate, i2, 3e-18).unwrap();
+        b.add_capacitor(i1, i3, 0.5e-18).unwrap();
+        (b.build().unwrap(), i1, i2)
+    }
+
+    fn widths() -> Vec<usize> {
+        vec![1, 2, 3, 4, 5, 8, 64]
+    }
+
+    #[test]
+    fn matvec_is_bit_identical_across_backends() {
+        let (c, _, _) = rig();
+        let m = c.inverse_capacitance();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 + 0.5) * 1e-19).collect();
+        let mut reference = Vec::new();
+        ScalarBackend.matvec(m, &x, &mut reference);
+        for w in widths() {
+            let mut out = vec![42.0];
+            ChunkedBackend::new(w).matvec(m, &x, &mut out);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn test_factors_bit_identical_for_transfers_and_steps() {
+        let (c, i1, i2) = rig();
+        let tested: Vec<JunctionId> = c.junction_ids().collect();
+        let dw_fw: Vec<f64> = (0..tested.len())
+            .map(|i| 1e-22 * (i as f64 + 1.0))
+            .collect();
+        let dw_bw: Vec<f64> = (0..tested.len())
+            .map(|i| -0.7e-22 * (i as f64 + 1.0))
+            .collect();
+        let entries = [
+            Disturbance::Transfer {
+                from: i1,
+                to: i2,
+                count: 1,
+            },
+            Disturbance::Transfer {
+                from: NodeId::GROUND,
+                to: i2,
+                count: 2,
+            },
+            Disturbance::Step { lead: 1, dv: 3e-3 },
+            Disturbance::Step { lead: 2, dv: -2e-3 },
+        ];
+        for entry in entries {
+            // Threshold small enough that some junctions flag and some
+            // accumulate — both branches exercised.
+            let threshold = 0.4;
+            let mut b0_ref: Vec<f64> = (0..tested.len()).map(|i| 1e-24 * i as f64).collect();
+            let mut flagged_ref = Vec::new();
+            ScalarBackend.test_factors(
+                &c,
+                entry,
+                &tested,
+                threshold,
+                &dw_fw,
+                &dw_bw,
+                &mut b0_ref,
+                &mut flagged_ref,
+            );
+            for w in widths() {
+                let mut b0: Vec<f64> = (0..tested.len()).map(|i| 1e-24 * i as f64).collect();
+                let mut flagged = Vec::new();
+                ChunkedBackend::new(w).test_factors(
+                    &c,
+                    entry,
+                    &tested,
+                    threshold,
+                    &dw_fw,
+                    &dw_bw,
+                    &mut b0,
+                    &mut flagged,
+                );
+                assert_eq!(flagged, flagged_ref, "width {w}, entry {entry:?}");
+                for (a, b) in b0.iter().zip(&b0_ref) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "width {w}, entry {entry:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_w_all_matches_scalar_delta_w_bitwise() {
+        let (c, _, _) = rig();
+        let mut state = crate::energy::CircuitState::new(&c);
+        state.recompute_potentials(&c);
+        let nj = c.num_junctions();
+        let phi = state.island_potentials().to_vec();
+        let volts = state.lead_voltages().to_vec();
+        // Oracle: the scalar energy entry point.
+        let expect: Vec<(f64, f64)> = c
+            .junctions()
+            .iter()
+            .map(|j| {
+                (
+                    crate::energy::delta_w(&c, &state, j.node_a, j.node_b, 1),
+                    crate::energy::delta_w(&c, &state, j.node_b, j.node_a, 1),
+                )
+            })
+            .collect();
+        for w in widths() {
+            let (mut fw, mut bw) = (vec![0.0; nj], vec![0.0; nj]);
+            ChunkedBackend::new(w).delta_w_all(&c, &phi, &volts, &mut fw, &mut bw);
+            let (mut sfw, mut sbw) = (vec![0.0; nj], vec![0.0; nj]);
+            ScalarBackend.delta_w_all(&c, &phi, &volts, &mut sfw, &mut sbw);
+            for idx in 0..nj {
+                assert_eq!(fw[idx].to_bits(), expect[idx].0.to_bits(), "width {w}");
+                assert_eq!(bw[idx].to_bits(), expect[idx].1.to_bits(), "width {w}");
+                assert_eq!(sfw[idx].to_bits(), expect[idx].0.to_bits());
+                assert_eq!(sbw[idx].to_bits(), expect[idx].1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tunnel_rates_bit_identical_including_tails() {
+        let kt = K_B * 4.2;
+        let dw: Vec<f64> = (0..13).map(|i| (i as f64 - 6.0) * 3e-23).collect();
+        let rs: Vec<f64> = (0..13).map(|i| 1e6 + 1e5 * i as f64).collect();
+        let mut reference = Vec::new();
+        ScalarBackend.tunnel_rates(&TunnelModel::Normal, kt, &dw, &rs, &mut reference);
+        for w in widths() {
+            let mut out = Vec::new();
+            ChunkedBackend::new(w).tunnel_rates(&TunnelModel::Normal, kt, &dw, &rs, &mut out);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_fold_bit_identical_across_widths() {
+        let (c, i1, i2) = rig();
+        // A log mixing transfers (island↔island, lead↔island,
+        // lead↔lead, multi-electron) and lead steps, long enough for
+        // non-divisor widths to leave tails and to cross the chunked
+        // prefetch threshold.
+        let mut entries = Vec::new();
+        for k in 0..67 {
+            let d = match k % 5 {
+                0 => Disturbance::Transfer {
+                    from: i1,
+                    to: i2,
+                    count: 1,
+                },
+                1 => Disturbance::Transfer {
+                    from: NodeId::GROUND,
+                    to: i1,
+                    count: 2,
+                },
+                2 => Disturbance::Transfer {
+                    from: i2,
+                    to: NodeId::GROUND,
+                    count: -1,
+                },
+                3 => Disturbance::Step {
+                    lead: 1,
+                    dv: 1e-4 * (k as f64 - 30.0),
+                },
+                _ => Disturbance::Transfer {
+                    from: NodeId::GROUND,
+                    to: NodeId(1),
+                    count: 1,
+                },
+            };
+            entries.push(ReplayEntry::resolve(&c, d));
+        }
+        for island in 0..c.num_islands() {
+            let cinv_row = c.inverse_capacitance().row(island);
+            let lead_row = c.lead_response().row(island);
+            // Oracle: the historical per-entry sequential loop over the
+            // scalar energy kernels.
+            let mut expect = 1e-5 * (island as f64 + 1.0);
+            for (k, e) in entries.iter().enumerate() {
+                let d = match k % 5 {
+                    0 => potential_delta(&c, island, i1, i2, 1),
+                    1 => potential_delta(&c, island, NodeId::GROUND, i1, 2),
+                    2 => potential_delta(&c, island, i2, NodeId::GROUND, -1),
+                    3 => lead_step_delta(&c, island, 1, 1e-4 * (k as f64 - 30.0)),
+                    _ => potential_delta(&c, island, NodeId::GROUND, NodeId(1), 1),
+                };
+                assert_eq!(
+                    e.delta(cinv_row, lead_row).to_bits(),
+                    d.to_bits(),
+                    "entry {k} island {island}"
+                );
+                expect += d;
+            }
+            let phi0 = 1e-5 * (island as f64 + 1.0);
+            let scalar = ScalarBackend.replay_fold(cinv_row, lead_row, &entries, phi0);
+            assert_eq!(scalar.to_bits(), expect.to_bits(), "island {island}");
+            for w in widths() {
+                let chunked =
+                    ChunkedBackend::new(w).replay_fold(cinv_row, lead_row, &entries, phi0);
+                assert_eq!(
+                    chunked.to_bits(),
+                    expect.to_bits(),
+                    "width {w} island {island}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fenwick_rebuild_bit_identical_to_sequential_sets() {
+        let ws: Vec<f64> = (0..11).map(|i| (i % 4) as f64 * 0.75).collect();
+        let mut reference = FenwickTree::new(16);
+        ScalarBackend.fenwick_rebuild(&mut reference, &ws);
+        let mut chunked = FenwickTree::new(16);
+        ChunkedBackend::new(4).fenwick_rebuild(&mut chunked, &ws);
+        for slot in 0..16 {
+            assert_eq!(chunked.get(slot).to_bits(), reference.get(slot).to_bits());
+        }
+        for i in 0..16 {
+            assert_eq!(
+                chunked.prefix_sum(i).to_bits(),
+                reference.prefix_sum(i).to_bits()
+            );
+        }
+        assert_eq!(chunked.total().to_bits(), reference.total().to_bits());
+    }
+
+    #[test]
+    fn dot_is_ulp_bounded_not_necessarily_bitwise() {
+        // The documented contract: |chunked − sequential| ≤ n·ε·Σ|aᵢbᵢ|.
+        let n = 1003;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) * 1e-3)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53 % 89) as f64 - 44.0) * 1e-2)
+            .collect();
+        let reference = semsim_linalg::dot(&a, &b);
+        let abs_sum: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        let bound = n as f64 * f64::EPSILON * abs_sum;
+        for w in widths() {
+            let d = ChunkedBackend::new(w).dot(&a, &b);
+            assert!(
+                (d - reference).abs() <= bound,
+                "width {w}: {d} vs {reference} (bound {bound:e})"
+            );
+        }
+        assert_eq!(ScalarBackend.dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        assert_eq!(BackendSpec::parse("scalar").unwrap(), BackendSpec::Scalar);
+        assert_eq!(
+            BackendSpec::parse("chunked").unwrap(),
+            BackendSpec::Chunked {
+                width: BackendSpec::DEFAULT_CHUNK_WIDTH
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("chunked:3").unwrap(),
+            BackendSpec::Chunked { width: 3 }
+        );
+        assert!(BackendSpec::parse("chunked:0").is_err());
+        assert!(BackendSpec::parse("simd").is_err());
+        assert_eq!(BackendSpec::Chunked { width: 3 }.label(), "chunked:3");
+        assert_eq!(BackendSpec::default().label(), "scalar");
+        assert_eq!(BackendSpec::Scalar.instantiate().name(), "scalar");
+        assert_eq!(BackendSpec::chunked().instantiate().name(), "chunked");
+    }
+}

@@ -74,6 +74,47 @@ pub struct Capacitor {
     pub capacitance: f64,
 }
 
+/// Flat structure-of-arrays junction buffers consumed by the compute
+/// backends ([`crate::backend`]): one contiguous slice per per-junction
+/// quantity, indexed by raw junction id. The chunked backend walks
+/// these slices in fixed-width lanes instead of chasing
+/// [`Junction`]/[`NodeId`] structs, and the charging coefficients are
+/// precomputed with exactly the arithmetic
+/// [`crate::energy::delta_w`] would evaluate — so a ΔW assembled from
+/// these buffers is bit-identical to the scalar path.
+#[derive(Debug, Clone, Default)]
+pub struct JunctionSoA {
+    /// Island index of `node_a` per junction; [`JunctionSoA::NONE`]
+    /// when the terminal is a lead.
+    pub a_island: Vec<u32>,
+    /// Island index of `node_b` per junction; [`JunctionSoA::NONE`]
+    /// when the terminal is a lead.
+    pub b_island: Vec<u32>,
+    /// Lead index of `node_a` per junction; [`JunctionSoA::NONE`] when
+    /// the terminal is an island.
+    pub a_lead: Vec<u32>,
+    /// Lead index of `node_b` per junction; [`JunctionSoA::NONE`] when
+    /// the terminal is an island.
+    pub b_lead: Vec<u32>,
+    /// Forward charging coefficient per junction:
+    /// `C⁻¹_aa + C⁻¹_bb − 2·C⁻¹_ab` evaluated in exactly the operand
+    /// order of [`crate::energy::delta_w`] with `from = node_a`.
+    pub charging_fw: Vec<f64>,
+    /// Backward charging coefficient per junction:
+    /// `C⁻¹_bb + C⁻¹_aa − 2·C⁻¹_ba`. Kept separately from
+    /// `charging_fw` because the LU-derived `C⁻¹` is only symmetric to
+    /// rounding, and bit-identity demands the exact per-direction
+    /// entries.
+    pub charging_bw: Vec<f64>,
+    /// Normal-state tunnel resistance (Ω) per junction.
+    pub resistance: Vec<f64>,
+}
+
+impl JunctionSoA {
+    /// Sentinel index meaning "terminal is not of this kind".
+    pub const NONE: u32 = u32::MAX;
+}
+
 /// Builder for [`Circuit`].
 ///
 /// # Example
@@ -288,6 +329,17 @@ pub struct Circuit {
     /// Per-lead maximum `|lead_response|` over islands — the scale the
     /// lead sparsification threshold is relative to.
     lead_response_colmax: Vec<f64>,
+    /// Transpose of `C⁻¹` (a bitwise copy of every entry). The
+    /// per-event testing kernel gathers `C⁻¹[island, f]` for the two
+    /// fixed source/destination columns `f` over many islands; in the
+    /// row-major `cinv` those reads stride by a full row, in `cinv_t`
+    /// the column is one contiguous cache-resident slice.
+    cinv_t: Matrix,
+    /// Transpose of `lead_response` — same contiguity argument, for
+    /// input-voltage steps.
+    lead_response_t: Matrix,
+    /// Flat SoA junction buffers for the compute backends.
+    junction_soa: JunctionSoA,
     /// Warning-severity findings from the static checks that ran during
     /// [`CircuitBuilder::build`] (ill-conditioned capacitance matrix,
     /// tunnel-unreachable islands). Error-severity defects surface as
@@ -498,7 +550,35 @@ impl Circuit {
             island_dependents: Vec::new(),
             lead_dependents: Vec::new(),
             lead_response_colmax: Vec::new(),
+            cinv_t: Matrix::zeros(0, 0),
+            lead_response_t: Matrix::zeros(0, 0),
+            junction_soa: JunctionSoA::default(),
             check_warnings,
+        };
+        circuit.cinv_t = circuit.cinv.transposed();
+        circuit.lead_response_t = circuit.lead_response.transposed();
+        circuit.junction_soa = {
+            let idx32 = |o: Option<usize>| o.map_or(JunctionSoA::NONE, |i| i as u32);
+            let mut soa = JunctionSoA::default();
+            for j in &circuit.junctions {
+                let (a, b) = (j.node_a, j.node_b);
+                soa.a_island.push(idx32(circuit.island_index(a)));
+                soa.b_island.push(idx32(circuit.island_index(b)));
+                soa.a_lead.push(idx32(circuit.lead_index(a)));
+                soa.b_lead.push(idx32(circuit.lead_index(b)));
+                // Operand order matches `delta_w`'s charging expression
+                // for each direction — bit-identity depends on it.
+                soa.charging_fw.push(
+                    circuit.cinv_between(a, a) + circuit.cinv_between(b, b)
+                        - 2.0 * circuit.cinv_between(a, b),
+                );
+                soa.charging_bw.push(
+                    circuit.cinv_between(b, b) + circuit.cinv_between(a, a)
+                        - 2.0 * circuit.cinv_between(b, a),
+                );
+                soa.resistance.push(j.resistance);
+            }
+            soa
         };
 
         // Sparsified dependency neighbourhoods, precomputed from the
@@ -651,6 +731,23 @@ impl Circuit {
     /// `C⁻¹·C_ext`: island-potential response to a unit lead step.
     pub fn lead_response(&self) -> &Matrix {
         &self.lead_response
+    }
+
+    /// Transpose of `C⁻¹` — bitwise-equal entries, column-contiguous
+    /// layout for the chunked backend's per-event gathers.
+    pub fn transposed_inverse_capacitance(&self) -> &Matrix {
+        &self.cinv_t
+    }
+
+    /// Transpose of `C⁻¹·C_ext` — bitwise-equal entries, per-lead rows
+    /// contiguous.
+    pub fn transposed_lead_response(&self) -> &Matrix {
+        &self.lead_response_t
+    }
+
+    /// Flat SoA junction buffers consumed by the compute backends.
+    pub fn junction_soa(&self) -> &JunctionSoA {
+        &self.junction_soa
     }
 
     /// Entry of `C⁻¹` between two *nodes* — zero if either is a lead.

@@ -138,6 +138,22 @@ impl CircuitState {
         self.scratch_q = q;
     }
 
+    /// [`CircuitState::recompute_potentials`] routed through a compute
+    /// backend's matvec kernel. Every backend's matvec is bit-identical
+    /// to `Matrix::mul_vec_into`, so this is an equivalent entry point;
+    /// it exists so the adaptive solver's full refreshes go through the
+    /// backend under test/benchmark selection.
+    pub(crate) fn recompute_potentials_with(
+        &mut self,
+        circuit: &Circuit,
+        backend: &dyn crate::backend::Backend,
+    ) {
+        let mut q = std::mem::take(&mut self.scratch_q);
+        fill_charge_vector(circuit, &self.electrons, &self.lead_voltages, &mut q);
+        backend.matvec(circuit.inverse_capacitance(), &q, &mut self.phi);
+        self.scratch_q = q;
+    }
+
     /// Potential of a node: lead voltage for leads, cached `φ` for
     /// islands.
     #[inline]

@@ -9,6 +9,7 @@
 //! event with probability proportional to its rate; (3) the event is
 //! applied and observables are recorded.
 
+use crate::backend::BackendSpec;
 use crate::checkpoint::{Checkpoint, ProbeSnapshot, SolverSnapshot};
 use crate::circuit::{Circuit, JunctionId, NodeId};
 use crate::constants::{thermal_energy, E_CHARGE};
@@ -101,6 +102,13 @@ pub struct SimConfig {
     pub drift_tolerance: f64,
     /// Run supervisor limits (wall clock, event cap, blockade policy).
     pub supervisor: Supervisor,
+    /// Compute backend for the adaptive solver's hot-loop kernels.
+    /// Every backend produces bit-identical trajectories (see
+    /// [`crate::backend`]), so this is a pure performance knob; it is
+    /// ignored by [`SolverSpec::NonAdaptive`] and by
+    /// [`SolverSpec::AdaptiveDense`], which stays on the scalar
+    /// reference path as the bit-identity oracle.
+    pub backend: BackendSpec,
 }
 
 impl SimConfig {
@@ -118,6 +126,7 @@ impl SimConfig {
             audit_interval: None,
             drift_tolerance: 0.25,
             supervisor: Supervisor::default(),
+            backend: BackendSpec::default(),
         }
     }
 
@@ -175,6 +184,12 @@ impl SimConfig {
     /// Installs run supervisor limits.
     pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
         self.supervisor = supervisor;
+        self
+    }
+
+    /// Selects the adaptive solver's compute backend (default scalar).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -324,6 +339,12 @@ impl<'c> Simulation<'c> {
                 });
             }
         }
+        if let BackendSpec::Chunked { width: 0 } = config.backend {
+            return Err(CoreError::InvalidConfig {
+                what: "backend chunk width",
+                value: 0.0,
+            });
+        }
         let kt = thermal_energy(config.temperature);
 
         let (model, super_info) = match &config.superconducting {
@@ -411,10 +432,13 @@ impl<'c> Simulation<'c> {
                     });
                 }
                 let s = AdaptiveSolver::new(circuit, threshold, refresh_interval);
+                // Dense-reference mode is the bit-identity oracle: keep
+                // it on the scalar kernels regardless of the configured
+                // backend.
                 let s = if matches!(config.solver, SolverSpec::AdaptiveDense { .. }) {
                     s.with_dense_reference()
                 } else {
-                    s
+                    s.with_backend(config.backend)
                 };
                 Solver::Adaptive(s)
             }

@@ -39,15 +39,17 @@ pub struct FenwickTree {
 impl FenwickTree {
     /// Creates a tree of `n` zero weights.
     pub fn new(n: usize) -> Self {
-        let top_bit = if n == 0 {
-            0
-        } else {
-            usize::BITS as usize - 1 - n.leading_zeros() as usize
+        // An empty tree has no descent steps at all: `1 << 0 = 1` here
+        // would make `sample`'s prefix descent probe `tree[1]`, one past
+        // the end of the single-entry tree array.
+        let top_bit = match n {
+            0 => 0,
+            _ => 1usize << (usize::BITS as usize - 1 - n.leading_zeros() as usize),
         };
         FenwickTree {
             tree: vec![0.0; n + 1],
             weights: vec![0.0; n],
-            top_bit: 1 << top_bit,
+            top_bit,
             peak: 0.0,
         }
     }
@@ -182,6 +184,55 @@ impl FenwickTree {
         self.weights.iter_mut().for_each(|v| *v = 0.0);
         self.peak = 0.0;
     }
+
+    /// Writes the first `ws.len()` slots of an **all-zero** tree in one
+    /// batched pass, reproducing bit-for-bit the tree state that the
+    /// canonical ascending call sequence `set(0, ws[0]) … set(k-1,
+    /// ws[k-1])` would leave behind. This is the chunked backend's
+    /// from-zero rebuild: each internal node covers a contiguous slot
+    /// range, and the ascending sequence accumulates exactly those
+    /// weights in slot order, so a left fold over the covered range
+    /// reproduces every partial sum with the same floating-point
+    /// association. Zero weights are no-ops under `set` (the delta
+    /// short-circuit), which also keeps `-0.0` out of the stored
+    /// weights; the fold preserves that because its accumulator is
+    /// never `-0.0` (it starts at `+0.0` and only non-negative values
+    /// are admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is longer than the tree or any weight is negative
+    /// or NaN. Debug builds additionally assert the tree is cleared.
+    pub fn rebuild_from_zero(&mut self, ws: &[f64]) {
+        assert!(
+            ws.len() <= self.weights.len(),
+            "rebuild_from_zero: {} weights into {} slots",
+            ws.len(),
+            self.weights.len()
+        );
+        debug_assert!(
+            self.weights.iter().all(|&w| w == 0.0) && self.tree.iter().all(|&v| v == 0.0),
+            "rebuild_from_zero needs a cleared tree"
+        );
+        for (slot, &w) in ws.iter().enumerate() {
+            assert!(w >= 0.0, "fenwick weight must be non-negative, got {w}");
+            if w > self.peak {
+                self.peak = w;
+            }
+            self.weights[slot] = if w == 0.0 { 0.0 } else { w };
+        }
+        // tree[idx] (1-based) covers slots (idx − lowbit(idx), idx];
+        // slots past `ws.len()` are still zero and contribute exact
+        // no-op additions.
+        for idx in 1..self.tree.len() {
+            let lowbit = idx & idx.wrapping_neg();
+            let mut s = 0.0;
+            for slot in (idx - lowbit)..idx {
+                s += self.weights[slot];
+            }
+            self.tree[idx] = s;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +313,119 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_weight_panics() {
         FenwickTree::new(1).set(0, -1.0);
+    }
+
+    #[test]
+    fn empty_tree_has_no_descent_steps() {
+        // `new(0)` used to compute `top_bit = 1 << 0 = 1`, giving the
+        // prefix descent a step into `tree[1]` of a single-entry tree
+        // array. The empty tree must have a zero descent.
+        let t = FenwickTree::new(0);
+        assert_eq!(t.top_bit, 0);
+        assert_eq!(t.sample(0.0), None);
+        assert_eq!(t.sample(1.0), None);
+        for n in [1usize, 2, 4, 8, 64] {
+            let t = FenwickTree::new(n);
+            assert_eq!(t.top_bit, n.next_power_of_two().min(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_slot_boundaries() {
+        let mut t = FenwickTree::new(1);
+        t.set(0, 0.75);
+        for u in [0.0, 0.5, 1.0 - f64::EPSILON, 1.0, 2.0] {
+            assert_eq!(t.sample(u), Some(0), "u={u}");
+        }
+    }
+
+    #[test]
+    fn sample_near_one_never_returns_zero_weight_slot() {
+        // As u → 1.0 the descent lands at (or past) the last slot; with
+        // trailing zero weights the forward skip walks off the end and
+        // the fallback must return the last *positive* slot.
+        for n in [2usize, 3, 4, 8, 9, 64, 65] {
+            let mut t = FenwickTree::new(n);
+            t.set(0, 1.0);
+            if n > 2 {
+                t.set(n / 2, 2.0);
+            }
+            let last_positive = if n > 2 { n / 2 } else { 0 };
+            for u in [0.999_999, 1.0 - f64::EPSILON, 1.0, 1.5] {
+                let s = t.sample(u).unwrap();
+                assert!(t.get(s) > 0.0, "n={n} u={u} picked zero-weight slot {s}");
+                assert_eq!(s, last_positive, "n={n} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_sizes_descend_to_every_slot() {
+        // Exact powers of two are where the first descent step reaches
+        // the root: the probability midpoint of every slot must map
+        // back to that slot, and u → 1 to the last.
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let mut t = FenwickTree::new(n);
+            for i in 0..n {
+                t.set(i, 1.0);
+            }
+            for i in 0..n {
+                let u = (i as f64 + 0.5) / n as f64;
+                assert_eq!(t.sample(u), Some(i), "n={n} i={i}");
+            }
+            assert_eq!(t.sample(1.0), Some(n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_zero_matches_sequential_sets_bitwise() {
+        for n in [0usize, 1, 2, 3, 5, 8, 9, 64, 100, 257] {
+            let ws: Vec<f64> = (0..n)
+                .map(|i| match i % 4 {
+                    0 => 0.0,
+                    1 => 1.0 / (i as f64 + 0.25),
+                    2 => (i as f64).sqrt() * 1e-7,
+                    _ => i as f64 * std::f64::consts::PI,
+                })
+                .collect();
+            let mut seq = FenwickTree::new(n);
+            for (i, &w) in ws.iter().enumerate() {
+                seq.set(i, w);
+            }
+            let mut batched = FenwickTree::new(n);
+            batched.rebuild_from_zero(&ws);
+            assert_eq!(seq.tree.len(), batched.tree.len());
+            for (a, b) in seq.tree.iter().zip(&batched.tree) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+            for (a, b) in seq.weights.iter().zip(&batched.weights) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+            assert_eq!(seq.peak.to_bits(), batched.peak.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_zero_prefix_leaves_tail_slots_writable() {
+        // The solver rebuilds only the tunnel slots; the secondary
+        // (cotunnel/Cooper) slots are written incrementally afterwards.
+        let mut seq = FenwickTree::new(6);
+        let mut batched = FenwickTree::new(6);
+        let head = [1.5, 0.0, 2.25, 0.5];
+        for (i, &w) in head.iter().enumerate() {
+            seq.set(i, w);
+        }
+        batched.rebuild_from_zero(&head);
+        seq.set(4, 3.0);
+        seq.set(5, 0.125);
+        batched.set(4, 3.0);
+        batched.set(5, 0.125);
+        for (a, b) in seq.tree.iter().zip(&batched.tree) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for i in 0..6 {
+            assert_eq!(seq.get(i).to_bits(), batched.get(i).to_bits());
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!
 //! * [`circuit`] — circuit topology (leads, islands, tunnel junctions,
 //!   capacitors) and the precomputed inverse capacitance matrix.
+//! * [`backend`] — compute backends for the solver hot loop: scalar
+//!   reference kernels and the SIMD-friendly chunked SoA kernels, with
+//!   a per-kernel bit-identity (or documented ULP) contract.
 //! * [`energy`] — free-energy changes ΔW for tunnel events (paper Eq. 2).
 //! * [`rates`] — the orthodox tunnel rate (Eq. 1) in numerically stable
 //!   form.
@@ -68,6 +71,7 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod batch;
 pub mod checkpoint;
 pub mod circuit;

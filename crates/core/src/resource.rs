@@ -62,6 +62,11 @@ pub struct ResourceEstimate {
     pub sparse_bytes: u64,
     /// The five precomputed dependency/neighbourhood tables.
     pub neighborhood_bytes: u64,
+    /// Compute-backend SoA buffers: the transposed `C⁻¹` and
+    /// lead-response matrices (contiguous per-event gather columns for
+    /// the chunked backend) plus the per-junction structure-of-arrays
+    /// (four `u32` index lanes, three `f64` lanes).
+    pub backend_bytes: u64,
     /// Journal append buffer allowance (constant).
     pub journal_buffer_bytes: u64,
 }
@@ -128,6 +133,7 @@ impl ResourceEstimate {
             coupling_bytes,
             sparse_bytes,
             neighborhood_bytes,
+            backend_bytes: backend_soa_bytes(i, l, j),
             journal_buffer_bytes: JOURNAL_BUFFER,
         }
     }
@@ -166,6 +172,17 @@ impl ResourceEstimate {
             table(circuit.island_dependents(island).len());
         }
         let neighborhood_bytes = entries * F64 + rows * VEC_HEADER;
+        let soa = circuit.junction_soa();
+        let backend_bytes = mat(circuit.transposed_inverse_capacitance())
+            + mat(circuit.transposed_lead_response())
+            + 4 * (soa.a_island.len() as u64)
+            + 4 * (soa.b_island.len() as u64)
+            + 4 * (soa.a_lead.len() as u64)
+            + 4 * (soa.b_lead.len() as u64)
+            + F64 * (soa.charging_fw.len() as u64)
+            + F64 * (soa.charging_bw.len() as u64)
+            + F64 * (soa.resistance.len() as u64)
+            + 7 * VEC_HEADER;
         ResourceEstimate {
             islands,
             leads,
@@ -174,6 +191,7 @@ impl ResourceEstimate {
             coupling_bytes,
             sparse_bytes,
             neighborhood_bytes,
+            backend_bytes,
             journal_buffer_bytes: JOURNAL_BUFFER,
         }
     }
@@ -185,6 +203,7 @@ impl ResourceEstimate {
             .saturating_add(self.coupling_bytes)
             .saturating_add(self.sparse_bytes)
             .saturating_add(self.neighborhood_bytes)
+            .saturating_add(self.backend_bytes)
             .saturating_add(self.journal_buffer_bytes)
     }
 
@@ -204,11 +223,12 @@ impl ResourceEstimate {
     pub fn breakdown(&self) -> String {
         format!(
             "C and C⁻¹ {}, lead coupling {}, sparse C⁻¹ {}, \
-             neighborhood tables {}, journal buffer {}",
+             neighborhood tables {}, backend SoA {}, journal buffer {}",
             fmt_bytes(self.dense_matrix_bytes),
             fmt_bytes(self.coupling_bytes),
             fmt_bytes(self.sparse_bytes),
             fmt_bytes(self.neighborhood_bytes),
+            fmt_bytes(self.backend_bytes),
             fmt_bytes(self.journal_buffer_bytes),
         )
     }
@@ -230,6 +250,21 @@ impl ResourceEstimate {
         }
         Ok(())
     }
+}
+
+/// Bytes of the compute-backend SoA structures, exact from counts
+/// alone: the transposed `C⁻¹` (`islands²` of `f64`), the transposed
+/// lead-response matrix (`leads × islands` of `f64`), and the
+/// per-junction SoA (four `u32` lanes + three `f64` lanes, each
+/// `junctions` long, in seven `Vec`s).
+fn backend_soa_bytes(islands: u64, leads: u64, junctions: u64) -> u64 {
+    let cinv_t = islands.saturating_mul(islands).saturating_mul(F64);
+    let lead_response_t = leads.saturating_mul(islands).saturating_mul(F64);
+    let soa_lanes = junctions.saturating_mul(4 * 4 + 3 * F64);
+    cinv_t
+        .saturating_add(lead_response_t)
+        .saturating_add(soa_lanes)
+        .saturating_add(7 * VEC_HEADER)
 }
 
 /// Renders a byte count with a binary-unit suffix (exact below 1 KiB,
@@ -312,6 +347,9 @@ mod tests {
         // Dense blocks are exact by construction.
         assert_eq!(predicted.dense_matrix_bytes, measured.dense_matrix_bytes);
         assert_eq!(predicted.coupling_bytes, measured.coupling_bytes);
+        // Backend SoA sizes depend only on counts: exact too.
+        assert_eq!(predicted.backend_bytes, measured.backend_bytes);
+        assert!(predicted.backend_bytes > 0);
         // The whole estimate stays within ±20 % (the tentpole's
         // contract; dense-coupling is exact here, headers dominate).
         let (p, m) = (
@@ -343,6 +381,7 @@ mod tests {
                 assert_eq!(limit, 1024);
                 assert!(breakdown.contains("C and C⁻¹"));
                 assert!(breakdown.contains("neighborhood tables"));
+                assert!(breakdown.contains("backend SoA"));
                 assert!(breakdown.contains("journal buffer"));
             }
             other => panic!("wrong error: {other}"),

@@ -44,6 +44,7 @@
 
 use semsim_quad::EvalMemo;
 
+use crate::backend::{Backend, BackendSpec, Disturbance, ReplayEntry};
 use crate::circuit::{Circuit, JunctionId, NodeId};
 use crate::energy::{delta_w, lead_step_delta, potential_delta, CircuitState};
 use crate::fenwick::FenwickTree;
@@ -71,20 +72,6 @@ pub struct AdaptiveStats {
     pub full_refreshes: u64,
 }
 
-/// One entry of the replay log.
-#[derive(Debug, Clone, Copy)]
-enum LogEntry {
-    Transfer {
-        from: NodeId,
-        to: NodeId,
-        count: i64,
-    },
-    Step {
-        lead: usize,
-        dv: f64,
-    },
-}
-
 /// The adaptive solver of the paper's Algorithm 1.
 #[derive(Debug)]
 pub struct AdaptiveSolver {
@@ -98,8 +85,10 @@ pub struct AdaptiveSolver {
     dw_bw: Vec<f64>,
     /// Accumulated testing factor `b₀` per junction.
     b0: Vec<f64>,
-    /// Replay log since the last full refresh.
-    log: Vec<LogEntry>,
+    /// Replay log since the last full refresh, with node references
+    /// pre-resolved to flat indices ([`ReplayEntry::resolve`]) so the
+    /// per-island replay fold is free of node-kind lookups.
+    log: Vec<ReplayEntry>,
     /// Per-island index into `log` of the first unapplied entry.
     applied: Vec<usize>,
     events_since_refresh: u64,
@@ -112,6 +101,21 @@ pub struct AdaptiveSolver {
     /// junction; both directions share a slot — the rate is the same
     /// pure function either way).
     memo: EvalMemo,
+    /// Compute backend for the hot-loop kernels. Every trajectory
+    /// kernel is bit-identical across backends, so this is a pure
+    /// performance selection.
+    backend: Box<dyn Backend>,
+    /// Materialized per-event recompute set (ascending) — reused
+    /// allocation.
+    tested_scratch: Vec<JunctionId>,
+    /// Junctions whose testing factor crossed the gate this event —
+    /// reused allocation.
+    flagged_scratch: Vec<JunctionId>,
+    /// Batched forward/backward rate buffers for `rewrite_all_rates`.
+    gfw_scratch: Vec<f64>,
+    gbw_scratch: Vec<f64>,
+    /// Screened tunnel weights for the from-zero Fenwick rebuild.
+    weights_scratch: Vec<f64>,
 }
 
 impl AdaptiveSolver {
@@ -134,7 +138,26 @@ impl AdaptiveSolver {
             stats: AdaptiveStats::default(),
             dense_reference: false,
             memo: EvalMemo::new(nj, MEMO_WAYS),
+            backend: BackendSpec::Scalar.instantiate(),
+            tested_scratch: Vec::new(),
+            flagged_scratch: Vec::new(),
+            gfw_scratch: Vec::new(),
+            gbw_scratch: Vec::new(),
+            weights_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the compute backend. Trajectories are bit-identical for
+    /// every backend; dense-reference mode ignores the selection and
+    /// keeps the scalar kernels (it is the oracle).
+    pub fn with_backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec.instantiate();
+        self
+    }
+
+    /// Name of the active compute backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Switches this solver to dense-reference mode: dependency
@@ -191,16 +214,17 @@ impl AdaptiveSolver {
         if pending > circuit.num_islands() {
             state.phi[island] = state.exact_island_potential(circuit, island);
         } else {
-            let mut phi = state.phi[island];
-            for entry in &self.log[from_idx..] {
-                phi += match *entry {
-                    LogEntry::Transfer { from, to, count } => {
-                        potential_delta(circuit, island, from, to, count)
-                    }
-                    LogEntry::Step { lead, dv } => lead_step_delta(circuit, island, lead, dv),
-                };
-            }
-            state.phi[island] = phi;
+            // The fold runs on the compute backend: per-entry deltas
+            // ([`ReplayEntry::delta`] — the exact `potential_delta` /
+            // `lead_step_delta` expressions over pre-resolved indices)
+            // accumulated in strict log order, so every backend
+            // produces the same bits the historical per-entry loop did.
+            state.phi[island] = self.backend.replay_fold(
+                circuit.inverse_capacitance().row(island),
+                circuit.lead_response().row(island),
+                &self.log[from_idx..],
+                state.phi[island],
+            );
         }
         self.applied[island] = self.log.len();
         screen_finite(FaultStage::IslandPotential, Some(island), state.phi[island])?;
@@ -231,8 +255,11 @@ impl AdaptiveSolver {
     ) -> Result<(), CoreError> {
         // Establish the exact-potential invariant the replay log
         // maintains from here on.
-        state.recompute_potentials(ctx.circuit);
-        self.full_refresh(ctx, state, rates)?;
+        state.recompute_potentials_with(ctx.circuit, &*self.backend);
+        // The rate table is freshly zeroed at construction, so the
+        // initial rewrite may use the backend's from-zero batched
+        // Fenwick rebuild.
+        self.full_refresh(ctx, state, rates, true)?;
         // initialize() is not a "refresh" in the statistics sense.
         self.stats.full_refreshes = self.stats.full_refreshes.saturating_sub(1);
         Ok(())
@@ -243,6 +270,7 @@ impl AdaptiveSolver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
+        rates_from_zero: bool,
     ) -> Result<(), CoreError> {
         let circuit = ctx.circuit;
         // Replaying the log per island costs O(islands·pending); the
@@ -252,31 +280,97 @@ impl AdaptiveSolver {
                 self.refresh_island(circuit, state, island)?;
             }
         } else {
-            state.recompute_potentials(circuit);
+            state.recompute_potentials_with(circuit, &*self.backend);
         }
         self.log.clear();
         self.applied.iter_mut().for_each(|a| *a = 0);
-        self.rewrite_all_rates(ctx, state, rates)?;
+        self.rewrite_all_rates(ctx, state, rates, rates_from_zero)?;
         self.stats.full_refreshes += 1;
         self.events_since_refresh = 0;
         Ok(())
     }
 
     /// Recomputes every junction's rates from the current potentials in
-    /// canonical order, resetting the `ΔW'`/`b₀` caches.
+    /// canonical (ascending) order, resetting the `ΔW'`/`b₀` caches.
+    ///
+    /// The optimized path batches through the compute backend: all ΔW
+    /// from the SoA buffers, then all directed rates, then per-junction
+    /// screening and slot writes in the exact scalar order — so values,
+    /// write sequence and the surfaced error (first failing junction,
+    /// same fault stage) are identical to the historical per-junction
+    /// loop. `rates_from_zero` marks the rate table as freshly zeroed
+    /// (solver construction), enabling the backend's batched Fenwick
+    /// rebuild; periodic refreshes and resyncs overwrite slots
+    /// incrementally and must pass `false`. Dense-reference mode (and
+    /// fault-injected runs) keep the uncached scalar loop.
     fn rewrite_all_rates(
         &mut self,
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
+        rates_from_zero: bool,
     ) -> Result<(), CoreError> {
-        for j in ctx.circuit.junction_ids() {
-            let (dw_fw, dw_bw) = self.write_rates_cached(ctx, state, rates, j)?;
-            self.dw_fw[j.index()] = dw_fw;
-            self.dw_bw[j.index()] = dw_bw;
-            self.b0[j.index()] = 0.0;
+        let circuit = ctx.circuit;
+        #[cfg(feature = "fault-inject")]
+        let use_reference = self.dense_reference || ctx.poison_rate.is_some();
+        #[cfg(not(feature = "fault-inject"))]
+        let use_reference = self.dense_reference;
+        if use_reference {
+            for j in circuit.junction_ids() {
+                let (dw_fw, dw_bw) = self.write_rates_cached(ctx, state, rates, j)?;
+                self.dw_fw[j.index()] = dw_fw;
+                self.dw_bw[j.index()] = dw_bw;
+                self.b0[j.index()] = 0.0;
+            }
+            self.stats.rate_recalcs += circuit.num_junctions() as u64;
+            return Ok(());
         }
-        self.stats.rate_recalcs += ctx.circuit.num_junctions() as u64;
+        let soa = circuit.junction_soa();
+        self.backend.delta_w_all(
+            circuit,
+            &state.phi,
+            state.lead_voltages(),
+            &mut self.dw_fw,
+            &mut self.dw_bw,
+        );
+        let mut gfw = std::mem::take(&mut self.gfw_scratch);
+        let mut gbw = std::mem::take(&mut self.gbw_scratch);
+        self.backend
+            .tunnel_rates(ctx.model, ctx.kt, &self.dw_fw, &soa.resistance, &mut gfw);
+        self.backend
+            .tunnel_rates(ctx.model, ctx.kt, &self.dw_bw, &soa.resistance, &mut gbw);
+        let mut weights = std::mem::take(&mut self.weights_scratch);
+        weights.clear();
+        for j in circuit.junction_ids() {
+            let idx = j.index();
+            let jx = Some(idx);
+            screen_finite(FaultStage::FreeEnergy, jx, self.dw_fw[idx])?;
+            screen_finite(FaultStage::FreeEnergy, jx, self.dw_bw[idx])?;
+            if rates_from_zero {
+                // tunnel_slot(j, fw) = 2j, (j, bw) = 2j + 1: pushing
+                // fw then bw per ascending junction lays the weights
+                // out slot-contiguously for the batched rebuild.
+                weights.push(screen_rate(FaultStage::TunnelRate, jx, gfw[idx])?);
+                weights.push(screen_rate(FaultStage::TunnelRate, jx, gbw[idx])?);
+            } else {
+                rates.set(
+                    ctx.layout.tunnel_slot(j, true),
+                    screen_rate(FaultStage::TunnelRate, jx, gfw[idx])?,
+                );
+                rates.set(
+                    ctx.layout.tunnel_slot(j, false),
+                    screen_rate(FaultStage::TunnelRate, jx, gbw[idx])?,
+                );
+            }
+            self.b0[idx] = 0.0;
+        }
+        if rates_from_zero {
+            self.backend.fenwick_rebuild(rates, &weights);
+        }
+        self.weights_scratch = weights;
+        self.gfw_scratch = gfw;
+        self.gbw_scratch = gbw;
+        self.stats.rate_recalcs += circuit.num_junctions() as u64;
         Ok(())
     }
 
@@ -345,14 +439,16 @@ impl AdaptiveSolver {
         state: &mut CircuitState,
         rates: &mut FenwickTree,
     ) -> Result<(), CoreError> {
-        state.recompute_potentials(ctx.circuit);
+        state.recompute_potentials_with(ctx.circuit, &*self.backend);
         self.log.clear();
         self.applied.iter_mut().for_each(|a| *a = 0);
         // A resync re-establishes state from external data (checkpoint
         // restore, drift-audit repair); drop memoised rates so the
         // rebuilt table owes nothing to pre-resync history.
         self.memo.clear();
-        self.rewrite_all_rates(ctx, state, rates)?;
+        // The rate table may hold pre-resync values — overwrite
+        // incrementally, never the from-zero rebuild.
+        self.rewrite_all_rates(ctx, state, rates, false)?;
         self.stats.full_refreshes += 1;
         self.events_since_refresh = 0;
         Ok(())
@@ -393,13 +489,13 @@ impl AdaptiveSolver {
     /// Exact potential change of `node` caused by one log entry (0 for
     /// leads except the stepped lead itself).
     #[inline]
-    fn node_delta(circuit: &Circuit, entry: LogEntry, node: NodeId) -> f64 {
+    fn node_delta(circuit: &Circuit, entry: Disturbance, node: NodeId) -> f64 {
         match entry {
-            LogEntry::Transfer { from, to, count } => match circuit.island_index(node) {
+            Disturbance::Transfer { from, to, count } => match circuit.island_index(node) {
                 Some(k) => potential_delta(circuit, k, from, to, count),
                 None => 0.0,
             },
-            LogEntry::Step { lead, dv } => match circuit.island_index(node) {
+            Disturbance::Step { lead, dv } => match circuit.island_index(node) {
                 Some(k) => lead_step_delta(circuit, k, lead, dv),
                 None => {
                     if circuit.lead_index(node) == Some(lead) {
@@ -424,15 +520,16 @@ impl AdaptiveSolver {
         self.events_since_refresh += 1;
 
         let entry = match change {
-            StateChange::Transfer { from, to, count } => LogEntry::Transfer { from, to, count },
-            StateChange::LeadStep { lead, dv } => LogEntry::Step { lead, dv },
+            StateChange::Transfer { from, to, count } => Disturbance::Transfer { from, to, count },
+            StateChange::LeadStep { lead, dv } => Disturbance::Step { lead, dv },
         };
-        self.log.push(entry);
+        self.log.push(ReplayEntry::resolve(circuit, entry));
 
         if self.events_since_refresh >= self.refresh_interval {
             // Periodic full recalculation (paper: "all junction
-            // tunneling rates are recalculated periodically").
-            return self.full_refresh(ctx, state, rates);
+            // tunneling rates are recalculated periodically"). The
+            // rate table holds live values here — incremental rewrite.
+            return self.full_refresh(ctx, state, rates, false);
         }
 
         // Test exactly the junctions in the disturbance's dependency
@@ -441,6 +538,16 @@ impl AdaptiveSolver {
         // neighbourhood: a lead is a fixed-potential wall, so the
         // hundreds of junctions sharing a supply rail with the event
         // are unaffected unless their own islands couple.
+        //
+        // The optimized path materializes the recompute set and hands
+        // it to the compute backend's testing kernel; the junctions it
+        // flags are then recomputed in ascending order. This evaluates
+        // the same tests, in the same order, with the same arithmetic
+        // as the historical interleaved loop — tests read only
+        // `b₀`/`ΔW'` and build-time matrices, never the quantities a
+        // flagged recompute updates, so deferring the recomputes
+        // changes no test outcome. Dense-reference mode keeps the
+        // interleaved per-junction loop as the oracle.
         match change {
             StateChange::Transfer { from, to, .. } => {
                 let ia = circuit.island_index(from);
@@ -457,6 +564,8 @@ impl AdaptiveSolver {
                     // Allocation-free merge of the two endpoints' sorted
                     // dependent lists: ascending order, each junction
                     // tested once even when both islands list it.
+                    let mut tested = std::mem::take(&mut self.tested_scratch);
+                    tested.clear();
                     let la = ia.map_or(&[][..], |i| circuit.island_dependents(i));
                     let lb = ib.map_or(&[][..], |i| circuit.island_dependents(i));
                     let (mut pa, mut pb) = (0, 0);
@@ -485,8 +594,9 @@ impl AdaptiveSolver {
                             }
                             (None, None) => unreachable!("loop condition"),
                         };
-                        self.test_junction(ctx, state, rates, entry, j)?;
+                        tested.push(j);
                     }
+                    self.process_tested(ctx, state, rates, entry, tested)?;
                 }
             }
             StateChange::LeadStep { lead, .. } => {
@@ -497,12 +607,52 @@ impl AdaptiveSolver {
                         }
                     }
                 } else {
-                    for &j in circuit.lead_dependents(lead) {
-                        self.test_junction(ctx, state, rates, entry, j)?;
-                    }
+                    let mut tested = std::mem::take(&mut self.tested_scratch);
+                    tested.clear();
+                    tested.extend_from_slice(circuit.lead_dependents(lead));
+                    self.process_tested(ctx, state, rates, entry, tested)?;
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Runs the backend testing kernel over the materialized recompute
+    /// set and recomputes the rates of every flagged junction in
+    /// ascending order — the batched equivalent of calling
+    /// [`AdaptiveSolver::test_junction`] per member.
+    fn process_tested(
+        &mut self,
+        ctx: &SolverContext<'_>,
+        state: &mut CircuitState,
+        rates: &mut FenwickTree,
+        entry: Disturbance,
+        tested: Vec<JunctionId>,
+    ) -> Result<(), CoreError> {
+        self.stats.junctions_tested += tested.len() as u64;
+        let mut flagged = std::mem::take(&mut self.flagged_scratch);
+        flagged.clear();
+        self.backend.test_factors(
+            ctx.circuit,
+            entry,
+            &tested,
+            self.threshold,
+            &self.dw_fw,
+            &self.dw_bw,
+            &mut self.b0,
+            &mut flagged,
+        );
+        for &j in &flagged {
+            self.refresh_junction_nodes(ctx.circuit, state, j)?;
+            let (dw_fw, dw_bw) = self.write_rates_cached(ctx, state, rates, j)?;
+            let idx = j.index();
+            self.dw_fw[idx] = dw_fw;
+            self.dw_bw[idx] = dw_bw;
+            self.b0[idx] = 0.0;
+            self.stats.rate_recalcs += 1;
+        }
+        self.flagged_scratch = flagged;
+        self.tested_scratch = tested;
         Ok(())
     }
 
@@ -514,7 +664,7 @@ impl AdaptiveSolver {
         ctx: &SolverContext<'_>,
         state: &mut CircuitState,
         rates: &mut FenwickTree,
-        entry: LogEntry,
+        entry: Disturbance,
         j: JunctionId,
     ) -> Result<(), CoreError> {
         let circuit = ctx.circuit;

@@ -245,6 +245,24 @@ impl QpRateTable {
     pub fn rate(&self, dw: f64, r: f64) -> f64 {
         (self.table.eval_linear(dw) / (E_CHARGE * E_CHARGE * r)).max(0.0)
     }
+
+    /// Batched quasi-particle rates: appends `rate(dws[i], rs[i])` to
+    /// `out` for every lane, evaluating the lookup table through its
+    /// batch entry point. Each lane reproduces [`QpRateTable::rate`]
+    /// bit-for-bit (the table batch is a per-lane map of the scalar
+    /// interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn rates_batch(&self, dws: &[f64], rs: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(dws.len(), rs.len(), "rate batch length mismatch");
+        let start = out.len();
+        self.table.eval_linear_batch(dws, out);
+        for (y, &r) in out[start..].iter_mut().zip(rs) {
+            *y = (*y / (E_CHARGE * E_CHARGE * r)).max(0.0);
+        }
+    }
 }
 
 /// Gap at temperature `t` for the given parameters — re-exported

@@ -214,6 +214,25 @@ impl LookupTable {
         let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)
     }
+
+    /// Batched [`LookupTable::eval`] over a slice of query points.
+    ///
+    /// Appends one value per query to `out`. Each lane is evaluated by
+    /// the scalar `eval`, so the batch is bit-identical to looping over
+    /// the queries — this is the contiguous-slice entry point the
+    /// chunked compute backend feeds from its SoA ΔW buffers.
+    pub fn eval_batch(&self, queries: &[f64], out: &mut Vec<f64>) {
+        out.reserve(queries.len());
+        out.extend(queries.iter().map(|&x| self.eval(x)));
+    }
+
+    /// Batched [`LookupTable::eval_linear`] over a slice of query
+    /// points. Appends one value per query to `out`; bit-identical to
+    /// the scalar loop (same per-lane arithmetic).
+    pub fn eval_linear_batch(&self, queries: &[f64], out: &mut Vec<f64>) {
+        out.reserve(queries.len());
+        out.extend(queries.iter().map(|&x| self.eval_linear(x)));
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +347,104 @@ mod tests {
                     "mismatch at probe {probe} near node {x}"
                 );
             }
+        }
+    }
+
+    /// One representable step toward +∞ / −∞ — sign-correct ULP
+    /// neighbours, unlike raw bit arithmetic on negative values.
+    fn ulp_up(x: f64) -> f64 {
+        if x >= 0.0 {
+            f64::from_bits(x.to_bits() + 1)
+        } else {
+            f64::from_bits(x.to_bits() - 1)
+        }
+    }
+
+    fn ulp_down(x: f64) -> f64 {
+        if x > 0.0 {
+            f64::from_bits(x.to_bits() - 1)
+        } else if x == 0.0 {
+            -f64::MIN_POSITIVE * f64::EPSILON
+        } else {
+            f64::from_bits(x.to_bits() + 1)
+        }
+    }
+
+    #[test]
+    fn eval_endpoint_probes_match_binary_search_bitwise() {
+        // The exact endpoint knots and one ULP outside the grid on both
+        // sides: the clamp branches must fire before any bucket
+        // arithmetic, and one ULP *inside* must interpolate against the
+        // boundary segment the binary search selects.
+        for (xs, ys) in [
+            (
+                vec![-50.0, -10.0, 0.5, 1.0, 2.0, 75.0],
+                vec![2.0, -1.0, 0.25, 4.0, -3.0, 9.0],
+            ),
+            (vec![1e-9, 2e-9, 5e-9], vec![-0.5, 0.5, 1.5]),
+            (vec![-3.0, -1.0], vec![7.0, 5.0]),
+        ] {
+            let t = LookupTable::new(xs.clone(), ys).unwrap();
+            let (lo, hi) = t.domain();
+            for x in [lo, hi, ulp_down(lo), ulp_up(lo), ulp_down(hi), ulp_up(hi)] {
+                assert_eq!(
+                    t.eval(x).to_bits(),
+                    eval_binary_search(&t, x).to_bits(),
+                    "eval endpoint probe x={x:e} on grid [{lo}, {hi}]"
+                );
+            }
+            assert_eq!(t.eval(ulp_down(lo)), t.eval(lo), "below-grid clamp");
+            assert_eq!(t.eval(ulp_up(hi)), t.eval(hi), "above-grid clamp");
+        }
+    }
+
+    #[test]
+    fn eval_linear_endpoint_probes_are_continuous() {
+        let xs: Vec<f64> = vec![-50.0, -10.0, 0.5, 1.0, 2.0, 75.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| (0.3 * x).sin() + 0.01 * x * x).collect();
+        let t = LookupTable::new(xs, ys).unwrap();
+        let (lo, hi) = t.domain();
+        // Exactly at a boundary knot the clamped path answers, and the
+        // extrapolation formula agrees there (zero offset).
+        assert_eq!(t.eval_linear(lo).to_bits(), t.eval(lo).to_bits());
+        assert_eq!(t.eval_linear(hi).to_bits(), t.eval(hi).to_bits());
+        // One ULP outside: the extrapolated value moves by at most one
+        // slope-scaled ULP from the knot value — no index error can
+        // produce a jump.
+        for (edge, inside) in [(ulp_down(lo), lo), (ulp_up(hi), hi)] {
+            let step = (edge - inside).abs();
+            let slope_bound = 10.0; // |dy/dx| on this grid is < 10
+            let diff = (t.eval_linear(edge) - t.eval_linear(inside)).abs();
+            assert!(
+                diff <= slope_bound * step + f64::EPSILON,
+                "eval_linear discontinuity at {edge:e}: diff {diff:e}"
+            );
+        }
+        // One ULP inside: still the interpolating path, bit-identical
+        // to the binary-search reference.
+        for x in [ulp_up(lo), ulp_down(hi)] {
+            assert_eq!(
+                t.eval_linear(x).to_bits(),
+                eval_binary_search(&t, x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_eval_is_bit_identical_to_scalar_loop() {
+        let t = LookupTable::from_fn(|x| (1.3 * x).cos() * x, -4.0, 9.0, 137).unwrap();
+        let queries: Vec<f64> = (0..500).map(|i| -6.0 + i as f64 * 0.033).collect();
+        let mut batch = vec![0.0; 3]; // pre-seeded: eval_batch appends
+        let seed_len = batch.len();
+        t.eval_batch(&queries, &mut batch);
+        assert_eq!(batch.len(), seed_len + queries.len());
+        for (q, b) in queries.iter().zip(&batch[seed_len..]) {
+            assert_eq!(t.eval(*q).to_bits(), b.to_bits());
+        }
+        let mut linear = Vec::new();
+        t.eval_linear_batch(&queries, &mut linear);
+        for (q, b) in queries.iter().zip(&linear) {
+            assert_eq!(t.eval_linear(*q).to_bits(), b.to_bits());
         }
     }
 

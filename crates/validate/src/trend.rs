@@ -83,10 +83,15 @@ pub fn measure_trend(
         Ok(())
     };
     let refresh_interval = 1_000u64.max(4 * elab.circuit.num_islands() as u64);
+    // The optimized side runs the chunked backend — the production hot
+    // path — while `AdaptiveDense` stays on the scalar reference
+    // kernels (the engine pins the oracle to them), so the
+    // record-identity assertion below doubles as a cross-backend gate.
     let mk_cfg = |spec: SolverSpec| {
         SimConfig::new(params.temperature)
             .with_seed(seed)
             .with_solver(spec)
+            .with_backend(semsim_core::backend::BackendSpec::chunked())
     };
     let pair = measure_pair(
         &elab.circuit,

@@ -71,6 +71,7 @@ use semsim::check::{
     apply_suggestions, report_to_json, validate_report, DiagCode, Diagnostics, JsonFileReport,
     Severity, Suggestion,
 };
+use semsim::core::backend::BackendSpec;
 use semsim::core::batch::{BatchCounts, BatchOpts, PointStatus, RetryPolicy};
 use semsim::core::constants::E_CHARGE;
 use semsim::core::engine::{RunLength, Simulation};
@@ -108,6 +109,7 @@ commands:
 
   validate [--quick] [--seed N] [--threads N] [--json FILE]
            [--trend FILE] [--commit HASH] [--journal BASE] [--resume]
+           [--backend scalar|chunked|chunked:N]
       Run the cross-engine validation grid: adaptive-solver ensembles
       at declared SET operating points (normal and superconducting)
       plus a logic-benchmark delay point, each compared against the
@@ -126,11 +128,14 @@ commands:
       previous record (`none` on the first); --journal BASE journals
       every ensemble crash-safely under BASE.p<NN> and --resume
       restores finished replicas (the count goes to stderr; stdout
-      stays byte-identical).
+      stays byte-identical). --backend selects the adaptive solver's
+      compute backend (default scalar); backends are bit-identical, so
+      a chunked run doubles as an end-to-end equivalence gate.
 
   run <netlist.cir> [--events N] [--threads N] [--checkpoint-every N]
                     [--checkpoint FILE] [--resume [FILE]]
                     [--journal FILE] [--max-retries N] [--max-memory BYTES]
+                    [--backend scalar|chunked|chunked:N]
       Compile the circuit and execute a Monte Carlo run at the declared
       bias. --events overrides the file's `jumps` directive (total
       events since the start of the trajectory). --checkpoint-every
@@ -146,11 +151,14 @@ commands:
       compilation when its estimated footprint (dense C/C⁻¹ matrices,
       neighborhood tables, journal buffer) exceeds the budget — accepts
       plain bytes or 64k/16m/2g; the refusal prints the estimator's
-      component breakdown.
+      component breakdown. --backend selects the adaptive solver's
+      compute backend: `scalar` (reference, default) or `chunked[:N]`
+      (SIMD-friendly SoA kernels, chunk width N). Backends are
+      bit-identical — the trajectory does not depend on the choice.
 
   sweep <netlist.cir> [--events N] [--threads N]
                       [--journal FILE] [--resume] [--max-retries N]
-                      [--max-memory BYTES]
+                      [--max-memory BYTES] [--backend scalar|chunked|chunked:N]
       Execute the file's `sweep` declaration in parallel over --threads
       worker threads (default: all cores) and print one `control
       current outcome` line per point. Output is bit-identical for
@@ -159,7 +167,7 @@ commands:
       appends finished points to a crash-safe journal (default: the
       file's `journal` directive) and --resume skips them on the next
       invocation, reproducing the uninterrupted sweep bit-for-bit. See
-      docs/robustness.md. --max-memory works as for `run`.
+      docs/robustness.md. --max-memory and --backend work as for `run`.
 
   serve [--port N] [--workers N] [--queue-depth N]
         [--data-dir DIR] [--max-job-seconds S] [--max-memory BYTES]
@@ -520,6 +528,8 @@ struct RunOpts {
     /// Memory budget in bytes (`--max-memory`); the circuit is refused
     /// before compilation when its estimated footprint exceeds this.
     max_memory: Option<u64>,
+    /// Adaptive-solver compute backend (`--backend`).
+    backend: BackendSpec,
 }
 
 fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
@@ -535,6 +545,7 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
         resume_journal: false,
         timeout: None,
         max_memory: None,
+        backend: BackendSpec::default(),
     };
     // `sweep` takes the parallel flags only; the checkpoint family is
     // run-trajectory specific.
@@ -609,6 +620,10 @@ fn parse_run_opts(cmd: &str, args: &[String]) -> Result<RunOpts, String> {
                     return Err("`--max-memory` must be positive".into());
                 }
                 opts.max_memory = Some(budget);
+            }
+            "--backend" => {
+                opts.backend = BackendSpec::parse(&value("--backend")?)
+                    .map_err(|e| format!("`--backend`: {e}"))?;
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `semsim {cmd}`"));
@@ -737,8 +752,9 @@ fn run_file(opts: &RunOpts) -> bool {
 fn try_run(opts: &RunOpts) -> Result<(), String> {
     let source = std::fs::read_to_string(&opts.netlist)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
-    let file =
+    let mut file =
         CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    file.backend = opts.backend;
     check_memory_budget(&file, &opts.netlist, opts.max_memory)?;
     let runs = file.jumps.map(|(_, r)| r).unwrap_or(1);
     if runs > 1 && file.sweep.is_none() {
@@ -940,6 +956,7 @@ fn try_sweep(opts: &RunOpts) -> Result<(), String> {
         .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
     let mut file =
         CircuitFile::parse(&source).map_err(|e| format!("{}:{}: {e}", opts.netlist, e.line()))?;
+    file.backend = opts.backend;
     if file.sweep.is_none() {
         return Err(format!(
             "{}: `semsim sweep` needs a `sweep` declaration in the netlist",
@@ -1219,6 +1236,7 @@ struct ValidateOpts {
     commit: String,
     journal: Option<String>,
     resume: bool,
+    backend: BackendSpec,
 }
 
 /// Trend-measurement window: events per timed window, discarded warmup
@@ -1239,6 +1257,7 @@ fn parse_validate_opts(args: &[String]) -> Result<ValidateOpts, String> {
         commit: "unknown".to_string(),
         journal: None,
         resume: false,
+        backend: BackendSpec::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1268,6 +1287,10 @@ fn parse_validate_opts(args: &[String]) -> Result<ValidateOpts, String> {
             "--commit" => opts.commit = value("--commit")?,
             "--journal" => opts.journal = Some(value("--journal")?),
             "--resume" => opts.resume = true,
+            "--backend" => {
+                opts.backend = BackendSpec::parse(&value("--backend")?)
+                    .map_err(|e| format!("`--backend`: {e}"))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `semsim validate`"));
             }
@@ -1321,6 +1344,7 @@ fn validate_cmd(args: &[String]) -> ExitCode {
         threads: opts.threads,
         journal: opts.journal.as_ref().map(std::path::PathBuf::from),
         resume: opts.resume,
+        backend: opts.backend,
     };
     let run = match semsim::validate::run_grid(opts.profile, opts.seed, &run_opts) {
         Ok(run) => run,
